@@ -1,0 +1,61 @@
+//===- bench/bench_ablation_adaptive.cpp - Section 8.2 ablation -----------===//
+//
+// Ablation of *selectively enabling* differential encoding (Section 8.2):
+// compares always-on differential select against the adaptive mode that
+// falls back to the baseline when the statically estimated benefit
+// (frequency-weighted spills saved) does not cover the set_last_reg
+// overhead. The adaptive mode should never lose to min(baseline, select)
+// by more than the estimation error, and should rescue the low-pressure
+// programs where differential encoding is pure overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "sim/LowEndSim.h"
+#include "workloads/MiBench.h"
+
+#include <cstdio>
+
+using namespace dra;
+
+int main() {
+  std::printf("Ablation: adaptive enabling of differential encoding "
+              "(Section 8.2)\n");
+  std::printf("%-14s%12s%12s%12s%10s\n", "benchmark", "baseline",
+              "select", "adaptive", "chose");
+
+  double SumBase = 0, SumSel = 0, SumAda = 0;
+  for (const std::string &Name : miBenchNames()) {
+    Function F = miBenchProgram(Name);
+
+    PipelineConfig Cfg;
+    Cfg.BaselineK = 8;
+    Cfg.Enc = lowEndConfig(12);
+    Cfg.Remap.NumStarts = 100;
+
+    Cfg.S = Scheme::Baseline;
+    uint64_t Base = simulate(runPipeline(F, Cfg).F).Cycles;
+
+    Cfg.S = Scheme::Select;
+    uint64_t Sel = simulate(runPipeline(F, Cfg).F).Cycles;
+
+    Cfg.AdaptiveEnable = true;
+    PipelineResult Ada = runPipeline(F, Cfg);
+    uint64_t AdaCycles = simulate(Ada.F).Cycles;
+
+    SumBase += static_cast<double>(Base);
+    SumSel += static_cast<double>(Sel);
+    SumAda += static_cast<double>(AdaCycles);
+    std::printf("%-14s%12llu%12llu%12llu%10s\n", Name.c_str(),
+                static_cast<unsigned long long>(Base),
+                static_cast<unsigned long long>(Sel),
+                static_cast<unsigned long long>(AdaCycles),
+                Ada.AdaptiveFellBack ? "baseline" : "diff");
+  }
+  std::printf("%-14s%12.0f%12.0f%12.0f\n", "total", SumBase, SumSel, SumAda);
+  std::printf("\nadaptive vs always-select: %+.2f%%   adaptive vs baseline: "
+              "%+.2f%%\n",
+              100.0 * (SumSel / SumAda - 1.0),
+              100.0 * (SumBase / SumAda - 1.0));
+  return 0;
+}

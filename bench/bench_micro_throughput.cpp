@@ -1,0 +1,138 @@
+//===- bench/bench_micro_throughput.cpp - Compile-time microbenchmarks ----===//
+//
+// Google-benchmark timings for the compile-time components, backing the
+// paper's claim that compilation cost is "tens of seconds" at worst (with
+// the ILP solver dominating): allocator rounds, encoding, remapping and
+// the ILP spill solve, on a representative benchmark program.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Liveness.h"
+#include "core/DiffSelectHook.h"
+#include "core/Encoder.h"
+#include "core/OptimalSpill.h"
+#include "core/Pipeline.h"
+#include "core/Remap.h"
+#include "regalloc/InterferenceGraph.h"
+#include "workloads/MiBench.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dra;
+
+namespace {
+
+const Function &program() {
+  // dijkstra is mid-sized: large enough to be representative, small
+  // enough that the full-pipeline benchmarks finish in seconds.
+  static const Function F = miBenchProgram("dijkstra");
+  return F;
+}
+
+void BM_LivenessAndBuild(benchmark::State &State) {
+  Function F = program();
+  F.recomputeCFG();
+  for (auto _ : State) {
+    Liveness LV = Liveness::compute(F);
+    InterferenceGraph G = InterferenceGraph::build(F, LV);
+    benchmark::DoNotOptimize(G.numNodes());
+  }
+}
+BENCHMARK(BM_LivenessAndBuild);
+
+void BM_BaselineAllocation(benchmark::State &State) {
+  for (auto _ : State) {
+    Function F = program();
+    AllocResult R = allocateGraphColoring(F, 8);
+    benchmark::DoNotOptimize(R.SpillLoads);
+  }
+}
+BENCHMARK(BM_BaselineAllocation)->Unit(benchmark::kMillisecond);
+
+void BM_DifferentialSelectAllocation(benchmark::State &State) {
+  EncodingConfig C = lowEndConfig(12);
+  for (auto _ : State) {
+    Function F = program();
+    DiffSelectHook Hook(C);
+    AllocResult R = allocateGraphColoring(F, 12, &Hook);
+    benchmark::DoNotOptimize(R.SpillLoads);
+  }
+}
+BENCHMARK(BM_DifferentialSelectAllocation)->Unit(benchmark::kMillisecond);
+
+void BM_OptimalSpillILP(benchmark::State &State) {
+  for (auto _ : State) {
+    Function F = program();
+    OptimalSpillResult R = optimalSpill(F, 8);
+    benchmark::DoNotOptimize(R.SpilledRanges);
+  }
+}
+BENCHMARK(BM_OptimalSpillILP)->Unit(benchmark::kMillisecond)->Iterations(3);
+
+void BM_Encode(benchmark::State &State) {
+  EncodingConfig C = lowEndConfig(12);
+  Function F = program();
+  allocateGraphColoring(F, 12);
+  for (auto _ : State) {
+    EncodedFunction E = encodeFunction(F, C);
+    benchmark::DoNotOptimize(E.Stats.setLastTotal());
+  }
+}
+BENCHMARK(BM_Encode);
+
+void BM_Decode(benchmark::State &State) {
+  EncodingConfig C = lowEndConfig(12);
+  Function F = program();
+  allocateGraphColoring(F, 12);
+  EncodedFunction E = encodeFunction(F, C);
+  for (auto _ : State) {
+    Function D = decodeFunction(E, C);
+    benchmark::DoNotOptimize(D.NumRegs);
+  }
+}
+BENCHMARK(BM_Decode);
+
+void BM_RemapPerStart(benchmark::State &State) {
+  EncodingConfig C = lowEndConfig(12);
+  Function F = program();
+  allocateGraphColoring(F, 12);
+  Function Widened = F;
+  Widened.NumRegs = C.RegN;
+  Widened.recomputeCFG();
+  AdjacencyGraph G = AdjacencyGraph::build(Widened, C);
+  RemapOptions O;
+  O.NumStarts = static_cast<unsigned>(State.range(0));
+  for (auto _ : State) {
+    RemapResult R = findRemap(G, C, O);
+    benchmark::DoNotOptimize(R.CostAfter);
+  }
+}
+BENCHMARK(BM_RemapPerStart)
+    ->Unit(benchmark::kMillisecond)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Iterations(3);
+
+void BM_FullPipeline(benchmark::State &State) {
+  PipelineConfig Cfg;
+  Cfg.S = static_cast<Scheme>(State.range(0));
+  Cfg.Remap.NumStarts = 50;
+  const Function &F = program();
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(F, Cfg);
+    benchmark::DoNotOptimize(R.NumInsts);
+  }
+}
+BENCHMARK(BM_FullPipeline)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1)
+    ->Arg(static_cast<int>(Scheme::Baseline))
+    ->Arg(static_cast<int>(Scheme::Remap))
+    ->Arg(static_cast<int>(Scheme::Select))
+    ->Arg(static_cast<int>(Scheme::Coalesce));
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,45 @@
+//===- bench/bench_table2_swp_speedup.cpp - Table 2: VLIW loop speedup ----===//
+//
+// Reproduces Table 2: speedup of software-pipelined loops when
+// differential encoding exposes RegN in {40, 48, 56, 64} registers through
+// the 5-bit fields (DiffN = 32), applied selectively to loops whose
+// register requirement exceeds 32. Paper: optimized loops speed up by
+// >70%, all loops by 10.23% (RegN=40) to 17.24% (RegN=64), overall close
+// to the all-loop number, with saturation past RegN = 48.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SuiteRunner.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace dra;
+
+int main(int Argc, char **Argv) {
+  unsigned Loops = Argc > 1 ? std::atoi(Argv[1]) : 1928;
+  std::vector<VliwRow> Rows = runVliwSuite(Loops);
+
+  std::printf("Table 2: VLIW software-pipelining speedup (DiffN = 32)\n");
+  std::printf("%6s%20s%16s%16s\n", "RegN", "optimized loops", "all loops",
+              "overall");
+  for (const VliwRow &Row : Rows) {
+    if (Row.RegN == 32) {
+      std::printf("%6u%19s%%%15s%%%15s%% (baseline)\n", Row.RegN, "0.00",
+                  "0.00", "0.00");
+      continue;
+    }
+    std::printf("%6u%19.2f%%%15.2f%%%15.2f%%\n", Row.RegN,
+                Row.SpeedupOptimizedPct, Row.SpeedupAllLoopsPct,
+                Row.SpeedupOverallPct);
+  }
+  if (!Rows.empty())
+    std::printf("\ncorpus: %zu loops, %zu (%.1f%%) need more than 32 "
+                "registers\n",
+                Rows.back().LoopCount, Rows.back().OptimizedLoopCount,
+                100.0 * static_cast<double>(Rows.back().OptimizedLoopCount) /
+                    static_cast<double>(Rows.back().LoopCount));
+  std::printf("paper: optimized loops >70%%; all loops 10.23%% (RegN=40) "
+              "to 17.24%% (RegN=64); saturates past RegN=48\n");
+  return 0;
+}

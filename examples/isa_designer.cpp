@@ -1,0 +1,75 @@
+//===- examples/isa_designer.cpp - Encoding-space design exploration ------===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+// An ISA designer's view of differential encoding: for a fixed register
+// field width (3 bits, the THUMB-class budget), how many architected
+// registers can differential encoding usefully expose? The example sweeps
+// RegN from 8 (pure direct encoding) to 16 and reports spills,
+// set_last_reg overhead, code size and simulated cycles on the benchmark
+// suite — the trade-off curve behind the paper's choice of RegN = 12.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "sim/LowEndSim.h"
+#include "workloads/MiBench.h"
+
+#include <cstdio>
+
+using namespace dra;
+
+int main() {
+  const std::vector<std::string> Programs = {"basicmath", "susan", "sha",
+                                             "dijkstra"};
+
+  // Baseline once per program.
+  std::vector<Function> Sources;
+  std::vector<uint64_t> BaseCycles;
+  std::vector<size_t> BaseCodeBytes;
+  for (const std::string &Name : Programs) {
+    Function F = miBenchProgram(Name);
+    PipelineConfig Cfg;
+    Cfg.S = Scheme::Baseline;
+    PipelineResult R = runPipeline(F, Cfg);
+    BaseCycles.push_back(simulate(R.F).Cycles);
+    BaseCodeBytes.push_back(R.CodeBytes);
+    Sources.push_back(std::move(F));
+  }
+
+  std::printf("3-bit register fields (DiffN = 8), differential select "
+              "pipeline, %zu programs\n\n",
+              Programs.size());
+  std::printf("%6s%10s%10s%12s%12s\n", "RegN", "spill%", "slr%",
+              "code ratio", "speedup");
+
+  for (unsigned RegN : {8u, 10u, 12u, 14u, 16u}) {
+    double SpillPct = 0, SlrPct = 0, CodeRatio = 0, Speedup = 0;
+    for (size_t I = 0; I != Sources.size(); ++I) {
+      PipelineConfig Cfg;
+      Cfg.S = RegN == 8 ? Scheme::Baseline : Scheme::Select;
+      Cfg.Enc = lowEndConfig(RegN);
+      Cfg.Remap.NumStarts = 60;
+      PipelineResult R = runPipeline(Sources[I], Cfg);
+      SimResult Sim = simulate(R.F);
+      SpillPct += R.spillPercent();
+      SlrPct += R.setLastPercent();
+      CodeRatio += static_cast<double>(R.CodeBytes) /
+                   static_cast<double>(BaseCodeBytes[I]);
+      Speedup += 100.0 * (static_cast<double>(BaseCycles[I]) /
+                              static_cast<double>(Sim.Cycles) -
+                          1.0);
+    }
+    double N = static_cast<double>(Sources.size());
+    std::printf("%6u%9.2f%%%9.2f%%%12.3f%+11.2f%%\n", RegN, SpillPct / N,
+                SlrPct / N, CodeRatio / N, Speedup / N);
+  }
+
+  std::printf("\nRegN = 8 is the direct-encoding baseline. Growing RegN "
+              "buys spill reductions until the\nset_last_reg overhead of "
+              "wrapping a 12-plus-register circle through 8 difference "
+              "codes\ncatches up — the knee the paper picks RegN = 12 "
+              "at.\n");
+  return 0;
+}

@@ -1,0 +1,95 @@
+//===- examples/vliw_pipelining.cpp - Software-pipelined loop walkthrough -===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+// A high-ILP loop (eight parallel multiply-accumulate chains, the shape of
+// an unrolled dot product) is modulo-scheduled for the 4-issue VLIW
+// machine. With only 32 architected registers the kernel's register
+// requirement forces spills, which add memory traffic and stretch the
+// initiation interval; differential encoding exposes 40-64 registers
+// through the same 5-bit fields (Section 10.2). The example prints II,
+// MaxLive, MVE, spills and cycles for each configuration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/EncodingConfig.h"
+#include "swp/SwpPipeline.h"
+
+#include <cstdio>
+
+using namespace dra;
+
+namespace {
+
+/// Twelve parallel load-mul-add chains with a loop-carried accumulator.
+/// Half the chains reuse their loaded value two iterations later (the
+/// shape an unroll-and-jam pass produces), so loaded values stay live for
+/// more than two initiation intervals — the kernel's register requirement
+/// lands well above the 32 architected registers.
+LoopDdg buildMacLoop() {
+  LoopDdg L;
+  L.Name = "mac12";
+  L.TripCount = 1000;
+  for (int Chain = 0; Chain != 12; ++Chain) {
+    auto AddOp = [&](FuKind Kind, unsigned Latency) {
+      DdgOp Op;
+      Op.Kind = Kind;
+      Op.Latency = Latency;
+      L.Ops.push_back(Op);
+      return static_cast<uint32_t>(L.Ops.size() - 1);
+    };
+    uint32_t LoadA = AddOp(FuKind::Mem, 2);
+    uint32_t LoadB = AddOp(FuKind::Mem, 2);
+    uint32_t Mul = AddOp(FuKind::Mul, 3);
+    uint32_t Acc = AddOp(FuKind::Alu, 1);
+    L.Edges.push_back({LoadA, Mul, 2, 0, true});
+    L.Edges.push_back({LoadB, Mul, 2, 0, true});
+    L.Edges.push_back({Mul, Acc, 3, 0, true});
+    // Accumulator recurrence across iterations.
+    L.Edges.push_back({Acc, Acc, 1, 1, true});
+    // Cross-iteration reuse of the loaded value (distance 2).
+    if (Chain % 2 == 0)
+      L.Edges.push_back({LoadA, Acc, 2, 2, true});
+  }
+  return L;
+}
+
+} // namespace
+
+int main() {
+  VliwMachine Machine;
+  LoopDdg Loop = buildMacLoop();
+  std::printf("loop '%s': %zu ops (%zu mem, %zu mul), MinII = %u\n\n",
+              Loop.Name.c_str(), Loop.Ops.size(),
+              Loop.countKind(FuKind::Mem), Loop.countKind(FuKind::Mul),
+              minII(Loop, Machine));
+
+  std::printf("%8s%6s%9s%6s%8s%10s%12s%8s\n", "config", "II", "MaxLive",
+              "MVE", "spills", "cycles", "code insts", "slr");
+
+  // Baseline: 32 architected registers, direct encoding.
+  SwpResult Base = pipelineLoop(Loop, Machine, 32);
+  std::printf("%8s%6u%9u%6u%8zu%10llu%12zu%8zu\n", "32/dir", Base.II,
+              Base.MaxLive, Base.Mve, Base.SpillOps,
+              static_cast<unsigned long long>(Base.Cycles), Base.CodeInsts,
+              Base.SetLastRegs);
+
+  // Differential encoding: RegN registers through 5-bit fields.
+  for (unsigned RegN : {40u, 48u, 56u, 64u}) {
+    EncodingConfig Enc = vliwConfig(RegN);
+    SwpResult R = pipelineLoop(Loop, Machine, 32, &Enc);
+    double Speedup = 100.0 * (static_cast<double>(Base.Cycles) /
+                                  static_cast<double>(R.Cycles) -
+                              1.0);
+    std::printf("%7u/d%6u%9u%6u%8zu%10llu%12zu%8zu  (%+.1f%%)\n", RegN,
+                R.II, R.MaxLive, R.Mve, R.SpillOps,
+                static_cast<unsigned long long>(R.Cycles), R.CodeInsts,
+                R.SetLastRegs, Speedup);
+  }
+
+  std::printf("\nThe spills at 32 registers are pure register-pressure "
+              "artifacts; once differential encoding\nexposes enough "
+              "registers the kernel schedules at its resource-bound II "
+              "with no memory overhead.\n");
+  return 0;
+}

@@ -1,0 +1,42 @@
+//===- adt/BitStream.cpp - LSB-first bit readers/writers ------------------===//
+
+#include "adt/BitStream.h"
+
+using namespace dra;
+
+void BitWriter::write(uint64_t Value, unsigned Width) {
+  assert(Width <= 64 && "field too wide");
+  assert((Width == 64 || (Value >> Width) == 0) &&
+         "value does not fit the field");
+  for (unsigned I = 0; I != Width; ++I) {
+    size_t Bit = Bits + I;
+    if (Bit / 8 == Buffer.size())
+      Buffer.push_back(0);
+    if ((Value >> I) & 1)
+      Buffer[Bit / 8] |= static_cast<uint8_t>(1u << (Bit % 8));
+  }
+  Bits += Width;
+}
+
+void BitWriter::alignToByte() {
+  if (Bits % 8 != 0)
+    write(0, static_cast<unsigned>(8 - Bits % 8));
+}
+
+uint64_t BitReader::read(unsigned Width) {
+  assert(Width <= 64 && "field too wide");
+  assert(!exhausted(Width) && "bit stream exhausted");
+  uint64_t Value = 0;
+  for (unsigned I = 0; I != Width; ++I) {
+    size_t Bit = Pos + I;
+    if ((Buffer[Bit / 8] >> (Bit % 8)) & 1)
+      Value |= uint64_t(1) << I;
+  }
+  Pos += Width;
+  return Value;
+}
+
+void BitReader::alignToByte() {
+  if (Pos % 8 != 0)
+    Pos += 8 - Pos % 8;
+}

@@ -1,0 +1,70 @@
+//===- adt/BitStream.h - LSB-first bit readers/writers ----------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Little-endian, LSB-first bit stream writer/reader used by the binary
+/// instruction emitter: register fields are DiffW bits wide, so sub-byte
+/// packing is the whole point of the exercise.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ADT_BITSTREAM_H
+#define DRA_ADT_BITSTREAM_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dra {
+
+/// Appends bit fields into a growing byte buffer.
+class BitWriter {
+public:
+  /// Writes the low \p Width bits of \p Value (Width in [0, 64]).
+  void write(uint64_t Value, unsigned Width);
+
+  /// Bits written so far.
+  size_t bitCount() const { return Bits; }
+
+  /// Pads with zero bits up to the next byte boundary.
+  void alignToByte();
+
+  /// The buffer (trailing partial byte zero-padded).
+  const std::vector<uint8_t> &bytes() const { return Buffer; }
+
+private:
+  std::vector<uint8_t> Buffer;
+  size_t Bits = 0;
+};
+
+/// Reads bit fields back in write order.
+class BitReader {
+public:
+  explicit BitReader(const std::vector<uint8_t> &Buffer) : Buffer(Buffer) {}
+
+  /// Reads \p Width bits (Width in [0, 64]).
+  uint64_t read(unsigned Width);
+
+  /// Skips to the next byte boundary.
+  void alignToByte();
+
+  /// Bits consumed so far.
+  size_t bitPosition() const { return Pos; }
+
+  /// True if fewer than \p Width bits remain.
+  bool exhausted(unsigned Width = 1) const {
+    return Pos + Width > Buffer.size() * 8;
+  }
+
+private:
+  const std::vector<uint8_t> &Buffer;
+  size_t Pos = 0;
+};
+
+} // namespace dra
+
+#endif // DRA_ADT_BITSTREAM_H

@@ -1,0 +1,51 @@
+//===- adt/Statistics.cpp - Small descriptive statistics ------------------===//
+
+#include "adt/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dra;
+
+double dra::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double Sum = 0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double dra::geomean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  double LogSum = 0;
+  for (double V : Values) {
+    assert(V > 0 && "geomean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double dra::percentile(std::vector<double> Values, double P) {
+  if (Values.empty())
+    return 0;
+  assert(P >= 0 && P <= 100 && "percentile out of range");
+  std::sort(Values.begin(), Values.end());
+  double Rank = P / 100.0 * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Rank);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Rank - static_cast<double>(Lo);
+  return Values[Lo] * (1 - Frac) + Values[Hi] * Frac;
+}
+
+double dra::stddev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0;
+  double M = mean(Values);
+  double Acc = 0;
+  for (double V : Values)
+    Acc += (V - M) * (V - M);
+  return std::sqrt(Acc / static_cast<double>(Values.size() - 1));
+}

@@ -1,0 +1,35 @@
+//===- adt/Statistics.h - Small descriptive statistics ----------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers for summarizing experiment measurements: mean, geometric mean,
+/// percentiles. Used by the benchmark harnesses when aggregating per-program
+/// results into the paper's "average" rows.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ADT_STATISTICS_H
+#define DRA_ADT_STATISTICS_H
+
+#include <vector>
+
+namespace dra {
+
+/// Arithmetic mean of \p Values; 0 for an empty input.
+double mean(const std::vector<double> &Values);
+
+/// Geometric mean of strictly positive \p Values; 0 for an empty input.
+double geomean(const std::vector<double> &Values);
+
+/// Linear-interpolated percentile \p P in [0, 100]; 0 for an empty input.
+double percentile(std::vector<double> Values, double P);
+
+/// Sample standard deviation; 0 when fewer than two values.
+double stddev(const std::vector<double> &Values);
+
+} // namespace dra
+
+#endif // DRA_ADT_STATISTICS_H

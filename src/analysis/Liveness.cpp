@@ -1,0 +1,67 @@
+//===- analysis/Liveness.cpp - Live-variable analysis ---------------------===//
+
+#include "analysis/Liveness.h"
+
+using namespace dra;
+
+Liveness Liveness::compute(const Function &F) {
+  size_t NumBlocks = F.Blocks.size();
+  size_t NumRegs = F.NumRegs;
+
+  // Per-block gen (upward-exposed uses) and kill (defs).
+  std::vector<BitVector> Gen(NumBlocks), Kill(NumBlocks);
+  for (size_t B = 0; B != NumBlocks; ++B) {
+    Gen[B].resize(NumRegs);
+    Kill[B].resize(NumRegs);
+    for (const Instruction &I : F.Blocks[B].Insts) {
+      RegId Uses[2];
+      unsigned NumUses;
+      I.uses(Uses, NumUses);
+      for (unsigned U = 0; U != NumUses; ++U)
+        if (!Kill[B].test(Uses[U]))
+          Gen[B].set(Uses[U]);
+      RegId Def = I.def();
+      if (Def != NoReg)
+        Kill[B].set(Def);
+    }
+  }
+
+  Liveness Result;
+  Result.LiveIn.assign(NumBlocks, BitVector(NumRegs));
+  Result.LiveOut.assign(NumBlocks, BitVector(NumRegs));
+
+  // Round-robin fixpoint in reverse layout order (good enough for the
+  // mostly-reducible CFGs the generators emit).
+  bool Changed = true;
+  BitVector Tmp;
+  while (Changed) {
+    Changed = false;
+    for (size_t B = NumBlocks; B > 0; --B) {
+      size_t Block = B - 1;
+      // LiveOut = union of successors' LiveIn.
+      for (uint32_t Succ : F.Blocks[Block].Succs)
+        Changed |= Result.LiveOut[Block].unionWith(Result.LiveIn[Succ]);
+      // LiveIn = Gen | (LiveOut - Kill).
+      Tmp = Result.LiveOut[Block];
+      Tmp.subtract(Kill[Block]);
+      Tmp.unionWith(Gen[Block]);
+      if (!(Tmp == Result.LiveIn[Block])) {
+        Result.LiveIn[Block] = Tmp;
+        Changed = true;
+      }
+    }
+  }
+  return Result;
+}
+
+unsigned Liveness::maxPressure(const Function &F) const {
+  unsigned Max = 0;
+  for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
+       ++B) {
+    Max = std::max(Max, static_cast<unsigned>(LiveIn[B].count()));
+    forEachInstBackward(F, B, [&](size_t, const BitVector &Live) {
+      Max = std::max(Max, static_cast<unsigned>(Live.count()));
+    });
+  }
+  return Max;
+}

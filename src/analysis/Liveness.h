@@ -1,0 +1,68 @@
+//===- analysis/Liveness.h - Live-variable analysis -------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Classic backward live-variable dataflow over the non-SSA IR. Live ranges
+/// in this code base are whole (virtual) registers, matching the
+/// Chaitin-style allocators of the paper; the optimal-spill pipeline splits
+/// ranges explicitly by inserting moves before re-running this analysis.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ANALYSIS_LIVENESS_H
+#define DRA_ANALYSIS_LIVENESS_H
+
+#include "adt/BitVector.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace dra {
+
+/// Per-block live-in/live-out sets, plus per-block def/use summaries.
+class Liveness {
+public:
+  /// Runs the fixpoint. \p F must have an up-to-date CFG
+  /// (Function::recomputeCFG()).
+  static Liveness compute(const Function &F);
+
+  const BitVector &liveIn(uint32_t Block) const { return LiveIn[Block]; }
+  const BitVector &liveOut(uint32_t Block) const { return LiveOut[Block]; }
+
+  /// Walks the instructions of \p Block backwards, invoking
+  /// \p Fn(InstIdx, LiveAfter) with the set of registers live immediately
+  /// *after* each instruction. The BitVector passed to \p Fn is reused
+  /// between calls; copy it if it must outlive the callback.
+  template <typename FnT>
+  void forEachInstBackward(const Function &F, uint32_t Block, FnT Fn) const {
+    BitVector Live = LiveOut[Block];
+    const BasicBlock &BB = F.Blocks[Block];
+    for (size_t Idx = BB.Insts.size(); Idx > 0; --Idx) {
+      const Instruction &I = BB.Insts[Idx - 1];
+      Fn(Idx - 1, static_cast<const BitVector &>(Live));
+      RegId Def = I.def();
+      if (Def != NoReg)
+        Live.reset(Def);
+      RegId Uses[2];
+      unsigned NumUses;
+      I.uses(Uses, NumUses);
+      for (unsigned U = 0; U != NumUses; ++U)
+        Live.set(Uses[U]);
+    }
+  }
+
+  /// Maximum number of simultaneously live registers at any program point
+  /// (taken immediately after each instruction and at block entries).
+  unsigned maxPressure(const Function &F) const;
+
+private:
+  std::vector<BitVector> LiveIn;
+  std::vector<BitVector> LiveOut;
+};
+
+} // namespace dra
+
+#endif // DRA_ANALYSIS_LIVENESS_H

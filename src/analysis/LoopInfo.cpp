@@ -1,0 +1,140 @@
+//===- analysis/LoopInfo.cpp - Dominators and natural loops ---------------===//
+
+#include "analysis/LoopInfo.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace dra;
+
+namespace {
+
+/// Reverse-postorder numbering of the reachable blocks.
+struct Rpo {
+  std::vector<uint32_t> Order;          // RPO sequence of block indices.
+  std::vector<uint32_t> Number;         // Block -> RPO position (or ~0u).
+
+  explicit Rpo(const Function &F) {
+    Number.assign(F.Blocks.size(), ~0u);
+    std::vector<uint8_t> State(F.Blocks.size(), 0); // 0=new 1=open 2=done
+    // Iterative post-order DFS.
+    std::vector<std::pair<uint32_t, size_t>> Stack;
+    std::vector<uint32_t> Post;
+    Stack.push_back({0, 0});
+    State[0] = 1;
+    while (!Stack.empty()) {
+      auto &[Block, NextSucc] = Stack.back();
+      const auto &Succs = F.Blocks[Block].Succs;
+      if (NextSucc < Succs.size()) {
+        uint32_t Succ = Succs[NextSucc++];
+        if (State[Succ] == 0) {
+          State[Succ] = 1;
+          Stack.push_back({Succ, 0});
+        }
+        continue;
+      }
+      State[Block] = 2;
+      Post.push_back(Block);
+      Stack.pop_back();
+    }
+    Order.assign(Post.rbegin(), Post.rend());
+    for (uint32_t I = 0, E = static_cast<uint32_t>(Order.size()); I != E; ++I)
+      Number[Order[I]] = I;
+  }
+};
+
+} // namespace
+
+LoopInfo LoopInfo::compute(const Function &F) {
+  LoopInfo LI;
+  size_t NumBlocks = F.Blocks.size();
+  LI.IDoms.assign(NumBlocks, NoBlock);
+  LI.Depths.assign(NumBlocks, 0);
+
+  Rpo Order(F);
+
+  // Cooper-Harvey-Kennedy iterative dominators over the reachable blocks.
+  auto Intersect = [&](uint32_t A, uint32_t B) {
+    while (A != B) {
+      while (Order.Number[A] > Order.Number[B])
+        A = LI.IDoms[A];
+      while (Order.Number[B] > Order.Number[A])
+        B = LI.IDoms[B];
+    }
+    return A;
+  };
+  LI.IDoms[0] = 0;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (uint32_t Block : Order.Order) {
+      if (Block == 0)
+        continue;
+      uint32_t NewIdom = NoBlock;
+      for (uint32_t Pred : F.Blocks[Block].Preds) {
+        if (Order.Number[Pred] == ~0u || LI.IDoms[Pred] == NoBlock)
+          continue; // Unreachable or not yet processed.
+        NewIdom = NewIdom == NoBlock ? Pred : Intersect(NewIdom, Pred);
+      }
+      if (NewIdom != NoBlock && LI.IDoms[Block] != NewIdom) {
+        LI.IDoms[Block] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+
+  // Natural loops: group back edges Tail -> Header (Header dominates Tail)
+  // by header so a loop with several latches counts once, then collect the
+  // union body by walking predecessors from every tail until the header;
+  // every body block's depth increases by one per distinct header.
+  std::vector<std::vector<uint32_t>> TailsOf(NumBlocks);
+  for (uint32_t Tail = 0; Tail != NumBlocks; ++Tail) {
+    if (Order.Number[Tail] == ~0u)
+      continue;
+    for (uint32_t Header : F.Blocks[Tail].Succs)
+      if (LI.dominates(Header, Tail))
+        TailsOf[Header].push_back(Tail);
+  }
+  for (uint32_t Header = 0; Header != NumBlocks; ++Header) {
+    if (TailsOf[Header].empty())
+      continue;
+    LI.Headers.push_back(Header);
+    std::vector<uint32_t> Work;
+    std::vector<uint8_t> InBody(NumBlocks, 0);
+    InBody[Header] = 1;
+    for (uint32_t Tail : TailsOf[Header]) {
+      if (!InBody[Tail]) {
+        InBody[Tail] = 1;
+        Work.push_back(Tail);
+      }
+    }
+    while (!Work.empty()) {
+      uint32_t Block = Work.back();
+      Work.pop_back();
+      for (uint32_t Pred : F.Blocks[Block].Preds) {
+        if (Order.Number[Pred] == ~0u || InBody[Pred])
+          continue;
+        InBody[Pred] = 1;
+        Work.push_back(Pred);
+      }
+    }
+    for (uint32_t Block = 0; Block != NumBlocks; ++Block)
+      if (InBody[Block])
+        ++LI.Depths[Block];
+  }
+  return LI;
+}
+
+bool LoopInfo::dominates(uint32_t A, uint32_t B) const {
+  if (IDoms[B] == NoBlock || IDoms[A] == NoBlock)
+    return false;
+  while (B != A && B != 0)
+    B = IDoms[B];
+  return B == A;
+}
+
+double LoopInfo::frequency(uint32_t Block) const {
+  // 10^depth, capped to avoid overflowing spill-cost accumulation.
+  unsigned D = std::min(Depths[Block], 6u);
+  return std::pow(10.0, static_cast<double>(D));
+}

@@ -1,0 +1,56 @@
+//===- analysis/LoopInfo.h - Dominators and natural loops -------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Iterative dominator computation and natural-loop detection. The only
+/// consumer-facing product is the loop-nesting depth of each block, which
+/// feeds the static execution-frequency estimate (the paper relies on
+/// "static weight estimation instead of profile information", Section 10.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ANALYSIS_LOOPINFO_H
+#define DRA_ANALYSIS_LOOPINFO_H
+
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace dra {
+
+/// Loop-nesting information for the blocks of one function.
+class LoopInfo {
+public:
+  /// Computes dominators and natural loops of \p F (CFG must be current).
+  /// Unreachable blocks get depth 0.
+  static LoopInfo compute(const Function &F);
+
+  /// Nesting depth of \p Block (0 = not in any loop).
+  unsigned depth(uint32_t Block) const { return Depths[Block]; }
+
+  /// Immediate dominator of \p Block (entry's idom is itself; unreachable
+  /// blocks report NoBlock).
+  uint32_t idom(uint32_t Block) const { return IDoms[Block]; }
+
+  /// True if \p A dominates \p B (reflexive).
+  bool dominates(uint32_t A, uint32_t B) const;
+
+  /// Static execution-frequency estimate for \p Block: 10^depth, capped.
+  /// Shared by spill costs and adjacency-graph edge weights.
+  double frequency(uint32_t Block) const;
+
+  /// Block indices that are loop headers.
+  const std::vector<uint32_t> &headers() const { return Headers; }
+
+private:
+  std::vector<uint32_t> IDoms;
+  std::vector<unsigned> Depths;
+  std::vector<uint32_t> Headers;
+};
+
+} // namespace dra
+
+#endif // DRA_ANALYSIS_LOOPINFO_H

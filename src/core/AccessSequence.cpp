@@ -1,0 +1,57 @@
+//===- core/AccessSequence.cpp - Register access sequences ----------------===//
+
+#include "core/AccessSequence.h"
+
+using namespace dra;
+
+std::vector<unsigned> dra::fieldOrder(const Instruction &I,
+                                      AccessOrder Order) {
+  unsigned NumFields = I.numRegFields();
+  std::vector<unsigned> Result;
+  Result.reserve(NumFields);
+  if (Order == AccessOrder::SrcFirst) {
+    for (unsigned Idx = 0; Idx != NumFields; ++Idx)
+      Result.push_back(Idx);
+    return Result;
+  }
+  // DstFirst: the def (canonical last field) first, then the uses.
+  if (NumFields != 0 && I.def() != NoReg) {
+    Result.push_back(NumFields - 1);
+    for (unsigned Idx = 0; Idx + 1 < NumFields; ++Idx)
+      Result.push_back(Idx);
+    return Result;
+  }
+  for (unsigned Idx = 0; Idx != NumFields; ++Idx)
+    Result.push_back(Idx);
+  return Result;
+}
+
+std::vector<Access> dra::blockAccessSequence(const Function &F,
+                                             uint32_t Block,
+                                             const EncodingConfig &C) {
+  std::vector<Access> Result;
+  const BasicBlock &BB = F.Blocks[Block];
+  for (uint32_t IIdx = 0, E = static_cast<uint32_t>(BB.Insts.size());
+       IIdx != E; ++IIdx) {
+    const Instruction &I = BB.Insts[IIdx];
+    std::vector<unsigned> Fields = fieldOrder(I, C.Order);
+    for (uint8_t Pos = 0; Pos != Fields.size(); ++Pos) {
+      RegId R = I.regField(Fields[Pos]);
+      if (C.isSpecial(R))
+        continue;
+      Result.push_back({R, Block, IIdx, Pos});
+    }
+  }
+  return Result;
+}
+
+std::vector<Access> dra::accessSequence(const Function &F,
+                                        const EncodingConfig &C) {
+  std::vector<Access> Result;
+  for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
+       ++B) {
+    std::vector<Access> BlockSeq = blockAccessSequence(F, B, C);
+    Result.insert(Result.end(), BlockSeq.begin(), BlockSeq.end());
+  }
+  return Result;
+}

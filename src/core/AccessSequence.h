@@ -1,0 +1,55 @@
+//===- core/AccessSequence.h - Register access sequences --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Extraction of the *register access sequence* (Section 2): the registers
+/// a function touches, in instruction order and, within an instruction, in
+/// the nominal access order. Special registers are excluded — they carry
+/// reserved direct codes and do not participate in the differential chain
+/// (Section 9.2). SetLastReg pseudo instructions contribute nothing (their
+/// payload is an immediate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_ACCESSSEQUENCE_H
+#define DRA_CORE_ACCESSSEQUENCE_H
+
+#include "core/EncodingConfig.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace dra {
+
+/// One element of the access sequence.
+struct Access {
+  RegId Reg;
+  uint32_t Block;
+  uint32_t InstIdx;
+  /// Position of this register field within its instruction, counted in
+  /// the configured access order (0-based).
+  uint8_t FieldIdx;
+};
+
+/// Returns the register fields of \p I in the order dictated by
+/// \p Order. The result holds indices into the instruction's canonical
+/// field numbering (Instruction::regField), which always lists uses before
+/// the def.
+std::vector<unsigned> fieldOrder(const Instruction &I, AccessOrder Order);
+
+/// Builds the access sequence of block \p Block of \p F: every non-special
+/// register field, in instruction order and configured field order.
+std::vector<Access> blockAccessSequence(const Function &F, uint32_t Block,
+                                        const EncodingConfig &C);
+
+/// Builds the whole-function access sequence in layout order (the order the
+/// encoder walks blocks).
+std::vector<Access> accessSequence(const Function &F,
+                                   const EncodingConfig &C);
+
+} // namespace dra
+
+#endif // DRA_CORE_ACCESSSEQUENCE_H

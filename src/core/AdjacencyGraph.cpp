@@ -1,0 +1,120 @@
+//===- core/AdjacencyGraph.cpp - Access-adjacency graphs ------------------===//
+
+#include "core/AdjacencyGraph.h"
+
+#include "analysis/LoopInfo.h"
+
+using namespace dra;
+
+void AdjacencyGraph::addWeight(RegId From, RegId To, double W) {
+  if (From == To || W == 0)
+    return;
+  assert(From < NumNodes && To < NumNodes && "node out of range");
+  auto [It, Inserted] = Weights.try_emplace(key(From, To), 0.0);
+  It->second += W;
+  if (Inserted) {
+    OutNbrs[From].push_back(To);
+    InNbrs[To].push_back(From);
+  }
+}
+
+double AdjacencyGraph::weight(RegId From, RegId To) const {
+  auto It = Weights.find(key(From, To));
+  return It == Weights.end() ? 0.0 : It->second;
+}
+
+double AdjacencyGraph::totalWeight() const {
+  double Total = 0;
+  for (const auto &[Key, W] : Weights)
+    Total += W;
+  return Total;
+}
+
+double AdjacencyGraph::cost(const std::vector<RegId> &RegNoOf,
+                            const EncodingConfig &C) const {
+  assert(RegNoOf.size() >= NumNodes && "assignment too small");
+  double Total = 0;
+  for (const auto &[Key, W] : Weights) {
+    RegId From = static_cast<RegId>(Key >> 32);
+    RegId To = static_cast<RegId>(Key & 0xffffffff);
+    RegId FromNo = RegNoOf[From], ToNo = RegNoOf[To];
+    if (FromNo == NoReg || ToNo == NoReg)
+      continue;
+    if (FromNo != ToNo && !C.encodable(FromNo, ToNo))
+      Total += W;
+  }
+  return Total;
+}
+
+double AdjacencyGraph::identityCost(const EncodingConfig &C) const {
+  std::vector<RegId> Identity(NumNodes);
+  for (RegId N = 0; N != NumNodes; ++N)
+    Identity[N] = N;
+  return cost(Identity, C);
+}
+
+void AdjacencyGraph::mergeInto(RegId From, RegId To) {
+  assert(From != To && From < NumNodes && To < NumNodes && "bad merge");
+  for (RegId X : OutNbrs[From]) {
+    auto It = Weights.find(key(From, X));
+    if (It == Weights.end())
+      continue;
+    double W = It->second;
+    Weights.erase(It);
+    if (X != To)
+      addWeight(To, X, W);
+  }
+  for (RegId X : InNbrs[From]) {
+    auto It = Weights.find(key(X, From));
+    if (It == Weights.end())
+      continue;
+    double W = It->second;
+    Weights.erase(It);
+    if (X != To)
+      addWeight(X, To, W);
+  }
+  OutNbrs[From].clear();
+  InNbrs[From].clear();
+}
+
+AdjacencyGraph AdjacencyGraph::build(const Function &F,
+                                     const EncodingConfig &C,
+                                     WeightMode Mode) {
+  AdjacencyGraph G(F.NumRegs);
+  LoopInfo LI = Mode == WeightMode::Frequency ? LoopInfo::compute(F)
+                                              : LoopInfo();
+
+  // Per-block sequences plus first/last accessed register for the
+  // cross-block edges.
+  size_t NumBlocks = F.Blocks.size();
+  std::vector<RegId> FirstReg(NumBlocks, NoReg), LastReg(NumBlocks, NoReg);
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    std::vector<Access> Seq = blockAccessSequence(F, B, C);
+    double Freq = Mode == WeightMode::Frequency ? LI.frequency(B) : 1.0;
+    for (size_t I = 1; I < Seq.size(); ++I)
+      G.addWeight(Seq[I - 1].Reg, Seq[I].Reg, Freq);
+    if (!Seq.empty()) {
+      FirstReg[B] = Seq.front().Reg;
+      LastReg[B] = Seq.back().Reg;
+    }
+  }
+
+  // Cross-block edges: last access of each predecessor -> first access of
+  // the block, weight divided by the predecessor count (one set_last_reg
+  // at the block head repairs every incoming edge). Blocks without
+  // accesses forward their own entry state; we approximate by skipping
+  // them (they contribute no transition of their own).
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    if (FirstReg[B] == NoReg || F.Blocks[B].Preds.empty())
+      continue;
+    double Share = 1.0 / static_cast<double>(F.Blocks[B].Preds.size());
+    double Freq = Mode == WeightMode::Frequency ? LI.frequency(B) : 1.0;
+    for (uint32_t Pred : F.Blocks[B].Preds) {
+      RegId PredLast = LastReg[Pred];
+      if (PredLast == NoReg)
+        continue;
+      G.addWeight(PredLast, FirstReg[B], Share * Freq);
+    }
+  }
+  return G;
+}

@@ -1,0 +1,122 @@
+//===- core/AdjacencyGraph.h - Access-adjacency graphs ----------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The adjacency graph of Definition 2: a directed weighted graph whose
+/// nodes are live ranges (or, post-allocation, registers) and where an edge
+/// vi -> vj with weight w means vj immediately follows vi in the access
+/// sequence w times. Self edges are omitted (a zero difference is always
+/// encodable). Cross-block adjacencies — from the last access of a
+/// predecessor to the first access of a block — contribute weight divided
+/// by the number of predecessors, because at most one set_last_reg repairs
+/// all of a block's incoming edges (Section 4).
+///
+/// The differential-encoding cost of a register assignment is the sum of
+/// edge weights violating condition (3):
+///     0 <= (reg_no(vj) - reg_no(vi)) mod RegN < DiffN.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_ADJACENCYGRAPH_H
+#define DRA_CORE_ADJACENCYGRAPH_H
+
+#include "core/AccessSequence.h"
+#include "core/EncodingConfig.h"
+#include "ir/Function.h"
+
+#include <unordered_map>
+#include <vector>
+
+namespace dra {
+
+/// How edge weights are accumulated.
+enum class WeightMode : uint8_t {
+  /// One unit per occurrence — predicts the *static* number of
+  /// set_last_reg instructions (the paper's evaluation metric).
+  Static,
+  /// Occurrences scaled by the block's static execution-frequency estimate
+  /// (10^loop-depth) — available for profile-style cost estimation.
+  Frequency,
+};
+
+/// Directed weighted adjacency graph over register/live-range ids.
+class AdjacencyGraph {
+public:
+  explicit AdjacencyGraph(uint32_t NumNodes = 0) { reset(NumNodes); }
+
+  /// Builds the graph for \p F. Nodes are F's register ids (virtual
+  /// registers before allocation, physical numbers after), so the same
+  /// routine serves differential select (live ranges) and differential
+  /// remapping (registers).
+  static AdjacencyGraph build(const Function &F, const EncodingConfig &C,
+                              WeightMode Mode = WeightMode::Static);
+
+  void reset(uint32_t NewNumNodes) {
+    NumNodes = NewNumNodes;
+    Weights.clear();
+    OutNbrs.assign(NumNodes, {});
+    InNbrs.assign(NumNodes, {});
+  }
+
+  uint32_t numNodes() const { return NumNodes; }
+
+  /// Adds \p W to edge From -> To. Self edges are ignored.
+  void addWeight(RegId From, RegId To, double W);
+
+  /// Weight of edge From -> To (0 when absent).
+  double weight(RegId From, RegId To) const;
+
+  /// Invokes \p Fn(To, Weight) for every outgoing edge of \p N.
+  template <typename FnT> void forEachOut(RegId N, FnT Fn) const {
+    for (RegId To : OutNbrs[N]) {
+      auto It = Weights.find(key(N, To));
+      if (It != Weights.end())
+        Fn(To, It->second);
+    }
+  }
+
+  /// Invokes \p Fn(From, Weight) for every incoming edge of \p N.
+  template <typename FnT> void forEachIn(RegId N, FnT Fn) const {
+    for (RegId From : InNbrs[N]) {
+      auto It = Weights.find(key(From, N));
+      if (It != Weights.end())
+        Fn(From, It->second);
+    }
+  }
+
+  /// Sum of all edge weights.
+  double totalWeight() const;
+
+  /// Differential cost of the assignment \p RegNoOf (node -> register
+  /// number): sum of weights of edges violating condition (3). Edges with
+  /// either endpoint mapped to NoReg are skipped (not yet assigned).
+  double cost(const std::vector<RegId> &RegNoOf,
+              const EncodingConfig &C) const;
+
+  /// Cost of the identity assignment (node id == register number); only
+  /// meaningful for post-allocation graphs where nodes are registers.
+  double identityCost(const EncodingConfig &C) const;
+
+  /// Merges node \p From into node \p To: From's in/out edges are re-aimed
+  /// at To (dropping resulting self edges). Used by differential coalesce.
+  void mergeInto(RegId From, RegId To);
+
+private:
+  uint32_t NumNodes = 0;
+  std::unordered_map<uint64_t, double> Weights;
+  /// Neighbor id lists (deduplicated on insertion; entries whose edge was
+  /// removed by mergeInto are skipped via the Weights lookup).
+  std::vector<std::vector<RegId>> OutNbrs;
+  std::vector<std::vector<RegId>> InNbrs;
+
+  static uint64_t key(RegId From, RegId To) {
+    return (static_cast<uint64_t>(From) << 32) | To;
+  }
+};
+
+} // namespace dra
+
+#endif // DRA_CORE_ADJACENCYGRAPH_H

@@ -1,0 +1,68 @@
+//===- core/DecodeModel.h - Hardware decode model (S2.1) --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 2.1 of the paper argues the decode hardware is cheap: operands
+/// can be decoded *in parallel* by rewriting the sequential recurrence
+///
+///     n_k = (n_{k-1} + d_k) mod RegN
+/// as
+///     n_k = (last_reg + d_1 + ... + d_k) mod RegN,
+///
+/// one modulo adder per operand (wider inputs for later operands). This
+/// module implements both forms — the functional equivalence is a unit
+/// test — plus the paper's back-of-envelope hardware cost model (adder
+/// input widths, two-level combinational logic size).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_DECODEMODEL_H
+#define DRA_CORE_DECODEMODEL_H
+
+#include "core/EncodingConfig.h"
+
+#include <vector>
+
+namespace dra {
+
+/// Sequential reference decoder: applies Equation (2) field by field.
+/// Special codes (>= DiffN) resolve to SpecialRegs and do not advance the
+/// running state.
+std::vector<RegId> sequentialDecodeFields(RegId LastReg,
+                                          const std::vector<uint8_t> &Codes,
+                                          const EncodingConfig &C);
+
+/// Parallel decoder: each operand k is computed independently as
+/// (last_reg + sum of the first k non-special codes) mod RegN — the
+/// hardware structure of Section 2.1. Produces bit-identical results to
+/// the sequential decoder.
+std::vector<RegId> parallelDecodeFields(RegId LastReg,
+                                        const std::vector<uint8_t> &Codes,
+                                        const EncodingConfig &C);
+
+/// The paper's hardware cost estimate for the parallel decoder.
+struct DecodeHardwareCost {
+  /// One modulo adder per simultaneously-decoded operand.
+  unsigned ModuloAdders = 0;
+  /// Input bits of the widest adder (operand k sums k DiffW-bit codes
+  /// plus the RegW-bit last_reg).
+  unsigned WidestAdderInputBits = 0;
+  /// Output bits (RegW) of every adder.
+  unsigned AdderOutputBits = 0;
+  /// Rough two-level-logic transistor estimate: the paper quotes "less
+  /// than 2k transistors" for the 3-operand, 16-register case; we use
+  /// 4 transistors per input-output bit pair product as a crude upper
+  /// bound of the same order.
+  unsigned long TransistorEstimate = 0;
+};
+
+/// Cost of decoding up to \p MaxOperands operands per cycle under \p C.
+DecodeHardwareCost estimateDecodeHardware(const EncodingConfig &C,
+                                          unsigned MaxOperands = 3);
+
+} // namespace dra
+
+#endif // DRA_CORE_DECODEMODEL_H

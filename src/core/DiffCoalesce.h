@@ -1,0 +1,72 @@
+//===- core/DiffCoalesce.h - Differential coalesce (approach 3) -*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Approach 3 of the paper (Section 7, Figure 9): on top of the
+/// optimal-spill allocator, the coalesce stage is driven by the combined
+/// cost of move instructions *and* set_last_reg instructions. Each step
+/// tentatively coalesces every remaining move candidate, calls the
+/// rebuild&simplify + differential-select subroutine to obtain the
+/// resulting coloring cost (or "uncolorable"), undoes the attempt, and
+/// finally commits the candidate with the maximal cost reduction. The
+/// driver then colors the merged graph with differential select and
+/// rewrites the function; if the optimistic coloring fails (pressure <= K
+/// does not guarantee colorability), the cheapest failing node is spilled
+/// and the driver restarts — these extra spills are reported.
+///
+/// With DiffAware = false the same machinery reproduces a conventional
+/// aggressive coalescer (move cost only, undo on uncolorable), which is the
+/// "O-spill" arm of the paper's evaluation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_DIFFCOALESCE_H
+#define DRA_CORE_DIFFCOALESCE_H
+
+#include "core/EncodingConfig.h"
+#include "ir/Function.h"
+
+namespace dra {
+
+/// Knobs for the coalesce/color driver.
+struct CoalesceOptions {
+  /// Include differential-encoding cost in the coalescing objective and
+  /// color with differential select.
+  bool DiffAware = true;
+  /// Evaluate at most this many candidates per step (highest move weight
+  /// first); bounds the O(moves^2) loop on move-heavy functions.
+  unsigned MaxCandidatesPerStep = 32;
+  /// Upper bound on committed coalescences (safety valve).
+  unsigned MaxSteps = 256;
+};
+
+/// Outcome of coalesceAndColor.
+struct CoalesceResult {
+  /// Moves whose endpoints were merged (instruction deleted).
+  size_t MovesCoalesced = 0;
+  /// Moves remaining in the final code.
+  size_t MovesRemaining = 0;
+  /// Ranges spilled because the optimistic coloring failed.
+  size_t ExtraSpilledRanges = 0;
+  /// Differential cost of the final assignment on the live-range adjacency
+  /// graph (0 when !DiffAware? — still reported for comparison).
+  double FinalAdjCost = 0;
+  /// Coalescence steps committed.
+  unsigned Steps = 0;
+  /// False if coloring kept failing beyond the retry limit.
+  bool Success = true;
+};
+
+/// Coalesces moves and colors \p F onto K = C.RegN registers, mutating it
+/// in place (register operands become physical numbers < C.RegN, identity
+/// moves are deleted, F.NumRegs becomes C.RegN). The function must already
+/// satisfy max-pressure <= C.RegN - small slack (run optimalSpill first).
+CoalesceResult coalesceAndColor(Function &F, const EncodingConfig &C,
+                                const CoalesceOptions &O = {});
+
+} // namespace dra
+
+#endif // DRA_CORE_DIFFCOALESCE_H

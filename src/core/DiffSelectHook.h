@@ -1,0 +1,56 @@
+//===- core/DiffSelectHook.h - Differential select (approach 2) -*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Approach 2 of the paper (Section 6, Figure 8): the select stage of the
+/// graph-coloring allocator consults the live-range adjacency graph and,
+/// among the colors legal on the interference graph, picks the one with
+/// the minimal differential-encoding cost against the neighbors already
+/// colored. Implemented as a SelectHook for the iterated-register-
+/// coalescing allocator (and reused by the differential-coalesce driver).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_DIFFSELECTHOOK_H
+#define DRA_CORE_DIFFSELECTHOOK_H
+
+#include "core/AdjacencyGraph.h"
+#include "core/EncodingConfig.h"
+#include "regalloc/SelectHook.h"
+
+namespace dra {
+
+/// Cost of giving register number \p Color to the node whose coalesced
+/// members are \p Members, judged against the adjacency graph \p G:
+/// the weight of adjacency edges between a member and an already-colored
+/// non-member that would violate condition (3). \p ColorOfVReg resolves a
+/// vreg to its color or -1.
+double selectCost(const AdjacencyGraph &G, const EncodingConfig &C,
+                  const std::vector<RegId> &Members, unsigned Color,
+                  const std::function<int(RegId)> &ColorOfVReg);
+
+/// The differential select strategy.
+class DiffSelectHook : public SelectHook {
+public:
+  explicit DiffSelectHook(EncodingConfig Config) : Config(Config) {}
+
+  /// Rebuilds the live-range adjacency graph for \p F.
+  void beginFunction(const Function &F) override;
+
+  /// Picks the legal color with minimal differential cost (ties broken
+  /// toward the lowest color, matching the default allocator).
+  unsigned choose(const SelectContext &Ctx) override;
+
+  const AdjacencyGraph &adjacency() const { return Adjacency; }
+
+private:
+  EncodingConfig Config;
+  AdjacencyGraph Adjacency;
+};
+
+} // namespace dra
+
+#endif // DRA_CORE_DIFFSELECTHOOK_H

@@ -1,0 +1,125 @@
+//===- core/EncodingConfig.h - Differential encoding parameters -*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameters of the differential register encoding scheme (Section 2 of
+/// the paper): how many architected registers exist (RegN), how many
+/// distinct differences the register field can express (DiffN), the field
+/// width in bits (DiffW), which registers are special-purpose (reserved
+/// direct codes, Section 9.2), and the nominal register access order.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_ENCODINGCONFIG_H
+#define DRA_CORE_ENCODINGCONFIG_H
+
+#include "ir/Instruction.h"
+
+#include <cassert>
+#include <vector>
+
+namespace dra {
+
+/// The nominal register access order within one instruction (Section 2).
+/// Both the encoder and the decoder must agree on it. SrcFirst is the
+/// paper's running example (src1, src2, dst); DstFirst is the Section 9.4
+/// alternative (dst, src1, src2) used by the access-order ablation.
+enum class AccessOrder : uint8_t { SrcFirst, DstFirst };
+
+/// Parameters of one register class's differential encoding.
+struct EncodingConfig {
+  /// Architected registers addressable by the scheme.
+  unsigned RegN = 12;
+  /// Distinct differences representable in a register field (excludes any
+  /// codes reserved for special registers).
+  unsigned DiffN = 8;
+  /// Width of the register field in bits.
+  unsigned DiffW = 3;
+  /// Special-purpose registers (stack pointer etc.). They receive reserved
+  /// direct codes DiffN, DiffN+1, ... and neither consume difference codes
+  /// nor update last_reg (Section 9.2). Must be register numbers < RegN.
+  std::vector<RegId> SpecialRegs;
+  /// Nominal access order.
+  AccessOrder Order = AccessOrder::SrcFirst;
+
+  /// True if \p R is one of the special registers.
+  bool isSpecial(RegId R) const {
+    for (RegId S : SpecialRegs)
+      if (S == R)
+        return true;
+    return false;
+  }
+
+  /// Reserved direct code for special register \p R (its index plus DiffN).
+  unsigned specialCode(RegId R) const {
+    for (unsigned I = 0; I != SpecialRegs.size(); ++I)
+      if (SpecialRegs[I] == R)
+        return DiffN + I;
+    assert(false && "not a special register");
+    return 0;
+  }
+
+  /// Structural sanity: all codes fit into DiffW bits, differences make
+  /// sense, specials are in range.
+  bool valid() const {
+    if (DiffN == 0 || RegN == 0 || DiffW == 0 || DiffW > 16)
+      return false;
+    if (DiffN + SpecialRegs.size() > (1u << DiffW))
+      return false;
+    if (DiffN > RegN)
+      return false;
+    for (RegId S : SpecialRegs)
+      if (S >= RegN)
+        return false;
+    return true;
+  }
+
+  /// The modular difference the field must encode for a transition from
+  /// register \p Prev to register \p Next (Equation (1)).
+  unsigned diffOf(RegId Prev, RegId Next) const {
+    assert(Prev < RegN && Next < RegN && "register out of range");
+    return (Next + RegN - Prev) % RegN;
+  }
+
+  /// Condition (3): can a Prev -> Next transition be encoded without a
+  /// set_last_reg?
+  bool encodable(RegId Prev, RegId Next) const {
+    return diffOf(Prev, Next) < DiffN;
+  }
+
+  /// Field width a direct encoding would need for RegN registers
+  /// (RegW = ceil(log2 RegN)).
+  unsigned directWidth() const {
+    unsigned W = 0;
+    while ((1u << W) < RegN)
+      ++W;
+    return W;
+  }
+};
+
+/// The paper's low-end configuration (Section 10.1): 3-bit fields, 8
+/// differences, RegN architected registers (12 in Figures 11-14).
+inline EncodingConfig lowEndConfig(unsigned RegN = 12) {
+  EncodingConfig C;
+  C.RegN = RegN;
+  C.DiffN = 8;
+  C.DiffW = 3;
+  return C;
+}
+
+/// The paper's high-end/VLIW configuration (Section 10.2): 5-bit fields,
+/// DiffN = 32, RegN in {32, 40, 48, 56, 64}.
+inline EncodingConfig vliwConfig(unsigned RegN) {
+  EncodingConfig C;
+  C.RegN = RegN;
+  C.DiffN = 32;
+  C.DiffW = 5;
+  return C;
+}
+
+} // namespace dra
+
+#endif // DRA_CORE_ENCODINGCONFIG_H

@@ -1,0 +1,83 @@
+//===- core/OperandSwap.cpp - Commutative operand swapping ----------------===//
+
+#include "core/OperandSwap.h"
+
+#include "core/AccessSequence.h"
+#include "core/Encoder.h"
+
+using namespace dra;
+
+bool dra::isCommutative(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Mul:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+namespace {
+
+/// Violations in the access chain Prev -> Regs[0] -> Regs[1] -> ...,
+/// skipping special registers (they neither consume nor update last_reg)
+/// and skipping the leading edge when Prev is unknown (NoReg).
+unsigned chainViolations(const EncodingConfig &C, RegId Prev,
+                         const RegId *Regs, unsigned Count) {
+  unsigned Violations = 0;
+  RegId Last = Prev;
+  for (unsigned I = 0; I != Count; ++I) {
+    RegId R = Regs[I];
+    if (C.isSpecial(R))
+      continue;
+    if (Last != NoReg && Last != R && !C.encodable(Last, R))
+      ++Violations;
+    Last = R;
+  }
+  return Violations;
+}
+
+} // namespace
+
+size_t dra::swapCommutativeOperands(Function &F, const EncodingConfig &C) {
+  if (C.Order != AccessOrder::SrcFirst)
+    return 0;
+  size_t Swapped = 0;
+  std::vector<std::optional<RegId>> Entry = decodeEntryStates(F, C);
+  for (uint32_t Blk = 0; Blk != F.Blocks.size(); ++Blk) {
+    BasicBlock &BB = F.Blocks[Blk];
+    // Seed with the encoder's entry state: transitions at the block head
+    // are then evaluated exactly as the encoder will see them. Blocks the
+    // encoder repairs with a head set_last_reg start unknown (the repair
+    // targets the first access, so the leading edge is free either way).
+    RegId Last = Entry[Blk] ? *Entry[Blk] : NoReg;
+    for (Instruction &I : BB.Insts) {
+      if (I.Op == Opcode::SetLastReg) {
+        Last = static_cast<RegId>(I.Imm);
+        continue;
+      }
+      if (isCommutative(I.Op) && I.Src1 != I.Src2) {
+        RegId Straight[3] = {I.Src1, I.Src2, I.Dst};
+        RegId SwappedOrder[3] = {I.Src2, I.Src1, I.Dst};
+        unsigned CostStraight = chainViolations(C, Last, Straight, 3);
+        unsigned CostSwapped = chainViolations(C, Last, SwappedOrder, 3);
+        if (CostSwapped < CostStraight) {
+          std::swap(I.Src1, I.Src2);
+          ++Swapped;
+        }
+      }
+      // Advance Last over this instruction's fields.
+      for (unsigned Field = 0; Field != I.numRegFields(); ++Field) {
+        RegId R = I.regField(Field);
+        if (!C.isSpecial(R))
+          Last = R;
+      }
+    }
+  }
+  return Swapped;
+}

@@ -1,0 +1,42 @@
+//===- core/OperandSwap.h - Commutative operand swapping --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Section 9.4 observes that "the access order can be more flexible" and
+/// that a flexible order "may incur less cost". The cheapest instance of
+/// that idea: for a commutative instruction `d = a op b`, swapping the
+/// source operands replaces the transitions prev->a, a->b, b->d with
+/// prev->b, b->a, a->d. Because condition (3) is asymmetric, a violated
+/// a->b (difference in [DiffN, RegN)) always yields an encodable b->a when
+/// RegN - DiffN <= DiffN, so swapping removes many out-of-range repairs
+/// outright. The decision is purely local (the neighboring transitions
+/// into and out of the instruction keep their endpoints), so one pass is
+/// optimal per instruction.
+///
+/// Runs on an allocated function, after remapping and before encoding.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_OPERANDSWAP_H
+#define DRA_CORE_OPERANDSWAP_H
+
+#include "core/EncodingConfig.h"
+#include "ir/Function.h"
+
+namespace dra {
+
+/// True if `a op b == b op a` for the opcode.
+bool isCommutative(Opcode Op);
+
+/// Swaps the source operands of commutative instructions wherever that
+/// strictly reduces the number of violated transitions. Returns the number
+/// of instructions swapped. Only meaningful for AccessOrder::SrcFirst (the
+/// pass is a no-op for other orders).
+size_t swapCommutativeOperands(Function &F, const EncodingConfig &C);
+
+} // namespace dra
+
+#endif // DRA_CORE_OPERANDSWAP_H

@@ -1,0 +1,156 @@
+//===- core/Pipeline.cpp - End-to-end allocation pipelines ----------------===//
+
+#include "core/Pipeline.h"
+
+#include "analysis/LoopInfo.h"
+#include "core/DiffSelectHook.h"
+#include "core/OperandSwap.h"
+
+using namespace dra;
+
+const char *dra::schemeName(Scheme S) {
+  switch (S) {
+  case Scheme::Baseline:
+    return "baseline";
+  case Scheme::OSpill:
+    return "O-spill";
+  case Scheme::Remap:
+    return "remapping";
+  case Scheme::Select:
+    return "select";
+  case Scheme::Coalesce:
+    return "coalesce";
+  }
+  assert(false && "unknown scheme");
+  return "<bad>";
+}
+
+namespace {
+
+/// Fills the final static counts of \p R from R.F.
+void finalizeCounts(PipelineResult &R) {
+  R.NumInsts = R.F.numInsts();
+  R.SpillInsts = R.F.numSpillInsts();
+  R.SetLastRegs = R.F.numSetLastRegs();
+  R.CodeBytes = codeSizeBytes(R.F);
+}
+
+/// Direct-encoding stand-in configuration for the coalesce driver when it
+/// runs in the non-differential (O-spill) arm: every difference is
+/// representable, so no encoding cost exists.
+EncodingConfig directConfig(unsigned K) {
+  EncodingConfig C;
+  C.RegN = K;
+  C.DiffN = K;
+  unsigned W = 0;
+  while ((1u << W) < K)
+    ++W;
+  C.DiffW = std::max(1u, W);
+  return C;
+}
+
+/// Frequency-weighted count of instructions satisfying \p Pred — the
+/// static benefit/cost estimate the adaptive mode compares (Section 8.2).
+template <typename PredT>
+double weightedCount(const Function &F, PredT Pred) {
+  Function Copy = F;
+  Copy.recomputeCFG();
+  LoopInfo LI = LoopInfo::compute(Copy);
+  double Total = 0;
+  for (uint32_t B = 0, E = static_cast<uint32_t>(Copy.Blocks.size()); B != E;
+       ++B)
+    for (const Instruction &I : Copy.Blocks[B].Insts)
+      if (Pred(I))
+        Total += LI.frequency(B);
+  return Total;
+}
+
+PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
+  PipelineResult R;
+  R.F = Src;
+
+  switch (C.S) {
+  case Scheme::Baseline: {
+    R.Alloc = allocateGraphColoring(R.F, C.BaselineK);
+    break;
+  }
+  case Scheme::OSpill: {
+    R.OSpill = optimalSpill(R.F, C.BaselineK, C.ILPNodeBudget);
+    CoalesceOptions CO = C.Coalesce;
+    CO.DiffAware = false;
+    R.Coalesce = coalesceAndColor(R.F, directConfig(C.BaselineK), CO);
+    break;
+  }
+  case Scheme::Remap: {
+    R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN);
+    R.Remap = remapFunction(R.F, C.Enc, C.Remap);
+    R.DiffEncoded = true;
+    break;
+  }
+  case Scheme::Select: {
+    DiffSelectHook Hook(C.Enc);
+    std::vector<RegId> ColorOf;
+    R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN, &Hook,
+                                    /*MaxIterations=*/60, &ColorOf);
+    // Refine the select-stage assignment at live-range granularity before
+    // rewriting (see core/Recolor.h), then run the register-level
+    // remapping post-pass of Section 3.
+    R.Recolor = recolorColoring(R.F, C.Enc, ColorOf);
+    rewriteToPhysical(R.F, ColorOf, C.Enc.RegN, &R.Alloc.MovesRemoved);
+    R.F.NumRegs = C.Enc.RegN;
+    if (C.RemapPostPass)
+      R.Remap = remapFunction(R.F, C.Enc, C.Remap);
+    R.DiffEncoded = true;
+    break;
+  }
+  case Scheme::Coalesce: {
+    R.OSpill = optimalSpill(R.F, C.Enc.RegN, C.ILPNodeBudget);
+    CoalesceOptions CO = C.Coalesce;
+    CO.DiffAware = true;
+    R.Coalesce = coalesceAndColor(R.F, C.Enc, CO);
+    if (C.RemapPostPass)
+      R.Remap = remapFunction(R.F, C.Enc, C.Remap);
+    R.DiffEncoded = true;
+    break;
+  }
+  }
+
+  if (R.DiffEncoded) {
+    // Section 9.4 access-order flexibility: commutative operand swapping
+    // removes out-of-range transitions the assignment could not avoid.
+    swapCommutativeOperands(R.F, C.Enc);
+    EncodedFunction Encoded = encodeFunction(R.F, C.Enc);
+    R.Enc = Encoded.Stats;
+    R.F = std::move(Encoded.Annotated);
+  }
+  finalizeCounts(R);
+  return R;
+}
+
+} // namespace
+
+PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
+  PipelineResult R = runOnce(Src, C);
+  if (!C.AdaptiveEnable || C.S == Scheme::Baseline || C.S == Scheme::OSpill)
+    return R;
+
+  // Section 8.2: compare the frequency-weighted dynamic estimate of the
+  // differential scheme (spills saved) against its set_last_reg overhead;
+  // fall back to the baseline when the encoding does not pay off.
+  PipelineConfig BaseCfg = C;
+  BaseCfg.S = Scheme::Baseline;
+  BaseCfg.AdaptiveEnable = false;
+  PipelineResult Base = runOnce(Src, BaseCfg);
+
+  auto IsSpill = [](const Instruction &I) { return I.isSpill(); };
+  auto IsSlr = [](const Instruction &I) {
+    return I.Op == Opcode::SetLastReg;
+  };
+  double Benefit = weightedCount(Base.F, IsSpill) -
+                   weightedCount(R.F, IsSpill) -
+                   weightedCount(R.F, IsSlr);
+  if (Benefit >= 0)
+    return R;
+  Base.AdaptiveFellBack = true;
+  return Base;
+}

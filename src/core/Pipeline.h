@@ -1,0 +1,111 @@
+//===- core/Pipeline.h - End-to-end allocation pipelines --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five pipelines of the paper's low-end evaluation (Section 10.1),
+/// exposed behind one facade:
+///
+///  * Baseline  — iterated register coalescing with K = BaselineK (8)
+///                registers, direct encoding.
+///  * OSpill    — optimal-spill allocator with K = BaselineK registers,
+///                aggressive (move-cost-only) coalescing, direct encoding.
+///  * Remap     — iterated register coalescing with RegN (12) registers,
+///                then differential remapping, then encoding.
+///  * Select    — iterated register coalescing with RegN registers and the
+///                differential select stage, then remapping + encoding.
+///  * Coalesce  — optimal spilling with RegN registers, differential
+///                coalesce + differential select, remapping + encoding.
+///
+/// The differential schemes keep the instruction width of the baseline
+/// (DiffW bits per register field) while addressing RegN > 2^DiffW
+/// registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_PIPELINE_H
+#define DRA_CORE_PIPELINE_H
+
+#include "core/DiffCoalesce.h"
+#include "core/Encoder.h"
+#include "core/EncodingConfig.h"
+#include "core/OptimalSpill.h"
+#include "core/Recolor.h"
+#include "core/Remap.h"
+#include "ir/Function.h"
+#include "regalloc/GraphColoring.h"
+
+namespace dra {
+
+/// Which pipeline to run.
+enum class Scheme : uint8_t { Baseline, OSpill, Remap, Select, Coalesce };
+
+/// Returns the paper's name for \p S.
+const char *schemeName(Scheme S);
+
+/// Pipeline parameters.
+struct PipelineConfig {
+  Scheme S = Scheme::Baseline;
+  /// Architected registers of the unmodified ISA (Baseline / OSpill).
+  unsigned BaselineK = 8;
+  /// Differential-encoding parameters for the Remap/Select/Coalesce
+  /// schemes (RegN registers addressable through DiffW-bit fields).
+  EncodingConfig Enc = lowEndConfig(12);
+  /// Options for the remapping post-pass.
+  RemapOptions Remap;
+  /// Run remapping after Select/Coalesce as well (Section 3: "differential
+  /// remapping can always be invoked after approach 2 or 3").
+  bool RemapPostPass = true;
+  /// Section 8.2: enable differential encoding only when the statically
+  /// estimated benefit (frequency-weighted spills saved) exceeds the
+  /// estimated set_last_reg overhead; otherwise fall back to Baseline.
+  bool AdaptiveEnable = false;
+  /// Coalesce-driver knobs (Coalesce/OSpill schemes).
+  CoalesceOptions Coalesce;
+  /// ILP node budget (OSpill/Coalesce schemes).
+  uint64_t ILPNodeBudget = 20000;
+};
+
+/// Everything the benchmarks need to know about one pipeline run.
+struct PipelineResult {
+  /// The final machine code: allocated, and for differential schemes
+  /// annotated with set_last_reg instructions.
+  Function F;
+  bool DiffEncoded = false;
+  /// True when AdaptiveEnable chose the baseline for this function.
+  bool AdaptiveFellBack = false;
+
+  // Stage reports (fields are meaningful per scheme).
+  AllocResult Alloc;
+  OptimalSpillResult OSpill;
+  CoalesceResult Coalesce;
+  RemapResult Remap;
+  RecolorStats Recolor;
+  EncodeStats Enc;
+
+  // Final static counts.
+  size_t NumInsts = 0;
+  size_t SpillInsts = 0;
+  size_t SetLastRegs = 0;
+  size_t CodeBytes = 0;
+
+  double spillPercent() const {
+    return NumInsts == 0 ? 0.0
+                         : 100.0 * static_cast<double>(SpillInsts) /
+                               static_cast<double>(NumInsts);
+  }
+  double setLastPercent() const {
+    return NumInsts == 0 ? 0.0
+                         : 100.0 * static_cast<double>(SetLastRegs) /
+                               static_cast<double>(NumInsts);
+  }
+};
+
+/// Runs pipeline \p C on a copy of \p Src and returns the outcome.
+PipelineResult runPipeline(const Function &Src, const PipelineConfig &C);
+
+} // namespace dra
+
+#endif // DRA_CORE_PIPELINE_H

@@ -1,0 +1,201 @@
+//===- core/Remap.cpp - Differential remapping (post-pass) ----------------===//
+
+#include "core/Remap.h"
+
+#include "adt/Rng.h"
+
+#include <algorithm>
+#include <limits>
+
+using namespace dra;
+
+namespace {
+
+/// Cost of assignment Perm on G (Perm[node] = register number).
+double permCost(const AdjacencyGraph &G, const EncodingConfig &C,
+                const std::vector<RegId> &Perm) {
+  return G.cost(Perm, C);
+}
+
+bool isPinned(const RemapOptions &O, RegId R) {
+  for (RegId P : O.PinnedRegs)
+    if (P == R)
+      return true;
+  return false;
+}
+
+/// Exhaustive search over all permutations that fix the special and pinned
+/// registers.
+RemapResult exhaustiveSearch(const AdjacencyGraph &G,
+                             const EncodingConfig &C,
+                             const RemapOptions &O) {
+  unsigned N = C.RegN;
+  std::vector<RegId> Movable;
+  for (RegId R = 0; R != N; ++R)
+    if (!C.isSpecial(R) && !isPinned(O, R))
+      Movable.push_back(R);
+
+  std::vector<RegId> Targets = Movable; // Values assigned to movable slots.
+  std::vector<RegId> Perm(N);
+  for (RegId R = 0; R != N; ++R)
+    Perm[R] = R;
+
+  RemapResult Best;
+  Best.Exhaustive = true;
+  Best.CostBefore = G.identityCost(C);
+  Best.CostAfter = std::numeric_limits<double>::infinity();
+  do {
+    for (size_t I = 0; I != Movable.size(); ++I)
+      Perm[Movable[I]] = Targets[I];
+    double Cost = permCost(G, C, Perm);
+    if (Cost < Best.CostAfter) {
+      Best.CostAfter = Cost;
+      Best.Perm = Perm;
+    }
+  } while (std::next_permutation(Targets.begin(), Targets.end()));
+  return Best;
+}
+
+/// Sum of violated-edge weights among the edges incident to node \p U or
+/// node \p V under \p Perm; each edge counted once.
+double incidentCost(const AdjacencyGraph &G, const EncodingConfig &C,
+                    const std::vector<RegId> &Perm, RegId U, RegId V) {
+  double Total = 0;
+  auto Violated = [&](RegId From, RegId To) {
+    RegId FromNo = Perm[From], ToNo = Perm[To];
+    return FromNo != ToNo && !C.encodable(FromNo, ToNo);
+  };
+  G.forEachOut(U, [&](RegId To, double W) {
+    if (Violated(U, To))
+      Total += W;
+  });
+  G.forEachIn(U, [&](RegId From, double W) {
+    if (Violated(From, U))
+      Total += W;
+  });
+  G.forEachOut(V, [&](RegId To, double W) {
+    if (To != U && Violated(V, To))
+      Total += W;
+  });
+  G.forEachIn(V, [&](RegId From, double W) {
+    if (From != U && Violated(From, V))
+      Total += W;
+  });
+  return Total;
+}
+
+/// One greedy descent from \p Perm: repeatedly apply the pairwise swap with
+/// the largest cost reduction until a local minimum. Swap candidates are
+/// evaluated incrementally (only edges incident to the swapped registers
+/// change), keeping the descent O(swaps * degree) per iteration.
+double greedyDescent(const AdjacencyGraph &G, const EncodingConfig &C,
+                     const std::vector<RegId> &Movable,
+                     std::vector<RegId> &Perm) {
+  double Cost = permCost(G, C, Perm);
+  for (;;) {
+    double BestDelta = 0;
+    size_t BestI = 0, BestJ = 0;
+    for (size_t I = 0; I + 1 < Movable.size(); ++I) {
+      for (size_t J = I + 1; J < Movable.size(); ++J) {
+        RegId U = Movable[I], V = Movable[J];
+        double Before = incidentCost(G, C, Perm, U, V);
+        std::swap(Perm[U], Perm[V]);
+        double After = incidentCost(G, C, Perm, U, V);
+        std::swap(Perm[U], Perm[V]);
+        double Delta = After - Before;
+        if (Delta < BestDelta) {
+          BestDelta = Delta;
+          BestI = I;
+          BestJ = J;
+        }
+      }
+    }
+    if (BestDelta >= 0)
+      return Cost; // Local minimum.
+    std::swap(Perm[Movable[BestI]], Perm[Movable[BestJ]]);
+    Cost += BestDelta;
+  }
+}
+
+RemapResult greedySearch(const AdjacencyGraph &G, const EncodingConfig &C,
+                         const RemapOptions &O) {
+  unsigned N = C.RegN;
+  std::vector<RegId> Movable;
+  for (RegId R = 0; R != N; ++R)
+    if (!C.isSpecial(R) && !isPinned(O, R))
+      Movable.push_back(R);
+
+  std::vector<RegId> Identity(N);
+  for (RegId R = 0; R != N; ++R)
+    Identity[R] = R;
+
+  RemapResult Best;
+  Best.CostBefore = G.identityCost(C);
+  Best.CostAfter = std::numeric_limits<double>::infinity();
+
+  Rng Random(O.Seed);
+  unsigned Starts = std::max(1u, O.NumStarts);
+  for (unsigned Start = 0; Start != Starts; ++Start) {
+    std::vector<RegId> Perm = Identity;
+    if (Start != 0) {
+      // Random initial register vector over the movable slots.
+      std::vector<RegId> Targets = Movable;
+      Random.shuffle(Targets);
+      for (size_t I = 0; I != Movable.size(); ++I)
+        Perm[Movable[I]] = Targets[I];
+    }
+    double Cost = greedyDescent(G, C, Movable, Perm);
+    if (Cost < Best.CostAfter) {
+      Best.CostAfter = Cost;
+      Best.Perm = std::move(Perm);
+    }
+    if (Best.CostAfter == 0)
+      break; // Cannot improve further.
+  }
+  return Best;
+}
+
+} // namespace
+
+RemapResult dra::findRemap(const AdjacencyGraph &G, const EncodingConfig &C,
+                           const RemapOptions &O) {
+  assert(G.numNodes() <= C.RegN && "adjacency graph larger than RegN");
+  unsigned MovableCount = 0;
+  for (RegId R = 0; R != C.RegN; ++R)
+    MovableCount += !C.isSpecial(R) && !isPinned(O, R);
+  RemapResult Result = MovableCount <= O.ExhaustiveLimit
+                           ? exhaustiveSearch(G, C, O)
+                           : greedySearch(G, C, O);
+  // Never accept a permutation worse than the identity.
+  if (Result.CostAfter > Result.CostBefore) {
+    Result.CostAfter = Result.CostBefore;
+    Result.Perm.resize(C.RegN);
+    for (RegId R = 0; R != C.RegN; ++R)
+      Result.Perm[R] = R;
+  }
+  return Result;
+}
+
+void dra::applyPermutation(Function &F, const std::vector<RegId> &Perm) {
+  for (BasicBlock &BB : F.Blocks)
+    for (Instruction &I : BB.Insts)
+      for (unsigned Field = 0; Field != I.numRegFields(); ++Field) {
+        RegId R = I.regField(Field);
+        assert(R < Perm.size() && "register outside permutation domain");
+        I.setRegField(Field, Perm[R]);
+      }
+}
+
+RemapResult dra::remapFunction(Function &F, const EncodingConfig &C,
+                               const RemapOptions &O) {
+  assert(F.NumRegs <= C.RegN && "function register universe exceeds RegN");
+  Function Widened = F; // Build the graph over the full RegN universe.
+  Widened.NumRegs = C.RegN;
+  Widened.recomputeCFG();
+  AdjacencyGraph G =
+      AdjacencyGraph::build(Widened, C, WeightMode::Frequency);
+  RemapResult Result = findRemap(G, C, O);
+  applyPermutation(F, Result.Perm);
+  F.NumRegs = C.RegN;
+  return Result;
+}

@@ -1,0 +1,82 @@
+//===- core/Remap.h - Differential remapping (post-pass) --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Approach 1 of the paper (Section 5): after any register allocator has
+/// run, permute the physical register numbers to minimize the
+/// differential-encoding cost on the register-level adjacency graph. The
+/// permutation preserves every property a traditional allocator enforced
+/// (interfering ranges keep distinct numbers).
+///
+/// Search strategies:
+///  * exhaustive — all RegN! permutations, O(RegN^2 * RegN!), used for
+///    small RegN and as the optimality oracle in tests;
+///  * greedy — the paper's heuristic: repeated best-pairwise-swap descent
+///    to a local minimum, restarted from a configurable number of initial
+///    register vectors (the paper uses 1000).
+///
+/// Special registers are pinned to themselves so reserved direct codes and
+/// calling conventions stay intact (Sections 9.2/9.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_REMAP_H
+#define DRA_CORE_REMAP_H
+
+#include "core/AdjacencyGraph.h"
+#include "core/EncodingConfig.h"
+#include "ir/Function.h"
+
+#include <vector>
+
+namespace dra {
+
+/// Remapping knobs.
+struct RemapOptions {
+  /// Use exhaustive search when RegN <= this bound.
+  unsigned ExhaustiveLimit = 7;
+  /// Number of random restarts for the greedy search (first start is the
+  /// identity vector). The paper uses 1000.
+  unsigned NumStarts = 1000;
+  /// Seed for the restart generator.
+  uint64_t Seed = 0xd1ffe7e9c0ffee00ull;
+  /// Registers the permutation must map to themselves, in addition to the
+  /// encoding config's special registers. Section 9.3: pinning the
+  /// caller-/callee-saved registers keeps the calling convention intact
+  /// without the paper's post-hoc set_last_reg repair of save/restore
+  /// sequences.
+  std::vector<RegId> PinnedRegs;
+};
+
+/// Remapping outcome.
+struct RemapResult {
+  /// Adjacency cost of the identity assignment (before remapping).
+  double CostBefore = 0;
+  /// Adjacency cost after applying the chosen permutation.
+  double CostAfter = 0;
+  /// The chosen permutation: register r becomes Perm[r].
+  std::vector<RegId> Perm;
+  /// True if the exhaustive search ran (result provably optimal).
+  bool Exhaustive = false;
+};
+
+/// Finds a cost-minimizing permutation for the register-level adjacency
+/// graph \p G (NumNodes == C.RegN). Does not touch any function.
+RemapResult findRemap(const AdjacencyGraph &G, const EncodingConfig &C,
+                      const RemapOptions &O = {});
+
+/// Convenience: builds the register-level adjacency graph of the allocated
+/// function \p F, finds a permutation, and rewrites F's register operands
+/// in place. F.NumRegs must be <= C.RegN; it becomes C.RegN.
+RemapResult remapFunction(Function &F, const EncodingConfig &C,
+                          const RemapOptions &O = {});
+
+/// Applies \p Perm to every register operand of \p F.
+void applyPermutation(Function &F, const std::vector<RegId> &Perm);
+
+} // namespace dra
+
+#endif // DRA_CORE_REMAP_H

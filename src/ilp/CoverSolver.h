@@ -1,0 +1,65 @@
+//===- ilp/CoverSolver.h - 0-1 covering ILP solver --------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small exact solver for 0-1 covering integer programs:
+///
+///     minimize    sum_j Cost[j] * x_j
+///     subject to  sum_{j in Vars_i} x_j >= Need_i     for every constraint i
+///     x_j in {0, 1}
+///
+/// The optimal-spill register allocator (Appel & George, PLDI 2001 — the
+/// paper's third pipeline) expresses "at every program point at most K live
+/// ranges may stay in registers" in exactly this shape: each program point
+/// with pressure P > K contributes a constraint "spill at least P - K of the
+/// ranges live here". The paper used CPLEX; we substitute a branch-and-bound
+/// solver with constraint propagation and a greedy incumbent. For the
+/// problem sizes the workloads produce it proves optimality; if the node
+/// budget is exhausted it returns the best feasible solution found and
+/// reports Optimal = false.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ILP_COVERSOLVER_H
+#define DRA_ILP_COVERSOLVER_H
+
+#include <cstdint>
+#include <vector>
+
+namespace dra {
+
+/// One covering constraint: at least \p Need of the listed variables must be
+/// selected. Duplicate variable indices are not allowed.
+struct CoverConstraint {
+  std::vector<uint32_t> Vars;
+  int Need = 0;
+};
+
+/// A covering ILP instance.
+struct CoverProblem {
+  /// Positive selection cost per variable.
+  std::vector<double> Cost;
+  std::vector<CoverConstraint> Constraints;
+};
+
+/// Solver output.
+struct CoverSolution {
+  /// Selected[j] == 1 iff variable j is chosen.
+  std::vector<uint8_t> Selected;
+  double TotalCost = 0;
+  /// True if the search proved optimality before exhausting the budget.
+  bool Optimal = false;
+  /// Branch-and-bound nodes explored.
+  uint64_t NodesExplored = 0;
+};
+
+/// Solves \p P. Every constraint must be satisfiable (Need <= Vars.size());
+/// this is asserted. \p NodeBudget bounds the branch-and-bound search.
+CoverSolution solveCover(const CoverProblem &P, uint64_t NodeBudget = 200000);
+
+} // namespace dra
+
+#endif // DRA_ILP_COVERSOLVER_H

@@ -1,0 +1,73 @@
+//===- interp/Interpreter.h - Executable IR semantics -----------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An interpreter for the reproduction IR. It serves two purposes:
+///
+///  1. Equivalence oracle — a program must produce the same result
+///     (return value + memory checksum) before allocation, after every
+///     allocation scheme, and after differential encode/decode.
+///  2. Trace producer — the pipeline simulators consume the dynamic
+///     instruction stream through a callback, so no trace is materialized.
+///
+/// All arithmetic is 64-bit two's complement; division/remainder by zero
+/// yield 0; Load/Store wrap addresses modulo the data-array size. These
+/// total semantics make every syntactically valid program executable, which
+/// the randomized property tests rely on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_INTERP_INTERPRETER_H
+#define DRA_INTERP_INTERPRETER_H
+
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <functional>
+
+namespace dra {
+
+/// Outcome of one execution.
+struct ExecResult {
+  /// Value of the executed Ret.
+  int64_t ReturnValue = 0;
+  /// FNV-1a hash over the final data array (spill slots excluded — they
+  /// are an allocation artifact, not program state).
+  uint64_t MemChecksum = 0;
+  /// Number of executed (non-SetLastReg) instructions.
+  uint64_t DynInsts = 0;
+  /// True if the step limit was hit before Ret.
+  bool HitStepLimit = false;
+};
+
+/// One dynamic trace event, delivered per executed instruction in order.
+struct TraceEvent {
+  uint32_t Block;
+  uint32_t InstIdx;
+  const Instruction *Inst;
+  /// Effective data-array word address for Load/Store (after wrapping);
+  /// spill slot index for SpillLd/SpillSt; 0 otherwise.
+  uint64_t MemAddr;
+  /// True when the following fetch is non-sequential (taken branch).
+  bool BranchTaken;
+};
+
+using TraceCallback = std::function<void(const TraceEvent &)>;
+
+/// Executes \p F from block 0 for at most \p StepLimit instructions.
+/// SetLastReg pseudo instructions are reported to \p OnEvent (they occupy
+/// fetch/decode slots on real hardware) but are not counted in DynInsts and
+/// have no architectural effect.
+ExecResult interpret(const Function &F, uint64_t StepLimit = 50'000'000,
+                     const TraceCallback &OnEvent = nullptr);
+
+/// Convenience: a single fingerprint combining return value and memory
+/// checksum, used by the equivalence tests.
+uint64_t fingerprint(const ExecResult &R);
+
+} // namespace dra
+
+#endif // DRA_INTERP_INTERPRETER_H

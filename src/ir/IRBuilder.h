@@ -1,0 +1,175 @@
+//===- ir/IRBuilder.h - Convenience instruction construction ----*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small builder that appends instructions to a chosen block of a
+/// Function. Used by the unit tests and the synthetic workload generators.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_IR_IRBUILDER_H
+#define DRA_IR_IRBUILDER_H
+
+#include "ir/Function.h"
+
+namespace dra {
+
+/// Appends instructions to the block selected with setBlock(). Every
+/// *create* method returns the defined register (or void) and leaves the
+/// builder positioned after the new instruction.
+class IRBuilder {
+public:
+  explicit IRBuilder(Function &F) : F(F) {}
+
+  /// Selects the block new instructions are appended to.
+  void setBlock(uint32_t BlockIdx) {
+    assert(BlockIdx < F.Blocks.size() && "block out of range");
+    Cur = BlockIdx;
+  }
+
+  uint32_t currentBlock() const { return Cur; }
+  Function &function() { return F; }
+
+  /// Dst = Src1 op Src2 into a fresh register.
+  RegId createBin(Opcode Op, RegId Src1, RegId Src2) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = F.makeReg();
+    I.Src1 = Src1;
+    I.Src2 = Src2;
+    append(I);
+    return I.Dst;
+  }
+
+  /// Dst = Src1 op Imm into a fresh register.
+  RegId createBinImm(Opcode Op, RegId Src1, int64_t Imm) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = F.makeReg();
+    I.Src1 = Src1;
+    I.Imm = Imm;
+    append(I);
+    return I.Dst;
+  }
+
+  /// Dst = Imm into a fresh register.
+  RegId createMovImm(int64_t Imm) {
+    Instruction I;
+    I.Op = Opcode::MovI;
+    I.Dst = F.makeReg();
+    I.Imm = Imm;
+    append(I);
+    return I.Dst;
+  }
+
+  /// Dst = Src into a fresh register.
+  RegId createMov(RegId Src) {
+    Instruction I;
+    I.Op = Opcode::Mov;
+    I.Dst = F.makeReg();
+    I.Src1 = Src;
+    append(I);
+    return I.Dst;
+  }
+
+  /// Re-defines an existing register: \p Dst = \p Src.
+  void createMovTo(RegId Dst, RegId Src) {
+    Instruction I;
+    I.Op = Opcode::Mov;
+    I.Dst = Dst;
+    I.Src1 = Src;
+    append(I);
+  }
+
+  /// Re-defines an existing register: \p Dst = \p Src1 op \p Src2.
+  void createBinTo(Opcode Op, RegId Dst, RegId Src1, RegId Src2) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = Dst;
+    I.Src1 = Src1;
+    I.Src2 = Src2;
+    append(I);
+  }
+
+  /// Re-defines an existing register: \p Dst = \p Src1 op \p Imm.
+  void createBinImmTo(Opcode Op, RegId Dst, RegId Src1, int64_t Imm) {
+    Instruction I;
+    I.Op = Op;
+    I.Dst = Dst;
+    I.Src1 = Src1;
+    I.Imm = Imm;
+    append(I);
+  }
+
+  /// Re-defines an existing register with a constant.
+  void createMovImmTo(RegId Dst, int64_t Imm) {
+    Instruction I;
+    I.Op = Opcode::MovI;
+    I.Dst = Dst;
+    I.Imm = Imm;
+    append(I);
+  }
+
+  /// Dst = data[Base + Offset] into a fresh register.
+  RegId createLoad(RegId Base, int64_t Offset) {
+    Instruction I;
+    I.Op = Opcode::Load;
+    I.Dst = F.makeReg();
+    I.Src1 = Base;
+    I.Imm = Offset;
+    append(I);
+    return I.Dst;
+  }
+
+  /// data[Base + Offset] = Value.
+  void createStore(RegId Base, int64_t Offset, RegId Value) {
+    Instruction I;
+    I.Op = Opcode::Store;
+    I.Src1 = Base;
+    I.Src2 = Value;
+    I.Imm = Offset;
+    append(I);
+  }
+
+  /// if (Cond != 0) goto TrueBlock else goto FalseBlock.
+  void createBr(RegId Cond, uint32_t TrueBlock, uint32_t FalseBlock) {
+    Instruction I;
+    I.Op = Opcode::Br;
+    I.Src1 = Cond;
+    I.Target0 = TrueBlock;
+    I.Target1 = FalseBlock;
+    append(I);
+  }
+
+  /// goto Target.
+  void createJmp(uint32_t Target) {
+    Instruction I;
+    I.Op = Opcode::Jmp;
+    I.Target0 = Target;
+    append(I);
+  }
+
+  /// return Value.
+  void createRet(RegId Value) {
+    Instruction I;
+    I.Op = Opcode::Ret;
+    I.Src1 = Value;
+    append(I);
+  }
+
+private:
+  Function &F;
+  uint32_t Cur = 0;
+
+  void append(const Instruction &I) {
+    assert(Cur < F.Blocks.size() && "no current block");
+    F.Blocks[Cur].Insts.push_back(I);
+  }
+};
+
+} // namespace dra
+
+#endif // DRA_IR_IRBUILDER_H

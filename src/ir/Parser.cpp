@@ -1,0 +1,350 @@
+//===- ir/Parser.cpp - Textual IR parser -----------------------------------===//
+
+#include "ir/Parser.h"
+
+#include <cctype>
+#include <sstream>
+#include <unordered_map>
+
+using namespace dra;
+
+namespace {
+
+/// Line-oriented cursor with small parsing helpers. Each method consumes
+/// leading whitespace first; failures set Failed and a message.
+class LineParser {
+public:
+  LineParser(const std::string &Line, size_t LineNo)
+      : Line(Line), LineNo(LineNo) {}
+
+  bool failed() const { return Failed; }
+  const std::string &message() const { return Message; }
+
+  void skipSpace() {
+    while (Pos < Line.size() && std::isspace(static_cast<unsigned char>(
+                                    Line[Pos])))
+      ++Pos;
+  }
+
+  bool atEnd() {
+    skipSpace();
+    return Pos >= Line.size();
+  }
+
+  /// Consumes the literal \p Text.
+  bool expect(const std::string &Text) {
+    if (tryExpect(Text))
+      return true;
+    return fail("expected '" + Text + "'");
+  }
+
+  /// Consumes the literal \p Text if present; never marks failure.
+  bool tryExpect(const std::string &Text) {
+    skipSpace();
+    if (Line.compare(Pos, Text.size(), Text) == 0) {
+      Pos += Text.size();
+      return true;
+    }
+    return false;
+  }
+
+  /// Consumes an identifier-ish word (letters, digits, '.', '_').
+  std::string word() {
+    skipSpace();
+    size_t Start = Pos;
+    while (Pos < Line.size() &&
+           (std::isalnum(static_cast<unsigned char>(Line[Pos])) ||
+            Line[Pos] == '.' || Line[Pos] == '_'))
+      ++Pos;
+    if (Start == Pos)
+      fail("expected a word");
+    return Line.substr(Start, Pos - Start);
+  }
+
+  /// Consumes "rN" and returns N.
+  RegId reg() {
+    skipSpace();
+    if (Pos >= Line.size() || Line[Pos] != 'r') {
+      fail("expected a register");
+      return NoReg;
+    }
+    ++Pos;
+    return static_cast<RegId>(integer());
+  }
+
+  /// Consumes "bbN" and returns N.
+  uint32_t blockRef() {
+    skipSpace();
+    if (Line.compare(Pos, 2, "bb") != 0) {
+      fail("expected a block reference");
+      return NoBlock;
+    }
+    Pos += 2;
+    return static_cast<uint32_t>(integer());
+  }
+
+  /// Consumes an optionally-signed integer.
+  int64_t integer() {
+    skipSpace();
+    size_t Start = Pos;
+    if (Pos < Line.size() && (Line[Pos] == '-' || Line[Pos] == '+'))
+      ++Pos;
+    size_t DigitsStart = Pos;
+    while (Pos < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[Pos])))
+      ++Pos;
+    if (Pos == DigitsStart) {
+      fail("expected an integer");
+      return 0;
+    }
+    return std::stoll(Line.substr(Start, Pos - Start));
+  }
+
+  bool fail(const std::string &Why) {
+    if (!Failed) {
+      Failed = true;
+      Message = "line " + std::to_string(LineNo) + ": " + Why;
+    }
+    return false;
+  }
+
+private:
+  const std::string &Line;
+  size_t LineNo;
+  size_t Pos = 0;
+  bool Failed = false;
+  std::string Message;
+};
+
+/// Opcode table for the uniform three-operand / two-operand forms.
+const std::unordered_map<std::string, Opcode> &mnemonicTable() {
+  static const std::unordered_map<std::string, Opcode> Table = {
+      {"add", Opcode::Add},     {"sub", Opcode::Sub},
+      {"mul", Opcode::Mul},     {"divs", Opcode::DivS},
+      {"rem", Opcode::Rem},     {"and", Opcode::And},
+      {"or", Opcode::Or},       {"xor", Opcode::Xor},
+      {"shl", Opcode::Shl},     {"shr", Opcode::Shr},
+      {"addi", Opcode::AddI},   {"muli", Opcode::MulI},
+      {"andi", Opcode::AndI},   {"xori", Opcode::XorI},
+      {"shli", Opcode::ShlI},   {"shri", Opcode::ShrI},
+      {"cmpeq", Opcode::CmpEQ}, {"cmpne", Opcode::CmpNE},
+      {"cmplt", Opcode::CmpLT}, {"cmple", Opcode::CmpLE},
+      {"mov", Opcode::Mov},     {"movi", Opcode::MovI},
+      {"load", Opcode::Load},   {"store", Opcode::Store},
+      {"spill.ld", Opcode::SpillLd}, {"spill.st", Opcode::SpillSt},
+      {"br", Opcode::Br},       {"jmp", Opcode::Jmp},
+      {"ret", Opcode::Ret},
+  };
+  return Table;
+}
+
+bool isBinRegForm(Opcode Op) {
+  switch (Op) {
+  case Opcode::Add:
+  case Opcode::Sub:
+  case Opcode::Mul:
+  case Opcode::DivS:
+  case Opcode::Rem:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::CmpEQ:
+  case Opcode::CmpNE:
+  case Opcode::CmpLT:
+  case Opcode::CmpLE:
+    return true;
+  default:
+    return false;
+  }
+}
+
+bool isBinImmForm(Opcode Op) {
+  switch (Op) {
+  case Opcode::AddI:
+  case Opcode::MulI:
+  case Opcode::AndI:
+  case Opcode::XorI:
+  case Opcode::ShlI:
+  case Opcode::ShrI:
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+std::optional<Function> dra::parseFunction(const std::string &Text,
+                                           std::string *Err) {
+  auto Fail = [&](const std::string &Msg) -> std::optional<Function> {
+    if (Err)
+      *Err = Msg;
+    return std::nullopt;
+  };
+
+  Function F;
+  bool SawHeader = false;
+  int CurBlock = -1;
+
+  std::istringstream Stream(Text);
+  std::string Line;
+  size_t LineNo = 0;
+  while (std::getline(Stream, Line)) {
+    ++LineNo;
+    // Strip comments.
+    size_t Semi = Line.find(';');
+    if (Semi != std::string::npos)
+      Line.resize(Semi);
+    LineParser P(Line, LineNo);
+    if (P.atEnd())
+      continue;
+
+    if (!SawHeader) {
+      if (!P.expect("func"))
+        return Fail(P.message());
+      F.Name = P.word();
+      if (!P.expect("regs=") )
+        return Fail(P.message());
+      F.NumRegs = static_cast<uint32_t>(P.integer());
+      if (!P.expect("mem="))
+        return Fail(P.message());
+      F.MemWords = static_cast<uint32_t>(P.integer());
+      if (!P.expect("spills="))
+        return Fail(P.message());
+      F.NumSpillSlots = static_cast<uint32_t>(P.integer());
+      if (P.failed())
+        return Fail(P.message());
+      SawHeader = true;
+      continue;
+    }
+
+    // Block label?
+    {
+      LineParser Probe(Line, LineNo);
+      Probe.skipSpace();
+      std::string W = Probe.word();
+      if (!Probe.failed() && W.size() > 2 && W.compare(0, 2, "bb") == 0 &&
+          Probe.expect(":")) {
+        uint32_t Idx = static_cast<uint32_t>(std::stoul(W.substr(2)));
+        while (F.Blocks.size() <= Idx)
+          F.makeBlock();
+        CurBlock = static_cast<int>(Idx);
+        continue;
+      }
+    }
+    if (CurBlock < 0)
+      return Fail("line " + std::to_string(LineNo) +
+                  ": instruction before any block label");
+
+    std::string Mnemonic = P.word();
+    if (P.failed())
+      return Fail(P.message());
+
+    Instruction I;
+    if (Mnemonic == "set_last_reg") {
+      I.Op = Opcode::SetLastReg;
+      if (!P.expect("("))
+        return Fail(P.message());
+      I.Imm = P.integer();
+      if (P.tryExpect(","))
+        I.Aux = static_cast<uint32_t>(P.integer());
+      if (!P.expect(")"))
+        return Fail(P.message());
+    } else {
+      auto It = mnemonicTable().find(Mnemonic);
+      if (It == mnemonicTable().end())
+        return Fail("line " + std::to_string(LineNo) +
+                    ": unknown mnemonic '" + Mnemonic + "'");
+      I.Op = It->second;
+      if (isBinRegForm(I.Op)) {
+        I.Dst = P.reg();
+        P.expect(",");
+        I.Src1 = P.reg();
+        P.expect(",");
+        I.Src2 = P.reg();
+      } else if (isBinImmForm(I.Op)) {
+        I.Dst = P.reg();
+        P.expect(",");
+        I.Src1 = P.reg();
+        P.expect(",");
+        I.Imm = P.integer();
+      } else {
+        switch (I.Op) {
+        case Opcode::Mov:
+          I.Dst = P.reg();
+          P.expect(",");
+          I.Src1 = P.reg();
+          break;
+        case Opcode::MovI:
+          I.Dst = P.reg();
+          P.expect(",");
+          I.Imm = P.integer();
+          break;
+        case Opcode::Load:
+          I.Dst = P.reg();
+          P.expect(",");
+          P.expect("[");
+          I.Src1 = P.reg();
+          P.expect("+");
+          I.Imm = P.integer();
+          P.expect("]");
+          break;
+        case Opcode::Store:
+          P.expect("[");
+          I.Src1 = P.reg();
+          P.expect("+");
+          I.Imm = P.integer();
+          P.expect("]");
+          P.expect(",");
+          I.Src2 = P.reg();
+          break;
+        case Opcode::SpillLd:
+          I.Dst = P.reg();
+          P.expect(",");
+          P.expect("slot");
+          I.Imm = P.integer();
+          break;
+        case Opcode::SpillSt:
+          P.expect("slot");
+          I.Imm = P.integer();
+          P.expect(",");
+          I.Src1 = P.reg();
+          break;
+        case Opcode::Br:
+          I.Src1 = P.reg();
+          P.expect(",");
+          I.Target0 = P.blockRef();
+          P.expect(",");
+          I.Target1 = P.blockRef();
+          break;
+        case Opcode::Jmp:
+          I.Target0 = P.blockRef();
+          break;
+        case Opcode::Ret:
+          I.Src1 = P.reg();
+          break;
+        default:
+          return Fail("line " + std::to_string(LineNo) +
+                      ": unhandled mnemonic '" + Mnemonic + "'");
+        }
+      }
+    }
+    if (P.failed())
+      return Fail(P.message());
+    // Ensure referenced blocks exist even if their labels come later.
+    for (uint32_t T : {I.Target0, I.Target1})
+      if (T != NoBlock)
+        while (F.Blocks.size() <= T)
+          F.makeBlock();
+    F.Blocks[CurBlock].Insts.push_back(I);
+  }
+
+  if (!SawHeader)
+    return Fail("missing 'func' header");
+  if (F.Blocks.empty())
+    return Fail("no blocks");
+  F.recomputeCFG();
+  return F;
+}

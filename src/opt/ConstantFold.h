@@ -1,0 +1,36 @@
+//===- opt/ConstantFold.h - Constant folding/propagation --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Block-local constant propagation and folding: within each block, track
+/// registers holding known constants (seeded by MovI), evaluate arithmetic
+/// whose operands are all known using the interpreter's exact semantics,
+/// and rewrite foldable instructions to MovI. Conditional branches on a
+/// known condition fold to jumps. Purely local (no dataflow join), so the
+/// analysis is trivially sound; combine with simplifyCfg() and
+/// eliminateDeadCode() for a classic cleanup pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_OPT_CONSTANTFOLD_H
+#define DRA_OPT_CONSTANTFOLD_H
+
+#include "ir/Function.h"
+
+namespace dra {
+
+/// Folding statistics.
+struct ConstantFoldStats {
+  size_t InstsFolded = 0;
+  size_t BranchesFolded = 0;
+};
+
+/// Folds constants in \p F in place.
+ConstantFoldStats foldConstants(Function &F);
+
+} // namespace dra
+
+#endif // DRA_OPT_CONSTANTFOLD_H

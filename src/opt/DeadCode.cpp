@@ -1,0 +1,66 @@
+//===- opt/DeadCode.cpp - Dead code elimination ----------------------------===//
+
+#include "opt/DeadCode.h"
+
+#include "analysis/Liveness.h"
+
+using namespace dra;
+
+namespace {
+
+/// True if \p I can be deleted when its result is dead.
+bool isPure(const Instruction &I) {
+  switch (I.Op) {
+  case Opcode::Store:
+  case Opcode::SpillSt:
+  case Opcode::Br:
+  case Opcode::Jmp:
+  case Opcode::Ret:
+  case Opcode::SetLastReg:
+    return false;
+  case Opcode::Load:
+  case Opcode::SpillLd:
+    // Loads have no side effects in this IR (no traps, wrapped
+    // addressing), so a dead load is deletable.
+    return true;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+size_t dra::eliminateDeadCode(Function &F) {
+  size_t Deleted = 0;
+  for (;;) {
+    F.recomputeCFG();
+    Liveness LV = Liveness::compute(F);
+    size_t DeletedThisRound = 0;
+    for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
+         ++B) {
+      std::vector<uint8_t> Dead(F.Blocks[B].Insts.size(), 0);
+      LV.forEachInstBackward(
+          F, B, [&](size_t Idx, const BitVector &LiveAfter) {
+            const Instruction &I = F.Blocks[B].Insts[Idx];
+            RegId Def = I.def();
+            if (Def != NoReg && !LiveAfter.test(Def) && isPure(I))
+              Dead[Idx] = 1;
+          });
+      std::vector<Instruction> Kept;
+      Kept.reserve(F.Blocks[B].Insts.size());
+      for (size_t Idx = 0; Idx != F.Blocks[B].Insts.size(); ++Idx) {
+        if (Dead[Idx]) {
+          ++DeletedThisRound;
+          continue;
+        }
+        Kept.push_back(F.Blocks[B].Insts[Idx]);
+      }
+      F.Blocks[B].Insts = std::move(Kept);
+    }
+    Deleted += DeletedThisRound;
+    if (DeletedThisRound == 0)
+      break;
+  }
+  F.recomputeCFG();
+  return Deleted;
+}

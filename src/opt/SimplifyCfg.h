@@ -1,0 +1,38 @@
+//===- opt/SimplifyCfg.h - CFG simplification --------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Straight-line CFG cleanup: merges a block into its unique predecessor
+/// when that predecessor ends in an unconditional jump to it (classic
+/// block merging), folds conditional branches whose two targets coincide
+/// into jumps, and removes unreachable blocks. Larger blocks help the
+/// differential encoder directly — every merged edge is one fewer
+/// potential join repair — so the pass is also an interesting knob for
+/// encoding experiments, though the calibrated benchmarks run without it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_OPT_SIMPLIFYCFG_H
+#define DRA_OPT_SIMPLIFYCFG_H
+
+#include "ir/Function.h"
+
+namespace dra {
+
+/// Statistics of one simplification run.
+struct SimplifyCfgStats {
+  size_t BlocksMerged = 0;
+  size_t BranchesFolded = 0;
+  size_t UnreachableRemoved = 0;
+};
+
+/// Simplifies \p F in place to a fixpoint. Block indices are compacted;
+/// all branch targets are rewritten accordingly.
+SimplifyCfgStats simplifyCfg(Function &F);
+
+} // namespace dra
+
+#endif // DRA_OPT_SIMPLIFYCFG_H

@@ -1,0 +1,576 @@
+//===- regalloc/GraphColoring.cpp - Iterated register coalescing ----------===//
+
+#include "regalloc/GraphColoring.h"
+
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "regalloc/InterferenceGraph.h"
+
+#include <algorithm>
+#include <limits>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+using namespace dra;
+
+namespace {
+
+/// One build/color round of iterated register coalescing.
+class IrcRound {
+public:
+  IrcRound(Function &F, unsigned K, SelectHook *Hook,
+           const std::vector<uint8_t> &IsSpillTemp)
+      : F(F), K(K), Hook(Hook), IsSpillTemp(IsSpillTemp) {}
+
+  /// Runs one round. Returns the set of actual-spill virtual registers
+  /// (empty means a complete coloring was produced in ColorOf).
+  std::vector<RegId> run(std::vector<RegId> &ColorOutParam);
+
+private:
+  Function &F;
+  unsigned K;
+  SelectHook *Hook;
+  const std::vector<uint8_t> &IsSpillTemp;
+
+  uint32_t NumNodes = 0;
+
+  // Graph.
+  std::unordered_set<uint64_t> AdjSet;
+  std::vector<std::vector<RegId>> AdjList;
+  std::vector<unsigned> Degree;
+
+  // Moves (indices into MoveInsts).
+  struct MoveRec {
+    RegId Dst, Src;
+  };
+  std::vector<MoveRec> MoveInsts;
+  std::vector<std::vector<uint32_t>> MoveList; // Per node.
+  enum class MoveState : uint8_t {
+    Worklist,
+    Active,
+    Coalesced,
+    Constrained,
+    Frozen
+  };
+  std::vector<MoveState> MoveStates;
+  std::set<uint32_t> WorklistMoves;
+  std::set<uint32_t> ActiveMoves;
+
+  // Node worklists (ordered sets for determinism).
+  std::set<RegId> SimplifyWorklist;
+  std::set<RegId> FreezeWorklist;
+  std::set<RegId> SpillWorklist;
+  std::set<RegId> CoalescedNodes;
+  std::set<RegId> SpilledNodes;
+  std::set<RegId> ColoredNodes;
+  std::vector<RegId> SelectStack;
+  std::vector<uint8_t> OnSelectStack;
+  std::vector<RegId> Alias;
+  std::vector<RegId> ColorOf;
+  std::vector<double> SpillCost;
+
+  static uint64_t edgeKey(RegId A, RegId B) {
+    if (A > B)
+      std::swap(A, B);
+    return (static_cast<uint64_t>(A) << 32) | B;
+  }
+
+  void build();
+  void computeSpillCosts();
+  void addEdge(RegId U, RegId V);
+  void makeWorklists();
+  std::vector<RegId> adjacent(RegId N) const;
+  std::vector<uint32_t> nodeMoves(RegId N) const;
+  bool moveRelated(RegId N) const;
+  void simplify();
+  void decrementDegree(RegId M);
+  void enableMoves(RegId N);
+  void coalesce();
+  void addWorkList(RegId U);
+  bool georgeOk(RegId T, RegId U) const;
+  bool briggsConservative(RegId U, RegId V) const;
+  RegId getAlias(RegId N) const;
+  void combine(RegId U, RegId V);
+  void freeze();
+  void freezeMoves(RegId U);
+  void selectSpill();
+  void assignColors();
+};
+
+void IrcRound::build() {
+  NumNodes = F.NumRegs;
+  AdjList.assign(NumNodes, {});
+  Degree.assign(NumNodes, 0);
+  MoveList.assign(NumNodes, {});
+  Alias.resize(NumNodes);
+  for (RegId N = 0; N != NumNodes; ++N)
+    Alias[N] = N;
+  ColorOf.assign(NumNodes, NoReg);
+  OnSelectStack.assign(NumNodes, 0);
+
+  F.recomputeCFG();
+  Liveness LV = Liveness::compute(F);
+  for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
+       ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    LV.forEachInstBackward(F, B, [&](size_t Idx, const BitVector &LiveAfter) {
+      const Instruction &I = BB.Insts[Idx];
+      bool IsMove = I.Op == Opcode::Mov && I.Dst != I.Src1;
+      if (IsMove) {
+        uint32_t MoveIdx = static_cast<uint32_t>(MoveInsts.size());
+        MoveInsts.push_back({I.Dst, I.Src1});
+        MoveList[I.Dst].push_back(MoveIdx);
+        MoveList[I.Src1].push_back(MoveIdx);
+        MoveStates.push_back(MoveState::Worklist);
+        WorklistMoves.insert(MoveIdx);
+      }
+      RegId Def = I.def();
+      if (Def == NoReg)
+        return;
+      LiveAfter.forEach([&](size_t Live) {
+        RegId L = static_cast<RegId>(Live);
+        if (IsMove && L == I.Src1)
+          return;
+        addEdge(Def, L);
+      });
+    });
+  }
+}
+
+void IrcRound::computeSpillCosts() {
+  SpillCost.assign(NumNodes, 0.0);
+  LoopInfo LI = LoopInfo::compute(F);
+  for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
+       ++B) {
+    double Freq = LI.frequency(B);
+    for (const Instruction &I : F.Blocks[B].Insts) {
+      RegId Def = I.def();
+      if (Def != NoReg)
+        SpillCost[Def] += Freq;
+      RegId Uses[2];
+      unsigned NumUses;
+      I.uses(Uses, NumUses);
+      for (unsigned U = 0; U != NumUses; ++U)
+        SpillCost[Uses[U]] += Freq;
+    }
+  }
+  // Spilling a temporary created by a previous spill round would loop
+  // forever; make them effectively unspillable.
+  for (RegId N = 0; N != NumNodes; ++N)
+    if (N < IsSpillTemp.size() && IsSpillTemp[N])
+      SpillCost[N] = std::numeric_limits<double>::infinity();
+}
+
+void IrcRound::addEdge(RegId U, RegId V) {
+  if (U == V)
+    return;
+  if (!AdjSet.insert(edgeKey(U, V)).second)
+    return;
+  AdjList[U].push_back(V);
+  ++Degree[U];
+  AdjList[V].push_back(U);
+  ++Degree[V];
+}
+
+void IrcRound::makeWorklists() {
+  for (RegId N = 0; N != NumNodes; ++N) {
+    if (Degree[N] >= K)
+      SpillWorklist.insert(N);
+    else if (moveRelated(N))
+      FreezeWorklist.insert(N);
+    else
+      SimplifyWorklist.insert(N);
+  }
+}
+
+std::vector<RegId> IrcRound::adjacent(RegId N) const {
+  std::vector<RegId> Result;
+  for (RegId M : AdjList[N])
+    if (!OnSelectStack[M] && !CoalescedNodes.count(M))
+      Result.push_back(M);
+  return Result;
+}
+
+std::vector<uint32_t> IrcRound::nodeMoves(RegId N) const {
+  std::vector<uint32_t> Result;
+  for (uint32_t MoveIdx : MoveList[N]) {
+    MoveState S = MoveStates[MoveIdx];
+    if (S == MoveState::Worklist || S == MoveState::Active)
+      Result.push_back(MoveIdx);
+  }
+  return Result;
+}
+
+bool IrcRound::moveRelated(RegId N) const { return !nodeMoves(N).empty(); }
+
+void IrcRound::simplify() {
+  RegId N = *SimplifyWorklist.begin();
+  SimplifyWorklist.erase(SimplifyWorklist.begin());
+  SelectStack.push_back(N);
+  OnSelectStack[N] = 1;
+  for (RegId M : adjacent(N))
+    decrementDegree(M);
+}
+
+void IrcRound::decrementDegree(RegId M) {
+  unsigned D = Degree[M];
+  Degree[M] = D - 1;
+  if (D != K)
+    return;
+  enableMoves(M);
+  for (RegId T : adjacent(M))
+    enableMoves(T);
+  SpillWorklist.erase(M);
+  if (moveRelated(M))
+    FreezeWorklist.insert(M);
+  else
+    SimplifyWorklist.insert(M);
+}
+
+void IrcRound::enableMoves(RegId N) {
+  for (uint32_t MoveIdx : nodeMoves(N)) {
+    if (MoveStates[MoveIdx] != MoveState::Active)
+      continue;
+    MoveStates[MoveIdx] = MoveState::Worklist;
+    ActiveMoves.erase(MoveIdx);
+    WorklistMoves.insert(MoveIdx);
+  }
+}
+
+bool IrcRound::georgeOk(RegId T, RegId U) const {
+  return Degree[T] < K || AdjSet.count(edgeKey(T, U)) != 0;
+}
+
+bool IrcRound::briggsConservative(RegId U, RegId V) const {
+  // Count distinct significant-degree neighbors of the combined node.
+  std::set<RegId> Neighbors;
+  for (RegId T : adjacent(U))
+    Neighbors.insert(T);
+  for (RegId T : adjacent(V))
+    Neighbors.insert(T);
+  unsigned Significant = 0;
+  for (RegId T : Neighbors) {
+    unsigned D = Degree[T];
+    // Merging U and V turns a neighbor of both into a neighbor of one.
+    if (AdjSet.count(edgeKey(T, U)) != 0 && AdjSet.count(edgeKey(T, V)) != 0)
+      --D;
+    Significant += D >= K;
+  }
+  return Significant < K;
+}
+
+RegId IrcRound::getAlias(RegId N) const {
+  while (CoalescedNodes.count(N))
+    N = Alias[N];
+  return N;
+}
+
+void IrcRound::coalesce() {
+  uint32_t MoveIdx = *WorklistMoves.begin();
+  WorklistMoves.erase(WorklistMoves.begin());
+  RegId X = getAlias(MoveInsts[MoveIdx].Dst);
+  RegId Y = getAlias(MoveInsts[MoveIdx].Src);
+  RegId U = X, V = Y;
+  if (U == V) {
+    MoveStates[MoveIdx] = MoveState::Coalesced;
+    addWorkList(U);
+    return;
+  }
+  if (AdjSet.count(edgeKey(U, V)) != 0) {
+    MoveStates[MoveIdx] = MoveState::Constrained;
+    addWorkList(U);
+    addWorkList(V);
+    return;
+  }
+  if (briggsConservative(U, V)) {
+    MoveStates[MoveIdx] = MoveState::Coalesced;
+    combine(U, V);
+    addWorkList(U);
+    return;
+  }
+  // George test as a fallback: every neighbor of V is OK with U.
+  bool GeorgeAll = true;
+  for (RegId T : adjacent(V))
+    GeorgeAll &= georgeOk(T, U);
+  if (GeorgeAll) {
+    MoveStates[MoveIdx] = MoveState::Coalesced;
+    combine(U, V);
+    addWorkList(U);
+    return;
+  }
+  MoveStates[MoveIdx] = MoveState::Active;
+  ActiveMoves.insert(MoveIdx);
+}
+
+void IrcRound::addWorkList(RegId U) {
+  if (!moveRelated(U) && Degree[U] < K) {
+    FreezeWorklist.erase(U);
+    SimplifyWorklist.insert(U);
+  }
+}
+
+void IrcRound::combine(RegId U, RegId V) {
+  if (FreezeWorklist.count(V))
+    FreezeWorklist.erase(V);
+  else
+    SpillWorklist.erase(V);
+  CoalescedNodes.insert(V);
+  Alias[V] = U;
+  for (uint32_t MoveIdx : MoveList[V])
+    MoveList[U].push_back(MoveIdx);
+  enableMoves(V);
+  for (RegId T : adjacent(V)) {
+    addEdge(T, U);
+    decrementDegree(T);
+  }
+  if (Degree[U] >= K && FreezeWorklist.count(U)) {
+    FreezeWorklist.erase(U);
+    SpillWorklist.insert(U);
+  }
+}
+
+void IrcRound::freeze() {
+  RegId U = *FreezeWorklist.begin();
+  FreezeWorklist.erase(FreezeWorklist.begin());
+  SimplifyWorklist.insert(U);
+  freezeMoves(U);
+}
+
+void IrcRound::freezeMoves(RegId U) {
+  for (uint32_t MoveIdx : nodeMoves(U)) {
+    if (MoveStates[MoveIdx] == MoveState::Active)
+      ActiveMoves.erase(MoveIdx);
+    else
+      WorklistMoves.erase(MoveIdx);
+    MoveStates[MoveIdx] = MoveState::Frozen;
+    RegId X = getAlias(MoveInsts[MoveIdx].Dst);
+    RegId Y = getAlias(MoveInsts[MoveIdx].Src);
+    RegId V = Y == getAlias(U) ? X : Y;
+    if (nodeMoves(V).empty() && Degree[V] < K && FreezeWorklist.count(V)) {
+      FreezeWorklist.erase(V);
+      SimplifyWorklist.insert(V);
+    }
+  }
+}
+
+void IrcRound::selectSpill() {
+  // Chaitin heuristic: lowest cost / degree. Spill temporaries have
+  // infinite cost so they are chosen only when nothing else remains.
+  RegId BestNode = NoReg;
+  double BestScore = std::numeric_limits<double>::infinity();
+  for (RegId N : SpillWorklist) {
+    double Score =
+        SpillCost[N] / std::max(1.0, static_cast<double>(Degree[N]));
+    if (BestNode == NoReg || Score < BestScore) {
+      BestNode = N;
+      BestScore = Score;
+    }
+  }
+  assert(BestNode != NoReg && "selectSpill on empty worklist");
+  SpillWorklist.erase(BestNode);
+  SimplifyWorklist.insert(BestNode);
+  freezeMoves(BestNode);
+}
+
+void IrcRound::assignColors() {
+  // Members of each representative, for the select hook.
+  std::unordered_map<RegId, std::vector<RegId>> MembersOf;
+  for (RegId N = 0; N != NumNodes; ++N)
+    MembersOf[getAlias(N)].push_back(N);
+
+  SelectContext Ctx;
+  Ctx.ColorOfVReg = [this](RegId V) {
+    RegId Rep = getAlias(V);
+    return ColorOf[Rep] == NoReg ? -1 : static_cast<int>(ColorOf[Rep]);
+  };
+
+  while (!SelectStack.empty()) {
+    RegId N = SelectStack.back();
+    SelectStack.pop_back();
+    std::vector<uint8_t> Used(K, 0);
+    for (RegId W : AdjList[N]) {
+      RegId Rep = getAlias(W);
+      if (ColoredNodes.count(Rep))
+        Used[ColorOf[Rep]] = 1;
+    }
+    std::vector<unsigned> OkColors;
+    for (unsigned C = 0; C != K; ++C)
+      if (!Used[C])
+        OkColors.push_back(C);
+    OnSelectStack[N] = 0;
+    if (OkColors.empty()) {
+      SpilledNodes.insert(N);
+      continue;
+    }
+    ColoredNodes.insert(N);
+    unsigned Chosen = OkColors.front();
+    if (Hook && OkColors.size() > 1) {
+      Ctx.Node = N;
+      Ctx.Members = &MembersOf[N];
+      Ctx.OkColors = &OkColors;
+      Chosen = Hook->choose(Ctx);
+      assert(std::find(OkColors.begin(), OkColors.end(), Chosen) !=
+                 OkColors.end() &&
+             "hook returned an illegal color");
+    }
+    ColorOf[N] = Chosen;
+  }
+  for (RegId N : CoalescedNodes) {
+    RegId Rep = getAlias(N);
+    if (ColoredNodes.count(Rep))
+      ColorOf[N] = ColorOf[Rep];
+  }
+}
+
+std::vector<RegId> IrcRound::run(std::vector<RegId> &ColorOutParam) {
+  build();
+  computeSpillCosts();
+  if (Hook)
+    Hook->beginFunction(F);
+  makeWorklists();
+  for (;;) {
+    if (!SimplifyWorklist.empty())
+      simplify();
+    else if (!WorklistMoves.empty())
+      coalesce();
+    else if (!FreezeWorklist.empty())
+      freeze();
+    else if (!SpillWorklist.empty())
+      selectSpill();
+    else
+      break;
+  }
+  assignColors();
+  ColorOutParam = ColorOf;
+  // A spilled representative stands for every virtual register coalesced
+  // into it; all of them must go to memory.
+  std::vector<RegId> AllSpilled;
+  for (RegId N = 0; N != NumNodes; ++N)
+    if (SpilledNodes.count(getAlias(N)))
+      AllSpilled.push_back(N);
+  return AllSpilled;
+}
+
+} // namespace
+
+std::vector<RegId> dra::insertSpillCode(Function &F, RegId VReg) {
+  uint32_t Slot = F.NumSpillSlots++;
+  std::vector<RegId> NewTemps;
+  for (BasicBlock &BB : F.Blocks) {
+    std::vector<Instruction> NewInsts;
+    NewInsts.reserve(BB.Insts.size());
+    for (Instruction I : BB.Insts) {
+      // Loads before uses.
+      RegId Uses[2];
+      unsigned NumUses;
+      I.uses(Uses, NumUses);
+      bool UsesVReg = false;
+      for (unsigned U = 0; U != NumUses; ++U)
+        UsesVReg |= Uses[U] == VReg;
+      if (UsesVReg) {
+        RegId Tmp = F.makeReg();
+        NewTemps.push_back(Tmp);
+        Instruction Ld;
+        Ld.Op = Opcode::SpillLd;
+        Ld.Dst = Tmp;
+        Ld.Imm = Slot;
+        NewInsts.push_back(Ld);
+        if (NumUses >= 1 && I.Src1 == VReg)
+          I.Src1 = Tmp;
+        if (NumUses >= 2 && I.Src2 == VReg)
+          I.Src2 = Tmp;
+      }
+      // Store after def.
+      if (I.def() == VReg) {
+        RegId Tmp = F.makeReg();
+        NewTemps.push_back(Tmp);
+        I.Dst = Tmp;
+        NewInsts.push_back(I);
+        Instruction St;
+        St.Op = Opcode::SpillSt;
+        St.Src1 = Tmp;
+        St.Imm = Slot;
+        NewInsts.push_back(St);
+        continue;
+      }
+      NewInsts.push_back(I);
+    }
+    BB.Insts = std::move(NewInsts);
+  }
+  return NewTemps;
+}
+
+void dra::rewriteToPhysical(Function &F, const std::vector<RegId> &ColorOf,
+                            unsigned K, size_t *MovesRemoved) {
+  for (BasicBlock &BB : F.Blocks) {
+    std::vector<Instruction> NewInsts;
+    NewInsts.reserve(BB.Insts.size());
+    for (Instruction I : BB.Insts) {
+      for (unsigned Field = 0; Field != I.numRegFields(); ++Field) {
+        RegId V = I.regField(Field);
+        assert(ColorOf[V] != NoReg && "uncolored register after allocation");
+        assert(ColorOf[V] < K && "color out of range");
+        I.setRegField(Field, ColorOf[V]);
+      }
+      if (I.Op == Opcode::Mov && I.Dst == I.Src1) {
+        if (MovesRemoved)
+          ++*MovesRemoved;
+        continue;
+      }
+      NewInsts.push_back(I);
+    }
+    BB.Insts = std::move(NewInsts);
+  }
+  F.NumRegs = K;
+  F.recomputeCFG();
+}
+
+AllocResult dra::allocateGraphColoring(Function &F, unsigned K,
+                                       SelectHook *Hook,
+                                       unsigned MaxIterations,
+                                       std::vector<RegId> *ColorOut) {
+  assert(K >= 4 && "need at least four physical registers");
+  AllocResult Result;
+  std::vector<uint8_t> IsSpillTemp(F.NumRegs, 0);
+
+  std::vector<RegId> ColorOf;
+  for (;;) {
+    if (++Result.Iterations > MaxIterations) {
+      Result.Success = false;
+      return Result;
+    }
+    IrcRound Round(F, K, Hook, IsSpillTemp);
+    std::vector<RegId> Spilled = Round.run(ColorOf);
+    if (Spilled.empty())
+      break;
+    Result.SpilledRanges += Spilled.size();
+    for (RegId V : Spilled) {
+      std::vector<RegId> Temps = insertSpillCode(F, V);
+      IsSpillTemp.resize(F.NumRegs, 0);
+      for (RegId T : Temps)
+        IsSpillTemp[T] = 1;
+    }
+  }
+
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Instruction &I : BB.Insts) {
+      Result.SpillLoads += I.Op == Opcode::SpillLd;
+      Result.SpillStores += I.Op == Opcode::SpillSt;
+    }
+
+  if (ColorOut) {
+    // Leave F in virtual-register form for post-coloring refinement.
+    *ColorOut = std::move(ColorOf);
+    for (const BasicBlock &BB : F.Blocks)
+      for (const Instruction &I : BB.Insts)
+        Result.MovesRemaining += I.Op == Opcode::Mov;
+    return Result;
+  }
+
+  rewriteToPhysical(F, ColorOf, K, &Result.MovesRemoved);
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Instruction &I : BB.Insts)
+      Result.MovesRemaining += I.Op == Opcode::Mov;
+  return Result;
+}

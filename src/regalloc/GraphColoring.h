@@ -1,0 +1,78 @@
+//===- regalloc/GraphColoring.h - Iterated register coalescing --*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The baseline register allocator of the paper's low-end evaluation:
+/// iterated register coalescing (George & Appel, TOPLAS 18(3), 1996),
+/// implemented as the classic worklist algorithm with Briggs/George
+/// conservative coalescing, freeze, cost/degree spill selection, optimistic
+/// (potential) spilling, spill-code insertion and re-iteration.
+///
+/// The select stage is parameterized by a SelectHook so the paper's
+/// *differential select* (Section 6) plugs in without touching the
+/// allocator core.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_REGALLOC_GRAPHCOLORING_H
+#define DRA_REGALLOC_GRAPHCOLORING_H
+
+#include "ir/Function.h"
+#include "regalloc/SelectHook.h"
+
+#include <vector>
+
+namespace dra {
+
+/// Summary of one allocation run.
+struct AllocResult {
+  /// False only if MaxIterations was exceeded (pathological).
+  bool Success = true;
+  /// Build/color/spill rounds executed.
+  unsigned Iterations = 0;
+  /// Live ranges sent to memory across all rounds.
+  size_t SpilledRanges = 0;
+  /// SpillLd / SpillSt instructions present in the final code.
+  size_t SpillLoads = 0;
+  size_t SpillStores = 0;
+  /// Mov instructions deleted because source and destination received the
+  /// same physical register (coalesced or luckily-assigned).
+  size_t MovesRemoved = 0;
+  /// Mov instructions remaining in the final code.
+  size_t MovesRemaining = 0;
+};
+
+/// Allocates \p F onto \p K physical registers, mutating it in place:
+/// spill code is inserted, every register operand is rewritten to a
+/// physical register in [0, K), same-register moves are deleted and
+/// F.NumRegs becomes K. \p Hook (optional) steers color choice; it must
+/// outlive the call. Requires K >= 4 so any instruction's operands plus a
+/// spill temp can be held simultaneously.
+///
+/// When \p ColorOut is non-null, the final rewrite is skipped: F is left
+/// in virtual-register form (with spill code inserted) and *ColorOut holds
+/// the complete vreg -> color map, so post-coloring passes (differential
+/// recoloring) can refine the assignment before rewriteToPhysical().
+AllocResult allocateGraphColoring(Function &F, unsigned K,
+                                  SelectHook *Hook = nullptr,
+                                  unsigned MaxIterations = 60,
+                                  std::vector<RegId> *ColorOut = nullptr);
+
+/// Rewrites every register operand of \p F through \p ColorOf (a complete
+/// vreg -> color map), deletes moves that became identities (counted in
+/// \p MovesRemoved when non-null) and sets F.NumRegs = K.
+void rewriteToPhysical(Function &F, const std::vector<RegId> &ColorOf,
+                       unsigned K, size_t *MovesRemoved = nullptr);
+
+/// Inserts spill code for \p VReg into \p F (store after each def, load
+/// before each use through fresh temporaries) and returns the fresh
+/// temporaries created. Exposed for reuse by the optimal-spill allocator
+/// and for direct unit testing.
+std::vector<RegId> insertSpillCode(Function &F, RegId VReg);
+
+} // namespace dra
+
+#endif // DRA_REGALLOC_GRAPHCOLORING_H

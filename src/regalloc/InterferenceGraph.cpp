@@ -1,0 +1,64 @@
+//===- regalloc/InterferenceGraph.cpp - Interference graphs ---------------===//
+
+#include "regalloc/InterferenceGraph.h"
+
+#include "analysis/Liveness.h"
+
+using namespace dra;
+
+void InterferenceGraph::reset(uint32_t NumNodes) {
+  Adj.assign(NumNodes, {});
+  EdgeSet.clear();
+  Moves.clear();
+}
+
+void InterferenceGraph::addEdge(RegId A, RegId B) {
+  if (A == B)
+    return;
+  assert(A < numNodes() && B < numNodes() && "node out of range");
+  if (!EdgeSet.insert(edgeKey(A, B)).second)
+    return;
+  Adj[A].push_back(B);
+  Adj[B].push_back(A);
+}
+
+bool InterferenceGraph::interferes(RegId A, RegId B) const {
+  if (A == B)
+    return false;
+  return EdgeSet.count(edgeKey(A, B)) != 0;
+}
+
+bool InterferenceGraph::isValidColoring(
+    const std::vector<RegId> &ColorOf) const {
+  assert(ColorOf.size() == Adj.size() && "coloring size mismatch");
+  for (RegId N = 0; N != numNodes(); ++N)
+    for (RegId M : Adj[N])
+      if (N < M && ColorOf[N] == ColorOf[M])
+        return false;
+  return true;
+}
+
+InterferenceGraph InterferenceGraph::build(const Function &F,
+                                           const Liveness &LV) {
+  InterferenceGraph G(F.NumRegs);
+  for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
+       ++B) {
+    const BasicBlock &BB = F.Blocks[B];
+    LV.forEachInstBackward(F, B, [&](size_t Idx, const BitVector &LiveAfter) {
+      const Instruction &I = BB.Insts[Idx];
+      RegId Def = I.def();
+      bool IsMove = I.Op == Opcode::Mov;
+      if (IsMove)
+        G.Moves.push_back({I.Dst, I.Src1, B, static_cast<uint32_t>(Idx)});
+      if (Def == NoReg)
+        return;
+      LiveAfter.forEach([&](size_t Live) {
+        RegId L = static_cast<RegId>(Live);
+        if (IsMove && L == I.Src1)
+          return; // Move source does not interfere with its destination.
+        G.addEdge(Def, L);
+      });
+    });
+  }
+  return G;
+}

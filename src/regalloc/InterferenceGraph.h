@@ -1,0 +1,81 @@
+//===- regalloc/InterferenceGraph.h - Interference graphs -------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An undirected interference graph over the (virtual) registers of one
+/// function, built from liveness in the classic Chaitin fashion: at every
+/// definition the defined register interferes with everything live after
+/// the instruction, except that a move `d = s` does not make d interfere
+/// with s. Register-to-register moves are recorded separately for the
+/// coalescing stages.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_REGALLOC_INTERFERENCEGRAPH_H
+#define DRA_REGALLOC_INTERFERENCEGRAPH_H
+
+#include "ir/Function.h"
+
+#include <unordered_set>
+#include <vector>
+
+namespace dra {
+
+class Liveness;
+
+/// A register-to-register move occurrence.
+struct MovePair {
+  RegId Dst;
+  RegId Src;
+  uint32_t Block;
+  uint32_t InstIdx;
+};
+
+/// Undirected interference graph with adjacency lists and constant-time
+/// edge queries.
+class InterferenceGraph {
+public:
+  /// Builds the graph for \p F using \p LV (computed for the current F).
+  static InterferenceGraph build(const Function &F, const Liveness &LV);
+
+  explicit InterferenceGraph(uint32_t NumNodes = 0) { reset(NumNodes); }
+
+  void reset(uint32_t NumNodes);
+
+  uint32_t numNodes() const { return static_cast<uint32_t>(Adj.size()); }
+
+  /// Adds the undirected edge (A, B); self-edges are ignored.
+  void addEdge(RegId A, RegId B);
+
+  bool interferes(RegId A, RegId B) const;
+
+  const std::vector<RegId> &neighbors(RegId N) const { return Adj[N]; }
+
+  unsigned degree(RegId N) const {
+    return static_cast<unsigned>(Adj[N].size());
+  }
+
+  const std::vector<MovePair> &moves() const { return Moves; }
+
+  /// True if the coloring \p ColorOf (one entry per node) assigns distinct
+  /// colors to every interfering pair.
+  bool isValidColoring(const std::vector<RegId> &ColorOf) const;
+
+private:
+  std::vector<std::vector<RegId>> Adj;
+  std::unordered_set<uint64_t> EdgeSet;
+  std::vector<MovePair> Moves;
+
+  static uint64_t edgeKey(RegId A, RegId B) {
+    if (A > B)
+      std::swap(A, B);
+    return (static_cast<uint64_t>(A) << 32) | B;
+  }
+};
+
+} // namespace dra
+
+#endif // DRA_REGALLOC_INTERFERENCEGRAPH_H

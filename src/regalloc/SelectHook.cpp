@@ -1,0 +1,8 @@
+//===- regalloc/SelectHook.cpp - Color-selection extension point ----------===//
+
+#include "regalloc/SelectHook.h"
+
+using namespace dra;
+
+// Out-of-line virtual-method anchor.
+SelectHook::~SelectHook() = default;

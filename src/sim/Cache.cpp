@@ -1,0 +1,40 @@
+//===- sim/Cache.cpp - Set-associative cache model -------------------------===//
+
+#include "sim/Cache.h"
+
+using namespace dra;
+
+[[maybe_unused]] static bool isPow2(uint32_t X) { return X != 0 && (X & (X - 1)) == 0; }
+
+Cache::Cache(uint32_t SizeBytes, uint32_t LineBytes, uint32_t Ways)
+    : LineBytes(LineBytes), Ways(Ways) {
+  assert(isPow2(SizeBytes) && isPow2(LineBytes) && isPow2(Ways) &&
+         "cache geometry must be powers of two");
+  assert(SizeBytes >= LineBytes * Ways && "cache smaller than one set");
+  NumSets = SizeBytes / (LineBytes * Ways);
+  Tags.assign(static_cast<size_t>(NumSets) * Ways, ~uint64_t(0));
+}
+
+bool Cache::access(uint64_t Addr) {
+  uint64_t Line = Addr / LineBytes;
+  uint32_t Set = static_cast<uint32_t>(Line % NumSets);
+  uint64_t Tag = Line / NumSets;
+  uint64_t *SetTags = &Tags[static_cast<size_t>(Set) * Ways];
+
+  for (uint32_t Way = 0; Way != Ways; ++Way) {
+    if (SetTags[Way] != Tag)
+      continue;
+    // Hit: move to MRU position.
+    for (uint32_t Shift = Way; Shift > 0; --Shift)
+      SetTags[Shift] = SetTags[Shift - 1];
+    SetTags[0] = Tag;
+    ++Hits;
+    return true;
+  }
+  // Miss: evict LRU (last way).
+  for (uint32_t Shift = Ways - 1; Shift > 0; --Shift)
+    SetTags[Shift] = SetTags[Shift - 1];
+  SetTags[0] = Tag;
+  ++Misses;
+  return false;
+}

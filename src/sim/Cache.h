@@ -1,0 +1,52 @@
+//===- sim/Cache.h - Set-associative cache model ----------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic set-associative LRU cache model used for both the I-cache and
+/// the D-cache of the low-end pipeline simulator. Only hit/miss behaviour
+/// is modeled (no contents), which is all the cycle accounting needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SIM_CACHE_H
+#define DRA_SIM_CACHE_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace dra {
+
+/// Geometry + LRU state of one cache.
+class Cache {
+public:
+  /// \p SizeBytes total capacity, \p LineBytes per line, \p Ways
+  /// associativity. All must be powers of two with Size >= Line * Ways.
+  Cache(uint32_t SizeBytes, uint32_t LineBytes, uint32_t Ways);
+
+  /// Accesses \p Addr; returns true on hit and updates LRU/fill state.
+  bool access(uint64_t Addr);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+  void resetStats() { Hits = Misses = 0; }
+
+private:
+  uint32_t LineBytes;
+  uint32_t NumSets;
+  uint32_t Ways;
+  /// Tags[set * Ways + way]; ~0 = invalid. LRU order: lower index = more
+  /// recently used (small associativity, so vector shuffling is fine).
+  std::vector<uint64_t> Tags;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace dra
+
+#endif // DRA_SIM_CACHE_H

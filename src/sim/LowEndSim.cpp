@@ -1,0 +1,107 @@
+//===- sim/LowEndSim.cpp - In-order 5-stage pipeline model ----------------===//
+
+#include "sim/LowEndSim.h"
+
+#include "interp/Interpreter.h"
+#include "sim/Cache.h"
+
+#include <vector>
+
+using namespace dra;
+
+SimResult dra::simulate(const Function &F, const LowEndMachine &M) {
+  // Static layout: blocks in order, BytesPerInst bytes per instruction.
+  std::vector<uint64_t> BlockBase(F.Blocks.size(), 0);
+  uint64_t Pc = 0;
+  for (size_t B = 0; B != F.Blocks.size(); ++B) {
+    BlockBase[B] = Pc;
+    Pc += F.Blocks[B].Insts.size() * M.BytesPerInst;
+  }
+
+  // Data layout: the data array and the spill area live in disjoint
+  // regions; both are cached by the D-cache. Words are 4 bytes on this
+  // 16-bit-instruction machine class.
+  constexpr uint64_t DataBase = 0x10000;
+  constexpr uint64_t SpillBase = 0x20000;
+  constexpr uint64_t WordBytes = 4;
+
+  Cache ICache(M.ICacheBytes, M.ICacheLineBytes, M.ICacheWays);
+  Cache DCache(M.DCacheBytes, M.DCacheLineBytes, M.DCacheWays);
+
+  SimResult R;
+  bool PrevWasSlr = false;
+
+  TraceCallback OnEvent = [&](const TraceEvent &Ev) {
+    uint64_t Addr =
+        BlockBase[Ev.Block] + uint64_t(Ev.InstIdx) * M.BytesPerInst;
+    if (!ICache.access(Addr))
+      R.Cycles += M.ICacheMissPenalty;
+
+    const Instruction &I = *Ev.Inst;
+    if (I.Op == Opcode::SetLastReg) {
+      // Killed at decode; the front-end model decides the visible cost.
+      switch (M.SlrCostPolicy) {
+      case LowEndMachine::SlrCost::Full:
+        R.Cycles += 1;
+        break;
+      case LowEndMachine::SlrCost::HalfAligned:
+        if (Addr % 4 != 0)
+          R.Cycles += 1;
+        break;
+      case LowEndMachine::SlrCost::Absorbed:
+        if (PrevWasSlr)
+          R.Cycles += 1;
+        break;
+      }
+      PrevWasSlr = true;
+      ++R.SlrSlots;
+      return;
+    }
+    PrevWasSlr = false;
+
+    R.Cycles += 1;
+    ++R.DynInsts;
+    switch (I.Op) {
+    case Opcode::Mul:
+    case Opcode::MulI:
+      R.Cycles += M.MulExtraCycles;
+      break;
+    case Opcode::DivS:
+    case Opcode::Rem:
+      R.Cycles += M.DivExtraCycles;
+      break;
+    case Opcode::Load:
+    case Opcode::SpillLd: {
+      R.Cycles += M.LoadExtraCycles;
+      uint64_t Base = I.Op == Opcode::SpillLd ? SpillBase : DataBase;
+      if (!DCache.access(Base + Ev.MemAddr * WordBytes))
+        R.Cycles += M.DCacheMissPenalty;
+      R.SpillAccesses += I.Op == Opcode::SpillLd;
+      break;
+    }
+    case Opcode::Store:
+    case Opcode::SpillSt: {
+      R.Cycles += M.StoreExtraCycles;
+      uint64_t Base = I.Op == Opcode::SpillSt ? SpillBase : DataBase;
+      if (!DCache.access(Base + Ev.MemAddr * WordBytes))
+        R.Cycles += M.DCacheMissPenalty;
+      R.SpillAccesses += I.Op == Opcode::SpillSt;
+      break;
+    }
+    case Opcode::Br:
+    case Opcode::Jmp:
+      if (Ev.BranchTaken)
+        R.Cycles += M.TakenBranchPenalty;
+      break;
+    default:
+      break;
+    }
+  };
+
+  ExecResult Exec = interpret(F, M.StepLimit, OnEvent);
+  R.ICacheMisses = ICache.misses();
+  R.DCacheMisses = DCache.misses();
+  R.Fingerprint = fingerprint(Exec);
+  R.HitStepLimit = Exec.HitStepLimit;
+  return R;
+}

@@ -1,0 +1,66 @@
+//===- swp/Ddg.cpp - Loop data-dependence graphs --------------------------===//
+
+#include "swp/Ddg.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace dra;
+
+unsigned dra::resMii(const LoopDdg &L, const VliwMachine &M) {
+  auto CeilDiv = [](size_t A, size_t B) {
+    return static_cast<unsigned>((A + B - 1) / B);
+  };
+  unsigned Total = CeilDiv(L.Ops.size(), M.IssueSlots);
+  unsigned Mem = CeilDiv(L.countKind(FuKind::Mem), M.MemPorts);
+  unsigned Mul = CeilDiv(L.countKind(FuKind::Mul), M.MulUnits);
+  unsigned Result = std::max({1u, Total, Mem, Mul});
+  return Result;
+}
+
+namespace {
+
+/// True if, for the given II, some dependence cycle has positive total
+/// (latency - II * distance) — i.e. the II is infeasible. Bellman-Ford
+/// style relaxation for longest paths with positive-cycle detection.
+bool hasPositiveCycle(const LoopDdg &L, unsigned II) {
+  size_t N = L.Ops.size();
+  // Longest-path distances, starting at 0 everywhere (we only care about
+  // cycles, so every node is a source).
+  std::vector<double> Dist(N, 0.0);
+  for (size_t Round = 0; Round <= N; ++Round) {
+    bool Changed = false;
+    for (const DdgEdge &E : L.Edges) {
+      double W = static_cast<double>(E.Latency) -
+                 static_cast<double>(II) * static_cast<double>(E.Distance);
+      if (Dist[E.Src] + W > Dist[E.Dst] + 1e-9) {
+        Dist[E.Dst] = Dist[E.Src] + W;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      return false;
+  }
+  return true; // Still relaxing after N rounds: positive cycle.
+}
+
+} // namespace
+
+unsigned dra::recMii(const LoopDdg &L) {
+  // Find the smallest II without a positive cycle. Latencies are small, so
+  // a linear scan from 1 is fine (II is bounded by sum of latencies on the
+  // worst cycle).
+  unsigned MaxII = 2;
+  for (const DdgOp &Op : L.Ops)
+    MaxII += Op.Latency;
+  for (unsigned II = 1; II <= MaxII; ++II)
+    if (!hasPositiveCycle(L, II))
+      return II;
+  assert(false && "recMii: no feasible II found (zero-distance cycle?)");
+  return MaxII;
+}
+
+unsigned dra::minII(const LoopDdg &L, const VliwMachine &M) {
+  return std::max(resMii(L, M), recMii(L));
+}

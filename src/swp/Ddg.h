@@ -1,0 +1,88 @@
+//===- swp/Ddg.h - Loop data-dependence graphs ------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Data-dependence graphs for innermost loops, the input of the modulo
+/// scheduler (Section 10.2 pipeline). Nodes are operations with a
+/// functional-unit kind and latency; edges carry (latency, distance) where
+/// distance is the number of loop iterations the dependence spans.
+/// Each operation defines at most one value, consumed by its data
+/// successors — the representation the VLIW register-requirement analysis
+/// works on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SWP_DDG_H
+#define DRA_SWP_DDG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Functional-unit classes of the VLIW model.
+enum class FuKind : uint8_t { Alu, Mem, Mul };
+
+/// One loop operation.
+struct DdgOp {
+  FuKind Kind = FuKind::Alu;
+  unsigned Latency = 1;
+  /// True if the op defines a register value (stores do not).
+  bool Defines = true;
+};
+
+/// One dependence edge: Dst depends on Src with the given latency, across
+/// Distance iterations (0 = same iteration).
+struct DdgEdge {
+  uint32_t Src = 0;
+  uint32_t Dst = 0;
+  unsigned Latency = 1;
+  unsigned Distance = 0;
+  /// True if this is a data (register flow) edge: Dst reads Src's value.
+  bool IsData = true;
+};
+
+/// An innermost loop as a DDG.
+struct LoopDdg {
+  std::string Name;
+  std::vector<DdgOp> Ops;
+  std::vector<DdgEdge> Edges;
+  /// Iteration count used for cycle accounting.
+  uint64_t TripCount = 1000;
+
+  size_t countKind(FuKind K) const {
+    size_t N = 0;
+    for (const DdgOp &Op : Ops)
+      N += Op.Kind == K;
+    return N;
+  }
+};
+
+/// The VLIW machine of the high-performance evaluation: 4 issue slots, 2
+/// memory ports (Section 10.2). Multiplies share the ALU slots but are
+/// limited by dedicated units.
+struct VliwMachine {
+  unsigned IssueSlots = 4;
+  unsigned MemPorts = 2;
+  unsigned MulUnits = 2;
+};
+
+/// Resource-constrained minimum initiation interval.
+unsigned resMii(const LoopDdg &L, const VliwMachine &M);
+
+/// Recurrence-constrained minimum II: the smallest II such that no
+/// dependence cycle has positive slack deficit (computed by positive-cycle
+/// detection on edge weight latency - II * distance). Returns 1 when the
+/// graph is acyclic.
+unsigned recMii(const LoopDdg &L);
+
+/// max(resMii, recMii).
+unsigned minII(const LoopDdg &L, const VliwMachine &M);
+
+} // namespace dra
+
+#endif // DRA_SWP_DDG_H

@@ -1,0 +1,271 @@
+//===- swp/ModuloScheduler.cpp - Iterative modulo scheduling --------------===//
+
+#include "swp/ModuloScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+unsigned ModuloSchedule::stageCount() const {
+  unsigned MaxTime = 0;
+  for (unsigned T : TimeOf)
+    MaxTime = std::max(MaxTime, T);
+  return II == 0 ? 1 : (MaxTime / II) + 1;
+}
+
+namespace {
+
+/// Modulo reservation table for one candidate II.
+class Mrt {
+public:
+  Mrt(const VliwMachine &M, unsigned II)
+      : M(M), II(II), Slots(II, 0), Mem(II, 0), Mul(II, 0) {}
+
+  bool fits(FuKind Kind, unsigned Time) const {
+    unsigned Row = Time % II;
+    if (Slots[Row] >= M.IssueSlots)
+      return false;
+    if (Kind == FuKind::Mem && Mem[Row] >= M.MemPorts)
+      return false;
+    if (Kind == FuKind::Mul && Mul[Row] >= M.MulUnits)
+      return false;
+    return true;
+  }
+
+  void add(FuKind Kind, unsigned Time) {
+    unsigned Row = Time % II;
+    ++Slots[Row];
+    if (Kind == FuKind::Mem)
+      ++Mem[Row];
+    if (Kind == FuKind::Mul)
+      ++Mul[Row];
+  }
+
+  void remove(FuKind Kind, unsigned Time) {
+    unsigned Row = Time % II;
+    assert(Slots[Row] > 0 && "removing from empty row");
+    --Slots[Row];
+    if (Kind == FuKind::Mem)
+      --Mem[Row];
+    if (Kind == FuKind::Mul)
+      --Mul[Row];
+  }
+
+private:
+  const VliwMachine &M;
+  unsigned II;
+  std::vector<unsigned> Slots, Mem, Mul;
+};
+
+/// Height-based priority (longest latency path to any sink, II-adjusted
+/// over back edges ignored for simplicity — classic HeightR with distance
+/// discount).
+std::vector<double> computeHeights(const LoopDdg &L, unsigned II) {
+  size_t N = L.Ops.size();
+  std::vector<double> Height(N, 0.0);
+  // Relax enough rounds; heights over cyclic graphs are bounded because a
+  // feasible II makes every cycle's weight non-positive.
+  for (size_t Round = 0; Round <= N + 1; ++Round) {
+    bool Changed = false;
+    for (const DdgEdge &E : L.Edges) {
+      double W = static_cast<double>(E.Latency) -
+                 static_cast<double>(II) * static_cast<double>(E.Distance);
+      if (Height[E.Src] < Height[E.Dst] + W - 1e-9) {
+        Height[E.Src] = Height[E.Dst] + W;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+  return Height;
+}
+
+} // namespace
+
+std::optional<ModuloSchedule> dra::scheduleAtII(const LoopDdg &L,
+                                                const VliwMachine &M,
+                                                unsigned II,
+                                                unsigned BudgetRatio) {
+  size_t N = L.Ops.size();
+  if (N == 0)
+    return ModuloSchedule{II, {}};
+
+  std::vector<double> Height = computeHeights(L, II);
+
+  constexpr unsigned Unscheduled = ~0u;
+  ModuloSchedule S;
+  S.II = II;
+  S.TimeOf.assign(N, Unscheduled);
+  Mrt Table(M, II);
+
+  // In/out edge indices per op.
+  std::vector<std::vector<uint32_t>> InEdges(N), OutEdges(N);
+  for (uint32_t E = 0; E != L.Edges.size(); ++E) {
+    InEdges[L.Edges[E].Dst].push_back(E);
+    OutEdges[L.Edges[E].Src].push_back(E);
+  }
+
+  // Worklist of unscheduled ops, highest priority first.
+  auto Pick = [&]() -> uint32_t {
+    uint32_t Best = ~0u;
+    for (uint32_t Op = 0; Op != N; ++Op) {
+      if (S.TimeOf[Op] != Unscheduled)
+        continue;
+      if (Best == ~0u || Height[Op] > Height[Best] + 1e-9 ||
+          (std::abs(Height[Op] - Height[Best]) <= 1e-9 && Op < Best))
+        Best = Op;
+    }
+    return Best;
+  };
+
+  uint64_t Budget =
+      static_cast<uint64_t>(N) * std::max(4u, BudgetRatio);
+  std::vector<unsigned> LastForced(N, 0);
+
+  while (true) {
+    uint32_t Op = Pick();
+    if (Op == ~0u)
+      break; // All scheduled.
+    if (Budget-- == 0)
+      return std::nullopt;
+
+    // Earliest start from scheduled predecessors.
+    long EStart = 0;
+    for (uint32_t EIdx : InEdges[Op]) {
+      const DdgEdge &E = L.Edges[EIdx];
+      if (S.TimeOf[E.Src] == Unscheduled)
+        continue;
+      long Bound = static_cast<long>(S.TimeOf[E.Src]) +
+                   static_cast<long>(E.Latency) -
+                   static_cast<long>(II) * static_cast<long>(E.Distance);
+      EStart = std::max(EStart, Bound);
+    }
+    EStart = std::max(EStart, 0l);
+
+    // Try the II consecutive slots from EStart.
+    unsigned Chosen = ~0u;
+    for (unsigned Offset = 0; Offset != II; ++Offset) {
+      unsigned T = static_cast<unsigned>(EStart) + Offset;
+      if (Table.fits(L.Ops[Op].Kind, T)) {
+        Chosen = T;
+        break;
+      }
+    }
+    if (Chosen == ~0u) {
+      // Force placement (classic IMS): at max(EStart, previous + 1).
+      Chosen = std::max(static_cast<unsigned>(EStart), LastForced[Op] + 1);
+      LastForced[Op] = Chosen;
+      // Evict resource conflicts in that row.
+      for (uint32_t Other = 0; Other != N; ++Other) {
+        if (Other == Op || S.TimeOf[Other] == Unscheduled)
+          continue;
+        if (S.TimeOf[Other] % II != Chosen % II)
+          continue;
+        // Evict same-row ops that compete for the contended resource; for
+        // simplicity evict all same-row ops of the same kind first, then
+        // any same-row op if still no slot fits.
+        Table.remove(L.Ops[Other].Kind, S.TimeOf[Other]);
+        S.TimeOf[Other] = Unscheduled;
+        if (Table.fits(L.Ops[Op].Kind, Chosen))
+          break;
+      }
+      if (!Table.fits(L.Ops[Op].Kind, Chosen))
+        return std::nullopt; // Could not make room (shouldn't happen).
+    }
+
+    S.TimeOf[Op] = Chosen;
+    Table.add(L.Ops[Op].Kind, Chosen);
+
+    // Evict successors/predecessors whose dependence is now violated.
+    for (uint32_t EIdx : OutEdges[Op]) {
+      const DdgEdge &E = L.Edges[EIdx];
+      if (S.TimeOf[E.Dst] == Unscheduled)
+        continue;
+      long Bound = static_cast<long>(Chosen) + static_cast<long>(E.Latency) -
+                   static_cast<long>(II) * static_cast<long>(E.Distance);
+      if (static_cast<long>(S.TimeOf[E.Dst]) < Bound) {
+        Table.remove(L.Ops[E.Dst].Kind, S.TimeOf[E.Dst]);
+        S.TimeOf[E.Dst] = Unscheduled;
+      }
+    }
+    for (uint32_t EIdx : InEdges[Op]) {
+      const DdgEdge &E = L.Edges[EIdx];
+      if (S.TimeOf[E.Src] == Unscheduled)
+        continue;
+      long Bound = static_cast<long>(S.TimeOf[E.Src]) +
+                   static_cast<long>(E.Latency) -
+                   static_cast<long>(II) * static_cast<long>(E.Distance);
+      if (static_cast<long>(Chosen) < Bound) {
+        Table.remove(L.Ops[E.Src].Kind, S.TimeOf[E.Src]);
+        S.TimeOf[E.Src] = Unscheduled;
+      }
+    }
+  }
+
+  // Normalize: shift so the earliest time is < II (pure cosmetics).
+  return S;
+}
+
+ModuloSchedule dra::scheduleLoop(const LoopDdg &L, const VliwMachine &M,
+                                 unsigned MaxII) {
+  unsigned Start = minII(L, M);
+  if (MaxII == 0) {
+    MaxII = Start + 64;
+    for (const DdgOp &Op : L.Ops)
+      MaxII += Op.Latency;
+  }
+  for (unsigned II = Start; II <= MaxII; ++II) {
+    if (auto S = scheduleAtII(L, M, II))
+      return *S;
+  }
+  // Fully sequential fallback: II = sum of latencies always schedules.
+  unsigned SeqII = 1;
+  for (const DdgOp &Op : L.Ops)
+    SeqII += Op.Latency;
+  auto S = scheduleAtII(L, M, SeqII, 64);
+  assert(S && "sequential II must schedule");
+  return *S;
+}
+
+RegRequirement dra::computeRegRequirement(const LoopDdg &L,
+                                          const ModuloSchedule &S) {
+  RegRequirement R;
+  size_t N = L.Ops.size();
+  R.SpanOf.assign(N, 0);
+  if (S.II == 0 || N == 0)
+    return R;
+  unsigned II = S.II;
+
+  for (uint32_t Op = 0; Op != N; ++Op) {
+    if (!L.Ops[Op].Defines)
+      continue;
+    long Def = S.TimeOf[Op];
+    long LastUse = Def + 1; // A defined value lives at least one cycle.
+    for (const DdgEdge &E : L.Edges) {
+      if (!E.IsData || E.Src != Op)
+        continue;
+      long Use = static_cast<long>(S.TimeOf[E.Dst]) +
+                 static_cast<long>(II) * static_cast<long>(E.Distance);
+      LastUse = std::max(LastUse, Use);
+    }
+    R.SpanOf[Op] = static_cast<unsigned>(LastUse - Def);
+  }
+
+  // Steady-state occupancy per phase.
+  std::vector<unsigned> Occupancy(II, 0);
+  for (uint32_t Op = 0; Op != N; ++Op) {
+    unsigned Span = R.SpanOf[Op];
+    if (Span == 0)
+      continue;
+    R.Mve = std::max(R.Mve, (Span + II - 1) / II);
+    for (unsigned Offset = 0; Offset != std::min(Span, II); ++Offset) {
+      unsigned Phase = (S.TimeOf[Op] + Offset) % II;
+      Occupancy[Phase] += (Span - Offset + II - 1) / II;
+    }
+  }
+  for (unsigned Phase = 0; Phase != II; ++Phase)
+    R.MaxLive = std::max(R.MaxLive, Occupancy[Phase]);
+  return R;
+}

@@ -1,0 +1,65 @@
+//===- swp/ModuloScheduler.h - Iterative modulo scheduling ------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Rau's iterative modulo scheduling (IMS): height-priority list scheduling
+/// onto a modulo reservation table with bounded-budget eviction. Paired
+/// with the register-requirement analysis (MaxLive under the flattened
+/// steady state) and the modulo-variable-expansion factor used for code
+/// growth accounting.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SWP_MODULOSCHEDULER_H
+#define DRA_SWP_MODULOSCHEDULER_H
+
+#include "swp/Ddg.h"
+
+#include <optional>
+#include <vector>
+
+namespace dra {
+
+/// A modulo schedule: an absolute issue time per operation, valid modulo
+/// II against the machine resources.
+struct ModuloSchedule {
+  unsigned II = 0;
+  std::vector<unsigned> TimeOf;
+  /// Number of kernel stages: ceil((max time + 1) / II).
+  unsigned stageCount() const;
+};
+
+/// Per-value lifetime information in the steady state.
+struct RegRequirement {
+  /// Maximum simultaneously-live values over the II phases.
+  unsigned MaxLive = 0;
+  /// Modulo-variable-expansion unroll factor: max over values of
+  /// ceil(lifetime / II), at least 1.
+  unsigned Mve = 1;
+  /// Per-op lifetime span in cycles (0 for ops defining no value or with
+  /// no consumers... stores report 0).
+  std::vector<unsigned> SpanOf;
+};
+
+/// Attempts to schedule \p L at exactly \p II. \p BudgetRatio bounds
+/// scheduling steps (ops * ratio) before giving up.
+std::optional<ModuloSchedule> scheduleAtII(const LoopDdg &L,
+                                           const VliwMachine &M, unsigned II,
+                                           unsigned BudgetRatio = 16);
+
+/// Schedules \p L at the smallest feasible II >= minII(L, M), trying
+/// successive IIs up to \p MaxII (0 = automatic bound). Never fails for
+/// consistent DDGs (a large-enough II always works).
+ModuloSchedule scheduleLoop(const LoopDdg &L, const VliwMachine &M,
+                            unsigned MaxII = 0);
+
+/// Computes MaxLive / MVE for \p S.
+RegRequirement computeRegRequirement(const LoopDdg &L,
+                                     const ModuloSchedule &S);
+
+} // namespace dra
+
+#endif // DRA_SWP_MODULOSCHEDULER_H

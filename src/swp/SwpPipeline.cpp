@@ -1,0 +1,268 @@
+//===- swp/SwpPipeline.cpp - Software-pipelining driver -------------------===//
+
+#include "swp/SwpPipeline.h"
+
+#include "core/AdjacencyGraph.h"
+#include "core/Remap.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace dra;
+
+size_t dra::spillValue(LoopDdg &L, uint32_t Op) {
+  assert(Op < L.Ops.size() && L.Ops[Op].Defines && "cannot spill this op");
+  // Store node.
+  uint32_t StoreIdx = static_cast<uint32_t>(L.Ops.size());
+  DdgOp Store;
+  Store.Kind = FuKind::Mem;
+  Store.Latency = 1;
+  Store.Defines = false;
+  L.Ops.push_back(Store);
+  L.Edges.push_back({Op, StoreIdx, L.Ops[Op].Latency, 0, /*IsData=*/true});
+
+  // One load per consuming data edge.
+  size_t Added = 1;
+  std::vector<DdgEdge> NewEdges;
+  for (DdgEdge &E : L.Edges) {
+    if (!E.IsData || E.Src != Op || E.Dst == StoreIdx)
+      continue;
+    uint32_t LoadIdx = static_cast<uint32_t>(L.Ops.size());
+    DdgOp Load;
+    Load.Kind = FuKind::Mem;
+    Load.Latency = 2;
+    Load.Defines = true;
+    L.Ops.push_back(Load);
+    ++Added;
+    // Memory dependence store -> load carries the iteration distance.
+    NewEdges.push_back({StoreIdx, LoadIdx, 1, E.Distance, /*IsData=*/false});
+    // The consumer now reads the load's value in the same iteration.
+    NewEdges.push_back({LoadIdx, E.Dst, Load.Latency, 0, /*IsData=*/true});
+    // Retarget the old edge into a non-data ordering edge that keeps the
+    // consumer after the original definition is irrelevant now; drop it by
+    // marking it as the new load edge instead: easiest is to rewrite it to
+    // the store->load edge later, so mark for deletion via Latency = 0 and
+    // IsData = false on a self loop which we filter below.
+    E.Src = E.Dst = 0;
+    E.Latency = 0;
+    E.Distance = 0;
+    E.IsData = false;
+  }
+  // Remove the neutralized self edges.
+  L.Edges.erase(std::remove_if(L.Edges.begin(), L.Edges.end(),
+                               [](const DdgEdge &E) {
+                                 return E.Src == E.Dst && E.Latency == 0 &&
+                                        !E.IsData;
+                               }),
+                L.Edges.end());
+  L.Edges.insert(L.Edges.end(), NewEdges.begin(), NewEdges.end());
+  return Added;
+}
+
+namespace {
+
+/// Cyclic register allocation of the MVE-unrolled kernel.
+struct KernelAlloc {
+  unsigned RegsUsed = 0;
+  unsigned Mve = 1;
+  /// RegOf[Op][Copy] — register of op Op's value in unroll copy Copy
+  /// (NoReg for non-defining ops).
+  std::vector<std::vector<RegId>> RegOf;
+};
+
+/// Greedy circular-arc coloring of value instances over the unrolled
+/// steady-state window of length Mve * II.
+KernelAlloc allocateKernel(const LoopDdg &L, const ModuloSchedule &S,
+                           const RegRequirement &RR) {
+  KernelAlloc A;
+  A.Mve = RR.Mve;
+  unsigned Window = std::max(1u, A.Mve * S.II);
+  size_t N = L.Ops.size();
+  A.RegOf.assign(N, std::vector<RegId>(A.Mve, NoReg));
+
+  struct Arc {
+    uint32_t Op;
+    unsigned Copy;
+    unsigned Start; // In [0, Window).
+    unsigned Span;  // <= Window by MVE construction.
+  };
+  std::vector<Arc> Arcs;
+  for (uint32_t Op = 0; Op != N; ++Op) {
+    if (!L.Ops[Op].Defines)
+      continue;
+    unsigned Span = std::max(1u, RR.SpanOf[Op]);
+    assert(Span <= Window && "span exceeds MVE window");
+    for (unsigned Copy = 0; Copy != A.Mve; ++Copy)
+      Arcs.push_back({Op, Copy, (S.TimeOf[Op] + Copy * S.II) % Window, Span});
+  }
+  std::sort(Arcs.begin(), Arcs.end(), [](const Arc &X, const Arc &Y) {
+    if (X.Start != Y.Start)
+      return X.Start < Y.Start;
+    if (X.Op != Y.Op)
+      return X.Op < Y.Op;
+    return X.Copy < Y.Copy;
+  });
+
+  auto Overlaps = [&](const Arc &X, const Arc &Y) {
+    // Circular interval overlap over [0, Window).
+    unsigned DeltaXY = (Y.Start + Window - X.Start) % Window;
+    unsigned DeltaYX = (X.Start + Window - Y.Start) % Window;
+    return DeltaXY < X.Span || DeltaYX < Y.Span;
+  };
+
+  std::vector<std::vector<Arc>> PerReg;
+  for (const Arc &Candidate : Arcs) {
+    bool Placed = false;
+    for (unsigned Reg = 0; Reg != PerReg.size() && !Placed; ++Reg) {
+      bool Conflict = false;
+      for (const Arc &Existing : PerReg[Reg])
+        if (Overlaps(Candidate, Existing)) {
+          Conflict = true;
+          break;
+        }
+      if (!Conflict) {
+        PerReg[Reg].push_back(Candidate);
+        A.RegOf[Candidate.Op][Candidate.Copy] = Reg;
+        Placed = true;
+      }
+    }
+    if (!Placed) {
+      PerReg.emplace_back();
+      PerReg.back().push_back(Candidate);
+      A.RegOf[Candidate.Op][Candidate.Copy] =
+          static_cast<RegId>(PerReg.size() - 1);
+    }
+  }
+  A.RegsUsed = static_cast<unsigned>(PerReg.size());
+  return A;
+}
+
+/// The kernel's register access sequence across the unrolled steady state,
+/// in issue-time order (srcs then dst per op).
+std::vector<RegId> kernelAccessSequence(const LoopDdg &L,
+                                        const ModuloSchedule &S,
+                                        const KernelAlloc &A) {
+  struct Slot {
+    unsigned Time;
+    uint32_t Op;
+    unsigned Copy;
+  };
+  std::vector<Slot> Slots;
+  for (uint32_t Op = 0; Op != L.Ops.size(); ++Op)
+    for (unsigned Copy = 0; Copy != A.Mve; ++Copy)
+      Slots.push_back({S.TimeOf[Op] + Copy * S.II, Op, Copy});
+  std::sort(Slots.begin(), Slots.end(), [](const Slot &X, const Slot &Y) {
+    if (X.Time != Y.Time)
+      return X.Time < Y.Time;
+    if (X.Op != Y.Op)
+      return X.Op < Y.Op;
+    return X.Copy < Y.Copy;
+  });
+
+  std::vector<RegId> Seq;
+  for (const Slot &Sl : Slots) {
+    // Sources: incoming data edges; the producing copy is offset by the
+    // dependence distance.
+    for (const DdgEdge &E : L.Edges) {
+      if (!E.IsData || E.Dst != Sl.Op)
+        continue;
+      unsigned SrcCopy =
+          (Sl.Copy + A.Mve - (E.Distance % A.Mve)) % A.Mve;
+      RegId R = A.RegOf[E.Src][SrcCopy];
+      if (R != NoReg)
+        Seq.push_back(R);
+    }
+    RegId Def = L.Ops[Sl.Op].Defines ? A.RegOf[Sl.Op][Sl.Copy] : NoReg;
+    if (Def != NoReg)
+      Seq.push_back(Def);
+  }
+  return Seq;
+}
+
+} // namespace
+
+SwpResult dra::pipelineLoop(LoopDdg L, const VliwMachine &M,
+                            unsigned ArchRegs, const EncodingConfig *Enc,
+                            unsigned RemapStarts) {
+  SwpResult R;
+  unsigned RegLimit = Enc ? Enc->RegN : ArchRegs;
+
+  ModuloSchedule S;
+  RegRequirement RR;
+  KernelAlloc A;
+  std::vector<uint8_t> Spilled(L.Ops.size(), 0);
+
+  size_t MaxSpillRounds = L.Ops.size() + 8;
+  for (size_t Round = 0;; ++Round) {
+    R.MII = minII(L, M);
+    S = scheduleLoop(L, M);
+    RR = computeRegRequirement(L, S);
+    A = allocateKernel(L, S, RR);
+    if (A.RegsUsed <= RegLimit || Round >= MaxSpillRounds)
+      break;
+
+    // Spill the longest-lived spillable value (Zalamea-style heuristic):
+    // exclude memory ops (loads produced by earlier spills) and values
+    // already spilled.
+    uint32_t Victim = ~0u;
+    unsigned VictimSpan = 0;
+    for (uint32_t Op = 0; Op != L.Ops.size(); ++Op) {
+      if (!L.Ops[Op].Defines || L.Ops[Op].Kind == FuKind::Mem)
+        continue;
+      if (Op < Spilled.size() && Spilled[Op])
+        continue;
+      bool HasConsumer = false;
+      for (const DdgEdge &E : L.Edges)
+        HasConsumer |= E.IsData && E.Src == Op;
+      if (!HasConsumer)
+        continue;
+      if (RR.SpanOf[Op] > VictimSpan) {
+        VictimSpan = RR.SpanOf[Op];
+        Victim = Op;
+      }
+    }
+    if (Victim == ~0u)
+      break; // Nothing left to spill; accept the over-requirement.
+    R.SpillOps += spillValue(L, Victim);
+    ++R.SpilledValues;
+    Spilled.resize(L.Ops.size(), 0);
+    Spilled[Victim] = 1;
+  }
+
+  R.Ok = A.RegsUsed <= RegLimit;
+  R.II = S.II;
+  R.StageCount = S.stageCount();
+  R.MaxLive = RR.MaxLive;
+  R.Mve = RR.Mve;
+  R.RegsUsed = A.RegsUsed;
+  R.KernelOps = L.Ops.size();
+
+  // Steady state plus pipeline fill.
+  R.Cycles = static_cast<uint64_t>(S.II) * L.TripCount +
+             static_cast<uint64_t>(R.StageCount - 1) * S.II;
+
+  // Differential encoding of the kernel (Section 8.1): remap the kernel's
+  // register numbers, then price every remaining adjacency violation (plus
+  // one loop-entry repair) as a set_last_reg word. Skipped when spilling
+  // could not bring the requirement under RegN (R.Ok is false then and the
+  // kernel uses register ids the encoding cannot address).
+  if (Enc && A.RegsUsed <= Enc->RegN) {
+    std::vector<RegId> Seq = kernelAccessSequence(L, S, A);
+    AdjacencyGraph G(Enc->RegN);
+    for (size_t I = 1; I < Seq.size(); ++I)
+      G.addWeight(Seq[I - 1], Seq[I], 1.0);
+    if (Seq.size() >= 2)
+      G.addWeight(Seq.back(), Seq.front(), 1.0); // Back-edge wraparound.
+    RemapOptions RO;
+    RO.NumStarts = RemapStarts; // Kernel graphs are small; keep remap fast.
+    RemapResult RemapRes = findRemap(G, *Enc, RO);
+    R.SetLastRegs =
+        static_cast<size_t>(RemapRes.CostAfter + 0.5) + (Seq.empty() ? 0 : 1);
+  }
+
+  // Static code: MVE-unrolled kernel + prologue/epilogue stages + repairs.
+  R.CodeInsts = R.KernelOps * R.Mve +
+                2 * static_cast<size_t>(R.StageCount - 1) * R.KernelOps +
+                R.SetLastRegs;
+  return R;
+}

@@ -1,0 +1,70 @@
+//===- swp/SwpPipeline.h - Software-pipelining driver -----------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The high-performance-processor pipeline of Section 10.2: modulo
+/// scheduling (src/swp/ModuloScheduler.h), spilling when the kernel's
+/// register requirement exceeds the architected registers (Zalamea-style:
+/// the longest-lived value is stored after its definition and reloaded
+/// before distant uses, the loop is rescheduled), cyclic kernel register
+/// allocation under modulo variable expansion, and — when differential
+/// encoding is enabled — differential remapping of the kernel's register
+/// numbers with all remaining repairs priced as set_last_reg words.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SWP_SWPPIPELINE_H
+#define DRA_SWP_SWPPIPELINE_H
+
+#include "core/EncodingConfig.h"
+#include "swp/ModuloScheduler.h"
+
+namespace dra {
+
+/// Outcome of pipelining one loop.
+struct SwpResult {
+  bool Ok = true;
+  unsigned MII = 0;
+  unsigned II = 0;
+  unsigned StageCount = 1;
+  unsigned MaxLive = 0;
+  unsigned Mve = 1;
+  /// Registers the kernel allocation actually used.
+  unsigned RegsUsed = 0;
+  /// Memory operations added by spilling.
+  size_t SpillOps = 0;
+  /// Values spilled.
+  size_t SpilledValues = 0;
+  /// Kernel operations after spilling (one VLIW slot each).
+  size_t KernelOps = 0;
+  /// Steady-state + prologue cycles for TripCount iterations.
+  uint64_t Cycles = 0;
+  /// Static code size in instruction slots: MVE-unrolled kernel plus
+  /// prologue/epilogue stages plus set_last_reg words.
+  size_t CodeInsts = 0;
+  /// set_last_reg words: one per remaining adjacency violation in the
+  /// allocated kernel plus one loop-entry repair (0 when differential
+  /// encoding is off).
+  size_t SetLastRegs = 0;
+};
+
+/// Pipelines \p L (by value; spilling rewrites the DDG) for a machine with
+/// \p ArchRegs architected registers. When \p Enc is non-null differential
+/// encoding exposes Enc->RegN registers (ArchRegs is then ignored for the
+/// requirement check but Enc->DiffN-bit semantics price the repairs);
+/// when null the loop is limited to ArchRegs with direct encoding.
+SwpResult pipelineLoop(LoopDdg L, const VliwMachine &M, unsigned ArchRegs,
+                       const EncodingConfig *Enc = nullptr,
+                       unsigned RemapStarts = 12);
+
+/// Rewrites \p L so that value \p Op is spilled: a store is inserted after
+/// the definition and one load per consuming edge replaces the register
+/// flow. Returns the number of memory operations added.
+size_t spillValue(LoopDdg &L, uint32_t Op);
+
+} // namespace dra
+
+#endif // DRA_SWP_SWPPIPELINE_H

@@ -1,0 +1,153 @@
+//===- workloads/LoopCorpus.cpp - SPEC-like innermost-loop corpus ---------===//
+
+#include "workloads/LoopCorpus.h"
+
+#include "adt/Rng.h"
+
+#include <algorithm>
+
+using namespace dra;
+
+namespace {
+
+/// Size classes roughly matching an integer-benchmark loop population:
+/// mostly small reduction loops, a tail of large unrolled/inlined bodies
+/// with wide instruction-level parallelism (these are the ones whose
+/// register requirement exceeds 32).
+struct SizeClass {
+  unsigned MinChains, MaxChains;  // Parallel dependence chains.
+  unsigned MinLen, MaxLen;        // Ops per chain.
+  unsigned RecurrencePct;         // Chance a chain carries a recurrence.
+  unsigned MinDist, MaxDist;      // Recurrence distance range.
+  unsigned CrossPct;              // Chance of a cross-chain edge per op.
+  uint64_t TripMin, TripMax;
+  unsigned WeightPct;             // Share of the population.
+};
+
+constexpr SizeClass Classes[] = {
+    // Small, serial-ish loops: low pressure.
+    {2, 4, 2, 4, 70, 1, 1, 25, 80, 500, 56},
+    // Medium loops.
+    {4, 8, 3, 6, 45, 1, 2, 30, 80, 600, 29},
+    // Large, wide loops (aggressively unrolled/inlined/software-pipelined
+    // bodies): long-distance recurrences and late cross-chain uses keep
+    // values live for several iterations — the high-register-requirement
+    // population (roughly the paper's 11%).
+    {10, 20, 4, 9, 65, 2, 4, 55, 30, 140, 15},
+};
+
+} // namespace
+
+LoopDdg dra::generateLoop(uint64_t Seed, unsigned Index) {
+  Rng Random(Seed ^ (0x9e3779b97f4a7c15ull * (Index + 1)));
+  LoopDdg L;
+  L.Name = "loop" + std::to_string(Index);
+
+  // Pick a size class.
+  unsigned Roll = static_cast<unsigned>(Random.nextBelow(100));
+  const SizeClass *Cls = &Classes[0];
+  unsigned Acc = 0;
+  for (const SizeClass &Candidate : Classes) {
+    Acc += Candidate.WeightPct;
+    if (Roll < Acc) {
+      Cls = &Candidate;
+      break;
+    }
+  }
+
+  L.TripCount = static_cast<uint64_t>(
+      Random.nextInRange(static_cast<int64_t>(Cls->TripMin),
+                         static_cast<int64_t>(Cls->TripMax)));
+
+  unsigned NumChains = static_cast<unsigned>(
+      Random.nextInRange(Cls->MinChains, Cls->MaxChains));
+  std::vector<std::vector<uint32_t>> Chains(NumChains);
+
+  auto MakeOp = [&]() {
+    DdgOp Op;
+    unsigned KindRoll = static_cast<unsigned>(Random.nextBelow(100));
+    if (KindRoll < 22) {
+      Op.Kind = FuKind::Mem; // Load.
+      Op.Latency = 2;
+    } else if (KindRoll < 36) {
+      Op.Kind = FuKind::Mul;
+      Op.Latency = 3;
+    } else {
+      Op.Kind = FuKind::Alu;
+      Op.Latency = 1;
+    }
+    Op.Defines = true;
+    L.Ops.push_back(Op);
+    return static_cast<uint32_t>(L.Ops.size() - 1);
+  };
+
+  for (unsigned Chain = 0; Chain != NumChains; ++Chain) {
+    unsigned Len =
+        static_cast<unsigned>(Random.nextInRange(Cls->MinLen, Cls->MaxLen));
+    for (unsigned Pos = 0; Pos != Len; ++Pos) {
+      uint32_t Op = MakeOp();
+      Chains[Chain].push_back(Op);
+      if (Pos != 0) {
+        uint32_t Prev = Chains[Chain][Pos - 1];
+        L.Edges.push_back(
+            {Prev, Op, L.Ops[Prev].Latency, 0, /*IsData=*/true});
+      }
+    }
+    // Loop-carried recurrence: chain tail feeds chain head a few
+    // iterations later. Larger distances keep the tail value live for
+    // Distance * II cycles, which is what drives MaxLive past the
+    // architected registers on the wide loops.
+    if (Chains[Chain].size() >= 2 &&
+        Random.withChance(Cls->RecurrencePct, 100)) {
+      uint32_t Tail = Chains[Chain].back();
+      uint32_t Head = Chains[Chain].front();
+      unsigned Distance = static_cast<unsigned>(
+          Random.nextInRange(Cls->MinDist, Cls->MaxDist));
+      L.Edges.push_back(
+          {Tail, Head, L.Ops[Tail].Latency, Distance, /*IsData=*/true});
+    }
+  }
+
+  // Cross-chain data edges (value reuse between chains) — these lengthen
+  // lifetimes, which is what drives the register requirement up on the
+  // wide loops.
+  for (unsigned Chain = 0; Chain != NumChains; ++Chain) {
+    for (uint32_t Op : Chains[Chain]) {
+      if (!Random.withChance(Cls->CrossPct, 100))
+        continue;
+      unsigned Other =
+          static_cast<unsigned>(Random.nextBelow(NumChains));
+      if (Other == Chain || Chains[Other].empty())
+        continue;
+      uint32_t Src = Random.pick(Chains[Other]);
+      if (Src == Op)
+        continue;
+      // Same-iteration data edge; keep the graph acyclic within an
+      // iteration by always flowing from the lower index.
+      uint32_t From = std::min(Src, Op), To = std::max(Src, Op);
+      L.Edges.push_back(
+          {From, To, L.Ops[From].Latency, 0, /*IsData=*/true});
+    }
+  }
+
+  // A store to close the loop body (keeps at least one Mem writer).
+  uint32_t StoreIdx = static_cast<uint32_t>(L.Ops.size());
+  DdgOp Store;
+  Store.Kind = FuKind::Mem;
+  Store.Latency = 1;
+  Store.Defines = false;
+  L.Ops.push_back(Store);
+  uint32_t StoredValue = Chains[Random.nextBelow(NumChains)].back();
+  L.Edges.push_back(
+      {StoredValue, StoreIdx, L.Ops[StoredValue].Latency, 0, true});
+
+  return L;
+}
+
+std::vector<LoopDdg> dra::generateLoopCorpus(const LoopCorpusOptions &O) {
+  std::vector<LoopDdg> Corpus;
+  Corpus.reserve(O.Count);
+  for (unsigned I = 0; I != O.Count; ++I)
+    Corpus.push_back(generateLoop(O.Seed, I));
+  return Corpus;
+}

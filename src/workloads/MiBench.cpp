@@ -1,0 +1,129 @@
+//===- workloads/MiBench.cpp - MiBench-like benchmark suite ---------------===//
+
+#include "workloads/MiBench.h"
+
+#include <cassert>
+
+using namespace dra;
+
+std::vector<std::string> dra::miBenchNames() {
+  return {"basicmath", "bitcount", "qsort",        "susan", "jpeg",
+          "dijkstra",  "patricia", "stringsearch", "sha",   "crc32"};
+}
+
+ProgramProfile dra::miBenchProfile(const std::string &Name) {
+  ProgramProfile P;
+  if (Name == "basicmath") {
+    P.Seed = 0xba51c;
+    P.PressureVars = 6;
+    P.TopStatements = 18;
+    P.ExprWidth = 3;
+    P.HotPct = 8;
+    P.HotWidth = 9;
+    P.LoopPct = 20;
+    P.MemPct = 12;
+  } else if (Name == "bitcount") {
+    P.Seed = 0xb17c0;
+    P.PressureVars = 5;
+    P.TopStatements = 14;
+    P.ExprWidth = 3;
+    P.HotPct = 7;
+    P.HotWidth = 8;
+    P.MaxLoopDepth = 3;
+    P.LoopPct = 30;
+    P.MemPct = 8;
+    P.IfPct = 6;
+  } else if (Name == "qsort") {
+    P.Seed = 0x4507;
+    P.PressureVars = 6;
+    P.TopStatements = 16;
+    P.ExprWidth = 2;
+    P.HotPct = 6;
+    P.HotWidth = 8;
+    P.MemPct = 34;
+    P.IfPct = 14;
+    P.LoopPct = 18;
+  } else if (Name == "susan") {
+    P.Seed = 0x5005a;
+    P.PressureVars = 7;
+    P.TopStatements = 18;
+    P.ExprWidth = 4;
+    P.HotPct = 12;
+    P.HotWidth = 10;
+    P.MaxLoopDepth = 3;
+    P.LoopPct = 26;
+    P.MemPct = 20;
+  } else if (Name == "jpeg") {
+    P.Seed = 0x77e6;
+    P.PressureVars = 7;
+    P.TopStatements = 20;
+    P.ExprWidth = 3;
+    P.HotPct = 11;
+    P.HotWidth = 10;
+    P.MemPct = 26;
+    P.LoopPct = 22;
+  } else if (Name == "dijkstra") {
+    P.Seed = 0xd177;
+    P.PressureVars = 6;
+    P.TopStatements = 16;
+    P.ExprWidth = 2;
+    P.HotPct = 6;
+    P.HotWidth = 8;
+    P.MemPct = 30;
+    P.IfPct = 16;
+  } else if (Name == "patricia") {
+    P.Seed = 0xa771c;
+    P.PressureVars = 5;
+    P.TopStatements = 17;
+    P.ExprWidth = 2;
+    P.HotPct = 5;
+    P.HotWidth = 7;
+    P.IfPct = 24;
+    P.MemPct = 22;
+    P.LoopPct = 14;
+  } else if (Name == "stringsearch") {
+    P.Seed = 0x5717;
+    P.PressureVars = 5;
+    P.TopStatements = 15;
+    P.ExprWidth = 2;
+    P.HotPct = 4;
+    P.HotWidth = 7;
+    P.IfPct = 20;
+    P.MemPct = 24;
+    P.LoopPct = 18;
+  } else if (Name == "sha") {
+    P.Seed = 0x51a5;
+    P.PressureVars = 7;
+    P.TopStatements = 19;
+    P.ExprWidth = 4;
+    P.HotPct = 14;
+    P.HotWidth = 11;
+    P.LoopPct = 24;
+    P.MemPct = 14;
+    P.MovePct = 16;
+  } else if (Name == "crc32") {
+    P.Seed = 0xc3c32;
+    P.PressureVars = 4;
+    P.TopStatements = 12;
+    P.ExprWidth = 2;
+    P.HotPct = 3;
+    P.HotWidth = 6;
+    P.LoopPct = 28;
+    P.MemPct = 18;
+    P.IfPct = 6;
+  } else {
+    assert(false && "unknown MiBench-like benchmark name");
+  }
+  return P;
+}
+
+Function dra::miBenchProgram(const std::string &Name) {
+  return generateProgram(Name, miBenchProfile(Name));
+}
+
+std::vector<Function> dra::miBenchSuite() {
+  std::vector<Function> Suite;
+  for (const std::string &Name : miBenchNames())
+    Suite.push_back(miBenchProgram(Name));
+  return Suite;
+}

@@ -1,0 +1,42 @@
+//===- workloads/MiBench.h - MiBench-like benchmark suite -------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The ten benchmark programs of the low-end evaluation (Section 10.1).
+/// Each is a deterministic synthetic program (see ProgramGen.h) whose
+/// profile mimics the register-pressure and control-flow character of the
+/// MiBench program it is named after: e.g. `sha` and `susan` are
+/// arithmetic-dense with high pressure, `crc32` is a tiny low-pressure
+/// loop, `patricia` and `stringsearch` are branchy.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_WORKLOADS_MIBENCH_H
+#define DRA_WORKLOADS_MIBENCH_H
+
+#include "ir/Function.h"
+#include "workloads/ProgramGen.h"
+
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Names of the ten benchmark programs, in presentation order.
+std::vector<std::string> miBenchNames();
+
+/// The generation profile of benchmark \p Name (asserts on unknown names).
+ProgramProfile miBenchProfile(const std::string &Name);
+
+/// Generates benchmark \p Name.
+Function miBenchProgram(const std::string &Name);
+
+/// Generates the full suite in presentation order.
+std::vector<Function> miBenchSuite();
+
+} // namespace dra
+
+#endif // DRA_WORKLOADS_MIBENCH_H

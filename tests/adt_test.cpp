@@ -1,0 +1,188 @@
+//===- tests/adt_test.cpp - Rng/BitVector/Statistics unit tests -----------===//
+
+#include "adt/BitVector.h"
+#include "adt/Rng.h"
+#include "adt/Statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+using namespace dra;
+
+TEST(Rng, DeterministicForSeed) {
+  Rng A(123), B(123);
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng A(1), B(2);
+  int Same = 0;
+  for (int I = 0; I != 64; ++I)
+    Same += A.next() == B.next();
+  EXPECT_LT(Same, 4);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng R(7);
+  for (int I = 0; I != 1000; ++I) {
+    uint64_t V = R.nextBelow(13);
+    EXPECT_LT(V, 13u);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng R(9);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I != 500; ++I)
+    Seen.insert(R.nextBelow(7));
+  EXPECT_EQ(Seen.size(), 7u);
+}
+
+TEST(Rng, NextInRangeInclusive) {
+  Rng R(11);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I != 2000; ++I) {
+    int64_t V = R.nextInRange(-3, 3);
+    EXPECT_GE(V, -3);
+    EXPECT_LE(V, 3);
+    SawLo |= V == -3;
+    SawHi |= V == 3;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Rng, WithChanceAlwaysAndNever) {
+  Rng R(5);
+  for (int I = 0; I != 50; ++I) {
+    EXPECT_TRUE(R.withChance(10, 10));
+    EXPECT_FALSE(R.withChance(0, 10));
+  }
+}
+
+TEST(Rng, NextDoubleUnitInterval) {
+  Rng R(17);
+  for (int I = 0; I != 1000; ++I) {
+    double V = R.nextDouble();
+    EXPECT_GE(V, 0.0);
+    EXPECT_LT(V, 1.0);
+  }
+}
+
+TEST(Rng, PickWeightedRespectsZeros) {
+  Rng R(21);
+  std::vector<double> W = {0.0, 1.0, 0.0};
+  for (int I = 0; I != 100; ++I)
+    EXPECT_EQ(R.pickWeighted(W), 1u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng R(31);
+  std::vector<int> V = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> Shuffled = V;
+  R.shuffle(Shuffled);
+  std::sort(Shuffled.begin(), Shuffled.end());
+  EXPECT_EQ(V, Shuffled);
+}
+
+TEST(BitVector, SetTestReset) {
+  BitVector BV(130);
+  EXPECT_FALSE(BV.test(0));
+  BV.set(0);
+  BV.set(64);
+  BV.set(129);
+  EXPECT_TRUE(BV.test(0));
+  EXPECT_TRUE(BV.test(64));
+  EXPECT_TRUE(BV.test(129));
+  EXPECT_EQ(BV.count(), 3u);
+  BV.reset(64);
+  EXPECT_FALSE(BV.test(64));
+  EXPECT_EQ(BV.count(), 2u);
+}
+
+TEST(BitVector, ResizeWithValue) {
+  BitVector BV(10, true);
+  EXPECT_EQ(BV.count(), 10u);
+  BV.resize(100, true);
+  EXPECT_EQ(BV.count(), 100u);
+  BV.resize(5);
+  EXPECT_EQ(BV.count(), 5u);
+}
+
+TEST(BitVector, UnionChanges) {
+  BitVector A(70), B(70);
+  A.set(1);
+  B.set(65);
+  EXPECT_TRUE(A.unionWith(B));
+  EXPECT_TRUE(A.test(65));
+  EXPECT_FALSE(A.unionWith(B)); // No change the second time.
+}
+
+TEST(BitVector, SubtractAndIntersect) {
+  BitVector A(70), B(70);
+  for (size_t I : {3ul, 20ul, 66ul})
+    A.set(I);
+  B.set(20);
+  BitVector C = A;
+  C.subtract(B);
+  EXPECT_TRUE(C.test(3));
+  EXPECT_FALSE(C.test(20));
+  A.intersectWith(B);
+  EXPECT_EQ(A.count(), 1u);
+  EXPECT_TRUE(A.test(20));
+}
+
+TEST(BitVector, AnyCommon) {
+  BitVector A(70), B(70);
+  A.set(69);
+  EXPECT_FALSE(A.anyCommon(B));
+  B.set(69);
+  EXPECT_TRUE(A.anyCommon(B));
+}
+
+TEST(BitVector, FindNextAndForEach) {
+  BitVector BV(200);
+  BV.set(0);
+  BV.set(63);
+  BV.set(64);
+  BV.set(199);
+  EXPECT_EQ(BV.findNext(0), 0u);
+  EXPECT_EQ(BV.findNext(1), 63u);
+  EXPECT_EQ(BV.findNext(65), 199u);
+  EXPECT_EQ(BV.findNext(200), BitVector::npos);
+  std::vector<uint32_t> Bits = BV.toVector();
+  EXPECT_EQ(Bits, (std::vector<uint32_t>{0, 63, 64, 199}));
+}
+
+TEST(BitVector, NoneAndClear) {
+  BitVector BV(40);
+  EXPECT_TRUE(BV.none());
+  BV.set(17);
+  EXPECT_FALSE(BV.none());
+  BV.clear();
+  EXPECT_TRUE(BV.none());
+}
+
+TEST(Statistics, Mean) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2, 4, 6}), 4.0);
+}
+
+TEST(Statistics, Geomean) {
+  EXPECT_DOUBLE_EQ(geomean({4, 16}), 8.0);
+}
+
+TEST(Statistics, Percentile) {
+  std::vector<double> V = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(V, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(V, 100), 5.0);
+}
+
+TEST(Statistics, Stddev) {
+  EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
+  EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+}

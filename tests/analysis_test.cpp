@@ -1,0 +1,203 @@
+//===- tests/analysis_test.cpp - Liveness and loop-info tests -------------===//
+
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "ir/IRBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// entry -> loop body (self loop) -> exit.
+Function makeLoop() {
+  Function F;
+  F.MemWords = 4;
+  uint32_t Entry = F.makeBlock();
+  uint32_t Body = F.makeBlock();
+  uint32_t Exit = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(Entry);
+  RegId Sum = B.createMovImm(0);
+  RegId I = B.createMovImm(5);
+  B.createJmp(Body);
+  B.setBlock(Body);
+  B.createBinTo(Opcode::Add, Sum, Sum, I);
+  B.createBinImmTo(Opcode::AddI, I, I, -1);
+  B.createBr(I, Body, Exit);
+  B.setBlock(Exit);
+  B.createRet(Sum);
+  F.recomputeCFG();
+  return F;
+}
+
+} // namespace
+
+TEST(Liveness, StraightLine) {
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId A = B.createMovImm(1); // r0
+  RegId C = B.createMovImm(2); // r1
+  RegId D = B.createBin(Opcode::Add, A, C);
+  B.createRet(D);
+  F.recomputeCFG();
+  Liveness LV = Liveness::compute(F);
+  EXPECT_TRUE(LV.liveIn(0).none());
+  EXPECT_TRUE(LV.liveOut(0).none());
+  // After the first movi, r0 is live (used by add).
+  std::vector<size_t> LiveCounts;
+  LV.forEachInstBackward(F, 0, [&](size_t, const BitVector &Live) {
+    LiveCounts.push_back(Live.count());
+  });
+  // Backward order: ret(live-after {}), add({D}), movi r1({A,C}), movi
+  // r0({A}).
+  ASSERT_EQ(LiveCounts.size(), 4u);
+  EXPECT_EQ(LiveCounts[0], 0u);
+  EXPECT_EQ(LiveCounts[1], 1u);
+  EXPECT_EQ(LiveCounts[2], 2u);
+  EXPECT_EQ(LiveCounts[3], 1u);
+}
+
+TEST(Liveness, LoopCarriedValuesLiveAroundBackEdge) {
+  Function F = makeLoop();
+  Liveness LV = Liveness::compute(F);
+  // Sum (r0) and I (r1) are live into and out of the body.
+  EXPECT_TRUE(LV.liveIn(1).test(0));
+  EXPECT_TRUE(LV.liveIn(1).test(1));
+  EXPECT_TRUE(LV.liveOut(1).test(0));
+  // Sum is live into the exit block (returned).
+  EXPECT_TRUE(LV.liveIn(2).test(0));
+  EXPECT_FALSE(LV.liveIn(2).test(1));
+}
+
+TEST(Liveness, MaxPressureLoop) {
+  Function F = makeLoop();
+  Liveness LV = Liveness::compute(F);
+  EXPECT_EQ(LV.maxPressure(F), 2u);
+}
+
+TEST(Liveness, DeadDefNotLiveBefore) {
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId A = B.createMovImm(1);
+  B.createMovImm(99); // Dead.
+  B.createRet(A);
+  F.recomputeCFG();
+  Liveness LV = Liveness::compute(F);
+  bool DeadIsLive = false;
+  LV.forEachInstBackward(F, 0, [&](size_t Idx, const BitVector &Live) {
+    if (Idx == 0)
+      DeadIsLive = Live.test(1);
+  });
+  EXPECT_FALSE(DeadIsLive);
+}
+
+TEST(LoopInfo, StraightLineHasDepthZero) {
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  B.createRet(B.createMovImm(0));
+  F.recomputeCFG();
+  LoopInfo LI = LoopInfo::compute(F);
+  EXPECT_EQ(LI.depth(0), 0u);
+  EXPECT_DOUBLE_EQ(LI.frequency(0), 1.0);
+}
+
+TEST(LoopInfo, SimpleLoopDepths) {
+  Function F = makeLoop();
+  LoopInfo LI = LoopInfo::compute(F);
+  EXPECT_EQ(LI.depth(0), 0u);
+  EXPECT_EQ(LI.depth(1), 1u);
+  EXPECT_EQ(LI.depth(2), 0u);
+  EXPECT_DOUBLE_EQ(LI.frequency(1), 10.0);
+  ASSERT_EQ(LI.headers().size(), 1u);
+  EXPECT_EQ(LI.headers()[0], 1u);
+}
+
+TEST(LoopInfo, NestedLoopDepthTwo) {
+  // entry -> outer(header) -> inner(self) -> latch -> outer | exit.
+  Function F;
+  F.MemWords = 4;
+  uint32_t Entry = F.makeBlock();
+  uint32_t Outer = F.makeBlock();
+  uint32_t Inner = F.makeBlock();
+  uint32_t Latch = F.makeBlock();
+  uint32_t Exit = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(Entry);
+  RegId N = B.createMovImm(3);
+  B.createJmp(Outer);
+  B.setBlock(Outer);
+  RegId M = B.createMovImm(2);
+  B.createJmp(Inner);
+  B.setBlock(Inner);
+  B.createBinImmTo(Opcode::AddI, M, M, -1);
+  B.createBr(M, Inner, Latch);
+  B.setBlock(Latch);
+  B.createBinImmTo(Opcode::AddI, N, N, -1);
+  B.createBr(N, Outer, Exit);
+  B.setBlock(Exit);
+  B.createRet(N);
+  F.recomputeCFG();
+  LoopInfo LI = LoopInfo::compute(F);
+  EXPECT_EQ(LI.depth(Entry), 0u);
+  EXPECT_EQ(LI.depth(Outer), 1u);
+  EXPECT_EQ(LI.depth(Inner), 2u);
+  EXPECT_EQ(LI.depth(Latch), 1u);
+  EXPECT_EQ(LI.depth(Exit), 0u);
+  EXPECT_DOUBLE_EQ(LI.frequency(Inner), 100.0);
+}
+
+TEST(LoopInfo, Dominance) {
+  Function F = makeLoop();
+  LoopInfo LI = LoopInfo::compute(F);
+  EXPECT_TRUE(LI.dominates(0, 1));
+  EXPECT_TRUE(LI.dominates(0, 2));
+  EXPECT_TRUE(LI.dominates(1, 2));
+  EXPECT_FALSE(LI.dominates(2, 1));
+  EXPECT_TRUE(LI.dominates(1, 1));
+}
+
+TEST(LoopInfo, MultiLatchLoopCountedOnce) {
+  // A loop with two back edges to the same header must yield depth 1, not
+  // 2, for the shared body.
+  Function F;
+  F.MemWords = 4;
+  uint32_t Entry = F.makeBlock();
+  uint32_t Header = F.makeBlock();
+  uint32_t Split = F.makeBlock();
+  uint32_t LatchA = F.makeBlock();
+  uint32_t LatchB = F.makeBlock();
+  uint32_t Exit = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(Entry);
+  RegId N = B.createMovImm(4);
+  B.createJmp(Header);
+  B.setBlock(Header);
+  B.createBinImmTo(Opcode::AddI, N, N, -1);
+  B.createBr(N, Split, Exit);
+  B.setBlock(Split);
+  RegId C = B.createBinImm(Opcode::AndI, N, 1);
+  B.createBr(C, LatchA, LatchB);
+  B.setBlock(LatchA);
+  B.createJmp(Header);
+  B.setBlock(LatchB);
+  B.createJmp(Header);
+  B.setBlock(Exit);
+  B.createRet(N);
+  F.recomputeCFG();
+  LoopInfo LI = LoopInfo::compute(F);
+  EXPECT_EQ(LI.depth(Header), 1u);
+  EXPECT_EQ(LI.depth(Split), 1u);
+  EXPECT_EQ(LI.depth(LatchA), 1u);
+  EXPECT_EQ(LI.headers().size(), 1u);
+}

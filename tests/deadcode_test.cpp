@@ -1,0 +1,111 @@
+//===- tests/deadcode_test.cpp - Dead code elimination tests --------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "opt/DeadCode.h"
+#include "workloads/MiBench.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(DeadCode, RemovesUnusedDef) {
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId Live = B.createMovImm(1);
+  B.createMovImm(99); // Dead.
+  B.createRet(Live);
+  F.recomputeCFG();
+  EXPECT_EQ(eliminateDeadCode(F), 1u);
+  EXPECT_EQ(F.numInsts(), 2u);
+  EXPECT_EQ(interpret(F).ReturnValue, 1);
+}
+
+TEST(DeadCode, CascadesThroughChains) {
+  // t0 -> t1 -> t2 all dead: one fixpoint run removes the whole chain.
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId Live = B.createMovImm(7);
+  RegId T0 = B.createMovImm(1);
+  RegId T1 = B.createBinImm(Opcode::AddI, T0, 2);
+  B.createBinImm(Opcode::MulI, T1, 3); // T2, dead.
+  B.createRet(Live);
+  F.recomputeCFG();
+  EXPECT_EQ(eliminateDeadCode(F), 3u);
+  EXPECT_EQ(F.numInsts(), 2u);
+}
+
+TEST(DeadCode, KeepsStores) {
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId V = B.createMovImm(5);
+  B.createStore(V, 0, V); // Side effect: kept, keeps V alive.
+  B.createRet(V);
+  F.recomputeCFG();
+  EXPECT_EQ(eliminateDeadCode(F), 0u);
+  EXPECT_EQ(F.numInsts(), 3u);
+}
+
+TEST(DeadCode, RemovesDeadLoadButKeepsUsedOne) {
+  Function F;
+  F.MemWords = 8;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId Base = B.createMovImm(0);
+  RegId Used = B.createLoad(Base, 1);
+  B.createLoad(Base, 2); // Dead load.
+  B.createRet(Used);
+  F.recomputeCFG();
+  EXPECT_EQ(eliminateDeadCode(F), 1u);
+}
+
+TEST(DeadCode, LoopCarriedValuesKept) {
+  Function F;
+  F.MemWords = 4;
+  uint32_t Entry = F.makeBlock();
+  uint32_t Body = F.makeBlock();
+  uint32_t Exit = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(Entry);
+  RegId Sum = B.createMovImm(0);
+  RegId I = B.createMovImm(5);
+  B.createJmp(Body);
+  B.setBlock(Body);
+  B.createBinTo(Opcode::Add, Sum, Sum, I);
+  B.createBinImmTo(Opcode::AddI, I, I, -1);
+  B.createBr(I, Body, Exit);
+  B.setBlock(Exit);
+  B.createRet(Sum);
+  F.recomputeCFG();
+  EXPECT_EQ(eliminateDeadCode(F), 0u);
+  EXPECT_EQ(interpret(F).ReturnValue, 15);
+}
+
+/// Property: DCE never changes observable behaviour on the suite.
+class DeadCodeSuite : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(DeadCodeSuite, PreservesSemantics) {
+  Function F = miBenchProgram(GetParam());
+  ExecResult Before = interpret(F);
+  size_t Deleted = eliminateDeadCode(F);
+  (void)Deleted;
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(F, &Err)) << Err;
+  ExecResult After = interpret(F);
+  EXPECT_EQ(fingerprint(Before), fingerprint(After));
+  EXPECT_LE(After.DynInsts, Before.DynInsts);
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, DeadCodeSuite,
+                         ::testing::Values("crc32", "dijkstra",
+                                           "stringsearch"));

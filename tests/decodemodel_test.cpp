@@ -1,0 +1,88 @@
+//===- tests/decodemodel_test.cpp - Parallel decode model tests (S2.1) ----===//
+
+#include "adt/Rng.h"
+#include "core/DecodeModel.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(DecodeModel, SequentialMatchesEquationTwo) {
+  EncodingConfig C = lowEndConfig(12);
+  // From last = 10 with codes {3, 0, 7}: 10->1->1->8 (mod 12).
+  std::vector<RegId> Out = sequentialDecodeFields(10, {3, 0, 7}, C);
+  ASSERT_EQ(Out.size(), 3u);
+  EXPECT_EQ(Out[0], 1u);
+  EXPECT_EQ(Out[1], 1u);
+  EXPECT_EQ(Out[2], 8u);
+}
+
+TEST(DecodeModel, ParallelFormulaPaperExample) {
+  // Section 2.1: n1 = (last + d1) mod RegN, n2 = (last + d1 + d2) mod RegN.
+  EncodingConfig C = lowEndConfig(12);
+  std::vector<RegId> Par = parallelDecodeFields(9, {5, 6}, C);
+  EXPECT_EQ(Par[0], (9u + 5) % 12);
+  EXPECT_EQ(Par[1], (9u + 5 + 6) % 12);
+}
+
+TEST(DecodeModel, SpecialCodesBypassTheChain) {
+  EncodingConfig C = lowEndConfig(12);
+  C.DiffN = 7;
+  C.SpecialRegs = {11};
+  // Codes: diff 2, special (7), diff 3. The special must not advance the
+  // running state.
+  std::vector<RegId> Seq = sequentialDecodeFields(1, {2, 7, 3}, C);
+  EXPECT_EQ(Seq[0], 3u);
+  EXPECT_EQ(Seq[1], 11u);
+  EXPECT_EQ(Seq[2], 6u);
+  EXPECT_EQ(parallelDecodeFields(1, {2, 7, 3}, C), Seq);
+}
+
+/// Exhaustive equivalence for the paper's two configurations over random
+/// code vectors.
+class DecodeEquivalence : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(DecodeEquivalence, ParallelEqualsSequential) {
+  EncodingConfig C =
+      GetParam() < 100 ? lowEndConfig(12) : vliwConfig(GetParam());
+  Rng R(GetParam() * 7919 + 13);
+  for (int Trial = 0; Trial != 500; ++Trial) {
+    RegId Last = static_cast<RegId>(R.nextBelow(C.RegN));
+    std::vector<uint8_t> Codes;
+    size_t Len = 1 + R.nextBelow(3);
+    for (size_t I = 0; I != Len; ++I)
+      Codes.push_back(static_cast<uint8_t>(R.nextBelow(C.DiffN)));
+    EXPECT_EQ(parallelDecodeFields(Last, Codes, C),
+              sequentialDecodeFields(Last, Codes, C));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Configs, DecodeEquivalence,
+                         ::testing::Values(12u, 40u, 48u, 56u, 64u));
+
+TEST(DecodeModel, HardwareCostMatchesPaperBallpark) {
+  // The paper: for 16 registers and 3 operands, a 12-bit-input 4-bit-output
+  // two-level circuit, "less than 2k transistors".
+  EncodingConfig C;
+  C.RegN = 16;
+  C.DiffN = 8;
+  C.DiffW = 3;
+  DecodeHardwareCost Cost = estimateDecodeHardware(C, 3);
+  EXPECT_EQ(Cost.ModuloAdders, 3u);
+  EXPECT_EQ(Cost.AdderOutputBits, 4u);
+  EXPECT_EQ(Cost.WidestAdderInputBits, 4u + 9u);
+  EXPECT_LT(Cost.TransistorEstimate, 2500ul);
+  EXPECT_GT(Cost.TransistorEstimate, 500ul);
+}
+
+TEST(DecodeModel, VliwCostStillSmall) {
+  // 128 registers (Itanium-style): 7-bit adders, still trivially small
+  // next to a 64-bit datapath.
+  EncodingConfig C;
+  C.RegN = 128;
+  C.DiffN = 64;
+  C.DiffW = 6;
+  DecodeHardwareCost Cost = estimateDecodeHardware(C, 3);
+  EXPECT_EQ(Cost.AdderOutputBits, 7u);
+  EXPECT_LT(Cost.TransistorEstimate, 25000ul);
+}

@@ -1,0 +1,257 @@
+//===- tests/encoding_edge_test.cpp - Encoder edge cases ------------------===//
+
+#include "core/Encoder.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "regalloc/GraphColoring.h"
+#include "sim/LowEndSim.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// Diamond whose arms leave different last_reg values.
+Function divergingDiamond() {
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  uint32_t BThen = F.makeBlock();
+  uint32_t BElse = F.makeBlock();
+  uint32_t BJoin = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  Instruction Br;
+  Br.Op = Opcode::Br;
+  Br.Src1 = 0;
+  Br.Target0 = BThen;
+  Br.Target1 = BElse;
+  F.Blocks[B0].Insts.push_back(Br);
+  B.setBlock(BThen);
+  B.createMovImmTo(3, 1);
+  B.createJmp(BJoin);
+  B.setBlock(BElse);
+  B.createMovImmTo(5, 2);
+  B.createJmp(BJoin);
+  B.setBlock(BJoin);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 4;
+  F.Blocks[BJoin].Insts.push_back(Ret);
+  F.recomputeCFG();
+  return F;
+}
+
+} // namespace
+
+TEST(EncoderEdge, JoinRepairNeededEvenWhenEveryDiffFits) {
+  // With DiffN == RegN every difference is representable, yet a join whose
+  // predecessors disagree still needs a set_last_reg: the *encoded code*
+  // fixes one difference value, and decoding from the other predecessor
+  // would produce a different register.
+  EncodingConfig C;
+  C.RegN = 8;
+  C.DiffN = 8;
+  C.DiffW = 3;
+  ASSERT_TRUE(C.valid());
+  Function F = divergingDiamond();
+  F.NumRegs = 8;
+  for (BasicBlock &BB : F.Blocks)
+    for (Instruction &I : BB.Insts)
+      for (unsigned Fld = 0; Fld != I.numRegFields(); ++Fld)
+        I.setRegField(Fld, I.regField(Fld) % 8);
+  EncodedFunction E = encodeFunction(F, C);
+  EXPECT_EQ(E.Stats.SetLastRange, 0u);
+  EXPECT_EQ(E.Stats.SetLastJoin, 1u);
+  std::string Err;
+  EXPECT_TRUE(verifyDecodable(E.Annotated, C, &Err)) << Err;
+}
+
+TEST(EncoderEdge, UnreachableBlockStillDecodable) {
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  uint32_t Dead = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  RegId V = B.createMovImm(7);
+  B.createRet(V);
+  B.setBlock(Dead);
+  B.createMovImmTo(9, 1); // Never executed; still must encode sanely.
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 9;
+  F.Blocks[Dead].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodingConfig C = lowEndConfig(12);
+  EncodedFunction E = encodeFunction(F, C);
+  std::string Err;
+  EXPECT_TRUE(verifyDecodable(E.Annotated, C, &Err)) << Err;
+  // Unreachable blocks get a defensive head repair.
+  EXPECT_GE(E.Stats.SetLastJoin, 1u);
+}
+
+TEST(EncoderEdge, EmptyAccessBlockForwardsState) {
+  // bb1 contains only a jmp (no register accesses): bb2's entry state must
+  // flow through it from bb0's exit.
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  uint32_t Mid = F.makeBlock();
+  uint32_t End = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  B.createMovImmTo(4, 1); // Exit state: r4.
+  B.createJmp(Mid);
+  B.setBlock(Mid);
+  B.createJmp(End);
+  B.setBlock(End);
+  B.createMovImmTo(5, 2); // diff(4, 5) = 1: encodable without repair.
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 5;
+  F.Blocks[End].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  EXPECT_EQ(E.Stats.setLastTotal(), 0u);
+}
+
+TEST(EncoderEdge, SelfLoopEntryConsistent) {
+  // Block 0 loops on itself: its entry state is the meet of the n0 = 0
+  // convention and its own exit. The encoder must repair if they differ.
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  uint32_t Exit = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  B.createMovImmTo(6, 1); // Exit state r6 != convention 0 -> conflict.
+  Instruction Br;
+  Br.Op = Opcode::Br;
+  Br.Src1 = 6;
+  Br.Target0 = B0;
+  Br.Target1 = Exit;
+  F.Blocks[B0].Insts.push_back(Br);
+  B.setBlock(Exit);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 6;
+  F.Blocks[Exit].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  EXPECT_GE(E.Stats.SetLastJoin, 1u);
+  std::string Err;
+  EXPECT_TRUE(verifyDecodable(E.Annotated, lowEndConfig(12), &Err)) << Err;
+  // And running it must be unaffected.
+  EXPECT_EQ(interpret(E.Annotated).ReturnValue, interpret(F).ReturnValue);
+}
+
+TEST(EncoderEdge, VerifyRejectsHandBrokenAnnotation) {
+  Function F = divergingDiamond();
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  // Strip the join repair the encoder inserted: verification must fail.
+  Function Broken = E.Annotated;
+  auto &JoinInsts = Broken.Blocks[3].Insts;
+  ASSERT_EQ(JoinInsts.front().Op, Opcode::SetLastReg);
+  JoinInsts.erase(JoinInsts.begin());
+  Broken.recomputeCFG();
+  std::string Err;
+  EXPECT_FALSE(verifyDecodable(Broken, lowEndConfig(12), &Err));
+  EXPECT_FALSE(Err.empty());
+}
+
+TEST(EncoderEdge, SlrCostPoliciesOrdered) {
+  // Full is an upper bound for both relaxed front-end models. (HalfAligned
+  // and Absorbed are not mutually ordered: parity hides every other slr of
+  // a run, while Absorbed hides only the first.)
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 16;
+  uint32_t Entry = F.makeBlock();
+  uint32_t Body = F.makeBlock();
+  uint32_t Exit = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(Entry);
+  RegId I = B.createMovImm(200);
+  B.createJmp(Body);
+  B.setBlock(Body);
+  for (int SlrIdx = 0; SlrIdx != 3; ++SlrIdx) {
+    Instruction Slr;
+    Slr.Op = Opcode::SetLastReg;
+    Slr.Imm = SlrIdx;
+    F.Blocks[Body].Insts.push_back(Slr);
+  }
+  B.createBinImmTo(Opcode::AddI, I, I, -1);
+  B.createBr(I, Body, Exit);
+  B.setBlock(Exit);
+  B.createRet(I);
+  F.recomputeCFG();
+
+  LowEndMachine M;
+  M.SlrCostPolicy = LowEndMachine::SlrCost::Full;
+  uint64_t Full = simulate(F, M).Cycles;
+  M.SlrCostPolicy = LowEndMachine::SlrCost::HalfAligned;
+  uint64_t Half = simulate(F, M).Cycles;
+  M.SlrCostPolicy = LowEndMachine::SlrCost::Absorbed;
+  uint64_t Absorbed = simulate(F, M).Cycles;
+  EXPECT_GE(Full, Half);
+  EXPECT_GE(Full, Absorbed);
+  EXPECT_GT(Full, std::min(Half, Absorbed));
+}
+
+TEST(EncoderEdge, SpecialRegisterPipelineRecipe) {
+  // Section 9.2 end to end: reserve r11 (a "stack pointer"), allocate the
+  // program onto the remaining 11 registers, renumber colors around the
+  // reserved register, then encode with a reserved direct code for it.
+  EncodingConfig C = lowEndConfig(12);
+  C.DiffN = 7;
+  C.SpecialRegs = {11};
+  ASSERT_TRUE(C.valid());
+
+  Function F;
+  F.MemWords = 16;
+  F.makeBlock();
+  {
+    IRBuilder B(F);
+    B.setBlock(0);
+    RegId A = B.createMovImm(3);
+    RegId D = B.createBinImm(Opcode::MulI, A, 5);
+    RegId E2 = B.createBin(Opcode::Add, A, D);
+    B.createStore(A, 0, E2);
+    B.createRet(E2);
+    F.recomputeCFG();
+  }
+  ExecResult Before = interpret(F);
+
+  // Allocate with 11 colors; colors 0..10 map to machine regs 0..10 (r11
+  // stays free for the special register). With a special register in the
+  // middle of the range the map would skip it; identity suffices here.
+  allocateGraphColoring(F, 11);
+  F.NumRegs = 12;
+  F.recomputeCFG();
+
+  // Simulate a stack-pointer-relative store by rewriting one operand to
+  // the special register (semantically a different address; re-baseline).
+  F.Blocks[0].Insts[3].Src1 = 11;
+  ExecResult Reference = interpret(F);
+  (void)Before;
+
+  EncodedFunction E = encodeFunction(F, C);
+  std::string Err;
+  ASSERT_TRUE(verifyDecodable(E.Annotated, C, &Err)) << Err;
+  Function Decoded = decodeFunction(E, C);
+  // The special register decodes through its reserved code.
+  EXPECT_EQ(Decoded.Blocks[0].Insts.back().Op, Opcode::Ret);
+  bool SawSpecial = false;
+  for (uint32_t B = 0; B != E.Annotated.Blocks.size(); ++B)
+    for (uint32_t I = 0; I != E.Annotated.Blocks[B].Insts.size(); ++I)
+      for (uint8_t Code : E.Codes[B][I])
+        SawSpecial |= Code == C.specialCode(11);
+  EXPECT_TRUE(SawSpecial);
+  EXPECT_EQ(fingerprint(interpret(E.Annotated)), fingerprint(Reference));
+}

@@ -1,0 +1,484 @@
+//===- tests/encoding_test.cpp - Differential encoding tests --------------===//
+
+#include "core/AccessSequence.h"
+#include "core/AdjacencyGraph.h"
+#include "core/Encoder.h"
+#include "core/EncodingConfig.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "regalloc/GraphColoring.h"
+#include "workloads/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// True if A and B have identical opcodes and register fields everywhere.
+bool sameRegisterFields(const Function &A, const Function &B) {
+  if (A.Blocks.size() != B.Blocks.size())
+    return false;
+  for (size_t Blk = 0; Blk != A.Blocks.size(); ++Blk) {
+    const auto &IA = A.Blocks[Blk].Insts;
+    const auto &IB = B.Blocks[Blk].Insts;
+    if (IA.size() != IB.size())
+      return false;
+    for (size_t I = 0; I != IA.size(); ++I) {
+      if (IA[I].Op != IB[I].Op)
+        return false;
+      if (IA[I].numRegFields() != IB[I].numRegFields())
+        return false;
+      for (unsigned Fld = 0; Fld != IA[I].numRegFields(); ++Fld)
+        if (IA[I].regField(Fld) != IB[I].regField(Fld))
+          return false;
+    }
+  }
+  return true;
+}
+
+/// An allocated random program over C.RegN registers.
+Function allocatedProgram(uint64_t Seed, const EncodingConfig &C) {
+  ProgramProfile P;
+  P.Seed = Seed;
+  P.PressureVars = 5;
+  P.TopStatements = 6;
+  P.OuterTrip = 3;
+  Function F = generateProgram("enc", P);
+  allocateGraphColoring(F, C.RegN);
+  return F;
+}
+
+} // namespace
+
+TEST(EncodingConfig, PaperExampleDiffs) {
+  // Figure 1: RegN = 7-ish circle; use the paper's Section 2 example with
+  // RegN = 12 semantics checked separately. Here: diff(1, 3) = 2,
+  // diff(3, 8) = 5 with RegN = 10.
+  EncodingConfig C;
+  C.RegN = 10;
+  C.DiffN = 8;
+  C.DiffW = 3;
+  EXPECT_EQ(C.diffOf(1, 3), 2u);
+  EXPECT_EQ(C.diffOf(3, 8), 5u);
+  EXPECT_EQ(C.diffOf(8, 3), 5u); // (3-8) mod 10.
+  EXPECT_EQ(C.diffOf(5, 5), 0u);
+}
+
+TEST(EncodingConfig, Condition3) {
+  EncodingConfig C = lowEndConfig(12); // DiffN = 8.
+  EXPECT_TRUE(C.encodable(0, 7));   // diff 7.
+  EXPECT_FALSE(C.encodable(0, 8));  // diff 8.
+  EXPECT_FALSE(C.encodable(1, 0));  // diff 11: backward step violates.
+  EXPECT_TRUE(C.encodable(8, 3));   // diff 7.
+  EXPECT_TRUE(C.encodable(4, 4));   // diff 0.
+}
+
+TEST(EncodingConfig, Validity) {
+  EncodingConfig C = lowEndConfig(12);
+  EXPECT_TRUE(C.valid());
+  C.DiffN = 9; // 9 codes do not fit with DiffW = 3.
+  EXPECT_FALSE(C.valid());
+  C = lowEndConfig(12);
+  C.SpecialRegs = {11};
+  EXPECT_FALSE(C.valid()); // 8 + 1 codes > 2^3.
+  C.DiffN = 7;
+  EXPECT_TRUE(C.valid());
+  EXPECT_EQ(C.specialCode(11), 7u);
+}
+
+TEST(EncodingConfig, DirectWidth) {
+  EXPECT_EQ(lowEndConfig(12).directWidth(), 4u);
+  EXPECT_EQ(lowEndConfig(8).directWidth(), 3u);
+  EXPECT_EQ(vliwConfig(64).directWidth(), 6u);
+}
+
+TEST(AccessSequence, SrcFirstOrder) {
+  Function F;
+  F.NumRegs = 4;
+  F.MemWords = 4;
+  F.makeBlock();
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 3;
+  I.Src1 = 1;
+  I.Src2 = 2;
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 3;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodingConfig C = lowEndConfig(12);
+  std::vector<Access> Seq = accessSequence(F, C);
+  ASSERT_EQ(Seq.size(), 4u);
+  EXPECT_EQ(Seq[0].Reg, 1u);
+  EXPECT_EQ(Seq[1].Reg, 2u);
+  EXPECT_EQ(Seq[2].Reg, 3u);
+  EXPECT_EQ(Seq[3].Reg, 3u);
+}
+
+TEST(AccessSequence, DstFirstOrder) {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 3;
+  I.Src1 = 1;
+  I.Src2 = 2;
+  std::vector<unsigned> Order = fieldOrder(I, AccessOrder::DstFirst);
+  ASSERT_EQ(Order.size(), 3u);
+  EXPECT_EQ(I.regField(Order[0]), 3u);
+  EXPECT_EQ(I.regField(Order[1]), 1u);
+  EXPECT_EQ(I.regField(Order[2]), 2u);
+}
+
+TEST(AccessSequence, SpecialRegistersSkipped) {
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  F.makeBlock();
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 5;
+  I.Src1 = 11; // Special.
+  I.Src2 = 2;
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 5;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodingConfig C = lowEndConfig(12);
+  C.DiffN = 7;
+  C.SpecialRegs = {11};
+  std::vector<Access> Seq = accessSequence(F, C);
+  ASSERT_EQ(Seq.size(), 3u);
+  EXPECT_EQ(Seq[0].Reg, 2u);
+  EXPECT_EQ(Seq[0].FieldIdx, 1u); // Position counts the skipped field.
+}
+
+TEST(AdjacencyGraph, PaperFigure5Shape) {
+  // Access sequence L1 L2 L1 L2 L3 L2 L5 L3 L4 L4 L1 L4 L6 — simplified:
+  // verify weights accumulate and self edges are dropped.
+  AdjacencyGraph G(6);
+  G.addWeight(0, 1, 1); // L1 -> L2
+  G.addWeight(0, 1, 1); // Again: weight 2.
+  G.addWeight(1, 1, 5); // Self edge ignored.
+  EXPECT_DOUBLE_EQ(G.weight(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(G.weight(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(G.weight(1, 1), 0.0);
+  EXPECT_DOUBLE_EQ(G.totalWeight(), 2.0);
+}
+
+TEST(AdjacencyGraph, CostUsesCondition3) {
+  EncodingConfig C;
+  C.RegN = 3;
+  C.DiffN = 2;
+  C.DiffW = 1;
+  ASSERT_TRUE(C.valid());
+  AdjacencyGraph G(3);
+  G.addWeight(0, 1, 4); // diff 1 < 2 OK.
+  G.addWeight(1, 0, 3); // diff 2 >= 2 violated.
+  std::vector<RegId> Identity = {0, 1, 2};
+  EXPECT_DOUBLE_EQ(G.cost(Identity, C), 3.0);
+  EXPECT_DOUBLE_EQ(G.identityCost(C), 3.0);
+}
+
+TEST(AdjacencyGraph, MergePreservesWeights) {
+  AdjacencyGraph G(4);
+  G.addWeight(0, 2, 1);
+  G.addWeight(1, 2, 2);
+  G.addWeight(3, 0, 5);
+  G.mergeInto(1, 0); // 1 -> 0.
+  EXPECT_DOUBLE_EQ(G.weight(0, 2), 3.0);
+  EXPECT_DOUBLE_EQ(G.weight(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(G.weight(3, 0), 5.0);
+  EXPECT_DOUBLE_EQ(G.totalWeight(), 8.0);
+}
+
+TEST(AdjacencyGraph, MergeDropsSelfEdges) {
+  AdjacencyGraph G(3);
+  G.addWeight(0, 1, 2);
+  G.addWeight(1, 0, 3);
+  G.mergeInto(1, 0);
+  EXPECT_DOUBLE_EQ(G.totalWeight(), 0.0);
+}
+
+TEST(AdjacencyGraph, CrossBlockWeightSharedAcrossPreds) {
+  // Two predecessors ending in r0/r1, join starting with r2: each edge
+  // gets weight 1/2.
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  uint32_t BThen = F.makeBlock();
+  uint32_t BElse = F.makeBlock();
+  uint32_t BJoin = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  Instruction Br;
+  Br.Op = Opcode::Br;
+  Br.Src1 = 0;
+  Br.Target0 = BThen;
+  Br.Target1 = BElse;
+  F.Blocks[B0].Insts.push_back(Br);
+  B.setBlock(BThen);
+  B.createMovImmTo(0, 1);
+  B.createJmp(BJoin);
+  B.setBlock(BElse);
+  B.createMovImmTo(1, 2);
+  B.createJmp(BJoin);
+  B.setBlock(BJoin);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 2;
+  F.Blocks[BJoin].Insts.push_back(Ret);
+  F.recomputeCFG();
+  AdjacencyGraph G =
+      AdjacencyGraph::build(F, lowEndConfig(12), WeightMode::Static);
+  EXPECT_DOUBLE_EQ(G.weight(0, 2), 0.5);
+  EXPECT_DOUBLE_EQ(G.weight(1, 2), 0.5);
+}
+
+TEST(Encoder, PaperSection2Example) {
+  // Figure 2: RegN = 4, DiffN = 2, DiffW = 1, access order src1 src2 dst.
+  // Code: R1 = R0 + R1 would be out of range; the paper's example encodes
+  // R2 = R1 + R2; R3 = R2 + R3 style sequences with codes 0/1 only.
+  EncodingConfig C;
+  C.RegN = 4;
+  C.DiffN = 2;
+  C.DiffW = 1;
+  ASSERT_TRUE(C.valid());
+  Function F;
+  F.NumRegs = 4;
+  F.MemWords = 4;
+  F.makeBlock();
+  auto Add = [&](RegId D, RegId S1, RegId S2) {
+    Instruction I;
+    I.Op = Opcode::Add;
+    I.Dst = D;
+    I.Src1 = S1;
+    I.Src2 = S2;
+    F.Blocks[0].Insts.push_back(I);
+  };
+  Add(2, 1, 2); // Access 1,2,2: diffs 1,1,0.
+  Add(3, 2, 3); // diffs 0... from last=2: 2->2? access 2,3,3 => 0,1,0.
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 3;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodedFunction E = encodeFunction(F, C);
+  // First access: from the n0 = 0 convention to R1 is diff 1.
+  ASSERT_EQ(E.Codes[0][0].size(), 3u);
+  EXPECT_EQ(E.Codes[0][0][0], 1u);
+  EXPECT_EQ(E.Codes[0][0][1], 1u);
+  EXPECT_EQ(E.Codes[0][0][2], 0u);
+  EXPECT_EQ(E.Stats.setLastTotal(), 0u);
+  // All codes fit DiffW bits.
+  for (const auto &Block : E.Codes)
+    for (const auto &Inst : Block)
+      for (uint8_t Code : Inst)
+        EXPECT_LT(Code, 1u << C.DiffW);
+}
+
+TEST(Encoder, OutOfRangeGetsDelayedSetLastReg) {
+  EncodingConfig C;
+  C.RegN = 4;
+  C.DiffN = 2;
+  C.DiffW = 1;
+  Function F;
+  F.NumRegs = 4;
+  F.MemWords = 4;
+  F.makeBlock();
+  // R1 = R0 + R2: accesses 0, 2, 1. From n0=0: diff(0,0)=0 ok;
+  // diff(0,2)=2 out of range -> set_last_reg(2, 1); diff(2,1)=3 out of
+  // range -> set_last_reg(1, 2).
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 1;
+  I.Src1 = 0;
+  I.Src2 = 2;
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 1;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodedFunction E = encodeFunction(F, C);
+  EXPECT_EQ(E.Stats.SetLastRange, 2u);
+  // The add must be preceded by two slr instructions with delays 1 and 2.
+  const auto &Insts = E.Annotated.Blocks[0].Insts;
+  ASSERT_GE(Insts.size(), 3u);
+  EXPECT_EQ(Insts[0].Op, Opcode::SetLastReg);
+  EXPECT_EQ(Insts[0].Imm, 2);
+  EXPECT_EQ(Insts[0].Aux, 1u);
+  EXPECT_EQ(Insts[1].Op, Opcode::SetLastReg);
+  EXPECT_EQ(Insts[1].Imm, 1);
+  EXPECT_EQ(Insts[1].Aux, 2u);
+}
+
+TEST(Encoder, JoinInconsistencyRepaired) {
+  // Figure 3 scenario: two predecessors leave different last_reg values.
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  uint32_t BThen = F.makeBlock();
+  uint32_t BElse = F.makeBlock();
+  uint32_t BJoin = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  Instruction Br;
+  Br.Op = Opcode::Br;
+  Br.Src1 = 0;
+  Br.Target0 = BThen;
+  Br.Target1 = BElse;
+  F.Blocks[B0].Insts.push_back(Br);
+  B.setBlock(BThen);
+  B.createMovImmTo(1, 7);
+  B.createJmp(BJoin);
+  B.setBlock(BElse);
+  B.createMovImmTo(2, 9);
+  B.createJmp(BJoin);
+  B.setBlock(BJoin);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 3;
+  F.Blocks[BJoin].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  EXPECT_EQ(E.Stats.SetLastJoin, 1u);
+  EXPECT_EQ(E.Annotated.Blocks[BJoin].Insts[0].Op, Opcode::SetLastReg);
+  std::string Err;
+  EXPECT_TRUE(verifyDecodable(E.Annotated, lowEndConfig(12), &Err)) << Err;
+}
+
+TEST(Encoder, AgreeingPredsNeedNoRepair) {
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  uint32_t BThen = F.makeBlock();
+  uint32_t BElse = F.makeBlock();
+  uint32_t BJoin = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  Instruction Br;
+  Br.Op = Opcode::Br;
+  Br.Src1 = 0;
+  Br.Target0 = BThen;
+  Br.Target1 = BElse;
+  F.Blocks[B0].Insts.push_back(Br);
+  B.setBlock(BThen);
+  B.createMovImmTo(1, 7); // Last access: r1.
+  B.createJmp(BJoin);
+  B.setBlock(BElse);
+  B.createMovImmTo(1, 9); // Last access: r1 as well.
+  B.createJmp(BJoin);
+  B.setBlock(BJoin);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 2;
+  F.Blocks[BJoin].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  EXPECT_EQ(E.Stats.SetLastJoin, 0u);
+}
+
+TEST(Encoder, SpecialRegisterDirectCode) {
+  EncodingConfig C = lowEndConfig(12);
+  C.DiffN = 7;
+  C.SpecialRegs = {11};
+  ASSERT_TRUE(C.valid());
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  F.makeBlock();
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 2;
+  I.Src1 = 11; // Special: direct code 7, does not move last_reg.
+  I.Src2 = 1;
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 11;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EncodedFunction E = encodeFunction(F, C);
+  EXPECT_EQ(E.Codes[0][0][0], 7u); // Reserved code.
+  EXPECT_EQ(E.Codes[0][0][1], 1u); // diff(0 -> 1): special didn't move it.
+  Function Decoded = decodeFunction(E, C);
+  EXPECT_TRUE(sameRegisterFields(Decoded, E.Annotated));
+}
+
+TEST(Encoder, StripSetLastRegInvertsAnnotation) {
+  Function F = allocatedProgram(11, lowEndConfig(12));
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  Function Stripped = stripSetLastReg(E.Annotated);
+  EXPECT_TRUE(sameRegisterFields(Stripped, F));
+  EXPECT_EQ(Stripped.numInsts(), F.numInsts());
+}
+
+TEST(Encoder, AnnotatedFunctionExecutesIdentically) {
+  Function F = allocatedProgram(13, lowEndConfig(12));
+  ExecResult Before = interpret(F);
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  ExecResult After = interpret(E.Annotated);
+  EXPECT_EQ(fingerprint(Before), fingerprint(After));
+}
+
+TEST(Encoder, CodeSizeModelCountsSlr) {
+  Function F = allocatedProgram(17, lowEndConfig(12));
+  EncodedFunction E = encodeFunction(F, lowEndConfig(12));
+  EXPECT_EQ(codeSizeBytes(E.Annotated),
+            2 * (F.numInsts() + E.Stats.setLastTotal()));
+}
+
+/// Round-trip property over random programs and both access orders.
+class EncoderRoundTrip
+    : public ::testing::TestWithParam<std::tuple<int, AccessOrder>> {};
+
+TEST_P(EncoderRoundTrip, DecodeRecoversEveryField) {
+  auto [Seed, Order] = GetParam();
+  EncodingConfig C = lowEndConfig(12);
+  C.Order = Order;
+  Function F = allocatedProgram(static_cast<uint64_t>(Seed) * 31 + 5, C);
+  EncodedFunction E = encodeFunction(F, C);
+  std::string Err;
+  ASSERT_TRUE(verifyDecodable(E.Annotated, C, &Err)) << Err;
+  Function Decoded = decodeFunction(E, C);
+  EXPECT_TRUE(sameRegisterFields(Decoded, E.Annotated));
+  // Every code fits the field width.
+  for (const auto &Block : E.Codes)
+    for (const auto &Inst : Block)
+      for (uint8_t Code : Inst)
+        EXPECT_LT(Code, 1u << C.DiffW);
+  // Encoder cost bookkeeping matches the function contents.
+  EXPECT_EQ(E.Annotated.numSetLastRegs(), E.Stats.setLastTotal());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, EncoderRoundTrip,
+    ::testing::Combine(::testing::Range(0, 10),
+                       ::testing::Values(AccessOrder::SrcFirst,
+                                         AccessOrder::DstFirst)));
+
+/// Round-trip with special registers reserved.
+class EncoderSpecialRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EncoderSpecialRoundTrip, DecodeRecoversEveryField) {
+  EncodingConfig C = lowEndConfig(12);
+  C.DiffN = 7;
+  C.SpecialRegs = {11};
+  Function F =
+      allocatedProgram(static_cast<uint64_t>(GetParam()) * 13 + 3, C);
+  EncodedFunction E = encodeFunction(F, C);
+  std::string Err;
+  ASSERT_TRUE(verifyDecodable(E.Annotated, C, &Err)) << Err;
+  Function Decoded = decodeFunction(E, C);
+  EXPECT_TRUE(sameRegisterFields(Decoded, E.Annotated));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncoderSpecialRoundTrip,
+                         ::testing::Range(0, 6));

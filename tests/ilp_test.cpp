@@ -1,0 +1,157 @@
+//===- tests/ilp_test.cpp - Cover-ILP solver tests ------------------------===//
+
+#include "ilp/CoverSolver.h"
+
+#include "adt/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// Checks feasibility of a solution.
+bool feasible(const CoverProblem &P, const std::vector<uint8_t> &Sel) {
+  for (const CoverConstraint &C : P.Constraints) {
+    int Got = 0;
+    for (uint32_t V : C.Vars)
+      Got += Sel[V];
+    if (Got < C.Need)
+      return false;
+  }
+  return true;
+}
+
+double costOf(const CoverProblem &P, const std::vector<uint8_t> &Sel) {
+  double Total = 0;
+  for (size_t V = 0; V != Sel.size(); ++V)
+    if (Sel[V])
+      Total += P.Cost[V];
+  return Total;
+}
+
+/// Brute force over all 2^n assignments (n <= 20).
+double bruteForceOptimum(const CoverProblem &P) {
+  size_t N = P.Cost.size();
+  double Best = 1e300;
+  for (uint32_t Mask = 0; Mask != (1u << N); ++Mask) {
+    std::vector<uint8_t> Sel(N);
+    for (size_t V = 0; V != N; ++V)
+      Sel[V] = (Mask >> V) & 1;
+    if (feasible(P, Sel))
+      Best = std::min(Best, costOf(P, Sel));
+  }
+  return Best;
+}
+
+} // namespace
+
+TEST(CoverSolver, EmptyProblemTriviallyOptimal) {
+  CoverProblem P;
+  CoverSolution S = solveCover(P);
+  EXPECT_TRUE(S.Optimal);
+  EXPECT_DOUBLE_EQ(S.TotalCost, 0.0);
+}
+
+TEST(CoverSolver, SingleConstraintPicksCheapest) {
+  CoverProblem P;
+  P.Cost = {5.0, 1.0, 3.0};
+  P.Constraints.push_back({{0, 1, 2}, 1});
+  CoverSolution S = solveCover(P);
+  EXPECT_TRUE(S.Optimal);
+  EXPECT_DOUBLE_EQ(S.TotalCost, 1.0);
+  EXPECT_TRUE(S.Selected[1]);
+}
+
+TEST(CoverSolver, NeedTwoPicksTwoCheapest) {
+  CoverProblem P;
+  P.Cost = {5.0, 1.0, 3.0, 10.0};
+  P.Constraints.push_back({{0, 1, 2, 3}, 2});
+  CoverSolution S = solveCover(P);
+  EXPECT_TRUE(S.Optimal);
+  EXPECT_DOUBLE_EQ(S.TotalCost, 4.0);
+}
+
+TEST(CoverSolver, SharedVariableIsReused) {
+  // Var 2 covers both constraints; picking it alone (cost 3) beats picking
+  // the per-constraint cheapest (3.2 + 2.5).
+  CoverProblem P;
+  P.Cost = {3.2, 2.5, 3.0};
+  P.Constraints.push_back({{0, 2}, 1});
+  P.Constraints.push_back({{1, 2}, 1});
+  CoverSolution S = solveCover(P);
+  EXPECT_TRUE(S.Optimal);
+  EXPECT_DOUBLE_EQ(S.TotalCost, 3.0);
+  EXPECT_TRUE(S.Selected[2]);
+}
+
+TEST(CoverSolver, ForcedSelection) {
+  CoverProblem P;
+  P.Cost = {1.0, 1.0};
+  P.Constraints.push_back({{0, 1}, 2});
+  CoverSolution S = solveCover(P);
+  EXPECT_TRUE(S.Optimal);
+  EXPECT_TRUE(S.Selected[0]);
+  EXPECT_TRUE(S.Selected[1]);
+}
+
+TEST(CoverSolver, SatisfiedConstraintIgnored) {
+  CoverProblem P;
+  P.Cost = {1.0};
+  P.Constraints.push_back({{0}, 0});
+  CoverSolution S = solveCover(P);
+  EXPECT_TRUE(S.Optimal);
+  EXPECT_DOUBLE_EQ(S.TotalCost, 0.0);
+}
+
+TEST(CoverSolver, BudgetExhaustionStillFeasible) {
+  // A big random instance with a tiny budget: the greedy incumbent must
+  // still be feasible.
+  Rng R(99);
+  CoverProblem P;
+  for (int V = 0; V != 60; ++V)
+    P.Cost.push_back(1.0 + static_cast<double>(R.nextBelow(100)));
+  for (int C = 0; C != 40; ++C) {
+    CoverConstraint Con;
+    std::vector<uint32_t> Pool;
+    for (uint32_t V = 0; V != 60; ++V)
+      if (R.withChance(1, 3))
+        Pool.push_back(V);
+    if (Pool.size() < 4)
+      Pool = {0, 1, 2, 3};
+    Con.Vars = Pool;
+    Con.Need = 1 + static_cast<int>(R.nextBelow(3));
+    P.Constraints.push_back(Con);
+  }
+  CoverSolution S = solveCover(P, /*NodeBudget=*/10);
+  EXPECT_TRUE(feasible(P, S.Selected));
+}
+
+/// Randomized optimality check against brute force on small instances.
+class CoverSolverRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverSolverRandom, MatchesBruteForce) {
+  Rng R(1000 + GetParam());
+  CoverProblem P;
+  size_t NumVars = 6 + R.nextBelow(7); // 6..12.
+  for (size_t V = 0; V != NumVars; ++V)
+    P.Cost.push_back(1.0 + static_cast<double>(R.nextBelow(20)));
+  size_t NumCons = 2 + R.nextBelow(5);
+  for (size_t C = 0; C != NumCons; ++C) {
+    CoverConstraint Con;
+    for (uint32_t V = 0; V != NumVars; ++V)
+      if (R.withChance(1, 2))
+        Con.Vars.push_back(V);
+    if (Con.Vars.empty())
+      Con.Vars.push_back(0);
+    Con.Need = 1 + static_cast<int>(
+                       R.nextBelow(std::min<uint64_t>(Con.Vars.size(), 3)));
+    P.Constraints.push_back(Con);
+  }
+  CoverSolution S = solveCover(P);
+  ASSERT_TRUE(S.Optimal);
+  ASSERT_TRUE(feasible(P, S.Selected));
+  EXPECT_NEAR(S.TotalCost, bruteForceOptimum(P), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverSolverRandom, ::testing::Range(0, 25));

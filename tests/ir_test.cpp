@@ -1,0 +1,226 @@
+//===- tests/ir_test.cpp - Instruction/Function/IRBuilder unit tests ------===//
+
+#include "ir/Function.h"
+#include "ir/IRBuilder.h"
+#include "ir/Instruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// A minimal two-block function: bb0 computes and branches, bb1 returns.
+Function makeDiamond() {
+  Function F;
+  F.Name = "diamond";
+  F.MemWords = 8;
+  uint32_t B0 = F.makeBlock();
+  uint32_t BThen = F.makeBlock();
+  uint32_t BElse = F.makeBlock();
+  uint32_t BJoin = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  RegId X = B.createMovImm(1);
+  RegId Y = B.createMovImm(2);
+  RegId C = B.createBin(Opcode::CmpLT, X, Y);
+  B.createBr(C, BThen, BElse);
+  B.setBlock(BThen);
+  RegId T = B.createBin(Opcode::Add, X, Y);
+  B.createStore(X, 0, T);
+  B.createJmp(BJoin);
+  B.setBlock(BElse);
+  RegId E = B.createBin(Opcode::Sub, X, Y);
+  B.createStore(X, 1, E);
+  B.createJmp(BJoin);
+  B.setBlock(BJoin);
+  B.createRet(X);
+  F.recomputeCFG();
+  return F;
+}
+
+} // namespace
+
+TEST(Instruction, DefAndUses) {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 3;
+  I.Src1 = 1;
+  I.Src2 = 2;
+  EXPECT_EQ(I.def(), 3u);
+  RegId Uses[2];
+  unsigned N;
+  I.uses(Uses, N);
+  ASSERT_EQ(N, 2u);
+  EXPECT_EQ(Uses[0], 1u);
+  EXPECT_EQ(Uses[1], 2u);
+}
+
+TEST(Instruction, StoreHasNoDef) {
+  Instruction I;
+  I.Op = Opcode::Store;
+  I.Src1 = 4;
+  I.Src2 = 5;
+  EXPECT_EQ(I.def(), NoReg);
+  RegId Uses[2];
+  unsigned N;
+  I.uses(Uses, N);
+  ASSERT_EQ(N, 2u);
+  EXPECT_EQ(I.numRegFields(), 2u);
+}
+
+TEST(Instruction, SpillLdHasOnlyDef) {
+  Instruction I;
+  I.Op = Opcode::SpillLd;
+  I.Dst = 7;
+  I.Imm = 2;
+  EXPECT_EQ(I.def(), 7u);
+  EXPECT_EQ(I.numRegFields(), 1u);
+  EXPECT_EQ(I.regField(0), 7u);
+}
+
+TEST(Instruction, SetLastRegHasNoFields) {
+  Instruction I;
+  I.Op = Opcode::SetLastReg;
+  I.Imm = 5;
+  EXPECT_EQ(I.numRegFields(), 0u);
+  EXPECT_EQ(I.def(), NoReg);
+}
+
+TEST(Instruction, RegFieldRoundTrip) {
+  Instruction I;
+  I.Op = Opcode::Mul;
+  I.Dst = 9;
+  I.Src1 = 4;
+  I.Src2 = 6;
+  ASSERT_EQ(I.numRegFields(), 3u);
+  EXPECT_EQ(I.regField(0), 4u);
+  EXPECT_EQ(I.regField(1), 6u);
+  EXPECT_EQ(I.regField(2), 9u);
+  I.setRegField(0, 11);
+  I.setRegField(2, 12);
+  EXPECT_EQ(I.Src1, 11u);
+  EXPECT_EQ(I.Dst, 12u);
+}
+
+TEST(Instruction, TerminatorPredicate) {
+  Instruction I;
+  I.Op = Opcode::Br;
+  EXPECT_TRUE(I.isTerminator());
+  I.Op = Opcode::Jmp;
+  EXPECT_TRUE(I.isTerminator());
+  I.Op = Opcode::Ret;
+  EXPECT_TRUE(I.isTerminator());
+  I.Op = Opcode::Add;
+  EXPECT_FALSE(I.isTerminator());
+}
+
+TEST(Instruction, MemoryAndSpillPredicates) {
+  Instruction I;
+  I.Op = Opcode::Load;
+  EXPECT_TRUE(I.isMemory());
+  EXPECT_FALSE(I.isSpill());
+  I.Op = Opcode::SpillSt;
+  EXPECT_TRUE(I.isMemory());
+  EXPECT_TRUE(I.isSpill());
+}
+
+TEST(Instruction, ToStringSmoke) {
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 1;
+  I.Src1 = 2;
+  I.Src2 = 3;
+  EXPECT_EQ(toString(I), "add r1, r2, r3");
+  I.Op = Opcode::SetLastReg;
+  I.Imm = 4;
+  I.Aux = 1;
+  EXPECT_EQ(toString(I), "set_last_reg(4, 1)");
+}
+
+TEST(Function, RecomputeCfgEdges) {
+  Function F = makeDiamond();
+  ASSERT_EQ(F.Blocks.size(), 4u);
+  EXPECT_EQ(F.Blocks[0].Succs.size(), 2u);
+  EXPECT_EQ(F.Blocks[1].Preds.size(), 1u);
+  EXPECT_EQ(F.Blocks[3].Preds.size(), 2u);
+  EXPECT_TRUE(F.Blocks[3].Succs.empty());
+}
+
+TEST(Function, Counts) {
+  Function F = makeDiamond();
+  EXPECT_EQ(F.numInsts(), 11u);
+  EXPECT_EQ(F.numSpillInsts(), 0u);
+  EXPECT_EQ(F.numSetLastRegs(), 0u);
+}
+
+TEST(Function, VerifyAcceptsWellFormed) {
+  Function F = makeDiamond();
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(F, &Err)) << Err;
+}
+
+TEST(Function, VerifyRejectsMissingTerminator) {
+  Function F = makeDiamond();
+  F.Blocks[3].Insts.pop_back(); // Drop the ret.
+  std::string Err;
+  EXPECT_FALSE(verifyFunction(F, &Err));
+}
+
+TEST(Function, VerifyRejectsMidBlockTerminator) {
+  Function F = makeDiamond();
+  Instruction J;
+  J.Op = Opcode::Jmp;
+  J.Target0 = 0;
+  F.Blocks[1].Insts.insert(F.Blocks[1].Insts.begin(), J);
+  EXPECT_FALSE(verifyFunction(F));
+}
+
+TEST(Function, VerifyRejectsOutOfRangeRegister) {
+  Function F = makeDiamond();
+  F.Blocks[0].Insts[0].Dst = F.NumRegs + 5;
+  EXPECT_FALSE(verifyFunction(F));
+}
+
+TEST(Function, VerifyRejectsBadBranchTarget) {
+  Function F = makeDiamond();
+  F.Blocks[0].Insts.back().Target0 = 99;
+  EXPECT_FALSE(verifyFunction(F));
+}
+
+TEST(Function, VerifyRejectsBadSpillSlot) {
+  Function F = makeDiamond();
+  Instruction I;
+  I.Op = Opcode::SpillLd;
+  I.Dst = 0;
+  I.Imm = 3; // NumSpillSlots == 0.
+  F.Blocks[0].Insts.insert(F.Blocks[0].Insts.begin(), I);
+  EXPECT_FALSE(verifyFunction(F));
+}
+
+TEST(Function, PrintContainsBlocksAndOps) {
+  Function F = makeDiamond();
+  std::string Text = printFunction(F);
+  EXPECT_NE(Text.find("bb0:"), std::string::npos);
+  EXPECT_NE(Text.find("bb3:"), std::string::npos);
+  EXPECT_NE(Text.find("cmplt"), std::string::npos);
+  EXPECT_NE(Text.find("ret"), std::string::npos);
+}
+
+TEST(IRBuilder, FreshRegistersAreDense) {
+  Function F;
+  F.makeBlock();
+  IRBuilder B(F);
+  RegId A = B.createMovImm(1);
+  RegId C = B.createMovImm(2);
+  EXPECT_EQ(A, 0u);
+  EXPECT_EQ(C, 1u);
+  EXPECT_EQ(F.NumRegs, 2u);
+}
+
+TEST(IRBuilder, OpcodeNamesUnique) {
+  // Smoke-check a few names; duplicates would break the textual printer.
+  EXPECT_STREQ(opcodeName(Opcode::Add), "add");
+  EXPECT_STREQ(opcodeName(Opcode::SpillSt), "spill.st");
+  EXPECT_STREQ(opcodeName(Opcode::SetLastReg), "set_last_reg");
+}

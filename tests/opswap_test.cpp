@@ -1,0 +1,144 @@
+//===- tests/opswap_test.cpp - Commutative operand swapping tests ---------===//
+
+#include "core/Encoder.h"
+#include "core/OperandSwap.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "regalloc/GraphColoring.h"
+#include "workloads/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(OperandSwap, CommutativityTable) {
+  EXPECT_TRUE(isCommutative(Opcode::Add));
+  EXPECT_TRUE(isCommutative(Opcode::Mul));
+  EXPECT_TRUE(isCommutative(Opcode::Xor));
+  EXPECT_TRUE(isCommutative(Opcode::CmpEQ));
+  EXPECT_FALSE(isCommutative(Opcode::Sub));
+  EXPECT_FALSE(isCommutative(Opcode::DivS));
+  EXPECT_FALSE(isCommutative(Opcode::CmpLT));
+  EXPECT_FALSE(isCommutative(Opcode::Shl));
+  EXPECT_FALSE(isCommutative(Opcode::Store));
+}
+
+TEST(OperandSwap, FixesSourcePairViolation) {
+  // r5 = r4 + r0 with RegN=12/DiffN=8 and entry last_reg = 0: the chain
+  // 0 -> 4 -> 0 -> 5 has one violation (4 -> 0 is diff 8), while the
+  // swapped chain 0 -> 0 -> 4 -> 5 has none.
+  EncodingConfig C = lowEndConfig(12);
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  F.makeBlock();
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 5;
+  I.Src1 = 4;
+  I.Src2 = 0;
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 5;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  size_t Swapped = swapCommutativeOperands(F, C);
+  EXPECT_EQ(Swapped, 1u);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Src1, 0u);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Src2, 4u);
+  EncodedFunction E = encodeFunction(F, C);
+  EXPECT_EQ(E.Stats.SetLastRange, 0u);
+}
+
+TEST(OperandSwap, LeavesImprovementFreeCodeAlone) {
+  EncodingConfig C = lowEndConfig(12);
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  F.makeBlock();
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 3;
+  I.Src1 = 1;
+  I.Src2 = 2; // 1->2->3: all diffs 1.
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 3;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EXPECT_EQ(swapCommutativeOperands(F, C), 0u);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Src1, 1u);
+}
+
+TEST(OperandSwap, NonCommutativeNeverTouched) {
+  EncodingConfig C = lowEndConfig(12);
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  F.makeBlock();
+  Instruction I;
+  I.Op = Opcode::Sub;
+  I.Dst = 0;
+  I.Src1 = 0;
+  I.Src2 = 9; // Violated but not swappable.
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 0;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EXPECT_EQ(swapCommutativeOperands(F, C), 0u);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Src1, 0u);
+  EXPECT_EQ(F.Blocks[0].Insts[0].Src2, 9u);
+}
+
+TEST(OperandSwap, NoOpForDstFirstOrder) {
+  EncodingConfig C = lowEndConfig(12);
+  C.Order = AccessOrder::DstFirst;
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  F.makeBlock();
+  Instruction I;
+  I.Op = Opcode::Add;
+  I.Dst = 0;
+  I.Src1 = 0;
+  I.Src2 = 9;
+  F.Blocks[0].Insts.push_back(I);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 0;
+  F.Blocks[0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  EXPECT_EQ(swapCommutativeOperands(F, C), 0u);
+}
+
+/// Property: swapping never changes semantics and never increases the
+/// encoder's out-of-range repair count.
+class OperandSwapRandom : public ::testing::TestWithParam<int> {};
+
+TEST_P(OperandSwapRandom, SemanticsAndRepairsMonotone) {
+  EncodingConfig C = lowEndConfig(12);
+  ProgramProfile P;
+  P.Seed = static_cast<uint64_t>(GetParam()) * 53 + 11;
+  P.PressureVars = 5;
+  P.TopStatements = 6;
+  P.OuterTrip = 3;
+  Function F = generateProgram("os", P);
+  allocateGraphColoring(F, C.RegN);
+  ExecResult Before = interpret(F);
+  EncodedFunction EBefore = encodeFunction(F, C);
+
+  size_t Swapped = swapCommutativeOperands(F, C);
+  (void)Swapped;
+  ExecResult After = interpret(F);
+  EXPECT_EQ(fingerprint(Before), fingerprint(After));
+  EncodedFunction EAfter = encodeFunction(F, C);
+  EXPECT_LE(EAfter.Stats.SetLastRange, EBefore.Stats.SetLastRange);
+  std::string Err;
+  EXPECT_TRUE(verifyDecodable(EAfter.Annotated, C, &Err)) << Err;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OperandSwapRandom, ::testing::Range(0, 10));

@@ -1,0 +1,122 @@
+//===- tests/parser_test.cpp - Textual IR parser tests --------------------===//
+
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "workloads/MiBench.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(Parser, ParsesSimpleLoop) {
+  const char *Text = R"(
+func sum regs=2 mem=4 spills=0
+bb0:
+  movi r0, 10
+  movi r1, 0
+  jmp bb1
+bb1:
+  add r1, r1, r0
+  addi r0, r0, -1
+  br r0, bb1, bb2
+bb2:
+  ret r1
+)";
+  std::string Err;
+  auto F = parseFunction(Text, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  EXPECT_EQ(F->Name, "sum");
+  EXPECT_EQ(F->NumRegs, 2u);
+  EXPECT_EQ(F->Blocks.size(), 3u);
+  ASSERT_TRUE(verifyFunction(*F, &Err)) << Err;
+  EXPECT_EQ(interpret(*F).ReturnValue, 55);
+}
+
+TEST(Parser, ParsesAllInstructionForms) {
+  const char *Text = R"(
+func forms regs=6 mem=16 spills=2
+bb0:
+  movi r0, 3
+  mov r1, r0
+  add r2, r0, r1
+  ; comment-only lines are ignored by the parser
+  addi r3, r2, -7
+  load r4, [r0 + 2]
+  store [r0 + 2], r4
+  spill.st slot1, r2
+  spill.ld r5, slot1
+  set_last_reg(3)
+  set_last_reg(2, 1)
+  cmplt r5, r2, r3
+  ret r5
+)";
+  std::string Err;
+  auto F = parseFunction(Text, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  const auto &Insts = F->Blocks[0].Insts;
+  EXPECT_EQ(Insts[3].Op, Opcode::AddI);
+  EXPECT_EQ(Insts[3].Imm, -7);
+  EXPECT_EQ(Insts[4].Op, Opcode::Load);
+  EXPECT_EQ(Insts[5].Op, Opcode::Store);
+  EXPECT_EQ(Insts[6].Op, Opcode::SpillSt);
+  EXPECT_EQ(Insts[6].Imm, 1);
+  EXPECT_EQ(Insts[8].Op, Opcode::SetLastReg);
+  EXPECT_EQ(Insts[8].Aux, 0u);
+  EXPECT_EQ(Insts[9].Aux, 1u);
+}
+
+TEST(Parser, RejectsUnknownMnemonic) {
+  std::string Err;
+  auto F = parseFunction("func f regs=1 mem=1 spills=0\nbb0:\n  bogus r0\n",
+                         &Err);
+  EXPECT_FALSE(F.has_value());
+  EXPECT_NE(Err.find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(Parser, RejectsMissingHeader) {
+  std::string Err;
+  auto F = parseFunction("bb0:\n  ret r0\n", &Err);
+  EXPECT_FALSE(F.has_value());
+}
+
+TEST(Parser, RejectsInstructionBeforeLabel) {
+  std::string Err;
+  auto F = parseFunction("func f regs=1 mem=1 spills=0\n  ret r0\n", &Err);
+  EXPECT_FALSE(F.has_value());
+  EXPECT_NE(Err.find("before any block"), std::string::npos);
+}
+
+TEST(Parser, ForwardBlockReferences) {
+  const char *Text = R"(
+func fwd regs=1 mem=1 spills=0
+bb0:
+  movi r0, 1
+  jmp bb2
+bb1:
+  ret r0
+bb2:
+  jmp bb1
+)";
+  std::string Err;
+  auto F = parseFunction(Text, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  EXPECT_EQ(F->Blocks.size(), 3u);
+  EXPECT_EQ(interpret(*F).ReturnValue, 1);
+}
+
+/// Print -> parse -> print round trip over the benchmark suite.
+class ParserRoundTrip : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ParserRoundTrip, PrintParsePrintIsStable) {
+  Function F = miBenchProgram(GetParam());
+  std::string Once = printFunction(F);
+  std::string Err;
+  auto Parsed = parseFunction(Once, &Err);
+  ASSERT_TRUE(Parsed.has_value()) << Err;
+  EXPECT_EQ(printFunction(*Parsed), Once);
+  EXPECT_EQ(fingerprint(interpret(*Parsed)), fingerprint(interpret(F)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Suite, ParserRoundTrip,
+                         ::testing::Values("crc32", "dijkstra",
+                                           "stringsearch", "qsort"));

@@ -1,0 +1,217 @@
+//===- tests/regalloc_test.cpp - Register allocator tests -----------------===//
+
+#include "analysis/Liveness.h"
+#include "interp/Interpreter.h"
+#include "ir/IRBuilder.h"
+#include "regalloc/GraphColoring.h"
+#include "regalloc/InterferenceGraph.h"
+#include "workloads/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// Checks that no two simultaneously-live registers share a physical
+/// number in the allocated function (all operands are phys regs < K).
+bool allocationIsSound(const Function &F, unsigned K) {
+  if (F.NumRegs != K)
+    return false;
+  Function Copy = F;
+  Copy.recomputeCFG();
+  Liveness LV = Liveness::compute(Copy);
+  // With whole-register live ranges, soundness means: at every def, the
+  // defined phys reg is not in the live-after set unless this instruction
+  // (re)defines that same value. Equivalent check: build the interference
+  // graph and verify no self-conflicts arise — every node is its own
+  // color, so it suffices that no instruction defines a register that is
+  // live-after through a *different* value. That cannot be observed
+  // directly post-rewrite, so instead we verify the program semantics in
+  // the tests that use allocationIsSound alongside fingerprint equality.
+  for (const BasicBlock &BB : Copy.Blocks)
+    for (const Instruction &I : BB.Insts)
+      for (unsigned Field = 0; Field != I.numRegFields(); ++Field)
+        if (I.regField(Field) >= K)
+          return false;
+  return true;
+}
+
+Function pressureProgram(uint64_t Seed, unsigned Pool) {
+  ProgramProfile P;
+  P.Seed = Seed;
+  P.PressureVars = Pool;
+  P.TopStatements = 6;
+  P.OuterTrip = 4;
+  return generateProgram("p", P);
+}
+
+} // namespace
+
+TEST(InterferenceGraph, BuildsExpectedEdges) {
+  // r0 and r1 overlap; r2 is disjoint from r0.
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId A = B.createMovImm(1);          // r0
+  RegId C = B.createMovImm(2);          // r1, r0 live
+  RegId D = B.createBin(Opcode::Add, A, C); // r2, kills r0/r1 afterwards
+  B.createRet(D);
+  F.recomputeCFG();
+  Liveness LV = Liveness::compute(F);
+  InterferenceGraph G = InterferenceGraph::build(F, LV);
+  EXPECT_TRUE(G.interferes(A, C));
+  EXPECT_FALSE(G.interferes(A, D));
+  EXPECT_FALSE(G.interferes(C, D));
+}
+
+TEST(InterferenceGraph, MoveDoesNotInterfereWithSource) {
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId A = B.createMovImm(1);
+  RegId C = B.createMov(A); // C copies A; A unused afterwards... keep A
+  RegId D = B.createBin(Opcode::Add, C, A);
+  B.createRet(D);
+  F.recomputeCFG();
+  Liveness LV = Liveness::compute(F);
+  InterferenceGraph G = InterferenceGraph::build(F, LV);
+  // A is live after the move (used by add), but a move's destination does
+  // not interfere with its source by the Chaitin rule.
+  EXPECT_FALSE(G.interferes(A, C));
+  ASSERT_EQ(G.moves().size(), 1u);
+  EXPECT_EQ(G.moves()[0].Dst, C);
+  EXPECT_EQ(G.moves()[0].Src, A);
+}
+
+TEST(InterferenceGraph, ValidColoringCheck) {
+  InterferenceGraph G(3);
+  G.addEdge(0, 1);
+  G.addEdge(1, 2);
+  EXPECT_TRUE(G.isValidColoring({0, 1, 0}));
+  EXPECT_FALSE(G.isValidColoring({0, 0, 1}));
+}
+
+TEST(InterferenceGraph, NoSelfOrDuplicateEdges) {
+  InterferenceGraph G(4);
+  G.addEdge(1, 1); // Ignored.
+  G.addEdge(1, 2);
+  G.addEdge(2, 1); // Duplicate.
+  EXPECT_EQ(G.degree(1), 1u);
+  EXPECT_EQ(G.degree(2), 1u);
+  EXPECT_FALSE(G.interferes(1, 1));
+}
+
+TEST(GraphColoring, NoSpillWhenRegistersSuffice) {
+  Function F = pressureProgram(3, 3);
+  F.recomputeCFG();
+  unsigned Pressure = Liveness::compute(F).maxPressure(F);
+  ExecResult Before = interpret(F);
+  // Give the allocator comfortably more registers than the peak pressure;
+  // no spill may then occur.
+  unsigned K = Pressure + 4;
+  AllocResult R = allocateGraphColoring(F, K);
+  EXPECT_TRUE(R.Success);
+  EXPECT_EQ(R.SpillLoads + R.SpillStores, 0u);
+  EXPECT_TRUE(allocationIsSound(F, K));
+  EXPECT_EQ(fingerprint(interpret(F)), fingerprint(Before));
+}
+
+TEST(GraphColoring, SpillsUnderPressureAndStaysCorrect) {
+  Function F = pressureProgram(5, 12);
+  ExecResult Before = interpret(F);
+  AllocResult R = allocateGraphColoring(F, 6);
+  EXPECT_TRUE(R.Success);
+  EXPECT_GT(R.SpilledRanges, 0u);
+  EXPECT_GT(R.SpillLoads + R.SpillStores, 0u);
+  EXPECT_TRUE(allocationIsSound(F, 6));
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(F, &Err)) << Err;
+  EXPECT_EQ(fingerprint(interpret(F)), fingerprint(Before));
+}
+
+TEST(GraphColoring, CoalescingRemovesMoves) {
+  // A chain of moves between non-interfering values should coalesce away.
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId A = B.createMovImm(5);
+  RegId C = B.createMov(A); // A dead after.
+  RegId D = B.createMov(C); // C dead after.
+  RegId E = B.createBinImm(Opcode::AddI, D, 1);
+  B.createRet(E);
+  F.recomputeCFG();
+  AllocResult R = allocateGraphColoring(F, 8);
+  EXPECT_EQ(R.MovesRemoved, 2u);
+  EXPECT_EQ(R.MovesRemaining, 0u);
+  EXPECT_EQ(interpret(F).ReturnValue, 6);
+}
+
+TEST(GraphColoring, NoRewriteModeLeavesVRegs) {
+  Function F = pressureProgram(7, 4);
+  uint32_t VRegsBefore = F.NumRegs;
+  std::vector<RegId> ColorOf;
+  AllocResult R = allocateGraphColoring(F, 8, nullptr, 60, &ColorOf);
+  EXPECT_TRUE(R.Success);
+  EXPECT_GE(F.NumRegs, VRegsBefore); // Still virtual universe.
+  ASSERT_EQ(ColorOf.size(), F.NumRegs);
+  for (RegId V = 0; V != F.NumRegs; ++V)
+    EXPECT_LT(ColorOf[V], 8u);
+  // The coloring must respect interference.
+  F.recomputeCFG();
+  Liveness LV = Liveness::compute(F);
+  InterferenceGraph G = InterferenceGraph::build(F, LV);
+  EXPECT_TRUE(G.isValidColoring(ColorOf));
+  // And rewriting must preserve semantics.
+  Function Rewritten = F;
+  rewriteToPhysical(Rewritten, ColorOf, 8);
+  EXPECT_TRUE(allocationIsSound(Rewritten, 8));
+}
+
+TEST(GraphColoring, SpillCodeInserterBracketsUses) {
+  Function F;
+  F.MemWords = 4;
+  F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(0);
+  RegId A = B.createMovImm(3);
+  RegId C = B.createBinImm(Opcode::AddI, A, 4);
+  B.createRet(C);
+  F.recomputeCFG();
+  ExecResult Before = interpret(F);
+  std::vector<RegId> Temps = insertSpillCode(F, A);
+  EXPECT_EQ(F.NumSpillSlots, 1u);
+  EXPECT_EQ(Temps.size(), 2u); // One def temp, one use temp.
+  EXPECT_EQ(F.numSpillInsts(), 2u);
+  std::string Err;
+  EXPECT_TRUE(verifyFunction(F, &Err)) << Err;
+  EXPECT_EQ(fingerprint(interpret(F)), fingerprint(Before));
+}
+
+/// Allocation soundness + semantic preservation over random programs and
+/// register counts.
+class GraphColoringRandom
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(GraphColoringRandom, PreservesSemantics) {
+  auto [Seed, K] = GetParam();
+  Function F = pressureProgram(static_cast<uint64_t>(Seed) * 77 + 1, 8);
+  ExecResult Before = interpret(F);
+  AllocResult R = allocateGraphColoring(F, K);
+  ASSERT_TRUE(R.Success);
+  EXPECT_TRUE(allocationIsSound(F, K));
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(F, &Err)) << Err;
+  EXPECT_EQ(fingerprint(interpret(F)), fingerprint(Before));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GraphColoringRandom,
+    ::testing::Combine(::testing::Range(0, 8),
+                       ::testing::Values(6u, 8u, 12u, 16u)));

@@ -1,0 +1,257 @@
+//===- tests/swp_test.cpp - Modulo scheduling / SWP pipeline tests --------===//
+
+#include "swp/Ddg.h"
+#include "swp/ModuloScheduler.h"
+#include "swp/SwpPipeline.h"
+#include "workloads/LoopCorpus.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// A simple chain a -> b -> c (latencies 1).
+LoopDdg chainLoop(unsigned Len, unsigned Latency = 1) {
+  LoopDdg L;
+  L.Name = "chain";
+  for (unsigned I = 0; I != Len; ++I) {
+    DdgOp Op;
+    Op.Kind = FuKind::Alu;
+    Op.Latency = Latency;
+    L.Ops.push_back(Op);
+    if (I != 0)
+      L.Edges.push_back({I - 1, I, Latency, 0, true});
+  }
+  return L;
+}
+
+/// Validates a schedule: every dependence satisfied modulo II, every
+/// resource row within limits.
+void checkSchedule(const LoopDdg &L, const VliwMachine &M,
+                   const ModuloSchedule &S) {
+  ASSERT_EQ(S.TimeOf.size(), L.Ops.size());
+  for (const DdgEdge &E : L.Edges) {
+    long Lhs = static_cast<long>(S.TimeOf[E.Dst]) +
+               static_cast<long>(S.II) * E.Distance;
+    long Rhs = static_cast<long>(S.TimeOf[E.Src]) + E.Latency;
+    EXPECT_GE(Lhs, Rhs) << "dependence " << E.Src << "->" << E.Dst;
+  }
+  std::vector<unsigned> Slots(S.II, 0), Mem(S.II, 0), Mul(S.II, 0);
+  for (uint32_t Op = 0; Op != L.Ops.size(); ++Op) {
+    unsigned Row = S.TimeOf[Op] % S.II;
+    ++Slots[Row];
+    if (L.Ops[Op].Kind == FuKind::Mem)
+      ++Mem[Row];
+    if (L.Ops[Op].Kind == FuKind::Mul)
+      ++Mul[Row];
+  }
+  for (unsigned Row = 0; Row != S.II; ++Row) {
+    EXPECT_LE(Slots[Row], M.IssueSlots);
+    EXPECT_LE(Mem[Row], M.MemPorts);
+    EXPECT_LE(Mul[Row], M.MulUnits);
+  }
+}
+
+} // namespace
+
+TEST(Ddg, ResMiiCountsResources) {
+  VliwMachine M;
+  LoopDdg L;
+  for (int I = 0; I != 8; ++I) {
+    DdgOp Op;
+    Op.Kind = I < 5 ? FuKind::Mem : FuKind::Alu;
+    L.Ops.push_back(Op);
+  }
+  // 8 ops / 4 slots = 2; 5 mem / 2 ports = 3.
+  EXPECT_EQ(resMii(L, M), 3u);
+}
+
+TEST(Ddg, RecMiiOfRecurrence) {
+  // A self-recurrence: a -> a with latency 3, distance 1 forces II >= 3.
+  LoopDdg L;
+  DdgOp Op;
+  Op.Latency = 3;
+  L.Ops.push_back(Op);
+  L.Edges.push_back({0, 0, 3, 1, true});
+  EXPECT_EQ(recMii(L), 3u);
+}
+
+TEST(Ddg, RecMiiAcyclicIsOne) {
+  LoopDdg L = chainLoop(5);
+  EXPECT_EQ(recMii(L), 1u);
+}
+
+TEST(Ddg, MinIICombines) {
+  VliwMachine M;
+  LoopDdg L = chainLoop(9); // 9 ops / 4 slots -> ResMII 3.
+  EXPECT_EQ(minII(L, M), 3u);
+}
+
+TEST(ModuloScheduler, SchedulesChainAtMinII) {
+  VliwMachine M;
+  LoopDdg L = chainLoop(6);
+  ModuloSchedule S = scheduleLoop(L, M);
+  EXPECT_EQ(S.II, minII(L, M));
+  checkSchedule(L, M, S);
+}
+
+TEST(ModuloScheduler, RespectsRecurrences) {
+  VliwMachine M;
+  LoopDdg L = chainLoop(4);
+  // Loop-carried edge from tail to head, latency 2 distance 1.
+  L.Edges.push_back({3, 0, 2, 1, true});
+  ModuloSchedule S = scheduleLoop(L, M);
+  checkSchedule(L, M, S);
+  EXPECT_GE(S.II, recMii(L));
+}
+
+TEST(ModuloScheduler, ResourceLimitedLoop) {
+  VliwMachine M;
+  LoopDdg L;
+  for (int I = 0; I != 10; ++I) {
+    DdgOp Op;
+    Op.Kind = FuKind::Mem;
+    Op.Latency = 2;
+    L.Ops.push_back(Op);
+  }
+  ModuloSchedule S = scheduleLoop(L, M);
+  EXPECT_GE(S.II, 5u); // 10 mem ops / 2 ports.
+  checkSchedule(L, M, S);
+}
+
+TEST(ModuloScheduler, StageCount) {
+  VliwMachine M;
+  LoopDdg L = chainLoop(6, 2); // Long chain, small II -> several stages.
+  ModuloSchedule S = scheduleLoop(L, M);
+  checkSchedule(L, M, S);
+  EXPECT_GE(S.stageCount(), 2u);
+}
+
+TEST(RegRequirement, LongLifetimesRaiseMaxLive) {
+  VliwMachine M;
+  // Wide independent chains: many values alive simultaneously.
+  LoopDdg Wide;
+  for (int C = 0; C != 8; ++C) {
+    uint32_t Prev = ~0u;
+    for (int I = 0; I != 3; ++I) {
+      DdgOp Op;
+      Op.Latency = 2;
+      Wide.Ops.push_back(Op);
+      uint32_t Cur = static_cast<uint32_t>(Wide.Ops.size() - 1);
+      if (Prev != ~0u)
+        Wide.Edges.push_back({Prev, Cur, 2, 0, true});
+      Prev = Cur;
+    }
+  }
+  ModuloSchedule S = scheduleLoop(Wide, M);
+  RegRequirement R = computeRegRequirement(Wide, S);
+  EXPECT_GT(R.MaxLive, 4u);
+  EXPECT_GE(R.Mve, 1u);
+}
+
+TEST(RegRequirement, MveMatchesSpans) {
+  VliwMachine M;
+  LoopDdg L = chainLoop(2);
+  // Value 0 consumed 5 iterations later: span > II forces MVE > 1.
+  L.Edges.push_back({0, 1, 1, 5, true});
+  ModuloSchedule S = scheduleLoop(L, M);
+  RegRequirement R = computeRegRequirement(L, S);
+  EXPECT_GT(R.Mve, 1u);
+}
+
+TEST(SpillValue, AddsStoreAndLoads) {
+  LoopDdg L = chainLoop(3);
+  size_t OpsBefore = L.Ops.size();
+  size_t Added = spillValue(L, 0);
+  EXPECT_EQ(Added, 2u); // One store, one load (one consumer).
+  EXPECT_EQ(L.Ops.size(), OpsBefore + 2);
+  // The original data edge 0 -> 1 must be gone.
+  for (const DdgEdge &E : L.Edges)
+    EXPECT_FALSE(E.IsData && E.Src == 0 && E.Dst == 1);
+}
+
+TEST(SpillValue, MultiUseGetsLoadPerUse) {
+  LoopDdg L;
+  for (int I = 0; I != 4; ++I)
+    L.Ops.push_back({FuKind::Alu, 1, true});
+  L.Edges.push_back({0, 1, 1, 0, true});
+  L.Edges.push_back({0, 2, 1, 0, true});
+  L.Edges.push_back({0, 3, 1, 0, true});
+  size_t Added = spillValue(L, 0);
+  EXPECT_EQ(Added, 4u); // Store + three loads.
+}
+
+TEST(SwpPipeline, NoSpillWhenRegistersSuffice) {
+  VliwMachine M;
+  LoopDdg L = chainLoop(6);
+  SwpResult R = pipelineLoop(L, M, 32);
+  EXPECT_TRUE(R.Ok);
+  EXPECT_EQ(R.SpillOps, 0u);
+  EXPECT_LE(R.RegsUsed, 32u);
+  EXPECT_GT(R.Cycles, 0u);
+}
+
+TEST(SwpPipeline, SpillsWhenRegistersTight) {
+  VliwMachine M;
+  // Eight independent long-latency chains: requirement far above 6 regs.
+  LoopDdg L;
+  for (int Chain = 0; Chain != 8; ++Chain) {
+    uint32_t Prev = ~0u;
+    for (int I = 0; I != 3; ++I) {
+      L.Ops.push_back({FuKind::Alu, 2, true});
+      uint32_t Cur = static_cast<uint32_t>(L.Ops.size() - 1);
+      if (Prev != ~0u)
+        L.Edges.push_back({Prev, Cur, 2, 0, true});
+      Prev = Cur;
+    }
+  }
+  SwpResult Wide = pipelineLoop(L, M, 64);
+  ASSERT_GT(Wide.RegsUsed, 6u);
+  SwpResult Tight = pipelineLoop(L, M, 6);
+  EXPECT_GE(Tight.SpillOps, 1u);
+}
+
+TEST(SwpPipeline, MoreArchRegsNeverMoreCycles) {
+  VliwMachine M;
+  for (unsigned Idx = 0; Idx != 12; ++Idx) {
+    LoopDdg L = generateLoop(777, Idx);
+    SwpResult R32 = pipelineLoop(L, M, 32);
+    SwpResult R64 = pipelineLoop(L, M, 64);
+    EXPECT_LE(R64.Cycles, R32.Cycles) << "loop " << Idx;
+  }
+}
+
+TEST(SwpPipeline, DifferentialEncodingReportsRepairs) {
+  VliwMachine M;
+  LoopDdg L = generateLoop(5150, 7);
+  EncodingConfig C = vliwConfig(48);
+  SwpResult R = pipelineLoop(L, M, 32, &C);
+  // With DiffN = 32 and RegN = 48 some repairs may remain, but at least
+  // the loop-entry repair is always counted.
+  EXPECT_GE(R.SetLastRegs, 1u);
+  EXPECT_LE(R.RegsUsed, 48u);
+}
+
+TEST(SwpPipeline, CyclesFormula) {
+  VliwMachine M;
+  LoopDdg L = chainLoop(4);
+  L.TripCount = 100;
+  SwpResult R = pipelineLoop(L, M, 32);
+  EXPECT_EQ(R.Cycles, static_cast<uint64_t>(R.II) * 100 +
+                          static_cast<uint64_t>(R.StageCount - 1) * R.II);
+}
+
+/// Schedule validity across the generated corpus (a slice of it).
+class CorpusSchedules : public ::testing::TestWithParam<int> {};
+
+TEST_P(CorpusSchedules, ValidAtChosenII) {
+  VliwMachine M;
+  LoopDdg L = generateLoop(0x10057c0de, GetParam());
+  ModuloSchedule S = scheduleLoop(L, M);
+  checkSchedule(L, M, S);
+  RegRequirement R = computeRegRequirement(L, S);
+  EXPECT_GE(R.MaxLive, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Slice, CorpusSchedules, ::testing::Range(0, 30));

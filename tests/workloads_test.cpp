@@ -1,0 +1,137 @@
+//===- tests/workloads_test.cpp - Workload generator tests ----------------===//
+
+#include "analysis/Liveness.h"
+#include "interp/Interpreter.h"
+#include "workloads/LoopCorpus.h"
+#include "workloads/MiBench.h"
+#include "workloads/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+TEST(ProgramGen, Deterministic) {
+  ProgramProfile P;
+  P.Seed = 7;
+  Function A = generateProgram("same", P);
+  Function B = generateProgram("same", P);
+  EXPECT_EQ(printFunction(A), printFunction(B));
+}
+
+TEST(ProgramGen, DifferentSeedsDiffer) {
+  ProgramProfile P;
+  P.Seed = 7;
+  Function A = generateProgram("a", P);
+  P.Seed = 8;
+  Function B = generateProgram("a", P);
+  EXPECT_NE(printFunction(A), printFunction(B));
+}
+
+TEST(ProgramGen, VerifiesAndTerminates) {
+  ProgramProfile P;
+  P.Seed = 123;
+  Function F = generateProgram("t", P);
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(F, &Err)) << Err;
+  ExecResult R = interpret(F);
+  EXPECT_FALSE(R.HitStepLimit);
+  EXPECT_GT(R.DynInsts, 100u);
+}
+
+TEST(ProgramGen, PressureScalesWithPool) {
+  ProgramProfile Small, Large;
+  Small.Seed = Large.Seed = 5;
+  Small.PressureVars = 4;
+  Small.HotPct = 0;
+  Large.PressureVars = 12;
+  Large.HotPct = 0;
+  Function A = generateProgram("s", Small);
+  Function B = generateProgram("l", Large);
+  A.recomputeCFG();
+  B.recomputeCFG();
+  unsigned PA = Liveness::compute(A).maxPressure(A);
+  unsigned PB = Liveness::compute(B).maxPressure(B);
+  EXPECT_LT(PA, PB);
+}
+
+TEST(ProgramGen, HotRegionsRaisePeakPressure) {
+  ProgramProfile Cold, Hot;
+  Cold.Seed = Hot.Seed = 9;
+  Cold.HotPct = 0;
+  Hot.HotPct = 30;
+  Hot.HotWidth = 12;
+  Function A = generateProgram("c", Cold);
+  Function B = generateProgram("h", Hot);
+  A.recomputeCFG();
+  B.recomputeCFG();
+  EXPECT_LT(Liveness::compute(A).maxPressure(A),
+            Liveness::compute(B).maxPressure(B));
+}
+
+TEST(MiBench, TenNames) {
+  EXPECT_EQ(miBenchNames().size(), 10u);
+}
+
+class MiBenchPrograms : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(MiBenchPrograms, GeneratesVerifiedTerminatingProgram) {
+  Function F = miBenchProgram(GetParam());
+  EXPECT_EQ(F.Name, GetParam());
+  std::string Err;
+  ASSERT_TRUE(verifyFunction(F, &Err)) << Err;
+  ExecResult R = interpret(F);
+  EXPECT_FALSE(R.HitStepLimit);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, MiBenchPrograms,
+                         ::testing::ValuesIn(miBenchNames()));
+
+TEST(LoopCorpus, DeterministicPerIndex) {
+  LoopDdg A = generateLoop(1, 17);
+  LoopDdg B = generateLoop(1, 17);
+  EXPECT_EQ(A.Ops.size(), B.Ops.size());
+  EXPECT_EQ(A.Edges.size(), B.Edges.size());
+  EXPECT_EQ(A.TripCount, B.TripCount);
+}
+
+TEST(LoopCorpus, CorpusHasRequestedCount) {
+  LoopCorpusOptions O;
+  O.Count = 50;
+  EXPECT_EQ(generateLoopCorpus(O).size(), 50u);
+}
+
+TEST(LoopCorpus, EdgesWellFormed) {
+  for (unsigned I = 0; I != 40; ++I) {
+    LoopDdg L = generateLoop(3, I);
+    EXPECT_FALSE(L.Ops.empty());
+    for (const DdgEdge &E : L.Edges) {
+      EXPECT_LT(E.Src, L.Ops.size());
+      EXPECT_LT(E.Dst, L.Ops.size());
+      // Intra-iteration edges must be acyclic (forward by construction).
+      if (E.Distance == 0) {
+        EXPECT_LT(E.Src, E.Dst);
+      }
+    }
+  }
+}
+
+TEST(LoopCorpus, HasStore) {
+  LoopDdg L = generateLoop(3, 5);
+  bool HasStore = false;
+  for (const DdgOp &Op : L.Ops)
+    HasStore |= Op.Kind == FuKind::Mem && !Op.Defines;
+  EXPECT_TRUE(HasStore);
+}
+
+TEST(LoopCorpus, SizeClassesProduceSpread) {
+  LoopCorpusOptions O;
+  O.Count = 200;
+  std::vector<LoopDdg> Corpus = generateLoopCorpus(O);
+  size_t MinOps = ~size_t(0), MaxOps = 0;
+  for (const LoopDdg &L : Corpus) {
+    MinOps = std::min(MinOps, L.Ops.size());
+    MaxOps = std::max(MaxOps, L.Ops.size());
+  }
+  EXPECT_LT(MinOps, 12u);
+  EXPECT_GT(MaxOps, 50u);
+}

@@ -1,0 +1,221 @@
+//===- tools/dra-opt.cpp - Command-line pipeline driver -------------------===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+// A small `opt`-style driver: reads a function in the textual IR syntax
+// (see src/ir/Parser.h), runs one of the five allocation pipelines, and
+// prints the resulting machine code, statistics, and (optionally) the
+// simulated execution profile. Useful for poking at the encoder with
+// hand-written programs.
+//
+// Usage:
+//   dra-opt [options] [input.dra]          (stdin when no file given)
+//     --scheme=baseline|ospill|remap|select|coalesce   (default coalesce)
+//     --baseline-k=N     registers of the unmodified ISA (default 8)
+//     --regn=N           differential registers (default 12)
+//     --diffn=N          difference codes (default 8)
+//     --diffw=N          field width in bits (default 3)
+//     --remap-starts=N   remapping restarts (default 200)
+//     --adaptive         Section 8.2 selective enabling
+//     --cleanup          run fold/simplify/DCE before allocation
+//     --simulate         run the pipeline model and print cycles
+//     --print-code       print the resulting function
+//     --emit-size        print bit-exact binary sizes (direct vs diff)
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BinaryEmitter.h"
+#include "opt/ConstantFold.h"
+#include "opt/DeadCode.h"
+#include "opt/SimplifyCfg.h"
+#include "core/Pipeline.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+#include "sim/LowEndSim.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <iterator>
+#include <sstream>
+#include <string>
+
+using namespace dra;
+
+namespace {
+
+struct Options {
+  Scheme S = Scheme::Coalesce;
+  unsigned BaselineK = 8;
+  unsigned RegN = 12;
+  unsigned DiffN = 8;
+  unsigned DiffW = 3;
+  unsigned RemapStarts = 200;
+  bool Adaptive = false;
+  bool Cleanup = false;
+  bool Simulate = false;
+  bool PrintCode = false;
+  bool EmitSize = false;
+  std::string InputFile;
+};
+
+bool parseScheme(const std::string &Name, Scheme &Out) {
+  if (Name == "baseline")
+    Out = Scheme::Baseline;
+  else if (Name == "ospill")
+    Out = Scheme::OSpill;
+  else if (Name == "remap")
+    Out = Scheme::Remap;
+  else if (Name == "select")
+    Out = Scheme::Select;
+  else if (Name == "coalesce")
+    Out = Scheme::Coalesce;
+  else
+    return false;
+  return true;
+}
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = Value("--scheme=")) {
+      if (!parseScheme(V, O.S)) {
+        std::fprintf(stderr, "error: unknown scheme '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--baseline-k=")) {
+      O.BaselineK = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--regn=")) {
+      O.RegN = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--diffn=")) {
+      O.DiffN = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--diffw=")) {
+      O.DiffW = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--remap-starts=")) {
+      O.RemapStarts = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--adaptive") {
+      O.Adaptive = true;
+    } else if (Arg == "--cleanup") {
+      O.Cleanup = true;
+    } else if (Arg == "--simulate") {
+      O.Simulate = true;
+    } else if (Arg == "--print-code") {
+      O.PrintCode = true;
+    } else if (Arg == "--emit-size") {
+      O.EmitSize = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      return false;
+    } else {
+      O.InputFile = Arg;
+    }
+  }
+  return true;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return 1;
+
+  std::string Text;
+  if (O.InputFile.empty()) {
+    std::ostringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Text = Buffer.str();
+  } else {
+    std::ifstream In(O.InputFile);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n",
+                   O.InputFile.c_str());
+      return 1;
+    }
+    Text.assign(std::istreambuf_iterator<char>(In),
+                std::istreambuf_iterator<char>());
+  }
+
+  std::string Err;
+  auto Parsed = parseFunction(Text, &Err);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: parse failed: %s\n", Err.c_str());
+    return 1;
+  }
+  if (!verifyFunction(*Parsed, &Err)) {
+    std::fprintf(stderr, "error: invalid function: %s\n", Err.c_str());
+    return 1;
+  }
+
+  if (O.Cleanup) {
+    ConstantFoldStats CF = foldConstants(*Parsed);
+    SimplifyCfgStats SC = simplifyCfg(*Parsed);
+    size_t Dce = eliminateDeadCode(*Parsed);
+    std::printf("cleanup: folded %zu insts + %zu branches, merged %zu "
+                "blocks, removed %zu dead insts\n",
+                CF.InstsFolded, CF.BranchesFolded, SC.BlocksMerged, Dce);
+  }
+
+  ExecResult Reference = interpret(*Parsed);
+  std::printf("input: %zu instructions, %u virtual registers, returns "
+              "%lld\n",
+              Parsed->numInsts(), Parsed->NumRegs,
+              static_cast<long long>(Reference.ReturnValue));
+
+  PipelineConfig Config;
+  Config.S = O.S;
+  Config.BaselineK = O.BaselineK;
+  Config.Enc.RegN = O.RegN;
+  Config.Enc.DiffN = O.DiffN;
+  Config.Enc.DiffW = O.DiffW;
+  Config.Remap.NumStarts = O.RemapStarts;
+  Config.AdaptiveEnable = O.Adaptive;
+  if (!Config.Enc.valid()) {
+    std::fprintf(stderr, "error: invalid encoding configuration "
+                         "(regn/diffn/diffw)\n");
+    return 1;
+  }
+
+  PipelineResult R = runPipeline(*Parsed, Config);
+  ExecResult After = interpret(R.F);
+  bool Same = fingerprint(After) == fingerprint(Reference);
+  std::printf("%s: %zu insts (%zu spill, %zu set_last_reg), code %zu "
+              "bytes, semantics %s\n",
+              schemeName(O.S), R.NumInsts, R.SpillInsts, R.SetLastRegs,
+              R.CodeBytes, Same ? "preserved" : "CHANGED (bug!)");
+  if (R.AdaptiveFellBack)
+    std::printf("adaptive mode chose the baseline for this function\n");
+
+  if (O.Simulate) {
+    SimResult Sim = simulate(R.F);
+    std::printf("simulated: %llu cycles, %llu insts, I$ miss %llu, D$ "
+                "miss %llu, spill accesses %llu, slr slots %llu\n",
+                static_cast<unsigned long long>(Sim.Cycles),
+                static_cast<unsigned long long>(Sim.DynInsts),
+                static_cast<unsigned long long>(Sim.ICacheMisses),
+                static_cast<unsigned long long>(Sim.DCacheMisses),
+                static_cast<unsigned long long>(Sim.SpillAccesses),
+                static_cast<unsigned long long>(Sim.SlrSlots));
+  }
+
+  if (O.EmitSize && R.DiffEncoded) {
+    Function Stripped = stripSetLastReg(R.F);
+    EncodedFunction E = encodeFunction(Stripped, Config.Enc);
+    BinaryModule Diff = emitDifferential(E, Config.Enc);
+    BinaryModule Direct = emitDirect(Stripped);
+    std::printf("binary: direct %zu bits (%u-bit fields), differential "
+                "%zu bits (%u-bit fields)\n",
+                Direct.BitCount, Direct.FieldWidth, Diff.BitCount,
+                Diff.FieldWidth);
+  }
+
+  if (O.PrintCode)
+    std::printf("\n%s", printFunction(R.F).c_str());
+
+  return Same ? 0 : 1;
+}
