@@ -2,12 +2,15 @@
 
 #include "SuiteRunner.h"
 
+#include "driver/BatchCompiler.h"
+#include "driver/ThreadPool.h"
 #include "interp/Interpreter.h"
 #include "sim/LowEndSim.h"
 #include "swp/SwpPipeline.h"
 #include "workloads/LoopCorpus.h"
 #include "workloads/MiBench.h"
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -119,46 +122,87 @@ const std::vector<Scheme> &dra::allSchemes() {
   return Schemes;
 }
 
-std::vector<ProgramMetrics> dra::runLowEndSuite(unsigned RemapStarts) {
+std::vector<ProgramMetrics> dra::runLowEndSuite(unsigned RemapStarts,
+                                                unsigned Jobs,
+                                                Telemetry *Telem) {
   std::vector<ProgramMetrics> Results;
   if (loadLowEndCache(RemapStarts, Results)) {
     std::fprintf(stderr, "  [suite] using cached results (%s)\n",
                  lowEndCachePath(RemapStarts).c_str());
     return Results;
   }
-  for (const std::string &Name : miBenchNames()) {
-    Function Program = miBenchProgram(Name);
-    ExecResult Reference = interpret(Program);
+  auto WallStart = std::chrono::steady_clock::now();
 
-    ProgramMetrics PM;
-    PM.Name = Name;
-    for (Scheme S : allSchemes()) {
+  BatchOptions BO;
+  BO.Jobs = Jobs;
+  BO.Telem = Telem;
+  BatchCompiler Batch(BO);
+
+  // Generate the programs and their reference fingerprints in parallel.
+  const std::vector<std::string> Names = miBenchNames();
+  std::vector<Function> Programs(Names.size());
+  std::vector<uint64_t> RefFp(Names.size());
+  Batch.pool().parallelFor(Names.size(), [&](size_t I) {
+    Programs[I] = miBenchProgram(Names[I]);
+    RefFp[I] = fingerprint(interpret(Programs[I]));
+  });
+
+  // Flatten the programs × schemes grid into one batch; cell order (and
+  // therefore every result) is fixed by the input indices alone.
+  const std::vector<Scheme> &Schemes = allSchemes();
+  std::vector<Function> Cells;
+  std::vector<PipelineConfig> Configs;
+  for (const Function &Program : Programs) {
+    for (Scheme S : Schemes) {
       PipelineConfig Config;
       Config.S = S;
       Config.BaselineK = 8;
       Config.Enc = lowEndConfig(12);
       Config.Remap.NumStarts = RemapStarts;
-      PipelineResult R = runPipeline(Program, Config);
-
-      SchemeMetrics M;
-      M.SpillPct = R.spillPercent();
-      M.SlrPct = R.setLastPercent();
-      M.SlrJoin = R.Enc.SetLastJoin;
-      M.SlrRange = R.Enc.SetLastRange;
-      M.CodeBytes = R.CodeBytes;
-      SimResult Sim = simulate(R.F);
-      M.Cycles = Sim.Cycles;
-      M.SemanticsOk = Sim.Fingerprint == fingerprint(Reference);
-      PM.PerScheme[S] = M;
+      Cells.push_back(Program);
+      Configs.push_back(Config);
     }
-    Results.push_back(std::move(PM));
-    std::fprintf(stderr, "  [suite] %s done\n", Name.c_str());
   }
+  std::vector<PipelineResult> Compiled = Batch.run(Cells, Configs);
+
+  // Simulate every cell on the same pool, then fold in index order.
+  std::vector<SchemeMetrics> Metrics(Compiled.size());
+  Batch.pool().parallelFor(Compiled.size(), [&](size_t I) {
+    const PipelineResult &R = Compiled[I];
+    SchemeMetrics M;
+    M.SpillPct = R.spillPercent();
+    M.SlrPct = R.setLastPercent();
+    M.SlrJoin = R.Enc.SetLastJoin;
+    M.SlrRange = R.Enc.SetLastRange;
+    M.CodeBytes = R.CodeBytes;
+    SimResult Sim = simulate(R.F);
+    M.Cycles = Sim.Cycles;
+    M.SemanticsOk = Sim.Fingerprint == RefFp[I / Schemes.size()];
+    Metrics[I] = M;
+  });
+
+  for (size_t P = 0; P != Names.size(); ++P) {
+    ProgramMetrics PM;
+    PM.Name = Names[P];
+    for (size_t S = 0; S != Schemes.size(); ++S)
+      PM.PerScheme[Schemes[S]] = Metrics[P * Schemes.size() + S];
+    Results.push_back(std::move(PM));
+  }
+
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
+  std::fprintf(stderr,
+               "  [suite] %zu programs x %zu schemes in %.0f ms on %u "
+               "worker(s)\n",
+               Names.size(), Schemes.size(), WallMs,
+               Batch.pool().workerCount());
   storeLowEndCache(RemapStarts, Results);
   return Results;
 }
 
-std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount) {
+std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount, unsigned Jobs,
+                                       Telemetry *Telem) {
   LoopCorpusOptions Opts;
   if (LoopCount != 0)
     Opts.Count = LoopCount;
@@ -170,28 +214,64 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount) {
       return Cached;
     }
   }
+  auto WallStart = std::chrono::steady_clock::now();
   std::vector<LoopDdg> Corpus = generateLoopCorpus(Opts);
   VliwMachine Machine;
+  ThreadPool Pool(Jobs);
+
+  // Wraps one modulo-scheduling pipeline run with an optional telemetry
+  // span ("swp", tagged with loop index and register bound).
+  auto ScheduleLoop = [&](size_t I, unsigned ArchRegs,
+                          const EncodingConfig *Enc) {
+    uint64_t Begin = Telemetry::steadyNowNs();
+    SwpResult R = pipelineLoop(Corpus[I], Machine, ArchRegs, Enc);
+    if (Telem) {
+      TraceSpan E;
+      E.Name = "swp";
+      E.Category = "stage";
+      E.BeginUs = Telem->toRelativeUs(Begin);
+      E.DurUs = Telem->toRelativeUs(Telemetry::steadyNowNs()) - E.BeginUs;
+      E.Tid = ThreadPool::currentWorker();
+      E.Args = {{"loop", static_cast<double>(I)},
+                {"regs", static_cast<double>(Enc ? Enc->RegN : ArchRegs)}};
+      Telem->recordSpan(std::move(E));
+    }
+    return R;
+  };
 
   // Baseline: every loop limited to 32 architected registers, direct
   // encoding. Also records which loops are "optimized" (register
-  // requirement above 32 when given unlimited registers).
+  // requirement above 32 when given unlimited registers). Loops are
+  // independent, so the corpus is striped across the pool; everything
+  // below reduces the indexed vectors serially.
   struct BaselineInfo {
     SwpResult At32;
     bool NeedsMore = false;
   };
   std::vector<BaselineInfo> Base(Corpus.size());
-  for (size_t I = 0; I != Corpus.size(); ++I) {
-    Base[I].At32 = pipelineLoop(Corpus[I], Machine, 32);
+  Pool.parallelFor(Corpus.size(), [&](size_t I) {
+    Base[I].At32 = ScheduleLoop(I, 32, nullptr);
     SwpResult Unlimited = pipelineLoop(Corpus[I], Machine, 1 << 20);
     Base[I].NeedsMore = Unlimited.RegsUsed > 32;
-  }
+  });
 
   std::vector<VliwRow> Rows;
   for (unsigned RegN : {32u, 40u, 48u, 56u, 64u}) {
     VliwRow Row;
     Row.RegN = RegN;
     Row.LoopCount = Corpus.size();
+
+    // Differential encoding is enabled selectively (Section 8.2) for
+    // loops whose requirement exceeds the 32 architected registers.
+    std::vector<SwpResult> New(Corpus.size());
+    Pool.parallelFor(Corpus.size(), [&](size_t I) {
+      if (RegN > 32 && Base[I].NeedsMore) {
+        EncodingConfig Enc = vliwConfig(RegN);
+        New[I] = ScheduleLoop(I, 32, &Enc);
+      } else {
+        New[I] = Base[I].At32;
+      }
+    });
 
     uint64_t BaseCyclesOpt = 0, NewCyclesOpt = 0;
     uint64_t BaseCyclesAll = 0, NewCyclesAll = 0;
@@ -200,7 +280,7 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount) {
 
     for (size_t I = 0; I != Corpus.size(); ++I) {
       const SwpResult &B = Base[I].At32;
-      SwpResult N = B;
+      const SwpResult &N = New[I];
       if (RegN == 32 && Base[I].NeedsMore) {
         // Baseline row: report the spill ops the 32-register schedules of
         // the to-be-optimized loops contain, for Table 3's reference.
@@ -208,10 +288,6 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount) {
         Row.SpillOpsOptimized += B.SpillOps;
       }
       if (RegN > 32 && Base[I].NeedsMore) {
-        // Differential encoding is enabled selectively (Section 8.2) for
-        // loops whose requirement exceeds the 32 architected registers.
-        EncodingConfig Enc = vliwConfig(RegN);
-        N = pipelineLoop(Corpus[I], Machine, 32, &Enc);
         ++Row.OptimizedLoopCount;
         Row.SpillOpsOptimized += N.SpillOps;
         BaseCyclesOpt += B.Cycles;
@@ -253,6 +329,12 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount) {
     Rows.push_back(Row);
     std::fprintf(stderr, "  [vliw] RegN=%u done\n", RegN);
   }
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - WallStart)
+                      .count();
+  std::fprintf(stderr, "  [vliw] %zu loops x 5 rows in %.0f ms on %u "
+                       "worker(s)\n",
+               Corpus.size(), WallMs, Pool.workerCount());
   storeVliwCache(Opts.Count, Rows);
   return Rows;
 }

@@ -16,6 +16,7 @@
 #define DRA_BENCH_SUITERUNNER_H
 
 #include "core/Pipeline.h"
+#include "driver/Telemetry.h"
 
 #include <map>
 #include <string>
@@ -56,8 +57,14 @@ const std::vector<Scheme> &allSchemes();
 
 /// Runs the complete low-end experiment (Section 10.1): ten programs,
 /// five pipelines, pipeline simulation. \p RemapStarts trades experiment
-/// fidelity for time (the paper uses 1000 restarts).
-std::vector<ProgramMetrics> runLowEndSuite(unsigned RemapStarts = 200);
+/// fidelity for time (the paper uses 1000 restarts). The programs×schemes
+/// grid is compiled through the parallel BatchCompiler on \p Jobs workers
+/// (0 = hardware concurrency, 1 = serial); results are deterministic and
+/// independent of the worker count. \p Telem, when non-null, receives
+/// per-stage spans and batch counters.
+std::vector<ProgramMetrics> runLowEndSuite(unsigned RemapStarts = 200,
+                                           unsigned Jobs = 0,
+                                           Telemetry *Telem = nullptr);
 
 /// One row of the VLIW evaluation (Tables 2 and 3) for a given RegN.
 struct VliwRow {
@@ -77,8 +84,13 @@ struct VliwRow {
 /// 32-register baseline and at each differential RegN in {40,48,56,64},
 /// applying differential encoding only to loops that need more than 32
 /// registers (Section 8.2 selective enabling). \p LoopCount trims the
-/// corpus for quick runs (0 = the paper's 1928).
-std::vector<VliwRow> runVliwSuite(unsigned LoopCount = 0);
+/// corpus for quick runs (0 = the paper's 1928). Loops are scheduled
+/// across \p Jobs pool workers (0 = hardware concurrency, 1 = serial);
+/// per-loop results are reduced in index order, so every row is
+/// bit-identical to the serial run. \p Telem, when non-null, receives one
+/// "swp" span per (loop, RegN) schedule.
+std::vector<VliwRow> runVliwSuite(unsigned LoopCount = 0, unsigned Jobs = 0,
+                                  Telemetry *Telem = nullptr);
 
 } // namespace dra
 

@@ -1,0 +1,94 @@
+//===- bench/bench_driver_scaling.cpp - Parallel driver scaling -----------===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+// Measures the wall-clock scaling of the batch-compilation driver: the
+// same workload (a trimmed VLIW loop sweep, and the low-end
+// programs x schemes grid) compiled with Jobs=1 and with
+// Jobs=hardware_concurrency. The compared runs produce bit-identical
+// results (tests/driver_test.cpp enforces it); only the wall clock moves.
+// On a machine with >= 2 cores the Jobs=N rows should run ~N/2x-Nx
+// faster; on a single-core container both rows are expected to match.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/BatchCompiler.h"
+#include "driver/ThreadPool.h"
+#include "swp/SwpPipeline.h"
+#include "workloads/LoopCorpus.h"
+#include "workloads/MiBench.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dra;
+
+namespace {
+
+/// A trimmed corpus (the full 1928-loop sweep is minutes of work; the
+/// scaling curve is identical at this size).
+constexpr unsigned ScalingLoopCount = 96;
+
+const std::vector<LoopDdg> &scalingCorpus() {
+  static const std::vector<LoopDdg> Corpus = [] {
+    LoopCorpusOptions Opts;
+    Opts.Count = ScalingLoopCount;
+    return generateLoopCorpus(Opts);
+  }();
+  return Corpus;
+}
+
+void BM_VliwSweep(benchmark::State &State) {
+  const unsigned Jobs = static_cast<unsigned>(State.range(0));
+  const std::vector<LoopDdg> &Corpus = scalingCorpus();
+  VliwMachine Machine;
+  for (auto _ : State) {
+    ThreadPool Pool(Jobs);
+    std::vector<SwpResult> Results(Corpus.size());
+    Pool.parallelFor(Corpus.size(), [&](size_t I) {
+      Results[I] = pipelineLoop(Corpus[I], Machine, 32);
+      EncodingConfig Enc = vliwConfig(48);
+      if (pipelineLoop(Corpus[I], Machine, 1 << 20).RegsUsed > 32)
+        Results[I] = pipelineLoop(Corpus[I], Machine, 32, &Enc);
+    });
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.counters["jobs"] = Jobs;
+}
+
+void BM_LowEndGrid(benchmark::State &State) {
+  const unsigned Jobs = static_cast<unsigned>(State.range(0));
+  static const std::vector<Function> Programs = miBenchSuite();
+  PipelineConfig Config;
+  Config.S = Scheme::Select;
+  Config.Enc = lowEndConfig(12);
+  Config.Remap.NumStarts = 60;
+  for (auto _ : State) {
+    BatchOptions BO;
+    BO.Jobs = Jobs;
+    BatchCompiler Batch(BO);
+    std::vector<PipelineResult> Results = Batch.run(Programs, Config);
+    benchmark::DoNotOptimize(Results.data());
+  }
+  State.counters["jobs"] = Jobs;
+}
+
+int hardwareJobs() {
+  return static_cast<int>(ThreadPool::defaultWorkerCount());
+}
+
+} // namespace
+
+BENCHMARK(BM_VliwSweep)
+    ->Arg(1)
+    ->Arg(hardwareJobs())
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+BENCHMARK(BM_LowEndGrid)
+    ->Arg(1)
+    ->Arg(hardwareJobs())
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime()
+    ->Iterations(3);
+
+BENCHMARK_MAIN();

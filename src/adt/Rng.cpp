@@ -14,6 +14,15 @@ static uint64_t splitMix64(uint64_t &X) {
 
 static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
 
+uint64_t Rng::taskSeed(uint64_t BaseSeed, uint64_t TaskIndex) {
+  // Two SplitMix64 steps over the combined words: adjacent task indices
+  // land in unrelated regions of the seed space, so per-task streams do
+  // not correlate the way BaseSeed + TaskIndex would.
+  uint64_t X = BaseSeed ^ (TaskIndex * 0x9e3779b97f4a7c15ull);
+  splitMix64(X);
+  return splitMix64(X);
+}
+
 void Rng::reseed(uint64_t Seed) {
   uint64_t S = Seed;
   for (uint64_t &Word : State)

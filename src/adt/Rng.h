@@ -27,9 +27,27 @@ namespace dra {
 ///
 /// The generator is value-semantic and cheap to copy, which the workload
 /// generators use to fork independent deterministic sub-streams.
+///
+/// Thread-safety audit (parallel driver, src/driver/): an Rng instance
+/// holds only its own 256-bit state — there is no global or static stream
+/// anywhere in the library — so the rule for parallel code is simply that
+/// each task constructs its own generator. `taskSeed`/`forTask` derive a
+/// decorrelated per-task seed from (base seed, task index) so the result
+/// depends on the task's identity, never on which worker ran it or in
+/// what order.
 class Rng {
 public:
   explicit Rng(uint64_t Seed) { reseed(Seed); }
+
+  /// Mixes \p BaseSeed and \p TaskIndex into an independent stream seed.
+  /// Pure function of its arguments: parallel and serial schedules that
+  /// agree on task indices agree on every stream.
+  static uint64_t taskSeed(uint64_t BaseSeed, uint64_t TaskIndex);
+
+  /// Convenience: a generator seeded with taskSeed(BaseSeed, TaskIndex).
+  static Rng forTask(uint64_t BaseSeed, uint64_t TaskIndex) {
+    return Rng(taskSeed(BaseSeed, TaskIndex));
+  }
 
   /// Re-initializes the state from \p Seed via SplitMix64.
   void reseed(uint64_t Seed);

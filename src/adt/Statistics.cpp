@@ -40,6 +40,20 @@ double dra::percentile(std::vector<double> Values, double P) {
   return Values[Lo] * (1 - Frac) + Values[Hi] * Frac;
 }
 
+double StatAccumulator::mean() const {
+  return dra::mean(samples());
+}
+
+std::vector<double> StatAccumulator::samples() const {
+  std::vector<double> Copy;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    Copy = Values;
+  }
+  std::sort(Copy.begin(), Copy.end());
+  return Copy;
+}
+
 double dra::stddev(const std::vector<double> &Values) {
   if (Values.size() < 2)
     return 0;

@@ -6,6 +6,8 @@
 #include "core/DiffSelectHook.h"
 #include "core/OperandSwap.h"
 
+#include <chrono>
+
 using namespace dra;
 
 const char *dra::schemeName(Scheme S) {
@@ -26,6 +28,27 @@ const char *dra::schemeName(Scheme S) {
 }
 
 namespace {
+
+uint64_t steadyNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// Appends a StageSpan covering its own lifetime to the result. The cost
+/// is two clock reads per stage — noise next to any allocation stage.
+class StageTimer {
+public:
+  StageTimer(PipelineResult &R, const char *Stage)
+      : R(R), Stage(Stage), Begin(steadyNs()) {}
+  ~StageTimer() { R.Spans.push_back({Stage, Begin, steadyNs()}); }
+
+private:
+  PipelineResult &R;
+  const char *Stage;
+  uint64_t Begin;
+};
 
 /// Fills the final static counts of \p R from R.F.
 void finalizeCounts(PipelineResult &R) {
@@ -71,18 +94,27 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
 
   switch (C.S) {
   case Scheme::Baseline: {
+    StageTimer T(R, "alloc");
     R.Alloc = allocateGraphColoring(R.F, C.BaselineK);
     break;
   }
   case Scheme::OSpill: {
-    R.OSpill = optimalSpill(R.F, C.BaselineK, C.ILPNodeBudget);
+    {
+      StageTimer T(R, "ospill");
+      R.OSpill = optimalSpill(R.F, C.BaselineK, C.ILPNodeBudget);
+    }
+    StageTimer T(R, "coalesce");
     CoalesceOptions CO = C.Coalesce;
     CO.DiffAware = false;
     R.Coalesce = coalesceAndColor(R.F, directConfig(C.BaselineK), CO);
     break;
   }
   case Scheme::Remap: {
-    R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN);
+    {
+      StageTimer T(R, "alloc");
+      R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN);
+    }
+    StageTimer T(R, "remap");
     R.Remap = remapFunction(R.F, C.Enc, C.Remap);
     R.DiffEncoded = true;
     break;
@@ -90,26 +122,42 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   case Scheme::Select: {
     DiffSelectHook Hook(C.Enc);
     std::vector<RegId> ColorOf;
-    R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN, &Hook,
-                                    /*MaxIterations=*/60, &ColorOf);
+    {
+      StageTimer T(R, "alloc");
+      R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN, &Hook,
+                                      /*MaxIterations=*/60, &ColorOf);
+    }
     // Refine the select-stage assignment at live-range granularity before
     // rewriting (see core/Recolor.h), then run the register-level
     // remapping post-pass of Section 3.
-    R.Recolor = recolorColoring(R.F, C.Enc, ColorOf);
-    rewriteToPhysical(R.F, ColorOf, C.Enc.RegN, &R.Alloc.MovesRemoved);
-    R.F.NumRegs = C.Enc.RegN;
-    if (C.RemapPostPass)
+    {
+      StageTimer T(R, "recolor");
+      R.Recolor = recolorColoring(R.F, C.Enc, ColorOf);
+      rewriteToPhysical(R.F, ColorOf, C.Enc.RegN, &R.Alloc.MovesRemoved);
+      R.F.NumRegs = C.Enc.RegN;
+    }
+    if (C.RemapPostPass) {
+      StageTimer T(R, "remap");
       R.Remap = remapFunction(R.F, C.Enc, C.Remap);
+    }
     R.DiffEncoded = true;
     break;
   }
   case Scheme::Coalesce: {
-    R.OSpill = optimalSpill(R.F, C.Enc.RegN, C.ILPNodeBudget);
-    CoalesceOptions CO = C.Coalesce;
-    CO.DiffAware = true;
-    R.Coalesce = coalesceAndColor(R.F, C.Enc, CO);
-    if (C.RemapPostPass)
+    {
+      StageTimer T(R, "ospill");
+      R.OSpill = optimalSpill(R.F, C.Enc.RegN, C.ILPNodeBudget);
+    }
+    {
+      StageTimer T(R, "coalesce");
+      CoalesceOptions CO = C.Coalesce;
+      CO.DiffAware = true;
+      R.Coalesce = coalesceAndColor(R.F, C.Enc, CO);
+    }
+    if (C.RemapPostPass) {
+      StageTimer T(R, "remap");
       R.Remap = remapFunction(R.F, C.Enc, C.Remap);
+    }
     R.DiffEncoded = true;
     break;
   }
@@ -118,6 +166,7 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   if (R.DiffEncoded) {
     // Section 9.4 access-order flexibility: commutative operand swapping
     // removes out-of-range transitions the assignment could not avoid.
+    StageTimer T(R, "encode");
     swapCommutativeOperands(R.F, C.Enc);
     EncodedFunction Encoded = encodeFunction(R.F, C.Enc);
     R.Enc = Encoded.Stats;
@@ -152,5 +201,8 @@ PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
   if (Benefit >= 0)
     return R;
   Base.AdaptiveFellBack = true;
+  // The discarded differential attempt was real compile time: keep its
+  // spans ahead of the baseline's so telemetry accounts for all of it.
+  Base.Spans.insert(Base.Spans.begin(), R.Spans.begin(), R.Spans.end());
   return Base;
 }

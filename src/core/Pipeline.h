@@ -37,6 +37,9 @@
 #include "ir/Function.h"
 #include "regalloc/GraphColoring.h"
 
+#include <cstdint>
+#include <vector>
+
 namespace dra {
 
 /// Which pipeline to run.
@@ -68,6 +71,15 @@ struct PipelineConfig {
   uint64_t ILPNodeBudget = 20000;
 };
 
+/// One timed pipeline stage. Timestamps are absolute steady-clock
+/// nanoseconds (the driver's Telemetry layer rebases them onto its own
+/// timeline); Stage points at a static string ("alloc", "remap", ...).
+struct StageSpan {
+  const char *Stage = "";
+  uint64_t BeginNs = 0;
+  uint64_t EndNs = 0;
+};
+
 /// Everything the benchmarks need to know about one pipeline run.
 struct PipelineResult {
   /// The final machine code: allocated, and for differential schemes
@@ -84,6 +96,11 @@ struct PipelineResult {
   RemapResult Remap;
   RecolorStats Recolor;
   EncodeStats Enc;
+
+  /// Wall-clock record of every stage that ran, in execution order. When
+  /// the adaptive mode falls back to the baseline, the spans of both runs
+  /// are kept (the differential attempt is real compile time).
+  std::vector<StageSpan> Spans;
 
   // Final static counts.
   size_t NumInsts = 0;

@@ -1,0 +1,70 @@
+//===- driver/BatchCompiler.h - Parallel pipeline driver --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs `runPipeline` over a batch of functions on a ThreadPool.
+/// Guarantees:
+///
+///  * **Determinism.** Results are ordered by input index and every task
+///    derives its configuration (including the remapping RNG seed, when
+///    `PerTaskSeeds` is set) from the task index alone — never from
+///    scheduling order or worker identity. `Jobs=1` and `Jobs=N` therefore
+///    produce bit-identical results; tests/driver_test.cpp enforces this.
+///  * **Telemetry.** When a Telemetry sink is attached, each task records
+///    one "task" span plus one span per pipeline stage (rebased from the
+///    PipelineResult's steady-clock stamps), tagged with the pool worker
+///    id, and bumps the shared batch counters race-free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_DRIVER_BATCHCOMPILER_H
+#define DRA_DRIVER_BATCHCOMPILER_H
+
+#include "core/Pipeline.h"
+#include "driver/Telemetry.h"
+#include "driver/ThreadPool.h"
+
+#include <vector>
+
+namespace dra {
+
+struct BatchOptions {
+  /// Worker threads; 0 = ThreadPool::defaultWorkerCount().
+  unsigned Jobs = 0;
+  /// Optional telemetry sink, shared by all tasks.
+  Telemetry *Telem = nullptr;
+  /// Reseed each task's remapping RNG from (Config.Remap.Seed, index) via
+  /// Rng::taskSeed, decorrelating the restart streams across the batch.
+  /// Off by default so a batch over one shared config reproduces the
+  /// serial suites' historical numbers exactly.
+  bool PerTaskSeeds = false;
+};
+
+class BatchCompiler {
+public:
+  explicit BatchCompiler(const BatchOptions &O = {});
+
+  /// Compiles every function with \p Config. Results[I] corresponds to
+  /// Functions[I] regardless of the worker count.
+  std::vector<PipelineResult> run(const std::vector<Function> &Functions,
+                                  const PipelineConfig &Config);
+
+  /// As above with one config per function (sizes must match).
+  std::vector<PipelineResult>
+  run(const std::vector<Function> &Functions,
+      const std::vector<PipelineConfig> &Configs);
+
+  ThreadPool &pool() { return Pool; }
+  const BatchOptions &options() const { return Opts; }
+
+private:
+  BatchOptions Opts;
+  ThreadPool Pool;
+};
+
+} // namespace dra
+
+#endif // DRA_DRIVER_BATCHCOMPILER_H

@@ -1,0 +1,146 @@
+//===- driver/Telemetry.cpp - Per-stage timing & counters -----------------===//
+
+#include "driver/Telemetry.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+
+using namespace dra;
+
+uint64_t Telemetry::steadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+Telemetry::Telemetry() : OriginNs(steadyNowNs()) {}
+
+uint64_t Telemetry::nowUs() const { return toRelativeUs(steadyNowNs()); }
+
+uint64_t Telemetry::toRelativeUs(uint64_t SteadyNs) const {
+  return SteadyNs <= OriginNs ? 0 : (SteadyNs - OriginNs) / 1000;
+}
+
+void Telemetry::recordSpan(TraceSpan E) {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  Events.push_back(std::move(E));
+}
+
+void Telemetry::addCounter(const std::string &Name, double Delta) {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  Counters[Name] += Delta;
+}
+
+std::vector<TraceSpan> Telemetry::events() const {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  return Events;
+}
+
+std::map<std::string, double> Telemetry::counters() const {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  return Counters;
+}
+
+std::map<std::string, Telemetry::StageStats>
+Telemetry::stageStats(const char *Category) const {
+  std::map<std::string, StageStats> Stats;
+  for (const TraceSpan &E : events()) {
+    if (Category && (!E.Category || std::string(Category) != E.Category))
+      continue;
+    StageStats &S = Stats[E.Name];
+    if (S.Count == 0) {
+      S.MinUs = E.DurUs;
+      S.MaxUs = E.DurUs;
+    } else {
+      S.MinUs = std::min(S.MinUs, E.DurUs);
+      S.MaxUs = std::max(S.MaxUs, E.DurUs);
+    }
+    ++S.Count;
+    S.TotalUs += E.DurUs;
+  }
+  return Stats;
+}
+
+std::string dra::jsonEscape(const std::string &S) {
+  std::string Out;
+  Out.reserve(S.size());
+  for (char C : S) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    case '\r':
+      Out += "\\r";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        Out += Buf;
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+void Telemetry::writeJson(std::ostream &OS) const {
+  OS << "{\n  \"counters\": {";
+  bool First = true;
+  for (const auto &[Name, Value] : counters()) {
+    OS << (First ? "" : ",") << "\n    \"" << jsonEscape(Name)
+       << "\": " << Value;
+    First = false;
+  }
+  OS << "\n  },\n  \"stages\": {";
+  First = true;
+  for (const auto &[Name, S] : stageStats()) {
+    double Mean = S.Count == 0
+                      ? 0.0
+                      : static_cast<double>(S.TotalUs) /
+                            static_cast<double>(S.Count);
+    OS << (First ? "" : ",") << "\n    \"" << jsonEscape(Name)
+       << "\": {\"count\": " << S.Count << ", \"total_us\": " << S.TotalUs
+       << ", \"mean_us\": " << Mean << ", \"min_us\": " << S.MinUs
+       << ", \"max_us\": " << S.MaxUs << "}";
+    First = false;
+  }
+  OS << "\n  }\n}\n";
+}
+
+void Telemetry::writeChromeTrace(std::ostream &OS) const {
+  OS << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+  bool First = true;
+  for (const TraceSpan &E : events()) {
+    OS << (First ? "\n" : ",\n");
+    First = false;
+    OS << "  {\"name\": \"" << jsonEscape(E.Name) << "\", \"cat\": \""
+       << jsonEscape(E.Category ? E.Category : "span")
+       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << E.Tid
+       << ", \"ts\": " << E.BeginUs << ", \"dur\": " << E.DurUs;
+    if (!E.Args.empty()) {
+      OS << ", \"args\": {";
+      bool FirstArg = true;
+      for (const auto &[Key, Value] : E.Args) {
+        OS << (FirstArg ? "" : ", ") << "\"" << jsonEscape(Key)
+           << "\": " << Value;
+        FirstArg = false;
+      }
+      OS << "}";
+    }
+    OS << "}";
+  }
+  OS << "\n]}\n";
+}

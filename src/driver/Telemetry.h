@@ -1,0 +1,109 @@
+//===- driver/Telemetry.h - Per-stage timing & counters ---------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Thread-safe collection of wall-clock spans and named counters for the
+/// batch-compilation driver. Combinatorial allocation pipelines are
+/// compile-time-heavy and heterogeneous (a few functions dominate), so
+/// every scaling experiment needs to see *where* the time goes, per stage
+/// and per function, not just end-to-end totals.
+///
+/// Two export formats:
+///
+///  * `writeJson` — an aggregate report: every counter, plus per-stage
+///    span statistics (count, total/mean/min/max microseconds).
+///  * `writeChromeTrace` — the Chrome `trace_event` format (an array of
+///    phase-"X" complete events keyed by tid = pool worker), loadable in
+///    `chrome://tracing` or https://ui.perfetto.dev.
+///
+/// All mutation is mutex-protected; spans and counters may be recorded
+/// concurrently from every pool worker. Timestamps are microseconds
+/// relative to the Telemetry object's construction (steady clock).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_DRIVER_TELEMETRY_H
+#define DRA_DRIVER_TELEMETRY_H
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dra {
+
+/// One completed span on the shared timeline.
+struct TraceSpan {
+  std::string Name;        // e.g. "alloc", or the function name for tasks
+  const char *Category;    // "stage" | "task" | caller-defined
+  uint64_t BeginUs = 0;    // relative to Telemetry construction
+  uint64_t DurUs = 0;
+  unsigned Tid = 0;        // pool worker id
+  /// Free-form numeric annotations, shown in the trace viewer's detail
+  /// pane (e.g. spills, set_last_regs for a task span).
+  std::vector<std::pair<std::string, double>> Args;
+};
+
+class Telemetry {
+public:
+  Telemetry();
+
+  /// Microseconds elapsed since construction (steady clock).
+  uint64_t nowUs() const;
+
+  /// Converts an absolute steady-clock nanosecond stamp (as recorded in
+  /// PipelineResult::Spans) to this object's relative microseconds.
+  /// Clamps to 0 for stamps predating construction.
+  uint64_t toRelativeUs(uint64_t SteadyNs) const;
+
+  /// Absolute steady-clock nanoseconds; the same clock core/Pipeline uses
+  /// for its stage spans.
+  static uint64_t steadyNowNs();
+
+  void recordSpan(TraceSpan E);
+
+  /// Atomically adds \p Delta to counter \p Name (creating it at 0).
+  void addCounter(const std::string &Name, double Delta);
+
+  /// Snapshot accessors (copy under the lock; cheap at report time).
+  std::vector<TraceSpan> events() const;
+  std::map<std::string, double> counters() const;
+
+  /// Aggregate of all spans sharing one name.
+  struct StageStats {
+    size_t Count = 0;
+    uint64_t TotalUs = 0;
+    uint64_t MinUs = 0;
+    uint64_t MaxUs = 0;
+  };
+  /// When \p Category is non-null, only spans with that category are
+  /// aggregated (e.g. "stage" to exclude the per-function task spans).
+  std::map<std::string, StageStats>
+  stageStats(const char *Category = nullptr) const;
+
+  /// Writes the aggregate JSON report.
+  void writeJson(std::ostream &OS) const;
+
+  /// Writes Chrome trace-event JSON: one complete ("ph":"X") event per
+  /// recorded span.
+  void writeChromeTrace(std::ostream &OS) const;
+
+private:
+  uint64_t OriginNs = 0;
+  mutable std::mutex Mtx;
+  std::vector<TraceSpan> Events;
+  std::map<std::string, double> Counters;
+};
+
+/// Escapes \p S for inclusion in a JSON string literal.
+std::string jsonEscape(const std::string &S);
+
+} // namespace dra
+
+#endif // DRA_DRIVER_TELEMETRY_H

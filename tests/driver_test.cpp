@@ -1,0 +1,377 @@
+//===- tests/driver_test.cpp - Parallel driver tests ----------------------===//
+//
+// ThreadPool scheduling, telemetry aggregation, and — most importantly —
+// the determinism guard: the batch compiler must produce bit-identical
+// results at every worker count. The TSan CI job runs this binary to
+// catch data races in the pool and the telemetry sinks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Rng.h"
+#include "adt/Statistics.h"
+#include "driver/BatchCompiler.h"
+#include "driver/Telemetry.h"
+#include "driver/ThreadPool.h"
+#include "ir/Function.h"
+#include "workloads/ProgramGen.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+
+using namespace dra;
+
+namespace {
+
+/// A small ProgramGen corpus with heterogeneous pressure: some programs
+/// spill at RegN = 12, some do not, so the batch tasks are imbalanced the
+/// way real compilation units are.
+std::vector<Function> testCorpus(size_t Count = 8) {
+  std::vector<Function> Corpus;
+  for (size_t I = 0; I != Count; ++I) {
+    ProgramProfile P;
+    P.Seed = 100 + I;
+    P.PressureVars = 4 + static_cast<unsigned>(I % 5) * 2;
+    P.TopStatements = 8;
+    P.BodyStatements = 6;
+    P.OuterTrip = 4;
+    Corpus.push_back(
+        generateProgram("gen" + std::to_string(I), P));
+  }
+  return Corpus;
+}
+
+PipelineConfig coalesceConfig() {
+  PipelineConfig C;
+  C.S = Scheme::Coalesce;
+  C.Enc = lowEndConfig(12);
+  C.Remap.NumStarts = 25;
+  return C;
+}
+
+/// Tracks brace/bracket nesting outside string literals; a structurally
+/// sound JSON document starts at depth 0, never goes negative, and ends
+/// at depth 0.
+bool jsonStructurallySound(const std::string &Text) {
+  int Depth = 0;
+  bool InString = false, Escaped = false;
+  for (char C : Text) {
+    if (InString) {
+      if (Escaped)
+        Escaped = false;
+      else if (C == '\\')
+        Escaped = true;
+      else if (C == '"')
+        InString = false;
+      continue;
+    }
+    if (C == '"')
+      InString = true;
+    else if (C == '{' || C == '[')
+      ++Depth;
+    else if (C == '}' || C == ']') {
+      if (--Depth < 0)
+        return false;
+    }
+  }
+  return Depth == 0 && !InString;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 10000;
+  std::vector<std::atomic<int>> Hits(N);
+  Pool.parallelFor(N, [&](size_t I) { Hits[I].fetch_add(1); });
+  for (size_t I = 0; I != N; ++I)
+    ASSERT_EQ(Hits[I].load(), 1) << "index " << I;
+}
+
+TEST(ThreadPool, ZeroIterationsIsANoOp) {
+  ThreadPool Pool(4);
+  bool Ran = false;
+  Pool.parallelFor(0, [&](size_t) { Ran = true; });
+  EXPECT_FALSE(Ran);
+}
+
+TEST(ThreadPool, SingleWorkerRunsInline) {
+  ThreadPool Pool(1);
+  EXPECT_EQ(Pool.workerCount(), 1u);
+  std::thread::id Caller = std::this_thread::get_id();
+  Pool.parallelFor(64, [&](size_t) {
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+    EXPECT_EQ(ThreadPool::currentWorker(), 0u);
+  });
+}
+
+TEST(ThreadPool, ParallelMapOrdersResultsByIndex) {
+  ThreadPool Pool(4);
+  std::vector<size_t> Squares = Pool.parallelMap<size_t>(
+      257, [](size_t I) { return I * I; });
+  ASSERT_EQ(Squares.size(), 257u);
+  for (size_t I = 0; I != Squares.size(); ++I)
+    EXPECT_EQ(Squares[I], I * I);
+}
+
+TEST(ThreadPool, WorkerIdsStayWithinPool) {
+  ThreadPool Pool(3);
+  std::mutex Mtx;
+  std::set<unsigned> Seen;
+  Pool.parallelFor(1000, [&](size_t) {
+    unsigned W = ThreadPool::currentWorker();
+    std::lock_guard<std::mutex> Lock(Mtx);
+    Seen.insert(W);
+  });
+  for (unsigned W : Seen)
+    EXPECT_LT(W, 3u);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool Pool(4);
+  EXPECT_THROW(Pool.parallelFor(100,
+                                [](size_t I) {
+                                  if (I == 57)
+                                    throw std::runtime_error("task 57");
+                                }),
+               std::runtime_error);
+  // The pool must stay usable after a failed loop.
+  std::atomic<size_t> Count{0};
+  Pool.parallelFor(100, [&](size_t) { Count.fetch_add(1); });
+  EXPECT_EQ(Count.load(), 100u);
+}
+
+TEST(ThreadPool, ReusableAcrossManyLoops) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Total{0};
+  for (int Round = 0; Round != 50; ++Round)
+    Pool.parallelFor(97, [&](size_t) { Total.fetch_add(1); });
+  EXPECT_EQ(Total.load(), 50u * 97u);
+}
+
+TEST(ThreadPool, ReentrantParallelForRunsInline) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> Inner{0};
+  Pool.parallelFor(8, [&](size_t) {
+    Pool.parallelFor(16, [&](size_t) { Inner.fetch_add(1); });
+  });
+  EXPECT_EQ(Inner.load(), 8u * 16u);
+}
+
+//===----------------------------------------------------------------------===//
+// Rng task seeding & StatAccumulator (thread-safety satellites)
+//===----------------------------------------------------------------------===//
+
+TEST(Rng, TaskSeedIsPureAndDecorrelated) {
+  EXPECT_EQ(Rng::taskSeed(7, 3), Rng::taskSeed(7, 3));
+  std::set<uint64_t> Seeds;
+  for (uint64_t I = 0; I != 1000; ++I)
+    Seeds.insert(Rng::taskSeed(0xdeadbeef, I));
+  EXPECT_EQ(Seeds.size(), 1000u) << "adjacent task seeds collided";
+  EXPECT_NE(Rng::taskSeed(1, 0), Rng::taskSeed(2, 0));
+  // Streams from adjacent tasks diverge immediately.
+  Rng A = Rng::forTask(42, 0), B = Rng::forTask(42, 1);
+  EXPECT_NE(A.next(), B.next());
+}
+
+TEST(StatAccumulator, ConcurrentAddsAreLossless) {
+  StatAccumulator Acc;
+  ThreadPool Pool(4);
+  constexpr size_t N = 20000;
+  Pool.parallelFor(N, [&](size_t I) {
+    Acc.add(static_cast<double>(I % 10));
+  });
+  EXPECT_EQ(Acc.count(), N);
+  EXPECT_DOUBLE_EQ(Acc.sum(), static_cast<double>(N / 10) * 45.0);
+}
+
+TEST(StatAccumulator, SamplesAreSortedAndMergeable) {
+  StatAccumulator A, B;
+  A.add(3);
+  A.add(1);
+  B.add(2);
+  A.merge(B);
+  std::vector<double> S = A.samples();
+  ASSERT_EQ(S.size(), 3u);
+  EXPECT_EQ(S[0], 1);
+  EXPECT_EQ(S[1], 2);
+  EXPECT_EQ(S[2], 3);
+  EXPECT_DOUBLE_EQ(A.mean(), 2.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism guard (satellite): Jobs=1 vs Jobs=4 bit-identical
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Compares every externally visible metric plus the printed final code.
+void expectIdenticalResults(const std::vector<PipelineResult> &A,
+                            const std::vector<PipelineResult> &B) {
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I != A.size(); ++I) {
+    SCOPED_TRACE("function " + std::to_string(I));
+    EXPECT_EQ(A[I].NumInsts, B[I].NumInsts);
+    EXPECT_EQ(A[I].SpillInsts, B[I].SpillInsts);
+    EXPECT_EQ(A[I].SetLastRegs, B[I].SetLastRegs);
+    EXPECT_EQ(A[I].CodeBytes, B[I].CodeBytes);
+    EXPECT_EQ(A[I].Enc.SetLastJoin, B[I].Enc.SetLastJoin);
+    EXPECT_EQ(A[I].Enc.SetLastRange, B[I].Enc.SetLastRange);
+    EXPECT_EQ(printFunction(A[I].F), printFunction(B[I].F));
+  }
+}
+
+std::vector<PipelineResult> compileWithJobs(const std::vector<Function> &Fns,
+                                            const PipelineConfig &C,
+                                            unsigned Jobs,
+                                            bool PerTaskSeeds = false) {
+  BatchOptions BO;
+  BO.Jobs = Jobs;
+  BO.PerTaskSeeds = PerTaskSeeds;
+  BatchCompiler Batch(BO);
+  return Batch.run(Fns, C);
+}
+
+} // namespace
+
+TEST(BatchCompiler, SerialAndParallelAreBitIdentical) {
+  std::vector<Function> Corpus = testCorpus();
+  PipelineConfig C = coalesceConfig();
+  expectIdenticalResults(compileWithJobs(Corpus, C, 1),
+                         compileWithJobs(Corpus, C, 4));
+}
+
+TEST(BatchCompiler, SelectSchemeIsDeterministicToo) {
+  std::vector<Function> Corpus = testCorpus(6);
+  PipelineConfig C = coalesceConfig();
+  C.S = Scheme::Select;
+  expectIdenticalResults(compileWithJobs(Corpus, C, 1),
+                         compileWithJobs(Corpus, C, 4));
+}
+
+TEST(BatchCompiler, PerTaskSeedsDependOnIndexNotSchedule) {
+  std::vector<Function> Corpus = testCorpus(6);
+  PipelineConfig C = coalesceConfig();
+  expectIdenticalResults(compileWithJobs(Corpus, C, 1, true),
+                         compileWithJobs(Corpus, C, 4, true));
+}
+
+TEST(BatchCompiler, PerConfigBatchMatchesIndividualRuns) {
+  std::vector<Function> Corpus = testCorpus(4);
+  std::vector<PipelineConfig> Configs;
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    PipelineConfig C = coalesceConfig();
+    C.S = I % 2 == 0 ? Scheme::Baseline : Scheme::Remap;
+    Configs.push_back(C);
+  }
+  BatchOptions BO;
+  BO.Jobs = 3;
+  BatchCompiler Batch(BO);
+  std::vector<PipelineResult> Batched = Batch.run(Corpus, Configs);
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    PipelineResult Solo = runPipeline(Corpus[I], Configs[I]);
+    EXPECT_EQ(printFunction(Batched[I].F), printFunction(Solo.F));
+    EXPECT_EQ(Batched[I].CodeBytes, Solo.CodeBytes);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Telemetry
+//===----------------------------------------------------------------------===//
+
+TEST(Telemetry, ConcurrentCountersAreLossless) {
+  Telemetry T;
+  ThreadPool Pool(4);
+  Pool.parallelFor(5000, [&](size_t) { T.addCounter("ticks", 1); });
+  EXPECT_DOUBLE_EQ(T.counters().at("ticks"), 5000.0);
+}
+
+TEST(Telemetry, BatchRecordsOneTaskAndStageSpansPerFunction) {
+  std::vector<Function> Corpus = testCorpus(5);
+  Telemetry T;
+  BatchOptions BO;
+  BO.Jobs = 2;
+  BO.Telem = &T;
+  BatchCompiler Batch(BO);
+  Batch.run(Corpus, coalesceConfig());
+
+  EXPECT_DOUBLE_EQ(T.counters().at("functions"), 5.0);
+  size_t TaskSpans = 0;
+  for (const TraceSpan &E : T.events())
+    if (std::string(E.Category) == "task")
+      ++TaskSpans;
+  EXPECT_EQ(TaskSpans, 5u);
+  // The coalesce pipeline runs ospill, coalesce, remap, encode on every
+  // function: one stage span each.
+  std::map<std::string, Telemetry::StageStats> Stages = T.stageStats("stage");
+  for (const char *Stage : {"ospill", "coalesce", "remap", "encode"}) {
+    ASSERT_TRUE(Stages.count(Stage)) << Stage;
+    EXPECT_EQ(Stages.at(Stage).Count, 5u) << Stage;
+  }
+}
+
+TEST(Telemetry, ChromeTraceIsStructurallySoundJson) {
+  std::vector<Function> Corpus = testCorpus(3);
+  Telemetry T;
+  BatchOptions BO;
+  BO.Jobs = 2;
+  BO.Telem = &T;
+  BatchCompiler Batch(BO);
+  Batch.run(Corpus, coalesceConfig());
+
+  std::ostringstream Trace, Report;
+  T.writeChromeTrace(Trace);
+  T.writeJson(Report);
+  EXPECT_TRUE(jsonStructurallySound(Trace.str())) << Trace.str();
+  EXPECT_TRUE(jsonStructurallySound(Report.str())) << Report.str();
+  EXPECT_NE(Trace.str().find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(Trace.str().find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(Report.str().find("\"counters\""), std::string::npos);
+}
+
+TEST(Telemetry, JsonEscapeHandlesSpecials) {
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+  EXPECT_EQ(jsonEscape(std::string(1, '\x01')), "\\u0001");
+}
+
+//===----------------------------------------------------------------------===//
+// Scaling smoke: logs Jobs=1 vs Jobs=N wall clock (asserts only with
+// enough hardware; single-core CI just records the numbers).
+//===----------------------------------------------------------------------===//
+
+TEST(BatchCompiler, ParallelSpeedupLogged) {
+  std::vector<Function> Corpus = testCorpus(8);
+  PipelineConfig C = coalesceConfig();
+  C.Remap.NumStarts = 60;
+
+  auto TimeRun = [&](unsigned Jobs) {
+    auto Start = std::chrono::steady_clock::now();
+    compileWithJobs(Corpus, C, Jobs);
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  };
+  TimeRun(1); // warm caches before timing
+  double SerialMs = TimeRun(1);
+  unsigned HwJobs = ThreadPool::defaultWorkerCount();
+  double ParallelMs = TimeRun(HwJobs);
+  double Speedup = ParallelMs > 0 ? SerialMs / ParallelMs : 0;
+  std::printf("[scaling] jobs=1: %.1f ms, jobs=%u: %.1f ms, speedup "
+              "%.2fx\n",
+              SerialMs, HwJobs, ParallelMs, Speedup);
+  if (HwJobs < 4)
+    GTEST_SKIP() << "only " << HwJobs
+                 << " hardware thread(s); speedup assertion needs >= 4";
+  EXPECT_GT(Speedup, 1.5) << "parallel batch failed to scale";
+}

@@ -2,35 +2,23 @@
 //
 // Part of the differential-register-allocation reproduction library.
 //
-// A small `opt`-style driver: reads a function in the textual IR syntax
+// A small `opt`-style driver: reads functions in the textual IR syntax
 // (see src/ir/Parser.h), runs one of the five allocation pipelines, and
 // prints the resulting machine code, statistics, and (optionally) the
 // simulated execution profile. Useful for poking at the encoder with
-// hand-written programs.
-//
-// Usage:
-//   dra-opt [options] [input.dra]          (stdin when no file given)
-//     --scheme=baseline|ospill|remap|select|coalesce   (default coalesce)
-//     --baseline-k=N     registers of the unmodified ISA (default 8)
-//     --regn=N           differential registers (default 12)
-//     --diffn=N          difference codes (default 8)
-//     --diffw=N          field width in bits (default 3)
-//     --remap-starts=N   remapping restarts (default 200)
-//     --adaptive         Section 8.2 selective enabling
-//     --cleanup          run fold/simplify/DCE before allocation
-//     --simulate         run the pipeline model and print cycles
-//     --print-code       print the resulting function
-//     --emit-size        print bit-exact binary sizes (direct vs diff)
+// hand-written programs. Multiple input files are compiled as one batch
+// on a worker pool (--jobs) and can dump a Chrome trace (--trace-out).
 //
 //===----------------------------------------------------------------------===//
 
 #include "core/BinaryEmitter.h"
+#include "core/Pipeline.h"
+#include "driver/BatchCompiler.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
 #include "opt/ConstantFold.h"
 #include "opt/DeadCode.h"
 #include "opt/SimplifyCfg.h"
-#include "core/Pipeline.h"
-#include "interp/Interpreter.h"
-#include "ir/Parser.h"
 #include "sim/LowEndSim.h"
 
 #include <cstdio>
@@ -40,10 +28,44 @@
 #include <iterator>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace dra;
 
 namespace {
+
+const char *UsageText =
+    "usage: dra-opt [options] [input.dra ...]\n"
+    "\n"
+    "Reads functions in the textual IR syntax (stdin when no file is\n"
+    "given), runs one of the five allocation pipelines on each, and\n"
+    "prints statistics. Multiple inputs are compiled as one batch.\n"
+    "\n"
+    "pipeline options:\n"
+    "  --scheme=NAME      baseline|ospill|remap|select|coalesce\n"
+    "                     (default coalesce)\n"
+    "  --baseline-k=N     registers of the unmodified ISA (default 8)\n"
+    "  --regn=N           differential registers (default 12)\n"
+    "  --diffn=N          difference codes (default 8)\n"
+    "  --diffw=N          field width in bits (default 3)\n"
+    "  --remap-starts=N   remapping restarts (default 200)\n"
+    "  --adaptive         Section 8.2 selective enabling\n"
+    "  --cleanup          run fold/simplify/DCE before allocation\n"
+    "\n"
+    "driver options:\n"
+    "  --jobs=N           compile inputs on N pool workers\n"
+    "                     (default 1; 0 = hardware concurrency)\n"
+    "  --trace-out=FILE   write a Chrome trace-event JSON of the batch\n"
+    "                     (open in chrome://tracing or ui.perfetto.dev)\n"
+    "\n"
+    "output options:\n"
+    "  --simulate         run the pipeline model and print cycles\n"
+    "  --print-code       print the resulting function\n"
+    "  --emit-size        print bit-exact binary sizes (direct vs diff)\n"
+    "  --help             show this text\n"
+    "\n"
+    "exit status: 0 on success, 1 when any pipeline changes semantics or\n"
+    "an input fails to parse, 2 on a command-line error.\n";
 
 struct Options {
   Scheme S = Scheme::Coalesce;
@@ -52,12 +74,15 @@ struct Options {
   unsigned DiffN = 8;
   unsigned DiffW = 3;
   unsigned RemapStarts = 200;
+  unsigned Jobs = 1;
   bool Adaptive = false;
   bool Cleanup = false;
   bool Simulate = false;
   bool PrintCode = false;
   bool EmitSize = false;
-  std::string InputFile;
+  bool Help = false;
+  std::string TraceOut;
+  std::vector<std::string> InputFiles;
 };
 
 bool parseScheme(const std::string &Name, Scheme &Out) {
@@ -98,6 +123,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.DiffW = static_cast<unsigned>(std::atoi(V));
     } else if (const char *V = Value("--remap-starts=")) {
       O.RemapStarts = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--jobs=")) {
+      O.Jobs = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--trace-out=")) {
+      O.TraceOut = V;
     } else if (Arg == "--adaptive") {
       O.Adaptive = true;
     } else if (Arg == "--cleanup") {
@@ -108,13 +137,57 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.PrintCode = true;
     } else if (Arg == "--emit-size") {
       O.EmitSize = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      O.Help = true;
     } else if (Arg.rfind("--", 0) == 0) {
-      std::fprintf(stderr, "error: unknown option '%s'\n", Arg.c_str());
+      std::fprintf(stderr, "error: unknown option '%s' (try --help)\n",
+                   Arg.c_str());
       return false;
     } else {
-      O.InputFile = Arg;
+      O.InputFiles.push_back(Arg);
     }
   }
+  return true;
+}
+
+/// One parsed input.
+struct InputUnit {
+  std::string Label; // file name, or "<stdin>"
+  Function F;
+  uint64_t ReferenceFp = 0;
+  int64_t ReturnValue = 0;
+};
+
+bool readInput(const std::string &Label, const std::string &Text,
+               const Options &O, std::vector<InputUnit> &Units) {
+  std::string Err;
+  auto Parsed = parseFunction(Text, &Err);
+  if (!Parsed) {
+    std::fprintf(stderr, "error: %s: parse failed: %s\n", Label.c_str(),
+                 Err.c_str());
+    return false;
+  }
+  if (!verifyFunction(*Parsed, &Err)) {
+    std::fprintf(stderr, "error: %s: invalid function: %s\n", Label.c_str(),
+                 Err.c_str());
+    return false;
+  }
+  if (O.Cleanup) {
+    ConstantFoldStats CF = foldConstants(*Parsed);
+    SimplifyCfgStats SC = simplifyCfg(*Parsed);
+    size_t Dce = eliminateDeadCode(*Parsed);
+    std::printf("%s: cleanup: folded %zu insts + %zu branches, merged %zu "
+                "blocks, removed %zu dead insts\n",
+                Label.c_str(), CF.InstsFolded, CF.BranchesFolded,
+                SC.BlocksMerged, Dce);
+  }
+  InputUnit U;
+  U.Label = Label;
+  ExecResult Reference = interpret(*Parsed);
+  U.ReferenceFp = fingerprint(Reference);
+  U.ReturnValue = Reference.ReturnValue;
+  U.F = std::move(*Parsed);
+  Units.push_back(std::move(U));
   return true;
 }
 
@@ -123,49 +196,31 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
 int main(int Argc, char **Argv) {
   Options O;
   if (!parseArgs(Argc, Argv, O))
-    return 1;
+    return 2;
+  if (O.Help) {
+    std::fputs(UsageText, stdout);
+    return 0;
+  }
 
-  std::string Text;
-  if (O.InputFile.empty()) {
+  std::vector<InputUnit> Units;
+  if (O.InputFiles.empty()) {
     std::ostringstream Buffer;
     Buffer << std::cin.rdbuf();
-    Text = Buffer.str();
-  } else {
-    std::ifstream In(O.InputFile);
-    if (!In) {
-      std::fprintf(stderr, "error: cannot open '%s'\n",
-                   O.InputFile.c_str());
+    if (!readInput("<stdin>", Buffer.str(), O, Units))
       return 1;
+  } else {
+    for (const std::string &File : O.InputFiles) {
+      std::ifstream In(File);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+        return 1;
+      }
+      std::string Text(std::istreambuf_iterator<char>(In),
+                       std::istreambuf_iterator<char>{});
+      if (!readInput(File, Text, O, Units))
+        return 1;
     }
-    Text.assign(std::istreambuf_iterator<char>(In),
-                std::istreambuf_iterator<char>());
   }
-
-  std::string Err;
-  auto Parsed = parseFunction(Text, &Err);
-  if (!Parsed) {
-    std::fprintf(stderr, "error: parse failed: %s\n", Err.c_str());
-    return 1;
-  }
-  if (!verifyFunction(*Parsed, &Err)) {
-    std::fprintf(stderr, "error: invalid function: %s\n", Err.c_str());
-    return 1;
-  }
-
-  if (O.Cleanup) {
-    ConstantFoldStats CF = foldConstants(*Parsed);
-    SimplifyCfgStats SC = simplifyCfg(*Parsed);
-    size_t Dce = eliminateDeadCode(*Parsed);
-    std::printf("cleanup: folded %zu insts + %zu branches, merged %zu "
-                "blocks, removed %zu dead insts\n",
-                CF.InstsFolded, CF.BranchesFolded, SC.BlocksMerged, Dce);
-  }
-
-  ExecResult Reference = interpret(*Parsed);
-  std::printf("input: %zu instructions, %u virtual registers, returns "
-              "%lld\n",
-              Parsed->numInsts(), Parsed->NumRegs,
-              static_cast<long long>(Reference.ReturnValue));
 
   PipelineConfig Config;
   Config.S = O.S;
@@ -178,44 +233,76 @@ int main(int Argc, char **Argv) {
   if (!Config.Enc.valid()) {
     std::fprintf(stderr, "error: invalid encoding configuration "
                          "(regn/diffn/diffw)\n");
-    return 1;
+    return 2;
   }
 
-  PipelineResult R = runPipeline(*Parsed, Config);
-  ExecResult After = interpret(R.F);
-  bool Same = fingerprint(After) == fingerprint(Reference);
-  std::printf("%s: %zu insts (%zu spill, %zu set_last_reg), code %zu "
-              "bytes, semantics %s\n",
-              schemeName(O.S), R.NumInsts, R.SpillInsts, R.SetLastRegs,
-              R.CodeBytes, Same ? "preserved" : "CHANGED (bug!)");
-  if (R.AdaptiveFellBack)
-    std::printf("adaptive mode chose the baseline for this function\n");
+  Telemetry Telem;
+  BatchOptions BO;
+  BO.Jobs = O.Jobs;
+  BO.Telem = O.TraceOut.empty() ? nullptr : &Telem;
+  BatchCompiler Batch(BO);
 
-  if (O.Simulate) {
-    SimResult Sim = simulate(R.F);
-    std::printf("simulated: %llu cycles, %llu insts, I$ miss %llu, D$ "
-                "miss %llu, spill accesses %llu, slr slots %llu\n",
-                static_cast<unsigned long long>(Sim.Cycles),
-                static_cast<unsigned long long>(Sim.DynInsts),
-                static_cast<unsigned long long>(Sim.ICacheMisses),
-                static_cast<unsigned long long>(Sim.DCacheMisses),
-                static_cast<unsigned long long>(Sim.SpillAccesses),
-                static_cast<unsigned long long>(Sim.SlrSlots));
+  std::vector<Function> Functions;
+  for (const InputUnit &U : Units)
+    Functions.push_back(U.F);
+  std::vector<PipelineResult> Results = Batch.run(Functions, Config);
+
+  bool AllSame = true;
+  for (size_t I = 0; I != Units.size(); ++I) {
+    const InputUnit &U = Units[I];
+    const PipelineResult &R = Results[I];
+    const char *Prefix = Units.size() > 1 ? U.Label.c_str() : "input";
+    std::printf("%s: %zu instructions, %u virtual registers, returns "
+                "%lld\n",
+                Prefix, U.F.numInsts(), U.F.NumRegs,
+                static_cast<long long>(U.ReturnValue));
+
+    ExecResult After = interpret(R.F);
+    bool Same = fingerprint(After) == U.ReferenceFp;
+    AllSame = AllSame && Same;
+    std::printf("%s: %zu insts (%zu spill, %zu set_last_reg), code %zu "
+                "bytes, semantics %s\n",
+                schemeName(O.S), R.NumInsts, R.SpillInsts, R.SetLastRegs,
+                R.CodeBytes, Same ? "preserved" : "CHANGED (bug!)");
+    if (R.AdaptiveFellBack)
+      std::printf("adaptive mode chose the baseline for this function\n");
+
+    if (O.Simulate) {
+      SimResult Sim = simulate(R.F);
+      std::printf("simulated: %llu cycles, %llu insts, I$ miss %llu, D$ "
+                  "miss %llu, spill accesses %llu, slr slots %llu\n",
+                  static_cast<unsigned long long>(Sim.Cycles),
+                  static_cast<unsigned long long>(Sim.DynInsts),
+                  static_cast<unsigned long long>(Sim.ICacheMisses),
+                  static_cast<unsigned long long>(Sim.DCacheMisses),
+                  static_cast<unsigned long long>(Sim.SpillAccesses),
+                  static_cast<unsigned long long>(Sim.SlrSlots));
+    }
+
+    if (O.EmitSize && R.DiffEncoded) {
+      Function Stripped = stripSetLastReg(R.F);
+      EncodedFunction E = encodeFunction(Stripped, Config.Enc);
+      BinaryModule Diff = emitDifferential(E, Config.Enc);
+      BinaryModule Direct = emitDirect(Stripped);
+      std::printf("binary: direct %zu bits (%u-bit fields), differential "
+                  "%zu bits (%u-bit fields)\n",
+                  Direct.BitCount, Direct.FieldWidth, Diff.BitCount,
+                  Diff.FieldWidth);
+    }
+
+    if (O.PrintCode)
+      std::printf("\n%s", printFunction(R.F).c_str());
   }
 
-  if (O.EmitSize && R.DiffEncoded) {
-    Function Stripped = stripSetLastReg(R.F);
-    EncodedFunction E = encodeFunction(Stripped, Config.Enc);
-    BinaryModule Diff = emitDifferential(E, Config.Enc);
-    BinaryModule Direct = emitDirect(Stripped);
-    std::printf("binary: direct %zu bits (%u-bit fields), differential "
-                "%zu bits (%u-bit fields)\n",
-                Direct.BitCount, Direct.FieldWidth, Diff.BitCount,
-                Diff.FieldWidth);
+  if (!O.TraceOut.empty()) {
+    std::ofstream Out(O.TraceOut);
+    if (!Out) {
+      std::fprintf(stderr, "error: cannot write '%s'\n", O.TraceOut.c_str());
+      return 1;
+    }
+    Telem.writeChromeTrace(Out);
+    std::fprintf(stderr, "trace written to %s\n", O.TraceOut.c_str());
   }
 
-  if (O.PrintCode)
-    std::printf("\n%s", printFunction(R.F).c_str());
-
-  return Same ? 0 : 1;
+  return AllSame ? 0 : 1;
 }
