@@ -3,6 +3,7 @@
 #include "SuiteRunner.h"
 
 #include "driver/BatchCompiler.h"
+#include "driver/Metrics.h"
 #include "driver/ThreadPool.h"
 #include "interp/Interpreter.h"
 #include "sim/LowEndSim.h"
@@ -113,6 +114,55 @@ void storeVliwCache(unsigned LoopCount, const std::vector<VliwRow> &Rows) {
             << ' ' << R.OptimizedLoopCount << ' ' << R.LoopCount << "\n";
 }
 
+/// Folds the low-end suite's result table into \p Reg as suite.* gauges
+/// labeled {program, scheme} — derivable from cached results, so available
+/// on every run — and writes the snapshot to BENCH_lowend.json.
+void writeLowEndBenchJson(MetricsRegistry &Reg,
+                          const std::vector<ProgramMetrics> &Suite) {
+  for (const ProgramMetrics &PM : Suite) {
+    for (const auto &[S, M] : PM.PerScheme) {
+      MetricLabels L{{"program", PM.Name}, {"scheme", schemeName(S)}};
+      Reg.gauge("suite.spill_pct", M.SpillPct, L);
+      Reg.gauge("suite.slr_pct", M.SlrPct, L);
+      Reg.gauge("suite.slr_join", static_cast<double>(M.SlrJoin), L);
+      Reg.gauge("suite.slr_range", static_cast<double>(M.SlrRange), L);
+      Reg.gauge("suite.code_bytes", static_cast<double>(M.CodeBytes), L);
+      Reg.gauge("suite.cycles", static_cast<double>(M.Cycles), L);
+      Reg.gauge("suite.semantics_ok", M.SemanticsOk ? 1.0 : 0.0, L);
+    }
+  }
+  std::string Err;
+  if (!Reg.writeJsonFile("BENCH_lowend.json", &Err))
+    std::fprintf(stderr, "  [suite] metrics write failed: %s\n", Err.c_str());
+  else
+    std::fprintf(stderr, "  [suite] metrics written to BENCH_lowend.json\n");
+}
+
+/// Same for the VLIW sweep: one vliw.* gauge set per RegN row, written to
+/// BENCH_vliw.json alongside whatever swp.* series a fresh run recorded.
+void writeVliwBenchJson(MetricsRegistry &Reg,
+                        const std::vector<VliwRow> &Rows) {
+  for (const VliwRow &R : Rows) {
+    MetricLabels L{{"regn", std::to_string(R.RegN)}};
+    Reg.gauge("vliw.speedup_optimized_pct", R.SpeedupOptimizedPct, L);
+    Reg.gauge("vliw.speedup_all_loops_pct", R.SpeedupAllLoopsPct, L);
+    Reg.gauge("vliw.speedup_overall_pct", R.SpeedupOverallPct, L);
+    Reg.gauge("vliw.spill_ops_optimized",
+              static_cast<double>(R.SpillOpsOptimized), L);
+    Reg.gauge("vliw.code_growth_optimized_pct", R.CodeGrowthOptimizedPct, L);
+    Reg.gauge("vliw.code_growth_all_loops_pct", R.CodeGrowthAllLoopsPct, L);
+    Reg.gauge("vliw.code_growth_all_code_pct", R.CodeGrowthAllCodePct, L);
+    Reg.gauge("vliw.optimized_loops",
+              static_cast<double>(R.OptimizedLoopCount), L);
+    Reg.gauge("vliw.loops", static_cast<double>(R.LoopCount), L);
+  }
+  std::string Err;
+  if (!Reg.writeJsonFile("BENCH_vliw.json", &Err))
+    std::fprintf(stderr, "  [vliw] metrics write failed: %s\n", Err.c_str());
+  else
+    std::fprintf(stderr, "  [vliw] metrics written to BENCH_vliw.json\n");
+}
+
 } // namespace
 
 const std::vector<Scheme> &dra::allSchemes() {
@@ -126,9 +176,11 @@ std::vector<ProgramMetrics> dra::runLowEndSuite(unsigned RemapStarts,
                                                 unsigned Jobs,
                                                 Telemetry *Telem) {
   std::vector<ProgramMetrics> Results;
+  MetricsRegistry Reg;
   if (loadLowEndCache(RemapStarts, Results)) {
     std::fprintf(stderr, "  [suite] using cached results (%s)\n",
                  lowEndCachePath(RemapStarts).c_str());
+    writeLowEndBenchJson(Reg, Results);
     return Results;
   }
   auto WallStart = std::chrono::steady_clock::now();
@@ -159,6 +211,7 @@ std::vector<ProgramMetrics> dra::runLowEndSuite(unsigned RemapStarts,
       Config.BaselineK = 8;
       Config.Enc = lowEndConfig(12);
       Config.Remap.NumStarts = RemapStarts;
+      Config.Metrics = &Reg; // Thread-safe; series are keyed by labels.
       Cells.push_back(Program);
       Configs.push_back(Config);
     }
@@ -198,6 +251,7 @@ std::vector<ProgramMetrics> dra::runLowEndSuite(unsigned RemapStarts,
                Names.size(), Schemes.size(), WallMs,
                Batch.pool().workerCount());
   storeLowEndCache(RemapStarts, Results);
+  writeLowEndBenchJson(Reg, Results);
   return Results;
 }
 
@@ -206,11 +260,13 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount, unsigned Jobs,
   LoopCorpusOptions Opts;
   if (LoopCount != 0)
     Opts.Count = LoopCount;
+  MetricsRegistry Reg;
   {
     std::vector<VliwRow> Cached;
     if (loadVliwCache(Opts.Count, Cached)) {
       std::fprintf(stderr, "  [vliw] using cached results (%s)\n",
                    vliwCachePath(Opts.Count).c_str());
+      writeVliwBenchJson(Reg, Cached);
       return Cached;
     }
   }
@@ -225,6 +281,17 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount, unsigned Jobs,
                           const EncodingConfig *Enc) {
     uint64_t Begin = Telemetry::steadyNowNs();
     SwpResult R = pipelineLoop(Corpus[I], Machine, ArchRegs, Enc);
+    {
+      MetricLabels L{{"regn", std::to_string(Enc ? Enc->RegN : ArchRegs)}};
+      Reg.observe("swp.ii_attempts", static_cast<double>(R.IIAttempts), L);
+      Reg.observe("swp.ii", static_cast<double>(R.II), L);
+      Reg.count("swp.loops", 1, L);
+      Reg.count("swp.sched_rounds", static_cast<double>(R.SchedRounds), L);
+      Reg.count("swp.spill_ops", static_cast<double>(R.SpillOps), L);
+      Reg.count("swp.spilled_values", static_cast<double>(R.SpilledValues),
+                L);
+      Reg.count("swp.set_last_regs", static_cast<double>(R.SetLastRegs), L);
+    }
     if (Telem) {
       TraceSpan E;
       E.Name = "swp";
@@ -336,5 +403,6 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount, unsigned Jobs,
                        "worker(s)\n",
                Corpus.size(), WallMs, Pool.workerCount());
   storeVliwCache(Opts.Count, Rows);
+  writeVliwBenchJson(Reg, Rows);
   return Rows;
 }

@@ -10,6 +10,14 @@
 /// pipelines over the ten MiBench-like programs, or the 1928-loop VLIW
 /// sweep) is identical across binaries, so it lives here.
 ///
+/// Besides the human-readable tables each binary prints, every suite run
+/// also writes a machine-readable metrics snapshot — BENCH_lowend.json /
+/// BENCH_vliw.json in the working directory — in the dra-metrics-v1 schema
+/// (driver/Metrics.h), consumable by tools/dra-stats. Suite-level result
+/// gauges (suite.* / vliw.*) are written even when the on-disk result
+/// cache is hit; the allocator-deep counters and stage timing histograms
+/// require a fresh (uncached) run.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRA_BENCH_SUITERUNNER_H

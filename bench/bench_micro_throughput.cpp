@@ -13,10 +13,14 @@
 #include "core/OptimalSpill.h"
 #include "core/Pipeline.h"
 #include "core/Remap.h"
+#include "driver/Metrics.h"
 #include "regalloc/InterferenceGraph.h"
 #include "workloads/MiBench.h"
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
 
 using namespace dra;
 
@@ -133,6 +137,69 @@ BENCHMARK(BM_FullPipeline)
     ->Arg(static_cast<int>(Scheme::Select))
     ->Arg(static_cast<int>(Scheme::Coalesce));
 
+void BM_FullPipelineWithMetrics(benchmark::State &State) {
+  PipelineConfig Cfg;
+  Cfg.S = Scheme::Coalesce;
+  Cfg.Remap.NumStarts = 50;
+  MetricsRegistry Reg;
+  Cfg.Metrics = &Reg;
+  const Function &F = program();
+  for (auto _ : State) {
+    PipelineResult R = runPipeline(F, Cfg);
+    benchmark::DoNotOptimize(R.NumInsts);
+  }
+}
+BENCHMARK(BM_FullPipelineWithMetrics)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+/// Asserts the zero-cost-when-disabled contract: the instrumented pipeline
+/// with PipelineConfig::Metrics == nullptr must run no measurably slower
+/// than the enabled one is expected to differ from. Best-of-N wall times
+/// suppress scheduler noise; the bound is generous because one pipeline
+/// run is only tens of milliseconds.
+int runMetricsOverheadCheck() {
+  PipelineConfig Off;
+  Off.S = Scheme::Coalesce;
+  Off.Remap.NumStarts = 50;
+  PipelineConfig On = Off;
+  MetricsRegistry Reg;
+  On.Metrics = &Reg;
+  const Function &F = program();
+
+  auto BestOf = [&](const PipelineConfig &Cfg) {
+    double BestMs = 1e300;
+    for (int Rep = 0; Rep != 5; ++Rep) {
+      uint64_t T0 = steadyClockNs();
+      PipelineResult R = runPipeline(F, Cfg);
+      benchmark::DoNotOptimize(R.NumInsts);
+      BestMs = std::min(
+          BestMs, static_cast<double>(steadyClockNs() - T0) / 1e6);
+    }
+    return BestMs;
+  };
+
+  BestOf(Off); // Warm caches before measuring.
+  double OffMs = BestOf(Off);
+  double OnMs = BestOf(On);
+  double OverheadPct = OffMs == 0 ? 0 : 100.0 * (OffMs / OnMs - 1.0);
+  // The disabled path must not be slower than the enabled path by more
+  // than measurement noise; 25% of a ~10ms run is far above any real
+  // flush cost, so a FAIL here means the null-registry fast path broke.
+  bool Ok = OffMs <= OnMs * 1.25;
+  std::printf("metrics-overhead-check: %s (metrics off %.2f ms, on %.2f "
+              "ms, disabled-path overhead %+.1f%%)\n",
+              Ok ? "PASS" : "FAIL", OffMs, OnMs, OverheadPct);
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return runMetricsOverheadCheck();
+}

@@ -261,7 +261,8 @@ ColorOutcome colorMerged(const MergedGraph &G, const EncodingConfig &C,
 } // namespace
 
 CoalesceResult dra::coalesceAndColor(Function &F, const EncodingConfig &C,
-                                     const CoalesceOptions &O) {
+                                     const CoalesceOptions &O,
+                                     std::vector<StageSpan> *SubSpans) {
   CoalesceResult Result;
   unsigned K = C.RegN;
   assert(C.valid() && "invalid encoding configuration");
@@ -270,6 +271,7 @@ CoalesceResult dra::coalesceAndColor(Function &F, const EncodingConfig &C,
   unsigned SpillRetries = 0;
 
   for (;;) {
+    ScopedSpan RoundSpan(SubSpans, "coalesce.round");
     F.recomputeCFG();
     MergedGraph G(F, C);
 
@@ -278,6 +280,7 @@ CoalesceResult dra::coalesceAndColor(Function &F, const EncodingConfig &C,
     // best cost reduction.
     double CurCost;
     {
+      ++Result.OracleCalls;
       ColorOutcome Cur = colorMerged(G, C, O.DiffAware);
       CurCost = (Cur.Colorable && O.DiffAware ? Cur.DiffCost : 0.0) +
                 G.remainingMoveWeight();
@@ -309,9 +312,13 @@ CoalesceResult dra::coalesceAndColor(Function &F, const EncodingConfig &C,
       for (const auto &[Pair, Weight] : Candidates) {
         MergedGraph Probe = G; // Undo by discarding the copy.
         Probe.merge(Pair.first, Pair.second);
+        ++Result.ProbesAttempted;
+        ++Result.OracleCalls;
         ColorOutcome Probed = colorMerged(Probe, C, O.DiffAware);
-        if (!Probed.Colorable)
+        if (!Probed.Colorable) {
+          ++Result.ProbesUncolorable;
           continue;
+        }
         double NewCost = (O.DiffAware ? Probed.DiffCost : 0.0) +
                          Probe.remainingMoveWeight();
         if (NewCost < BestNewCost - 1e-9) {
@@ -328,12 +335,14 @@ CoalesceResult dra::coalesceAndColor(Function &F, const EncodingConfig &C,
     }
 
     // Final coloring.
+    ++Result.OracleCalls;
     ColorOutcome Final = colorMerged(G, C, O.DiffAware);
     if (!Final.Colorable) {
       if (++SpillRetries > MaxSpillRetries) {
         Result.Success = false;
         return Result;
       }
+      ++Result.SpillRestarts;
       // Spill every member of the failing root and restart.
       std::vector<RegId> ToSpill = G.membersOf(Final.FailedRoot);
       for (RegId V : ToSpill) {

@@ -27,7 +27,10 @@
 #define DRA_CORE_DIFFCOALESCE_H
 
 #include "core/EncodingConfig.h"
+#include "driver/Metrics.h"
 #include "ir/Function.h"
+
+#include <vector>
 
 namespace dra {
 
@@ -58,14 +61,31 @@ struct CoalesceResult {
   unsigned Steps = 0;
   /// False if coloring kept failing beyond the retry limit.
   bool Success = true;
+
+  // Search-effort counters (always maintained; flushed to a
+  // MetricsRegistry by runPipeline when one is configured).
+  /// Invocations of the rebuild&simplify + select coloring oracle
+  /// (colorMerged): the current-cost evaluation, one per candidate probe,
+  /// and the final coloring of each restart round.
+  size_t OracleCalls = 0;
+  /// Tentative coalescences probed on a graph copy.
+  size_t ProbesAttempted = 0;
+  /// Probes whose merged graph the oracle failed to color (rejected).
+  size_t ProbesUncolorable = 0;
+  /// Spill-and-restart rounds taken after a failed final coloring.
+  unsigned SpillRestarts = 0;
 };
 
 /// Coalesces moves and colors \p F onto K = C.RegN registers, mutating it
 /// in place (register operands become physical numbers < C.RegN, identity
 /// moves are deleted, F.NumRegs becomes C.RegN). The function must already
 /// satisfy max-pressure <= C.RegN - small slack (run optimalSpill first).
+///
+/// When \p SubSpans is non-null, one Depth-1 "coalesce.round" span is
+/// recorded per coalesce/color (restart) round (null = no clock reads).
 CoalesceResult coalesceAndColor(Function &F, const EncodingConfig &C,
-                                const CoalesceOptions &O = {});
+                                const CoalesceOptions &O = {},
+                                std::vector<StageSpan> *SubSpans = nullptr);
 
 } // namespace dra
 

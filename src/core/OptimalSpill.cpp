@@ -27,12 +27,14 @@ uint64_t liveSetHash(const std::vector<uint32_t> &Regs) {
 } // namespace
 
 OptimalSpillResult dra::optimalSpill(Function &F, unsigned K,
-                                     uint64_t NodeBudget) {
+                                     uint64_t NodeBudget,
+                                     std::vector<StageSpan> *SubSpans) {
   OptimalSpillResult Result;
   std::vector<uint8_t> IsSpillTemp(F.NumRegs, 0);
 
   const unsigned MaxRounds = 12;
   while (Result.Rounds < MaxRounds) {
+    ScopedSpan RoundSpan(SubSpans, "ospill.round");
     ++Result.Rounds;
     F.recomputeCFG();
     Liveness LV = Liveness::compute(F);
@@ -108,6 +110,8 @@ OptimalSpillResult dra::optimalSpill(Function &F, unsigned K,
       Problem.Constraints.push_back(std::move(Con));
     }
 
+    Result.ILPConstraints += Problem.Constraints.size();
+    Result.ILPVariables += RegOfVar.size();
     CoverSolution Sol = solveCover(Problem, NodeBudget);
     Result.ILPOptimal &= Sol.Optimal;
 

@@ -23,9 +23,11 @@
 #ifndef DRA_CORE_OPTIMALSPILL_H
 #define DRA_CORE_OPTIMALSPILL_H
 
+#include "driver/Metrics.h"
 #include "ir/Function.h"
 
 #include <cstdint>
+#include <vector>
 
 namespace dra {
 
@@ -37,13 +39,22 @@ struct OptimalSpillResult {
   unsigned Rounds = 0;
   /// True if every ILP solve proved optimality within its node budget.
   bool ILPOptimal = true;
+  /// Covering constraints (deduplicated over-pressure points) and 0-1
+  /// variables handed to the ILP solver, summed over all rounds — the
+  /// problem size the branch-and-bound search actually faced.
+  size_t ILPConstraints = 0;
+  size_t ILPVariables = 0;
 };
 
 /// Inserts spill code into \p F until no program point has more than \p K
 /// simultaneously-live registers. Minimizes the frequency-weighted spill
 /// cost per round via the covering ILP.
+///
+/// When \p SubSpans is non-null, one Depth-1 "ospill.round" span is
+/// recorded per refinement round (null = no clock reads).
 OptimalSpillResult optimalSpill(Function &F, unsigned K,
-                                uint64_t NodeBudget = 20000);
+                                uint64_t NodeBudget = 20000,
+                                std::vector<StageSpan> *SubSpans = nullptr);
 
 } // namespace dra
 

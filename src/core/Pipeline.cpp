@@ -6,8 +6,6 @@
 #include "core/DiffSelectHook.h"
 #include "core/OperandSwap.h"
 
-#include <chrono>
-
 using namespace dra;
 
 const char *dra::schemeName(Scheme S) {
@@ -29,25 +27,16 @@ const char *dra::schemeName(Scheme S) {
 
 namespace {
 
-uint64_t steadyNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-
-/// Appends a StageSpan covering its own lifetime to the result. The cost
-/// is two clock reads per stage — noise next to any allocation stage.
+/// Depth-0 stage span over the result's span list (see driver/Metrics.h).
+/// The cost is two clock reads per stage — noise next to any allocation
+/// stage.
 class StageTimer {
 public:
   StageTimer(PipelineResult &R, const char *Stage)
-      : R(R), Stage(Stage), Begin(steadyNs()) {}
-  ~StageTimer() { R.Spans.push_back({Stage, Begin, steadyNs()}); }
+      : Span(&R.Spans, Stage, /*Depth=*/0) {}
 
 private:
-  PipelineResult &R;
-  const char *Stage;
-  uint64_t Begin;
+  ScopedSpan Span;
 };
 
 /// Fills the final static counts of \p R from R.F.
@@ -95,24 +84,28 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   switch (C.S) {
   case Scheme::Baseline: {
     StageTimer T(R, "alloc");
-    R.Alloc = allocateGraphColoring(R.F, C.BaselineK);
+    R.Alloc = allocateGraphColoring(R.F, C.BaselineK, nullptr,
+                                    /*MaxIterations=*/60, nullptr, &R.Spans);
     break;
   }
   case Scheme::OSpill: {
     {
       StageTimer T(R, "ospill");
-      R.OSpill = optimalSpill(R.F, C.BaselineK, C.ILPNodeBudget);
+      R.OSpill = optimalSpill(R.F, C.BaselineK, C.ILPNodeBudget, &R.Spans);
     }
     StageTimer T(R, "coalesce");
     CoalesceOptions CO = C.Coalesce;
     CO.DiffAware = false;
-    R.Coalesce = coalesceAndColor(R.F, directConfig(C.BaselineK), CO);
+    R.Coalesce = coalesceAndColor(R.F, directConfig(C.BaselineK), CO,
+                                  &R.Spans);
     break;
   }
   case Scheme::Remap: {
     {
       StageTimer T(R, "alloc");
-      R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN);
+      R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN, nullptr,
+                                      /*MaxIterations=*/60, nullptr,
+                                      &R.Spans);
     }
     StageTimer T(R, "remap");
     R.Remap = remapFunction(R.F, C.Enc, C.Remap);
@@ -125,7 +118,8 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
     {
       StageTimer T(R, "alloc");
       R.Alloc = allocateGraphColoring(R.F, C.Enc.RegN, &Hook,
-                                      /*MaxIterations=*/60, &ColorOf);
+                                      /*MaxIterations=*/60, &ColorOf,
+                                      &R.Spans);
     }
     // Refine the select-stage assignment at live-range granularity before
     // rewriting (see core/Recolor.h), then run the register-level
@@ -146,13 +140,13 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   case Scheme::Coalesce: {
     {
       StageTimer T(R, "ospill");
-      R.OSpill = optimalSpill(R.F, C.Enc.RegN, C.ILPNodeBudget);
+      R.OSpill = optimalSpill(R.F, C.Enc.RegN, C.ILPNodeBudget, &R.Spans);
     }
     {
       StageTimer T(R, "coalesce");
       CoalesceOptions CO = C.Coalesce;
       CO.DiffAware = true;
-      R.Coalesce = coalesceAndColor(R.F, C.Enc, CO);
+      R.Coalesce = coalesceAndColor(R.F, C.Enc, CO, &R.Spans);
     }
     if (C.RemapPostPass) {
       StageTimer T(R, "remap");
@@ -176,9 +170,107 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   return R;
 }
 
-} // namespace
+/// Flushes the result's locally-accumulated event counters into \p M,
+/// labeled {scheme, function}. Satellite of the zero-cost rule: all the
+/// counters below were maintained as plain integers inside the
+/// algorithms; the only registry traffic is this one flush per run.
+void flushPipelineMetrics(MetricsRegistry &M, const PipelineConfig &C,
+                          const PipelineResult &R, const Function &Src) {
+  MetricLabels L{{"scheme", schemeName(C.S)},
+                 {"function", Src.Name.empty() ? "<anon>" : Src.Name}};
+  auto Count = [&](const char *Name, double V) { M.count(Name, V, L); };
+  auto Gauge = [&](const char *Name, double V) { M.gauge(Name, V, L); };
 
-PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
+  // Whole-pipeline outcome.
+  Count("pipeline.functions", 1);
+  Count("pipeline.insts", static_cast<double>(R.NumInsts));
+  Count("pipeline.spill_insts", static_cast<double>(R.SpillInsts));
+  Count("pipeline.set_last_regs", static_cast<double>(R.SetLastRegs));
+  Count("pipeline.code_bytes", static_cast<double>(R.CodeBytes));
+  Count("pipeline.adaptive_fallbacks", R.AdaptiveFellBack ? 1 : 0);
+
+  // Iterated register coalescing (Baseline/Remap/Select arms).
+  Count("alloc.rounds", R.Alloc.Iterations);
+  Count("alloc.spilled_ranges", static_cast<double>(R.Alloc.SpilledRanges));
+  Count("alloc.spill_loads", static_cast<double>(R.Alloc.SpillLoads));
+  Count("alloc.spill_stores", static_cast<double>(R.Alloc.SpillStores));
+  Count("alloc.moves_removed", static_cast<double>(R.Alloc.MovesRemoved));
+  Count("alloc.moves_remaining",
+        static_cast<double>(R.Alloc.MovesRemaining));
+  Count("alloc.simplify_steps", static_cast<double>(R.Alloc.SimplifySteps));
+  Count("alloc.freeze_steps", static_cast<double>(R.Alloc.FreezeSteps));
+  Count("alloc.spill_selects", static_cast<double>(R.Alloc.SpillSelects));
+  Count("alloc.coalesce_briggs",
+        static_cast<double>(R.Alloc.CoalesceBriggs));
+  Count("alloc.coalesce_george",
+        static_cast<double>(R.Alloc.CoalesceGeorge));
+  Count("alloc.coalesce_constrained",
+        static_cast<double>(R.Alloc.CoalesceConstrained));
+  Count("alloc.coalesce_deferred",
+        static_cast<double>(R.Alloc.CoalesceDeferred));
+
+  // Optimal spilling (OSpill/Coalesce arms).
+  Count("ospill.rounds", R.OSpill.Rounds);
+  Count("ospill.spilled_ranges",
+        static_cast<double>(R.OSpill.SpilledRanges));
+  Count("ospill.ilp_constraints",
+        static_cast<double>(R.OSpill.ILPConstraints));
+  Count("ospill.ilp_variables",
+        static_cast<double>(R.OSpill.ILPVariables));
+  Count("ospill.ilp_suboptimal", R.OSpill.ILPOptimal ? 0 : 1);
+
+  // Differential coalesce (oracle-driven search).
+  Count("coalesce.steps", R.Coalesce.Steps);
+  Count("coalesce.moves_coalesced",
+        static_cast<double>(R.Coalesce.MovesCoalesced));
+  Count("coalesce.moves_remaining",
+        static_cast<double>(R.Coalesce.MovesRemaining));
+  Count("coalesce.extra_spilled_ranges",
+        static_cast<double>(R.Coalesce.ExtraSpilledRanges));
+  Count("coalesce.oracle_calls",
+        static_cast<double>(R.Coalesce.OracleCalls));
+  Count("coalesce.probes", static_cast<double>(R.Coalesce.ProbesAttempted));
+  Count("coalesce.probes_uncolorable",
+        static_cast<double>(R.Coalesce.ProbesUncolorable));
+  Count("coalesce.spill_restarts", R.Coalesce.SpillRestarts);
+  Gauge("coalesce.final_adj_cost", R.Coalesce.FinalAdjCost);
+
+  // Recoloring descent (Select/Coalesce arms).
+  Count("recolor.sweeps", R.Recolor.Sweeps);
+  Count("recolor.changes", static_cast<double>(R.Recolor.Changes));
+  Count("recolor.clusters", static_cast<double>(R.Recolor.Clusters));
+  Count("recolor.candidate_evals",
+        static_cast<double>(R.Recolor.CandidateEvals));
+  Gauge("recolor.cost_before", R.Recolor.CostBefore);
+  Gauge("recolor.cost_after", R.Recolor.CostAfter);
+
+  // Remapping post-pass.
+  Count("remap.starts", R.Remap.StartsRun);
+  Count("remap.swaps_evaluated",
+        static_cast<double>(R.Remap.SwapsEvaluated));
+  Count("remap.swaps_applied", static_cast<double>(R.Remap.SwapsApplied));
+  Count("remap.exhaustive", R.Remap.Exhaustive ? 1 : 0);
+  Gauge("remap.cost_before", R.Remap.CostBefore);
+  Gauge("remap.cost_after", R.Remap.CostAfter);
+
+  // Differential encoder repairs (satellite: EncodeStats wired through).
+  Count("encode.set_last_join", static_cast<double>(R.Enc.SetLastJoin));
+  Count("encode.set_last_range", static_cast<double>(R.Enc.SetLastRange));
+  Count("encode.fields", static_cast<double>(R.Enc.NumFields));
+  Count("encode.field_bits", static_cast<double>(R.Enc.FieldBits));
+
+  // Per-stage wall clock, one histogram series per (scheme, stage); the
+  // function label is dropped to bound series cardinality.
+  for (const StageSpan &S : R.Spans) {
+    MetricLabels SL{{"scheme", schemeName(C.S)}, {"stage", S.Stage}};
+    M.observe(S.Depth == 0 ? "stage_us" : "substage_us",
+              static_cast<double>(S.EndNs - S.BeginNs) / 1000.0, SL);
+  }
+}
+
+/// The pipeline proper (including the adaptive fallback), minus the
+/// metrics flush.
+PipelineResult runPipelineImpl(const Function &Src, const PipelineConfig &C) {
   PipelineResult R = runOnce(Src, C);
   if (!C.AdaptiveEnable || C.S == Scheme::Baseline || C.S == Scheme::OSpill)
     return R;
@@ -205,4 +297,13 @@ PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
   // spans ahead of the baseline's so telemetry accounts for all of it.
   Base.Spans.insert(Base.Spans.begin(), R.Spans.begin(), R.Spans.end());
   return Base;
+}
+
+} // namespace
+
+PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
+  PipelineResult R = runPipelineImpl(Src, C);
+  if (C.Metrics)
+    flushPipelineMetrics(*C.Metrics, C, R, Src);
+  return R;
 }

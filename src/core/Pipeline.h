@@ -34,6 +34,7 @@
 #include "core/OptimalSpill.h"
 #include "core/Recolor.h"
 #include "core/Remap.h"
+#include "driver/Metrics.h"
 #include "ir/Function.h"
 #include "regalloc/GraphColoring.h"
 
@@ -69,16 +70,16 @@ struct PipelineConfig {
   CoalesceOptions Coalesce;
   /// ILP node budget (OSpill/Coalesce schemes).
   uint64_t ILPNodeBudget = 20000;
+  /// When non-null, runPipeline flushes allocator-deep counters (worklist
+  /// rounds, coalesce-test outcomes, oracle calls, set_last_reg repairs,
+  /// per-stage durations, ...) into this registry, labeled with
+  /// {scheme, function}. Null (the default) is the zero-cost fast path:
+  /// no registry locking and no per-round clock reads.
+  MetricsRegistry *Metrics = nullptr;
 };
 
-/// One timed pipeline stage. Timestamps are absolute steady-clock
-/// nanoseconds (the driver's Telemetry layer rebases them onto its own
-/// timeline); Stage points at a static string ("alloc", "remap", ...).
-struct StageSpan {
-  const char *Stage = "";
-  uint64_t BeginNs = 0;
-  uint64_t EndNs = 0;
-};
+// StageSpan (one timed pipeline stage or nested sub-phase) lives in
+// driver/Metrics.h so the algorithm layers can emit sub-spans directly.
 
 /// Everything the benchmarks need to know about one pipeline run.
 struct PipelineResult {
@@ -97,9 +98,13 @@ struct PipelineResult {
   RecolorStats Recolor;
   EncodeStats Enc;
 
-  /// Wall-clock record of every stage that ran, in execution order. When
-  /// the adaptive mode falls back to the baseline, the spans of both runs
-  /// are kept (the differential attempt is real compile time).
+  /// Wall-clock record of every stage that ran. Depth-0 spans are the
+  /// pipeline stages; Depth-1 spans are nested sub-phases (IRC rounds,
+  /// ILP refinement rounds, coalesce restarts) recorded only when
+  /// PipelineConfig::Metrics is set, and appear *before* their enclosing
+  /// stage span (inner scopes close first). When the adaptive mode falls
+  /// back to the baseline, the spans of both runs are kept (the
+  /// differential attempt is real compile time).
   std::vector<StageSpan> Spans;
 
   // Final static counts.

@@ -73,6 +73,7 @@ RecolorStats dra::recolorColoring(const Function &F, const EncodingConfig &C,
   auto ColorOfVReg = [&](RegId V) {
     return ColorOf[V] == NoReg ? -1 : static_cast<int>(ColorOf[V]);
   };
+  Stats.Clusters = Clusters.size();
 
   for (Stats.Sweeps = 0; Stats.Sweeps != O.MaxSweeps; ++Stats.Sweeps) {
     bool Changed = false;
@@ -87,6 +88,7 @@ RecolorStats dra::recolorColoring(const Function &F, const EncodingConfig &C,
           if (UF.find(N) != Root && ColorOf[N] != NoReg)
             Used[ColorOf[N]] = 1;
       // Cost per candidate; keep the current color on ties.
+      ++Stats.CandidateEvals;
       double CurCost =
           selectCost(AG, C, Group, Current, ColorOfVReg);
       if (CurCost == 0)
@@ -96,6 +98,7 @@ RecolorStats dra::recolorColoring(const Function &F, const EncodingConfig &C,
       for (unsigned Color = 0; Color != K; ++Color) {
         if (Used[Color] || Color == Current)
           continue;
+        ++Stats.CandidateEvals;
         double Cost = selectCost(AG, C, Group, Color, ColorOfVReg);
         if (Cost < BestCost - 1e-9) {
           BestCost = Cost;

@@ -42,6 +42,11 @@ struct RecolorStats {
   unsigned Sweeps = 0;
   /// Cluster recolorings applied.
   size_t Changes = 0;
+  /// Move-tied clusters considered (the search space size).
+  size_t Clusters = 0;
+  /// Candidate color evaluations (selectCost calls) across all sweeps —
+  /// the recoloring descent's unit of work.
+  size_t CandidateEvals = 0;
 };
 
 /// Improves \p ColorOf (a complete vreg -> color map for \p F, which must

@@ -90,7 +90,8 @@ double incidentCost(const AdjacencyGraph &G, const EncodingConfig &C,
 /// change), keeping the descent O(swaps * degree) per iteration.
 double greedyDescent(const AdjacencyGraph &G, const EncodingConfig &C,
                      const std::vector<RegId> &Movable,
-                     std::vector<RegId> &Perm) {
+                     std::vector<RegId> &Perm, size_t &SwapsEvaluated,
+                     size_t &SwapsApplied) {
   double Cost = permCost(G, C, Perm);
   for (;;) {
     double BestDelta = 0;
@@ -98,6 +99,7 @@ double greedyDescent(const AdjacencyGraph &G, const EncodingConfig &C,
     for (size_t I = 0; I + 1 < Movable.size(); ++I) {
       for (size_t J = I + 1; J < Movable.size(); ++J) {
         RegId U = Movable[I], V = Movable[J];
+        ++SwapsEvaluated;
         double Before = incidentCost(G, C, Perm, U, V);
         std::swap(Perm[U], Perm[V]);
         double After = incidentCost(G, C, Perm, U, V);
@@ -113,6 +115,7 @@ double greedyDescent(const AdjacencyGraph &G, const EncodingConfig &C,
     if (BestDelta >= 0)
       return Cost; // Local minimum.
     std::swap(Perm[Movable[BestI]], Perm[Movable[BestJ]]);
+    ++SwapsApplied;
     Cost += BestDelta;
   }
 }
@@ -144,7 +147,9 @@ RemapResult greedySearch(const AdjacencyGraph &G, const EncodingConfig &C,
       for (size_t I = 0; I != Movable.size(); ++I)
         Perm[Movable[I]] = Targets[I];
     }
-    double Cost = greedyDescent(G, C, Movable, Perm);
+    ++Best.StartsRun;
+    double Cost = greedyDescent(G, C, Movable, Perm, Best.SwapsEvaluated,
+                                Best.SwapsApplied);
     if (Cost < Best.CostAfter) {
       Best.CostAfter = Cost;
       Best.Perm = std::move(Perm);

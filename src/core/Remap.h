@@ -61,6 +61,12 @@ struct RemapResult {
   std::vector<RegId> Perm;
   /// True if the exhaustive search ran (result provably optimal).
   bool Exhaustive = false;
+  /// Greedy-search effort: restarts actually run (early exit on a zero-
+  /// cost permutation), pairwise swaps evaluated across all descents, and
+  /// swaps applied (descent steps taken). All zero for the exhaustive arm.
+  unsigned StartsRun = 0;
+  size_t SwapsEvaluated = 0;
+  size_t SwapsApplied = 0;
 };
 
 /// Finds a cost-minimizing permutation for the register-level adjacency

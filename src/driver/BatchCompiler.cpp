@@ -13,7 +13,10 @@ BatchCompiler::BatchCompiler(const BatchOptions &O) : Opts(O), Pool(O.Jobs) {}
 namespace {
 
 /// Records the telemetry of one finished task: the enclosing "task" span,
-/// one "stage" span per pipeline stage, and the batch counters.
+/// one "stage" span per pipeline stage (Depth-0), one "substage" span per
+/// nested algorithm round (Depth > 0), and the batch counters. Substages
+/// keep their own category so Telemetry::stageStats("stage") still
+/// aggregates top-level stages only.
 void recordTask(Telemetry &T, const Function &Src, size_t Index,
                 const PipelineResult &R, uint64_t TaskBeginNs,
                 uint64_t TaskEndNs) {
@@ -35,7 +38,7 @@ void recordTask(Telemetry &T, const Function &Src, size_t Index,
   for (const StageSpan &S : R.Spans) {
     TraceSpan E;
     E.Name = S.Stage;
-    E.Category = "stage";
+    E.Category = S.Depth == 0 ? "stage" : "substage";
     E.BeginUs = T.toRelativeUs(S.BeginNs);
     E.DurUs = T.toRelativeUs(S.EndNs) - E.BeginUs;
     E.Tid = Tid;

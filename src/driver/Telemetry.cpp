@@ -3,17 +3,10 @@
 #include "driver/Telemetry.h"
 
 #include <algorithm>
-#include <chrono>
-#include <cstdio>
 
 using namespace dra;
 
-uint64_t Telemetry::steadyNowNs() {
-  return static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
+uint64_t Telemetry::steadyNowNs() { return steadyClockNs(); }
 
 Telemetry::Telemetry() : OriginNs(steadyNowNs()) {}
 
@@ -63,45 +56,14 @@ Telemetry::stageStats(const char *Category) const {
   return Stats;
 }
 
-std::string dra::jsonEscape(const std::string &S) {
-  std::string Out;
-  Out.reserve(S.size());
-  for (char C : S) {
-    switch (C) {
-    case '"':
-      Out += "\\\"";
-      break;
-    case '\\':
-      Out += "\\\\";
-      break;
-    case '\n':
-      Out += "\\n";
-      break;
-    case '\t':
-      Out += "\\t";
-      break;
-    case '\r':
-      Out += "\\r";
-      break;
-    default:
-      if (static_cast<unsigned char>(C) < 0x20) {
-        char Buf[8];
-        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
-        Out += Buf;
-      } else {
-        Out += C;
-      }
-    }
-  }
-  return Out;
-}
-
 void Telemetry::writeJson(std::ostream &OS) const {
   OS << "{\n  \"counters\": {";
   bool First = true;
   for (const auto &[Name, Value] : counters()) {
-    OS << (First ? "" : ",") << "\n    \"" << jsonEscape(Name)
-       << "\": " << Value;
+    // writeJsonNumber, not operator<<: default stream precision (6
+    // significant digits) silently rounds counters past ~1e6.
+    OS << (First ? "" : ",") << "\n    \"" << jsonEscape(Name) << "\": ";
+    writeJsonNumber(OS, Value);
     First = false;
   }
   OS << "\n  },\n  \"stages\": {";
@@ -113,8 +75,9 @@ void Telemetry::writeJson(std::ostream &OS) const {
                             static_cast<double>(S.Count);
     OS << (First ? "" : ",") << "\n    \"" << jsonEscape(Name)
        << "\": {\"count\": " << S.Count << ", \"total_us\": " << S.TotalUs
-       << ", \"mean_us\": " << Mean << ", \"min_us\": " << S.MinUs
-       << ", \"max_us\": " << S.MaxUs << "}";
+       << ", \"mean_us\": ";
+    writeJsonNumber(OS, Mean);
+    OS << ", \"min_us\": " << S.MinUs << ", \"max_us\": " << S.MaxUs << "}";
     First = false;
   }
   OS << "\n  }\n}\n";
@@ -134,8 +97,8 @@ void Telemetry::writeChromeTrace(std::ostream &OS) const {
       OS << ", \"args\": {";
       bool FirstArg = true;
       for (const auto &[Key, Value] : E.Args) {
-        OS << (FirstArg ? "" : ", ") << "\"" << jsonEscape(Key)
-           << "\": " << Value;
+        OS << (FirstArg ? "" : ", ") << "\"" << jsonEscape(Key) << "\": ";
+        writeJsonNumber(OS, Value);
         FirstArg = false;
       }
       OS << "}";

@@ -28,6 +28,8 @@
 #ifndef DRA_DRIVER_TELEMETRY_H
 #define DRA_DRIVER_TELEMETRY_H
 
+#include "driver/Metrics.h"
+
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -101,8 +103,7 @@ private:
   std::map<std::string, double> Counters;
 };
 
-/// Escapes \p S for inclusion in a JSON string literal.
-std::string jsonEscape(const std::string &S);
+// jsonEscape lives in driver/Metrics.h (shared with the metrics writer).
 
 } // namespace dra
 

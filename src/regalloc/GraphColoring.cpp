@@ -20,8 +20,8 @@ namespace {
 class IrcRound {
 public:
   IrcRound(Function &F, unsigned K, SelectHook *Hook,
-           const std::vector<uint8_t> &IsSpillTemp)
-      : F(F), K(K), Hook(Hook), IsSpillTemp(IsSpillTemp) {}
+           const std::vector<uint8_t> &IsSpillTemp, AllocResult &Stats)
+      : F(F), K(K), Hook(Hook), IsSpillTemp(IsSpillTemp), Stats(Stats) {}
 
   /// Runs one round. Returns the set of actual-spill virtual registers
   /// (empty means a complete coloring was produced in ColorOf).
@@ -32,6 +32,7 @@ private:
   unsigned K;
   SelectHook *Hook;
   const std::vector<uint8_t> &IsSpillTemp;
+  AllocResult &Stats; // shared event counters, summed across rounds
 
   uint32_t NumNodes = 0;
 
@@ -205,6 +206,7 @@ std::vector<uint32_t> IrcRound::nodeMoves(RegId N) const {
 bool IrcRound::moveRelated(RegId N) const { return !nodeMoves(N).empty(); }
 
 void IrcRound::simplify() {
+  ++Stats.SimplifySteps;
   RegId N = *SimplifyWorklist.begin();
   SimplifyWorklist.erase(SimplifyWorklist.begin());
   SelectStack.push_back(N);
@@ -278,12 +280,14 @@ void IrcRound::coalesce() {
     return;
   }
   if (AdjSet.count(edgeKey(U, V)) != 0) {
+    ++Stats.CoalesceConstrained;
     MoveStates[MoveIdx] = MoveState::Constrained;
     addWorkList(U);
     addWorkList(V);
     return;
   }
   if (briggsConservative(U, V)) {
+    ++Stats.CoalesceBriggs;
     MoveStates[MoveIdx] = MoveState::Coalesced;
     combine(U, V);
     addWorkList(U);
@@ -294,11 +298,13 @@ void IrcRound::coalesce() {
   for (RegId T : adjacent(V))
     GeorgeAll &= georgeOk(T, U);
   if (GeorgeAll) {
+    ++Stats.CoalesceGeorge;
     MoveStates[MoveIdx] = MoveState::Coalesced;
     combine(U, V);
     addWorkList(U);
     return;
   }
+  ++Stats.CoalesceDeferred;
   MoveStates[MoveIdx] = MoveState::Active;
   ActiveMoves.insert(MoveIdx);
 }
@@ -331,6 +337,7 @@ void IrcRound::combine(RegId U, RegId V) {
 }
 
 void IrcRound::freeze() {
+  ++Stats.FreezeSteps;
   RegId U = *FreezeWorklist.begin();
   FreezeWorklist.erase(FreezeWorklist.begin());
   SimplifyWorklist.insert(U);
@@ -355,6 +362,7 @@ void IrcRound::freezeMoves(RegId U) {
 }
 
 void IrcRound::selectSpill() {
+  ++Stats.SpillSelects;
   // Chaitin heuristic: lowest cost / degree. Spill temporaries have
   // infinite cost so they are chosen only when nothing else remains.
   RegId BestNode = NoReg;
@@ -529,7 +537,8 @@ void dra::rewriteToPhysical(Function &F, const std::vector<RegId> &ColorOf,
 AllocResult dra::allocateGraphColoring(Function &F, unsigned K,
                                        SelectHook *Hook,
                                        unsigned MaxIterations,
-                                       std::vector<RegId> *ColorOut) {
+                                       std::vector<RegId> *ColorOut,
+                                       std::vector<StageSpan> *SubSpans) {
   assert(K >= 4 && "need at least four physical registers");
   AllocResult Result;
   std::vector<uint8_t> IsSpillTemp(F.NumRegs, 0);
@@ -540,7 +549,8 @@ AllocResult dra::allocateGraphColoring(Function &F, unsigned K,
       Result.Success = false;
       return Result;
     }
-    IrcRound Round(F, K, Hook, IsSpillTemp);
+    ScopedSpan Span(SubSpans, "alloc.round");
+    IrcRound Round(F, K, Hook, IsSpillTemp, Result);
     std::vector<RegId> Spilled = Round.run(ColorOf);
     if (Spilled.empty())
       break;

@@ -20,6 +20,7 @@
 #ifndef DRA_REGALLOC_GRAPHCOLORING_H
 #define DRA_REGALLOC_GRAPHCOLORING_H
 
+#include "driver/Metrics.h"
 #include "ir/Function.h"
 #include "regalloc/SelectHook.h"
 
@@ -43,6 +44,25 @@ struct AllocResult {
   size_t MovesRemoved = 0;
   /// Mov instructions remaining in the final code.
   size_t MovesRemaining = 0;
+
+  // Worklist-event counts, summed over all rounds. Maintained as plain
+  // integer increments inside the worklist loop (no registry access), so
+  // they are always on; runPipeline flushes them to a MetricsRegistry
+  // when one is configured.
+  /// Nodes removed by the simplify step.
+  size_t SimplifySteps = 0;
+  /// Moves conservatively coalesced by the Briggs test.
+  size_t CoalesceBriggs = 0;
+  /// Moves coalesced by the George fallback test after Briggs declined.
+  size_t CoalesceGeorge = 0;
+  /// Moves discarded because their endpoints interfere.
+  size_t CoalesceConstrained = 0;
+  /// Moves deferred to the active list (both tests declined).
+  size_t CoalesceDeferred = 0;
+  /// Freeze steps (a move-related node gave up its moves).
+  size_t FreezeSteps = 0;
+  /// Potential-spill selections (Chaitin cost/degree heuristic).
+  size_t SpillSelects = 0;
 };
 
 /// Allocates \p F onto \p K physical registers, mutating it in place:
@@ -56,10 +76,14 @@ struct AllocResult {
 /// in virtual-register form (with spill code inserted) and *ColorOut holds
 /// the complete vreg -> color map, so post-coloring passes (differential
 /// recoloring) can refine the assignment before rewriteToPhysical().
+///
+/// When \p SubSpans is non-null, one Depth-1 "alloc.round" span is
+/// recorded per build/color/spill round (null = no clock reads).
 AllocResult allocateGraphColoring(Function &F, unsigned K,
                                   SelectHook *Hook = nullptr,
                                   unsigned MaxIterations = 60,
-                                  std::vector<RegId> *ColorOut = nullptr);
+                                  std::vector<RegId> *ColorOut = nullptr,
+                                  std::vector<StageSpan> *SubSpans = nullptr);
 
 /// Rewrites every register operand of \p F through \p ColorOf (a complete
 /// vreg -> color map), deletes moves that became identities (counted in

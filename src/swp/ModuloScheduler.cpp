@@ -216,9 +216,13 @@ ModuloSchedule dra::scheduleLoop(const LoopDdg &L, const VliwMachine &M,
     for (const DdgOp &Op : L.Ops)
       MaxII += Op.Latency;
   }
+  unsigned Attempts = 0;
   for (unsigned II = Start; II <= MaxII; ++II) {
-    if (auto S = scheduleAtII(L, M, II))
+    ++Attempts;
+    if (auto S = scheduleAtII(L, M, II)) {
+      S->Attempts = Attempts;
       return *S;
+    }
   }
   // Fully sequential fallback: II = sum of latencies always schedules.
   unsigned SeqII = 1;
@@ -226,6 +230,7 @@ ModuloSchedule dra::scheduleLoop(const LoopDdg &L, const VliwMachine &M,
     SeqII += Op.Latency;
   auto S = scheduleAtII(L, M, SeqII, 64);
   assert(S && "sequential II must schedule");
+  S->Attempts = Attempts + 1;
   return *S;
 }
 

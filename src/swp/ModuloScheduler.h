@@ -28,6 +28,11 @@ namespace dra {
 struct ModuloSchedule {
   unsigned II = 0;
   std::vector<unsigned> TimeOf;
+  /// Candidate IIs scheduleLoop tried before this one succeeded
+  /// (including it); the paper's "II attempts" search-effort metric.
+  /// 1 means minII scheduled immediately; 0 for a schedule not produced
+  /// by scheduleLoop.
+  unsigned Attempts = 0;
   /// Number of kernel stages: ceil((max time + 1) / II).
   unsigned stageCount() const;
 };

@@ -196,6 +196,8 @@ SwpResult dra::pipelineLoop(LoopDdg L, const VliwMachine &M,
   for (size_t Round = 0;; ++Round) {
     R.MII = minII(L, M);
     S = scheduleLoop(L, M);
+    R.IIAttempts += S.Attempts;
+    ++R.SchedRounds;
     RR = computeRegRequirement(L, S);
     A = allocateKernel(L, S, RR);
     if (A.RegsUsed <= RegLimit || Round >= MaxSpillRounds)

@@ -49,6 +49,11 @@ struct SwpResult {
   /// allocated kernel plus one loop-entry repair (0 when differential
   /// encoding is off).
   size_t SetLastRegs = 0;
+  /// Candidate IIs the iterative modulo scheduler tried, summed over all
+  /// spill rounds (each round reschedules the rewritten DDG).
+  unsigned IIAttempts = 0;
+  /// Schedule/allocate rounds run (1 + spill rounds that rescheduled).
+  unsigned SchedRounds = 0;
 };
 
 /// Pipelines \p L (by value; spilling rewrites the DDG) for a machine with

@@ -1,0 +1,253 @@
+//===- tests/metrics_test.cpp - Metrics registry tests --------------------===//
+
+#include "driver/Metrics.h"
+
+#include "gtest/gtest.h"
+
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+using namespace dra;
+
+namespace {
+
+TEST(MetricLabels, CanonicalOrderAndKey) {
+  MetricLabels L{{"scheme", "coalesce"}, {"function", "poly"}};
+  ASSERT_EQ(L.entries().size(), 2u);
+  EXPECT_EQ(L.entries()[0].first, "function"); // sorted, not insertion order
+  EXPECT_EQ(L.key(), "function=poly,scheme=coalesce");
+
+  L.set("scheme", "remap"); // last writer wins
+  EXPECT_EQ(L.key(), "function=poly,scheme=remap");
+  EXPECT_EQ(MetricLabels{}.key(), "");
+}
+
+TEST(MetricsRegistry, CountersAccumulatePerLabelSet) {
+  MetricsRegistry Reg;
+  EXPECT_TRUE(Reg.empty());
+  Reg.count("x", 2, {{"scheme", "baseline"}});
+  Reg.count("x", 3, {{"scheme", "baseline"}});
+  Reg.count("x", 7, {{"scheme", "remap"}});
+  Reg.count("a", 1);
+  EXPECT_FALSE(Reg.empty());
+
+  auto Counters = Reg.counters();
+  ASSERT_EQ(Counters.size(), 3u);
+  // Sorted by (name, label key).
+  EXPECT_EQ(Counters[0].Name, "a");
+  EXPECT_EQ(Counters[0].Value, 1);
+  EXPECT_EQ(Counters[1].Name, "x");
+  EXPECT_EQ(Counters[1].Labels.key(), "scheme=baseline");
+  EXPECT_EQ(Counters[1].Value, 5);
+  EXPECT_EQ(Counters[2].Labels.key(), "scheme=remap");
+  EXPECT_EQ(Counters[2].Value, 7);
+}
+
+TEST(MetricsRegistry, GaugesLastWriterWins) {
+  MetricsRegistry Reg;
+  Reg.gauge("g", 1.5);
+  Reg.gauge("g", 2.5);
+  auto Gauges = Reg.gauges();
+  ASSERT_EQ(Gauges.size(), 1u);
+  EXPECT_EQ(Gauges[0].Value, 2.5);
+}
+
+TEST(MetricsRegistry, ConcurrentCountsAreExact) {
+  MetricsRegistry Reg;
+  constexpr int Threads = 8, PerThread = 5000;
+  std::vector<std::thread> Pool;
+  for (int T = 0; T != Threads; ++T)
+    Pool.emplace_back([&Reg] {
+      for (int I = 0; I != PerThread; ++I) {
+        Reg.count("hits", 1, {{"scheme", "coalesce"}});
+        Reg.observe("lat", 1.0);
+      }
+    });
+  for (std::thread &T : Pool)
+    T.join();
+
+  auto Counters = Reg.counters();
+  ASSERT_EQ(Counters.size(), 1u);
+  // Integer-valued doubles add exactly, so the result is deterministic
+  // regardless of interleaving.
+  EXPECT_EQ(Counters[0].Value, Threads * PerThread);
+  auto Hists = Reg.histograms();
+  ASSERT_EQ(Hists.size(), 1u);
+  EXPECT_EQ(Hists[0].Count, static_cast<size_t>(Threads * PerThread));
+  EXPECT_EQ(Hists[0].Sum, Threads * PerThread);
+}
+
+TEST(MetricsRegistry, HistogramBucketEdges) {
+  MetricsRegistry Reg;
+  Reg.defineBuckets("h", {1, 10, 100});
+  // A value equal to an upper bound belongs to that bound's bucket
+  // (half-open lower side: (prev, bound]).
+  Reg.observe("h", 1);    // bucket le=1
+  Reg.observe("h", 1.5);  // bucket le=10
+  Reg.observe("h", 10);   // bucket le=10
+  Reg.observe("h", 100);  // bucket le=100
+  Reg.observe("h", 101);  // +inf overflow
+  Reg.observe("h", -5);   // below everything -> first bucket
+
+  auto Hists = Reg.histograms();
+  ASSERT_EQ(Hists.size(), 1u);
+  const auto &H = Hists[0];
+  ASSERT_EQ(H.UpperBounds.size(), 3u);
+  ASSERT_EQ(H.BucketCounts.size(), 4u);
+  EXPECT_EQ(H.BucketCounts[0], 2u); // 1 and -5
+  EXPECT_EQ(H.BucketCounts[1], 2u); // 1.5 and 10
+  EXPECT_EQ(H.BucketCounts[2], 1u); // 100
+  EXPECT_EQ(H.BucketCounts[3], 1u); // 101
+  EXPECT_EQ(H.Count, 6u);
+  EXPECT_EQ(H.Min, -5);
+  EXPECT_EQ(H.Max, 101);
+}
+
+TEST(MetricsRegistry, HistogramPercentiles) {
+  MetricsRegistry Reg;
+  for (int I = 1; I <= 100; ++I)
+    Reg.observe("p", I);
+  auto Hists = Reg.histograms();
+  ASSERT_EQ(Hists.size(), 1u);
+  const auto &H = Hists[0];
+  // adt/Statistics linear interpolation over 1..100.
+  EXPECT_NEAR(H.P50, 50.5, 1e-9);
+  EXPECT_NEAR(H.P90, 90.1, 1e-9);
+  EXPECT_NEAR(H.P99, 99.01, 1e-9);
+  EXPECT_EQ(H.Sum, 5050);
+
+  // Single-sample histogram: all percentiles collapse onto the sample.
+  MetricsRegistry One;
+  One.observe("p", 42);
+  const auto H1 = One.histograms().at(0);
+  EXPECT_EQ(H1.P50, 42);
+  EXPECT_EQ(H1.P99, 42);
+  EXPECT_EQ(H1.Min, 42);
+  EXPECT_EQ(H1.Max, 42);
+}
+
+TEST(JsonEscape, QuotesBackslashesControlChars) {
+  EXPECT_EQ(jsonEscape("plain"), "plain");
+  EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(jsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(WriteJsonNumber, LosslessIntegersAndDoubles) {
+  auto Str = [](double V) {
+    std::ostringstream OS;
+    writeJsonNumber(OS, V);
+    return OS.str();
+  };
+  EXPECT_EQ(Str(0), "0");
+  EXPECT_EQ(Str(-3), "-3");
+  // The satellite bug: default ostream precision printed this as
+  // 1.23457e+14. Integral doubles must round-trip exactly.
+  EXPECT_EQ(Str(123456789012345.0), "123456789012345");
+  EXPECT_EQ(Str(0.5), "0.5");
+  EXPECT_EQ(Str(std::nan("")), "0");          // JSON has no NaN
+  EXPECT_EQ(Str(HUGE_VAL), "0");              // ... or Infinity
+  double Big = std::ldexp(1.0, 60);           // beyond 2^53: not exact
+  EXPECT_EQ(std::stod(Str(Big)), Big);        // but still round-trips
+}
+
+TEST(MetricsRegistry, JsonGolden) {
+  MetricsRegistry Reg;
+  Reg.count("batch.fns", 2, {{"scheme", "remap"}});
+  Reg.gauge("cost", 1.5);
+  Reg.defineBuckets("lat", {10, 20});
+  Reg.observe("lat", 5);
+  Reg.observe("lat", 25);
+
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  EXPECT_EQ(OS.str(),
+            "{\n"
+            "  \"schema\": \"dra-metrics-v1\",\n"
+            "  \"counters\": [\n"
+            "    {\"name\": \"batch.fns\", \"labels\": {\"scheme\": "
+            "\"remap\"}, \"value\": 2}\n"
+            "  ],\n"
+            "  \"gauges\": [\n"
+            "    {\"name\": \"cost\", \"labels\": {}, \"value\": 1.5}\n"
+            "  ],\n"
+            "  \"histograms\": [\n"
+            "    {\"name\": \"lat\", \"labels\": {}, \"count\": 2, \"sum\": "
+            "30, \"min\": 5, \"max\": 25, \"p50\": 15, \"p90\": 23, "
+            "\"p99\": 24.8,\n"
+            "     \"buckets\": [{\"le\": 10, \"count\": 1}, {\"le\": 20, "
+            "\"count\": 0}, {\"le\": \"+inf\", \"count\": 1}]}\n"
+            "  ]\n"
+            "}\n");
+}
+
+TEST(LoadMetricsJson, RoundTripsRegistryOutput) {
+  MetricsRegistry Reg;
+  Reg.count("c\"tricky\\name", 3, {{"fn", "a b"}});
+  Reg.gauge("g", -2.25);
+  Reg.observe("h", 7, {{"stage", "alloc"}});
+
+  std::ostringstream OS;
+  Reg.writeJson(OS);
+  std::istringstream In(OS.str());
+  MetricsFileData Data;
+  std::string Err;
+  ASSERT_TRUE(loadMetricsJson(In, Data, &Err)) << Err;
+  EXPECT_EQ(Data.Schema, "dra-metrics-v1");
+  ASSERT_EQ(Data.Counters.size(), 1u);
+  EXPECT_EQ(Data.Counters.at("c\"tricky\\name{fn=a b}"), 3);
+  EXPECT_EQ(Data.Gauges.at("g"), -2.25);
+  ASSERT_EQ(Data.Histograms.size(), 1u);
+  const auto &H = Data.Histograms.at("h{stage=alloc}");
+  EXPECT_EQ(H.Count, 1);
+  EXPECT_EQ(H.Sum, 7);
+  EXPECT_EQ(H.P50, 7);
+}
+
+TEST(LoadMetricsJson, RejectsBadDocuments) {
+  auto Load = [](const std::string &Text, std::string *Err = nullptr) {
+    std::istringstream In(Text);
+    MetricsFileData Data;
+    return loadMetricsJson(In, Data, Err);
+  };
+  std::string Err;
+  EXPECT_FALSE(Load("{not json", &Err));
+  EXPECT_FALSE(Err.empty());
+  EXPECT_FALSE(Load("{\"schema\": \"other-v9\", \"counters\": [], "
+                    "\"gauges\": [], \"histograms\": []}",
+                    &Err));
+  // A histogram whose bucket counts do not add up to its count.
+  EXPECT_FALSE(Load(
+      "{\"schema\": \"dra-metrics-v1\", \"counters\": [], \"gauges\": [],"
+      " \"histograms\": [{\"name\": \"h\", \"labels\": {}, \"count\": 5,"
+      " \"sum\": 1, \"min\": 0, \"max\": 1, \"p50\": 0, \"p90\": 0,"
+      " \"p99\": 0, \"buckets\": [{\"le\": 1, \"count\": 1}, {\"le\":"
+      " \"+inf\", \"count\": 1}]}]}",
+      &Err));
+  // Counter samples must carry a name.
+  EXPECT_FALSE(Load(
+      "{\"schema\": \"dra-metrics-v1\", \"counters\": [{\"labels\": {},"
+      " \"value\": 1}], \"gauges\": [], \"histograms\": []}",
+      &Err));
+}
+
+TEST(ScopedSpanTest, NullSinkRecordsNothingNonNullNests) {
+  { ScopedSpan Off(nullptr, "x"); } // must be a no-op
+  std::vector<StageSpan> Spans;
+  {
+    ScopedSpan Outer(&Spans, "alloc", 0);
+    { ScopedSpan Inner(&Spans, "alloc.round", 1); }
+  }
+  ASSERT_EQ(Spans.size(), 2u);
+  // Inner scopes close first.
+  EXPECT_STREQ(Spans[0].Stage, "alloc.round");
+  EXPECT_EQ(Spans[0].Depth, 1u);
+  EXPECT_STREQ(Spans[1].Stage, "alloc");
+  EXPECT_EQ(Spans[1].Depth, 0u);
+  EXPECT_LE(Spans[1].BeginNs, Spans[0].BeginNs);
+  EXPECT_GE(Spans[1].EndNs, Spans[0].EndNs);
+}
+
+} // namespace

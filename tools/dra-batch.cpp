@@ -50,6 +50,9 @@ const char *UsageText =
     "  --per-task-seeds   decorrelate remap RNG streams per input\n"
     "  --trace-out=FILE   Chrome trace-event JSON (chrome://tracing)\n"
     "  --json-out=FILE    aggregate counters + per-stage timing JSON\n"
+    "  --metrics-out=FILE allocator-deep metrics (per-function counters,\n"
+    "                     gauges, stage histograms) as dra-metrics-v1\n"
+    "                     JSON; compare runs with dra-stats\n"
     "  --help             show this text\n"
     "\n"
     "exit status: 0 on success, 1 when any input fails to parse/compile\n"
@@ -67,6 +70,7 @@ struct Options {
   bool Help = false;
   std::string TraceOut;
   std::string JsonOut;
+  std::string MetricsOut;
   std::vector<std::string> Inputs;
 };
 
@@ -114,6 +118,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.TraceOut = V;
     } else if (const char *V = Value("--json-out=")) {
       O.JsonOut = V;
+    } else if (const char *V = Value("--metrics-out=")) {
+      O.MetricsOut = V;
     } else if (Arg == "--per-task-seeds") {
       O.PerTaskSeeds = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -217,6 +223,9 @@ int main(int Argc, char **Argv) {
   }
 
   Telemetry Telem;
+  MetricsRegistry Metrics;
+  if (!O.MetricsOut.empty())
+    Config.Metrics = &Metrics;
   BatchOptions BO;
   BO.Jobs = O.Jobs;
   BO.Telem = &Telem;
@@ -272,6 +281,14 @@ int main(int Argc, char **Argv) {
     }
     Telem.writeJson(Out);
     std::fprintf(stderr, "report written to %s\n", O.JsonOut.c_str());
+  }
+  if (!O.MetricsOut.empty()) {
+    std::string Err;
+    if (!Metrics.writeJsonFile(O.MetricsOut, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", O.MetricsOut.c_str());
   }
 
   return AllOk ? 0 : 1;

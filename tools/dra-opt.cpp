@@ -57,6 +57,9 @@ const char *UsageText =
     "                     (default 1; 0 = hardware concurrency)\n"
     "  --trace-out=FILE   write a Chrome trace-event JSON of the batch\n"
     "                     (open in chrome://tracing or ui.perfetto.dev)\n"
+    "  --metrics-out=FILE write allocator-deep metrics (counters, gauges,\n"
+    "                     stage histograms) as dra-metrics-v1 JSON;\n"
+    "                     compare runs with dra-stats\n"
     "\n"
     "output options:\n"
     "  --simulate         run the pipeline model and print cycles\n"
@@ -82,6 +85,7 @@ struct Options {
   bool EmitSize = false;
   bool Help = false;
   std::string TraceOut;
+  std::string MetricsOut;
   std::vector<std::string> InputFiles;
 };
 
@@ -127,6 +131,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.Jobs = static_cast<unsigned>(std::atoi(V));
     } else if (const char *V = Value("--trace-out=")) {
       O.TraceOut = V;
+    } else if (const char *V = Value("--metrics-out=")) {
+      O.MetricsOut = V;
     } else if (Arg == "--adaptive") {
       O.Adaptive = true;
     } else if (Arg == "--cleanup") {
@@ -237,6 +243,9 @@ int main(int Argc, char **Argv) {
   }
 
   Telemetry Telem;
+  MetricsRegistry Metrics;
+  if (!O.MetricsOut.empty())
+    Config.Metrics = &Metrics;
   BatchOptions BO;
   BO.Jobs = O.Jobs;
   BO.Telem = O.TraceOut.empty() ? nullptr : &Telem;
@@ -302,6 +311,15 @@ int main(int Argc, char **Argv) {
     }
     Telem.writeChromeTrace(Out);
     std::fprintf(stderr, "trace written to %s\n", O.TraceOut.c_str());
+  }
+
+  if (!O.MetricsOut.empty()) {
+    std::string Err;
+    if (!Metrics.writeJsonFile(O.MetricsOut, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "metrics written to %s\n", O.MetricsOut.c_str());
   }
 
   return AllSame ? 0 : 1;

@@ -1,0 +1,324 @@
+//===- tools/dra-stats.cpp - Metrics diff / regression gate ---------------===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+// Loads two dra-metrics-v1 JSON files (written by dra-opt/dra-batch
+// --metrics-out, the bench binaries' BENCH_*.json, or any
+// MetricsRegistry::writeJsonFile call), prints a per-metric diff with
+// percentage deltas, and — with --fail-on — exits non-zero when a named
+// metric regresses beyond a threshold. Designed as a CI gate: check in a
+// baseline snapshot, diff every build against it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Metrics.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+const char *UsageText =
+    "usage: dra-stats [options] <baseline.json> <current.json>\n"
+    "       dra-stats --validate <file.json> [file.json ...]\n"
+    "\n"
+    "Compares two dra-metrics-v1 metrics files (see driver/Metrics.h;\n"
+    "written by dra-opt/dra-batch --metrics-out and the bench binaries'\n"
+    "BENCH_*.json) and prints a per-metric diff with % deltas. Counters\n"
+    "and gauges compare their values; histograms compare their sums (the\n"
+    "count and p50/p90/p99 shifts are shown in the table).\n"
+    "\n"
+    "options:\n"
+    "  --validate           parse and schema-check the given files instead\n"
+    "                       of diffing; exit 1 on the first invalid one\n"
+    "  --threshold=PCT      only print rows changing by at least PCT\n"
+    "                       percent (default 0 = print everything)\n"
+    "  --fail-on=M[:PCT]    exit 3 when metric M increases by more than\n"
+    "                       PCT percent over the baseline (default 0);\n"
+    "                       M is a flat key like `pipeline.spill_insts`\n"
+    "                       or `pipeline.spill_insts{scheme=coalesce}`\n"
+    "                       and bare names match every labeled series of\n"
+    "                       that name; repeatable\n"
+    "  --help               show this text\n"
+    "\n"
+    "exit status: 0 on success, 1 when a file cannot be read or fails\n"
+    "validation, 2 on a command-line error (including a --fail-on metric\n"
+    "absent from both files), 3 when any --fail-on metric regressed.\n";
+
+struct FailRule {
+  std::string Metric;
+  double ThresholdPct = 0;
+};
+
+struct Options {
+  bool Validate = false;
+  bool Help = false;
+  double ThresholdPct = 0;
+  std::vector<FailRule> FailOn;
+  std::vector<std::string> Files;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (Arg == "--validate") {
+      O.Validate = true;
+    } else if (const char *V = Value("--threshold=")) {
+      O.ThresholdPct = std::atof(V);
+    } else if (const char *V = Value("--fail-on=")) {
+      FailRule Rule;
+      std::string Spec = V;
+      size_t Colon = Spec.rfind(':');
+      // A ':' only splits a threshold when what follows parses as a
+      // number; metric names themselves never contain ':'.
+      if (Colon != std::string::npos) {
+        Rule.Metric = Spec.substr(0, Colon);
+        Rule.ThresholdPct = std::atof(Spec.c_str() + Colon + 1);
+      } else {
+        Rule.Metric = Spec;
+      }
+      if (Rule.Metric.empty()) {
+        std::fprintf(stderr, "error: empty metric in '--fail-on=%s'\n", V);
+        return false;
+      }
+      O.FailOn.push_back(Rule);
+    } else if (Arg == "--help" || Arg == "-h") {
+      O.Help = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s' (try --help)\n",
+                   Arg.c_str());
+      return false;
+    } else {
+      O.Files.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+bool loadFile(const std::string &Path, MetricsFileData &Out) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::string Err;
+  if (!loadMetricsJson(In, Out, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+    return false;
+  }
+  return true;
+}
+
+/// Does flat key \p Key (e.g. "pipeline.spills{scheme=coalesce}") match the
+/// user-provided \p Metric? Exact match, or bare-name match of every
+/// labeled series of that name.
+bool metricMatches(const std::string &Key, const std::string &Metric) {
+  if (Key == Metric)
+    return true;
+  return Key.size() > Metric.size() + 1 &&
+         Key.compare(0, Metric.size(), Metric) == 0 &&
+         Key[Metric.size()] == '{';
+}
+
+double pctDelta(double Base, double Cur) {
+  if (Base == 0)
+    return Cur == 0 ? 0 : HUGE_VAL;
+  return 100.0 * (Cur - Base) / Base;
+}
+
+void printRow(const std::string &Key, double Base, double Cur,
+              double ThresholdPct) {
+  double Pct = pctDelta(Base, Cur);
+  if (std::fabs(Pct) < ThresholdPct && Base != Cur)
+    return;
+  if (ThresholdPct > 0 && Base == Cur)
+    return;
+  char PctBuf[32];
+  if (std::isinf(Pct))
+    std::snprintf(PctBuf, sizeof PctBuf, "     new");
+  else
+    std::snprintf(PctBuf, sizeof PctBuf, "%+7.2f%%", Pct);
+  std::printf("  %-58s %14g %14g %s\n", Key.c_str(), Base, Cur, PctBuf);
+}
+
+/// Diffs one section (counters or gauges) over the union of keys.
+/// Missing keys count as 0 on the missing side.
+void diffSection(const char *Title, const std::map<std::string, double> &B,
+                 const std::map<std::string, double> &C,
+                 double ThresholdPct) {
+  if (B.empty() && C.empty())
+    return;
+  std::printf("%s:\n", Title);
+  auto IB = B.begin();
+  auto IC = C.begin();
+  while (IB != B.end() || IC != C.end()) {
+    if (IC == C.end() || (IB != B.end() && IB->first < IC->first)) {
+      printRow(IB->first, IB->second, 0, ThresholdPct);
+      ++IB;
+    } else if (IB == B.end() || IC->first < IB->first) {
+      printRow(IC->first, 0, IC->second, ThresholdPct);
+      ++IC;
+    } else {
+      printRow(IB->first, IB->second, IC->second, ThresholdPct);
+      ++IB;
+      ++IC;
+    }
+  }
+}
+
+void diffHistograms(const MetricsFileData &B, const MetricsFileData &C,
+                    double ThresholdPct) {
+  if (B.Histograms.empty() && C.Histograms.empty())
+    return;
+  std::printf("histograms (sum | count | p50 -> p50):\n");
+  auto Row = [&](const std::string &Key,
+                 const MetricsFileData::HistSummary &Base,
+                 const MetricsFileData::HistSummary &Cur) {
+    double Pct = pctDelta(Base.Sum, Cur.Sum);
+    if (ThresholdPct > 0 &&
+        (std::fabs(Pct) < ThresholdPct || Base.Sum == Cur.Sum))
+      return;
+    std::printf("  %-58s %14g %14g %+7.2f%%  n %g -> %g  p50 %g -> %g\n",
+                Key.c_str(), Base.Sum, Cur.Sum, std::isinf(Pct) ? 0.0 : Pct,
+                Base.Count, Cur.Count, Base.P50, Cur.P50);
+  };
+  MetricsFileData::HistSummary Zero;
+  auto IB = B.Histograms.begin();
+  auto IC = C.Histograms.begin();
+  while (IB != B.Histograms.end() || IC != C.Histograms.end()) {
+    if (IC == C.Histograms.end() ||
+        (IB != B.Histograms.end() && IB->first < IC->first)) {
+      Row(IB->first, IB->second, Zero);
+      ++IB;
+    } else if (IB == B.Histograms.end() || IC->first < IB->first) {
+      Row(IC->first, Zero, IC->second);
+      ++IC;
+    } else {
+      Row(IB->first, IB->second, IC->second);
+      ++IB;
+      ++IC;
+    }
+  }
+}
+
+/// Collects (key, baseline, current) triples matching \p Metric across the
+/// counter, gauge, and histogram (by sum) sections of both files.
+struct MatchedValue {
+  std::string Key;
+  double Base = 0;
+  double Cur = 0;
+};
+
+std::vector<MatchedValue> collectMatches(const MetricsFileData &B,
+                                         const MetricsFileData &C,
+                                         const std::string &Metric) {
+  std::map<std::string, MatchedValue> ByKey;
+  auto Add = [&](const std::string &Key, double V, bool IsBase) {
+    if (!metricMatches(Key, Metric))
+      return;
+    MatchedValue &M = ByKey[Key];
+    M.Key = Key;
+    (IsBase ? M.Base : M.Cur) = V;
+  };
+  for (const auto &[K, V] : B.Counters)
+    Add(K, V, true);
+  for (const auto &[K, V] : C.Counters)
+    Add(K, V, false);
+  for (const auto &[K, V] : B.Gauges)
+    Add(K, V, true);
+  for (const auto &[K, V] : C.Gauges)
+    Add(K, V, false);
+  for (const auto &[K, V] : B.Histograms)
+    Add(K, V.Sum, true);
+  for (const auto &[K, V] : C.Histograms)
+    Add(K, V.Sum, false);
+  std::vector<MatchedValue> Out;
+  for (auto &[K, M] : ByKey)
+    Out.push_back(M);
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+  if (O.Help) {
+    std::fputs(UsageText, stdout);
+    return 0;
+  }
+
+  if (O.Validate) {
+    if (O.Files.empty()) {
+      std::fprintf(stderr, "error: --validate needs at least one file\n");
+      return 2;
+    }
+    for (const std::string &File : O.Files) {
+      MetricsFileData Data;
+      if (!loadFile(File, Data))
+        return 1;
+      std::printf("%s: valid %s (%zu counters, %zu gauges, %zu "
+                  "histograms)\n",
+                  File.c_str(), Data.Schema.c_str(), Data.Counters.size(),
+                  Data.Gauges.size(), Data.Histograms.size());
+    }
+    return 0;
+  }
+
+  if (O.Files.size() != 2) {
+    std::fprintf(stderr,
+                 "error: expected <baseline.json> <current.json> "
+                 "(got %zu files; try --help)\n",
+                 O.Files.size());
+    return 2;
+  }
+
+  MetricsFileData Base, Cur;
+  if (!loadFile(O.Files[0], Base) || !loadFile(O.Files[1], Cur))
+    return 1;
+
+  std::printf("baseline: %s\ncurrent:  %s\n\n", O.Files[0].c_str(),
+              O.Files[1].c_str());
+  diffSection("counters", Base.Counters, Cur.Counters, O.ThresholdPct);
+  diffSection("gauges", Base.Gauges, Cur.Gauges, O.ThresholdPct);
+  diffHistograms(Base, Cur, O.ThresholdPct);
+
+  int Exit = 0;
+  for (const FailRule &Rule : O.FailOn) {
+    std::vector<MatchedValue> Matches =
+        collectMatches(Base, Cur, Rule.Metric);
+    if (Matches.empty()) {
+      std::fprintf(stderr,
+                   "error: --fail-on metric '%s' found in neither file\n",
+                   Rule.Metric.c_str());
+      return 2;
+    }
+    for (const MatchedValue &M : Matches) {
+      double Pct = pctDelta(M.Base, M.Cur);
+      bool Regressed = M.Cur > M.Base && Pct > Rule.ThresholdPct;
+      if (Regressed) {
+        std::fprintf(stderr,
+                     "REGRESSION: %s: %g -> %g (+%.2f%% > %.2f%% "
+                     "allowed)\n",
+                     M.Key.c_str(), M.Base, M.Cur,
+                     std::isinf(Pct) ? 100.0 : Pct, Rule.ThresholdPct);
+        Exit = 3;
+      }
+    }
+  }
+  if (!O.FailOn.empty() && Exit == 0)
+    std::printf("\nall %zu --fail-on gate(s) passed\n", O.FailOn.size());
+  return Exit;
+}
