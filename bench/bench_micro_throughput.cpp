@@ -84,6 +84,51 @@ void BM_Encode(benchmark::State &State) {
 }
 BENCHMARK(BM_Encode);
 
+// Special-register classification is the innermost operation of encoding,
+// decoding-order analysis and operand swapping — every register field of
+// every instruction asks "is this special?". The pair below times the two
+// implementations on the same config: the O(|SpecialRegs|) linear scan
+// that EncodingConfig::isSpecial keeps for one-off callers, and the
+// precomputed SpecialRegLookup table the hot paths now build once per
+// pass. The argument is the number of special registers.
+EncodingConfig specialsConfig(unsigned NumSpecials) {
+  EncodingConfig C = vliwConfig(32);
+  C.DiffN = 32 - NumSpecials; // Keep DiffN + specials within 2^DiffW.
+  for (unsigned I = 0; I != NumSpecials; ++I)
+    C.SpecialRegs.push_back(static_cast<RegId>(31 - I));
+  return C;
+}
+
+void BM_SpecialScanLinear(benchmark::State &State) {
+  EncodingConfig C = specialsConfig(static_cast<unsigned>(State.range(0)));
+  for (auto _ : State)
+    for (RegId R = 0; R != C.RegN; ++R)
+      benchmark::DoNotOptimize(C.isSpecial(R));
+}
+BENCHMARK(BM_SpecialScanLinear)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_SpecialScanTable(benchmark::State &State) {
+  EncodingConfig C = specialsConfig(static_cast<unsigned>(State.range(0)));
+  SpecialRegLookup Special(C);
+  for (auto _ : State)
+    for (RegId R = 0; R != C.RegN; ++R)
+      benchmark::DoNotOptimize(Special.isSpecial(R));
+}
+BENCHMARK(BM_SpecialScanTable)->Arg(1)->Arg(4)->Arg(8);
+
+void BM_EncodeWithSpecials(benchmark::State &State) {
+  EncodingConfig C = lowEndConfig(12);
+  C.DiffN = 6;
+  C.SpecialRegs = {10, 11};
+  Function F = program();
+  allocateGraphColoring(F, 12);
+  for (auto _ : State) {
+    EncodedFunction E = encodeFunction(F, C);
+    benchmark::DoNotOptimize(E.Stats.setLastTotal());
+  }
+}
+BENCHMARK(BM_EncodeWithSpecials);
+
 void BM_Decode(benchmark::State &State) {
   EncodingConfig C = lowEndConfig(12);
   Function F = program();

@@ -30,6 +30,7 @@ std::vector<Access> dra::blockAccessSequence(const Function &F,
                                              uint32_t Block,
                                              const EncodingConfig &C) {
   std::vector<Access> Result;
+  SpecialRegLookup Special(C);
   const BasicBlock &BB = F.Blocks[Block];
   for (uint32_t IIdx = 0, E = static_cast<uint32_t>(BB.Insts.size());
        IIdx != E; ++IIdx) {
@@ -37,7 +38,7 @@ std::vector<Access> dra::blockAccessSequence(const Function &F,
     std::vector<unsigned> Fields = fieldOrder(I, C.Order);
     for (uint8_t Pos = 0; Pos != Fields.size(); ++Pos) {
       RegId R = I.regField(Fields[Pos]);
-      if (C.isSpecial(R))
+      if (Special.isSpecial(R))
         continue;
       Result.push_back({R, Block, IIdx, Pos});
     }

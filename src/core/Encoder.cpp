@@ -56,6 +56,7 @@ std::vector<DecodeState> entryStates(const Function &F,
   // Per-block transfer: exit = f(entry). A SetLastReg or a register access
   // overwrites the state; otherwise the entry state flows through.
   // Precompute the last "state writer" of each block.
+  SpecialRegLookup Special(C);
   std::vector<std::optional<RegId>> LastWriter(NumBlocks);
   for (uint32_t B = 0; B != NumBlocks; ++B) {
     std::optional<RegId> Last;
@@ -67,7 +68,7 @@ std::vector<DecodeState> entryStates(const Function &F,
       }
       for (unsigned FieldPos : fieldOrder(I, C.Order)) {
         RegId R = I.regField(FieldPos);
-        if (!C.isSpecial(R))
+        if (!Special.isSpecial(R))
           Last = R;
       }
     }
@@ -112,6 +113,7 @@ EncodedFunction dra::encodeFunction(const Function &F,
   Out.Annotated.NumRegs = std::max(F.NumRegs, C.RegN);
 
   std::vector<DecodeState> Entry = entryStates(F, C);
+  SpecialRegLookup Special(C);
 
   size_t NumBlocks = F.Blocks.size();
   Out.Codes.resize(NumBlocks);
@@ -149,8 +151,8 @@ EncodedFunction dra::encodeFunction(const Function &F,
       std::vector<unsigned> Fields = fieldOrder(I, C.Order);
       for (unsigned Pos = 0; Pos != Fields.size(); ++Pos) {
         RegId R = I.regField(Fields[Pos]);
-        if (C.isSpecial(R)) {
-          FieldCodes.push_back(static_cast<uint8_t>(C.specialCode(R)));
+        if (Special.isSpecial(R)) {
+          FieldCodes.push_back(static_cast<uint8_t>(Special.specialCode(R)));
           continue;
         }
         assert(R < C.RegN && "register out of encodable range");
@@ -250,7 +252,13 @@ bool dra::verifyDecodable(const Function &Annotated, const EncodingConfig &C,
       *Err = "bb" + std::to_string(Block) + ": " + Msg;
     return false;
   };
+  // A function with no blocks has no register fields to decode; it is
+  // vacuously decodable (the reachability seed below would index Blocks[0]
+  // otherwise).
+  if (Annotated.Blocks.empty())
+    return true;
   std::vector<DecodeState> Entry = entryStates(Annotated, C);
+  SpecialRegLookup Special(C);
 
   // Reachability, so unreachable blocks are exempt.
   std::vector<uint8_t> Reachable(Annotated.Blocks.size(), 0);
@@ -283,12 +291,24 @@ bool dra::verifyDecodable(const Function &Annotated, const EncodingConfig &C,
         continue;
       }
       std::vector<unsigned> Fields = fieldOrder(I, C.Order);
+      // The decoder clears pending assignments after every real
+      // instruction, so a delay_num beyond this instruction's field count
+      // would silently never apply — the hardware model would keep it
+      // pending instead. Reject such annotations rather than letting the
+      // decoder diverge from the hardware.
+      for (const auto &[Delay, Value] : PendingSlr)
+        if (Delay >= Fields.size())
+          return Fail(B, "delayed set_last_reg (delay " +
+                             std::to_string(Delay) +
+                             ") never applies: next instruction has only " +
+                             std::to_string(Fields.size()) +
+                             " register field(s)");
       for (unsigned Pos = 0; Pos != Fields.size(); ++Pos) {
         for (const auto &[Delay, Value] : PendingSlr)
           if (Delay == Pos)
             State = DecodeState::value(Value);
         RegId R = I.regField(Fields[Pos]);
-        if (C.isSpecial(R))
+        if (Special.isSpecial(R))
           continue;
         if (State.K != DecodeState::Value)
           return Fail(B, "register field decoded with ambiguous last_reg");
@@ -298,6 +318,9 @@ bool dra::verifyDecodable(const Function &Annotated, const EncodingConfig &C,
       }
       PendingSlr.clear();
     }
+    if (!PendingSlr.empty())
+      return Fail(B, "delayed set_last_reg dangles at block end (no "
+                     "following instruction)");
   }
   return true;
 }

@@ -27,13 +27,14 @@ namespace {
 /// Violations in the access chain Prev -> Regs[0] -> Regs[1] -> ...,
 /// skipping special registers (they neither consume nor update last_reg)
 /// and skipping the leading edge when Prev is unknown (NoReg).
-unsigned chainViolations(const EncodingConfig &C, RegId Prev,
+unsigned chainViolations(const EncodingConfig &C,
+                         const SpecialRegLookup &Special, RegId Prev,
                          const RegId *Regs, unsigned Count) {
   unsigned Violations = 0;
   RegId Last = Prev;
   for (unsigned I = 0; I != Count; ++I) {
     RegId R = Regs[I];
-    if (C.isSpecial(R))
+    if (Special.isSpecial(R))
       continue;
     if (Last != NoReg && Last != R && !C.encodable(Last, R))
       ++Violations;
@@ -48,6 +49,7 @@ size_t dra::swapCommutativeOperands(Function &F, const EncodingConfig &C) {
   if (C.Order != AccessOrder::SrcFirst)
     return 0;
   size_t Swapped = 0;
+  SpecialRegLookup Special(C);
   std::vector<std::optional<RegId>> Entry = decodeEntryStates(F, C);
   for (uint32_t Blk = 0; Blk != F.Blocks.size(); ++Blk) {
     BasicBlock &BB = F.Blocks[Blk];
@@ -64,8 +66,10 @@ size_t dra::swapCommutativeOperands(Function &F, const EncodingConfig &C) {
       if (isCommutative(I.Op) && I.Src1 != I.Src2) {
         RegId Straight[3] = {I.Src1, I.Src2, I.Dst};
         RegId SwappedOrder[3] = {I.Src2, I.Src1, I.Dst};
-        unsigned CostStraight = chainViolations(C, Last, Straight, 3);
-        unsigned CostSwapped = chainViolations(C, Last, SwappedOrder, 3);
+        unsigned CostStraight =
+            chainViolations(C, Special, Last, Straight, 3);
+        unsigned CostSwapped =
+            chainViolations(C, Special, Last, SwappedOrder, 3);
         if (CostSwapped < CostStraight) {
           std::swap(I.Src1, I.Src2);
           ++Swapped;
@@ -74,7 +78,7 @@ size_t dra::swapCommutativeOperands(Function &F, const EncodingConfig &C) {
       // Advance Last over this instruction's fields.
       for (unsigned Field = 0; Field != I.numRegFields(); ++Field) {
         RegId R = I.regField(Field);
-        if (!C.isSpecial(R))
+        if (!Special.isSpecial(R))
           Last = R;
       }
     }

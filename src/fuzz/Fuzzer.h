@@ -1,0 +1,119 @@
+//===- fuzz/Fuzzer.h - Randomized differential-testing harness --*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dra-fuzz case engine. A *case* is one point of the sweep
+///
+///   seeded ProgramGen profile × EncodingConfig variant × scheme
+///
+/// where the config variants cover {lowend, vliw} × {SrcFirst, DstFirst}
+/// × {with, without SpecialRegs} and the schemes are the three
+/// differential pipelines (remap, select, coalesce). For each case the
+/// harness:
+///
+///  1. generates the program and runs the full pipeline, checking the
+///     end-to-end fingerprint (allocation may legally restructure code, so
+///     only final state is compared here);
+///  2. re-encodes the allocated function, requires `verifyDecodable`,
+///     decodes, and checks `stripSetLastReg(decode(encode(F))) == F`
+///     field for field;
+///  3. runs the lockstep interpreter oracle (fuzz/Oracle.h) between the
+///     allocated function and its round trip;
+///  4. checks structural invariants (fuzz/Invariants.h): remap permutation
+///     well-formedness, interference preservation under a fresh remap
+///     probe, move legality after coalescing.
+///
+/// On failure the case is shrunk with the delta-debugging minimizer
+/// (fuzz/Minimizer.h) under the same predicate, and the reduced program is
+/// returned for repro serialization (fuzz/Repro.h).
+///
+/// Fault injection (`InjectFault`) corrupts the encoder's output in
+/// controlled ways so the harness can be mutation-tested: a harness that
+/// cannot catch a deliberately broken encoder is not guarding anything.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FUZZ_FUZZER_H
+#define DRA_FUZZ_FUZZER_H
+
+#include "core/Pipeline.h"
+#include "ir/Function.h"
+#include "workloads/ProgramGen.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace dra {
+
+/// Deliberate encoder corruption, applied between encode and decode.
+/// Testing-only: proves the oracle catches real encoder bugs.
+enum class InjectFault : uint8_t {
+  None,
+  /// Delete the first block-head set_last_reg repair (join repair).
+  DropJoinRepair,
+  /// Flip the low bit of the first nonzero difference code.
+  CorruptFieldCode,
+  /// Drop the first delayed (Aux != 0) set_last_reg.
+  DropDelayedSlr,
+};
+
+const char *injectFaultName(InjectFault F);
+bool parseInjectFault(const std::string &Name, InjectFault &Out);
+
+/// One fuzz case, fully determined by (BaseSeed, Index).
+struct FuzzCase {
+  uint64_t Seed = 0;       ///< Program-generator seed.
+  uint64_t Index = 0;      ///< Sweep index (names the case).
+  Scheme S = Scheme::Remap;
+  EncodingConfig Enc;
+  ProgramProfile Profile;
+  uint64_t StepLimit = 2'000'000;
+  InjectFault Fault = InjectFault::None;
+
+  /// Stable human-readable id, e.g. "s42-coalesce-vliw32-dst-sp".
+  std::string name() const;
+};
+
+/// Derives sweep case \p Index for \p BaseSeed: scheme and config variant
+/// cycle through the full cross product; program shape varies with the
+/// derived seed. Pure function of its arguments (parallel and serial
+/// sweeps agree).
+FuzzCase caseForIndex(uint64_t BaseSeed, uint64_t Index);
+
+/// Number of distinct (scheme × config) variants `caseForIndex` cycles
+/// through; a sweep of this many consecutive indices covers the matrix.
+unsigned caseMatrixSize();
+
+/// Runs every check on \p P under case \p FC. Returns std::nullopt when
+/// all pass, otherwise a description of the first failing check. When
+/// \p DynInsts is non-null it receives the reference execution's dynamic
+/// instruction count (a work metric for the sweep).
+std::optional<std::string> checkProgram(const Function &P,
+                                        const FuzzCase &FC,
+                                        uint64_t *DynInsts = nullptr);
+
+/// Outcome of one case.
+struct FuzzCaseResult {
+  bool Ok = true;
+  /// First failing check (empty when Ok).
+  std::string Detail;
+  /// The generated program, minimized when minimization ran.
+  Function Program;
+  /// Delta-debugging predicate invocations spent.
+  size_t MinimizeSteps = 0;
+  /// Dynamic instructions the reference execution retired (work metric).
+  uint64_t OracleDynInsts = 0;
+};
+
+/// Generates the case's program, checks it, and on failure shrinks it.
+/// \p MinimizeBudget bounds the delta-debugging predicate invocations
+/// (0 disables minimization).
+FuzzCaseResult runFuzzCase(const FuzzCase &FC, size_t MinimizeBudget = 600);
+
+} // namespace dra
+
+#endif // DRA_FUZZ_FUZZER_H

@@ -1,0 +1,123 @@
+//===- fuzz/Invariants.cpp - Structural invariant checks ------------------===//
+
+#include "fuzz/Invariants.h"
+
+#include "analysis/Liveness.h"
+#include "regalloc/InterferenceGraph.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace dra;
+
+namespace {
+
+bool fail(std::string *Why, const std::string &Msg) {
+  if (Why)
+    *Why = Msg;
+  return false;
+}
+
+} // namespace
+
+bool dra::functionsIdentical(const Function &A, const Function &B,
+                             std::string *Why) {
+  if (A.Blocks.size() != B.Blocks.size())
+    return fail(Why, "block counts differ: " +
+                         std::to_string(A.Blocks.size()) + " vs " +
+                         std::to_string(B.Blocks.size()));
+  for (size_t Blk = 0; Blk != A.Blocks.size(); ++Blk) {
+    const std::vector<Instruction> &IA = A.Blocks[Blk].Insts;
+    const std::vector<Instruction> &IB = B.Blocks[Blk].Insts;
+    if (IA.size() != IB.size())
+      return fail(Why, "bb" + std::to_string(Blk) +
+                           " instruction counts differ: " +
+                           std::to_string(IA.size()) + " vs " +
+                           std::to_string(IB.size()));
+    for (size_t I = 0; I != IA.size(); ++I) {
+      const Instruction &X = IA[I];
+      const Instruction &Y = IB[I];
+      if (X.Op != Y.Op || X.Dst != Y.Dst || X.Src1 != Y.Src1 ||
+          X.Src2 != Y.Src2 || X.Imm != Y.Imm || X.Target0 != Y.Target0 ||
+          X.Target1 != Y.Target1 || X.Aux != Y.Aux)
+        return fail(Why, "bb" + std::to_string(Blk) + "[" +
+                             std::to_string(I) + "] differs: '" +
+                             toString(X) + "' vs '" + toString(Y) + "'");
+    }
+  }
+  return true;
+}
+
+bool dra::checkPermutation(const std::vector<RegId> &Perm,
+                           const EncodingConfig &C, std::string *Why) {
+  if (Perm.size() != C.RegN)
+    return fail(Why, "permutation has " + std::to_string(Perm.size()) +
+                         " entries for RegN=" + std::to_string(C.RegN));
+  std::vector<uint8_t> Seen(C.RegN, 0);
+  for (RegId R = 0; R != C.RegN; ++R) {
+    RegId To = Perm[R];
+    if (To >= C.RegN)
+      return fail(Why, "permutation maps r" + std::to_string(R) +
+                           " out of range (to " + std::to_string(To) + ")");
+    if (Seen[To]++)
+      return fail(Why, "permutation is not a bijection: r" +
+                           std::to_string(To) + " hit twice");
+  }
+  for (RegId S : C.SpecialRegs)
+    if (Perm[S] != S)
+      return fail(Why, "special register r" + std::to_string(S) +
+                           " not pinned (maps to r" +
+                           std::to_string(Perm[S]) + ")");
+  return true;
+}
+
+bool dra::checkInterferencePreserved(const Function &Before,
+                                     const Function &After,
+                                     const std::vector<RegId> &Perm,
+                                     std::string *Why) {
+  auto EdgeSet = [](const Function &F) {
+    Function Copy = F;
+    Copy.recomputeCFG();
+    Liveness LV = Liveness::compute(Copy);
+    InterferenceGraph G = InterferenceGraph::build(Copy, LV);
+    std::set<std::pair<RegId, RegId>> Edges;
+    for (RegId N = 0; N != G.numNodes(); ++N)
+      for (RegId M : G.neighbors(N))
+        Edges.insert({std::min(N, M), std::max(N, M)});
+    return Edges;
+  };
+  std::set<std::pair<RegId, RegId>> Pre = EdgeSet(Before);
+  std::set<std::pair<RegId, RegId>> Post = EdgeSet(After);
+
+  std::set<std::pair<RegId, RegId>> Mapped;
+  for (const auto &[A, B] : Pre) {
+    RegId MA = A < Perm.size() ? Perm[A] : A;
+    RegId MB = B < Perm.size() ? Perm[B] : B;
+    Mapped.insert({std::min(MA, MB), std::max(MA, MB)});
+  }
+  if (Mapped == Post)
+    return true;
+  for (const auto &[A, B] : Mapped)
+    if (!Post.count({A, B}))
+      return fail(Why, "interference edge (r" + std::to_string(A) + ", r" +
+                           std::to_string(B) +
+                           ") lost by the permutation");
+  for (const auto &[A, B] : Post)
+    if (!Mapped.count({A, B}))
+      return fail(Why, "interference edge (r" + std::to_string(A) + ", r" +
+                           std::to_string(B) +
+                           ") appeared under the permutation");
+  return fail(Why, "interference edge sets differ");
+}
+
+bool dra::checkMoveLegality(const Function &F, std::string *Why) {
+  for (size_t Blk = 0; Blk != F.Blocks.size(); ++Blk)
+    for (size_t I = 0; I != F.Blocks[Blk].Insts.size(); ++I) {
+      const Instruction &Inst = F.Blocks[Blk].Insts[I];
+      if (Inst.Op == Opcode::Mov && Inst.Dst == Inst.Src1)
+        return fail(Why, "identity move survived coalescing at bb" +
+                             std::to_string(Blk) + "[" + std::to_string(I) +
+                             "]: '" + toString(Inst) + "'");
+    }
+  return true;
+}

@@ -1,0 +1,57 @@
+//===- fuzz/Invariants.h - Structural invariant checks ----------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural invariants the differential-testing harness checks in
+/// addition to the interpreter oracle (fuzz/Oracle.h). The oracle catches
+/// any semantic divergence; these checks catch latent bugs that happen not
+/// to change behaviour on the sampled inputs — an interference edge lost
+/// by remapping, an identity move the coalescer failed to delete, a decode
+/// that reconstructs the right values through the wrong codes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FUZZ_INVARIANTS_H
+#define DRA_FUZZ_INVARIANTS_H
+
+#include "core/EncodingConfig.h"
+#include "ir/Function.h"
+
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Field-for-field structural equality of two functions: same block count,
+/// same instruction lists (opcode, every register field, immediate,
+/// targets, delay). On mismatch returns false and describes the first
+/// difference in \p Why (if non-null).
+bool functionsIdentical(const Function &A, const Function &B,
+                        std::string *Why = nullptr);
+
+/// Checks \p Perm is a bijection on [0, C.RegN) that pins every special
+/// register to itself — the property differential remapping relies on to
+/// preserve the allocator's interference guarantees (Section 5).
+bool checkPermutation(const std::vector<RegId> &Perm,
+                      const EncodingConfig &C, std::string *Why = nullptr);
+
+/// Interference preservation: builds the interference graphs of \p Before
+/// and \p After (both allocated functions over the same register universe)
+/// and checks that mapping every edge of Before through \p Perm yields
+/// exactly the edge set of After. Remapping and recoloring must never
+/// create or lose an interference.
+bool checkInterferencePreserved(const Function &Before,
+                                const Function &After,
+                                const std::vector<RegId> &Perm,
+                                std::string *Why = nullptr);
+
+/// Move legality after coalescing: a committed coalescence deletes its
+/// move, so no identity move (mov rX, rX) may survive in \p F.
+bool checkMoveLegality(const Function &F, std::string *Why = nullptr);
+
+} // namespace dra
+
+#endif // DRA_FUZZ_INVARIANTS_H

@@ -1,0 +1,170 @@
+//===- fuzz/Minimizer.cpp - Delta-debugging program shrinker --------------===//
+
+#include "fuzz/Minimizer.h"
+
+#include <algorithm>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+/// Shared budget-aware predicate wrapper: verifies the candidate, counts
+/// the invocation, and never runs past the budget.
+class Tester {
+public:
+  Tester(const FailPredicate &StillFails, size_t MaxSteps)
+      : StillFails(StillFails), MaxSteps(MaxSteps) {}
+
+  bool exhausted() const { return Steps >= MaxSteps; }
+  size_t steps() const { return Steps; }
+
+  /// True when \p Candidate is well-formed and still fails.
+  bool stillFails(Function &Candidate) {
+    if (exhausted())
+      return false;
+    Candidate.recomputeCFG();
+    if (!verifyFunction(Candidate))
+      return false;
+    ++Steps;
+    return StillFails(Candidate);
+  }
+
+private:
+  const FailPredicate &StillFails;
+  size_t MaxSteps;
+  size_t Steps = 0;
+};
+
+/// Pass 1: try turning each conditional branch into an unconditional jump.
+bool simplifyTerminators(Function &P, Tester &T) {
+  bool Progress = false;
+  for (size_t Blk = 0; Blk != P.Blocks.size() && !T.exhausted(); ++Blk) {
+    Instruction *Term = nullptr;
+    if (!P.Blocks[Blk].Insts.empty() &&
+        P.Blocks[Blk].Insts.back().Op == Opcode::Br)
+      Term = &P.Blocks[Blk].Insts.back();
+    if (!Term)
+      continue;
+    for (uint32_t Target : {Term->Target0, Term->Target1}) {
+      Function Candidate = P;
+      Instruction &CTerm = Candidate.Blocks[Blk].Insts.back();
+      CTerm.Op = Opcode::Jmp;
+      CTerm.Src1 = NoReg;
+      CTerm.Target0 = Target;
+      CTerm.Target1 = NoBlock;
+      if (T.stillFails(Candidate)) {
+        P = std::move(Candidate);
+        Progress = true;
+        break; // This block's terminator is now a jmp.
+      }
+    }
+  }
+  return Progress;
+}
+
+/// Pass 2: drop blocks unreachable from the entry, renumbering targets.
+/// Purely structural (no predicate call needed to stay sound — removing
+/// unreachable code cannot change behaviour — but we still confirm the
+/// failure so the reduction never masks a reachability-sensitive bug in
+/// the system under test, e.g. the encoder's unreachable-block repair).
+bool dropUnreachable(Function &P, Tester &T) {
+  if (P.Blocks.empty() || T.exhausted())
+    return false;
+  std::vector<uint8_t> Reachable(P.Blocks.size(), 0);
+  std::vector<uint32_t> Work{0};
+  Reachable[0] = 1;
+  while (!Work.empty()) {
+    uint32_t B = Work.back();
+    Work.pop_back();
+    const Instruction *Term = P.Blocks[B].terminator();
+    if (!Term)
+      continue;
+    for (uint32_t S : {Term->Target0, Term->Target1})
+      if (S != NoBlock && S < P.Blocks.size() && !Reachable[S]) {
+        Reachable[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  if (std::all_of(Reachable.begin(), Reachable.end(),
+                  [](uint8_t R) { return R != 0; }))
+    return false;
+
+  std::vector<uint32_t> NewIndex(P.Blocks.size(), NoBlock);
+  Function Candidate;
+  Candidate.Name = P.Name;
+  Candidate.NumRegs = P.NumRegs;
+  Candidate.MemWords = P.MemWords;
+  Candidate.NumSpillSlots = P.NumSpillSlots;
+  for (uint32_t B = 0; B != P.Blocks.size(); ++B)
+    if (Reachable[B]) {
+      NewIndex[B] = static_cast<uint32_t>(Candidate.Blocks.size());
+      Candidate.Blocks.push_back(P.Blocks[B]);
+    }
+  for (BasicBlock &BB : Candidate.Blocks)
+    for (Instruction &I : BB.Insts) {
+      if (I.Target0 != NoBlock)
+        I.Target0 = NewIndex[I.Target0];
+      if (I.Target1 != NoBlock)
+        I.Target1 = NewIndex[I.Target1];
+    }
+  if (T.stillFails(Candidate)) {
+    P = std::move(Candidate);
+    return true;
+  }
+  return false;
+}
+
+/// Pass 3: ddmin-style deletion of contiguous non-terminator instruction
+/// runs, per block, halving chunk sizes down to 1.
+bool deleteInstructions(Function &P, Tester &T) {
+  bool Progress = false;
+  for (size_t Blk = 0; Blk != P.Blocks.size() && !T.exhausted(); ++Blk) {
+    // The terminator (last instruction) is never deleted.
+    size_t Deletable = P.Blocks[Blk].Insts.size();
+    if (Deletable != 0 && P.Blocks[Blk].Insts.back().isTerminator())
+      --Deletable;
+    size_t Chunk = std::max<size_t>(Deletable / 2, 1);
+    while (Chunk >= 1 && Deletable != 0 && !T.exhausted()) {
+      bool DeletedAtThisSize = false;
+      for (size_t Start = 0; Start < Deletable && !T.exhausted();) {
+        size_t Len = std::min(Chunk, Deletable - Start);
+        Function Candidate = P;
+        auto &Insts = Candidate.Blocks[Blk].Insts;
+        Insts.erase(Insts.begin() + static_cast<ptrdiff_t>(Start),
+                    Insts.begin() + static_cast<ptrdiff_t>(Start + Len));
+        if (T.stillFails(Candidate)) {
+          P = std::move(Candidate);
+          Deletable -= Len;
+          Progress = DeletedAtThisSize = true;
+          // Start stays: the next run shifted into place.
+        } else {
+          Start += Len;
+        }
+      }
+      if (Chunk == 1)
+        break;
+      Chunk = DeletedAtThisSize ? Chunk : Chunk / 2;
+    }
+  }
+  return Progress;
+}
+
+} // namespace
+
+MinimizeResult dra::minimizeProgram(const Function &P,
+                                    const FailPredicate &StillFails,
+                                    size_t MaxSteps) {
+  MinimizeResult Out;
+  Out.Reduced = P;
+  Tester T(StillFails, MaxSteps);
+  bool Progress = true;
+  while (Progress && !T.exhausted()) {
+    Progress = false;
+    Progress |= simplifyTerminators(Out.Reduced, T);
+    Progress |= dropUnreachable(Out.Reduced, T);
+    Progress |= deleteInstructions(Out.Reduced, T);
+  }
+  Out.Steps = T.steps();
+  return Out;
+}

@@ -1,0 +1,57 @@
+//===- fuzz/Minimizer.h - Delta-debugging program shrinker ------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A delta-debugging minimizer for failing fuzz cases. Given a program and
+/// a predicate "does this program still fail the oracle?", it greedily
+/// applies structure-preserving reductions and keeps every candidate the
+/// predicate confirms:
+///
+///  1. terminator simplification — rewrite a conditional branch to an
+///     unconditional jump (either arm), shedding CFG edges;
+///  2. unreachable-block elimination — drop blocks no longer reachable
+///     from the entry and renumber branch targets;
+///  3. instruction deletion — ddmin-style: remove contiguous runs of
+///     non-terminator instructions per block, halving the chunk size down
+///     to single instructions.
+///
+/// The passes iterate to a fixpoint under a predicate-invocation budget.
+/// Every candidate is verified (verifyFunction) before the predicate runs,
+/// so the minimizer can never hand an ill-formed program to the pipeline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FUZZ_MINIMIZER_H
+#define DRA_FUZZ_MINIMIZER_H
+
+#include "ir/Function.h"
+
+#include <cstddef>
+#include <functional>
+
+namespace dra {
+
+/// Returns true when the candidate program still exhibits the failure.
+using FailPredicate = std::function<bool(const Function &)>;
+
+/// Minimization outcome.
+struct MinimizeResult {
+  /// The smallest failing program found (the input if nothing shrank).
+  Function Reduced;
+  /// Predicate invocations spent (the dominant cost: each one re-runs the
+  /// pipeline and the oracle).
+  size_t Steps = 0;
+};
+
+/// Shrinks \p P while \p StillFails holds, spending at most \p MaxSteps
+/// predicate invocations. \p P itself must satisfy the predicate.
+MinimizeResult minimizeProgram(const Function &P,
+                               const FailPredicate &StillFails,
+                               size_t MaxSteps = 600);
+
+} // namespace dra
+
+#endif // DRA_FUZZ_MINIMIZER_H

@@ -1,0 +1,123 @@
+//===- fuzz/Oracle.cpp - Lockstep interpreter oracle ----------------------===//
+
+#include "fuzz/Oracle.h"
+
+#include <algorithm>
+#include <sstream>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+/// Compact record of one executed (non-SetLastReg) instruction; exactly
+/// the fields the oracle compares, plus InstIdx for diagnostics.
+struct TraceRec {
+  uint32_t Block;
+  uint32_t InstIdx;
+  Opcode Op;
+  uint64_t MemAddr;
+  bool BranchTaken;
+
+  bool comparable(const TraceRec &O) const {
+    return Block == O.Block && Op == O.Op && MemAddr == O.MemAddr &&
+           BranchTaken == O.BranchTaken;
+  }
+};
+
+/// FNV-1a fold of one record into \p Hash (InstIdx excluded — it shifts
+/// under SetLastReg insertion).
+void foldHash(uint64_t &Hash, const TraceRec &R) {
+  auto Mix = [&](uint64_t Bits) {
+    for (int Byte = 0; Byte != 8; ++Byte) {
+      Hash ^= (Bits >> (Byte * 8)) & 0xff;
+      Hash *= 1099511628211ull;
+    }
+  };
+  Mix(R.Block);
+  Mix(static_cast<uint64_t>(R.Op));
+  Mix(R.MemAddr);
+  Mix(R.BranchTaken);
+}
+
+std::string describe(const TraceRec &R) {
+  std::ostringstream OS;
+  OS << opcodeName(R.Op) << " @ bb" << R.Block << "[" << R.InstIdx << "]"
+     << " mem=" << R.MemAddr << " taken=" << (R.BranchTaken ? 1 : 0);
+  return OS.str();
+}
+
+/// One side's execution: final state, bounded trace prefix, full-stream
+/// hash and event count.
+struct SideTrace {
+  ExecResult Result;
+  std::vector<TraceRec> Prefix;
+  uint64_t Hash = 1469598103934665603ull;
+  uint64_t Events = 0;
+};
+
+SideTrace run(const Function &F, const OracleOptions &O) {
+  SideTrace S;
+  S.Prefix.reserve(std::min<size_t>(O.MaxTraceEvents, 4096));
+  S.Result = interpret(F, O.StepLimit, [&](const TraceEvent &Ev) {
+    if (Ev.Inst->Op == Opcode::SetLastReg)
+      return;
+    TraceRec R{Ev.Block, Ev.InstIdx, Ev.Inst->Op, Ev.MemAddr,
+               Ev.BranchTaken};
+    if (S.Prefix.size() < O.MaxTraceEvents)
+      S.Prefix.push_back(R);
+    foldHash(S.Hash, R);
+    ++S.Events;
+  });
+  return S;
+}
+
+} // namespace
+
+OracleResult dra::compareLockstep(const Function &Ref, const Function &Cand,
+                                  const OracleOptions &O) {
+  OracleResult Out;
+  SideTrace A = run(Ref, O);
+  SideTrace B = run(Cand, O);
+  Out.Ref = A.Result;
+  Out.Cand = B.Result;
+
+  auto Fail = [&](const std::string &Msg) {
+    Out.Match = false;
+    Out.Divergence = Msg;
+    return Out;
+  };
+
+  // Lockstep trace comparison first: the earliest divergence is the most
+  // useful diagnostic (final-state mismatches are downstream symptoms).
+  size_t Common = std::min(A.Prefix.size(), B.Prefix.size());
+  for (size_t I = 0; I != Common; ++I) {
+    if (!A.Prefix[I].comparable(B.Prefix[I])) {
+      Out.EventIndex = I;
+      return Fail("trace event " + std::to_string(I) + " diverges: ref {" +
+                  describe(A.Prefix[I]) + "} vs cand {" +
+                  describe(B.Prefix[I]) + "}");
+    }
+  }
+  if (A.Events != B.Events)
+    return Fail("executed event counts differ: ref " +
+                std::to_string(A.Events) + " vs cand " +
+                std::to_string(B.Events));
+  if (A.Hash != B.Hash)
+    return Fail("trace streams diverge past the retained prefix (hash "
+                "mismatch over " +
+                std::to_string(A.Events) + " events)");
+  if (A.Result.HitStepLimit != B.Result.HitStepLimit)
+    return Fail("step-limit flag differs");
+  if (A.Result.ReturnValue != B.Result.ReturnValue)
+    return Fail("return values differ: ref " +
+                std::to_string(A.Result.ReturnValue) + " vs cand " +
+                std::to_string(B.Result.ReturnValue));
+  if (A.Result.MemChecksum != B.Result.MemChecksum)
+    return Fail("final data-array checksums differ");
+  if (A.Result.DynInsts != B.Result.DynInsts)
+    return Fail("dynamic instruction counts differ: ref " +
+                std::to_string(A.Result.DynInsts) + " vs cand " +
+                std::to_string(B.Result.DynInsts));
+  return Out;
+}

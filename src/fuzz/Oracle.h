@@ -1,0 +1,69 @@
+//===- fuzz/Oracle.h - Lockstep interpreter oracle --------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The differential-testing oracle: two structurally comparable functions
+/// (the allocated program and its encode → decode → strip round trip) are
+/// interpreted with the same step limit and compared
+///
+///  * on their final architectural state — return value, data-array
+///    checksum, executed-instruction count, step-limit flag — and
+///  * per executed instruction ("lockstep"): block index, opcode,
+///    effective memory address and branch direction must agree event for
+///    event.
+///
+/// SetLastReg pseudo instructions are invisible to the oracle (they have
+/// no architectural effect), and instruction indices within a block are
+/// deliberately not compared — so a function may be checked against a
+/// version of itself with set_last_reg annotations inserted or removed.
+/// Trace memory is bounded: the first `MaxTraceEvents` events are
+/// retained verbatim so the first divergence can be reported precisely;
+/// the full streams are additionally folded into running hashes so a
+/// divergence past the retained prefix is still detected.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FUZZ_ORACLE_H
+#define DRA_FUZZ_ORACLE_H
+
+#include "interp/Interpreter.h"
+#include "ir/Function.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dra {
+
+/// Oracle knobs.
+struct OracleOptions {
+  /// Step limit applied identically to both executions.
+  uint64_t StepLimit = 2'000'000;
+  /// Trace events retained verbatim per side for precise first-divergence
+  /// reporting; events beyond the cap only feed the running hash.
+  size_t MaxTraceEvents = 1u << 16;
+};
+
+/// Outcome of one lockstep comparison.
+struct OracleResult {
+  bool Match = true;
+  /// Human-readable description of the first divergence (empty on match).
+  std::string Divergence;
+  /// Index of the first diverging trace event, or ~0ull if the divergence
+  /// is in the final state only (or past the retained prefix).
+  uint64_t EventIndex = ~0ull;
+  ExecResult Ref;
+  ExecResult Cand;
+};
+
+/// Interprets \p Ref and \p Cand under identical limits and compares final
+/// state plus the per-instruction trace. The two functions must share the
+/// same block structure (they may differ in SetLastReg annotations).
+OracleResult compareLockstep(const Function &Ref, const Function &Cand,
+                             const OracleOptions &O = {});
+
+} // namespace dra
+
+#endif // DRA_FUZZ_ORACLE_H

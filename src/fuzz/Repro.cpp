@@ -1,0 +1,174 @@
+//===- fuzz/Repro.cpp - Self-contained failure reproductions --------------===//
+
+#include "fuzz/Repro.h"
+
+#include "ir/Parser.h"
+
+#include <sstream>
+
+using namespace dra;
+
+namespace {
+
+const char *shortSchemeName(Scheme S) {
+  switch (S) {
+  case Scheme::Baseline:
+    return "baseline";
+  case Scheme::OSpill:
+    return "ospill";
+  case Scheme::Remap:
+    return "remap";
+  case Scheme::Select:
+    return "select";
+  case Scheme::Coalesce:
+    return "coalesce";
+  }
+  return "<bad>";
+}
+
+bool parseScheme(const std::string &Name, Scheme &Out) {
+  for (Scheme S : {Scheme::Baseline, Scheme::OSpill, Scheme::Remap,
+                   Scheme::Select, Scheme::Coalesce})
+    if (Name == shortSchemeName(S)) {
+      Out = S;
+      return true;
+    }
+  return false;
+}
+
+bool fail(std::string *Err, const std::string &Msg) {
+  if (Err)
+    *Err = Msg;
+  return false;
+}
+
+/// Splits "a,b,c" into numbers; empty string yields an empty list.
+bool parseRegList(const std::string &S, std::vector<RegId> &Out) {
+  Out.clear();
+  if (S.empty() || S == "none")
+    return true;
+  std::stringstream In(S);
+  std::string Item;
+  while (std::getline(In, Item, ',')) {
+    try {
+      Out.push_back(static_cast<RegId>(std::stoul(Item)));
+    } catch (...) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Parses "key=value" tokens of the `# enc:` directive into \p C.
+bool parseEncToken(const std::string &Tok, EncodingConfig &C) {
+  size_t Eq = Tok.find('=');
+  if (Eq == std::string::npos)
+    return false;
+  std::string Key = Tok.substr(0, Eq);
+  std::string Val = Tok.substr(Eq + 1);
+  try {
+    if (Key == "regn")
+      C.RegN = static_cast<unsigned>(std::stoul(Val));
+    else if (Key == "diffn")
+      C.DiffN = static_cast<unsigned>(std::stoul(Val));
+    else if (Key == "diffw")
+      C.DiffW = static_cast<unsigned>(std::stoul(Val));
+    else if (Key == "order") {
+      if (Val == "src")
+        C.Order = AccessOrder::SrcFirst;
+      else if (Val == "dst")
+        C.Order = AccessOrder::DstFirst;
+      else
+        return false;
+    } else if (Key == "specials")
+      return parseRegList(Val, C.SpecialRegs);
+    else
+      return true; // Unknown key: ignore for forward compatibility.
+  } catch (...) {
+    return false;
+  }
+  return true;
+}
+
+} // namespace
+
+std::string dra::writeRepro(const FuzzCase &FC, const Function &P) {
+  std::ostringstream Out;
+  Out << "# dra-fuzz repro v1\n";
+  Out << "# case: " << FC.name() << "\n";
+  Out << "# seed: " << FC.Seed << "\n";
+  Out << "# index: " << FC.Index << "\n";
+  Out << "# scheme: " << shortSchemeName(FC.S) << "\n";
+  Out << "# enc: regn=" << FC.Enc.RegN << " diffn=" << FC.Enc.DiffN
+      << " diffw=" << FC.Enc.DiffW << " order="
+      << (FC.Enc.Order == AccessOrder::SrcFirst ? "src" : "dst");
+  Out << " specials=";
+  if (FC.Enc.SpecialRegs.empty())
+    Out << "none";
+  else
+    for (size_t I = 0; I != FC.Enc.SpecialRegs.size(); ++I)
+      Out << (I ? "," : "") << unsigned(FC.Enc.SpecialRegs[I]);
+  Out << "\n";
+  Out << "# steplimit: " << FC.StepLimit << "\n";
+  Out << "# fault: " << injectFaultName(FC.Fault) << "\n";
+  Out << printFunction(P);
+  return Out.str();
+}
+
+bool dra::loadRepro(const std::string &Text, FuzzCase &FC, Function &P,
+                    std::string *Err) {
+  FC = FuzzCase();
+  std::istringstream In(Text);
+  std::string Line;
+  std::string Body;
+  bool SawMagic = false;
+  bool InBody = false;
+  while (std::getline(In, Line)) {
+    if (InBody || Line.empty() || Line[0] != '#') {
+      // First non-directive line starts the IR body.
+      InBody = InBody || !Line.empty();
+      if (InBody)
+        Body += Line + "\n";
+      continue;
+    }
+    std::istringstream LS(Line);
+    std::string Hash, Key;
+    LS >> Hash >> Key;
+    if (Key == "dra-fuzz") {
+      SawMagic = true;
+    } else if (Key == "seed:") {
+      LS >> FC.Seed;
+    } else if (Key == "index:") {
+      LS >> FC.Index;
+    } else if (Key == "steplimit:") {
+      LS >> FC.StepLimit;
+    } else if (Key == "scheme:") {
+      std::string Name;
+      LS >> Name;
+      if (!parseScheme(Name, FC.S))
+        return fail(Err, "repro: unknown scheme '" + Name + "'");
+    } else if (Key == "fault:") {
+      std::string Name;
+      LS >> Name;
+      if (!parseInjectFault(Name, FC.Fault))
+        return fail(Err, "repro: unknown fault '" + Name + "'");
+    } else if (Key == "enc:") {
+      std::string Tok;
+      while (LS >> Tok)
+        if (!parseEncToken(Tok, FC.Enc))
+          return fail(Err, "repro: bad enc token '" + Tok + "'");
+    }
+    // Any other directive (e.g. "# case:") is informational.
+  }
+  if (!SawMagic)
+    return fail(Err, "repro: missing '# dra-fuzz repro' header");
+  if (!FC.Enc.valid())
+    return fail(Err, "repro: encoding config invalid (DiffN + specials "
+                     "must fit in 2^DiffW)");
+  std::string ParseErr;
+  std::optional<Function> F = parseFunction(Body, &ParseErr);
+  if (!F)
+    return fail(Err, "repro: " + ParseErr);
+  P = std::move(*F);
+  return true;
+}

@@ -1,0 +1,49 @@
+//===- fuzz/Repro.h - Self-contained failure reproductions ------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Serialization for failing fuzz cases. A repro file is self-contained:
+/// it carries the full case configuration (scheme, encoding, step limit,
+/// fault injection) as `#`-prefixed header directives, followed by the
+/// (minimized) program in the textual IR syntax of ir/Parser.h — so
+/// `dra-fuzz --repro=FILE` replays the exact failure with no other state.
+///
+///   # dra-fuzz repro v1
+///   # seed: 8417296523187197225
+///   # index: 42
+///   # scheme: coalesce
+///   # enc: regn=32 diffn=30 diffw=5 order=dst specials=31,30
+///   # steplimit: 2000000
+///   # fault: none
+///   func fz42 regs=34 mem=64 spills=0
+///   ...
+///
+/// Unknown `#` directives are ignored (forward compatibility); missing
+/// ones keep their defaults. The embedded program takes the place of the
+/// case's generated one, so replay never re-runs ProgramGen.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FUZZ_REPRO_H
+#define DRA_FUZZ_REPRO_H
+
+#include "fuzz/Fuzzer.h"
+
+#include <string>
+
+namespace dra {
+
+/// Serializes \p FC and \p P as a repro file (header + textual IR).
+std::string writeRepro(const FuzzCase &FC, const Function &P);
+
+/// Parses a repro file. On success fills \p FC and \p P and returns true;
+/// on failure returns false with a diagnostic in \p Err (if non-null).
+bool loadRepro(const std::string &Text, FuzzCase &FC, Function &P,
+               std::string *Err = nullptr);
+
+} // namespace dra
+
+#endif // DRA_FUZZ_REPRO_H

@@ -5,6 +5,8 @@
 #include "adt/Rng.h"
 #include "ir/IRBuilder.h"
 
+#include <algorithm>
+
 using namespace dra;
 
 namespace {
@@ -178,7 +180,10 @@ private:
     B.createJmp(Body);
 
     B.setBlock(Body);
-    emitStatements(std::max(2u, P.BodyStatements - Depth), Depth + 1);
+    // Saturating subtraction: a profile with BodyStatements < Depth must
+    // shrink to the floor of 2, not wrap around to ~4 billion statements.
+    unsigned Shrink = std::min(Depth, P.BodyStatements);
+    emitStatements(std::max(2u, P.BodyStatements - Shrink), Depth + 1);
     B.createBinImmTo(Opcode::AddI, Counter, Counter, -1);
     B.createBr(Counter, Body, Exit);
 

@@ -5,6 +5,7 @@
 #include "ir/IRBuilder.h"
 #include "regalloc/GraphColoring.h"
 #include "sim/LowEndSim.h"
+#include "workloads/ProgramGen.h"
 
 #include <gtest/gtest.h>
 
@@ -254,4 +255,109 @@ TEST(EncoderEdge, SpecialRegisterPipelineRecipe) {
         SawSpecial |= Code == C.specialCode(11);
   EXPECT_TRUE(SawSpecial);
   EXPECT_EQ(fingerprint(interpret(E.Annotated)), fingerprint(Reference));
+}
+
+TEST(EncoderEdge, ZeroBlockFunctionIsVacuouslyDecodable) {
+  // Regression: verifyDecodable seeded its reachability worklist with
+  // block 0 unconditionally, indexing out of bounds for a function with
+  // no blocks at all. Such a function has no register fields, so it is
+  // vacuously decodable; the whole encode path must tolerate it.
+  Function F;
+  F.NumRegs = 12;
+  EncodingConfig C = lowEndConfig(12);
+  std::string Err;
+  EXPECT_TRUE(verifyDecodable(F, C, &Err)) << Err;
+  EncodedFunction E = encodeFunction(F, C);
+  EXPECT_TRUE(E.Annotated.Blocks.empty());
+  EXPECT_TRUE(E.Codes.empty());
+  EXPECT_EQ(E.Stats.setLastTotal(), 0u);
+}
+
+TEST(EncoderEdge, VerifyRejectsOverDelayedSlr) {
+  // Regression: the decoder clears pending delayed assignments after
+  // every real instruction, so a set_last_reg whose delay is >= the next
+  // instruction's register-field count silently never applies.
+  // verifyDecodable must reject the annotation instead of letting decode
+  // diverge from the stated last_reg.
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  Instruction Slr;
+  Slr.Op = Opcode::SetLastReg;
+  Slr.Imm = 5;
+  Slr.Aux = 2; // Would apply before field 2 — but ret has only one field.
+  F.Blocks[B0].Insts.push_back(Slr);
+  Instruction Ret;
+  Ret.Op = Opcode::Ret;
+  Ret.Src1 = 0;
+  F.Blocks[B0].Insts.push_back(Ret);
+  F.recomputeCFG();
+  std::string Err;
+  EXPECT_FALSE(verifyDecodable(F, lowEndConfig(12), &Err));
+  EXPECT_NE(Err.find("never applies"), std::string::npos) << Err;
+}
+
+TEST(EncoderEdge, VerifyRejectsDanglingDelayedSlr) {
+  // A delayed set_last_reg as the final instruction of a block has no
+  // following instruction to apply at.
+  Function F;
+  F.NumRegs = 12;
+  F.MemWords = 4;
+  uint32_t B0 = F.makeBlock();
+  IRBuilder B(F);
+  B.setBlock(B0);
+  B.createMovImmTo(0, 7);
+  Instruction Slr;
+  Slr.Op = Opcode::SetLastReg;
+  Slr.Imm = 5;
+  Slr.Aux = 1;
+  F.Blocks[B0].Insts.push_back(Slr);
+  F.recomputeCFG();
+  std::string Err;
+  EXPECT_FALSE(verifyDecodable(F, lowEndConfig(12), &Err));
+  EXPECT_NE(Err.find("dangles"), std::string::npos) << Err;
+}
+
+TEST(EncoderEdge, RoundTripPropertyAcrossOrdersAndSpecials) {
+  // Seeded property check: for random allocated programs and every
+  // encoding variant, stripSetLastReg(decode(encode(F))) must equal F
+  // textually and semantically. This is the same identity dra-fuzz
+  // sweeps at scale; a handful of seeds keeps it in the unit suite.
+  EncodingConfig Src = lowEndConfig(12);
+  EncodingConfig Dst = lowEndConfig(12);
+  Dst.Order = AccessOrder::DstFirst;
+  EncodingConfig Sp = lowEndConfig(12);
+  Sp.DiffN = 7;
+  Sp.SpecialRegs = {11};
+  ASSERT_TRUE(Sp.valid());
+
+  for (uint64_t Seed = 1; Seed <= 6; ++Seed) {
+    ProgramProfile P;
+    P.Seed = Seed;
+    P.TopStatements = 6;
+    P.OuterTrip = 2;
+    P.MemWords = 32;
+    Function F = generateProgram("prop" + std::to_string(Seed), P);
+    // Allocate onto 11 colors so r11 stays free to act as the special
+    // register in the Sp config (it simply never occurs).
+    allocateGraphColoring(F, 11);
+    F.NumRegs = 12;
+    F.recomputeCFG();
+    uint64_t RefFp = fingerprint(interpret(F));
+
+    for (const EncodingConfig &C : {Src, Dst, Sp}) {
+      EncodedFunction E = encodeFunction(F, C);
+      std::string Err;
+      ASSERT_TRUE(verifyDecodable(E.Annotated, C, &Err))
+          << "seed " << Seed << ": " << Err;
+      Function Decoded = decodeFunction(E, C);
+      Function Stripped = stripSetLastReg(Decoded);
+      EXPECT_EQ(printFunction(Stripped), printFunction(F))
+          << "seed " << Seed;
+      EXPECT_EQ(fingerprint(interpret(Decoded)), RefFp) << "seed " << Seed;
+    }
+  }
 }
