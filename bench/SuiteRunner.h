@@ -24,6 +24,7 @@
 #define DRA_BENCH_SUITERUNNER_H
 
 #include "core/Pipeline.h"
+#include "driver/Metrics.h"
 #include "driver/Telemetry.h"
 
 #include <map>
@@ -99,6 +100,36 @@ struct VliwRow {
 /// "swp" span per (loop, RegN) schedule.
 std::vector<VliwRow> runVliwSuite(unsigned LoopCount = 0, unsigned Jobs = 0,
                                   Telemetry *Telem = nullptr);
+
+/// One measured arm of the remap-search microbenchmark
+/// (bench_remap_search; also folded into BENCH_vliw.json by the VLIW
+/// suite as remap.* gauges).
+struct RemapSearchPerf {
+  std::string Arm;     ///< "full-recost", "incident", or "incremental".
+  unsigned RegN = 0;
+  unsigned Jobs = 1;   ///< RemapOptions::Jobs of this arm.
+  double Seconds = 0;  ///< Wall time of the findRemap call.
+  double SwapsEvaluated = 0;
+  double SwapsPerSec = 0; ///< The throughput metric CI gates on.
+  double CostAfter = 0;
+  /// Permutation identical to the first arm's (all arms are exact on the
+  /// integer-weight graph, so any divergence is a bug).
+  bool MatchesReference = true;
+};
+
+/// Times the multi-start greedy remap search over a seeded dense synthetic
+/// adjacency graph at \p RegN (vliwConfig, integer weights): the
+/// full-recost baseline, the pre-incremental incident-walk arm, the
+/// incremental arm, and the incremental arm again at each worker count in
+/// \p ParallelJobs. Every arm evaluates the identical swap sequence, so
+/// swaps/second compares pure evaluation throughput.
+std::vector<RemapSearchPerf>
+measureRemapSearch(unsigned RegN, unsigned NumStarts,
+                   const std::vector<unsigned> &ParallelJobs);
+
+/// Folds \p Perf into \p Reg as remap.* gauges labeled {arm, jobs, regn}.
+void recordRemapSearchPerf(MetricsRegistry &Reg,
+                           const std::vector<RemapSearchPerf> &Perf);
 
 } // namespace dra
 

@@ -1,0 +1,235 @@
+//===- bench/bench_remap_search.cpp - Remap search arm comparison ---------===//
+//
+// Microbenchmark and acceptance harness for the incremental/parallel
+// multi-start remap search (core/Remap.cpp). Three modes:
+//
+//  * default: times the full-recost, incident-walk, incremental, and
+//    parallel-incremental arms over seeded dense graphs and prints a
+//    swaps/second table (all arms evaluate the identical swap sequence,
+//    so the rate compares pure evaluation throughput);
+//
+//  * --corpus=DIR: compiles every .dra file to physical registers and
+//    checks that the incremental search — at Jobs 1, 2, 4, and 8 — returns
+//    a RemapResult bit-identical to the pre-incremental incident-walk
+//    reference arm, permutation, costs, and stats included. Exits 1 on the
+//    first divergence; runs as the `bench_remap_corpus_identity` ctest;
+//
+//  * --perf-out=DIR: writes remap_perf_full.json and
+//    remap_perf_incremental.json, each carrying the *same* unlabeled
+//    gauge keys (remap.swaps_evaluated_per_sec, ...) for its arm, so
+//      dra-stats --fail-on=remap.swaps_evaluated_per_sec:-80 \
+//          remap_perf_incremental.json remap_perf_full.json
+//    fails unless the incremental arm is more than 5x the full-recost
+//    baseline on the same machine and run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SuiteRunner.h"
+
+#include "core/Remap.h"
+#include "ir/Parser.h"
+#include "regalloc/GraphColoring.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+/// Field-by-field RemapResult comparison. The incremental-only delta
+/// counters are excluded when the reference is a legacy arm (which leaves
+/// them zero by design).
+bool sameResult(const RemapResult &A, const RemapResult &B,
+                bool WithDeltaStats, std::string &Why) {
+  auto Fail = [&](const char *Field) {
+    Why = std::string("field ") + Field + " differs";
+    return false;
+  };
+  if (A.Perm != B.Perm)
+    return Fail("Perm");
+  if (A.CostBefore != B.CostBefore)
+    return Fail("CostBefore");
+  if (A.CostAfter != B.CostAfter)
+    return Fail("CostAfter");
+  if (A.Exhaustive != B.Exhaustive)
+    return Fail("Exhaustive");
+  if (A.StartsRun != B.StartsRun)
+    return Fail("StartsRun");
+  if (A.StartsCutOff != B.StartsCutOff)
+    return Fail("StartsCutOff");
+  if (A.SwapsEvaluated != B.SwapsEvaluated)
+    return Fail("SwapsEvaluated");
+  if (A.SwapsApplied != B.SwapsApplied)
+    return Fail("SwapsApplied");
+  if (WithDeltaStats) {
+    if (A.DeltaArcsVisited != B.DeltaArcsVisited)
+      return Fail("DeltaArcsVisited");
+    if (A.DeltaRecostSavings != B.DeltaRecostSavings)
+      return Fail("DeltaRecostSavings");
+  }
+  return true;
+}
+
+/// Acceptance mode: every corpus function, compiled to physical registers,
+/// must remap identically under the legacy reference and the incremental
+/// search at every job count.
+int runCorpusIdentity(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> Files;
+  std::error_code EC;
+  for (const auto &Entry : fs::directory_iterator(Dir, EC))
+    if (Entry.path().extension() == ".dra")
+      Files.push_back(Entry.path().string());
+  if (EC || Files.empty()) {
+    std::fprintf(stderr, "error: no .dra files under '%s'\n", Dir.c_str());
+    return 2;
+  }
+  std::sort(Files.begin(), Files.end());
+
+  const unsigned JobCounts[] = {1, 2, 4, 8};
+  size_t Checked = 0;
+  for (const std::string &Path : Files) {
+    std::ifstream In(Path);
+    std::string Text(std::istreambuf_iterator<char>(In),
+                     std::istreambuf_iterator<char>{});
+    std::string Err;
+    auto Parsed = parseFunction(Text, &Err);
+    if (!Parsed) {
+      std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+      return 2;
+    }
+    allocateGraphColoring(*Parsed, 12);
+    EncodingConfig C = lowEndConfig(12);
+
+    RemapOptions Legacy;
+    Legacy.NumStarts = 64;
+    Legacy.UseIncremental = false;
+    Function FL = *Parsed;
+    RemapResult RL = remapFunction(FL, C, Legacy);
+
+    for (unsigned Jobs : JobCounts) {
+      RemapOptions O;
+      O.NumStarts = 64;
+      O.Jobs = Jobs;
+      Function FI = *Parsed;
+      RemapResult RI = remapFunction(FI, C, O);
+      std::string Why;
+      if (!sameResult(RL, RI, /*WithDeltaStats=*/false, Why)) {
+        std::fprintf(stderr,
+                     "MISMATCH: %s: incremental jobs=%u vs legacy: %s\n",
+                     Path.c_str(), Jobs, Why.c_str());
+        return 1;
+      }
+      if (printFunction(FL) != printFunction(FI)) {
+        std::fprintf(stderr,
+                     "MISMATCH: %s: remapped function differs at jobs=%u\n",
+                     Path.c_str(), Jobs);
+        return 1;
+      }
+      ++Checked;
+    }
+  }
+  std::printf("corpus identity: %zu file(s) x %zu job count(s), %zu "
+              "comparisons, all bit-identical\n",
+              Files.size(), std::size(JobCounts), Checked);
+  return 0;
+}
+
+/// Writes one arm's measurements as unlabeled gauges (identical keys in
+/// both files so dra-stats pairs them).
+bool writePerfFile(const std::string &Path, const RemapSearchPerf &P) {
+  MetricsRegistry Reg;
+  Reg.gauge("remap.search_seconds", P.Seconds);
+  Reg.gauge("remap.swaps_evaluated", P.SwapsEvaluated);
+  Reg.gauge("remap.swaps_evaluated_per_sec", P.SwapsPerSec);
+  Reg.gauge("remap.cost_after", P.CostAfter);
+  Reg.gauge("remap.regn", static_cast<double>(P.RegN));
+  std::string Err;
+  if (!Reg.writeJsonFile(Path, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return false;
+  }
+  std::printf("wrote %s (%s arm, %.3g swaps/s)\n", Path.c_str(),
+              P.Arm.c_str(), P.SwapsPerSec);
+  return true;
+}
+
+int runPerfOut(const std::string &Dir) {
+  namespace fs = std::filesystem;
+  std::error_code EC;
+  fs::create_directories(Dir, EC);
+  std::vector<RemapSearchPerf> Perf = measureRemapSearch(64, 24, {});
+  const RemapSearchPerf *Full = nullptr, *Incremental = nullptr;
+  for (const RemapSearchPerf &P : Perf) {
+    if (P.Arm == "full-recost")
+      Full = &P;
+    if (P.Arm == "incremental" && P.Jobs == 1)
+      Incremental = &P;
+    if (!P.MatchesReference) {
+      std::fprintf(stderr, "error: arm %s diverged from reference\n",
+                   P.Arm.c_str());
+      return 1;
+    }
+  }
+  if (!Full || !Incremental)
+    return 1;
+  if (!writePerfFile((fs::path(Dir) / "remap_perf_full.json").string(),
+                     *Full) ||
+      !writePerfFile(
+          (fs::path(Dir) / "remap_perf_incremental.json").string(),
+          *Incremental))
+    return 1;
+  std::printf("incremental/full speedup: %.1fx\n",
+              Incremental->SwapsPerSec / Full->SwapsPerSec);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string Corpus, PerfOut;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--corpus=", 0) == 0)
+      Corpus = Arg.substr(std::strlen("--corpus="));
+    else if (Arg.rfind("--perf-out=", 0) == 0)
+      PerfOut = Arg.substr(std::strlen("--perf-out="));
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_remap_search [--corpus=DIR | "
+                   "--perf-out=DIR]\n");
+      return 2;
+    }
+  }
+  if (!Corpus.empty())
+    return runCorpusIdentity(Corpus);
+  if (!PerfOut.empty())
+    return runPerfOut(PerfOut);
+
+  std::printf("Remap search arms (multi-start greedy descent; identical "
+              "swap sequences, so swaps/s is evaluation throughput)\n");
+  for (unsigned RegN : {32u, 64u}) {
+    std::vector<RemapSearchPerf> Perf = measureRemapSearch(RegN, 24, {2, 4});
+    double Baseline = 0;
+    for (const RemapSearchPerf &P : Perf) {
+      if (P.Arm == std::string("full-recost"))
+        Baseline = P.SwapsPerSec;
+      std::printf("  RegN %2u  %-12s jobs %u  %9.0f swaps in %7.3fs  "
+                  "%12.0f swaps/s  (%5.1fx)  cost %g%s\n",
+                  P.RegN, P.Arm.c_str(), P.Jobs, P.SwapsEvaluated,
+                  P.Seconds, P.SwapsPerSec,
+                  Baseline > 0 ? P.SwapsPerSec / Baseline : 1.0, P.CostAfter,
+                  P.MatchesReference ? "" : "  DIVERGED!");
+      if (!P.MatchesReference)
+        return 1;
+    }
+  }
+  return 0;
+}

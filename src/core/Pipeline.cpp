@@ -249,6 +249,11 @@ void flushPipelineMetrics(MetricsRegistry &M, const PipelineConfig &C,
   Count("remap.swaps_evaluated",
         static_cast<double>(R.Remap.SwapsEvaluated));
   Count("remap.swaps_applied", static_cast<double>(R.Remap.SwapsApplied));
+  Count("remap.starts_cutoff", R.Remap.StartsCutOff);
+  Count("remap.delta_arc_visits",
+        static_cast<double>(R.Remap.DeltaArcsVisited));
+  Count("remap.delta_recost_savings",
+        static_cast<double>(R.Remap.DeltaRecostSavings));
   Count("remap.exhaustive", R.Remap.Exhaustive ? 1 : 0);
   Gauge("remap.cost_before", R.Remap.CostBefore);
   Gauge("remap.cost_after", R.Remap.CostAfter);

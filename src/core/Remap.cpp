@@ -3,8 +3,12 @@
 #include "core/Remap.h"
 
 #include "adt/Rng.h"
+#include "driver/ThreadPool.h"
 
 #include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
 #include <limits>
 
 using namespace dra;
@@ -24,16 +28,24 @@ bool isPinned(const RemapOptions &O, RegId R) {
   return false;
 }
 
+std::vector<RegId> movableRegs(const EncodingConfig &C,
+                               const RemapOptions &O) {
+  std::vector<RegId> Movable;
+  for (RegId R = 0; R != C.RegN; ++R)
+    if (!C.isSpecial(R) && !isPinned(O, R))
+      Movable.push_back(R);
+  return Movable;
+}
+
 /// Exhaustive search over all permutations that fix the special and pinned
-/// registers.
+/// registers. Reports its effort through the shared counters: StartsRun is
+/// the one enumeration, SwapsEvaluated the permutations costed, and
+/// SwapsApplied the improvements over the running best.
 RemapResult exhaustiveSearch(const AdjacencyGraph &G,
                              const EncodingConfig &C,
                              const RemapOptions &O) {
   unsigned N = C.RegN;
-  std::vector<RegId> Movable;
-  for (RegId R = 0; R != N; ++R)
-    if (!C.isSpecial(R) && !isPinned(O, R))
-      Movable.push_back(R);
+  std::vector<RegId> Movable = movableRegs(C, O);
 
   std::vector<RegId> Targets = Movable; // Values assigned to movable slots.
   std::vector<RegId> Perm(N);
@@ -42,13 +54,16 @@ RemapResult exhaustiveSearch(const AdjacencyGraph &G,
 
   RemapResult Best;
   Best.Exhaustive = true;
+  Best.StartsRun = 1;
   Best.CostBefore = G.identityCost(C);
   Best.CostAfter = std::numeric_limits<double>::infinity();
   do {
     for (size_t I = 0; I != Movable.size(); ++I)
       Perm[Movable[I]] = Targets[I];
+    ++Best.SwapsEvaluated;
     double Cost = permCost(G, C, Perm);
     if (Cost < Best.CostAfter) {
+      ++Best.SwapsApplied;
       Best.CostAfter = Cost;
       Best.Perm = Perm;
     }
@@ -57,7 +72,9 @@ RemapResult exhaustiveSearch(const AdjacencyGraph &G,
 }
 
 /// Sum of violated-edge weights among the edges incident to node \p U or
-/// node \p V under \p Perm; each edge counted once.
+/// node \p V under \p Perm; each edge counted once. The pre-incremental
+/// candidate evaluator: one hash lookup per arc, called twice (before and
+/// after the trial swap) per candidate.
 double incidentCost(const AdjacencyGraph &G, const EncodingConfig &C,
                     const std::vector<RegId> &Perm, RegId U, RegId V) {
   double Total = 0;
@@ -84,14 +101,19 @@ double incidentCost(const AdjacencyGraph &G, const EncodingConfig &C,
   return Total;
 }
 
-/// One greedy descent from \p Perm: repeatedly apply the pairwise swap with
-/// the largest cost reduction until a local minimum. Swap candidates are
-/// evaluated incrementally (only edges incident to the swapped registers
-/// change), keeping the descent O(swaps * degree) per iteration.
-double greedyDescent(const AdjacencyGraph &G, const EncodingConfig &C,
-                     const std::vector<RegId> &Movable,
-                     std::vector<RegId> &Perm, size_t &SwapsEvaluated,
-                     size_t &SwapsApplied) {
+/// Per-descent effort, merged into RemapResult by the search driver.
+struct DescentStats {
+  size_t Eval = 0;
+  size_t Applied = 0;
+  size_t Arcs = 0;
+};
+
+/// One greedy descent from \p Perm evaluating candidates with the legacy
+/// incident-edge walk (UseIncremental = false, FullRecost = false).
+double greedyDescentIncident(const AdjacencyGraph &G,
+                             const EncodingConfig &C,
+                             const std::vector<RegId> &Movable,
+                             std::vector<RegId> &Perm, DescentStats &S) {
   double Cost = permCost(G, C, Perm);
   for (;;) {
     double BestDelta = 0;
@@ -99,7 +121,7 @@ double greedyDescent(const AdjacencyGraph &G, const EncodingConfig &C,
     for (size_t I = 0; I + 1 < Movable.size(); ++I) {
       for (size_t J = I + 1; J < Movable.size(); ++J) {
         RegId U = Movable[I], V = Movable[J];
-        ++SwapsEvaluated;
+        ++S.Eval;
         double Before = incidentCost(G, C, Perm, U, V);
         std::swap(Perm[U], Perm[V]);
         double After = incidentCost(G, C, Perm, U, V);
@@ -115,18 +137,92 @@ double greedyDescent(const AdjacencyGraph &G, const EncodingConfig &C,
     if (BestDelta >= 0)
       return Cost; // Local minimum.
     std::swap(Perm[Movable[BestI]], Perm[Movable[BestJ]]);
-    ++SwapsApplied;
+    ++S.Applied;
     Cost += BestDelta;
   }
 }
 
-RemapResult greedySearch(const AdjacencyGraph &G, const EncodingConfig &C,
-                         const RemapOptions &O) {
+/// One greedy descent recosting the whole permutation per candidate: the
+/// O(|E|)-per-candidate measurement baseline (RemapOptions::FullRecost).
+double greedyDescentFullRecost(const AdjacencyGraph &G,
+                               const EncodingConfig &C,
+                               const std::vector<RegId> &Movable,
+                               std::vector<RegId> &Perm, DescentStats &S) {
+  double Cost = permCost(G, C, Perm);
+  for (;;) {
+    double BestDelta = 0;
+    size_t BestI = 0, BestJ = 0;
+    for (size_t I = 0; I + 1 < Movable.size(); ++I) {
+      for (size_t J = I + 1; J < Movable.size(); ++J) {
+        RegId U = Movable[I], V = Movable[J];
+        ++S.Eval;
+        std::swap(Perm[U], Perm[V]);
+        double Delta = permCost(G, C, Perm) - Cost;
+        std::swap(Perm[U], Perm[V]);
+        if (Delta < BestDelta) {
+          BestDelta = Delta;
+          BestI = I;
+          BestJ = J;
+        }
+      }
+    }
+    if (BestDelta >= 0)
+      return Cost;
+    std::swap(Perm[Movable[BestI]], Perm[Movable[BestJ]]);
+    ++S.Applied;
+    Cost += BestDelta;
+  }
+}
+
+/// One greedy descent evaluating candidates against the precomputed cost
+/// model: O(degree(U) + degree(V)) per candidate, no hash lookups. The
+/// permutation's cost is maintained incrementally across applied swaps
+/// exactly as the incident arm maintains it (same deltas, same addition
+/// order), so the trajectory is bit-identical; debug builds cross-check
+/// the running cost against a full recost after every applied swap.
+double greedyDescentModel(const AdjacencyGraph &G, const EncodingConfig &C,
+                          const RemapCostModel &M,
+                          const std::vector<RegId> &Movable,
+                          std::vector<RegId> &Perm, DescentStats &S) {
+  double Cost = permCost(G, C, Perm);
+  for (;;) {
+    double BestDelta = 0;
+    size_t BestI = 0, BestJ = 0;
+    for (size_t I = 0; I + 1 < Movable.size(); ++I) {
+      for (size_t J = I + 1; J < Movable.size(); ++J) {
+        RegId U = Movable[I], V = Movable[J];
+        ++S.Eval;
+        S.Arcs += M.deltaArcs(U, V);
+        double Delta = M.swapDelta(Perm, U, V);
+        if (Delta < BestDelta) {
+          BestDelta = Delta;
+          BestI = I;
+          BestJ = J;
+        }
+      }
+    }
+    if (BestDelta >= 0)
+      return Cost;
+    std::swap(Perm[Movable[BestI]], Perm[Movable[BestJ]]);
+    ++S.Applied;
+    Cost += BestDelta;
+#ifndef NDEBUG
+    double Full = permCost(G, C, Perm);
+    assert(std::fabs(Full - Cost) <=
+               1e-6 * std::max(1.0, std::fabs(Full)) &&
+           "incremental remap cost drifted from full recost");
+#endif
+  }
+}
+
+/// The pre-incremental sequential multi-start search, kept as the
+/// bit-identity reference (UseIncremental = false) and, with FullRecost,
+/// as the benchmark's naive baseline arm.
+RemapResult greedySearchSequential(const AdjacencyGraph &G,
+                                   const EncodingConfig &C,
+                                   const RemapOptions &O) {
   unsigned N = C.RegN;
-  std::vector<RegId> Movable;
-  for (RegId R = 0; R != N; ++R)
-    if (!C.isSpecial(R) && !isPinned(O, R))
-      Movable.push_back(R);
+  std::vector<RegId> Movable = movableRegs(C, O);
 
   std::vector<RegId> Identity(N);
   for (RegId R = 0; R != N; ++R)
@@ -148,8 +244,12 @@ RemapResult greedySearch(const AdjacencyGraph &G, const EncodingConfig &C,
         Perm[Movable[I]] = Targets[I];
     }
     ++Best.StartsRun;
-    double Cost = greedyDescent(G, C, Movable, Perm, Best.SwapsEvaluated,
-                                Best.SwapsApplied);
+    DescentStats S;
+    double Cost = O.FullRecost
+                      ? greedyDescentFullRecost(G, C, Movable, Perm, S)
+                      : greedyDescentIncident(G, C, Movable, Perm, S);
+    Best.SwapsEvaluated += S.Eval;
+    Best.SwapsApplied += S.Applied;
     if (Cost < Best.CostAfter) {
       Best.CostAfter = Cost;
       Best.Perm = std::move(Perm);
@@ -157,10 +257,227 @@ RemapResult greedySearch(const AdjacencyGraph &G, const EncodingConfig &C,
     if (Best.CostAfter == 0)
       break; // Cannot improve further.
   }
+  Best.StartsCutOff = Starts - Best.StartsRun;
+  return Best;
+}
+
+/// Maps a non-NaN double to an unsigned key with the same total order, so
+/// the shared best-cost bound can be a lock-free CAS-min on uint64_t.
+uint64_t orderedCostBits(double D) {
+  uint64_t B;
+  std::memcpy(&B, &D, sizeof B);
+  return (B & (1ull << 63)) ? ~B : B | (1ull << 63);
+}
+
+/// The incremental multi-start search, optionally sharded over a thread
+/// pool. Bit-identical to greedySearchSequential(UseIncremental=false) at
+/// any Jobs value:
+///
+///  * every restart vector is drawn up front on the calling thread from
+///    the one sequential Rng stream, so start k sees the same initial
+///    permutation regardless of scheduling;
+///  * descents are per-start deterministic and their deltas replicate the
+///    incident-arm arithmetic exactly (see RemapCostModel);
+///  * the only deterministic early cutoff is a provable global minimum —
+///    a start finishing at cost zero — tracked as the minimum zero-cost
+///    start index: StartsRun = FirstZero + 1 matches the sequential break,
+///    counters sum only over starts below it, and speculatively-run
+///    higher-indexed starts are discarded from stats and reduction;
+///  * a shared atomic best-cost bound (CAS-min) additionally gates which
+///    starts keep their permutation alive for the reduction — a start
+///    whose final cost exceeds the bound at completion can never win
+///    (cost, start-index) and drops its vector immediately;
+///  * the winner is the lowest-cost start, earliest index on ties —
+///    exactly the sequential update rule `Cost < Best.CostAfter`.
+RemapResult greedySearchIncremental(const AdjacencyGraph &G,
+                                    const EncodingConfig &C,
+                                    const RemapOptions &O) {
+  unsigned N = C.RegN;
+  std::vector<RegId> Movable = movableRegs(C, O);
+
+  std::vector<RegId> Identity(N);
+  for (RegId R = 0; R != N; ++R)
+    Identity[R] = R;
+
+  RemapResult Best;
+  Best.CostBefore = G.identityCost(C);
+  Best.CostAfter = std::numeric_limits<double>::infinity();
+
+  unsigned Starts = std::max(1u, O.NumStarts);
+  size_t M = Movable.size();
+
+  // Replay the sequential restart stream up front (start 0 is identity).
+  std::vector<RegId> StartTargets;
+  StartTargets.reserve(static_cast<size_t>(Starts - 1) * M);
+  {
+    Rng Random(O.Seed);
+    for (unsigned Start = 1; Start < Starts; ++Start) {
+      std::vector<RegId> Targets = Movable;
+      Random.shuffle(Targets);
+      StartTargets.insert(StartTargets.end(), Targets.begin(),
+                          Targets.end());
+    }
+  }
+
+  RemapCostModel Model(G, C);
+
+  struct StartOutcome {
+    double Cost = std::numeric_limits<double>::infinity();
+    DescentStats Stats;
+    std::vector<RegId> Perm;
+    bool HasPerm = false;
+    bool Ran = false;
+  };
+  std::vector<StartOutcome> Outcomes(Starts);
+
+  constexpr uint64_t NoZero = std::numeric_limits<uint64_t>::max();
+  std::atomic<uint64_t> FirstZero{NoZero};
+  std::atomic<uint64_t> BestBound{
+      orderedCostBits(std::numeric_limits<double>::infinity())};
+
+  auto RunStart = [&](size_t Start) {
+    // Early cutoff: some start at a lower index already reached the
+    // provable minimum, so the sequential search would never get here.
+    if (Start > FirstZero.load(std::memory_order_relaxed))
+      return;
+    StartOutcome &Out = Outcomes[Start];
+    Out.Ran = true;
+    std::vector<RegId> Perm = Identity;
+    if (Start != 0) {
+      const RegId *T = StartTargets.data() + (Start - 1) * M;
+      for (size_t I = 0; I != M; ++I)
+        Perm[Movable[I]] = T[I];
+    }
+    Out.Cost = greedyDescentModel(G, C, Model, Movable, Perm, Out.Stats);
+
+    // Shared best-cost bound: CAS-min, then keep the permutation only
+    // while this start is still a candidate winner under the bound.
+    uint64_t MyBits = orderedCostBits(Out.Cost);
+    uint64_t Cur = BestBound.load(std::memory_order_relaxed);
+    while (MyBits < Cur &&
+           !BestBound.compare_exchange_weak(Cur, MyBits,
+                                            std::memory_order_relaxed))
+      ;
+    if (MyBits <= BestBound.load(std::memory_order_relaxed)) {
+      Out.Perm = std::move(Perm);
+      Out.HasPerm = true;
+    }
+    if (Out.Cost == 0) {
+      uint64_t Prev = FirstZero.load(std::memory_order_relaxed);
+      while (Start < Prev &&
+             !FirstZero.compare_exchange_weak(Prev, Start,
+                                              std::memory_order_relaxed))
+        ;
+    }
+  };
+
+  unsigned Jobs = std::min<unsigned>(std::max(1u, O.Jobs), Starts);
+  if (Jobs == 1) {
+    for (size_t Start = 0; Start != Starts; ++Start)
+      RunStart(Start);
+  } else {
+    ThreadPool Pool(Jobs);
+    Pool.parallelFor(Starts, RunStart);
+  }
+
+  // Deterministic reduction. Starts at or below the first zero-cost index
+  // always ran (the cutoff only ever skips higher indices); anything the
+  // pool ran beyond it is speculative work the sequential search would
+  // not have done, so it contributes neither stats nor candidates.
+  uint64_t FZ = FirstZero.load(std::memory_order_relaxed);
+  unsigned Ran = FZ == NoZero ? Starts : static_cast<unsigned>(FZ) + 1;
+  Best.StartsRun = Ran;
+  Best.StartsCutOff = Starts - Ran;
+  size_t Winner = SIZE_MAX;
+  for (unsigned Start = 0; Start != Ran; ++Start) {
+    StartOutcome &Out = Outcomes[Start];
+    assert(Out.Ran && "start below the zero-cost cutoff was skipped");
+    Best.SwapsEvaluated += Out.Stats.Eval;
+    Best.SwapsApplied += Out.Stats.Applied;
+    Best.DeltaArcsVisited += Out.Stats.Arcs;
+    if (Out.Cost < Best.CostAfter) {
+      Best.CostAfter = Out.Cost;
+      Winner = Start;
+    }
+  }
+  assert(Winner != SIZE_MAX && Outcomes[Winner].HasPerm &&
+         "winning start did not keep its permutation");
+  Best.Perm = std::move(Outcomes[Winner].Perm);
+
+  size_t FullTerms = Best.SwapsEvaluated * Model.arcCount();
+  Best.DeltaRecostSavings = FullTerms > Best.DeltaArcsVisited
+                                ? FullTerms - Best.DeltaArcsVisited
+                                : 0;
   return Best;
 }
 
 } // namespace
+
+RemapCostModel::RemapCostModel(const AdjacencyGraph &G,
+                               const EncodingConfig &C)
+    : RegN(C.RegN), Rows(C.RegN), ViolatedDiff(C.RegN, 0) {
+  // Condition (3) as a table over the modular difference: diff 0 is a
+  // self-transition (always encodable) and DiffN >= 1, so "violated" is
+  // exactly diff >= DiffN.
+  for (unsigned D = 0; D != C.RegN; ++D)
+    ViolatedDiff[D] = D >= C.DiffN ? 1 : 0;
+
+  uint32_t Nodes = std::min<uint32_t>(G.numNodes(), C.RegN);
+  for (RegId R = 0; R != Nodes; ++R) {
+    G.forEachOut(R, [&](RegId To, double W) {
+      Rows[R].push_back({To, W, true});
+      ++NumArcs;
+    });
+    G.forEachIn(R, [&](RegId From, double W) {
+      Rows[R].push_back({From, W, false});
+    });
+  }
+}
+
+double RemapCostModel::swapDelta(const std::vector<RegId> &Perm, RegId U,
+                                 RegId V) const {
+  double Before = 0, After = 0;
+  RegId PU = Perm[U], PV = Perm[V];
+  // Row U: arcs anchored at U, whose number changes PU -> PV. The far
+  // endpoint keeps its number unless it is V (the shared edge). Self
+  // edges are never stored, so Other != U here and Other != V below;
+  // the accumulation order — row U out, row U in, row V out, row V in —
+  // mirrors incidentCost's two passes addition for addition, which keeps
+  // Before, After, and the returned delta bit-identical to that arm.
+  for (const Arc &A : Rows[U]) {
+    RegId O = Perm[A.Other];
+    RegId OS = A.Other == V ? PU : O;
+    if (A.IsOut) {
+      if (violated(PU, O))
+        Before += A.W;
+      if (violated(PV, OS))
+        After += A.W;
+    } else {
+      if (violated(O, PU))
+        Before += A.W;
+      if (violated(OS, PV))
+        After += A.W;
+    }
+  }
+  // Row V, skipping the shared edge already counted under row U.
+  for (const Arc &A : Rows[V]) {
+    if (A.Other == U)
+      continue;
+    RegId O = Perm[A.Other];
+    if (A.IsOut) {
+      if (violated(PV, O))
+        Before += A.W;
+      if (violated(PU, O))
+        After += A.W;
+    } else {
+      if (violated(O, PV))
+        Before += A.W;
+      if (violated(O, PU))
+        After += A.W;
+    }
+  }
+  return After - Before;
+}
 
 RemapResult dra::findRemap(const AdjacencyGraph &G, const EncodingConfig &C,
                            const RemapOptions &O) {
@@ -168,9 +485,13 @@ RemapResult dra::findRemap(const AdjacencyGraph &G, const EncodingConfig &C,
   unsigned MovableCount = 0;
   for (RegId R = 0; R != C.RegN; ++R)
     MovableCount += !C.isSpecial(R) && !isPinned(O, R);
-  RemapResult Result = MovableCount <= O.ExhaustiveLimit
-                           ? exhaustiveSearch(G, C, O)
-                           : greedySearch(G, C, O);
+  RemapResult Result;
+  if (MovableCount <= O.ExhaustiveLimit)
+    Result = exhaustiveSearch(G, C, O);
+  else if (O.UseIncremental)
+    Result = greedySearchIncremental(G, C, O);
+  else
+    Result = greedySearchSequential(G, C, O);
   // Never accept a permutation worse than the identity.
   if (Result.CostAfter > Result.CostBefore) {
     Result.CostAfter = Result.CostBefore;

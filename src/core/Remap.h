@@ -18,6 +18,15 @@
 ///    to a local minimum, restarted from a configurable number of initial
 ///    register vectors (the paper uses 1000).
 ///
+/// The greedy search evaluates candidate swaps incrementally against a
+/// `RemapCostModel` — per-register adjacency arc rows precomputed once per
+/// graph, so one candidate costs O(degree(a) + degree(b)) instead of a
+/// full recost — and can shard its restarts across a thread pool
+/// (`RemapOptions::Jobs`). Restart vectors are drawn up front from the
+/// single sequential seed stream and the winner is reduced in
+/// (cost, start-index) order, so the result is bit-identical to the
+/// sequential search at any worker count.
+///
 /// Special registers are pinned to themselves so reserved direct codes and
 /// calling conventions stay intact (Sections 9.2/9.3).
 ///
@@ -49,6 +58,21 @@ struct RemapOptions {
   /// without the paper's post-hoc set_last_reg repair of save/restore
   /// sequences.
   std::vector<RegId> PinnedRegs;
+  /// Worker threads for the multi-start greedy search; 1 runs on the
+  /// calling thread. The result is bit-identical at any value (restart
+  /// vectors come from the one sequential seed stream and the winner is
+  /// reduced by (cost, start-index)), so this is purely a wall-clock
+  /// knob. Ignored by the exhaustive and legacy arms.
+  unsigned Jobs = 1;
+  /// Evaluate candidate swaps against the precomputed RemapCostModel arc
+  /// rows (the default). Off selects the pre-incremental arm that walks
+  /// the adjacency graph's hash map per candidate — kept as the
+  /// bit-identity reference and as a benchmark baseline.
+  bool UseIncremental = true;
+  /// Measurement-only, honored when UseIncremental is false: recost the
+  /// whole permutation for every candidate swap — the O(|E|)-per-candidate
+  /// baseline `bench_remap_search` compares the incremental arm against.
+  bool FullRecost = false;
 };
 
 /// Remapping outcome.
@@ -61,12 +85,66 @@ struct RemapResult {
   std::vector<RegId> Perm;
   /// True if the exhaustive search ran (result provably optimal).
   bool Exhaustive = false;
-  /// Greedy-search effort: restarts actually run (early exit on a zero-
-  /// cost permutation), pairwise swaps evaluated across all descents, and
-  /// swaps applied (descent steps taken). All zero for the exhaustive arm.
+  /// Search effort. Greedy arms: restarts actually run (early exit once a
+  /// zero-cost permutation is found), pairwise swaps evaluated across all
+  /// descents, and swaps applied (descent steps taken). Exhaustive arm:
+  /// StartsRun is 1 (one enumeration), SwapsEvaluated counts permutations
+  /// evaluated, SwapsApplied counts improvements over the running best.
   unsigned StartsRun = 0;
   size_t SwapsEvaluated = 0;
   size_t SwapsApplied = 0;
+  /// Restarts never run because a lower-indexed start already reached the
+  /// provable minimum (cost zero): NumStarts - StartsRun.
+  unsigned StartsCutOff = 0;
+  /// Incremental arm only: adjacency arcs actually summed while
+  /// evaluating swap candidates, and the arc-visit count a full recost of
+  /// every candidate would have needed instead (the delta-recost saving).
+  size_t DeltaArcsVisited = 0;
+  size_t DeltaRecostSavings = 0;
+};
+
+/// Precomputed per-register view of an AdjacencyGraph for O(degree) swap
+/// evaluation: for each register, the arcs it anchors (outgoing then
+/// incoming, in the graph's neighbor order) with their weights resolved,
+/// plus a table of which modular differences violate condition (3).
+///
+/// `swapDelta` reproduces the incident-edge walk of the pre-incremental
+/// search arm addition for addition, so its deltas — and therefore every
+/// descent trajectory — are bit-identical to that arm's. Instances are
+/// immutable after construction and safe to share across search threads.
+class RemapCostModel {
+public:
+  RemapCostModel(const AdjacencyGraph &G, const EncodingConfig &C);
+
+  /// Exact change in differential cost from exchanging the register
+  /// numbers of \p U and \p V under \p Perm (only arcs incident to either
+  /// register can change). O(degree(U) + degree(V)).
+  double swapDelta(const std::vector<RegId> &Perm, RegId U, RegId V) const;
+
+  /// Arc terms one swapDelta(_, U, V) call sums (row sizes).
+  size_t deltaArcs(RegId U, RegId V) const {
+    return Rows[U].size() + Rows[V].size();
+  }
+
+  /// Directed arcs in the graph: the term count of one full recost.
+  size_t arcCount() const { return NumArcs; }
+
+private:
+  struct Arc {
+    RegId Other; ///< The endpoint that is not the row's register.
+    double W;    ///< Edge weight.
+    bool IsOut;  ///< True: row register -> Other; false: the reverse.
+  };
+
+  bool violated(RegId FromNo, RegId ToNo) const {
+    unsigned D = ToNo >= FromNo ? ToNo - FromNo : ToNo + RegN - FromNo;
+    return ViolatedDiff[D] != 0;
+  }
+
+  unsigned RegN = 0;
+  size_t NumArcs = 0;
+  std::vector<std::vector<Arc>> Rows; ///< Per-register [out..., in...].
+  std::vector<uint8_t> ViolatedDiff;  ///< Indexed by modular difference.
 };
 
 /// Finds a cost-minimizing permutation for the register-level adjacency

@@ -11,16 +11,34 @@ using namespace dra;
 namespace {
 thread_local unsigned TlsWorkerId = 0;
 
-// True while the current thread is executing a parallelFor task body.
-// Distinguishes reentrant calls from top-level ones: the caller thread is
-// worker 0, so its id alone cannot tell "inside my own loop" from "outside
-// any loop".
-thread_local bool TlsInTask = false;
+// Stack of pools whose parallelFor bodies are executing on this thread,
+// linked through stack frames. A nested parallelFor on the *same* pool
+// must run inline (posting a second loop over the active one would
+// deadlock), and the caller thread is worker 0 so its id alone cannot
+// tell "inside my own loop" from "outside any loop". A nested call on a
+// *different* pool is safe and schedules normally — that is how the remap
+// search pool parallelizes from inside a batch-compilation task.
+struct DrainFrame {
+  const void *Pool;
+  DrainFrame *Prev;
+};
+thread_local DrainFrame *TlsDrainTop = nullptr;
+
+bool drainingPool(const void *Pool) {
+  for (DrainFrame *F = TlsDrainTop; F; F = F->Prev)
+    if (F->Pool == Pool)
+      return true;
+  return false;
+}
 
 struct InTaskScope {
-  bool Prev;
-  InTaskScope() : Prev(TlsInTask) { TlsInTask = true; }
-  ~InTaskScope() { TlsInTask = Prev; }
+  DrainFrame Frame;
+  explicit InTaskScope(const void *Pool) {
+    Frame.Pool = Pool;
+    Frame.Prev = TlsDrainTop;
+    TlsDrainTop = &Frame;
+  }
+  ~InTaskScope() { TlsDrainTop = Frame.Prev; }
 };
 } // namespace
 
@@ -29,6 +47,7 @@ struct InTaskScope {
 struct ThreadPool::Loop {
   size_t N = 0;
   const std::function<void(size_t)> *Body = nullptr;
+  const ThreadPool *Owner = nullptr;
   std::atomic<size_t> Next{0};
   unsigned Finished = 0; // participants done draining; pool mutex
   std::mutex ErrMtx;
@@ -41,7 +60,7 @@ struct ThreadPool::Loop {
       if (I >= N)
         return;
       try {
-        InTaskScope Scope;
+        InTaskScope Scope(Owner);
         (*Body)(I);
       } catch (...) {
         // Record the first failure; keep draining so the loop terminates
@@ -107,13 +126,17 @@ void ThreadPool::parallelFor(size_t N,
   Loop L;
   L.N = N;
   L.Body = &Body;
+  L.Owner = this;
 
-  // Inline pools (one worker) and reentrant calls from inside a task both
-  // run the whole loop on the current thread: serial semantics, no locks.
-  // The flag (not the worker id) is what detects reentrancy — the caller
-  // thread is worker 0, and a nested call from its own drain must not post
-  // a second loop over the active one.
-  if (NumWorkers == 1 || TlsInTask) {
+  // Inline pools (one worker) and reentrant calls from inside one of this
+  // pool's own task bodies both run the whole loop on the current thread:
+  // serial semantics, no locks. The drain stack (not the worker id) is
+  // what detects reentrancy — the caller thread is worker 0, and a nested
+  // call from its own drain must not post a second loop over the active
+  // one. Loops of *other* pools are not reentrancy: they schedule
+  // normally, so nested pools (remap search inside a batch task) keep
+  // their parallelism.
+  if (NumWorkers == 1 || drainingPool(this)) {
     L.drain();
     if (L.FirstError)
       std::rethrow_exception(L.FirstError);

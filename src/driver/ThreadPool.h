@@ -62,7 +62,10 @@ public:
   /// Runs `Body(I)` for every I in [0, N). Indices are claimed dynamically;
   /// the call returns once all N iterations have finished. Rethrows the
   /// first task exception after the loop drains. Reentrant calls from
-  /// inside a task body run inline on the already-claimed worker.
+  /// inside one of *this* pool's task bodies run inline on the
+  /// already-claimed worker; calls on a different pool schedule normally,
+  /// so pools nest (e.g. the remap search pool inside a batch-compilation
+  /// task).
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
   /// Maps `Fn(I)` over [0, N) into a vector ordered by index — the output

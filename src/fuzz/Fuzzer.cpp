@@ -80,20 +80,26 @@ const ConfigVariant ConfigVariants[] = {
     {"vliw32-dst", vliwDst},     {"vliw32-sp", vliwSp},
 };
 
-const Scheme Schemes[] = {Scheme::Remap, Scheme::Select, Scheme::Coalesce};
+/// The scheme axis: the three differential pipelines plus the remap
+/// pipeline with its multi-start search sharded over pool workers. The
+/// parallel variant returns bit-identical results to sequential remap by
+/// construction — running it under the oracle and the TSan sweep is what
+/// guards that construction.
+struct SchemeVariant {
+  Scheme S;
+  unsigned RemapJobs;
+  const char *Name;
+};
 
-const char *shortSchemeName(Scheme S) {
-  switch (S) {
-  case Scheme::Remap:
-    return "remap";
-  case Scheme::Select:
-    return "select";
-  case Scheme::Coalesce:
-    return "coalesce";
-  default:
-    return schemeName(S);
-  }
-}
+const SchemeVariant SchemeVariants[] = {
+    {Scheme::Remap, 1, "remap"},
+    {Scheme::Select, 1, "select"},
+    {Scheme::Coalesce, 1, "coalesce"},
+    {Scheme::Remap, 3, "remap-parallel"},
+};
+
+constexpr size_t NumSchemeVariants =
+    sizeof(SchemeVariants) / sizeof(SchemeVariants[0]);
 
 /// Program shape for this case: every knob drawn from the case's own
 /// deterministic stream. Shapes stay small — the sweep's value is breadth
@@ -165,10 +171,11 @@ bool applyFault(EncodedFunction &E, const EncodingConfig &C,
 } // namespace
 
 std::string FuzzCase::name() const {
-  std::string N = "s" + std::to_string(Index) + "-" + shortSchemeName(S);
+  std::string N = "s" + std::to_string(Index) + "-" +
+                  SchemeVariants[Index % NumSchemeVariants].Name;
   N += "-";
-  N += ConfigVariants[(Index / 3) % (sizeof(ConfigVariants) /
-                                     sizeof(ConfigVariants[0]))]
+  N += ConfigVariants[(Index / NumSchemeVariants) %
+                      (sizeof(ConfigVariants) / sizeof(ConfigVariants[0]))]
            .Name;
   if (Fault != InjectFault::None) {
     N += "-fault-";
@@ -180,16 +187,19 @@ std::string FuzzCase::name() const {
 unsigned dra::caseMatrixSize() {
   return static_cast<unsigned>(sizeof(ConfigVariants) /
                                sizeof(ConfigVariants[0])) *
-         static_cast<unsigned>(sizeof(Schemes) / sizeof(Schemes[0]));
+         static_cast<unsigned>(NumSchemeVariants);
 }
 
 FuzzCase dra::caseForIndex(uint64_t BaseSeed, uint64_t Index) {
   FuzzCase FC;
   FC.Index = Index;
   FC.Seed = Rng::taskSeed(BaseSeed, Index);
-  FC.S = Schemes[Index % 3];
-  FC.Enc = ConfigVariants[(Index / 3) % (sizeof(ConfigVariants) /
-                                         sizeof(ConfigVariants[0]))]
+  const SchemeVariant &SV = SchemeVariants[Index % NumSchemeVariants];
+  FC.S = SV.S;
+  FC.RemapJobs = SV.RemapJobs;
+  FC.Enc = ConfigVariants[(Index / NumSchemeVariants) %
+                          (sizeof(ConfigVariants) /
+                           sizeof(ConfigVariants[0]))]
                .Make();
   FC.Profile = profileFor(FC.Seed);
   return FC;
@@ -212,6 +222,7 @@ std::optional<std::string> dra::checkProgram(const Function &P,
   // Breadth over depth: a light remap search keeps per-case cost low
   // without weakening any checked invariant.
   Cfg.Remap.NumStarts = 25;
+  Cfg.Remap.Jobs = FC.RemapJobs;
   PipelineResult R = runPipeline(P, Cfg);
 
   if (!verifyFunction(R.F, &Err))
@@ -268,6 +279,7 @@ std::optional<std::string> dra::checkProgram(const Function &P,
     RemapOptions RO;
     RO.NumStarts = 8;
     RO.Seed = FC.Seed ^ 0x5eedf00dULL;
+    RO.Jobs = FC.RemapJobs;
     RemapResult RR = remapFunction(Probe, FC.Enc, RO);
     if (!checkPermutation(RR.Perm, FC.Enc, &Why))
       return "probe remap permutation: " + Why;

@@ -10,9 +10,12 @@
 ///   seeded ProgramGen profile × EncodingConfig variant × scheme
 ///
 /// where the config variants cover {lowend, vliw} × {SrcFirst, DstFirst}
-/// × {with, without SpecialRegs} and the schemes are the three
-/// differential pipelines (remap, select, coalesce). For each case the
-/// harness:
+/// × {with, without SpecialRegs} and the scheme axis cycles the three
+/// differential pipelines (remap, select, coalesce) plus a
+/// `remap-parallel` variant — the remap pipeline with the multi-start
+/// search sharded over RemapJobs pool workers, so the lockstep oracle
+/// exercises the parallel incremental search end-to-end. For each case
+/// the harness:
 ///
 ///  1. generates the program and runs the full pipeline, checking the
 ///     end-to-end fingerprint (allocation may legally restructure code, so
@@ -73,6 +76,11 @@ struct FuzzCase {
   ProgramProfile Profile;
   uint64_t StepLimit = 2'000'000;
   InjectFault Fault = InjectFault::None;
+  /// Worker threads for the remap search (the `remap-parallel` scheme
+  /// variant sets 3; everything else runs on the case's own thread).
+  /// Results are bit-identical either way — the variant exists to drive
+  /// the parallel search code path under the oracle and sanitizers.
+  unsigned RemapJobs = 1;
 
   /// Stable human-readable id, e.g. "s42-coalesce-vliw32-dst-sp".
   std::string name() const;

@@ -110,6 +110,7 @@ std::string dra::writeRepro(const FuzzCase &FC, const Function &P) {
       Out << (I ? "," : "") << unsigned(FC.Enc.SpecialRegs[I]);
   Out << "\n";
   Out << "# steplimit: " << FC.StepLimit << "\n";
+  Out << "# remapjobs: " << FC.RemapJobs << "\n";
   Out << "# fault: " << injectFaultName(FC.Fault) << "\n";
   Out << printFunction(P);
   return Out.str();
@@ -142,6 +143,10 @@ bool dra::loadRepro(const std::string &Text, FuzzCase &FC, Function &P,
       LS >> FC.Index;
     } else if (Key == "steplimit:") {
       LS >> FC.StepLimit;
+    } else if (Key == "remapjobs:") {
+      LS >> FC.RemapJobs;
+      if (FC.RemapJobs == 0)
+        return fail(Err, "repro: remapjobs must be >= 1");
     } else if (Key == "scheme:") {
       std::string Name;
       LS >> Name;

@@ -167,6 +167,36 @@ TEST(ThreadPool, ReentrantParallelForRunsInline) {
   EXPECT_EQ(Inner.load(), 8u * 16u);
 }
 
+TEST(ThreadPool, DistinctPoolsNestWithoutInlining) {
+  // Reentrancy detection is per pool: a nested loop on a *different*
+  // pool (the remap search pool inside a batch task) schedules normally
+  // and keeps its parallelism instead of collapsing to the caller
+  // thread. Two nested iterations observing each other in flight proves
+  // the nested pool really ran them concurrently — impossible if the
+  // nested call had been treated as reentrant and inlined.
+  ThreadPool Outer(2);
+  std::atomic<size_t> Total{0};
+  std::atomic<bool> Concurrent{false};
+  Outer.parallelFor(2, [&](size_t) {
+    ThreadPool Nested(2);
+    std::atomic<int> InFlight{0};
+    Nested.parallelFor(2, [&](size_t) {
+      Total.fetch_add(1);
+      InFlight.fetch_add(1);
+      auto Deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (InFlight.load() != 2 &&
+             std::chrono::steady_clock::now() < Deadline)
+        std::this_thread::yield();
+      if (InFlight.load() == 2)
+        Concurrent = true;
+      InFlight.fetch_sub(1);
+    });
+  });
+  EXPECT_EQ(Total.load(), 4u);
+  EXPECT_TRUE(Concurrent.load());
+}
+
 //===----------------------------------------------------------------------===//
 // Rng task seeding & StatAccumulator (thread-safety satellites)
 //===----------------------------------------------------------------------===//

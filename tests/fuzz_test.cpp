@@ -149,13 +149,26 @@ TEST(Minimizer, ShrinksUnderSyntheticPredicate) {
 TEST(FuzzCase, MatrixCoversSchemesAndConfigs) {
   std::set<std::string> Names;
   std::set<Scheme> Schemes;
+  unsigned ParallelCases = 0;
   for (uint64_t I = 0; I != caseMatrixSize(); ++I) {
     FuzzCase FC = caseForIndex(7, I);
     Names.insert(FC.name());
     Schemes.insert(FC.S);
+    EXPECT_GE(FC.RemapJobs, 1u);
+    if (FC.RemapJobs > 1) {
+      ++ParallelCases;
+      // The parallel variant is the remap pipeline on pool workers and
+      // is named distinctly so repros identify the search path.
+      EXPECT_EQ(FC.S, Scheme::Remap);
+      EXPECT_NE(FC.name().find("remap-parallel"), std::string::npos);
+    }
   }
+  // 6 config variants x 4 scheme variants (remap, select, coalesce,
+  // remap-parallel); one remap-parallel case per config variant.
+  EXPECT_EQ(caseMatrixSize(), 24u);
   EXPECT_EQ(Names.size(), caseMatrixSize());
   EXPECT_EQ(Schemes.size(), 3u);
+  EXPECT_EQ(ParallelCases, 6u);
 }
 
 TEST(FuzzCase, DeterministicDerivation) {
@@ -169,7 +182,10 @@ TEST(FuzzCase, DeterministicDerivation) {
 }
 
 TEST(Repro, RoundTripsCaseAndProgram) {
-  FuzzCase FC = caseForIndex(9, 14);
+  // Index 15 is a remap-parallel case, so RemapJobs round-trips a
+  // non-default value (a dropped directive would silently load as 1).
+  FuzzCase FC = caseForIndex(9, 15);
+  ASSERT_GT(FC.RemapJobs, 1u);
   FC.Fault = InjectFault::CorruptFieldCode;
   Function P = generateProgram("rt", FC.Profile);
 
@@ -183,6 +199,7 @@ TEST(Repro, RoundTripsCaseAndProgram) {
   EXPECT_EQ(Loaded.S, FC.S);
   EXPECT_EQ(Loaded.StepLimit, FC.StepLimit);
   EXPECT_EQ(Loaded.Fault, FC.Fault);
+  EXPECT_EQ(Loaded.RemapJobs, FC.RemapJobs);
   EXPECT_EQ(Loaded.Enc.RegN, FC.Enc.RegN);
   EXPECT_EQ(Loaded.Enc.DiffN, FC.Enc.DiffN);
   EXPECT_EQ(Loaded.Enc.Order, FC.Enc.Order);

@@ -1,0 +1,270 @@
+//===- tests/remap_search_test.cpp - Incremental/parallel remap search ----===//
+//
+// Property and determinism coverage for the incremental delta-cost remap
+// search (core/Remap.cpp):
+//
+//  * RemapCostModel::swapDelta must equal a full recost difference for
+//    every candidate — including after every applied swap of a random
+//    walk — across the RegN matrix {8, 12, 32, 40, 64};
+//  * the incremental arm must be bit-identical to the pre-incremental
+//    (incident-walk) reference arm;
+//  * the parallel multi-start search must return an identical RemapResult
+//    for Jobs in {1, 2, 8} — the TSan CI job runs this binary so the
+//    shared best-bound and zero-cost cutoff are race-checked;
+//  * the exhaustive arm must report real search stats (regression test:
+//    it used to report all zeros).
+//
+// Graph weights are small integers, so every cost and delta is an exactly
+// representable double and the comparisons below are exact, not
+// tolerance-based.
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Rng.h"
+#include "core/Remap.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace dra;
+
+namespace {
+
+const unsigned RegNMatrix[] = {8, 12, 32, 40, 64};
+
+/// An encoding config with a non-trivial violated-difference range for
+/// each matrix RegN (DiffN == RegN would make every assignment free).
+EncodingConfig cfgFor(unsigned RegN) {
+  switch (RegN) {
+  case 8: {
+    EncodingConfig C;
+    C.RegN = 8;
+    C.DiffN = 4;
+    C.DiffW = 2;
+    return C;
+  }
+  case 12:
+    return lowEndConfig(12);
+  case 32: {
+    EncodingConfig C = vliwConfig(32);
+    C.DiffN = 16; // Half the differences violate, as in the 64-reg case.
+    C.DiffW = 4;
+    return C;
+  }
+  default:
+    return vliwConfig(RegN);
+  }
+}
+
+/// Seeded random adjacency graph with integer weights in [1, 9].
+AdjacencyGraph randomGraph(uint64_t Seed, unsigned RegN, unsigned Edges) {
+  Rng R(Seed);
+  AdjacencyGraph G(RegN);
+  for (unsigned E = 0; E != Edges; ++E) {
+    RegId A = static_cast<RegId>(R.nextBelow(RegN));
+    RegId B = static_cast<RegId>(R.nextBelow(RegN));
+    if (A != B)
+      G.addWeight(A, B, static_cast<double>(1 + R.nextBelow(9)));
+  }
+  return G;
+}
+
+bool isPermutation(const std::vector<RegId> &Perm, unsigned N) {
+  if (Perm.size() != N)
+    return false;
+  std::vector<RegId> Sorted = Perm;
+  std::sort(Sorted.begin(), Sorted.end());
+  for (RegId R = 0; R != N; ++R)
+    if (Sorted[R] != R)
+      return false;
+  return true;
+}
+
+/// Field-by-field equality of two results, exact on the doubles. The
+/// incremental-only counters are compared when \p WithDeltaStats (legacy
+/// arms leave them zero by design).
+void expectSameResult(const RemapResult &A, const RemapResult &B,
+                      bool WithDeltaStats) {
+  EXPECT_EQ(A.Perm, B.Perm);
+  EXPECT_EQ(A.CostBefore, B.CostBefore);
+  EXPECT_EQ(A.CostAfter, B.CostAfter);
+  EXPECT_EQ(A.Exhaustive, B.Exhaustive);
+  EXPECT_EQ(A.StartsRun, B.StartsRun);
+  EXPECT_EQ(A.StartsCutOff, B.StartsCutOff);
+  EXPECT_EQ(A.SwapsEvaluated, B.SwapsEvaluated);
+  EXPECT_EQ(A.SwapsApplied, B.SwapsApplied);
+  if (WithDeltaStats) {
+    EXPECT_EQ(A.DeltaArcsVisited, B.DeltaArcsVisited);
+    EXPECT_EQ(A.DeltaRecostSavings, B.DeltaRecostSavings);
+  }
+}
+
+} // namespace
+
+TEST(RemapCostModel, DeltaEqualsFullRecostAfterEveryAppliedSwap) {
+  for (unsigned RegN : RegNMatrix) {
+    EncodingConfig C = cfgFor(RegN);
+    for (uint64_t Seed = 1; Seed != 4; ++Seed) {
+      AdjacencyGraph G = randomGraph(Seed * 71 + RegN, RegN, RegN * 6);
+      RemapCostModel Model(G, C);
+
+      // Random walk of applied swaps: at every step the incremental
+      // delta must equal the difference of two full recosts, exactly.
+      std::vector<RegId> Perm(RegN);
+      for (RegId R = 0; R != RegN; ++R)
+        Perm[R] = R;
+      Rng Walk(Seed ^ 0xabcdef);
+      Walk.shuffle(Perm);
+      double Cost = G.cost(Perm, C);
+      for (int Step = 0; Step != 200; ++Step) {
+        RegId U = static_cast<RegId>(Walk.nextBelow(RegN));
+        RegId V = static_cast<RegId>(Walk.nextBelow(RegN));
+        if (U == V)
+          continue;
+        double Delta = Model.swapDelta(Perm, U, V);
+        std::swap(Perm[U], Perm[V]);
+        double Recost = G.cost(Perm, C);
+        ASSERT_EQ(Delta, Recost - Cost)
+            << "RegN=" << RegN << " seed=" << Seed << " step=" << Step;
+        Cost = Recost; // Keep the swap applied; the model must stay exact.
+      }
+    }
+  }
+}
+
+TEST(RemapSearch, IncrementalIsBitIdenticalToLegacyArm) {
+  for (unsigned RegN : RegNMatrix) {
+    EncodingConfig C = cfgFor(RegN);
+    AdjacencyGraph G = randomGraph(900 + RegN, RegN, RegN * 5);
+
+    RemapOptions Legacy;
+    Legacy.ExhaustiveLimit = 0;
+    Legacy.NumStarts = RegN >= 40 ? 6 : 16;
+    Legacy.UseIncremental = false;
+
+    RemapOptions Inc = Legacy;
+    Inc.UseIncremental = true;
+
+    RemapResult A = findRemap(G, C, Legacy);
+    RemapResult B = findRemap(G, C, Inc);
+    expectSameResult(A, B, /*WithDeltaStats=*/false);
+    EXPECT_TRUE(isPermutation(B.Perm, RegN));
+    EXPECT_LE(B.CostAfter, B.CostBefore);
+    EXPECT_GT(B.SwapsEvaluated, 0u);
+    EXPECT_GT(B.DeltaArcsVisited, 0u);
+  }
+}
+
+TEST(RemapSearch, ResultIdenticalForJobs1_2_8) {
+  for (unsigned RegN : {12u, 64u}) {
+    EncodingConfig C = cfgFor(RegN);
+    AdjacencyGraph G = randomGraph(77 + RegN, RegN, RegN * 5);
+
+    RemapOptions O;
+    O.ExhaustiveLimit = 0;
+    O.NumStarts = 16;
+
+    RemapResult Ref;
+    for (unsigned Jobs : {1u, 2u, 8u}) {
+      O.Jobs = Jobs;
+      RemapResult R = findRemap(G, C, O);
+      if (Jobs == 1)
+        Ref = R;
+      else
+        expectSameResult(Ref, R, /*WithDeltaStats=*/true);
+    }
+    EXPECT_TRUE(isPermutation(Ref.Perm, RegN));
+  }
+}
+
+TEST(RemapSearch, SpecialsAndPinnedStayFixedUnderParallelSearch) {
+  EncodingConfig C = vliwConfig(32);
+  C.DiffN = 30;
+  C.DiffW = 5;
+  C.SpecialRegs = {31, 30};
+  AdjacencyGraph G = randomGraph(4242, 32, 180);
+
+  RemapOptions O;
+  O.ExhaustiveLimit = 0;
+  O.NumStarts = 12;
+  O.Jobs = 4;
+  O.PinnedRegs = {0, 7};
+  RemapResult R = findRemap(G, C, O);
+  EXPECT_TRUE(isPermutation(R.Perm, 32));
+  for (RegId Fixed : {31u, 30u, 0u, 7u})
+    EXPECT_EQ(R.Perm[Fixed], Fixed);
+
+  O.Jobs = 1;
+  expectSameResult(findRemap(G, C, O), R, /*WithDeltaStats=*/true);
+}
+
+TEST(RemapSearch, ZeroCostCutoffMatchesSequentialAtEveryJobCount) {
+  // A single violated edge: the very first descent reaches cost zero, so
+  // the remaining starts must be cut off — and StartsRun/StartsCutOff
+  // must say so identically at every worker count and in the legacy arm.
+  EncodingConfig C = cfgFor(8);
+  AdjacencyGraph G(8);
+  G.addWeight(0, 5, 3); // diff 5 >= DiffN=4: violated under identity.
+
+  RemapOptions O;
+  O.ExhaustiveLimit = 0;
+  O.NumStarts = 32;
+
+  RemapOptions Legacy = O;
+  Legacy.UseIncremental = false;
+  RemapResult Ref = findRemap(G, C, Legacy);
+  EXPECT_EQ(Ref.CostAfter, 0.0);
+  EXPECT_LT(Ref.StartsRun, 32u);
+  EXPECT_EQ(Ref.StartsCutOff, 32u - Ref.StartsRun);
+
+  for (unsigned Jobs : {1u, 2u, 8u}) {
+    O.Jobs = Jobs;
+    RemapResult R = findRemap(G, C, O);
+    expectSameResult(Ref, R, /*WithDeltaStats=*/false);
+  }
+}
+
+TEST(RemapExhaustive, ReportsEnumerationStats) {
+  // Regression: the exhaustive arm used to return all-zero stats. With 4
+  // movable registers it must report exactly 4! = 24 permutations
+  // evaluated, one enumeration run, and at least one improvement.
+  EncodingConfig C;
+  C.RegN = 4;
+  C.DiffN = 2;
+  C.DiffW = 1;
+  AdjacencyGraph G(4);
+  G.addWeight(0, 2, 2); // diff 2: violated under identity.
+  G.addWeight(1, 3, 1); // diff 2: violated under identity.
+
+  RemapResult R = findRemap(G, C); // ExhaustiveLimit=7 routes to exhaustive.
+  ASSERT_TRUE(R.Exhaustive);
+  EXPECT_EQ(R.StartsRun, 1u);
+  EXPECT_EQ(R.StartsCutOff, 0u);
+  EXPECT_EQ(R.SwapsEvaluated, 24u);
+  EXPECT_GE(R.SwapsApplied, 1u);
+  EXPECT_LE(R.CostAfter, R.CostBefore);
+}
+
+TEST(RemapSearch, GreedyArmsReportStatsAndValidCosts) {
+  for (unsigned RegN : RegNMatrix) {
+    EncodingConfig C = cfgFor(RegN);
+    AdjacencyGraph G = randomGraph(31 + RegN, RegN, RegN * 4);
+    RemapOptions O;
+    O.ExhaustiveLimit = 0;
+    O.NumStarts = 8;
+    O.Jobs = 2;
+    RemapResult R = findRemap(G, C, O);
+    EXPECT_TRUE(isPermutation(R.Perm, RegN));
+    EXPECT_GE(R.StartsRun, 1u);
+    EXPECT_EQ(R.StartsRun + R.StartsCutOff, 8u);
+    EXPECT_GT(R.SwapsEvaluated, 0u);
+    EXPECT_LE(R.CostAfter, R.CostBefore);
+    // Integer weights make the incrementally maintained cost exact: it
+    // must equal a from-scratch recost of the returned permutation.
+    EXPECT_EQ(R.CostAfter, G.cost(R.Perm, C));
+    // The whole point of the delta rows: far fewer arc visits than
+    // recosting every candidate from scratch would have needed.
+    EXPECT_GT(R.DeltaRecostSavings, 0u);
+  }
+}

@@ -46,6 +46,11 @@ const char *UsageText =
     "  --diffn=N          difference codes (default 8)\n"
     "  --diffw=N          field width in bits (default 3)\n"
     "  --remap-starts=N   remapping restarts (default 200)\n"
+    "  --remap-jobs=N     shard each function's multi-start remap search\n"
+    "                     over N nested pool workers (default 1; results\n"
+    "                     are bit-identical at any value; prefer --jobs\n"
+    "                     for batch throughput, --remap-jobs for latency\n"
+    "                     of few large functions)\n"
     "  --jobs=N           pool workers (default 0 = hardware concurrency)\n"
     "  --per-task-seeds   decorrelate remap RNG streams per input\n"
     "  --trace-out=FILE   Chrome trace-event JSON (chrome://tracing)\n"
@@ -65,6 +70,7 @@ struct Options {
   unsigned DiffN = 8;
   unsigned DiffW = 3;
   unsigned RemapStarts = 200;
+  unsigned RemapJobs = 1;
   unsigned Jobs = 0;
   bool PerTaskSeeds = false;
   bool Help = false;
@@ -112,6 +118,12 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.DiffW = static_cast<unsigned>(std::atoi(V));
     } else if (const char *V = Value("--remap-starts=")) {
       O.RemapStarts = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--remap-jobs=")) {
+      O.RemapJobs = static_cast<unsigned>(std::atoi(V));
+      if (O.RemapJobs == 0) {
+        std::fprintf(stderr, "error: --remap-jobs must be >= 1\n");
+        return false;
+      }
     } else if (const char *V = Value("--jobs=")) {
       O.Jobs = static_cast<unsigned>(std::atoi(V));
     } else if (const char *V = Value("--trace-out=")) {
@@ -190,6 +202,7 @@ int main(int Argc, char **Argv) {
   Config.Enc.DiffN = O.DiffN;
   Config.Enc.DiffW = O.DiffW;
   Config.Remap.NumStarts = O.RemapStarts;
+  Config.Remap.Jobs = O.RemapJobs;
   if (!Config.Enc.valid()) {
     std::fprintf(stderr, "error: invalid encoding configuration "
                          "(regn/diffn/diffw)\n");

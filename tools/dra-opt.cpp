@@ -28,6 +28,7 @@
 #include <iterator>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace dra;
@@ -49,6 +50,9 @@ const char *UsageText =
     "  --diffn=N          difference codes (default 8)\n"
     "  --diffw=N          field width in bits (default 3)\n"
     "  --remap-starts=N   remapping restarts (default 200)\n"
+    "  --remap-jobs=N     shard the multi-start remap search over N pool\n"
+    "                     workers (default 1; 0 = hardware concurrency;\n"
+    "                     results are bit-identical at any value)\n"
     "  --adaptive         Section 8.2 selective enabling\n"
     "  --cleanup          run fold/simplify/DCE before allocation\n"
     "\n"
@@ -77,6 +81,7 @@ struct Options {
   unsigned DiffN = 8;
   unsigned DiffW = 3;
   unsigned RemapStarts = 200;
+  unsigned RemapJobs = 1;
   unsigned Jobs = 1;
   bool Adaptive = false;
   bool Cleanup = false;
@@ -127,6 +132,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.DiffW = static_cast<unsigned>(std::atoi(V));
     } else if (const char *V = Value("--remap-starts=")) {
       O.RemapStarts = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--remap-jobs=")) {
+      O.RemapJobs = static_cast<unsigned>(std::atoi(V));
+      if (O.RemapJobs == 0)
+        O.RemapJobs = std::thread::hardware_concurrency();
     } else if (const char *V = Value("--jobs=")) {
       O.Jobs = static_cast<unsigned>(std::atoi(V));
     } else if (const char *V = Value("--trace-out=")) {
@@ -235,6 +244,7 @@ int main(int Argc, char **Argv) {
   Config.Enc.DiffN = O.DiffN;
   Config.Enc.DiffW = O.DiffW;
   Config.Remap.NumStarts = O.RemapStarts;
+  Config.Remap.Jobs = O.RemapJobs;
   Config.AdaptiveEnable = O.Adaptive;
   if (!Config.Enc.valid()) {
     std::fprintf(stderr, "error: invalid encoding configuration "

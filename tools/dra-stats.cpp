@@ -45,7 +45,12 @@ const char *UsageText =
     "                       M is a flat key like `pipeline.spill_insts`\n"
     "                       or `pipeline.spill_insts{scheme=coalesce}`\n"
     "                       and bare names match every labeled series of\n"
-    "                       that name; repeatable\n"
+    "                       that name; repeatable. A negative PCT flips\n"
+    "                       the gate into a required improvement: the\n"
+    "                       check fails unless M *dropped* by more than\n"
+    "                       |PCT| percent (e.g. `M:-80` demands current\n"
+    "                       be below a fifth of baseline — use it to\n"
+    "                       assert an optimization keeps paying off)\n"
     "  --help               show this text\n"
     "\n"
     "exit status: 0 on success, 1 when a file cannot be read or fails\n"
@@ -307,6 +312,20 @@ int main(int Argc, char **Argv) {
     }
     for (const MatchedValue &M : Matches) {
       double Pct = pctDelta(M.Base, M.Cur);
+      if (Rule.ThresholdPct < 0) {
+        // Improvement gate: current must sit more than |PCT| percent
+        // below baseline. Anything short of that drop — including any
+        // increase — fails.
+        if (Pct > Rule.ThresholdPct) {
+          std::fprintf(stderr,
+                       "IMPROVEMENT NOT MET: %s: %g -> %g (%.2f%%, "
+                       "needs < %.2f%%)\n",
+                       M.Key.c_str(), M.Base, M.Cur,
+                       std::isinf(Pct) ? 100.0 : Pct, Rule.ThresholdPct);
+          Exit = 3;
+        }
+        continue;
+      }
       bool Regressed = M.Cur > M.Base && Pct > Rule.ThresholdPct;
       if (Regressed) {
         std::fprintf(stderr,
