@@ -118,9 +118,13 @@ void storeVliwCache(unsigned LoopCount, const std::vector<VliwRow> &Rows) {
 
 /// Folds the low-end suite's result table into \p Reg as suite.* gauges
 /// labeled {program, scheme} — derivable from cached results, so available
-/// on every run — and writes the snapshot to BENCH_lowend.json.
+/// on every run — and writes the snapshot to BENCH_lowend.json. \p Cached
+/// records provenance: consumers (dra-stats diffs, CI gates) need to know
+/// whether the deep pipeline.* counters can be expected in the snapshot.
 void writeLowEndBenchJson(MetricsRegistry &Reg,
-                          const std::vector<ProgramMetrics> &Suite) {
+                          const std::vector<ProgramMetrics> &Suite,
+                          bool Cached) {
+  Reg.gauge("cache.provenance", Cached ? 1.0 : 0.0);
   for (const ProgramMetrics &PM : Suite) {
     for (const auto &[S, M] : PM.PerScheme) {
       MetricLabels L{{"program", PM.Name}, {"scheme", schemeName(S)}};
@@ -143,7 +147,8 @@ void writeLowEndBenchJson(MetricsRegistry &Reg,
 /// Same for the VLIW sweep: one vliw.* gauge set per RegN row, written to
 /// BENCH_vliw.json alongside whatever swp.* series a fresh run recorded.
 void writeVliwBenchJson(MetricsRegistry &Reg,
-                        const std::vector<VliwRow> &Rows) {
+                        const std::vector<VliwRow> &Rows, bool Cached) {
+  Reg.gauge("cache.provenance", Cached ? 1.0 : 0.0);
   for (const VliwRow &R : Rows) {
     MetricLabels L{{"regn", std::to_string(R.RegN)}};
     Reg.gauge("vliw.speedup_optimized_pct", R.SpeedupOptimizedPct, L);
@@ -182,7 +187,7 @@ std::vector<ProgramMetrics> dra::runLowEndSuite(unsigned RemapStarts,
   if (loadLowEndCache(RemapStarts, Results)) {
     std::fprintf(stderr, "  [suite] using cached results (%s)\n",
                  lowEndCachePath(RemapStarts).c_str());
-    writeLowEndBenchJson(Reg, Results);
+    writeLowEndBenchJson(Reg, Results, /*Cached=*/true);
     return Results;
   }
   auto WallStart = std::chrono::steady_clock::now();
@@ -253,7 +258,7 @@ std::vector<ProgramMetrics> dra::runLowEndSuite(unsigned RemapStarts,
                Names.size(), Schemes.size(), WallMs,
                Batch.pool().workerCount());
   storeLowEndCache(RemapStarts, Results);
-  writeLowEndBenchJson(Reg, Results);
+  writeLowEndBenchJson(Reg, Results, /*Cached=*/false);
   return Results;
 }
 
@@ -271,7 +276,7 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount, unsigned Jobs,
       // The remap-search microbenchmark is cheap and cache-independent,
       // so BENCH_vliw.json always carries the remap.* throughput gauges.
       recordRemapSearchPerf(Reg, measureRemapSearch(64, 12, {2, 4}));
-      writeVliwBenchJson(Reg, Cached);
+      writeVliwBenchJson(Reg, Cached, /*Cached=*/true);
       return Cached;
     }
   }
@@ -409,7 +414,7 @@ std::vector<VliwRow> dra::runVliwSuite(unsigned LoopCount, unsigned Jobs,
                Corpus.size(), WallMs, Pool.workerCount());
   storeVliwCache(Opts.Count, Rows);
   recordRemapSearchPerf(Reg, measureRemapSearch(64, 12, {2, 4}));
-  writeVliwBenchJson(Reg, Rows);
+  writeVliwBenchJson(Reg, Rows, /*Cached=*/false);
   return Rows;
 }
 

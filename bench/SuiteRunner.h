@@ -16,7 +16,11 @@
 /// (driver/Metrics.h), consumable by tools/dra-stats. Suite-level result
 /// gauges (suite.* / vliw.*) are written even when the on-disk result
 /// cache is hit; the allocator-deep counters and stage timing histograms
-/// require a fresh (uncached) run.
+/// require a fresh (uncached) run. Which of the two a snapshot is can be
+/// read off the snapshot itself: every BENCH_*.json carries a
+/// `cache.provenance` gauge — 0 when the experiment was computed fresh
+/// (deep counters present), 1 when it was replayed from the on-disk
+/// result cache (suite-level gauges only).
 ///
 //===----------------------------------------------------------------------===//
 

@@ -307,7 +307,16 @@ PipelineResult runPipelineImpl(const Function &Src, const PipelineConfig &C) {
 } // namespace
 
 PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
-  PipelineResult R = runPipelineImpl(Src, C);
+  PipelineResult R;
+  // Cache consult first: a hit replays the stored result (counters and
+  // all), so the metrics flush below is identical on both paths; only the
+  // wall-clock Spans are absent on a hit.
+  bool Hit = C.Cache && C.Cache->lookup(Src, C, R);
+  if (!Hit) {
+    R = runPipelineImpl(Src, C);
+    if (C.Cache)
+      C.Cache->store(Src, C, R);
+  }
   if (C.Metrics)
     flushPipelineMetrics(*C.Metrics, C, R, Src);
   return R;

@@ -49,6 +49,8 @@ enum class Scheme : uint8_t { Baseline, OSpill, Remap, Select, Coalesce };
 /// Returns the paper's name for \p S.
 const char *schemeName(Scheme S);
 
+class PipelineCache;
+
 /// Pipeline parameters.
 struct PipelineConfig {
   Scheme S = Scheme::Baseline;
@@ -76,6 +78,13 @@ struct PipelineConfig {
   /// {scheme, function}. Null (the default) is the zero-cost fast path:
   /// no registry locking and no per-round clock reads.
   MetricsRegistry *Metrics = nullptr;
+  /// When non-null, runPipeline consults this cache before compiling and
+  /// stores every fresh result into it. A hit returns the cached
+  /// PipelineResult (bit-identical to a fresh compile by the determinism
+  /// guarantees; driver/ResultCache.h is the concrete implementation) and
+  /// skips the pipeline entirely — only the Spans timing record is absent
+  /// on the hit path. Null (the default) compiles unconditionally.
+  PipelineCache *Cache = nullptr;
 };
 
 // StageSpan (one timed pipeline stage or nested sub-phase) lives in
@@ -123,6 +132,25 @@ struct PipelineResult {
                          : 100.0 * static_cast<double>(SetLastRegs) /
                                static_cast<double>(NumInsts);
   }
+};
+
+/// Abstract result cache consulted by runPipeline (PipelineConfig::Cache).
+/// The core layer owns only this interface; the concrete content-addressed
+/// two-tier implementation lives in driver/ResultCache.h so the dependency
+/// points driver -> core, never the reverse. Implementations must be safe
+/// for concurrent lookup/store from BatchCompiler workers.
+class PipelineCache {
+public:
+  virtual ~PipelineCache() = default;
+
+  /// True when a result for (\p Src, \p C) is available; fills \p Out.
+  /// False is always safe: the caller falls back to a fresh compile.
+  virtual bool lookup(const Function &Src, const PipelineConfig &C,
+                      PipelineResult &Out) = 0;
+
+  /// Offers the freshly-compiled \p R for (\p Src, \p C).
+  virtual void store(const Function &Src, const PipelineConfig &C,
+                     const PipelineResult &R) = 0;
 };
 
 /// Runs pipeline \p C on a copy of \p Src and returns the outcome.

@@ -77,6 +77,8 @@ BatchCompiler::run(const std::vector<Function> &Functions,
     PipelineConfig C = Configs[I];
     if (Opts.PerTaskSeeds)
       C.Remap.Seed = Rng::taskSeed(C.Remap.Seed, I);
+    if (Opts.Cache)
+      C.Cache = Opts.Cache;
     uint64_t Begin = Telemetry::steadyNowNs();
     Results[I] = runPipeline(Functions[I], C);
     if (Opts.Telem)

@@ -41,6 +41,10 @@ struct BatchOptions {
   /// Off by default so a batch over one shared config reproduces the
   /// serial suites' historical numbers exactly.
   bool PerTaskSeeds = false;
+  /// Optional result cache (driver/ResultCache.h), shared by all tasks
+  /// and consulted inside runPipeline. Overrides any per-config Cache
+  /// pointer so a batch has one coherent cache view.
+  PipelineCache *Cache = nullptr;
 };
 
 class BatchCompiler {

@@ -4,11 +4,13 @@
 
 #include "adt/Rng.h"
 #include "core/Encoder.h"
+#include "driver/ResultCache.h"
 #include "fuzz/Invariants.h"
 #include "fuzz/Minimizer.h"
 #include "fuzz/Oracle.h"
 #include "interp/Interpreter.h"
 
+#include <optional>
 #include <utility>
 
 using namespace dra;
@@ -80,22 +82,27 @@ const ConfigVariant ConfigVariants[] = {
     {"vliw32-dst", vliwDst},     {"vliw32-sp", vliwSp},
 };
 
-/// The scheme axis: the three differential pipelines plus the remap
-/// pipeline with its multi-start search sharded over pool workers. The
-/// parallel variant returns bit-identical results to sequential remap by
-/// construction — running it under the oracle and the TSan sweep is what
-/// guards that construction.
+/// The scheme axis: the three differential pipelines, the remap pipeline
+/// with its multi-start search sharded over pool workers, and a
+/// cache-replay arm that recompiles the heaviest pipeline (coalesce)
+/// through a warm ResultCache. The parallel variant returns bit-identical
+/// results to sequential remap by construction — running it under the
+/// oracle and the TSan sweep is what guards that construction; likewise
+/// "cached == fresh" is the cache's construction invariant and the replay
+/// arm is its guard.
 struct SchemeVariant {
   Scheme S;
   unsigned RemapJobs;
   const char *Name;
+  bool CacheReplay;
 };
 
 const SchemeVariant SchemeVariants[] = {
-    {Scheme::Remap, 1, "remap"},
-    {Scheme::Select, 1, "select"},
-    {Scheme::Coalesce, 1, "coalesce"},
-    {Scheme::Remap, 3, "remap-parallel"},
+    {Scheme::Remap, 1, "remap", false},
+    {Scheme::Select, 1, "select", false},
+    {Scheme::Coalesce, 1, "coalesce", false},
+    {Scheme::Remap, 3, "remap-parallel", false},
+    {Scheme::Coalesce, 1, "cache-replay", true},
 };
 
 constexpr size_t NumSchemeVariants =
@@ -168,6 +175,28 @@ bool applyFault(EncodedFunction &E, const EncodingConfig &C,
   return false;
 }
 
+/// FNV-1a over the encoded difference-code stream of \p F (re-encoded
+/// from its stripped form, as the round-trip checks do). Instruction and
+/// block boundaries are folded in so reshuffled streams cannot collide
+/// by concatenation.
+uint64_t encodedStreamHash(const Function &F, const EncodingConfig &C) {
+  EncodedFunction E = encodeFunction(stripSetLastReg(F), C);
+  uint64_t H = 1469598103934665603ull;
+  auto Mix = [&H](uint8_t B) {
+    H ^= B;
+    H *= 1099511628211ull;
+  };
+  for (const auto &BlockCodes : E.Codes) {
+    Mix(0xfe);
+    for (const auto &InstCodes : BlockCodes) {
+      Mix(0xff);
+      for (uint8_t Code : InstCodes)
+        Mix(Code);
+    }
+  }
+  return H;
+}
+
 } // namespace
 
 std::string FuzzCase::name() const {
@@ -197,6 +226,7 @@ FuzzCase dra::caseForIndex(uint64_t BaseSeed, uint64_t Index) {
   const SchemeVariant &SV = SchemeVariants[Index % NumSchemeVariants];
   FC.S = SV.S;
   FC.RemapJobs = SV.RemapJobs;
+  FC.CacheReplay = SV.CacheReplay;
   FC.Enc = ConfigVariants[(Index / NumSchemeVariants) %
                           (sizeof(ConfigVariants) /
                            sizeof(ConfigVariants[0]))]
@@ -223,10 +253,33 @@ std::optional<std::string> dra::checkProgram(const Function &P,
   // without weakening any checked invariant.
   Cfg.Remap.NumStarts = 25;
   Cfg.Remap.Jobs = FC.RemapJobs;
+  std::optional<ResultCache> Cache;
+  if (FC.CacheReplay) {
+    Cache.emplace();
+    Cfg.Cache = &*Cache;
+  }
   PipelineResult R = runPipeline(P, Cfg);
 
   if (!verifyFunction(R.F, &Err))
     return "pipeline output invalid: " + Err;
+
+  if (FC.CacheReplay) {
+    // Recompile through the now-warm cache: the replay must hit, and the
+    // replayed function must match the fresh compile bit for bit —
+    // structurally and as an encoded difference-code stream.
+    PipelineResult Warm = runPipeline(P, Cfg);
+    ResultCacheStats CS = Cache->stats();
+    if (CS.Hits != 1 || CS.Misses != 1)
+      return "cache replay: expected 1 miss + 1 hit, got " +
+             std::to_string(CS.Misses) + " miss(es) + " +
+             std::to_string(CS.Hits) + " hit(s)";
+    std::string Why;
+    if (!functionsIdentical(Warm.F, R.F, &Why))
+      return "cache replay: warm function differs from cold: " + Why;
+    if (R.DiffEncoded &&
+        encodedStreamHash(Warm.F, FC.Enc) != encodedStreamHash(R.F, FC.Enc))
+      return "cache replay: encoded stream hash differs from cold compile";
+  }
 
   // Allocation legally restructures code (spills, deleted moves), so the
   // end-to-end check is final-state only. The spill code multiplies the

@@ -14,8 +14,11 @@
 /// differential pipelines (remap, select, coalesce) plus a
 /// `remap-parallel` variant — the remap pipeline with the multi-start
 /// search sharded over RemapJobs pool workers, so the lockstep oracle
-/// exercises the parallel incremental search end-to-end. For each case
-/// the harness:
+/// exercises the parallel incremental search end-to-end — and a
+/// `cache-replay` variant that compiles the case cold, then again through
+/// a warm result cache (driver/ResultCache.h), requiring the replayed
+/// function and its encoded stream to be bit-identical to the fresh
+/// compile. For each case the harness:
 ///
 ///  1. generates the program and runs the full pipeline, checking the
 ///     end-to-end fingerprint (allocation may legally restructure code, so
@@ -81,6 +84,11 @@ struct FuzzCase {
   /// Results are bit-identical either way — the variant exists to drive
   /// the parallel search code path under the oracle and sanitizers.
   unsigned RemapJobs = 1;
+  /// Compile the case twice through a fresh in-memory result cache (cold
+  /// miss, then warm hit) and require the replayed result — function and
+  /// encoded stream — to match the fresh compile exactly (the
+  /// `cache-replay` scheme variant sets this).
+  bool CacheReplay = false;
 
   /// Stable human-readable id, e.g. "s42-coalesce-vliw32-dst-sp".
   std::string name() const;

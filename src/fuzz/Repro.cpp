@@ -111,6 +111,7 @@ std::string dra::writeRepro(const FuzzCase &FC, const Function &P) {
   Out << "\n";
   Out << "# steplimit: " << FC.StepLimit << "\n";
   Out << "# remapjobs: " << FC.RemapJobs << "\n";
+  Out << "# cachereplay: " << (FC.CacheReplay ? 1 : 0) << "\n";
   Out << "# fault: " << injectFaultName(FC.Fault) << "\n";
   Out << printFunction(P);
   return Out.str();
@@ -147,6 +148,12 @@ bool dra::loadRepro(const std::string &Text, FuzzCase &FC, Function &P,
       LS >> FC.RemapJobs;
       if (FC.RemapJobs == 0)
         return fail(Err, "repro: remapjobs must be >= 1");
+    } else if (Key == "cachereplay:") {
+      unsigned V = 0;
+      LS >> V;
+      if (V > 1)
+        return fail(Err, "repro: cachereplay must be 0 or 1");
+      FC.CacheReplay = V != 0;
     } else if (Key == "scheme:") {
       std::string Name;
       LS >> Name;

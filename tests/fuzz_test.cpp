@@ -150,6 +150,7 @@ TEST(FuzzCase, MatrixCoversSchemesAndConfigs) {
   std::set<std::string> Names;
   std::set<Scheme> Schemes;
   unsigned ParallelCases = 0;
+  unsigned CacheReplayCases = 0;
   for (uint64_t I = 0; I != caseMatrixSize(); ++I) {
     FuzzCase FC = caseForIndex(7, I);
     Names.insert(FC.name());
@@ -162,13 +163,22 @@ TEST(FuzzCase, MatrixCoversSchemesAndConfigs) {
       EXPECT_EQ(FC.S, Scheme::Remap);
       EXPECT_NE(FC.name().find("remap-parallel"), std::string::npos);
     }
+    if (FC.CacheReplay) {
+      ++CacheReplayCases;
+      // The cache-replay variant recompiles the heaviest pipeline through
+      // a warm ResultCache; named distinctly for the same reason.
+      EXPECT_EQ(FC.S, Scheme::Coalesce);
+      EXPECT_NE(FC.name().find("cache-replay"), std::string::npos);
+    }
   }
-  // 6 config variants x 4 scheme variants (remap, select, coalesce,
-  // remap-parallel); one remap-parallel case per config variant.
-  EXPECT_EQ(caseMatrixSize(), 24u);
+  // 6 config variants x 5 scheme variants (remap, select, coalesce,
+  // remap-parallel, cache-replay); one remap-parallel and one
+  // cache-replay case per config variant.
+  EXPECT_EQ(caseMatrixSize(), 30u);
   EXPECT_EQ(Names.size(), caseMatrixSize());
   EXPECT_EQ(Schemes.size(), 3u);
   EXPECT_EQ(ParallelCases, 6u);
+  EXPECT_EQ(CacheReplayCases, 6u);
 }
 
 TEST(FuzzCase, DeterministicDerivation) {
@@ -182,9 +192,10 @@ TEST(FuzzCase, DeterministicDerivation) {
 }
 
 TEST(Repro, RoundTripsCaseAndProgram) {
-  // Index 15 is a remap-parallel case, so RemapJobs round-trips a
-  // non-default value (a dropped directive would silently load as 1).
-  FuzzCase FC = caseForIndex(9, 15);
+  // Index 18 is a remap-parallel case (18 % 5 == 3), so RemapJobs
+  // round-trips a non-default value (a dropped directive would silently
+  // load as 1).
+  FuzzCase FC = caseForIndex(9, 18);
   ASSERT_GT(FC.RemapJobs, 1u);
   FC.Fault = InjectFault::CorruptFieldCode;
   Function P = generateProgram("rt", FC.Profile);
@@ -207,6 +218,29 @@ TEST(Repro, RoundTripsCaseAndProgram) {
   EXPECT_EQ(printFunction(Q), printFunction(P));
 }
 
+TEST(Repro, RoundTripsCacheReplayFlag) {
+  // Index 19 is a cache-replay case (19 % 5 == 4): the flag must survive
+  // the directive round trip, or a replayed repro would silently skip the
+  // warm-cache comparison.
+  FuzzCase FC = caseForIndex(9, 19);
+  ASSERT_TRUE(FC.CacheReplay);
+  Function P = generateProgram("cr", FC.Profile);
+  std::string Text = writeRepro(FC, P);
+  EXPECT_NE(Text.find("# cachereplay: 1"), std::string::npos);
+  FuzzCase Loaded;
+  Function Q;
+  std::string Err;
+  ASSERT_TRUE(loadRepro(Text, Loaded, Q, &Err)) << Err;
+  EXPECT_TRUE(Loaded.CacheReplay);
+  EXPECT_EQ(Loaded.S, FC.S);
+
+  // And the default stays off when the directive is absent (old repros).
+  FuzzCase Plain = caseForIndex(9, 0);
+  ASSERT_FALSE(Plain.CacheReplay);
+  ASSERT_TRUE(loadRepro(writeRepro(Plain, P), Loaded, Q, &Err)) << Err;
+  EXPECT_FALSE(Loaded.CacheReplay);
+}
+
 TEST(Repro, RejectsGarbage) {
   FuzzCase FC;
   Function P;
@@ -215,10 +249,83 @@ TEST(Repro, RejectsGarbage) {
   EXPECT_FALSE(Err.empty());
 }
 
+TEST(Repro, RejectsTruncatedHeader) {
+  // A file cut off before the magic line must not load, even when the
+  // remaining directives look plausible.
+  FuzzCase FC;
+  Function P;
+  std::string Err;
+  EXPECT_FALSE(loadRepro("", FC, P, &Err));
+  EXPECT_NE(Err.find("header"), std::string::npos) << Err;
+  EXPECT_FALSE(
+      loadRepro("# seed: 12\n# index: 3\n# scheme: remap\n", FC, P, &Err));
+  EXPECT_NE(Err.find("header"), std::string::npos) << Err;
+}
+
+TEST(Repro, IgnoresUnknownDirectives) {
+  // Unknown directives are informational by contract (forward
+  // compatibility): a repro from a newer harness still loads.
+  FuzzCase FC = caseForIndex(3, 2);
+  Function P = generateProgram("ud", FC.Profile);
+  std::string Text = writeRepro(FC, P);
+  size_t AfterMagic = Text.find('\n') + 1;
+  Text.insert(AfterMagic, "# flux-capacitor: 88\n# case: renamed\n");
+  FuzzCase Loaded;
+  Function Q;
+  std::string Err;
+  ASSERT_TRUE(loadRepro(Text, Loaded, Q, &Err)) << Err;
+  EXPECT_EQ(Loaded.Seed, FC.Seed);
+  EXPECT_EQ(printFunction(Q), printFunction(P));
+}
+
+TEST(Repro, RejectsGarbageBody) {
+  // Valid directives, rubbish IR: the function parser's diagnostic must
+  // surface through loadRepro instead of a crash or a silent default.
+  std::string Text = "# dra-fuzz repro v1\n"
+                     "# seed: 7\n"
+                     "# scheme: coalesce\n"
+                     "func @x {\n  this is not ir\n}\n";
+  FuzzCase FC;
+  Function P;
+  std::string Err;
+  EXPECT_FALSE(loadRepro(Text, FC, P, &Err));
+  EXPECT_NE(Err.find("repro:"), std::string::npos) << Err;
+}
+
+TEST(Repro, RejectsMalformedDirectiveValues) {
+  const char *Magic = "# dra-fuzz repro v1\n";
+  FuzzCase FC;
+  Function P;
+  std::string Err;
+  // Unknown scheme name.
+  EXPECT_FALSE(loadRepro(std::string(Magic) + "# scheme: turbo\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("scheme"), std::string::npos) << Err;
+  // Zero remap jobs.
+  EXPECT_FALSE(loadRepro(std::string(Magic) + "# remapjobs: 0\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("remapjobs"), std::string::npos) << Err;
+  // Out-of-range cache-replay flag.
+  EXPECT_FALSE(loadRepro(std::string(Magic) + "# cachereplay: 2\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("cachereplay"), std::string::npos) << Err;
+  // Malformed enc token.
+  EXPECT_FALSE(loadRepro(std::string(Magic) +
+                             "# enc: regn=twelve diffn=8\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("enc"), std::string::npos) << Err;
+  // Enc config that parses but cannot encode (DiffN > 2^DiffW).
+  EXPECT_FALSE(loadRepro(std::string(Magic) +
+                             "# enc: regn=12 diffn=9 diffw=3\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("invalid"), std::string::npos) << Err;
+}
+
 TEST(Harness, CleanCasesPass) {
-  // The first few sweep cases must pass end to end — the same guarantee
-  // the CI smoke job checks at larger scale.
-  for (uint64_t I = 0; I != 3; ++I) {
+  // The first five sweep cases (one per scheme variant, including
+  // cache-replay) must pass end to end — the same guarantee the CI smoke
+  // job checks at larger scale.
+  for (uint64_t I = 0; I != 5; ++I) {
     FuzzCase FC = caseForIndex(1, I);
     FuzzCaseResult R = runFuzzCase(FC, /*MinimizeBudget=*/0);
     EXPECT_TRUE(R.Ok) << FC.name() << ": " << R.Detail;

@@ -12,6 +12,7 @@
 
 #include "core/Pipeline.h"
 #include "driver/BatchCompiler.h"
+#include "driver/ResultCache.h"
 #include "interp/Interpreter.h"
 #include "ir/Parser.h"
 
@@ -21,6 +22,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -58,10 +60,21 @@ const char *UsageText =
     "  --metrics-out=FILE allocator-deep metrics (per-function counters,\n"
     "                     gauges, stage histograms) as dra-metrics-v1\n"
     "                     JSON; compare runs with dra-stats\n"
+    "  --cache-dir=DIR    persistent content-addressed result cache: one\n"
+    "                     dra-cache-v1 file per (function, config) entry;\n"
+    "                     corrupt or stale entries are quarantined, never\n"
+    "                     errors. Warm runs skip compilation entirely\n"
+    "  --cache-mem-mb=N   in-memory cache tier budget in MiB (default 64;\n"
+    "                     0 disables the memory tier). Implies caching\n"
+    "                     even without --cache-dir\n"
+    "  --cache-verify=F   recompile fraction F (0..1) of cache hits and\n"
+    "                     compare against the cached result byte-for-byte\n"
+    "                     (exit 1 on any mismatch)\n"
     "  --help             show this text\n"
     "\n"
-    "exit status: 0 on success, 1 when any input fails to parse/compile\n"
-    "or changes semantics, 2 on a command-line error.\n";
+    "exit status: 0 on success, 1 when any input fails to parse/compile,\n"
+    "changes semantics, or fails cache verification; 2 on a command-line\n"
+    "error.\n";
 
 struct Options {
   Scheme S = Scheme::Coalesce;
@@ -77,6 +90,10 @@ struct Options {
   std::string TraceOut;
   std::string JsonOut;
   std::string MetricsOut;
+  std::string CacheDir;
+  unsigned CacheMemMb = 64;
+  double CacheVerify = 0;
+  bool UseCache = false;
   std::vector<std::string> Inputs;
 };
 
@@ -132,6 +149,19 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.JsonOut = V;
     } else if (const char *V = Value("--metrics-out=")) {
       O.MetricsOut = V;
+    } else if (const char *V = Value("--cache-dir=")) {
+      O.CacheDir = V;
+      O.UseCache = true;
+    } else if (const char *V = Value("--cache-mem-mb=")) {
+      O.CacheMemMb = static_cast<unsigned>(std::atoi(V));
+      O.UseCache = true;
+    } else if (const char *V = Value("--cache-verify=")) {
+      O.CacheVerify = std::atof(V);
+      if (O.CacheVerify < 0 || O.CacheVerify > 1) {
+        std::fprintf(stderr, "error: --cache-verify must be in [0, 1]\n");
+        return false;
+      }
+      O.UseCache = true;
     } else if (Arg == "--per-task-seeds") {
       O.PerTaskSeeds = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -239,10 +269,21 @@ int main(int Argc, char **Argv) {
   MetricsRegistry Metrics;
   if (!O.MetricsOut.empty())
     Config.Metrics = &Metrics;
+  std::unique_ptr<ResultCache> Cache;
+  if (O.UseCache) {
+    ResultCacheOptions CO;
+    CO.MemBudgetBytes = static_cast<size_t>(O.CacheMemMb) << 20;
+    CO.DiskDir = O.CacheDir;
+    CO.VerifyFraction = O.CacheVerify;
+    Cache = std::make_unique<ResultCache>(CO);
+    if (!O.MetricsOut.empty())
+      Cache->setMetrics(&Metrics);
+  }
   BatchOptions BO;
   BO.Jobs = O.Jobs;
   BO.Telem = &Telem;
   BO.PerTaskSeeds = O.PerTaskSeeds;
+  BO.Cache = Cache.get();
   BatchCompiler Batch(BO);
 
   uint64_t BatchBeginUs = Telem.nowUs();
@@ -265,6 +306,27 @@ int main(int Argc, char **Argv) {
               "wall\n",
               Files.size(), schemeName(O.S), Batch.pool().workerCount(),
               static_cast<double>(BatchUs) / 1000.0);
+  if (Cache) {
+    ResultCacheStats CS = Cache->stats();
+    std::printf("cache: %llu hit(s) (%llu mem, %llu disk), %llu miss(es), "
+                "%llu eviction(s), %llu load error(s), %llu verified, "
+                "%llu mismatch(es)\n",
+                static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.MemHits),
+                static_cast<unsigned long long>(CS.DiskHits),
+                static_cast<unsigned long long>(CS.Misses),
+                static_cast<unsigned long long>(CS.Evictions),
+                static_cast<unsigned long long>(CS.LoadErrors),
+                static_cast<unsigned long long>(CS.VerifyRecompiles),
+                static_cast<unsigned long long>(CS.VerifyMismatches));
+    if (CS.VerifyMismatches != 0) {
+      std::fprintf(stderr, "error: cache verification found %llu "
+                           "mismatch(es) (cached != fresh)\n",
+                   static_cast<unsigned long long>(CS.VerifyMismatches));
+      AllOk = false;
+    }
+    Cache->flushMetrics(Metrics);
+  }
   std::printf("%-12s %8s %12s %10s %10s %10s\n", "stage", "count",
               "total_us", "mean_us", "min_us", "max_us");
   for (const auto &[Name, S] : Telem.stageStats("stage")) {

@@ -14,6 +14,7 @@
 #include "core/BinaryEmitter.h"
 #include "core/Pipeline.h"
 #include "driver/BatchCompiler.h"
+#include "driver/ResultCache.h"
 #include "interp/Interpreter.h"
 #include "ir/Parser.h"
 #include "opt/ConstantFold.h"
@@ -26,6 +27,7 @@
 #include <fstream>
 #include <iostream>
 #include <iterator>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -64,6 +66,13 @@ const char *UsageText =
     "  --metrics-out=FILE write allocator-deep metrics (counters, gauges,\n"
     "                     stage histograms) as dra-metrics-v1 JSON;\n"
     "                     compare runs with dra-stats\n"
+    "  --cache-dir=DIR    persistent content-addressed result cache\n"
+    "                     (dra-cache-v1 entries; stale/corrupt entries\n"
+    "                     quarantine as misses, never errors)\n"
+    "  --cache-mem-mb=N   in-memory cache tier budget in MiB (default 64;\n"
+    "                     implies caching even without --cache-dir)\n"
+    "  --cache-verify=F   recompile fraction F (0..1) of cache hits and\n"
+    "                     compare byte-for-byte (exit 1 on mismatch)\n"
     "\n"
     "output options:\n"
     "  --simulate         run the pipeline model and print cycles\n"
@@ -91,6 +100,10 @@ struct Options {
   bool Help = false;
   std::string TraceOut;
   std::string MetricsOut;
+  std::string CacheDir;
+  unsigned CacheMemMb = 64;
+  double CacheVerify = 0;
+  bool UseCache = false;
   std::vector<std::string> InputFiles;
 };
 
@@ -142,6 +155,19 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.TraceOut = V;
     } else if (const char *V = Value("--metrics-out=")) {
       O.MetricsOut = V;
+    } else if (const char *V = Value("--cache-dir=")) {
+      O.CacheDir = V;
+      O.UseCache = true;
+    } else if (const char *V = Value("--cache-mem-mb=")) {
+      O.CacheMemMb = static_cast<unsigned>(std::atoi(V));
+      O.UseCache = true;
+    } else if (const char *V = Value("--cache-verify=")) {
+      O.CacheVerify = std::atof(V);
+      if (O.CacheVerify < 0 || O.CacheVerify > 1) {
+        std::fprintf(stderr, "error: --cache-verify must be in [0, 1]\n");
+        return false;
+      }
+      O.UseCache = true;
     } else if (Arg == "--adaptive") {
       O.Adaptive = true;
     } else if (Arg == "--cleanup") {
@@ -256,9 +282,20 @@ int main(int Argc, char **Argv) {
   MetricsRegistry Metrics;
   if (!O.MetricsOut.empty())
     Config.Metrics = &Metrics;
+  std::unique_ptr<ResultCache> Cache;
+  if (O.UseCache) {
+    ResultCacheOptions CO;
+    CO.MemBudgetBytes = static_cast<size_t>(O.CacheMemMb) << 20;
+    CO.DiskDir = O.CacheDir;
+    CO.VerifyFraction = O.CacheVerify;
+    Cache = std::make_unique<ResultCache>(CO);
+    if (!O.MetricsOut.empty())
+      Cache->setMetrics(&Metrics);
+  }
   BatchOptions BO;
   BO.Jobs = O.Jobs;
   BO.Telem = O.TraceOut.empty() ? nullptr : &Telem;
+  BO.Cache = Cache.get();
   BatchCompiler Batch(BO);
 
   std::vector<Function> Functions;
@@ -311,6 +348,26 @@ int main(int Argc, char **Argv) {
 
     if (O.PrintCode)
       std::printf("\n%s", printFunction(R.F).c_str());
+  }
+
+  if (Cache) {
+    ResultCacheStats CS = Cache->stats();
+    std::printf("cache: %llu hit(s) (%llu mem, %llu disk), %llu miss(es), "
+                "%llu load error(s), %llu verified, %llu mismatch(es)\n",
+                static_cast<unsigned long long>(CS.Hits),
+                static_cast<unsigned long long>(CS.MemHits),
+                static_cast<unsigned long long>(CS.DiskHits),
+                static_cast<unsigned long long>(CS.Misses),
+                static_cast<unsigned long long>(CS.LoadErrors),
+                static_cast<unsigned long long>(CS.VerifyRecompiles),
+                static_cast<unsigned long long>(CS.VerifyMismatches));
+    if (CS.VerifyMismatches != 0) {
+      std::fprintf(stderr, "error: cache verification found %llu "
+                           "mismatch(es) (cached != fresh)\n",
+                   static_cast<unsigned long long>(CS.VerifyMismatches));
+      AllSame = false;
+    }
+    Cache->flushMetrics(Metrics);
   }
 
   if (!O.TraceOut.empty()) {
