@@ -139,6 +139,12 @@ void MetricsRegistry::count(std::string_view Name, double Delta,
   seriesFor(Counters[std::string(Name)], Labels).Value += Delta;
 }
 
+void MetricsRegistry::setCount(std::string_view Name, double Value,
+                               const MetricLabels &Labels) {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  seriesFor(Counters[std::string(Name)], Labels).Value = Value;
+}
+
 void MetricsRegistry::gauge(std::string_view Name, double Value,
                             const MetricLabels &Labels) {
   std::lock_guard<std::mutex> Lock(Mtx);
@@ -212,6 +218,7 @@ MetricsRegistry::histograms() const {
       }
       H.P50 = percentile(Sorted, 50);
       H.P90 = percentile(Sorted, 90);
+      H.P95 = percentile(Sorted, 95);
       H.P99 = percentile(Sorted, 99);
       Out.push_back(std::move(H));
     }
@@ -278,6 +285,8 @@ void MetricsRegistry::writeJson(std::ostream &OS) const {
     writeJsonNumber(OS, H.P50);
     OS << ", \"p90\": ";
     writeJsonNumber(OS, H.P90);
+    OS << ", \"p95\": ";
+    writeJsonNumber(OS, H.P95);
     OS << ", \"p99\": ";
     writeJsonNumber(OS, H.P99);
     OS << ",\n     \"buckets\": [";
@@ -657,6 +666,11 @@ bool dra::loadMetricsJson(std::istream &In, MetricsFileData &Out,
         !numberField(Sample, "p50", H.P50, Err) ||
         !numberField(Sample, "p90", H.P90, Err) ||
         !numberField(Sample, "p99", H.P99, Err))
+      return setError(Err, "histogram \"" + Key + "\": " +
+                               (Err ? *Err : "bad field"));
+    // p95 postdates the v1 schema's first release; files written before
+    // it load with P95 = 0 rather than failing validation.
+    if (Sample.field("p95") && !numberField(Sample, "p95", H.P95, Err))
       return setError(Err, "histogram \"" + Key + "\": " +
                                (Err ? *Err : "bad field"));
     const JsonValue *Buckets = Sample.field("buckets");

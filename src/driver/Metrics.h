@@ -141,6 +141,16 @@ public:
   void count(std::string_view Name, double Delta,
              const MetricLabels &Labels = {});
 
+  /// Sets counter (\p Name, \p Labels) to the absolute value \p Value
+  /// (last writer wins, like a gauge, but the series stays a counter in
+  /// the export). This is the non-destructive flush path for subsystems
+  /// that keep their own monotonic totals (ResultCacheStats, the compile
+  /// server's request counters): they can snapshot into a live registry
+  /// repeatedly — e.g. the server's periodic metrics export — without
+  /// double-counting and without resetting their internal totals mid-run.
+  void setCount(std::string_view Name, double Value,
+                const MetricLabels &Labels = {});
+
   /// Sets gauge (\p Name, \p Labels) to \p Value (last writer wins).
   void gauge(std::string_view Name, double Value,
              const MetricLabels &Labels = {});
@@ -171,7 +181,7 @@ public:
     size_t Count = 0;
     double Sum = 0, Min = 0, Max = 0;
     /// Percentiles over the raw samples (adt/Statistics interpolation).
-    double P50 = 0, P90 = 0, P99 = 0;
+    double P50 = 0, P90 = 0, P95 = 0, P99 = 0;
     std::vector<double> UpperBounds; // ascending
     /// BucketCounts[i] = samples in (UpperBounds[i-1], UpperBounds[i]];
     /// the final element is the +inf overflow bucket, so the size is
@@ -222,7 +232,9 @@ struct MetricsFileData {
   std::map<std::string, double> Gauges;
   struct HistSummary {
     double Count = 0, Sum = 0, Min = 0, Max = 0;
-    double P50 = 0, P90 = 0, P99 = 0;
+    /// P95 is 0 for files written before the field existed (the loader
+    /// treats it as optional so older baselines keep loading).
+    double P50 = 0, P90 = 0, P95 = 0, P99 = 0;
   };
   std::map<std::string, HistSummary> Histograms;
 };

@@ -573,6 +573,12 @@ void ResultCache::diskStore(uint64_t Key, const std::string &Payload) {
 
 bool ResultCache::lookup(const Function &Src, const PipelineConfig &C,
                          PipelineResult &Out) {
+  const char *TierUnused = nullptr;
+  return lookupTiered(Src, C, Out, &TierUnused);
+}
+
+bool ResultCache::lookupTiered(const Function &Src, const PipelineConfig &C,
+                               PipelineResult &Out, const char **Tier) {
   uint64_t Key = cacheKey(Src, C);
   uint64_t Begin = Metrics ? Telemetry::steadyNowNs() : 0;
 
@@ -610,6 +616,7 @@ bool ResultCache::lookup(const Function &Src, const PipelineConfig &C,
   }
 
   Out.F.Name = Src.Name; // Content addressing strips the name; re-attach.
+  *Tier = FromDisk ? "disk" : "mem";
   (FromDisk ? DiskHits : MemHits).fetch_add(1, std::memory_order_relaxed);
   if (Metrics)
     Metrics->observe(
@@ -668,16 +675,18 @@ void ResultCache::flushMetrics(MetricsRegistry &M) const {
   // Every series is created even at zero: regression gates
   // (dra-stats --fail-on=cache.verify_mismatches) treat an absent metric
   // as a usage error, and a clean run must read as "present and zero".
-  M.count("cache.hits", static_cast<double>(S.Hits));
-  M.count("cache.hits_mem", static_cast<double>(S.MemHits));
-  M.count("cache.hits_disk", static_cast<double>(S.DiskHits));
-  M.count("cache.misses", static_cast<double>(S.Misses));
-  M.count("cache.stores", static_cast<double>(S.Stores));
-  M.count("cache.evictions", static_cast<double>(S.Evictions));
-  M.count("cache.load_errors", static_cast<double>(S.LoadErrors));
-  M.count("cache.verify_recompiles",
-          static_cast<double>(S.VerifyRecompiles));
-  M.count("cache.verify_mismatches",
-          static_cast<double>(S.VerifyMismatches));
+  // Absolute snapshots (setCount), not deltas: the server flushes a live
+  // cache on a timer, and repeated flushes must read as the latest totals.
+  M.setCount("cache.hits", static_cast<double>(S.Hits));
+  M.setCount("cache.hits_mem", static_cast<double>(S.MemHits));
+  M.setCount("cache.hits_disk", static_cast<double>(S.DiskHits));
+  M.setCount("cache.misses", static_cast<double>(S.Misses));
+  M.setCount("cache.stores", static_cast<double>(S.Stores));
+  M.setCount("cache.evictions", static_cast<double>(S.Evictions));
+  M.setCount("cache.load_errors", static_cast<double>(S.LoadErrors));
+  M.setCount("cache.verify_recompiles",
+             static_cast<double>(S.VerifyRecompiles));
+  M.setCount("cache.verify_mismatches",
+             static_cast<double>(S.VerifyMismatches));
   M.gauge("cache.bytes", static_cast<double>(S.Bytes));
 }

@@ -96,6 +96,13 @@ public:
   void store(const Function &Src, const PipelineConfig &C,
              const PipelineResult &R) override;
 
+  /// As lookup(), additionally reporting which tier served the hit:
+  /// \p Tier is set to "mem" or "disk" on a hit and left untouched on a
+  /// miss. The compile server uses this to label its per-request latency
+  /// histograms (server.latency_us{tier=hit_mem|hit_disk|miss}).
+  bool lookupTiered(const Function &Src, const PipelineConfig &C,
+                    PipelineResult &Out, const char **Tier);
+
   ResultCacheStats stats() const;
 
   /// When non-null, every hit records a `cache.hit_us` histogram sample
@@ -108,7 +115,9 @@ public:
   /// Flushes the counters above into \p M as cache.* counter series plus
   /// the cache.bytes gauge. Every series is emitted even at zero so
   /// `dra-stats --fail-on=cache.verify_mismatches` always finds the
-  /// metric. Call once per registry, right before writing it out.
+  /// metric. Snapshots absolute totals (MetricsRegistry::setCount), so
+  /// calling it repeatedly — the server's periodic live export — never
+  /// double-counts.
   void flushMetrics(MetricsRegistry &M) const;
 
   /// The content-addressed fingerprint (see file comment for what is in

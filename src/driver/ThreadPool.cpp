@@ -102,20 +102,58 @@ void ThreadPool::workerMain(unsigned WorkerId) {
   std::unique_lock<std::mutex> Lock(Mtx);
   for (;;) {
     // Each posted loop bumps LoopSeq; a worker joins every loop exactly
-    // once (SeenSeq tracks the last one it helped drain).
+    // once (SeenSeq tracks the last one it helped drain). Detached tasks
+    // fill the gaps between loops; on shutdown the queue is drained — not
+    // dropped — before the worker exits.
     WorkReady.wait(Lock, [&] {
-      return ShuttingDown || (Current != nullptr && LoopSeq != SeenSeq);
+      return ShuttingDown || !Tasks.empty() ||
+             (Current != nullptr && LoopSeq != SeenSeq);
     });
+    if (Current != nullptr && LoopSeq != SeenSeq) {
+      SeenSeq = LoopSeq;
+      Loop *L = Current;
+      Lock.unlock();
+      L->drain();
+      Lock.lock();
+      ++L->Finished;
+      WorkDone.notify_all();
+      continue;
+    }
+    if (!Tasks.empty()) {
+      std::function<void()> Task = std::move(Tasks.front());
+      Tasks.pop_front();
+      Lock.unlock();
+      try {
+        InTaskScope Scope(this);
+        Task();
+      } catch (...) {
+        // Detached tasks have no caller to rethrow to; they are expected
+        // to handle their own errors (documented in the header).
+      }
+      Lock.lock();
+      continue;
+    }
     if (ShuttingDown)
       return;
-    SeenSeq = LoopSeq;
-    Loop *L = Current;
-    Lock.unlock();
-    L->drain();
-    Lock.lock();
-    ++L->Finished;
-    WorkDone.notify_all();
   }
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  // One-worker pools have no worker threads at all; run inline for the
+  // same serial semantics parallelFor has there.
+  if (NumWorkers == 1) {
+    try {
+      InTaskScope Scope(this);
+      Task();
+    } catch (...) {
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    Tasks.push_back(std::move(Task));
+  }
+  WorkReady.notify_all();
 }
 
 void ThreadPool::parallelFor(size_t N,

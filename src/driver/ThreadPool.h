@@ -21,6 +21,12 @@
 ///  * `currentWorker()` returns a stable 0-based id for the executing
 ///    worker (0 is also the calling thread for inline pools), which the
 ///    telemetry layer uses as the Chrome-trace `tid`.
+///  * `submit` enqueues a detached fire-and-forget task — the compile
+///    server's dispatch primitive. Queued tasks are *drained, not
+///    dropped*, on destruction: a pool that goes away with work still
+///    queued (SIGTERM-driven shutdown) finishes every task first, so
+///    callers waiting on task side effects (promises, response writes)
+///    never hang.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -31,6 +37,7 @@
 #include <condition_variable>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <exception>
 #include <functional>
 #include <mutex>
@@ -68,6 +75,16 @@ public:
   /// task).
   void parallelFor(size_t N, const std::function<void(size_t)> &Body);
 
+  /// Enqueues a detached task that runs on a worker thread as soon as one
+  /// is free (loops in progress finish their claimed iterations first).
+  /// On a one-worker pool the task runs inline, immediately, on the
+  /// calling thread — serial semantics, like parallelFor. Tasks must
+  /// handle their own errors: an escaped exception is caught and dropped
+  /// (there is no caller left to rethrow to). The destructor drains every
+  /// queued task — including tasks submitted by other tasks — before
+  /// joining the workers.
+  void submit(std::function<void()> Task);
+
   /// Maps `Fn(I)` over [0, N) into a vector ordered by index — the output
   /// is independent of worker count and scheduling.
   template <typename ResultT>
@@ -92,6 +109,7 @@ private:
   std::condition_variable WorkDone;
   Loop *Current = nullptr;  // Loop being drained, guarded by Mtx.
   uint64_t LoopSeq = 0;     // Bumped per posted loop, guarded by Mtx.
+  std::deque<std::function<void()>> Tasks; // Detached tasks, guarded by Mtx.
   bool ShuttingDown = false;
 };
 

@@ -1,0 +1,160 @@
+//===- server/Protocol.h - Compile-service wire protocol --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The wire protocol between `dra-server` and its clients (`dra-loadgen`,
+/// tests). Two layers, both deliberately boring:
+///
+/// **Framing.** Every message is one frame on a stream socket:
+///
+///   [4-byte magic "DRAS"] [4-byte little-endian payload length] [payload]
+///
+/// `readFrame` classifies every way a frame can go wrong — clean EOF at a
+/// frame boundary, bad magic (stream desync), an oversize length prefix
+/// (rejected *before* any allocation, so a hostile 4 GiB prefix cannot
+/// balloon the server), and truncation mid-frame (peer died) — so the
+/// connection loop can answer a structured error or drop the connection,
+/// never crash.
+///
+/// **Payloads.** Text documents with a version tag on the first line, in
+/// the spirit of the repro and cache file formats:
+///
+///   dra-req-v1                      dra-resp-v1
+///   scheme=coalesce                 status=ok|shed|error
+///   baselinek=8                     tier=hit_mem|hit_disk|miss|none
+///   regn=12                         body=<N>
+///   diffn=8                         <N bytes>
+///   diffw=3
+///   remapstarts=200
+///   body=<N>
+///   <N bytes of .dra function text>
+///
+/// The `body=<N>` line terminates the header; exactly N payload bytes
+/// follow its newline. An `ok` response body is the
+/// ResultCache::serializeResult encoding of the PipelineResult — the same
+/// canonical byte string the content-addressed cache stores and verifies,
+/// so "server response == local recompile" is a byte comparison. A `shed`
+/// response (admission control) has an empty body; an `error` response
+/// carries the diagnostic as its body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SERVER_PROTOCOL_H
+#define DRA_SERVER_PROTOCOL_H
+
+#include "core/Pipeline.h"
+
+#include <cstdint>
+#include <string>
+
+namespace dra {
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+/// Frame magic, on the wire as the bytes "DRAS".
+constexpr uint32_t FrameMagic = 0x53415244u; // 'D' 'R' 'A' 'S' little-endian
+
+/// Default cap on a single frame payload (header lengths above the cap
+/// are rejected without allocating).
+constexpr size_t DefaultMaxFrameBytes = 16u << 20;
+
+/// Everything readFrame can observe on the wire.
+enum class FrameStatus : uint8_t {
+  Ok,        ///< A complete frame was read into the payload.
+  Eof,       ///< Clean close at a frame boundary (no bytes of a new frame).
+  BadMagic,  ///< First 4 bytes are not "DRAS": stream desync or garbage.
+  Oversize,  ///< Length prefix exceeds the cap; payload not read.
+  Truncated, ///< Peer closed mid-frame (header or payload incomplete).
+  IoError,   ///< recv/send failed (connection reset, ...).
+};
+
+/// Human-readable name of \p S ("ok", "eof", "bad-magic", ...).
+const char *frameStatusName(FrameStatus S);
+
+/// Reads one frame from stream socket \p Fd into \p Payload. Retries
+/// short reads and EINTR; never throws.
+FrameStatus readFrame(int Fd, std::string &Payload,
+                      size_t MaxBytes = DefaultMaxFrameBytes);
+
+/// Writes one frame (magic + length + \p Payload) to stream socket \p Fd.
+/// Handles partial writes; returns false on any send failure (the peer
+/// disconnecting mid-response must not raise SIGPIPE or throw).
+bool writeFrame(int Fd, const std::string &Payload);
+
+//===----------------------------------------------------------------------===//
+// Request / response payloads
+//===----------------------------------------------------------------------===//
+
+/// One compile request: the knobs dra-batch exposes per run, plus the
+/// function body in the textual IR syntax.
+struct CompileRequest {
+  Scheme S = Scheme::Coalesce;
+  unsigned BaselineK = 8;
+  unsigned RegN = 12;
+  unsigned DiffN = 8;
+  unsigned DiffW = 3;
+  unsigned RemapStarts = 200;
+  std::string Body; ///< Function text (ir/Parser syntax).
+
+  /// The equivalent PipelineConfig (Cache/Metrics left null; the server
+  /// wires its own).
+  PipelineConfig toConfig() const;
+};
+
+enum class ResponseStatus : uint8_t {
+  Ok,    ///< Body is the serialized PipelineResult.
+  Shed,  ///< Admission control refused the request; retry later.
+  Error, ///< Body is a diagnostic message.
+};
+
+/// Server response tier labels; also the `tier` label of the server's
+/// latency histograms.
+struct CompileResponse {
+  ResponseStatus Status = ResponseStatus::Error;
+  /// "hit_mem" | "hit_disk" | "miss" for ok; "none" otherwise.
+  std::string Tier = "none";
+  std::string Body;
+};
+
+/// Parses a scheme name ("baseline"|"ospill"|"remap"|"select"|"coalesce").
+bool parseSchemeName(const std::string &Name, Scheme &Out);
+
+std::string encodeRequest(const CompileRequest &Req);
+
+/// Strict inverse of encodeRequest: unknown keys, a bad version tag, a
+/// missing/oversized body count, or trailing bytes all fail with a
+/// diagnostic. Never throws, never crashes on garbage.
+bool decodeRequest(const std::string &Payload, CompileRequest &Out,
+                   std::string *Err = nullptr);
+
+std::string encodeResponse(const CompileResponse &Resp);
+
+bool decodeResponse(const std::string &Payload, CompileResponse &Out,
+                    std::string *Err = nullptr);
+
+//===----------------------------------------------------------------------===//
+// Unix-socket helpers
+//===----------------------------------------------------------------------===//
+
+/// Binds and listens on a unix stream socket at \p Path (unlinking any
+/// stale socket file first). Returns the listening fd, or -1 with a
+/// diagnostic in \p Err.
+int listenUnixSocket(const std::string &Path, int Backlog,
+                     std::string *Err = nullptr);
+
+/// Connects to the unix stream socket at \p Path. Returns the fd, or -1.
+int connectUnixSocket(const std::string &Path, std::string *Err = nullptr);
+
+/// Client convenience: one request/response exchange on \p Fd. Returns
+/// false (with a diagnostic) on any framing or decode failure.
+bool transact(int Fd, const CompileRequest &Req, CompileResponse &Resp,
+              std::string *Err = nullptr);
+
+} // namespace dra
+
+#endif // DRA_SERVER_PROTOCOL_H

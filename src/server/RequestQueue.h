@@ -1,0 +1,94 @@
+//===- server/RequestQueue.h - Bounded admission control --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile server's admission policy: a bounded in-flight counter.
+/// A request is *admitted* when fewer than `limit()` requests are between
+/// admission and release (queued on the thread pool or compiling); once
+/// the bound is reached further requests are *shed* — the server answers
+/// `status=shed` immediately instead of queueing without bound, so a
+/// burst degrades into fast explicit rejections rather than unbounded
+/// memory growth and timeout ambiguity. `drain()` is the graceful-
+/// shutdown barrier: it blocks until every admitted request has been
+/// released.
+///
+/// A limit of 0 sheds everything — degenerate in production, load-
+/// bearing in tests (deterministic overload).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SERVER_REQUESTQUEUE_H
+#define DRA_SERVER_REQUESTQUEUE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace dra {
+
+class AdmissionQueue {
+public:
+  explicit AdmissionQueue(unsigned Limit) : Cap(Limit) {}
+
+  AdmissionQueue(const AdmissionQueue &) = delete;
+  AdmissionQueue &operator=(const AdmissionQueue &) = delete;
+
+  /// Admits one request if the in-flight bound allows; otherwise counts a
+  /// shed and returns false. Never blocks.
+  bool tryAdmit() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (InFlight >= Cap) {
+      ++ShedCount;
+      return false;
+    }
+    ++InFlight;
+    ++AdmittedCount;
+    return true;
+  }
+
+  /// Releases one previously admitted request.
+  void release() {
+    std::lock_guard<std::mutex> Lock(M);
+    if (InFlight > 0)
+      --InFlight;
+    if (InFlight == 0)
+      Empty.notify_all();
+  }
+
+  /// Blocks until no admitted request is in flight.
+  void drain() {
+    std::unique_lock<std::mutex> Lock(M);
+    Empty.wait(Lock, [&] { return InFlight == 0; });
+  }
+
+  unsigned depth() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return InFlight;
+  }
+  unsigned limit() const { return Cap; }
+
+  /// Monotonic totals (exported as server.accepted / server.shed).
+  uint64_t admitted() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return AdmittedCount;
+  }
+  uint64_t shed() const {
+    std::lock_guard<std::mutex> Lock(M);
+    return ShedCount;
+  }
+
+private:
+  mutable std::mutex M;
+  std::condition_variable Empty;
+  const unsigned Cap;
+  unsigned InFlight = 0;
+  uint64_t AdmittedCount = 0;
+  uint64_t ShedCount = 0;
+};
+
+} // namespace dra
+
+#endif // DRA_SERVER_REQUESTQUEUE_H

@@ -1,0 +1,214 @@
+//===- server/Server.cpp - Compilation-as-a-service daemon core -----------===//
+
+#include "server/Server.h"
+
+#include "ir/Parser.h"
+
+#include <cerrno>
+#include <cstring>
+#include <exception>
+#include <future>
+#include <optional>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dra;
+
+CompileServer::CompileServer(const ServerOptions &O)
+    : Opts(O),
+      Workers(O.Workers ? O.Workers : ThreadPool::defaultWorkerCount()),
+      Queue(O.QueueDepth),
+      Pool(std::make_unique<ThreadPool>(Workers + 1)) {}
+
+CompileServer::~CompileServer() { stop(); }
+
+bool CompileServer::start(std::string *Err) {
+  if (Running.load()) {
+    if (Err)
+      *Err = "server already running";
+    return false;
+  }
+  ListenFd = listenUnixSocket(Opts.SocketPath, Opts.Backlog, Err);
+  if (ListenFd < 0)
+    return false;
+  Stopping.store(false);
+  Running.store(true);
+  Acceptor = std::thread([this] { acceptLoop(); });
+  return true;
+}
+
+void CompileServer::stop() {
+  bool WasRunning = true;
+  if (!Running.compare_exchange_strong(WasRunning, false))
+    return;
+  Stopping.store(true);
+
+  // Wake the acceptor (shutdown, not just close: close of an fd another
+  // thread is blocked in accept() on does not reliably wake it).
+  ::shutdown(ListenFd, SHUT_RDWR);
+  if (Acceptor.joinable())
+    Acceptor.join();
+  ::close(ListenFd);
+  ListenFd = -1;
+
+  // Half-close every live connection: the next readFrame sees a clean
+  // EOF, but a response being written right now still goes out.
+  {
+    std::lock_guard<std::mutex> Lock(ConnMtx);
+    for (Conn &C : Conns)
+      if (C.Fd >= 0)
+        ::shutdown(C.Fd, SHUT_RD);
+  }
+  for (Conn &C : Conns)
+    if (C.T.joinable())
+      C.T.join();
+  Conns.clear();
+
+  Queue.drain();
+  flushMetrics();
+  ::unlink(Opts.SocketPath.c_str());
+}
+
+void CompileServer::acceptLoop() {
+  for (;;) {
+    int Fd = ::accept(ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (errno == EINTR)
+        continue;
+      return; // listener shut down (stop()) or unrecoverable
+    }
+    if (Stopping.load()) {
+      ::close(Fd);
+      return;
+    }
+    SM.Connections.fetch_add(1);
+    std::lock_guard<std::mutex> Lock(ConnMtx);
+    Conns.emplace_back();
+    Conn &C = Conns.back();
+    C.Fd = Fd;
+    C.T = std::thread([this, &C] { serveConnection(C); });
+  }
+}
+
+void CompileServer::serveConnection(Conn &Self) {
+  const int Fd = Self.Fd;
+  for (;;) {
+    std::string Payload;
+    FrameStatus St = readFrame(Fd, Payload, Opts.MaxFrameBytes);
+    if (St == FrameStatus::Eof)
+      break;
+    if (St == FrameStatus::Ok) {
+      CompileResponse Resp = handleRequest(Payload);
+      if (!writeFrame(Fd, encodeResponse(Resp)))
+        break; // peer disconnected mid-response; nothing left to do
+      continue;
+    }
+    // Below the request layer. BadMagic and Oversize leave the stream
+    // desynced and Truncated/IoError mean the peer is gone, so the
+    // connection is dropped either way — but for the first two the peer
+    // may still be listening, so send a structured error first.
+    SM.BadFrames.fetch_add(1);
+    if (St == FrameStatus::BadMagic || St == FrameStatus::Oversize) {
+      CompileResponse Resp;
+      Resp.Status = ResponseStatus::Error;
+      Resp.Body = std::string("frame rejected: ") + frameStatusName(St);
+      writeFrame(Fd, encodeResponse(Resp));
+    }
+    break;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnMtx);
+    Self.Fd = -1; // stop() must not shutdown() a recycled descriptor
+  }
+  ::close(Fd);
+}
+
+CompileResponse CompileServer::handleRequest(const std::string &Payload) {
+  SM.Requests.fetch_add(1);
+  CompileResponse Resp;
+
+  auto Fail = [&](std::string Msg) {
+    SM.Errors.fetch_add(1);
+    Resp.Status = ResponseStatus::Error;
+    Resp.Tier = "none";
+    Resp.Body = std::move(Msg);
+    return Resp;
+  };
+
+  CompileRequest Req;
+  std::string Err;
+  if (!decodeRequest(Payload, Req, &Err))
+    return Fail("bad request: " + Err);
+  if (Req.S != Scheme::Baseline && Req.S != Scheme::OSpill &&
+      !Req.toConfig().Enc.valid())
+    return Fail("invalid encoding config (regn/diffn/diffw)");
+  std::optional<Function> F = parseFunction(Req.Body, &Err);
+  if (!F)
+    return Fail("parse error: " + Err);
+  if (!verifyFunction(*F, &Err))
+    return Fail("invalid function: " + Err);
+
+  if (!Queue.tryAdmit()) {
+    Resp.Status = ResponseStatus::Shed;
+    Resp.Tier = "none";
+    Resp.Body.clear();
+    return Resp;
+  }
+  uint64_t BeginNs = steadyClockNs();
+  Resp = compileAdmitted(Req, *F);
+  uint64_t EndNs = steadyClockNs();
+  Queue.release();
+
+  if (Resp.Status == ResponseStatus::Error)
+    SM.Errors.fetch_add(1);
+  else if (Opts.Metrics)
+    SM.observeLatency(*Opts.Metrics, Resp.Tier.c_str(),
+                      double(EndNs - BeginNs) / 1000.0);
+  return Resp;
+}
+
+CompileResponse CompileServer::compileAdmitted(const CompileRequest &Req,
+                                               const Function &F) {
+  // The connection thread blocks on the future; the pool bounds how many
+  // compiles actually run at once. submit() drops escaped exceptions, so
+  // the closure must resolve the promise on every path itself.
+  std::promise<CompileResponse> Done;
+  std::future<CompileResponse> Result = Done.get_future();
+  Pool->submit([this, &Req, &F, &Done] {
+    CompileResponse R;
+    try {
+      PipelineConfig C = Req.toConfig();
+      PipelineResult PR;
+      const char *Tier = nullptr;
+      if (Opts.Cache && Opts.Cache->lookupTiered(F, C, PR, &Tier)) {
+        R.Tier = std::strcmp(Tier, "disk") == 0 ? "hit_disk" : "hit_mem";
+      } else {
+        PR = runPipeline(F, C); // C.Cache is null: no double-counted stats
+        if (Opts.Cache)
+          Opts.Cache->store(F, C, PR);
+        R.Tier = "miss";
+      }
+      R.Status = ResponseStatus::Ok;
+      R.Body = ResultCache::serializeResult(PR);
+    } catch (const std::exception &E) {
+      R.Status = ResponseStatus::Error;
+      R.Tier = "none";
+      R.Body = std::string("compile failed: ") + E.what();
+    } catch (...) {
+      R.Status = ResponseStatus::Error;
+      R.Tier = "none";
+      R.Body = "compile failed";
+    }
+    Done.set_value(std::move(R));
+  });
+  return Result.get();
+}
+
+void CompileServer::flushMetrics() {
+  if (!Opts.Metrics)
+    return;
+  SM.flush(*Opts.Metrics, Queue, Workers);
+  if (Opts.Cache)
+    Opts.Cache->flushMetrics(*Opts.Metrics);
+}

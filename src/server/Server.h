@@ -1,0 +1,133 @@
+//===- server/Server.h - Compilation-as-a-service daemon core ---*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile service behind `dra-server`: a unix-socket daemon that
+/// answers framed CompileRequests (server/Protocol.h) with the same bytes
+/// a local compile would produce. Per request:
+///
+///   decode -> parse + verify the function -> admission control
+///     -> ResultCache::lookupTiered (hit_mem | hit_disk)
+///     -> on miss: runPipeline on the thread pool, then Cache->store
+///     -> respond with ResultCache::serializeResult(result)
+///
+/// The response body is the cache's canonical serialization — the very
+/// byte string `dra-batch` would put in the cache for the same input — so
+/// "server == local" is a byte comparison, which dra-loadgen's `--verify`
+/// sampling and the parity tests exploit.
+///
+/// Threading model: one acceptor thread, one thread per connection
+/// (connections are long-lived and few; clients multiplex requests over
+/// them sequentially), and a shared ThreadPool that bounds actual compile
+/// concurrency. The AdmissionQueue bounds *admitted* work independently
+/// of connection count: beyond `QueueDepth` in-flight requests the server
+/// sheds (`status=shed`) instead of queueing without bound.
+///
+/// Shutdown (`stop()`, the SIGTERM path) is graceful: stop accepting,
+/// half-close every connection for reading (in-flight responses still go
+/// out), join the connection threads, drain the admission queue, flush
+/// metrics, unlink the socket. No request that was admitted is dropped.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SERVER_SERVER_H
+#define DRA_SERVER_SERVER_H
+
+#include "driver/Metrics.h"
+#include "driver/ResultCache.h"
+#include "driver/ThreadPool.h"
+#include "server/Protocol.h"
+#include "server/RequestQueue.h"
+#include "server/ServerMetrics.h"
+
+#include <atomic>
+#include <list>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace dra {
+
+struct ServerOptions {
+  std::string SocketPath;
+  /// Compile worker threads; 0 picks ThreadPool::defaultWorkerCount().
+  unsigned Workers = 0;
+  /// Admission bound: maximum requests between admit and release. 0 sheds
+  /// every request (useful for overload tests).
+  unsigned QueueDepth = 64;
+  size_t MaxFrameBytes = DefaultMaxFrameBytes;
+  int Backlog = 64;
+  /// Shared result cache; null disables caching (every request is a
+  /// tier=miss compile).
+  ResultCache *Cache = nullptr;
+  /// Registry for server.* series and latency histograms; null disables
+  /// metrics entirely.
+  MetricsRegistry *Metrics = nullptr;
+};
+
+class CompileServer {
+public:
+  explicit CompileServer(const ServerOptions &O);
+  ~CompileServer(); ///< Calls stop().
+
+  CompileServer(const CompileServer &) = delete;
+  CompileServer &operator=(const CompileServer &) = delete;
+
+  /// Binds the socket and starts the acceptor. False (with \p Err) when
+  /// the socket cannot be created.
+  bool start(std::string *Err = nullptr);
+
+  /// Graceful drain (see file comment). Idempotent; also run by the
+  /// destructor.
+  void stop();
+
+  bool running() const { return Running.load(); }
+
+  /// Handles one already-read request payload and returns the response.
+  /// Public so protocol tests can drive the full compile path without a
+  /// socket.
+  CompileResponse handleRequest(const std::string &Payload);
+
+  /// Snapshots server.* counters/gauges (and the cache's, if wired) into
+  /// the registry. Safe to call repeatedly and concurrently with serving —
+  /// this is the periodic `--metrics-interval` export.
+  void flushMetrics();
+
+  const ServerMetrics &serverMetrics() const { return SM; }
+  const AdmissionQueue &queue() const { return Queue; }
+  unsigned workerCount() const { return Workers; }
+
+private:
+  struct Conn {
+    int Fd = -1; ///< -1 once the connection thread has closed it.
+    std::thread T;
+  };
+
+  void acceptLoop();
+  void serveConnection(Conn &Self);
+  CompileResponse compileAdmitted(const CompileRequest &Req,
+                                  const Function &F);
+
+  ServerOptions Opts;
+  unsigned Workers;
+  AdmissionQueue Queue;
+  ServerMetrics SM;
+  /// Workers + 1 pool slots: ThreadPool's worker 0 is the submitting
+  /// thread, so `Workers` real task threads require Workers + 1.
+  std::unique_ptr<ThreadPool> Pool;
+
+  int ListenFd = -1;
+  std::thread Acceptor;
+  std::atomic<bool> Running{false};
+  std::atomic<bool> Stopping{false};
+
+  std::mutex ConnMtx;
+  std::list<Conn> Conns; ///< Stable references for the per-conn threads.
+};
+
+} // namespace dra
+
+#endif // DRA_SERVER_SERVER_H

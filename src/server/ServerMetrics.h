@@ -1,0 +1,76 @@
+//===- server/ServerMetrics.h - server.* metric series ----------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile server's dra-metrics-v1 surface. Two kinds of series:
+///
+///  * **Live histograms** — `server.latency_us{tier=hit_mem|hit_disk|miss}`
+///    (request service time by cache tier) and `server.frame_us` (wire
+///    round-trip including framing) are observed into the shared registry
+///    at event time; histogram samples only accumulate, so the periodic
+///    export just re-serializes them.
+///  * **Snapshot counters/gauges** — connection/request/shed/error totals
+///    live in atomics owned by ServerMetrics and are written into the
+///    registry with MetricsRegistry::setCount on every flush() (absolute
+///    assignment), so the server's periodic `--metrics-interval` export
+///    never double-counts. Every series is emitted even at zero so
+///    `dra-stats --fail-on=server.shed` always finds its metric.
+///
+/// Series written by flush():
+///
+///   counters: server.connections, server.requests, server.accepted,
+///             server.shed, server.errors, server.bad_frames
+///   gauges:   server.queue_depth, server.queue_limit, server.workers
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_SERVER_SERVERMETRICS_H
+#define DRA_SERVER_SERVERMETRICS_H
+
+#include "driver/Metrics.h"
+#include "server/RequestQueue.h"
+
+#include <atomic>
+#include <cstdint>
+
+namespace dra {
+
+class ServerMetrics {
+public:
+  /// Monotonic totals; incremented at event time by the connection loops.
+  std::atomic<uint64_t> Connections{0}; ///< Accepted connections.
+  std::atomic<uint64_t> Requests{0};    ///< Well-framed requests seen.
+  std::atomic<uint64_t> Errors{0};      ///< `status=error` responses sent.
+  std::atomic<uint64_t> BadFrames{0};   ///< Frames rejected below the
+                                        ///< request layer (bad magic,
+                                        ///< oversize, truncated, io error).
+
+  /// Records one request's service latency, labeled by cache tier
+  /// ("hit_mem" | "hit_disk" | "miss").
+  void observeLatency(MetricsRegistry &M, const char *Tier, double Us) const {
+    M.observe("server.latency_us", Us, MetricLabels{{"tier", Tier}});
+  }
+
+  /// Snapshots every counter/gauge series into \p M (absolute values; safe
+  /// to call repeatedly), including the admission queue's totals and its
+  /// instantaneous depth.
+  void flush(MetricsRegistry &M, const AdmissionQueue &Q,
+             unsigned Workers) const {
+    M.setCount("server.connections", double(Connections.load()));
+    M.setCount("server.requests", double(Requests.load()));
+    M.setCount("server.accepted", double(Q.admitted()));
+    M.setCount("server.shed", double(Q.shed()));
+    M.setCount("server.errors", double(Errors.load()));
+    M.setCount("server.bad_frames", double(BadFrames.load()));
+    M.gauge("server.queue_depth", double(Q.depth()));
+    M.gauge("server.queue_limit", double(Q.limit()));
+    M.gauge("server.workers", double(Workers));
+  }
+};
+
+} // namespace dra
+
+#endif // DRA_SERVER_SERVERMETRICS_H

@@ -197,6 +197,77 @@ TEST(ThreadPool, DistinctPoolsNestWithoutInlining) {
   EXPECT_TRUE(Concurrent.load());
 }
 
+TEST(ThreadPool, SubmitRunsDetachedTasks) {
+  ThreadPool Pool(4);
+  constexpr size_t N = 500;
+  std::atomic<size_t> Ran{0};
+  for (size_t I = 0; I != N; ++I)
+    Pool.submit([&] { Ran.fetch_add(1); });
+  // No join primitive on detached tasks; the destructor is the barrier.
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (Ran.load() != N && std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(Ran.load(), N);
+}
+
+TEST(ThreadPool, SubmitOnSingleWorkerPoolRunsInline) {
+  ThreadPool Pool(1);
+  std::thread::id Caller = std::this_thread::get_id();
+  bool Ran = false;
+  Pool.submit([&] {
+    Ran = true;
+    EXPECT_EQ(std::this_thread::get_id(), Caller);
+  });
+  EXPECT_TRUE(Ran); // inline: completed before submit returned
+}
+
+TEST(ThreadPool, DestructionDrainsQueuedWork) {
+  // SIGTERM-driven server shutdown destroys the pool with compile tasks
+  // still queued; every one of them must run (responses are in flight
+  // behind them), not be dropped. The tasks outnumber the workers so the
+  // queue is genuinely non-empty when the destructor starts.
+  constexpr size_t N = 64;
+  std::atomic<size_t> Ran{0};
+  {
+    ThreadPool Pool(3);
+    for (size_t I = 0; I != N; ++I)
+      Pool.submit([&] {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        Ran.fetch_add(1);
+      });
+  } // destructor: drain, then join
+  EXPECT_EQ(Ran.load(), N);
+}
+
+TEST(ThreadPool, TasksSubmittedByTasksAreDrained) {
+  std::atomic<size_t> Ran{0};
+  {
+    ThreadPool Pool(2);
+    for (size_t I = 0; I != 8; ++I)
+      Pool.submit([&, I] {
+        Ran.fetch_add(1);
+        if (I % 2 == 0)
+          Pool.submit([&] { Ran.fetch_add(1); });
+      });
+  }
+  EXPECT_EQ(Ran.load(), 8u + 4u);
+}
+
+TEST(ThreadPool, SubmitAndParallelForCoexist) {
+  ThreadPool Pool(4);
+  std::atomic<size_t> TaskRuns{0}, LoopRuns{0};
+  for (int Round = 0; Round != 20; ++Round) {
+    Pool.submit([&] { TaskRuns.fetch_add(1); });
+    Pool.parallelFor(50, [&](size_t) { LoopRuns.fetch_add(1); });
+  }
+  auto Deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (TaskRuns.load() != 20 &&
+         std::chrono::steady_clock::now() < Deadline)
+    std::this_thread::yield();
+  EXPECT_EQ(LoopRuns.load(), 20u * 50u);
+  EXPECT_EQ(TaskRuns.load(), 20u);
+}
+
 //===----------------------------------------------------------------------===//
 // Rng task seeding & StatAccumulator (thread-safety satellites)
 //===----------------------------------------------------------------------===//

@@ -44,6 +44,27 @@ TEST(MetricsRegistry, CountersAccumulatePerLabelSet) {
   EXPECT_EQ(Counters[2].Value, 7);
 }
 
+TEST(MetricsRegistry, SetCountIsIdempotentAcrossFlushes) {
+  // The non-destructive flush path: a subsystem snapshots its own
+  // monotonic totals into the registry repeatedly (the compile server's
+  // periodic metrics export); the exported value must track the latest
+  // snapshot, not the sum of every flush.
+  MetricsRegistry Reg;
+  Reg.setCount("server.requests", 10, {{"tier", "hit_mem"}});
+  Reg.setCount("server.requests", 10, {{"tier", "hit_mem"}}); // re-flush
+  Reg.setCount("server.requests", 25, {{"tier", "hit_mem"}}); // progress
+  auto Counters = Reg.counters();
+  ASSERT_EQ(Counters.size(), 1u);
+  EXPECT_EQ(Counters[0].Value, 25);
+
+  // setCount and count compose: an absolute snapshot replaces whatever
+  // deltas accumulated, and later deltas build on top of it.
+  Reg.count("server.requests", 5, {{"tier", "hit_mem"}});
+  EXPECT_EQ(Reg.counters()[0].Value, 30);
+  Reg.setCount("server.requests", 7, {{"tier", "hit_mem"}});
+  EXPECT_EQ(Reg.counters()[0].Value, 7);
+}
+
 TEST(MetricsRegistry, GaugesLastWriterWins) {
   MetricsRegistry Reg;
   Reg.gauge("g", 1.5);
@@ -114,6 +135,7 @@ TEST(MetricsRegistry, HistogramPercentiles) {
   // adt/Statistics linear interpolation over 1..100.
   EXPECT_NEAR(H.P50, 50.5, 1e-9);
   EXPECT_NEAR(H.P90, 90.1, 1e-9);
+  EXPECT_NEAR(H.P95, 95.05, 1e-9);
   EXPECT_NEAR(H.P99, 99.01, 1e-9);
   EXPECT_EQ(H.Sum, 5050);
 
@@ -176,7 +198,7 @@ TEST(MetricsRegistry, JsonGolden) {
             "  \"histograms\": [\n"
             "    {\"name\": \"lat\", \"labels\": {}, \"count\": 2, \"sum\": "
             "30, \"min\": 5, \"max\": 25, \"p50\": 15, \"p90\": 23, "
-            "\"p99\": 24.8,\n"
+            "\"p95\": 24, \"p99\": 24.8,\n"
             "     \"buckets\": [{\"le\": 10, \"count\": 1}, {\"le\": 20, "
             "\"count\": 0}, {\"le\": \"+inf\", \"count\": 1}]}\n"
             "  ]\n"
@@ -204,6 +226,22 @@ TEST(LoadMetricsJson, RoundTripsRegistryOutput) {
   EXPECT_EQ(H.Count, 1);
   EXPECT_EQ(H.Sum, 7);
   EXPECT_EQ(H.P50, 7);
+  EXPECT_EQ(H.P95, 7);
+}
+
+TEST(LoadMetricsJson, AcceptsHistogramsWithoutP95) {
+  // Metrics files written before the p95 field existed (the checked-in CI
+  // baselines) must keep loading; the missing percentile reads as 0.
+  std::istringstream In(
+      "{\"schema\": \"dra-metrics-v1\", \"counters\": [], \"gauges\": [],"
+      " \"histograms\": [{\"name\": \"h\", \"labels\": {}, \"count\": 1,"
+      " \"sum\": 4, \"min\": 4, \"max\": 4, \"p50\": 4, \"p90\": 4,"
+      " \"p99\": 4, \"buckets\": [{\"le\": \"+inf\", \"count\": 1}]}]}");
+  MetricsFileData Data;
+  std::string Err;
+  ASSERT_TRUE(loadMetricsJson(In, Data, &Err)) << Err;
+  EXPECT_EQ(Data.Histograms.at("h").P99, 4);
+  EXPECT_EQ(Data.Histograms.at("h").P95, 0);
 }
 
 TEST(LoadMetricsJson, RejectsBadDocuments) {

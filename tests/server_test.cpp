@@ -1,0 +1,550 @@
+//===- tests/server_test.cpp - Compile-service tests ----------------------===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+// Covers the service subsystem bottom-up: payload encode/decode (strict
+// rejection of malformed documents), framing over a socketpair (clean
+// EOF, truncation, bad magic, oversize prefixes, garbage payloads — a
+// structured error or a dropped connection, never a crash), the
+// admission queue's bounds and drain barrier, and the full CompileServer
+// on a real unix socket: response bytes identical to a local compile,
+// cache-tier reporting, overload shedding, client-disconnect survival,
+// and graceful-stop draining.
+//
+//===----------------------------------------------------------------------===//
+
+#include "server/Protocol.h"
+#include "server/RequestQueue.h"
+#include "server/Server.h"
+
+#include "driver/ResultCache.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace dra;
+
+namespace {
+
+const char *TinyFunc = "func tiny regs=8 mem=8 spills=0\n"
+                       "bb0:\n"
+                       "  movi r0, 3\n"
+                       "  movi r1, 4\n"
+                       "  add r2, r0, r1\n"
+                       "  mul r3, r2, r0\n"
+                       "  ret r3\n";
+
+/// A request that compiles quickly (few remap restarts).
+CompileRequest tinyRequest() {
+  CompileRequest Req;
+  Req.RemapStarts = 8;
+  Req.Body = TinyFunc;
+  return Req;
+}
+
+std::string leHeader(uint32_t Magic, uint32_t Len) {
+  std::string H(8, '\0');
+  for (int I = 0; I != 4; ++I) {
+    H[I] = char((Magic >> (8 * I)) & 0xff);
+    H[4 + I] = char((Len >> (8 * I)) & 0xff);
+  }
+  return H;
+}
+
+void sendRaw(int Fd, const std::string &Bytes) {
+  ASSERT_EQ(ssize_t(Bytes.size()),
+            send(Fd, Bytes.data(), Bytes.size(), MSG_NOSIGNAL));
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Payload encode/decode
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RequestRoundTrip) {
+  CompileRequest Req;
+  Req.S = Scheme::Remap;
+  Req.BaselineK = 7;
+  Req.RegN = 14;
+  Req.DiffN = 9;
+  Req.DiffW = 4;
+  Req.RemapStarts = 31;
+  Req.Body = "arbitrary bytes, not even IR \n\n with blank lines";
+
+  CompileRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(encodeRequest(Req), Out, &Err)) << Err;
+  EXPECT_EQ(Req.S, Out.S);
+  EXPECT_EQ(Req.BaselineK, Out.BaselineK);
+  EXPECT_EQ(Req.RegN, Out.RegN);
+  EXPECT_EQ(Req.DiffN, Out.DiffN);
+  EXPECT_EQ(Req.DiffW, Out.DiffW);
+  EXPECT_EQ(Req.RemapStarts, Out.RemapStarts);
+  EXPECT_EQ(Req.Body, Out.Body);
+}
+
+TEST(Protocol, RequestToConfigMirrorsKnobs) {
+  CompileRequest Req;
+  Req.S = Scheme::Select;
+  Req.BaselineK = 6;
+  Req.RegN = 13;
+  Req.DiffN = 10;
+  Req.DiffW = 4;
+  Req.RemapStarts = 17;
+  PipelineConfig C = Req.toConfig();
+  EXPECT_EQ(Scheme::Select, C.S);
+  EXPECT_EQ(6u, C.BaselineK);
+  EXPECT_EQ(13u, C.Enc.RegN);
+  EXPECT_EQ(10u, C.Enc.DiffN);
+  EXPECT_EQ(4u, C.Enc.DiffW);
+  EXPECT_EQ(17u, C.Remap.NumStarts);
+  EXPECT_EQ(nullptr, C.Cache);
+  EXPECT_EQ(nullptr, C.Metrics);
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  for (auto [St, Tier] : {std::pair<ResponseStatus, const char *>(
+                              ResponseStatus::Ok, "hit_disk"),
+                          {ResponseStatus::Shed, "none"},
+                          {ResponseStatus::Error, "none"}}) {
+    CompileResponse Resp;
+    Resp.Status = St;
+    Resp.Tier = Tier;
+    Resp.Body = St == ResponseStatus::Shed ? "" : "payload bytes";
+    CompileResponse Out;
+    std::string Err;
+    ASSERT_TRUE(decodeResponse(encodeResponse(Resp), Out, &Err)) << Err;
+    EXPECT_EQ(Resp.Status, Out.Status);
+    EXPECT_EQ(Resp.Tier, Out.Tier);
+    EXPECT_EQ(Resp.Body, Out.Body);
+  }
+}
+
+TEST(Protocol, DecodeRequestRejectsMalformedDocuments) {
+  CompileRequest Out;
+  // Version tag wrong or absent.
+  EXPECT_FALSE(decodeRequest("dra-req-v2\nbody=0\n", Out));
+  EXPECT_FALSE(decodeRequest("scheme=remap\nbody=0\n", Out));
+  EXPECT_FALSE(decodeRequest("", Out));
+  // Unknown key, unknown scheme, non-numeric value.
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nbogus=1\nbody=0\n", Out));
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nscheme=turbo\nbody=0\n", Out));
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nregn=twelve\nbody=0\n", Out));
+  // Body count missing, malformed, or inconsistent with the payload.
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nscheme=remap\n", Out));
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nbody=abc\n", Out));
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nbody=5\nabc", Out));
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nbody=2\nabc", Out)); // trailing
+  // Garbage that is not even line-structured.
+  EXPECT_FALSE(decodeRequest(std::string(64, '\xff'), Out));
+  std::string Err;
+  EXPECT_FALSE(decodeRequest("dra-req-v1\nbogus=1\nbody=0\n", Out, &Err));
+  EXPECT_NE(std::string::npos, Err.find("bogus"));
+}
+
+TEST(Protocol, DecodeResponseRejectsMalformedDocuments) {
+  CompileResponse Out;
+  EXPECT_FALSE(decodeResponse("dra-resp-v9\nstatus=ok\nbody=0\n", Out));
+  EXPECT_FALSE(decodeResponse("dra-resp-v1\nbody=0\n", Out)); // no status
+  EXPECT_FALSE(decodeResponse("dra-resp-v1\nstatus=maybe\nbody=0\n", Out));
+  EXPECT_FALSE(
+      decodeResponse("dra-resp-v1\nstatus=ok\ntier=l2\nbody=0\n", Out));
+}
+
+//===----------------------------------------------------------------------===//
+// Framing
+//===----------------------------------------------------------------------===//
+
+TEST(Framing, RoundTripAndCleanEof) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  std::string Payload = "hello frame \x01\x02 with binary";
+  ASSERT_TRUE(writeFrame(Fds[0], Payload));
+  ASSERT_TRUE(writeFrame(Fds[0], "")); // empty payload is a valid frame
+  std::string Got;
+  EXPECT_EQ(FrameStatus::Ok, readFrame(Fds[1], Got));
+  EXPECT_EQ(Payload, Got);
+  EXPECT_EQ(FrameStatus::Ok, readFrame(Fds[1], Got));
+  EXPECT_EQ("", Got);
+  close(Fds[0]);
+  EXPECT_EQ(FrameStatus::Eof, readFrame(Fds[1], Got));
+  close(Fds[1]);
+}
+
+TEST(Framing, TruncatedHeaderAndPayload) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  sendRaw(Fds[0], leHeader(FrameMagic, 100).substr(0, 5)); // partial header
+  close(Fds[0]);
+  std::string Got;
+  EXPECT_EQ(FrameStatus::Truncated, readFrame(Fds[1], Got));
+  close(Fds[1]);
+
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  sendRaw(Fds[0], leHeader(FrameMagic, 100) + "only ten b"); // partial body
+  close(Fds[0]);
+  EXPECT_EQ(FrameStatus::Truncated, readFrame(Fds[1], Got));
+  close(Fds[1]);
+}
+
+TEST(Framing, BadMagicAndOversizePrefix) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  sendRaw(Fds[0], "XXXXYYYY");
+  std::string Got;
+  EXPECT_EQ(FrameStatus::BadMagic, readFrame(Fds[1], Got));
+
+  // A hostile length prefix is rejected before any allocation; the bytes
+  // after the header are never read.
+  sendRaw(Fds[0], leHeader(FrameMagic, 0x40000000u));
+  EXPECT_EQ(FrameStatus::Oversize, readFrame(Fds[1], Got));
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST(Framing, GarbagePayloadIsAFrameButNotARequest) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  std::string Garbage(256, '\xfe');
+  ASSERT_TRUE(writeFrame(Fds[0], Garbage));
+  std::string Got;
+  EXPECT_EQ(FrameStatus::Ok, readFrame(Fds[1], Got));
+  EXPECT_EQ(Garbage, Got);
+  CompileRequest Req;
+  std::string Err;
+  EXPECT_FALSE(decodeRequest(Got, Req, &Err)); // structured error, no crash
+  EXPECT_FALSE(Err.empty());
+  close(Fds[0]);
+  close(Fds[1]);
+}
+
+TEST(Framing, WriteToClosedPeerFailsWithoutSignal) {
+  int Fds[2];
+  ASSERT_EQ(0, socketpair(AF_UNIX, SOCK_STREAM, 0, Fds));
+  close(Fds[1]);
+  // First write may be swallowed into the buffer; the second observes the
+  // reset. Either way the process survives (MSG_NOSIGNAL, no SIGPIPE).
+  bool First = writeFrame(Fds[0], "into the void");
+  bool Second = writeFrame(Fds[0], "into the void");
+  EXPECT_FALSE(First && Second);
+  close(Fds[0]);
+}
+
+//===----------------------------------------------------------------------===//
+// Admission control
+//===----------------------------------------------------------------------===//
+
+TEST(AdmissionQueue, BoundsInFlightAndCounts) {
+  AdmissionQueue Q(2);
+  EXPECT_EQ(2u, Q.limit());
+  EXPECT_TRUE(Q.tryAdmit());
+  EXPECT_TRUE(Q.tryAdmit());
+  EXPECT_FALSE(Q.tryAdmit()); // full -> shed
+  EXPECT_EQ(2u, Q.depth());
+  Q.release();
+  EXPECT_TRUE(Q.tryAdmit()); // a release frees a slot
+  Q.release();
+  Q.release();
+  EXPECT_EQ(0u, Q.depth());
+  EXPECT_EQ(3u, Q.admitted());
+  EXPECT_EQ(1u, Q.shed());
+}
+
+TEST(AdmissionQueue, ZeroLimitShedsEverything) {
+  AdmissionQueue Q(0);
+  EXPECT_FALSE(Q.tryAdmit());
+  EXPECT_FALSE(Q.tryAdmit());
+  EXPECT_EQ(0u, Q.admitted());
+  EXPECT_EQ(2u, Q.shed());
+}
+
+TEST(AdmissionQueue, DrainWaitsForEveryRelease) {
+  AdmissionQueue Q(4);
+  ASSERT_TRUE(Q.tryAdmit());
+  ASSERT_TRUE(Q.tryAdmit());
+  std::atomic<bool> Released{false};
+  std::thread T([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    Q.release();
+    Released.store(true);
+    Q.release();
+  });
+  Q.drain();
+  EXPECT_TRUE(Released.load()); // drain returned only after the releases
+  EXPECT_EQ(0u, Q.depth());
+  T.join();
+}
+
+//===----------------------------------------------------------------------===//
+// CompileServer end to end
+//===----------------------------------------------------------------------===//
+
+TEST(CompileServer, ResponsesMatchLocalCompileAcrossTiers) {
+  MetricsRegistry Metrics;
+  ResultCache Cache;
+  ServerOptions SO;
+  SO.SocketPath = "server_test_parity.sock";
+  SO.Workers = 2;
+  SO.QueueDepth = 8;
+  SO.Cache = &Cache;
+  SO.Metrics = &Metrics;
+  CompileServer Server(SO);
+  std::string Err;
+  ASSERT_TRUE(Server.start(&Err)) << Err;
+
+  int Fd = connectUnixSocket(SO.SocketPath, &Err);
+  ASSERT_GE(Fd, 0) << Err;
+
+  CompileRequest Req = tinyRequest();
+  auto F = parseFunction(Req.Body, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  PipelineResult Local = runPipeline(*F, Req.toConfig());
+  std::string LocalBytes = ResultCache::serializeResult(Local);
+
+  CompileResponse Resp;
+  ASSERT_TRUE(transact(Fd, Req, Resp, &Err)) << Err;
+  EXPECT_EQ(ResponseStatus::Ok, Resp.Status);
+  EXPECT_EQ("miss", Resp.Tier);
+  EXPECT_EQ(LocalBytes, Resp.Body); // byte-identical to a local compile
+
+  ASSERT_TRUE(transact(Fd, Req, Resp, &Err)) << Err;
+  EXPECT_EQ(ResponseStatus::Ok, Resp.Status);
+  EXPECT_EQ("hit_mem", Resp.Tier); // second compile served from cache
+  EXPECT_EQ(LocalBytes, Resp.Body);
+
+  close(Fd);
+  Server.stop();
+
+  EXPECT_EQ(2u, Server.serverMetrics().Requests.load());
+  EXPECT_EQ(2u, Server.queue().admitted());
+  EXPECT_EQ(0u, Server.queue().shed());
+  EXPECT_EQ(0u, Server.queue().depth());
+
+  // stop() flushed server.* (even all-zero series) and the latency
+  // histograms into the registry.
+  bool SawRequests = false, SawBadFrames = false;
+  for (const auto &C : Metrics.counters()) {
+    if (C.Name == "server.requests") {
+      SawRequests = true;
+      EXPECT_EQ(2, C.Value);
+    }
+    if (C.Name == "server.bad_frames") {
+      SawBadFrames = true;
+      EXPECT_EQ(0, C.Value);
+    }
+  }
+  EXPECT_TRUE(SawRequests);
+  EXPECT_TRUE(SawBadFrames);
+  bool SawMiss = false, SawHit = false;
+  for (const auto &H : Metrics.histograms()) {
+    if (H.Name != "server.latency_us")
+      continue;
+    for (const auto &[K, V] : H.Labels.entries()) {
+      SawMiss = SawMiss || V == "miss";
+      SawHit = SawHit || V == "hit_mem";
+    }
+  }
+  EXPECT_TRUE(SawMiss);
+  EXPECT_TRUE(SawHit);
+}
+
+TEST(CompileServer, StructuredErrorsNeverKillTheServer) {
+  ServerOptions SO;
+  SO.SocketPath = "server_test_errors.sock";
+  SO.Workers = 1;
+  CompileServer Server(SO);
+  ASSERT_TRUE(Server.start());
+
+  int Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+
+  // A frame whose payload is not a request document.
+  ASSERT_TRUE(writeFrame(Fd, "utterly not a request"));
+  std::string Payload;
+  ASSERT_EQ(FrameStatus::Ok, readFrame(Fd, Payload));
+  CompileResponse Resp;
+  ASSERT_TRUE(decodeResponse(Payload, Resp));
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Body.find("bad request"));
+
+  // A well-formed request whose body does not parse as IR.
+  CompileRequest Req = tinyRequest();
+  Req.Body = "func broken\n  this is not IR\n";
+  ASSERT_TRUE(transact(Fd, Req, Resp));
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Body.find("parse error"));
+
+  // The same connection still serves a good request afterwards.
+  ASSERT_TRUE(transact(Fd, tinyRequest(), Resp));
+  EXPECT_EQ(ResponseStatus::Ok, Resp.Status);
+  close(Fd);
+
+  // Bad magic: structured error, then the connection is dropped.
+  Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+  sendRaw(Fd, "XXXXYYYYGARBAGE");
+  ASSERT_EQ(FrameStatus::Ok, readFrame(Fd, Payload));
+  ASSERT_TRUE(decodeResponse(Payload, Resp));
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Body.find("bad-magic"));
+  // The server dropped the connection. Our unread garbage bytes may turn
+  // its close into a reset, so both a clean EOF and a connection error
+  // are within contract here.
+  FrameStatus After = readFrame(Fd, Payload);
+  EXPECT_TRUE(After == FrameStatus::Eof || After == FrameStatus::IoError ||
+              After == FrameStatus::Truncated);
+  close(Fd);
+
+  // Oversize length prefix: same contract.
+  Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+  sendRaw(Fd, leHeader(FrameMagic, 0x7f000000u));
+  ASSERT_EQ(FrameStatus::Ok, readFrame(Fd, Payload));
+  ASSERT_TRUE(decodeResponse(Payload, Resp));
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Body.find("oversize"));
+  close(Fd);
+
+  // A client that dies mid-frame. The server drops the connection.
+  Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+  sendRaw(Fd, leHeader(FrameMagic, 1000) + "partial");
+  close(Fd);
+
+  // And one that disconnects after sending a full request, before
+  // reading its response: the compile completes, the response write
+  // fails, the server survives.
+  Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(writeFrame(Fd, encodeRequest(tinyRequest())));
+  close(Fd);
+
+  // Server is still healthy on a fresh connection.
+  Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+  ASSERT_TRUE(transact(Fd, tinyRequest(), Resp));
+  EXPECT_EQ(ResponseStatus::Ok, Resp.Status);
+  close(Fd);
+
+  Server.stop();
+  EXPECT_GE(Server.serverMetrics().BadFrames.load(), 3u);
+  EXPECT_GE(Server.serverMetrics().Errors.load(), 2u);
+}
+
+TEST(CompileServer, ZeroQueueDepthShedsWithEmptyBody) {
+  MetricsRegistry Metrics;
+  ServerOptions SO;
+  SO.SocketPath = "server_test_shed.sock";
+  SO.Workers = 1;
+  SO.QueueDepth = 0;
+  SO.Metrics = &Metrics;
+  CompileServer Server(SO);
+  ASSERT_TRUE(Server.start());
+
+  int Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+  CompileResponse Resp;
+  for (int I = 0; I != 3; ++I) {
+    ASSERT_TRUE(transact(Fd, tinyRequest(), Resp));
+    EXPECT_EQ(ResponseStatus::Shed, Resp.Status);
+    EXPECT_EQ("none", Resp.Tier);
+    EXPECT_TRUE(Resp.Body.empty());
+  }
+  close(Fd);
+  Server.stop();
+
+  EXPECT_EQ(3u, Server.queue().shed());
+  EXPECT_EQ(0u, Server.queue().admitted());
+  bool SawShed = false;
+  for (const auto &C : Metrics.counters())
+    if (C.Name == "server.shed") {
+      SawShed = true;
+      EXPECT_EQ(3, C.Value);
+    }
+  EXPECT_TRUE(SawShed);
+}
+
+TEST(CompileServer, HandleRequestDirectlyWithoutASocket) {
+  ServerOptions SO;
+  SO.SocketPath = "server_test_direct.sock"; // never started
+  SO.Workers = 1;
+  CompileServer Server(SO);
+
+  CompileResponse Resp = Server.handleRequest("not a document");
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+
+  Resp = Server.handleRequest(encodeRequest(tinyRequest()));
+  EXPECT_EQ(ResponseStatus::Ok, Resp.Status);
+  EXPECT_EQ("miss", Resp.Tier); // no cache wired: always a fresh compile
+  PipelineResult Out;
+  EXPECT_TRUE(ResultCache::deserializeResult(Resp.Body, Out));
+}
+
+TEST(CompileServer, ConcurrentClientsAndGracefulStop) {
+  MetricsRegistry Metrics;
+  ResultCache Cache;
+  ServerOptions SO;
+  SO.SocketPath = "server_test_concurrent.sock";
+  SO.Workers = 2;
+  SO.QueueDepth = 16;
+  SO.Cache = &Cache;
+  SO.Metrics = &Metrics;
+  CompileServer Server(SO);
+  ASSERT_TRUE(Server.start());
+
+  constexpr int Clients = 4, PerClient = 5;
+  std::atomic<int> OkCount{0};
+  std::vector<std::thread> Threads;
+  for (int C = 0; C != Clients; ++C)
+    Threads.emplace_back([&] {
+      int Fd = connectUnixSocket(SO.SocketPath);
+      ASSERT_GE(Fd, 0);
+      for (int I = 0; I != PerClient; ++I) {
+        CompileResponse Resp;
+        ASSERT_TRUE(transact(Fd, tinyRequest(), Resp));
+        if (Resp.Status == ResponseStatus::Ok)
+          OkCount.fetch_add(1);
+      }
+      close(Fd);
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Server.stop();
+  Server.stop(); // idempotent
+
+  EXPECT_EQ(Clients * PerClient, OkCount.load());
+  EXPECT_EQ(unsigned(Clients * PerClient),
+            unsigned(Server.serverMetrics().Requests.load()));
+  EXPECT_EQ(0u, Server.queue().depth()); // graceful stop drained
+  // One compile, the rest cache hits.
+  ResultCacheStats CS = Cache.stats();
+  EXPECT_EQ(uint64_t(Clients * PerClient), CS.Hits + CS.Misses);
+  EXPECT_GE(CS.Hits, uint64_t(Clients * PerClient - Clients));
+}
+
+TEST(CompileServer, StopWithoutStartAndRestart) {
+  ServerOptions SO;
+  SO.SocketPath = "server_test_restart.sock";
+  SO.Workers = 1;
+  {
+    CompileServer Server(SO);
+    Server.stop(); // never started: no-op
+    ASSERT_TRUE(Server.start());
+    int Fd = connectUnixSocket(SO.SocketPath);
+    ASSERT_GE(Fd, 0);
+    CompileResponse Resp;
+    ASSERT_TRUE(transact(Fd, tinyRequest(), Resp));
+    EXPECT_EQ(ResponseStatus::Ok, Resp.Status);
+    close(Fd);
+  } // destructor stops and unlinks
+  EXPECT_LT(connectUnixSocket(SO.SocketPath), 0); // socket gone
+}

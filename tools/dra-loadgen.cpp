@@ -1,0 +1,485 @@
+//===- tools/dra-loadgen.cpp - Compile-service load harness ---------------===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+// Replays a corpus of .dra functions against a running dra-server (or one
+// it spawns itself) with zipf-distributed request popularity, measures
+// client-observed latency per cache tier, verifies a sampled fraction of
+// responses byte-for-byte against a local oracle recompile, and writes a
+// dra-metrics-v1 benchmark report (default BENCH_server.json) that
+// dra-stats can diff and gate (`--fail-on=loadgen.latency_us{tier=miss}.p99`).
+//
+//===----------------------------------------------------------------------===//
+
+#include "adt/Rng.h"
+#include "adt/Statistics.h"
+#include "driver/ResultCache.h"
+#include "ir/Parser.h"
+#include "server/Protocol.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+using namespace dra;
+
+namespace {
+
+const char *UsageText =
+    "usage: dra-loadgen --socket=PATH [options] <dir-or-file.dra ...>\n"
+    "\n"
+    "Drives a dra-server with zipf-distributed requests drawn from the\n"
+    "given corpus, measures client-observed latency per cache tier\n"
+    "(hit_mem / hit_disk / miss), optionally verifies responses against a\n"
+    "local oracle recompile, and writes a dra-metrics-v1 report with\n"
+    "loadgen.* counters, latency histograms and a throughput gauge.\n"
+    "\n"
+    "options:\n"
+    "  --socket=PATH       server unix socket (required)\n"
+    "  --server-bin=PATH   spawn this dra-server binary on --socket first,\n"
+    "                      SIGTERM + reap it afterwards (its exit status\n"
+    "                      folds into ours); for self-contained CI jobs\n"
+    "  --server-opt=OPT    extra argument for the spawned server\n"
+    "                      (repeatable, e.g. --server-opt=--queue-depth=0)\n"
+    "  --concurrency=N     client connections driving load (default 4)\n"
+    "  --requests=N        total requests to send (default 200)\n"
+    "  --duration=S        stop after S seconds instead (requests becomes\n"
+    "                      a cap only if explicitly given)\n"
+    "  --zipf=S            zipf skew over the sorted corpus (default 1.0;\n"
+    "                      0 = uniform)\n"
+    "  --seed=N            base RNG seed (default 1)\n"
+    "  --verify=F          fraction of ok responses recompiled locally and\n"
+    "                      byte-compared against the response (default 0)\n"
+    "  --fail-on-shed      exit nonzero if any request was shed\n"
+    "  --bench-out=FILE    dra-metrics-v1 report (default BENCH_server.json;\n"
+    "                      empty disables)\n"
+    "  --scheme=NAME       baseline|ospill|remap|select|coalesce\n"
+    "                      (default coalesce)\n"
+    "  --baseline-k=N      registers of the unmodified ISA (default 8)\n"
+    "  --regn=N            differential registers (default 12)\n"
+    "  --diffn=N           difference codes (default 8)\n"
+    "  --diffw=N           field width in bits (default 3)\n"
+    "  --remap-starts=N    remapping restarts (default 200)\n"
+    "  --help              show this text\n"
+    "\n"
+    "exit status: 0 on success; 1 on any verify mismatch, protocol error,\n"
+    "error response, zero completed requests, shed requests under\n"
+    "--fail-on-shed, or a nonzero spawned-server exit; 2 on a\n"
+    "command-line error.\n";
+
+struct Options {
+  std::string Socket;
+  std::string ServerBin;
+  std::vector<std::string> ServerOpts;
+  unsigned Concurrency = 4;
+  uint64_t Requests = 200;
+  bool RequestsExplicit = false;
+  unsigned DurationS = 0;
+  double Zipf = 1.0;
+  uint64_t Seed = 1;
+  double Verify = 0;
+  bool FailOnShed = false;
+  std::string BenchOut = "BENCH_server.json";
+  Scheme S = Scheme::Coalesce;
+  unsigned BaselineK = 8;
+  unsigned RegN = 12;
+  unsigned DiffN = 8;
+  unsigned DiffW = 3;
+  unsigned RemapStarts = 200;
+  bool Help = false;
+  std::vector<std::string> Inputs;
+};
+
+bool parseArgs(int Argc, char **Argv, Options &O) {
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Value = [&](const char *Prefix) -> const char * {
+      size_t Len = std::strlen(Prefix);
+      return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
+    };
+    if (const char *V = Value("--socket=")) {
+      O.Socket = V;
+    } else if (const char *V = Value("--server-bin=")) {
+      O.ServerBin = V;
+    } else if (const char *V = Value("--server-opt=")) {
+      O.ServerOpts.push_back(V);
+    } else if (const char *V = Value("--concurrency=")) {
+      O.Concurrency = static_cast<unsigned>(std::atoi(V));
+      if (O.Concurrency == 0) {
+        std::fprintf(stderr, "error: --concurrency must be >= 1\n");
+        return false;
+      }
+    } else if (const char *V = Value("--requests=")) {
+      O.Requests = static_cast<uint64_t>(std::atoll(V));
+      O.RequestsExplicit = true;
+    } else if (const char *V = Value("--duration=")) {
+      O.DurationS = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--zipf=")) {
+      O.Zipf = std::atof(V);
+      if (O.Zipf < 0) {
+        std::fprintf(stderr, "error: --zipf must be >= 0\n");
+        return false;
+      }
+    } else if (const char *V = Value("--seed=")) {
+      O.Seed = static_cast<uint64_t>(std::atoll(V));
+    } else if (const char *V = Value("--verify=")) {
+      O.Verify = std::atof(V);
+      if (O.Verify < 0 || O.Verify > 1) {
+        std::fprintf(stderr, "error: --verify must be in [0, 1]\n");
+        return false;
+      }
+    } else if (const char *V = Value("--bench-out=")) {
+      O.BenchOut = V;
+    } else if (const char *V = Value("--scheme=")) {
+      if (!parseSchemeName(V, O.S)) {
+        std::fprintf(stderr, "error: unknown scheme '%s'\n", V);
+        return false;
+      }
+    } else if (const char *V = Value("--baseline-k=")) {
+      O.BaselineK = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--regn=")) {
+      O.RegN = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--diffn=")) {
+      O.DiffN = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--diffw=")) {
+      O.DiffW = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--remap-starts=")) {
+      O.RemapStarts = static_cast<unsigned>(std::atoi(V));
+    } else if (Arg == "--fail-on-shed") {
+      O.FailOnShed = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      O.Help = true;
+    } else if (Arg.rfind("--", 0) == 0) {
+      std::fprintf(stderr, "error: unknown option '%s' (try --help)\n",
+                   Arg.c_str());
+      return false;
+    } else {
+      O.Inputs.push_back(Arg);
+    }
+  }
+  return true;
+}
+
+bool collectInputs(const std::vector<std::string> &Inputs,
+                   std::vector<std::string> &Files) {
+  namespace fs = std::filesystem;
+  for (const std::string &In : Inputs) {
+    std::error_code EC;
+    if (fs::is_directory(In, EC)) {
+      std::vector<std::string> Found;
+      for (const fs::directory_entry &E : fs::directory_iterator(In, EC))
+        if (E.is_regular_file() && E.path().extension() == ".dra")
+          Found.push_back(E.path().string());
+      std::sort(Found.begin(), Found.end());
+      Files.insert(Files.end(), Found.begin(), Found.end());
+    } else if (fs::is_regular_file(In, EC)) {
+      Files.push_back(In);
+    } else {
+      std::fprintf(stderr, "error: '%s' is not a file or directory\n",
+                   In.c_str());
+      return false;
+    }
+  }
+  return true;
+}
+
+struct CorpusEntry {
+  std::string Text;
+  Function Parsed;
+};
+
+/// One worker's tallies; merged after the join.
+struct WorkerStats {
+  uint64_t Sent = 0, Ok = 0, Shed = 0, ErrorResponses = 0, ProtoErrors = 0;
+  uint64_t VerifyChecked = 0, VerifyMismatches = 0;
+  /// (tier label, client-observed microseconds) per ok response.
+  std::vector<std::pair<const char *, double>> Latencies;
+};
+
+const char *internTier(const std::string &Tier) {
+  if (Tier == "hit_mem")
+    return "hit_mem";
+  if (Tier == "hit_disk")
+    return "hit_disk";
+  return "miss";
+}
+
+/// Spawns `dra-server --socket=... <opts>` and waits until the socket
+/// accepts. Returns the child pid, or -1.
+pid_t spawnServer(const Options &O) {
+  std::vector<std::string> Args;
+  Args.push_back(O.ServerBin);
+  Args.push_back("--socket=" + O.Socket);
+  for (const std::string &Opt : O.ServerOpts)
+    Args.push_back(Opt);
+  std::vector<char *> Argv;
+  for (std::string &A : Args)
+    Argv.push_back(A.data());
+  Argv.push_back(nullptr);
+
+  pid_t Pid = fork();
+  if (Pid < 0) {
+    std::fprintf(stderr, "error: fork: %s\n", std::strerror(errno));
+    return -1;
+  }
+  if (Pid == 0) {
+    execv(Argv[0], Argv.data());
+    std::fprintf(stderr, "error: exec '%s': %s\n", Argv[0],
+                 std::strerror(errno));
+    _exit(127);
+  }
+  // Poll-connect until the server is accepting (or the child died).
+  for (int Attempt = 0; Attempt != 500; ++Attempt) {
+    int Fd = connectUnixSocket(O.Socket);
+    if (Fd >= 0) {
+      close(Fd);
+      return Pid;
+    }
+    int Status = 0;
+    if (waitpid(Pid, &Status, WNOHANG) == Pid) {
+      std::fprintf(stderr, "error: spawned server exited during startup\n");
+      return -1;
+    }
+    usleep(20 * 1000);
+  }
+  std::fprintf(stderr, "error: spawned server never started accepting\n");
+  kill(Pid, SIGKILL);
+  waitpid(Pid, nullptr, 0);
+  return -1;
+}
+
+/// SIGTERM + reap; true when the server exited 0 (the graceful-drain
+/// contract).
+bool stopServer(pid_t Pid) {
+  kill(Pid, SIGTERM);
+  int Status = 0;
+  if (waitpid(Pid, &Status, 0) != Pid)
+    return false;
+  return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  Options O;
+  if (!parseArgs(Argc, Argv, O))
+    return 2;
+  if (O.Help) {
+    std::fputs(UsageText, stdout);
+    return 0;
+  }
+  if (O.Socket.empty()) {
+    std::fprintf(stderr, "error: --socket is required (try --help)\n");
+    return 2;
+  }
+  if (O.Inputs.empty()) {
+    std::fprintf(stderr, "error: no corpus inputs (try --help)\n");
+    return 2;
+  }
+  signal(SIGPIPE, SIG_IGN);
+
+  std::vector<std::string> Files;
+  if (!collectInputs(O.Inputs, Files))
+    return 2;
+  if (Files.empty()) {
+    std::fprintf(stderr, "error: no .dra files found\n");
+    return 1;
+  }
+
+  std::vector<CorpusEntry> Corpus;
+  for (const std::string &File : Files) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open '%s'\n", File.c_str());
+      return 1;
+    }
+    CorpusEntry E;
+    E.Text.assign(std::istreambuf_iterator<char>(In),
+                  std::istreambuf_iterator<char>{});
+    std::string Err;
+    auto Parsed = parseFunction(E.Text, &Err);
+    if (!Parsed || !verifyFunction(*Parsed, &Err)) {
+      std::fprintf(stderr, "error: %s: %s\n", File.c_str(), Err.c_str());
+      return 1;
+    }
+    E.Parsed = std::move(*Parsed);
+    Corpus.push_back(std::move(E));
+  }
+
+  // Zipf popularity over the sorted corpus: CDF of rank^-s.
+  std::vector<double> Cdf(Corpus.size());
+  double Total = 0;
+  for (size_t I = 0; I != Corpus.size(); ++I) {
+    Total += std::pow(static_cast<double>(I + 1), -O.Zipf);
+    Cdf[I] = Total;
+  }
+  for (double &C : Cdf)
+    C /= Total;
+
+  pid_t ServerPid = -1;
+  if (!O.ServerBin.empty()) {
+    ServerPid = spawnServer(O);
+    if (ServerPid < 0)
+      return 1;
+  }
+
+  CompileRequest Template;
+  Template.S = O.S;
+  Template.BaselineK = O.BaselineK;
+  Template.RegN = O.RegN;
+  Template.DiffN = O.DiffN;
+  Template.DiffW = O.DiffW;
+  Template.RemapStarts = O.RemapStarts;
+
+  uint64_t RequestCap =
+      (O.DurationS && !O.RequestsExplicit) ? UINT64_MAX : O.Requests;
+  uint64_t DeadlineNs =
+      O.DurationS ? steadyClockNs() + uint64_t(O.DurationS) * 1000000000ull
+                  : UINT64_MAX;
+
+  std::atomic<uint64_t> NextRequest{0};
+  std::vector<WorkerStats> Stats(O.Concurrency);
+  std::vector<std::thread> Workers;
+  uint64_t WallBeginNs = steadyClockNs();
+
+  for (unsigned W = 0; W != O.Concurrency; ++W) {
+    Workers.emplace_back([&, W] {
+      WorkerStats &S = Stats[W];
+      Rng R = Rng::forTask(O.Seed, W);
+      int Fd = connectUnixSocket(O.Socket);
+      if (Fd < 0) {
+        ++S.ProtoErrors;
+        return;
+      }
+      for (;;) {
+        uint64_t I = NextRequest.fetch_add(1);
+        if (I >= RequestCap || steadyClockNs() >= DeadlineNs)
+          break;
+        double U = R.nextDouble();
+        size_t Pick = size_t(std::lower_bound(Cdf.begin(), Cdf.end(), U) -
+                             Cdf.begin());
+        if (Pick >= Corpus.size())
+          Pick = Corpus.size() - 1;
+        CompileRequest Req = Template;
+        Req.Body = Corpus[Pick].Text;
+
+        ++S.Sent;
+        CompileResponse Resp;
+        uint64_t BeginNs = steadyClockNs();
+        if (!transact(Fd, Req, Resp)) {
+          ++S.ProtoErrors;
+          break; // the connection is in an unknown state; stop this worker
+        }
+        double Us = double(steadyClockNs() - BeginNs) / 1000.0;
+        switch (Resp.Status) {
+        case ResponseStatus::Ok: {
+          ++S.Ok;
+          S.Latencies.emplace_back(internTier(Resp.Tier), Us);
+          if (O.Verify > 0 && R.nextDouble() < O.Verify) {
+            ++S.VerifyChecked;
+            PipelineResult Oracle =
+                runPipeline(Corpus[Pick].Parsed, Req.toConfig());
+            if (ResultCache::serializeResult(Oracle) != Resp.Body)
+              ++S.VerifyMismatches;
+          }
+          break;
+        }
+        case ResponseStatus::Shed:
+          ++S.Shed;
+          break;
+        case ResponseStatus::Error:
+          ++S.ErrorResponses;
+          break;
+        }
+      }
+      close(Fd);
+    });
+  }
+  for (std::thread &T : Workers)
+    T.join();
+  double WallUs = double(steadyClockNs() - WallBeginNs) / 1000.0;
+
+  WorkerStats Sum;
+  std::vector<double> AllUs;
+  MetricsRegistry Metrics;
+  for (const WorkerStats &S : Stats) {
+    Sum.Sent += S.Sent;
+    Sum.Ok += S.Ok;
+    Sum.Shed += S.Shed;
+    Sum.ErrorResponses += S.ErrorResponses;
+    Sum.ProtoErrors += S.ProtoErrors;
+    Sum.VerifyChecked += S.VerifyChecked;
+    Sum.VerifyMismatches += S.VerifyMismatches;
+    for (const auto &[Tier, Us] : S.Latencies) {
+      AllUs.push_back(Us);
+      Metrics.observe("loadgen.latency_us", Us, MetricLabels{{"tier", Tier}});
+    }
+  }
+
+  double ThroughputRps = WallUs > 0 ? double(Sum.Ok) / (WallUs / 1e6) : 0;
+  Metrics.count("loadgen.requests", double(Sum.Sent));
+  Metrics.count("loadgen.ok", double(Sum.Ok));
+  Metrics.count("loadgen.shed", double(Sum.Shed));
+  Metrics.count("loadgen.errors", double(Sum.ErrorResponses));
+  Metrics.count("loadgen.proto_errors", double(Sum.ProtoErrors));
+  Metrics.count("loadgen.verify_checked", double(Sum.VerifyChecked));
+  Metrics.count("loadgen.verify_mismatches", double(Sum.VerifyMismatches));
+  Metrics.gauge("loadgen.throughput_rps", ThroughputRps);
+  Metrics.gauge("loadgen.concurrency", double(O.Concurrency));
+  Metrics.gauge("loadgen.wall_us", WallUs);
+
+  std::printf("loadgen: %llu request(s) over %u connection(s) in %.1f ms "
+              "(%.1f req/s)\n",
+              static_cast<unsigned long long>(Sum.Sent), O.Concurrency,
+              WallUs / 1000.0, ThroughputRps);
+  std::printf("  ok %llu, shed %llu, error %llu, protocol error %llu\n",
+              static_cast<unsigned long long>(Sum.Ok),
+              static_cast<unsigned long long>(Sum.Shed),
+              static_cast<unsigned long long>(Sum.ErrorResponses),
+              static_cast<unsigned long long>(Sum.ProtoErrors));
+  if (!AllUs.empty())
+    std::printf("  latency_us p50 %.1f  p90 %.1f  p95 %.1f  p99 %.1f\n",
+                percentile(AllUs, 50), percentile(AllUs, 90),
+                percentile(AllUs, 95), percentile(AllUs, 99));
+  if (Sum.VerifyChecked)
+    std::printf("  verified %llu response(s), %llu mismatch(es)\n",
+                static_cast<unsigned long long>(Sum.VerifyChecked),
+                static_cast<unsigned long long>(Sum.VerifyMismatches));
+
+  bool ServerOk = true;
+  if (ServerPid >= 0) {
+    ServerOk = stopServer(ServerPid);
+    if (!ServerOk)
+      std::fprintf(stderr, "error: spawned server exited abnormally\n");
+  }
+
+  if (!O.BenchOut.empty()) {
+    std::string Err;
+    if (!Metrics.writeJsonFile(O.BenchOut, &Err)) {
+      std::fprintf(stderr, "error: %s\n", Err.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "report written to %s\n", O.BenchOut.c_str());
+  }
+
+  bool Ok = ServerOk && Sum.Ok > 0 && Sum.VerifyMismatches == 0 &&
+            Sum.ProtoErrors == 0 && Sum.ErrorResponses == 0 &&
+            (!O.FailOnShed || Sum.Shed == 0);
+  if (Sum.Ok == 0)
+    std::fprintf(stderr, "error: no request completed successfully\n");
+  return Ok ? 0 : 1;
+}

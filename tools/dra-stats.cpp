@@ -45,7 +45,13 @@ const char *UsageText =
     "                       M is a flat key like `pipeline.spill_insts`\n"
     "                       or `pipeline.spill_insts{scheme=coalesce}`\n"
     "                       and bare names match every labeled series of\n"
-    "                       that name; repeatable. A negative PCT flips\n"
+    "                       that name; repeatable. Histograms gate on\n"
+    "                       their sum by default; append one of\n"
+    "                       .p50/.p90/.p95/.p99/.count/.sum/.min/.max to\n"
+    "                       gate a summary statistic instead (e.g.\n"
+    "                       `server.latency_us{tier=miss}.p99:10` fails\n"
+    "                       when the miss-tier p99 grows over 10%%).\n"
+    "                       A negative PCT flips\n"
     "                       the gate into a required improvement: the\n"
     "                       check fails unless M *dropped* by more than\n"
     "                       |PCT| percent (e.g. `M:-80` demands current\n"
@@ -225,29 +231,86 @@ struct MatchedValue {
   double Cur = 0;
 };
 
+/// The histogram summary statistics addressable as a `.stat` suffix on a
+/// --fail-on metric (`server.latency_us.p99`,
+/// `loadgen.latency_us{tier=miss}.p95`, ...).
+struct HistStatSuffix {
+  const char *Name;
+  double MetricsFileData::HistSummary::*Field;
+};
+
+const HistStatSuffix HistStatSuffixes[] = {
+    {"count", &MetricsFileData::HistSummary::Count},
+    {"sum", &MetricsFileData::HistSummary::Sum},
+    {"min", &MetricsFileData::HistSummary::Min},
+    {"max", &MetricsFileData::HistSummary::Max},
+    {"p50", &MetricsFileData::HistSummary::P50},
+    {"p90", &MetricsFileData::HistSummary::P90},
+    {"p95", &MetricsFileData::HistSummary::P95},
+    {"p99", &MetricsFileData::HistSummary::P99},
+};
+
+/// If \p Metric ends in a recognized `.stat` suffix, strips it into
+/// \p BareMetric and returns the addressed summary field; null otherwise.
+double MetricsFileData::HistSummary::*
+splitHistStat(const std::string &Metric, std::string &BareMetric) {
+  for (const HistStatSuffix &S : HistStatSuffixes) {
+    std::string Suffix = std::string(".") + S.Name;
+    if (Metric.size() > Suffix.size() &&
+        Metric.compare(Metric.size() - Suffix.size(), Suffix.size(),
+                       Suffix) == 0) {
+      BareMetric = Metric.substr(0, Metric.size() - Suffix.size());
+      return S.Field;
+    }
+  }
+  return nullptr;
+}
+
 std::vector<MatchedValue> collectMatches(const MetricsFileData &B,
                                          const MetricsFileData &C,
                                          const std::string &Metric) {
   std::map<std::string, MatchedValue> ByKey;
   auto Add = [&](const std::string &Key, double V, bool IsBase) {
-    if (!metricMatches(Key, Metric))
-      return;
     MatchedValue &M = ByKey[Key];
     M.Key = Key;
     (IsBase ? M.Base : M.Cur) = V;
   };
+
+  // A percentile/statistic suffix addresses histogram summaries only:
+  // `name.p99` gates the p99 of every labeled series of that histogram,
+  // `name{k=v}.p99` exactly one.
+  std::string BareMetric;
+  if (double MetricsFileData::HistSummary::*Field =
+          splitHistStat(Metric, BareMetric)) {
+    std::string Suffix = Metric.substr(BareMetric.size());
+    for (const auto &[K, V] : B.Histograms)
+      if (metricMatches(K, BareMetric))
+        Add(K + Suffix, V.*Field, true);
+    for (const auto &[K, V] : C.Histograms)
+      if (metricMatches(K, BareMetric))
+        Add(K + Suffix, V.*Field, false);
+    std::vector<MatchedValue> Out;
+    for (auto &[K, M] : ByKey)
+      Out.push_back(M);
+    return Out;
+  }
+
+  auto AddMatching = [&](const std::string &Key, double V, bool IsBase) {
+    if (metricMatches(Key, Metric))
+      Add(Key, V, IsBase);
+  };
   for (const auto &[K, V] : B.Counters)
-    Add(K, V, true);
+    AddMatching(K, V, true);
   for (const auto &[K, V] : C.Counters)
-    Add(K, V, false);
+    AddMatching(K, V, false);
   for (const auto &[K, V] : B.Gauges)
-    Add(K, V, true);
+    AddMatching(K, V, true);
   for (const auto &[K, V] : C.Gauges)
-    Add(K, V, false);
+    AddMatching(K, V, false);
   for (const auto &[K, V] : B.Histograms)
-    Add(K, V.Sum, true);
+    AddMatching(K, V.Sum, true);
   for (const auto &[K, V] : C.Histograms)
-    Add(K, V.Sum, false);
+    AddMatching(K, V.Sum, false);
   std::vector<MatchedValue> Out;
   for (auto &[K, M] : ByKey)
     Out.push_back(M);
