@@ -14,6 +14,7 @@
 #include "core/Pipeline.h"
 #include "core/Remap.h"
 #include "driver/Metrics.h"
+#include "driver/Trace.h"
 #include "regalloc/InterferenceGraph.h"
 #include "workloads/MiBench.h"
 
@@ -238,6 +239,41 @@ int runMetricsOverheadCheck() {
   return Ok ? 0 : 1;
 }
 
+/// Same contract for request tracing: a null PipelineConfig::Trace must
+/// cost nothing detectable next to a traced run (whose span recording is
+/// itself only a handful of mutex-protected appends per request).
+int runTraceOverheadCheck() {
+  PipelineConfig Off;
+  Off.S = Scheme::Coalesce;
+  Off.Remap.NumStarts = 50;
+  const Function &F = program();
+
+  auto BestOf = [&](bool Traced) {
+    double BestMs = 1e300;
+    for (int Rep = 0; Rep != 5; ++Rep) {
+      TraceContext TC(deriveTraceId(1, static_cast<uint64_t>(Rep)));
+      PipelineConfig Cfg = Off;
+      Cfg.Trace = Traced ? &TC : nullptr;
+      uint64_t T0 = steadyClockNs();
+      PipelineResult R = runPipeline(F, Cfg);
+      benchmark::DoNotOptimize(R.NumInsts);
+      BestMs = std::min(
+          BestMs, static_cast<double>(steadyClockNs() - T0) / 1e6);
+    }
+    return BestMs;
+  };
+
+  BestOf(false); // Warm caches before measuring.
+  double OffMs = BestOf(false);
+  double OnMs = BestOf(true);
+  double OverheadPct = OffMs == 0 ? 0 : 100.0 * (OffMs / OnMs - 1.0);
+  bool Ok = OffMs <= OnMs * 1.25;
+  std::printf("trace-overhead-check: %s (trace off %.2f ms, on %.2f ms, "
+              "disabled-path overhead %+.1f%%)\n",
+              Ok ? "PASS" : "FAIL", OffMs, OnMs, OverheadPct);
+  return Ok ? 0 : 1;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
@@ -246,5 +282,5 @@ int main(int argc, char **argv) {
     return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return runMetricsOverheadCheck();
+  return runMetricsOverheadCheck() + runTraceOverheadCheck();
 }

@@ -5,6 +5,7 @@
 #include "analysis/LoopInfo.h"
 #include "core/DiffSelectHook.h"
 #include "core/OperandSwap.h"
+#include "driver/Trace.h"
 
 using namespace dra;
 
@@ -319,5 +320,13 @@ PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
   }
   if (C.Metrics)
     flushPipelineMetrics(*C.Metrics, C, R, Src);
+  // Mirror the stage spans into the request-scoped trace (absent on the
+  // hit path, where the cache layer records its probe spans instead). The
+  // whole pipeline runs on the calling thread, so record() attributes
+  // every span correctly; +2 rebases stage depth under the server's
+  // request(0)/compile(1) spans.
+  if (C.Trace)
+    for (const StageSpan &S : R.Spans)
+      C.Trace->record(S.Stage, S.BeginNs, S.EndNs, S.Depth + 2);
   return R;
 }

@@ -50,6 +50,7 @@ enum class Scheme : uint8_t { Baseline, OSpill, Remap, Select, Coalesce };
 const char *schemeName(Scheme S);
 
 class PipelineCache;
+class TraceContext; // driver/Trace.h; config carries only the pointer
 
 /// Pipeline parameters.
 struct PipelineConfig {
@@ -85,6 +86,13 @@ struct PipelineConfig {
   /// skips the pipeline entirely — only the Spans timing record is absent
   /// on the hit path. Null (the default) compiles unconditionally.
   PipelineCache *Cache = nullptr;
+  /// When non-null, runPipeline mirrors its stage/substage spans into this
+  /// request-scoped trace (driver/Trace.h) and the cache layer records its
+  /// tier probes there, so one server request's latency is attributable
+  /// span by span. Null (the default) records nothing — the request path
+  /// pays only pointer tests. Not part of the cache key (ResultCache
+  /// hashes only the explicit config fields).
+  TraceContext *Trace = nullptr;
 };
 
 // StageSpan (one timed pipeline stage or nested sub-phase) lives in

@@ -1,0 +1,247 @@
+//===- driver/Json.cpp - Minimal JSON reader ------------------------------===//
+
+#include "driver/Json.h"
+
+#include <cctype>
+#include <cstring>
+
+using namespace dra;
+
+namespace {
+
+class JsonParser {
+public:
+  JsonParser(const std::string &Text) : Text(Text) {}
+
+  bool parse(JsonValue &Out, std::string &Err) {
+    if (!parseValue(Out, Err))
+      return false;
+    skipWs();
+    if (Pos != Text.size()) {
+      Err = "trailing garbage at offset " + std::to_string(Pos);
+      return false;
+    }
+    return true;
+  }
+
+private:
+  const std::string &Text;
+  size_t Pos = 0;
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool fail(std::string &Err, const std::string &What) {
+    Err = What + " at offset " + std::to_string(Pos);
+    return false;
+  }
+
+  bool expect(char C, std::string &Err) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != C)
+      return fail(Err, std::string("expected '") + C + "'");
+    ++Pos;
+    return true;
+  }
+
+  bool parseValue(JsonValue &Out, std::string &Err) {
+    skipWs();
+    if (Pos >= Text.size())
+      return fail(Err, "unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out, Err);
+    if (C == '[')
+      return parseArray(Out, Err);
+    if (C == '"') {
+      Out.K = JsonValue::String;
+      return parseString(Out.Str, Err);
+    }
+    if (C == 't' || C == 'f')
+      return parseKeyword(Out, Err);
+    if (C == 'n')
+      return parseKeyword(Out, Err);
+    return parseNumber(Out, Err);
+  }
+
+  bool parseKeyword(JsonValue &Out, std::string &Err) {
+    auto Match = [&](const char *KW) {
+      return Text.compare(Pos, std::strlen(KW), KW) == 0;
+    };
+    if (Match("true")) {
+      Out.K = JsonValue::Bool;
+      Out.B = true;
+      Pos += 4;
+      return true;
+    }
+    if (Match("false")) {
+      Out.K = JsonValue::Bool;
+      Out.B = false;
+      Pos += 5;
+      return true;
+    }
+    if (Match("null")) {
+      Out.K = JsonValue::Null;
+      Pos += 4;
+      return true;
+    }
+    return fail(Err, "unknown keyword");
+  }
+
+  bool parseNumber(JsonValue &Out, std::string &Err) {
+    size_t Start = Pos;
+    if (Pos < Text.size() && (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
+    while (Pos < Text.size() &&
+           (std::isdigit(static_cast<unsigned char>(Text[Pos])) ||
+            Text[Pos] == '.' || Text[Pos] == 'e' || Text[Pos] == 'E' ||
+            Text[Pos] == '+' || Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == Start)
+      return fail(Err, "expected a value");
+    try {
+      Out.K = JsonValue::Number;
+      Out.Num = std::stod(Text.substr(Start, Pos - Start));
+    } catch (...) {
+      Pos = Start;
+      return fail(Err, "malformed number");
+    }
+    return true;
+  }
+
+  bool parseString(std::string &Out, std::string &Err) {
+    skipWs();
+    if (Pos >= Text.size() || Text[Pos] != '"')
+      return fail(Err, "expected string");
+    ++Pos;
+    Out.clear();
+    while (Pos < Text.size() && Text[Pos] != '"') {
+      char C = Text[Pos++];
+      if (C != '\\') {
+        Out += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail(Err, "unterminated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        Out += '"';
+        break;
+      case '\\':
+        Out += '\\';
+        break;
+      case '/':
+        Out += '/';
+        break;
+      case 'n':
+        Out += '\n';
+        break;
+      case 't':
+        Out += '\t';
+        break;
+      case 'r':
+        Out += '\r';
+        break;
+      case 'b':
+        Out += '\b';
+        break;
+      case 'f':
+        Out += '\f';
+        break;
+      case 'u': {
+        if (Pos + 4 > Text.size())
+          return fail(Err, "truncated \\u escape");
+        unsigned Code = 0;
+        for (int I = 0; I != 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return fail(Err, "bad \\u escape digit");
+        }
+        // The writer only escapes control characters; decode BMP code
+        // points below 0x80 directly and pass the rest through as '?'.
+        Out += Code < 0x80 ? static_cast<char>(Code) : '?';
+        break;
+      }
+      default:
+        return fail(Err, "unknown escape");
+      }
+    }
+    if (Pos >= Text.size())
+      return fail(Err, "unterminated string");
+    ++Pos; // closing quote
+    return true;
+  }
+
+  bool parseArray(JsonValue &Out, std::string &Err) {
+    Out.K = JsonValue::Array;
+    ++Pos; // '['
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == ']') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      JsonValue V;
+      if (!parseValue(V, Err))
+        return false;
+      Out.Arr.push_back(std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return expect(']', Err);
+    }
+  }
+
+  bool parseObject(JsonValue &Out, std::string &Err) {
+    Out.K = JsonValue::Object;
+    ++Pos; // '{'
+    skipWs();
+    if (Pos < Text.size() && Text[Pos] == '}') {
+      ++Pos;
+      return true;
+    }
+    while (true) {
+      std::string Key;
+      if (!parseString(Key, Err))
+        return false;
+      if (!expect(':', Err))
+        return false;
+      JsonValue V;
+      if (!parseValue(V, Err))
+        return false;
+      Out.Obj.emplace_back(std::move(Key), std::move(V));
+      skipWs();
+      if (Pos < Text.size() && Text[Pos] == ',') {
+        ++Pos;
+        continue;
+      }
+      return expect('}', Err);
+    }
+  }
+};
+
+} // namespace
+
+bool dra::parseJson(const std::string &Text, JsonValue &Out,
+                    std::string *Err) {
+  std::string Diag;
+  if (JsonParser(Text).parse(Out, Diag))
+    return true;
+  if (Err)
+    *Err = Diag;
+  return false;
+}

@@ -1,0 +1,55 @@
+//===- driver/Json.h - Minimal JSON reader ----------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The minimal JSON reader behind loadMetricsJson, hoisted out of
+/// Metrics.cpp once more than one consumer needed it: `dra-stats
+/// --validate-trace` checks Chrome-trace documents and `dra-top` parses
+/// dra-ctl-v1 stats/recent bodies. It reads everything this repo's own
+/// writers emit (objects, arrays, strings with the writer's escape set,
+/// numbers, booleans, null) and rejects everything else with an offset
+/// diagnostic — it is a *reader for our formats*, not a general-purpose
+/// JSON library.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_DRIVER_JSON_H
+#define DRA_DRIVER_JSON_H
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dra {
+
+/// One parsed JSON value; a tagged tree. Object fields keep document
+/// order (metrics documents are written deterministically, so readers can
+/// rely on it, but field() lookup never does).
+struct JsonValue {
+  enum Kind { Null, Bool, Number, String, Array, Object } K = Null;
+  bool B = false;
+  double Num = 0;
+  std::string Str;
+  std::vector<JsonValue> Arr;
+  std::vector<std::pair<std::string, JsonValue>> Obj;
+
+  /// First field named \p Name, or null. Linear — our documents have a
+  /// handful of fields per object.
+  const JsonValue *field(const std::string &Name) const {
+    for (const auto &[Key, V] : Obj)
+      if (Key == Name)
+        return &V;
+    return nullptr;
+  }
+};
+
+/// Parses \p Text as one complete JSON document (trailing garbage is an
+/// error). Returns false with an offset diagnostic in \p Err.
+bool parseJson(const std::string &Text, JsonValue &Out, std::string *Err);
+
+} // namespace dra
+
+#endif // DRA_DRIVER_JSON_H

@@ -3,6 +3,7 @@
 #include "driver/ResultCache.h"
 
 #include "driver/Telemetry.h"
+#include "driver/Trace.h"
 
 #include <algorithm>
 #include <bit>
@@ -580,13 +581,22 @@ bool ResultCache::lookup(const Function &Src, const PipelineConfig &C,
 bool ResultCache::lookupTiered(const Function &Src, const PipelineConfig &C,
                                PipelineResult &Out, const char **Tier) {
   uint64_t Key = cacheKey(Src, C);
-  uint64_t Begin = Metrics ? Telemetry::steadyNowNs() : 0;
+  uint64_t Begin = (Metrics || C.Trace) ? Telemetry::steadyNowNs() : 0;
+
+  // Request-scoped trace: one span per probe, named by its outcome, so a
+  // traced request shows *which* tier answered (or that nothing did).
+  auto TraceProbe = [&](const char *Outcome) {
+    if (C.Trace)
+      C.Trace->record(std::string("cache.") + Outcome, Begin,
+                      Telemetry::steadyNowNs(), /*Depth=*/2);
+  };
 
   std::string Payload;
   bool FromDisk = false;
   if (!memLookup(Key, Payload)) {
     if (!diskLookup(Key, Payload)) {
       Misses.fetch_add(1, std::memory_order_relaxed);
+      TraceProbe("miss");
       return false;
     }
     FromDisk = true;
@@ -600,6 +610,7 @@ bool ResultCache::lookupTiered(const Function &Src, const PipelineConfig &C,
       quarantine(entryPath(Opts.DiskDir, Key));
     LoadErrors.fetch_add(1, std::memory_order_relaxed);
     Misses.fetch_add(1, std::memory_order_relaxed);
+    TraceProbe("quarantine");
     return false;
   }
 
@@ -612,10 +623,12 @@ bool ResultCache::lookupTiered(const Function &Src, const PipelineConfig &C,
     }
     VerifyRecompiles.fetch_add(1, std::memory_order_relaxed);
     Misses.fetch_add(1, std::memory_order_relaxed);
+    TraceProbe("verify_miss");
     return false;
   }
 
   Out.F.Name = Src.Name; // Content addressing strips the name; re-attach.
+  TraceProbe(FromDisk ? "hit_disk" : "hit_mem");
   *Tier = FromDisk ? "disk" : "mem";
   (FromDisk ? DiskHits : MemHits).fetch_add(1, std::memory_order_relaxed);
   if (Metrics)
@@ -628,6 +641,7 @@ bool ResultCache::lookupTiered(const Function &Src, const PipelineConfig &C,
 
 void ResultCache::store(const Function &Src, const PipelineConfig &C,
                         const PipelineResult &R) {
+  ScopedTraceSpan Span(C.Trace, "cache.store", /*Depth=*/2);
   uint64_t Key = cacheKey(Src, C);
   std::string Payload = serializeResult(R);
 

@@ -2,6 +2,8 @@
 
 #include "driver/Telemetry.h"
 
+#include "driver/Trace.h"
+
 #include <algorithm>
 
 using namespace dra;
@@ -17,8 +19,15 @@ uint64_t Telemetry::toRelativeUs(uint64_t SteadyNs) const {
 }
 
 void Telemetry::recordSpan(TraceSpan E) {
+  if (!E.OsTid)
+    E.OsTid = osThreadId(); // recordSpan runs on the recording thread
   std::lock_guard<std::mutex> Lock(Mtx);
   Events.push_back(std::move(E));
+}
+
+void Telemetry::setProcessName(std::string Name) {
+  std::lock_guard<std::mutex> Lock(Mtx);
+  ProcessName = std::move(Name);
 }
 
 void Telemetry::addCounter(const std::string &Name, double Delta) {
@@ -84,14 +93,33 @@ void Telemetry::writeJson(std::ostream &OS) const {
 }
 
 void Telemetry::writeChromeTrace(std::ostream &OS) const {
+  const uint64_t Pid = osProcessId();
+  std::vector<TraceSpan> Evs = events();
+  std::string PName;
+  {
+    std::lock_guard<std::mutex> Lock(Mtx);
+    PName = ProcessName;
+  }
   OS << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
-  bool First = true;
-  for (const TraceSpan &E : events()) {
-    OS << (First ? "\n" : ",\n");
-    First = false;
+  // Metadata first: the real process, and one named row per OS thread
+  // (displayed as its pool worker id). Real pids/tids keep merged
+  // multi-process traces from collapsing onto one synthetic row.
+  OS << "\n  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": " << Pid
+     << ", \"tid\": 0, \"args\": {\"name\": \"" << jsonEscape(PName)
+     << "\"}}";
+  std::map<uint64_t, unsigned> TidWorkers;
+  for (const TraceSpan &E : Evs)
+    TidWorkers.emplace(E.OsTid ? E.OsTid : E.Tid, E.Tid);
+  for (const auto &[Tid, Worker] : TidWorkers)
+    OS << ",\n  {\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": " << Pid
+       << ", \"tid\": " << Tid << ", \"args\": {\"name\": \"worker-"
+       << Worker << "\"}}";
+  for (const TraceSpan &E : Evs) {
+    OS << ",\n";
     OS << "  {\"name\": \"" << jsonEscape(E.Name) << "\", \"cat\": \""
        << jsonEscape(E.Category ? E.Category : "span")
-       << "\", \"ph\": \"X\", \"pid\": 1, \"tid\": " << E.Tid
+       << "\", \"ph\": \"X\", \"pid\": " << Pid
+       << ", \"tid\": " << (E.OsTid ? E.OsTid : E.Tid)
        << ", \"ts\": " << E.BeginUs << ", \"dur\": " << E.DurUs;
     if (!E.Args.empty()) {
       OS << ", \"args\": {";

@@ -47,6 +47,11 @@ struct TraceSpan {
   uint64_t BeginUs = 0;    // relative to Telemetry construction
   uint64_t DurUs = 0;
   unsigned Tid = 0;        // pool worker id
+  /// The recording thread's OS tid; recordSpan fills it in when 0. The
+  /// Chrome export keys rows by this (machine-unique) id so a merged
+  /// multi-process trace never collapses two workers onto one row; the
+  /// pool worker id stays the display name.
+  uint64_t OsTid = 0;
   /// Free-form numeric annotations, shown in the trace viewer's detail
   /// pane (e.g. spills, set_last_regs for a task span).
   std::vector<std::pair<std::string, double>> Args;
@@ -92,8 +97,13 @@ public:
   /// Writes the aggregate JSON report.
   void writeJson(std::ostream &OS) const;
 
+  /// Sets the `process_name` metadata of the Chrome export (default
+  /// "dra"); tools pass their own name so merged traces label processes.
+  void setProcessName(std::string Name);
+
   /// Writes Chrome trace-event JSON: one complete ("ph":"X") event per
-  /// recorded span.
+  /// recorded span, preceded by `process_name`/`thread_name` ("M")
+  /// metadata events. Events carry the real pid and OS tids.
   void writeChromeTrace(std::ostream &OS) const;
 
 private:
@@ -101,6 +111,7 @@ private:
   mutable std::mutex Mtx;
   std::vector<TraceSpan> Events;
   std::map<std::string, double> Counters;
+  std::string ProcessName = "dra";
 };
 
 // jsonEscape lives in driver/Metrics.h (shared with the metrics writer).

@@ -2,6 +2,8 @@
 
 #include "server/Protocol.h"
 
+#include "driver/Trace.h"
+
 #include <cerrno>
 #include <cstring>
 
@@ -168,6 +170,24 @@ bool parseU32(const std::string &S, uint32_t &Out) {
   return true;
 }
 
+/// Parses an unsigned decimal up to 64 bits (span timestamps/durations in
+/// nanoseconds overflow parseU32). Rejects empty, non-digit, overflow.
+bool parseU64(const std::string &S, uint64_t &Out) {
+  if (S.empty() || S.size() > 20)
+    return false;
+  uint64_t V = 0;
+  for (char C : S) {
+    if (C < '0' || C > '9')
+      return false;
+    uint64_t Digit = static_cast<uint64_t>(C - '0');
+    if (V > (0xffffffffffffffffull - Digit) / 10)
+      return false;
+    V = V * 10 + Digit;
+  }
+  Out = V;
+  return true;
+}
+
 /// Shared header walker: checks the version line, then hands each
 /// key=value line to \p OnKey until the terminating `body=<N>` line, and
 /// finally slices the N-byte body (trailing bytes are an error).
@@ -217,12 +237,10 @@ bool parseDocument(const std::string &Payload, const char *Version,
 
 } // namespace
 
-namespace {
-
 /// The wire name of \p S — the dra-batch `--scheme=` vocabulary, NOT
 /// schemeName() (which returns the paper's display names, e.g.
 /// "remapping" for Scheme::Remap).
-const char *wireSchemeName(Scheme S) {
+const char *dra::wireSchemeName(Scheme S) {
   switch (S) {
   case Scheme::Baseline:
     return "baseline";
@@ -238,8 +256,6 @@ const char *wireSchemeName(Scheme S) {
   return "coalesce";
 }
 
-} // namespace
-
 std::string dra::encodeRequest(const CompileRequest &Req) {
   std::string Out = "dra-req-v1\n";
   Out += "scheme=";
@@ -249,6 +265,8 @@ std::string dra::encodeRequest(const CompileRequest &Req) {
   Out += "\ndiffn=" + std::to_string(Req.DiffN);
   Out += "\ndiffw=" + std::to_string(Req.DiffW);
   Out += "\nremapstarts=" + std::to_string(Req.RemapStarts);
+  if (Req.TraceId)
+    Out += "\ntraceid=" + traceIdToHex(Req.TraceId);
   Out += "\nbody=" + std::to_string(Req.Body.size()) + "\n";
   Out += Req.Body;
   return Out;
@@ -262,6 +280,11 @@ bool dra::decodeRequest(const std::string &Payload, CompileRequest &Out,
     if (Key == "scheme") {
       if (!parseSchemeName(Value, Req.S))
         return setError(E, "unknown scheme '" + Value + "'");
+      return true;
+    }
+    if (Key == "traceid") {
+      if (!traceIdFromHex(Value, Req.TraceId) || Req.TraceId == 0)
+        return setError(E, "bad traceid '" + Value + "'");
       return true;
     }
     uint32_t V = 0;
@@ -308,10 +331,51 @@ std::string dra::encodeResponse(const CompileResponse &Resp) {
   Out += "status=";
   Out += statusNameOf(Resp.Status);
   Out += "\ntier=" + Resp.Tier;
+  if (Resp.TraceId) {
+    // The inline span summary: header lines only, never the body, so a
+    // traced ok-response body stays byte-identical to an untraced one.
+    Out += "\ntraceid=" + traceIdToHex(Resp.TraceId);
+    Out += "\npid=" + std::to_string(Resp.ServerPid);
+    for (const auto &[Tid, Name] : Resp.ThreadNames)
+      Out += "\ntname=" + std::to_string(Tid) + ";" + Name;
+    for (const WireSpan &S : Resp.Spans)
+      Out += "\nspan=" + std::to_string(S.Tid) + ";" +
+             std::to_string(S.Depth) + ";" + std::to_string(S.BeginNs) +
+             ";" + std::to_string(S.DurNs) + ";" + S.Name;
+  }
   Out += "\nbody=" + std::to_string(Resp.Body.size()) + "\n";
   Out += Resp.Body;
   return Out;
 }
+
+namespace {
+
+/// Splits `<tid>;<depth>;<begin_ns>;<dur_ns>;<name>` (name last, so it is
+/// the only field allowed to contain ';').
+bool parseWireSpan(const std::string &Value, WireSpan &Out) {
+  size_t Pos = 0;
+  auto NextField = [&](std::string &Field) {
+    size_t Semi = Value.find(';', Pos);
+    if (Semi == std::string::npos)
+      return false;
+    Field.assign(Value, Pos, Semi - Pos);
+    Pos = Semi + 1;
+    return true;
+  };
+  std::string Tid, Depth, Begin, Dur;
+  uint32_t D = 0;
+  if (!NextField(Tid) || !NextField(Depth) || !NextField(Begin) ||
+      !NextField(Dur))
+    return false;
+  if (!parseU64(Tid, Out.Tid) || !parseU32(Depth, D) ||
+      !parseU64(Begin, Out.BeginNs) || !parseU64(Dur, Out.DurNs))
+    return false;
+  Out.Depth = D;
+  Out.Name.assign(Value, Pos, Value.size() - Pos);
+  return !Out.Name.empty();
+}
+
+} // namespace
 
 bool dra::decodeResponse(const std::string &Payload, CompileResponse &Out,
                          std::string *Err) {
@@ -338,6 +402,32 @@ bool dra::decodeResponse(const std::string &Payload, CompileResponse &Out,
       Resp.Tier = Value;
       return true;
     }
+    if (Key == "traceid") {
+      if (!traceIdFromHex(Value, Resp.TraceId) || Resp.TraceId == 0)
+        return setError(E, "bad traceid '" + Value + "'");
+      return true;
+    }
+    if (Key == "pid") {
+      if (!parseU64(Value, Resp.ServerPid))
+        return setError(E, "bad pid '" + Value + "'");
+      return true;
+    }
+    if (Key == "tname") {
+      size_t Semi = Value.find(';');
+      uint64_t Tid = 0;
+      if (Semi == std::string::npos ||
+          !parseU64(Value.substr(0, Semi), Tid))
+        return setError(E, "bad tname '" + Value + "'");
+      Resp.ThreadNames.emplace_back(Tid, Value.substr(Semi + 1));
+      return true;
+    }
+    if (Key == "span") {
+      WireSpan S;
+      if (!parseWireSpan(Value, S))
+        return setError(E, "bad span '" + Value + "'");
+      Resp.Spans.push_back(std::move(S));
+      return true;
+    }
     return setError(E, "unknown response key '" + Key + "'");
   };
   if (!parseDocument(Payload, "dra-resp-v1", OnKey, Resp.Body, Err))
@@ -345,6 +435,59 @@ bool dra::decodeResponse(const std::string &Payload, CompileResponse &Out,
   if (!HaveStatus)
     return setError(Err, "response is missing a status line");
   Out = std::move(Resp);
+  return true;
+}
+
+//===----------------------------------------------------------------------===//
+// Control requests (dra-ctl-v1)
+//===----------------------------------------------------------------------===//
+
+bool dra::isCtlPayload(const std::string &Payload) {
+  size_t TagLen = std::strlen(CtlVersionTag);
+  return Payload.size() > TagLen &&
+         Payload.compare(0, TagLen, CtlVersionTag) == 0 &&
+         Payload[TagLen] == '\n';
+}
+
+std::string dra::encodeCtlRequest(const CtlRequest &Req) {
+  std::string Out = std::string(CtlVersionTag) + "\n";
+  Out += "cmd=" + Req.Cmd;
+  if (Req.Cmd == "recent")
+    Out += "\nn=" + std::to_string(Req.RecentN);
+  Out += "\nbody=0\n";
+  return Out;
+}
+
+bool dra::decodeCtlRequest(const std::string &Payload, CtlRequest &Out,
+                           std::string *Err) {
+  CtlRequest Req;
+  bool HaveCmd = false;
+  auto OnKey = [&](const std::string &Key, const std::string &Value,
+                   std::string *E) {
+    if (Key == "cmd") {
+      if (Value.empty())
+        return setError(E, "empty cmd");
+      Req.Cmd = Value;
+      HaveCmd = true;
+      return true;
+    }
+    if (Key == "n") {
+      uint32_t V = 0;
+      if (!parseU32(Value, V) || V == 0)
+        return setError(E, "bad value for 'n'");
+      Req.RecentN = V;
+      return true;
+    }
+    return setError(E, "unknown control key '" + Key + "'");
+  };
+  std::string Body;
+  if (!parseDocument(Payload, CtlVersionTag, OnKey, Body, Err))
+    return false;
+  if (!HaveCmd)
+    return setError(Err, "control request is missing a cmd line");
+  if (!Body.empty())
+    return setError(Err, "control requests carry no body");
+  Out = std::move(Req);
   return true;
 }
 
@@ -407,6 +550,18 @@ int dra::connectUnixSocket(const std::string &Path, std::string *Err) {
 bool dra::transact(int Fd, const CompileRequest &Req, CompileResponse &Resp,
                    std::string *Err) {
   if (!writeFrame(Fd, encodeRequest(Req)))
+    return setError(Err, "send failed");
+  std::string Payload;
+  FrameStatus St = readFrame(Fd, Payload);
+  if (St != FrameStatus::Ok)
+    return setError(Err, std::string("response frame: ") +
+                             frameStatusName(St));
+  return decodeResponse(Payload, Resp, Err);
+}
+
+bool dra::transactCtl(int Fd, const CtlRequest &Req, CompileResponse &Resp,
+                      std::string *Err) {
+  if (!writeFrame(Fd, encodeCtlRequest(Req)))
     return setError(Err, "send failed");
   std::string Payload;
   FrameStatus St = readFrame(Fd, Payload);

@@ -25,11 +25,12 @@
 ///   dra-req-v1                      dra-resp-v1
 ///   scheme=coalesce                 status=ok|shed|error
 ///   baselinek=8                     tier=hit_mem|hit_disk|miss|none
-///   regn=12                         body=<N>
-///   diffn=8                         <N bytes>
-///   diffw=3
-///   remapstarts=200
-///   body=<N>
+///   regn=12                         [traceid=<16 hex>]
+///   diffn=8                         [pid=<server pid>]
+///   diffw=3                         [tname=<tid>;<name>]...
+///   remapstarts=200                 [span=<tid>;<depth>;<begin>;<dur>;<name>]...
+///   [traceid=<16 hex>]              body=<N>
+///   body=<N>                        <N bytes>
 ///   <N bytes of .dra function text>
 ///
 /// The `body=<N>` line terminates the header; exactly N payload bytes
@@ -40,6 +41,32 @@
 /// response (admission control) has an empty body; an `error` response
 /// carries the diagnostic as its body.
 ///
+/// **Tracing (optional, off by default).** A request carrying `traceid=`
+/// opts into request-scoped tracing: the server echoes the id back and
+/// attaches an inline span summary — its pid, `tname=` thread-name lines,
+/// and one `span=` line per recorded span (timestamps are absolute
+/// steadyClockNs(), durations ns; the name is the last `;`-separated
+/// field, so names may contain `;`-free text only on the other fields).
+/// The response *body* is byte-identical to the untraced response — all
+/// trace data rides in header lines — so `--verify` byte comparison is
+/// unaffected. Servers never attach spans unsolicited; old clients never
+/// see the new keys.
+///
+/// **Control documents (`dra-ctl-v1`).** A client can ask the live server
+/// for introspection data without compiling anything:
+///
+///   dra-ctl-v1
+///   cmd=stats|recent|health
+///   [n=<count>]        (recent: how many records, newest first)
+///   body=0
+///
+/// The server answers with a dra-resp-v1 whose body is a JSON document
+/// (see DESIGN.md "Request tracing & flight recorder" for the schemas):
+/// `stats` = server/queue/cache/trace totals plus per-tier latency
+/// percentiles, `recent` = the flight recorder's last-N request records
+/// (full span detail for slow requests), `health` = a liveness probe.
+/// Control requests do not count as compile requests and are never shed.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRA_SERVER_PROTOCOL_H
@@ -49,6 +76,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace dra {
 
@@ -99,6 +128,9 @@ struct CompileRequest {
   unsigned DiffN = 8;
   unsigned DiffW = 3;
   unsigned RemapStarts = 200;
+  /// 0 = untraced (the default). Nonzero opts this request into
+  /// request-scoped tracing; the wire form is traceIdToHex.
+  uint64_t TraceId = 0;
   std::string Body; ///< Function text (ir/Parser syntax).
 
   /// The equivalent PipelineConfig (Cache/Metrics left null; the server
@@ -112,6 +144,16 @@ enum class ResponseStatus : uint8_t {
   Error, ///< Body is a diagnostic message.
 };
 
+/// One span of a response's inline trace summary: the wire form of a
+/// driver/Trace.h TraceRecord (begin absolute steadyClockNs, duration ns).
+struct WireSpan {
+  std::string Name;
+  uint64_t Tid = 0;
+  unsigned Depth = 0;
+  uint64_t BeginNs = 0;
+  uint64_t DurNs = 0;
+};
+
 /// Server response tier labels; also the `tier` label of the server's
 /// latency histograms.
 struct CompileResponse {
@@ -119,10 +161,22 @@ struct CompileResponse {
   /// "hit_mem" | "hit_disk" | "miss" for ok; "none" otherwise.
   std::string Tier = "none";
   std::string Body;
+
+  /// Inline trace summary, present only when the request carried a
+  /// traceid (all default/empty otherwise — the wire bytes are then
+  /// identical to a pre-tracing response).
+  uint64_t TraceId = 0;
+  uint64_t ServerPid = 0;
+  std::vector<WireSpan> Spans;
+  std::vector<std::pair<uint64_t, std::string>> ThreadNames;
 };
 
 /// Parses a scheme name ("baseline"|"ospill"|"remap"|"select"|"coalesce").
 bool parseSchemeName(const std::string &Name, Scheme &Out);
+
+/// The wire name of \p S — parseSchemeName's vocabulary, NOT schemeName()
+/// (the paper's display names). Also the flight recorder's scheme label.
+const char *wireSchemeName(Scheme S);
 
 std::string encodeRequest(const CompileRequest &Req);
 
@@ -138,6 +192,30 @@ bool decodeResponse(const std::string &Payload, CompileResponse &Out,
                     std::string *Err = nullptr);
 
 //===----------------------------------------------------------------------===//
+// Control requests (dra-ctl-v1)
+//===----------------------------------------------------------------------===//
+
+constexpr const char *CtlVersionTag = "dra-ctl-v1";
+
+/// One introspection request (see the file comment for the document).
+struct CtlRequest {
+  std::string Cmd = "health"; ///< "stats" | "recent" | "health".
+  unsigned RecentN = 32;      ///< `recent` only: records, newest first.
+};
+
+/// True when \p Payload's first line is the dra-ctl-v1 tag — the server's
+/// cheap dispatch test, run before any real decode.
+bool isCtlPayload(const std::string &Payload);
+
+std::string encodeCtlRequest(const CtlRequest &Req);
+
+/// Strict, like decodeRequest: unknown commands or keys fail. (The
+/// command vocabulary is validated by the *server* dispatch, not here, so
+/// a future client can probe for commands this build does not know.)
+bool decodeCtlRequest(const std::string &Payload, CtlRequest &Out,
+                      std::string *Err = nullptr);
+
+//===----------------------------------------------------------------------===//
 // Unix-socket helpers
 //===----------------------------------------------------------------------===//
 
@@ -150,10 +228,15 @@ int listenUnixSocket(const std::string &Path, int Backlog,
 /// Connects to the unix stream socket at \p Path. Returns the fd, or -1.
 int connectUnixSocket(const std::string &Path, std::string *Err = nullptr);
 
-/// Client convenience: one request/response exchange on \p Fd. Returns
+///// Client convenience: one request/response exchange on \p Fd. Returns
 /// false (with a diagnostic) on any framing or decode failure.
 bool transact(int Fd, const CompileRequest &Req, CompileResponse &Resp,
               std::string *Err = nullptr);
+
+/// Like transact, for a control request. The response body carries the
+/// JSON answer (or the diagnostic on status=error).
+bool transactCtl(int Fd, const CtlRequest &Req, CompileResponse &Resp,
+                 std::string *Err = nullptr);
 
 } // namespace dra
 

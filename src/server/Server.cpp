@@ -9,6 +9,7 @@
 #include <exception>
 #include <future>
 #include <optional>
+#include <sstream>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -19,6 +20,8 @@ CompileServer::CompileServer(const ServerOptions &O)
     : Opts(O),
       Workers(O.Workers ? O.Workers : ThreadPool::defaultWorkerCount()),
       Queue(O.QueueDepth),
+      Recorder(O.FlightRecorderSize, O.SlowRequestUs),
+      TraceSeed(steadyClockNs()),
       Pool(std::make_unique<ThreadPool>(Workers + 1)) {}
 
 CompileServer::~CompileServer() { stop(); }
@@ -32,6 +35,7 @@ bool CompileServer::start(std::string *Err) {
   ListenFd = listenUnixSocket(Opts.SocketPath, Opts.Backlog, Err);
   if (ListenFd < 0)
     return false;
+  StartNs = steadyClockNs();
   Stopping.store(false);
   Running.store(true);
   Acceptor = std::thread([this] { acceptLoop(); });
@@ -82,24 +86,26 @@ void CompileServer::acceptLoop() {
       ::close(Fd);
       return;
     }
-    SM.Connections.fetch_add(1);
+    uint64_t ConnId = SM.Connections.fetch_add(1) + 1;
     std::lock_guard<std::mutex> Lock(ConnMtx);
     Conns.emplace_back();
     Conn &C = Conns.back();
     C.Fd = Fd;
+    C.Id = ConnId;
     C.T = std::thread([this, &C] { serveConnection(C); });
   }
 }
 
 void CompileServer::serveConnection(Conn &Self) {
   const int Fd = Self.Fd;
+  const uint64_t ConnId = Self.Id;
   for (;;) {
     std::string Payload;
     FrameStatus St = readFrame(Fd, Payload, Opts.MaxFrameBytes);
     if (St == FrameStatus::Eof)
       break;
     if (St == FrameStatus::Ok) {
-      CompileResponse Resp = handleRequest(Payload);
+      CompileResponse Resp = handleRequest(Payload, ConnId);
       if (!writeFrame(Fd, encodeResponse(Resp)))
         break; // peer disconnected mid-response; nothing left to do
       continue;
@@ -124,61 +130,156 @@ void CompileServer::serveConnection(Conn &Self) {
   ::close(Fd);
 }
 
-CompileResponse CompileServer::handleRequest(const std::string &Payload) {
+CompileResponse CompileServer::handleRequest(const std::string &Payload,
+                                             uint64_t ConnId) {
+  if (isCtlPayload(Payload))
+    return handleControl(Payload);
+
   SM.Requests.fetch_add(1);
+  const uint64_t BeginNs = steadyClockNs();
   CompileResponse Resp;
 
-  auto Fail = [&](std::string Msg) {
+  CompileRequest Req;
+  std::string DecodeErr;
+  const bool Decoded = decodeRequest(Payload, Req, &DecodeErr);
+
+  // A span collector exists whenever the flight recorder wants one or the
+  // client asked (traceid on the wire); otherwise Trace stays null and
+  // every instrumentation point below is a pointer test.
+  const bool ClientTraced = Decoded && Req.TraceId != 0;
+  const bool Collect = ClientTraced || Recorder.enabled();
+  TraceContext TC(ClientTraced
+                      ? Req.TraceId
+                      : deriveTraceId(TraceSeed, TraceSeq.fetch_add(1)));
+  TraceContext *Trace = Collect ? &TC : nullptr;
+  if (Trace)
+    TC.nameCurrentThread("conn-" + std::to_string(ConnId));
+
+  double QueueUs = 0, CompileUs = 0;
+
+  // Every exit path funnels through here: latency is observed for ok,
+  // error, *and* shed responses (tier-labeled by outcome), the request
+  // lands in the flight recorder, and — only when the client traced —
+  // the span summary is attached to the response.
+  auto Finish = [&]() -> CompileResponse & {
+    const uint64_t EndNs = steadyClockNs();
+    const double TotalUs = double(EndNs - BeginNs) / 1000.0;
+    const char *TierLabel = Resp.Status == ResponseStatus::Ok
+                                ? Resp.Tier.c_str()
+                                : (Resp.Status == ResponseStatus::Shed
+                                       ? "shed"
+                                       : "error");
+    if (Opts.Metrics)
+      SM.observeLatency(*Opts.Metrics, TierLabel, TotalUs);
+    if (Trace) {
+      TC.record("request", BeginNs, EndNs, /*Depth=*/0);
+      SM.TraceSpans.fetch_add(TC.spanCount());
+      SM.TraceDropped.fetch_add(TC.droppedSpans());
+    }
+    if (TotalUs >= double(Recorder.slowThresholdUs()))
+      SM.SlowRequests.fetch_add(1);
+    if (ClientTraced) {
+      SM.TracedRequests.fetch_add(1);
+      Resp.TraceId = Req.TraceId;
+      Resp.ServerPid = osProcessId();
+      for (const TraceRecord &S : TC.records())
+        Resp.Spans.push_back(
+            {S.Name, S.Tid, S.Depth, S.BeginNs, S.EndNs - S.BeginNs});
+      Resp.ThreadNames = TC.threadNames();
+    }
+    RequestRecord Rec;
+    Rec.TraceId = TC.traceId();
+    Rec.ClientTraced = ClientTraced;
+    Rec.ConnId = ConnId;
+    Rec.Scheme = Decoded ? wireSchemeName(Req.S) : "?";
+    Rec.Outcome = Resp.Status == ResponseStatus::Ok
+                      ? "ok"
+                      : (Resp.Status == ResponseStatus::Shed ? "shed"
+                                                             : "error");
+    Rec.Tier = TierLabel;
+    Rec.BeginNs = BeginNs;
+    Rec.TotalUs = TotalUs;
+    Rec.QueueUs = QueueUs;
+    Rec.CompileUs = CompileUs;
+    if (Resp.Status == ResponseStatus::Error)
+      Rec.Error = Resp.Body;
+    if (Trace) {
+      Rec.Spans = TC.records();
+      Rec.ThreadNames = TC.threadNames();
+    }
+    Recorder.record(std::move(Rec));
+    return Resp;
+  };
+
+  auto Fail = [&](std::string Msg) -> CompileResponse & {
     SM.Errors.fetch_add(1);
     Resp.Status = ResponseStatus::Error;
     Resp.Tier = "none";
     Resp.Body = std::move(Msg);
-    return Resp;
+    return Finish();
   };
 
-  CompileRequest Req;
-  std::string Err;
-  if (!decodeRequest(Payload, Req, &Err))
-    return Fail("bad request: " + Err);
+  if (!Decoded)
+    return Fail("bad request: " + DecodeErr);
   if (Req.S != Scheme::Baseline && Req.S != Scheme::OSpill &&
       !Req.toConfig().Enc.valid())
     return Fail("invalid encoding config (regn/diffn/diffw)");
-  std::optional<Function> F = parseFunction(Req.Body, &Err);
-  if (!F)
-    return Fail("parse error: " + Err);
-  if (!verifyFunction(*F, &Err))
-    return Fail("invalid function: " + Err);
+  std::optional<Function> F;
+  {
+    ScopedTraceSpan Span(Trace, "parse", /*Depth=*/1);
+    std::string Err;
+    F = parseFunction(Req.Body, &Err);
+    if (!F)
+      return Fail("parse error: " + Err);
+    if (!verifyFunction(*F, &Err))
+      return Fail("invalid function: " + Err);
+  }
 
   if (!Queue.tryAdmit()) {
     Resp.Status = ResponseStatus::Shed;
     Resp.Tier = "none";
     Resp.Body.clear();
-    return Resp;
+    return Finish();
   }
-  uint64_t BeginNs = steadyClockNs();
-  Resp = compileAdmitted(Req, *F);
-  uint64_t EndNs = steadyClockNs();
+  Resp = compileAdmitted(Req, *F, Trace, QueueUs, CompileUs);
   Queue.release();
 
   if (Resp.Status == ResponseStatus::Error)
     SM.Errors.fetch_add(1);
-  else if (Opts.Metrics)
-    SM.observeLatency(*Opts.Metrics, Resp.Tier.c_str(),
-                      double(EndNs - BeginNs) / 1000.0);
-  return Resp;
+  return Finish();
 }
 
 CompileResponse CompileServer::compileAdmitted(const CompileRequest &Req,
-                                               const Function &F) {
+                                               const Function &F,
+                                               TraceContext *Trace,
+                                               double &QueueUs,
+                                               double &CompileUs) {
   // The connection thread blocks on the future; the pool bounds how many
   // compiles actually run at once. submit() drops escaped exceptions, so
   // the closure must resolve the promise on every path itself.
   std::promise<CompileResponse> Done;
   std::future<CompileResponse> Result = Done.get_future();
-  Pool->submit([this, &Req, &F, &Done] {
+  const uint64_t SubmitNs = steadyClockNs();
+  const uint64_t ConnTid = Trace ? osThreadId() : 0;
+  // Written inside the task, read after Result.get(); the promise/future
+  // handoff provides the happens-before edge.
+  uint64_t TaskStartNs = SubmitNs, TaskEndNs = SubmitNs;
+  Pool->submit([&, SubmitNs, ConnTid] {
     CompileResponse R;
+    TaskStartNs = steadyClockNs();
+    if (Trace) {
+      // Queue wait belongs to the *connection* thread's track: it is time
+      // this request spent waiting for a worker, closed by the moment the
+      // worker actually started.
+      Trace->recordOn(ConnTid, "queue_wait", SubmitNs, TaskStartNs,
+                      /*Depth=*/1);
+      Trace->nameCurrentThread(
+          "worker-" + std::to_string(ThreadPool::currentWorker()));
+    }
     try {
+      ScopedTraceSpan CompileSpan(Trace, "compile", /*Depth=*/1);
       PipelineConfig C = Req.toConfig();
+      C.Trace = Trace;
       PipelineResult PR;
       const char *Tier = nullptr;
       if (Opts.Cache && Opts.Cache->lookupTiered(F, C, PR, &Tier)) {
@@ -200,9 +301,157 @@ CompileResponse CompileServer::compileAdmitted(const CompileRequest &Req,
       R.Tier = "none";
       R.Body = "compile failed";
     }
+    TaskEndNs = steadyClockNs();
     Done.set_value(std::move(R));
   });
-  return Result.get();
+  CompileResponse R = Result.get();
+  QueueUs = double(TaskStartNs - SubmitNs) / 1000.0;
+  CompileUs = double(TaskEndNs - TaskStartNs) / 1000.0;
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Control requests (dra-ctl-v1)
+//===----------------------------------------------------------------------===//
+
+CompileResponse CompileServer::handleControl(const std::string &Payload) {
+  SM.CtlRequests.fetch_add(1);
+  CompileResponse Resp;
+  Resp.Tier = "none";
+
+  CtlRequest Req;
+  std::string Err;
+  if (!decodeCtlRequest(Payload, Req, &Err)) {
+    SM.Errors.fetch_add(1);
+    Resp.Status = ResponseStatus::Error;
+    Resp.Body = "bad control request: " + Err;
+    return Resp;
+  }
+
+  std::ostringstream OS;
+  if (Req.Cmd == "health") {
+    OS << "{\"status\": \"ok\", \"pid\": " << osProcessId()
+       << ", \"uptime_us\": ";
+    writeJsonNumber(OS, double(steadyClockNs() - StartNs) / 1000.0);
+    OS << "}";
+  } else if (Req.Cmd == "stats") {
+    writeStatsJson(OS);
+  } else if (Req.Cmd == "recent") {
+    writeRecentJson(OS, Req.RecentN);
+  } else {
+    SM.Errors.fetch_add(1);
+    Resp.Status = ResponseStatus::Error;
+    Resp.Body = "unknown control command '" + Req.Cmd + "'";
+    return Resp;
+  }
+  Resp.Status = ResponseStatus::Ok;
+  Resp.Body = OS.str();
+  return Resp;
+}
+
+void CompileServer::writeStatsJson(std::ostream &OS) const {
+  OS << "{\"server\": {"
+     << "\"pid\": " << osProcessId() << ", \"uptime_us\": ";
+  writeJsonNumber(OS, double(steadyClockNs() - StartNs) / 1000.0);
+  OS << ", \"workers\": " << Workers
+     << ", \"queue_depth\": " << Queue.depth()
+     << ", \"queue_limit\": " << Queue.limit()
+     << ", \"connections\": " << SM.Connections.load()
+     << ", \"requests\": " << SM.Requests.load()
+     << ", \"ctl_requests\": " << SM.CtlRequests.load()
+     << ", \"accepted\": " << Queue.admitted()
+     << ", \"shed\": " << Queue.shed()
+     << ", \"errors\": " << SM.Errors.load()
+     << ", \"bad_frames\": " << SM.BadFrames.load() << "}, ";
+
+  OS << "\"trace\": {"
+     << "\"requests\": " << SM.TracedRequests.load()
+     << ", \"spans\": " << SM.TraceSpans.load()
+     << ", \"dropped_spans\": " << SM.TraceDropped.load()
+     << ", \"slow_requests\": " << SM.SlowRequests.load()
+     << ", \"flight_capacity\": " << Recorder.capacity()
+     << ", \"flight_recorded\": " << Recorder.recorded()
+     << ", \"slow_threshold_us\": " << Recorder.slowThresholdUs() << "}, ";
+
+  // Per-tier latency summaries, straight from the live registry (the same
+  // numbers the dra-metrics-v1 export carries) — including the error/shed
+  // tiers, so failure tails show up in dra-top.
+  OS << "\"tiers\": [";
+  bool First = true;
+  if (Opts.Metrics)
+    for (const auto &H : Opts.Metrics->histograms()) {
+      if (H.Name != "server.latency_us")
+        continue;
+      std::string Tier = "?";
+      for (const auto &[K, V] : H.Labels.entries())
+        if (K == "tier")
+          Tier = V;
+      OS << (First ? "" : ", ") << "{\"tier\": \"" << jsonEscape(Tier)
+         << "\", \"count\": " << H.Count << ", \"sum_us\": ";
+      writeJsonNumber(OS, H.Sum);
+      OS << ", \"min_us\": ";
+      writeJsonNumber(OS, H.Min);
+      OS << ", \"max_us\": ";
+      writeJsonNumber(OS, H.Max);
+      OS << ", \"p50_us\": ";
+      writeJsonNumber(OS, H.P50);
+      OS << ", \"p90_us\": ";
+      writeJsonNumber(OS, H.P90);
+      OS << ", \"p95_us\": ";
+      writeJsonNumber(OS, H.P95);
+      OS << ", \"p99_us\": ";
+      writeJsonNumber(OS, H.P99);
+      OS << "}";
+      First = false;
+    }
+  OS << "]}";
+}
+
+void CompileServer::writeRecentJson(std::ostream &OS, size_t N) const {
+  OS << "{\"records\": [";
+  bool FirstRec = true;
+  for (const RequestRecord &R : Recorder.recent(N)) {
+    OS << (FirstRec ? "\n" : ",\n") << "  {\"seq\": " << R.Seq
+       << ", \"traceid\": \"" << traceIdToHex(R.TraceId)
+       << "\", \"client_traced\": " << (R.ClientTraced ? "true" : "false")
+       << ", \"conn\": " << R.ConnId << ", \"scheme\": \""
+       << jsonEscape(R.Scheme) << "\", \"outcome\": \""
+       << jsonEscape(R.Outcome) << "\", \"tier\": \"" << jsonEscape(R.Tier)
+       << "\", \"total_us\": ";
+    writeJsonNumber(OS, R.TotalUs);
+    OS << ", \"queue_us\": ";
+    writeJsonNumber(OS, R.QueueUs);
+    OS << ", \"compile_us\": ";
+    writeJsonNumber(OS, R.CompileUs);
+    OS << ", \"slow\": " << (R.Slow ? "true" : "false");
+    if (!R.Error.empty())
+      OS << ", \"error\": \"" << jsonEscape(R.Error) << "\"";
+    if (!R.Spans.empty()) {
+      OS << ", \"spans\": [";
+      bool FirstSpan = true;
+      for (const TraceRecord &S : R.Spans) {
+        OS << (FirstSpan ? "" : ", ") << "{\"name\": \""
+           << jsonEscape(S.Name) << "\", \"tid\": " << S.Tid
+           << ", \"depth\": " << S.Depth << ", \"begin_ns\": " << S.BeginNs
+           << ", \"dur_ns\": " << (S.EndNs - S.BeginNs) << "}";
+        FirstSpan = false;
+      }
+      OS << "]";
+    }
+    if (!R.ThreadNames.empty()) {
+      OS << ", \"threads\": [";
+      bool FirstT = true;
+      for (const auto &[Tid, Name] : R.ThreadNames) {
+        OS << (FirstT ? "" : ", ") << "{\"tid\": " << Tid
+           << ", \"name\": \"" << jsonEscape(Name) << "\"}";
+        FirstT = false;
+      }
+      OS << "]";
+    }
+    OS << "}";
+    FirstRec = false;
+  }
+  OS << (FirstRec ? "]" : "\n]") << "}";
 }
 
 void CompileServer::flushMetrics() {

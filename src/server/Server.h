@@ -39,6 +39,8 @@
 #include "driver/Metrics.h"
 #include "driver/ResultCache.h"
 #include "driver/ThreadPool.h"
+#include "driver/Trace.h"
+#include "server/FlightRecorder.h"
 #include "server/Protocol.h"
 #include "server/RequestQueue.h"
 #include "server/ServerMetrics.h"
@@ -66,6 +68,14 @@ struct ServerOptions {
   /// Registry for server.* series and latency histograms; null disables
   /// metrics entirely.
   MetricsRegistry *Metrics = nullptr;
+  /// Flight-recorder capacity (last-N request records served by
+  /// `dra-ctl-v1 recent`). 0 disables the recorder; per-request span
+  /// collection then happens only for requests that send a `traceid=`.
+  size_t FlightRecorderSize = 256;
+  /// Requests whose total service time reaches this threshold keep full
+  /// span detail in the flight recorder and count into
+  /// `trace.slow_requests`.
+  uint64_t SlowRequestUs = 100000;
 };
 
 class CompileServer {
@@ -86,10 +96,12 @@ public:
 
   bool running() const { return Running.load(); }
 
-  /// Handles one already-read request payload and returns the response.
-  /// Public so protocol tests can drive the full compile path without a
-  /// socket.
-  CompileResponse handleRequest(const std::string &Payload);
+  /// Handles one already-read request payload (compile or dra-ctl-v1)
+  /// and returns the response. Public so protocol tests can drive the
+  /// full compile path without a socket. \p ConnId labels the serving
+  /// connection in traces and flight records (0 = no connection).
+  CompileResponse handleRequest(const std::string &Payload,
+                                uint64_t ConnId = 0);
 
   /// Snapshots server.* counters/gauges (and the cache's, if wired) into
   /// the registry. Safe to call repeatedly and concurrently with serving —
@@ -98,23 +110,33 @@ public:
 
   const ServerMetrics &serverMetrics() const { return SM; }
   const AdmissionQueue &queue() const { return Queue; }
+  const FlightRecorder &flightRecorder() const { return Recorder; }
   unsigned workerCount() const { return Workers; }
 
 private:
   struct Conn {
     int Fd = -1; ///< -1 once the connection thread has closed it.
+    uint64_t Id = 0; ///< 1-based accept order; trace/flight-record label.
     std::thread T;
   };
 
   void acceptLoop();
   void serveConnection(Conn &Self);
   CompileResponse compileAdmitted(const CompileRequest &Req,
-                                  const Function &F);
+                                  const Function &F, TraceContext *Trace,
+                                  double &QueueUs, double &CompileUs);
+  CompileResponse handleControl(const std::string &Payload);
+  void writeStatsJson(std::ostream &OS) const;
+  void writeRecentJson(std::ostream &OS, size_t N) const;
 
   ServerOptions Opts;
   unsigned Workers;
   AdmissionQueue Queue;
   ServerMetrics SM;
+  FlightRecorder Recorder;
+  uint64_t StartNs = 0;            ///< start() time, for uptime reporting.
+  const uint64_t TraceSeed;        ///< Construction time; salts derived ids.
+  std::atomic<uint64_t> TraceSeq{0}; ///< Counter for server-derived ids.
   /// Workers + 1 pool slots: ThreadPool's worker 0 is the submitting
   /// thread, so `Workers` real task threads require Workers + 1.
   std::unique_ptr<ThreadPool> Pool;

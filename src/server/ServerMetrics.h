@@ -22,8 +22,16 @@
 /// Series written by flush():
 ///
 ///   counters: server.connections, server.requests, server.accepted,
-///             server.shed, server.errors, server.bad_frames
+///             server.shed, server.errors, server.bad_frames,
+///             server.ctl_requests, trace.requests, trace.spans,
+///             trace.dropped_spans, trace.slow_requests
 ///   gauges:   server.queue_depth, server.queue_limit, server.workers
+///
+/// The trace.* series cover request-scoped tracing: how many requests
+/// opted in (`traceid=` on the wire), how many spans were collected, how
+/// many were dropped at the TraceContext span cap (CI gates this at 0 —
+/// a dropped span means the cap is too small for real workloads), and how
+/// many requests crossed the flight recorder's slow threshold.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -42,29 +50,41 @@ class ServerMetrics {
 public:
   /// Monotonic totals; incremented at event time by the connection loops.
   std::atomic<uint64_t> Connections{0}; ///< Accepted connections.
-  std::atomic<uint64_t> Requests{0};    ///< Well-framed requests seen.
+  std::atomic<uint64_t> Requests{0};    ///< Well-framed compile requests.
+  std::atomic<uint64_t> CtlRequests{0}; ///< dra-ctl-v1 requests answered.
   std::atomic<uint64_t> Errors{0};      ///< `status=error` responses sent.
   std::atomic<uint64_t> BadFrames{0};   ///< Frames rejected below the
                                         ///< request layer (bad magic,
                                         ///< oversize, truncated, io error).
+  std::atomic<uint64_t> TracedRequests{0}; ///< Requests with a client id.
+  std::atomic<uint64_t> TraceSpans{0};     ///< Spans collected, all reqs.
+  std::atomic<uint64_t> TraceDropped{0};   ///< Spans lost to the cap.
+  std::atomic<uint64_t> SlowRequests{0};   ///< Requests >= slow threshold.
 
-  /// Records one request's service latency, labeled by cache tier
-  /// ("hit_mem" | "hit_disk" | "miss").
+  /// Records one request's service latency. \p Tier is the cache tier for
+  /// ok responses ("hit_mem" | "hit_disk" | "miss") and the outcome for
+  /// the rest ("error" | "shed"), so failure tails are visible to
+  /// dra-stats gates instead of vanishing from the histograms.
   void observeLatency(MetricsRegistry &M, const char *Tier, double Us) const {
     M.observe("server.latency_us", Us, MetricLabels{{"tier", Tier}});
   }
 
   /// Snapshots every counter/gauge series into \p M (absolute values; safe
   /// to call repeatedly), including the admission queue's totals and its
-  /// instantaneous depth.
+  /// instantaneous depth. Every series is written even at zero.
   void flush(MetricsRegistry &M, const AdmissionQueue &Q,
              unsigned Workers) const {
     M.setCount("server.connections", double(Connections.load()));
     M.setCount("server.requests", double(Requests.load()));
+    M.setCount("server.ctl_requests", double(CtlRequests.load()));
     M.setCount("server.accepted", double(Q.admitted()));
     M.setCount("server.shed", double(Q.shed()));
     M.setCount("server.errors", double(Errors.load()));
     M.setCount("server.bad_frames", double(BadFrames.load()));
+    M.setCount("trace.requests", double(TracedRequests.load()));
+    M.setCount("trace.spans", double(TraceSpans.load()));
+    M.setCount("trace.dropped_spans", double(TraceDropped.load()));
+    M.setCount("trace.slow_requests", double(SlowRequests.load()));
     M.gauge("server.queue_depth", double(Q.depth()));
     M.gauge("server.queue_limit", double(Q.limit()));
     M.gauge("server.workers", double(Workers));

@@ -1,12 +1,15 @@
 //===- tests/metrics_test.cpp - Metrics registry tests --------------------===//
 
+#include "driver/Json.h"
 #include "driver/Metrics.h"
 
 #include "gtest/gtest.h"
 
+#include <atomic>
 #include <cmath>
 #include <sstream>
 #include <thread>
+#include <vector>
 
 using namespace dra;
 
@@ -286,6 +289,83 @@ TEST(ScopedSpanTest, NullSinkRecordsNothingNonNullNests) {
   EXPECT_EQ(Spans[1].Depth, 0u);
   EXPECT_LE(Spans[1].BeginNs, Spans[0].BeginNs);
   EXPECT_GE(Spans[1].EndNs, Spans[0].EndNs);
+}
+
+TEST(MetricsRegistry, SnapshotFlushRacesWithWorkerIncrements) {
+  // The server's flushMetrics idiom: an atomic source counter mirrored
+  // into the registry with setCount while workers keep incrementing and
+  // other counters accumulate via count(). Snapshots taken mid-race must
+  // be internally consistent, and two consecutive flushes after
+  // quiescence must agree exactly — setCount is idempotent, so nothing is
+  // lost or double-counted no matter how the flush interleaved.
+  MetricsRegistry Reg;
+  std::atomic<uint64_t> Source{0};
+  std::atomic<bool> Stop{false};
+  constexpr int Workers = 4, PerWorker = 5000;
+
+  std::thread Flusher([&] {
+    double LastSeen = 0;
+    while (!Stop.load()) {
+      Reg.setCount("server.requests", double(Source.load()));
+      for (const auto &C : Reg.counters()) // concurrent snapshot
+        if (C.Name == "server.requests") {
+          EXPECT_GE(C.Value, LastSeen); // mirror never goes backwards
+          LastSeen = C.Value;
+        }
+    }
+  });
+  std::vector<std::thread> Producers;
+  for (int W = 0; W != Workers; ++W)
+    Producers.emplace_back([&] {
+      for (int I = 0; I != PerWorker; ++I) {
+        Source.fetch_add(1);
+        Reg.count("worker.ops", 1.0);
+      }
+    });
+  for (std::thread &T : Producers)
+    T.join();
+  Stop.store(true);
+  Flusher.join();
+
+  auto ValueOf = [&](const char *Name) {
+    for (const auto &C : Reg.counters())
+      if (C.Name == Name)
+        return C.Value;
+    return -1.0;
+  };
+  const double Expected = double(Workers) * PerWorker;
+  Reg.setCount("server.requests", double(Source.load()));
+  EXPECT_EQ(Expected, ValueOf("server.requests"));
+  EXPECT_EQ(Expected, ValueOf("worker.ops"));
+  Reg.setCount("server.requests", double(Source.load())); // second flush
+  EXPECT_EQ(Expected, ValueOf("server.requests")); // unchanged, not doubled
+  EXPECT_EQ(Expected, ValueOf("worker.ops"));
+}
+
+TEST(ParseJson, ReadsOurFormatsAndRejectsGarbage) {
+  JsonValue V;
+  std::string Err;
+  ASSERT_TRUE(parseJson(
+      "{\"a\": [1, 2.5, -3], \"b\": {\"s\": \"x\\n\"}, "
+      "\"t\": true, \"n\": null}",
+      V, &Err))
+      << Err;
+  ASSERT_EQ(JsonValue::Object, V.K);
+  ASSERT_NE(nullptr, V.field("a"));
+  EXPECT_EQ(3u, V.field("a")->Arr.size());
+  EXPECT_EQ(2.5, V.field("a")->Arr[1].Num);
+  EXPECT_EQ("x\n", V.field("b")->field("s")->Str);
+  EXPECT_TRUE(V.field("t")->B);
+  EXPECT_EQ(JsonValue::Null, V.field("n")->K);
+  EXPECT_EQ(nullptr, V.field("missing"));
+
+  EXPECT_FALSE(parseJson("", V, &Err));
+  EXPECT_FALSE(parseJson("{", V, &Err));
+  EXPECT_FALSE(parseJson("{} trailing", V, &Err)); // complete doc only
+  EXPECT_FALSE(parseJson("{\"a\": }", V, &Err));
+  EXPECT_FALSE(parseJson("[1, 2,]", V, &Err));
+  EXPECT_FALSE(parseJson("nope", V, &Err));
+  EXPECT_FALSE(Err.empty()); // offset diagnostic populated
 }
 
 } // namespace

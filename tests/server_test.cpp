@@ -13,11 +13,14 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "server/FlightRecorder.h"
 #include "server/Protocol.h"
 #include "server/RequestQueue.h"
 #include "server/Server.h"
 
+#include "driver/Json.h"
 #include "driver/ResultCache.h"
+#include "driver/Trace.h"
 #include "ir/Parser.h"
 
 #include <gtest/gtest.h>
@@ -26,6 +29,7 @@
 #include <chrono>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -547,4 +551,336 @@ TEST(CompileServer, StopWithoutStartAndRestart) {
     close(Fd);
   } // destructor stops and unlinks
   EXPECT_LT(connectUnixSocket(SO.SocketPath), 0); // socket gone
+}
+
+//===----------------------------------------------------------------------===//
+// Tracing on the wire
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, RequestTraceIdRoundTripAndStrictness) {
+  CompileRequest Req = tinyRequest();
+  Req.TraceId = 0xabcdef0123456789ull;
+  CompileRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(encodeRequest(Req), Out, &Err)) << Err;
+  EXPECT_EQ(Req.TraceId, Out.TraceId);
+  EXPECT_EQ(Req.Body, Out.Body);
+
+  // An untraced request never mentions traceid on the wire.
+  Req.TraceId = 0;
+  EXPECT_EQ(std::string::npos, encodeRequest(Req).find("traceid"));
+  ASSERT_TRUE(decodeRequest(encodeRequest(Req), Out, &Err)) << Err;
+  EXPECT_EQ(0u, Out.TraceId);
+
+  // Malformed ids are rejected outright: wrong length, charset, or the
+  // reserved all-zero id.
+  EXPECT_FALSE(decodeRequest("dra-req-v1\ntraceid=abc\nbody=0\n", Out));
+  EXPECT_FALSE(decodeRequest(
+      "dra-req-v1\ntraceid=ABCDEF0123456789\nbody=0\n", Out));
+  EXPECT_FALSE(decodeRequest(
+      "dra-req-v1\ntraceid=0000000000000000\nbody=0\n", Out));
+}
+
+TEST(Protocol, ResponseSpanSummaryRoundTrip) {
+  CompileResponse Resp;
+  Resp.Status = ResponseStatus::Ok;
+  Resp.Tier = "miss";
+  Resp.Body = "result bytes; with ; semicolons\n";
+  Resp.TraceId = deriveTraceId(3, 9);
+  Resp.ServerPid = 4242;
+  Resp.Spans.push_back({"request", 101, 0, 1000000, 900000});
+  Resp.Spans.push_back({"cache.miss; tricky name", 102, 2, 1000100, 50});
+  Resp.ThreadNames.push_back({101, "conn-1"});
+  Resp.ThreadNames.push_back({102, "worker-0"});
+
+  CompileResponse Out;
+  std::string Err;
+  ASSERT_TRUE(decodeResponse(encodeResponse(Resp), Out, &Err)) << Err;
+  EXPECT_EQ(Resp.TraceId, Out.TraceId);
+  EXPECT_EQ(Resp.ServerPid, Out.ServerPid);
+  EXPECT_EQ(Resp.Body, Out.Body);
+  ASSERT_EQ(2u, Out.Spans.size());
+  EXPECT_EQ("request", Out.Spans[0].Name);
+  EXPECT_EQ(101u, Out.Spans[0].Tid);
+  EXPECT_EQ(1000000u, Out.Spans[0].BeginNs);
+  EXPECT_EQ(900000u, Out.Spans[0].DurNs);
+  // Span names may contain ';' — only the first four fields split.
+  EXPECT_EQ("cache.miss; tricky name", Out.Spans[1].Name);
+  EXPECT_EQ(2u, Out.Spans[1].Depth);
+  ASSERT_EQ(2u, Out.ThreadNames.size());
+  EXPECT_EQ("worker-0", Out.ThreadNames[1].second);
+
+  // A response without a trace id never emits the trace lines.
+  Resp.TraceId = 0;
+  std::string Wire = encodeResponse(Resp);
+  EXPECT_EQ(std::string::npos, Wire.find("span="));
+  EXPECT_EQ(std::string::npos, Wire.find("pid="));
+
+  // Malformed span lines are rejected, not skipped.
+  EXPECT_FALSE(decodeResponse(
+      "dra-resp-v1\nstatus=ok\nspan=1;2;3\nbody=0\n", Out));
+  EXPECT_FALSE(decodeResponse(
+      "dra-resp-v1\nstatus=ok\nspan=x;0;1;2;name\nbody=0\n", Out));
+  EXPECT_FALSE(decodeResponse(
+      "dra-resp-v1\nstatus=ok\nspan=1;0;1;2;\nbody=0\n", Out));
+  EXPECT_FALSE(decodeResponse(
+      "dra-resp-v1\nstatus=ok\ntname=7\nbody=0\n", Out));
+}
+
+TEST(Protocol, CtlRoundTripAndStrictness) {
+  CtlRequest Req;
+  Req.Cmd = "recent";
+  Req.RecentN = 5;
+  std::string Wire = encodeCtlRequest(Req);
+  EXPECT_TRUE(isCtlPayload(Wire));
+  EXPECT_FALSE(isCtlPayload(encodeRequest(tinyRequest())));
+  CtlRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeCtlRequest(Wire, Out, &Err)) << Err;
+  EXPECT_EQ("recent", Out.Cmd);
+  EXPECT_EQ(5u, Out.RecentN);
+
+  // 'stats'/'health' omit n=.
+  Req.Cmd = "stats";
+  EXPECT_EQ(std::string::npos, encodeCtlRequest(Req).find("n="));
+
+  // Unknown keys, missing cmd, and nonempty bodies are rejected.
+  EXPECT_FALSE(decodeCtlRequest("dra-ctl-v1\nbogus=1\nbody=0\n", Out));
+  EXPECT_FALSE(decodeCtlRequest("dra-ctl-v1\nbody=0\n", Out));
+  EXPECT_FALSE(
+      decodeCtlRequest("dra-ctl-v1\ncmd=stats\nbody=3\nabc", Out));
+  EXPECT_FALSE(decodeCtlRequest("dra-req-v1\ncmd=stats\nbody=0\n", Out));
+}
+
+TEST(CompileServer, ControlRequestsAnswerWithoutCompiling) {
+  MetricsRegistry Metrics;
+  ServerOptions SO;
+  SO.SocketPath = "server_test_ctl.sock";
+  SO.Workers = 1;
+  SO.Metrics = &Metrics;
+  CompileServer Server(SO);
+  ASSERT_TRUE(Server.start());
+
+  int Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+
+  // One compile so stats have something to show.
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(transact(Fd, tinyRequest(), Resp, &Err)) << Err;
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+
+  CtlRequest Ctl;
+  Ctl.Cmd = "health";
+  ASSERT_TRUE(transactCtl(Fd, Ctl, Resp, &Err)) << Err;
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+  EXPECT_EQ("none", Resp.Tier);
+  JsonValue Health;
+  ASSERT_TRUE(parseJson(Resp.Body, Health, &Err)) << Err;
+  EXPECT_EQ("ok", Health.field("status")->Str);
+  EXPECT_GT(Health.field("pid")->Num, 0);
+
+  Ctl.Cmd = "stats";
+  ASSERT_TRUE(transactCtl(Fd, Ctl, Resp, &Err)) << Err;
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+  JsonValue Stats;
+  ASSERT_TRUE(parseJson(Resp.Body, Stats, &Err)) << Err;
+  const JsonValue *Srv = Stats.field("server");
+  ASSERT_NE(nullptr, Srv);
+  EXPECT_EQ(1.0, Srv->field("requests")->Num); // ctl is not a request
+  EXPECT_GE(Srv->field("ctl_requests")->Num, 2.0);
+  const JsonValue *Trace = Stats.field("trace");
+  ASSERT_NE(nullptr, Trace);
+  EXPECT_EQ(0.0, Trace->field("dropped_spans")->Num);
+  const JsonValue *Tiers = Stats.field("tiers");
+  ASSERT_NE(nullptr, Tiers);
+  ASSERT_EQ(JsonValue::Array, Tiers->K);
+  ASSERT_EQ(1u, Tiers->Arr.size());
+  EXPECT_EQ("miss", Tiers->Arr[0].field("tier")->Str);
+  EXPECT_EQ(1.0, Tiers->Arr[0].field("count")->Num);
+
+  Ctl.Cmd = "recent";
+  Ctl.RecentN = 8;
+  ASSERT_TRUE(transactCtl(Fd, Ctl, Resp, &Err)) << Err;
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+  JsonValue Recent;
+  ASSERT_TRUE(parseJson(Resp.Body, Recent, &Err)) << Err;
+  const JsonValue *Records = Recent.field("records");
+  ASSERT_NE(nullptr, Records);
+  ASSERT_EQ(1u, Records->Arr.size());
+  EXPECT_EQ("ok", Records->Arr[0].field("outcome")->Str);
+  EXPECT_EQ("miss", Records->Arr[0].field("tier")->Str);
+  EXPECT_EQ(16u, Records->Arr[0].field("traceid")->Str.size());
+
+  // An unknown command is a structured error that counts as one.
+  Ctl.Cmd = "explode";
+  ASSERT_TRUE(transactCtl(Fd, Ctl, Resp, &Err)) << Err;
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+  EXPECT_NE(std::string::npos, Resp.Body.find("explode"));
+
+  close(Fd);
+  Server.stop();
+  EXPECT_EQ(1u, Server.serverMetrics().Requests.load());
+  EXPECT_EQ(4u, Server.serverMetrics().CtlRequests.load());
+}
+
+TEST(CompileServer, TracedRequestEchoesSpanSummary) {
+  ResultCache Cache;
+  ServerOptions SO;
+  SO.SocketPath = "server_test_traced.sock";
+  SO.Workers = 1;
+  SO.Cache = &Cache;
+  CompileServer Server(SO);
+  ASSERT_TRUE(Server.start());
+
+  int Fd = connectUnixSocket(SO.SocketPath);
+  ASSERT_GE(Fd, 0);
+
+  // An untraced request gets no trace attachments even though the flight
+  // recorder collects spans server-side.
+  CompileResponse Resp;
+  std::string Err;
+  ASSERT_TRUE(transact(Fd, tinyRequest(), Resp, &Err)) << Err;
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+  EXPECT_EQ(0u, Resp.TraceId);
+  EXPECT_TRUE(Resp.Spans.empty());
+
+  // A traced one echoes the id and the span tree.
+  CompileRequest Req = tinyRequest();
+  Req.TraceId = deriveTraceId(11, 7);
+  ASSERT_TRUE(transact(Fd, Req, Resp, &Err)) << Err;
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+  EXPECT_EQ("hit_mem", Resp.Tier); // same body as the first request
+  EXPECT_EQ(Req.TraceId, Resp.TraceId);
+  EXPECT_GT(Resp.ServerPid, 0u);
+  ASSERT_FALSE(Resp.Spans.empty());
+
+  auto HasSpan = [&](const char *Name, unsigned Depth) {
+    for (const WireSpan &S : Resp.Spans)
+      if (S.Name == Name && S.Depth == Depth)
+        return true;
+    return false;
+  };
+  EXPECT_TRUE(HasSpan("request", 0));
+  EXPECT_TRUE(HasSpan("parse", 1));
+  EXPECT_TRUE(HasSpan("queue_wait", 1));
+  EXPECT_TRUE(HasSpan("compile", 1));
+  EXPECT_TRUE(HasSpan("cache.hit_mem", 2));
+  EXPECT_FALSE(Resp.ThreadNames.empty());
+
+  // The whole-request span contains every other span in time.
+  const WireSpan *Request = nullptr;
+  for (const WireSpan &S : Resp.Spans)
+    if (S.Name == "request")
+      Request = &S;
+  ASSERT_NE(nullptr, Request);
+  for (const WireSpan &S : Resp.Spans) {
+    EXPECT_GE(S.BeginNs, Request->BeginNs);
+    EXPECT_LE(S.BeginNs + S.DurNs, Request->BeginNs + Request->DurNs);
+  }
+
+  close(Fd);
+  Server.stop();
+  EXPECT_EQ(1u, Server.serverMetrics().TracedRequests.load());
+  EXPECT_EQ(0u, Server.serverMetrics().TraceDropped.load());
+}
+
+TEST(CompileServer, ErrorAndShedResponsesLandInLatencyTiers) {
+  // Shed tier: a zero-depth queue sheds everything.
+  {
+    MetricsRegistry Metrics;
+    ServerOptions SO;
+    SO.SocketPath = "server_test_tier_shed.sock"; // unused: direct calls
+    SO.Workers = 1;
+    SO.QueueDepth = 0;
+    SO.Metrics = &Metrics;
+    CompileServer Server(SO);
+    CompileResponse Resp =
+        Server.handleRequest(encodeRequest(tinyRequest()));
+    EXPECT_EQ(ResponseStatus::Shed, Resp.Status);
+    Server.flushMetrics();
+    bool SawShedTier = false;
+    for (const auto &H : Metrics.histograms()) {
+      if (H.Name != "server.latency_us")
+        continue;
+      for (const auto &[K, V] : H.Labels.entries())
+        SawShedTier = SawShedTier || V == "shed";
+    }
+    EXPECT_TRUE(SawShedTier);
+  }
+  // Error tier: a payload that fails to decode.
+  MetricsRegistry Metrics;
+  ServerOptions SO;
+  SO.SocketPath = "server_test_tier_error.sock";
+  SO.Workers = 1;
+  SO.Metrics = &Metrics;
+  CompileServer Server(SO);
+  CompileResponse Resp = Server.handleRequest("not a request");
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+  Server.flushMetrics();
+  bool SawErrorTier = false, SawTraceCounters = false;
+  for (const auto &H : Metrics.histograms()) {
+    if (H.Name != "server.latency_us")
+      continue;
+    for (const auto &[K, V] : H.Labels.entries())
+      SawErrorTier = SawErrorTier || V == "error";
+  }
+  // trace.* counters flush zeros-included, so CI can gate dropped_spans
+  // at 0 without special-casing its absence.
+  for (const auto &C : Metrics.counters())
+    if (C.Name == "trace.dropped_spans") {
+      SawTraceCounters = true;
+      EXPECT_EQ(0, C.Value);
+    }
+  EXPECT_TRUE(SawErrorTier);
+  EXPECT_TRUE(SawTraceCounters);
+}
+
+TEST(CompileServer, FlightRecorderCapturesOutcomesAndSlowDetail) {
+  ServerOptions SO;
+  SO.SocketPath = "server_test_recorder.sock"; // unused: direct calls
+  SO.Workers = 1;
+  SO.FlightRecorderSize = 32;
+  SO.SlowRequestUs = 0; // everything is "slow": span detail always kept
+  CompileServer Server(SO);
+
+  EXPECT_EQ(ResponseStatus::Ok,
+            Server.handleRequest(encodeRequest(tinyRequest()), 1).Status);
+  EXPECT_EQ(ResponseStatus::Error,
+            Server.handleRequest("garbage", 2).Status);
+
+  const FlightRecorder &FR = Server.flightRecorder();
+  EXPECT_EQ(2u, FR.recorded());
+  EXPECT_EQ(2u, FR.slowCount());
+  std::vector<RequestRecord> R = FR.recent(10);
+  ASSERT_EQ(2u, R.size());
+  // Newest first: the error.
+  EXPECT_EQ("error", R[0].Outcome);
+  EXPECT_EQ("error", R[0].Tier);
+  EXPECT_EQ("?", R[0].Scheme); // never decoded
+  EXPECT_FALSE(R[0].Error.empty());
+  EXPECT_EQ(2u, R[0].ConnId);
+  EXPECT_TRUE(R[0].Slow);
+  EXPECT_FALSE(R[0].Spans.empty()); // slow: detail kept
+
+  EXPECT_EQ("ok", R[1].Outcome);
+  EXPECT_EQ("miss", R[1].Tier);
+  EXPECT_EQ("coalesce", R[1].Scheme);
+  EXPECT_GT(R[1].TotalUs, 0);
+  EXPECT_GE(R[1].TotalUs, R[1].CompileUs);
+  EXPECT_NE(0u, R[1].TraceId); // server-derived id, never zero
+  EXPECT_FALSE(R[1].ClientTraced);
+
+  // With recording disabled (capacity 0) and no client trace id, requests
+  // take the null-context fast path and leave nothing behind.
+  ServerOptions SO2;
+  SO2.SocketPath = "server_test_recorder_off.sock";
+  SO2.Workers = 1;
+  SO2.FlightRecorderSize = 0;
+  CompileServer Server2(SO2);
+  EXPECT_EQ(ResponseStatus::Ok,
+            Server2.handleRequest(encodeRequest(tinyRequest())).Status);
+  EXPECT_FALSE(Server2.flightRecorder().enabled());
+  EXPECT_TRUE(Server2.flightRecorder().recent(10).empty());
+  EXPECT_EQ(0u, Server2.serverMetrics().TraceSpans.load());
 }

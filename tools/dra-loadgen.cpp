@@ -14,6 +14,7 @@
 #include "adt/Rng.h"
 #include "adt/Statistics.h"
 #include "driver/ResultCache.h"
+#include "driver/Trace.h"
 #include "ir/Parser.h"
 #include "server/Protocol.h"
 
@@ -27,6 +28,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iterator>
+#include <map>
 #include <string>
 #include <thread>
 #include <vector>
@@ -64,6 +66,11 @@ const char *UsageText =
     "  --seed=N            base RNG seed (default 1)\n"
     "  --verify=F          fraction of ok responses recompiled locally and\n"
     "                      byte-compared against the response (default 0)\n"
+    "  --trace-out=FILE    trace every request (traceid= on the wire) and\n"
+    "                      write one merged Chrome trace: client rpc spans\n"
+    "                      and the server's inline span summaries on a\n"
+    "                      shared steady-clock timeline, linked per request\n"
+    "                      by trace id (open in chrome://tracing/Perfetto)\n"
     "  --fail-on-shed      exit nonzero if any request was shed\n"
     "  --bench-out=FILE    dra-metrics-v1 report (default BENCH_server.json;\n"
     "                      empty disables)\n"
@@ -92,6 +99,7 @@ struct Options {
   double Zipf = 1.0;
   uint64_t Seed = 1;
   double Verify = 0;
+  std::string TraceOut;
   bool FailOnShed = false;
   std::string BenchOut = "BENCH_server.json";
   Scheme S = Scheme::Coalesce;
@@ -142,6 +150,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         std::fprintf(stderr, "error: --verify must be in [0, 1]\n");
         return false;
       }
+    } else if (const char *V = Value("--trace-out=")) {
+      O.TraceOut = V;
     } else if (const char *V = Value("--bench-out=")) {
       O.BenchOut = V;
     } else if (const char *V = Value("--scheme=")) {
@@ -202,13 +212,39 @@ struct CorpusEntry {
   Function Parsed;
 };
 
+/// One traced request: the client-side rpc span plus whatever span
+/// summary the server echoed back. Collected only under --trace-out.
+struct TracedRequest {
+  uint64_t TraceId = 0;
+  uint64_t ClientTid = 0; ///< OS tid of the worker thread.
+  uint64_t BeginNs = 0, EndNs = 0;
+  const char *Status = "ok";
+  std::string Tier;
+  uint64_t ServerPid = 0;
+  std::vector<WireSpan> Spans;
+  std::vector<std::pair<uint64_t, std::string>> ThreadNames;
+};
+
 /// One worker's tallies; merged after the join.
 struct WorkerStats {
   uint64_t Sent = 0, Ok = 0, Shed = 0, ErrorResponses = 0, ProtoErrors = 0;
   uint64_t VerifyChecked = 0, VerifyMismatches = 0;
   /// (tier label, client-observed microseconds) per ok response.
   std::vector<std::pair<const char *, double>> Latencies;
+  std::vector<TracedRequest> Traced;
 };
+
+const char *responseStatusLabel(ResponseStatus S) {
+  switch (S) {
+  case ResponseStatus::Ok:
+    return "ok";
+  case ResponseStatus::Shed:
+    return "shed";
+  case ResponseStatus::Error:
+    return "error";
+  }
+  return "?";
+}
 
 const char *internTier(const std::string &Tier) {
   if (Tier == "hit_mem")
@@ -270,6 +306,69 @@ bool stopServer(pid_t Pid) {
   if (waitpid(Pid, &Status, 0) != Pid)
     return false;
   return WIFEXITED(Status) && WEXITSTATUS(Status) == 0;
+}
+
+/// Writes the merged client+server Chrome trace: one "rpc" span per traced
+/// request on the client process's rows, plus the server's echoed span
+/// summaries on the server process's rows, every event annotated with its
+/// trace id. Both processes stamp the same machine steady clock, so the
+/// only arithmetic is rebasing to the earliest event.
+bool writeMergedTrace(const std::string &Path,
+                      const std::vector<WorkerStats> &Stats,
+                      size_t &EventsOut) {
+  uint64_t MinNs = UINT64_MAX;
+  for (const WorkerStats &S : Stats)
+    for (const TracedRequest &T : S.Traced) {
+      MinNs = std::min(MinNs, T.BeginNs);
+      for (const WireSpan &Sp : T.Spans)
+        MinNs = std::min(MinNs, Sp.BeginNs);
+    }
+  if (MinNs == UINT64_MAX)
+    MinNs = 0;
+
+  std::ofstream OS(Path);
+  if (!OS) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  ChromeTraceWriter W(OS);
+  const uint64_t ClientPid = osProcessId();
+  W.processName(ClientPid, "dra-loadgen");
+  for (size_t WI = 0; WI != Stats.size(); ++WI)
+    if (!Stats[WI].Traced.empty())
+      W.threadName(ClientPid, Stats[WI].Traced.front().ClientTid,
+                   "client-" + std::to_string(WI));
+  // Server metadata: the union of thread names echoed across responses,
+  // grouped by the (normally unique) server pid.
+  std::map<uint64_t, std::map<uint64_t, std::string>> ServerThreads;
+  for (const WorkerStats &S : Stats)
+    for (const TracedRequest &T : S.Traced)
+      if (T.ServerPid)
+        for (const auto &[Tid, Name] : T.ThreadNames)
+          ServerThreads[T.ServerPid].emplace(Tid, Name);
+  for (const auto &[Pid, Threads] : ServerThreads) {
+    W.processName(Pid, "dra-server");
+    for (const auto &[Tid, Name] : Threads)
+      W.threadName(Pid, Tid, Name);
+  }
+
+  auto RelUs = [&](uint64_t Ns) { return double(Ns - MinNs) / 1000.0; };
+  for (const WorkerStats &S : Stats)
+    for (const TracedRequest &T : S.Traced) {
+      std::string Hex = traceIdToHex(T.TraceId);
+      W.completeEvent(ClientPid, T.ClientTid, "rpc", "client",
+                      RelUs(T.BeginNs), double(T.EndNs - T.BeginNs) / 1000.0,
+                      {{"traceid", Hex},
+                       {"status", T.Status},
+                       {"tier", T.Tier.empty() ? "none" : T.Tier}});
+      for (const WireSpan &Sp : T.Spans)
+        W.completeEvent(T.ServerPid ? T.ServerPid : ClientPid, Sp.Tid,
+                        Sp.Name, "server", RelUs(Sp.BeginNs),
+                        double(Sp.DurNs) / 1000.0, {{"traceid", Hex}});
+    }
+  W.finish();
+  EventsOut = W.eventCount();
+  return OS.good();
 }
 
 } // namespace
@@ -356,10 +455,12 @@ int main(int Argc, char **Argv) {
   std::vector<std::thread> Workers;
   uint64_t WallBeginNs = steadyClockNs();
 
+  const bool Tracing = !O.TraceOut.empty();
   for (unsigned W = 0; W != O.Concurrency; ++W) {
     Workers.emplace_back([&, W] {
       WorkerStats &S = Stats[W];
       Rng R = Rng::forTask(O.Seed, W);
+      uint64_t Tid = osThreadId();
       int Fd = connectUnixSocket(O.Socket);
       if (Fd < 0) {
         ++S.ProtoErrors;
@@ -376,15 +477,42 @@ int main(int Argc, char **Argv) {
           Pick = Corpus.size() - 1;
         CompileRequest Req = Template;
         Req.Body = Corpus[Pick].Text;
+        // Deterministic per-request id from (seed, global index): the same
+        // id lands in the server's flight recorder and in the merged
+        // Chrome trace, so one grep links a slow request end to end.
+        if (Tracing)
+          Req.TraceId = deriveTraceId(O.Seed, I);
+        std::string IdHex =
+            Req.TraceId ? traceIdToHex(Req.TraceId) : std::string("-");
 
         ++S.Sent;
         CompileResponse Resp;
+        std::string Err;
         uint64_t BeginNs = steadyClockNs();
-        if (!transact(Fd, Req, Resp)) {
+        if (!transact(Fd, Req, Resp, &Err)) {
           ++S.ProtoErrors;
+          std::fprintf(stderr,
+                       "error: protocol error on request #%llu "
+                       "(trace %s): %s\n",
+                       static_cast<unsigned long long>(I), IdHex.c_str(),
+                       Err.empty() ? "transport failure" : Err.c_str());
           break; // the connection is in an unknown state; stop this worker
         }
-        double Us = double(steadyClockNs() - BeginNs) / 1000.0;
+        uint64_t EndNs = steadyClockNs();
+        double Us = double(EndNs - BeginNs) / 1000.0;
+        if (Tracing) {
+          TracedRequest T;
+          T.TraceId = Req.TraceId;
+          T.ClientTid = Tid;
+          T.BeginNs = BeginNs;
+          T.EndNs = EndNs;
+          T.Status = responseStatusLabel(Resp.Status);
+          T.Tier = Resp.Tier;
+          T.ServerPid = Resp.ServerPid;
+          T.Spans = std::move(Resp.Spans);
+          T.ThreadNames = std::move(Resp.ThreadNames);
+          S.Traced.push_back(std::move(T));
+        }
         switch (Resp.Status) {
         case ResponseStatus::Ok: {
           ++S.Ok;
@@ -393,8 +521,14 @@ int main(int Argc, char **Argv) {
             ++S.VerifyChecked;
             PipelineResult Oracle =
                 runPipeline(Corpus[Pick].Parsed, Req.toConfig());
-            if (ResultCache::serializeResult(Oracle) != Resp.Body)
+            if (ResultCache::serializeResult(Oracle) != Resp.Body) {
               ++S.VerifyMismatches;
+              std::fprintf(stderr,
+                           "error: verify mismatch on request #%llu "
+                           "(trace %s, tier %s)\n",
+                           static_cast<unsigned long long>(I), IdHex.c_str(),
+                           Resp.Tier.c_str());
+            }
           }
           break;
         }
@@ -414,6 +548,7 @@ int main(int Argc, char **Argv) {
   double WallUs = double(steadyClockNs() - WallBeginNs) / 1000.0;
 
   WorkerStats Sum;
+  uint64_t TracedCount = 0;
   std::vector<double> AllUs;
   MetricsRegistry Metrics;
   for (const WorkerStats &S : Stats) {
@@ -424,6 +559,7 @@ int main(int Argc, char **Argv) {
     Sum.ProtoErrors += S.ProtoErrors;
     Sum.VerifyChecked += S.VerifyChecked;
     Sum.VerifyMismatches += S.VerifyMismatches;
+    TracedCount += S.Traced.size();
     for (const auto &[Tier, Us] : S.Latencies) {
       AllUs.push_back(Us);
       Metrics.observe("loadgen.latency_us", Us, MetricLabels{{"tier", Tier}});
@@ -438,6 +574,7 @@ int main(int Argc, char **Argv) {
   Metrics.count("loadgen.proto_errors", double(Sum.ProtoErrors));
   Metrics.count("loadgen.verify_checked", double(Sum.VerifyChecked));
   Metrics.count("loadgen.verify_mismatches", double(Sum.VerifyMismatches));
+  Metrics.count("loadgen.traced", double(TracedCount));
   Metrics.gauge("loadgen.throughput_rps", ThroughputRps);
   Metrics.gauge("loadgen.concurrency", double(O.Concurrency));
   Metrics.gauge("loadgen.wall_us", WallUs);
@@ -465,6 +602,17 @@ int main(int Argc, char **Argv) {
     ServerOk = stopServer(ServerPid);
     if (!ServerOk)
       std::fprintf(stderr, "error: spawned server exited abnormally\n");
+  }
+
+  if (!O.TraceOut.empty()) {
+    size_t TraceEvents = 0;
+    if (!writeMergedTrace(O.TraceOut, Stats, TraceEvents))
+      return 1;
+    std::fprintf(stderr,
+                 "trace written to %s (%llu traced request(s), %zu "
+                 "event(s))\n",
+                 O.TraceOut.c_str(),
+                 static_cast<unsigned long long>(TracedCount), TraceEvents);
   }
 
   if (!O.BenchOut.empty()) {

@@ -54,6 +54,11 @@ const char *UsageText =
     "                         --metrics-interval\n"
     "  --metrics-interval=S   periodic metrics export period in seconds\n"
     "                         (default 0 = only on shutdown)\n"
+    "  --flight-recorder=N    request records retained for dra-ctl-v1\n"
+    "                         'recent' / dra-top (default 256; 0 disables)\n"
+    "  --slow-request-us=N    requests at/above N microseconds keep full\n"
+    "                         span detail in the flight recorder\n"
+    "                         (default 100000)\n"
     "  --help                 show this text\n"
     "\n"
     "exit status: 0 on clean (signal-driven) shutdown, 1 on a runtime\n"
@@ -69,6 +74,8 @@ struct Options {
   double CacheVerify = 0;
   std::string MetricsOut;
   unsigned MetricsIntervalS = 0;
+  size_t FlightRecorder = 256;
+  uint64_t SlowRequestUs = 100000;
   bool Help = false;
 };
 
@@ -101,6 +108,10 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.MetricsOut = V;
     } else if (const char *V = Value("--metrics-interval=")) {
       O.MetricsIntervalS = static_cast<unsigned>(std::atoi(V));
+    } else if (const char *V = Value("--flight-recorder=")) {
+      O.FlightRecorder = static_cast<size_t>(std::atoll(V));
+    } else if (const char *V = Value("--slow-request-us=")) {
+      O.SlowRequestUs = static_cast<uint64_t>(std::atoll(V));
     } else if (Arg == "--help" || Arg == "-h") {
       O.Help = true;
     } else {
@@ -177,6 +188,8 @@ int main(int Argc, char **Argv) {
   SO.MaxFrameBytes = O.MaxFrameBytes;
   SO.Cache = &Cache;
   SO.Metrics = &Metrics;
+  SO.FlightRecorderSize = O.FlightRecorder;
+  SO.SlowRequestUs = O.SlowRequestUs;
   CompileServer Server(SO);
 
   std::string Err;

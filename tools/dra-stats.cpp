@@ -11,6 +11,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "driver/Json.h"
 #include "driver/Metrics.h"
 
 #include <cmath>
@@ -18,6 +19,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -28,6 +30,7 @@ namespace {
 const char *UsageText =
     "usage: dra-stats [options] <baseline.json> <current.json>\n"
     "       dra-stats --validate <file.json> [file.json ...]\n"
+    "       dra-stats --validate-trace <trace.json> [trace.json ...]\n"
     "\n"
     "Compares two dra-metrics-v1 metrics files (see driver/Metrics.h;\n"
     "written by dra-opt/dra-batch --metrics-out and the bench binaries'\n"
@@ -38,6 +41,12 @@ const char *UsageText =
     "options:\n"
     "  --validate           parse and schema-check the given files instead\n"
     "                       of diffing; exit 1 on the first invalid one\n"
+    "  --validate-trace     schema-check Chrome trace-event JSON (as\n"
+    "                       written by --trace-out of dra-opt/dra-batch/\n"
+    "                       dra-loadgen): a traceEvents array whose events\n"
+    "                       carry string name/ph, numeric pid/tid/ts, and\n"
+    "                       a non-negative dur on every ph=\"X\" event;\n"
+    "                       exit 1 on the first invalid file\n"
     "  --threshold=PCT      only print rows changing by at least PCT\n"
     "                       percent (default 0 = print everything)\n"
     "  --fail-on=M[:PCT]    exit 3 when metric M increases by more than\n"
@@ -70,6 +79,7 @@ struct FailRule {
 
 struct Options {
   bool Validate = false;
+  bool ValidateTrace = false;
   bool Help = false;
   double ThresholdPct = 0;
   std::vector<FailRule> FailOn;
@@ -85,6 +95,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     };
     if (Arg == "--validate") {
       O.Validate = true;
+    } else if (Arg == "--validate-trace") {
+      O.ValidateTrace = true;
     } else if (const char *V = Value("--threshold=")) {
       O.ThresholdPct = std::atof(V);
     } else if (const char *V = Value("--fail-on=")) {
@@ -127,6 +139,72 @@ bool loadFile(const std::string &Path, MetricsFileData &Out) {
   if (!loadMetricsJson(In, Out, &Err)) {
     std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
     return false;
+  }
+  return true;
+}
+
+/// Schema-checks one Chrome trace-event document: a top-level object with
+/// a `traceEvents` array; every event an object with string `name`/`ph`,
+/// numeric `pid`/`tid`/`ts`, and — on "X" complete events — a numeric,
+/// non-negative `dur`. Counts events per phase into \p XEvents/\p MEvents.
+bool validateTraceFile(const std::string &Path, size_t &XEvents,
+                       size_t &MEvents) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", Path.c_str());
+    return false;
+  }
+  std::string Text{std::istreambuf_iterator<char>(In),
+                   std::istreambuf_iterator<char>{}};
+  JsonValue Root;
+  std::string Err;
+  if (!parseJson(Text, Root, &Err)) {
+    std::fprintf(stderr, "error: %s: %s\n", Path.c_str(), Err.c_str());
+    return false;
+  }
+  auto Fail = [&](size_t Index, const char *What) {
+    std::fprintf(stderr, "error: %s: traceEvents[%zu]: %s\n", Path.c_str(),
+                 Index, What);
+    return false;
+  };
+  if (Root.K != JsonValue::Object) {
+    std::fprintf(stderr, "error: %s: top level is not an object\n",
+                 Path.c_str());
+    return false;
+  }
+  const JsonValue *Events = Root.field("traceEvents");
+  if (!Events || Events->K != JsonValue::Array) {
+    std::fprintf(stderr, "error: %s: missing traceEvents array\n",
+                 Path.c_str());
+    return false;
+  }
+  XEvents = MEvents = 0;
+  for (size_t I = 0; I != Events->Arr.size(); ++I) {
+    const JsonValue &E = Events->Arr[I];
+    if (E.K != JsonValue::Object)
+      return Fail(I, "event is not an object");
+    const JsonValue *Name = E.field("name");
+    const JsonValue *Ph = E.field("ph");
+    if (!Name || Name->K != JsonValue::String)
+      return Fail(I, "missing string 'name'");
+    if (!Ph || Ph->K != JsonValue::String || Ph->Str.empty())
+      return Fail(I, "missing string 'ph'");
+    for (const char *Key : {"pid", "tid"}) {
+      const JsonValue *V = E.field(Key);
+      if (!V || V->K != JsonValue::Number)
+        return Fail(I, "missing numeric 'pid'/'tid'");
+    }
+    if (Ph->Str == "X") {
+      const JsonValue *Ts = E.field("ts");
+      const JsonValue *Dur = E.field("dur");
+      if (!Ts || Ts->K != JsonValue::Number)
+        return Fail(I, "complete event missing numeric 'ts'");
+      if (!Dur || Dur->K != JsonValue::Number || Dur->Num < 0)
+        return Fail(I, "complete event missing non-negative 'dur'");
+      ++XEvents;
+    } else if (Ph->Str == "M") {
+      ++MEvents;
+    }
   }
   return true;
 }
@@ -325,6 +403,23 @@ int main(int Argc, char **Argv) {
     return 2;
   if (O.Help) {
     std::fputs(UsageText, stdout);
+    return 0;
+  }
+
+  if (O.ValidateTrace) {
+    if (O.Files.empty()) {
+      std::fprintf(stderr,
+                   "error: --validate-trace needs at least one file\n");
+      return 2;
+    }
+    for (const std::string &File : O.Files) {
+      size_t XEvents = 0, MEvents = 0;
+      if (!validateTraceFile(File, XEvents, MEvents))
+        return 1;
+      std::printf("%s: valid chrome-trace (%zu span event(s), %zu "
+                  "metadata event(s))\n",
+                  File.c_str(), XEvents, MEvents);
+    }
     return 0;
   }
 
