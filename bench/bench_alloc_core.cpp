@@ -1,0 +1,464 @@
+//===- bench/bench_alloc_core.cpp - Allocator data-layout kernels ---------===//
+//
+// Microbenchmark for the flat-arena/bitset rework of the allocator hot
+// core. Each kernel pairs the seed's data layout ("legacy": per-node
+// std::unordered_set adjacency, a global unordered_set<uint64_t> edge-key
+// set, std::set<RegId> worklists) against the reworked one ("flat":
+// BitMatrix rows + CSR neighbor arrays + IndexSet worklists), running both
+// arms on the identical workload in the SAME run on the SAME machine — so
+// the ratio is pure data-structure throughput, with no checked-in timing
+// baseline to rot. Every pair is checksum-verified: both arms must visit
+// the same nodes in the same order (the worklist kernel replays the exact
+// min-first simplify discipline the IRC core relies on for bit-identical
+// output).
+//
+// Workloads are interference graphs of ProgramGen functions (real edge
+// distributions, built through Liveness + InterferenceGraph) plus one
+// larger seeded synthetic graph for scale.
+//
+// Modes:
+//  * default: prints a kernel x arm table and writes BENCH_alloc.json
+//    (gauges labeled arm=legacy|flat) in the working directory;
+//  * --perf-out=DIR: writes alloc_perf_legacy.json and
+//    alloc_perf_flat.json carrying the *same* unlabeled gauge keys, so
+//      dra-stats --fail-on=alloc.simplify_per_sec:-33
+//          alloc_perf_flat.json alloc_perf_legacy.json
+//    fails unless the flat arm holds at least a 1.5x advantage on this
+//    machine and run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "SuiteRunner.h"
+
+#include "adt/IndexSet.h"
+#include "adt/Rng.h"
+#include "analysis/Liveness.h"
+#include "regalloc/InterferenceGraph.h"
+#include "workloads/ProgramGen.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+/// One undirected graph as a flat edge list (A < B), node count attached.
+struct EdgeList {
+  std::string Name;
+  uint32_t N = 0;
+  std::vector<std::pair<uint32_t, uint32_t>> Edges;
+};
+
+uint64_t fnv1a(uint64_t H, uint64_t V) {
+  for (int I = 0; I != 8; ++I) {
+    H ^= (V >> (I * 8)) & 0xff;
+    H *= 1099511628211ull;
+  }
+  return H;
+}
+
+double secondsSince(std::chrono::steady_clock::time_point T0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       T0)
+      .count();
+}
+
+/// Interference edges of one generated program, via the production build
+/// path (Liveness + InterferenceGraph), de-duplicated and normalized.
+EdgeList programEdges(const char *Name, uint64_t Seed, unsigned Pressure) {
+  ProgramProfile P;
+  P.Seed = Seed;
+  P.PressureVars = Pressure;
+  P.TopStatements = 18;
+  P.OuterTrip = 2;
+  Function F = generateProgram(Name, P);
+  F.recomputeCFG();
+  Liveness LV = Liveness::compute(F);
+  InterferenceGraph G = InterferenceGraph::build(F, LV);
+  EdgeList E;
+  E.Name = Name;
+  E.N = G.numNodes();
+  for (uint32_t A = 0; A != E.N; ++A)
+    for (RegId B : G.neighbors(A))
+      if (A < B)
+        E.Edges.emplace_back(A, B);
+  return E;
+}
+
+/// Seeded sparse random graph: the scale the per-function graphs cannot
+/// reach, with the allocator-typical low average degree.
+EdgeList syntheticEdges(uint32_t N, uint32_t AvgDeg, uint64_t Seed) {
+  EdgeList E;
+  E.Name = "synthetic";
+  E.N = N;
+  Rng R(Seed);
+  std::set<std::pair<uint32_t, uint32_t>> Seen;
+  uint64_t Target = static_cast<uint64_t>(N) * AvgDeg / 2;
+  while (Seen.size() < Target) {
+    uint32_t A = static_cast<uint32_t>(R.nextBelow(N));
+    uint32_t B = static_cast<uint32_t>(R.nextBelow(N));
+    if (A == B)
+      continue;
+    if (A > B)
+      std::swap(A, B);
+    Seen.insert({A, B});
+  }
+  E.Edges.assign(Seen.begin(), Seen.end());
+  return E;
+}
+
+/// The seed's adjacency layout: hashed edge-key set + per-node hashed
+/// neighbor sets. Built here exactly as the pre-rework InterferenceGraph
+/// did it (uint64 key, insert both directions).
+struct LegacyGraph {
+  std::unordered_set<uint64_t> EdgeKeys;
+  std::vector<std::unordered_set<uint32_t>> Adj;
+  std::vector<unsigned> Deg;
+
+  void build(const EdgeList &E) {
+    EdgeKeys.clear();
+    Adj.assign(E.N, {});
+    Deg.assign(E.N, 0);
+    for (auto [A, B] : E.Edges) {
+      uint64_t Key = (static_cast<uint64_t>(A) << 32) | B;
+      if (!EdgeKeys.insert(Key).second)
+        continue;
+      Adj[A].insert(B);
+      Adj[B].insert(A);
+      ++Deg[A];
+      ++Deg[B];
+    }
+  }
+
+  bool interferes(uint32_t A, uint32_t B) const {
+    if (A > B)
+      std::swap(A, B);
+    return EdgeKeys.count((static_cast<uint64_t>(A) << 32) | B) != 0;
+  }
+};
+
+/// The reworked layout: packed bit rows + degree array, CSR materialized
+/// once after the build (as InterferenceGraph::finalize does).
+struct FlatGraph {
+  BitMatrix Bits;
+  std::vector<unsigned> Deg;
+  std::vector<uint32_t> Off;
+  std::vector<uint32_t> Nbrs;
+
+  void build(const EdgeList &E) {
+    Bits.init(E.N);
+    Deg.assign(E.N, 0);
+    for (auto [A, B] : E.Edges) {
+      if (Bits.test(A, B))
+        continue;
+      Bits.setSym(A, B);
+      ++Deg[A];
+      ++Deg[B];
+    }
+  }
+
+  void finalize(uint32_t N) {
+    Off.assign(N + 1, 0);
+    for (uint32_t I = 0; I != N; ++I)
+      Off[I + 1] = Off[I] + Deg[I];
+    Nbrs.resize(Off[N]);
+    std::vector<uint32_t> Cursor(Off.begin(), Off.end() - 1);
+    for (uint32_t R = 0; R != N; ++R)
+      Bits.forEachInRow(R, [&](uint32_t C) { Nbrs[Cursor[R]++] = C; });
+  }
+
+  bool interferes(uint32_t A, uint32_t B) const { return Bits.test(A, B); }
+};
+
+/// Kernel 1: graph construction — all edges of every workload inserted
+/// into a freshly reset structure. Checksum: degree array.
+uint64_t buildLegacy(const std::vector<EdgeList> &Work, double &Edges) {
+  uint64_t H = 14695981039346656037ull;
+  LegacyGraph G;
+  for (const EdgeList &E : Work) {
+    G.build(E);
+    Edges += static_cast<double>(E.Edges.size());
+    for (unsigned D : G.Deg)
+      H = fnv1a(H, D);
+  }
+  return H;
+}
+
+uint64_t buildFlat(const std::vector<EdgeList> &Work, double &Edges) {
+  uint64_t H = 14695981039346656037ull;
+  FlatGraph G;
+  for (const EdgeList &E : Work) {
+    G.build(E);
+    Edges += static_cast<double>(E.Edges.size());
+    for (unsigned D : G.Deg)
+      H = fnv1a(H, D);
+  }
+  return H;
+}
+
+/// Kernel 2: coalescing-style membership probes — the George/Briggs tests
+/// are adjacency queries over mostly-absent pairs. Checksum: hit count.
+template <typename GraphT>
+uint64_t queryKernel(const GraphT &G, uint32_t N, uint64_t Seed,
+                     uint64_t Probes) {
+  Rng R(Seed);
+  uint64_t Hits = 0;
+  for (uint64_t I = 0; I != Probes; ++I) {
+    uint32_t A = static_cast<uint32_t>(R.nextBelow(N));
+    uint32_t B = static_cast<uint32_t>(R.nextBelow(N));
+    if (A != B && G.interferes(A, B))
+      ++Hits;
+  }
+  return Hits;
+}
+
+/// Kernel 3: the simplify loop — repeatedly take the minimum node from the
+/// low-degree worklist (exactly *worklist.begin()), remove it, decrement
+/// its still-present neighbors, and migrate any neighbor whose degree
+/// drops below K from the high-degree set. Arms share the CSR adjacency;
+/// only the worklist structure differs (std::set vs IndexSet), isolating
+/// the structure the IRC rework swapped. Checksum: pick order.
+uint64_t simplifyLegacy(const FlatGraph &G, uint32_t N, unsigned K,
+                        double &Picks) {
+  std::vector<unsigned> Deg = G.Deg;
+  std::vector<char> Removed(N, 0);
+  std::set<uint32_t> Low, High;
+  for (uint32_t I = 0; I != N; ++I)
+    (Deg[I] < K ? Low : High).insert(I);
+  uint64_t H = 14695981039346656037ull;
+  while (!Low.empty()) {
+    uint32_t Node = *Low.begin();
+    Low.erase(Low.begin());
+    Removed[Node] = 1;
+    H = fnv1a(H, Node);
+    ++Picks;
+    for (uint32_t I = G.Off[Node], E = G.Off[Node + 1]; I != E; ++I) {
+      uint32_t Nb = G.Nbrs[I];
+      if (Removed[Nb])
+        continue;
+      if (Deg[Nb]-- == K) {
+        High.erase(Nb);
+        Low.insert(Nb);
+      }
+    }
+  }
+  for (uint32_t Node : High)
+    H = fnv1a(H, Node); // spill candidates, ascending — same both arms
+  return H;
+}
+
+uint64_t simplifyFlat(const FlatGraph &G, uint32_t N, unsigned K,
+                      double &Picks) {
+  std::vector<unsigned> Deg = G.Deg;
+  std::vector<char> Removed(N, 0);
+  IndexSet Low(N), High(N);
+  for (uint32_t I = 0; I != N; ++I)
+    (Deg[I] < K ? Low : High).insert(I);
+  uint64_t H = 14695981039346656037ull;
+  while (!Low.empty()) {
+    uint32_t Node = Low.first();
+    Low.erase(Node);
+    Removed[Node] = 1;
+    H = fnv1a(H, Node);
+    ++Picks;
+    for (uint32_t I = G.Off[Node], E = G.Off[Node + 1]; I != E; ++I) {
+      uint32_t Nb = G.Nbrs[I];
+      if (Removed[Nb])
+        continue;
+      if (Deg[Nb]-- == K) {
+        High.erase(Nb);
+        Low.insert(Nb);
+      }
+    }
+  }
+  High.forEach([&](uint32_t Node) { H = fnv1a(H, Node); });
+  return H;
+}
+
+/// One kernel's measurements for one arm.
+struct KernelPerf {
+  double Seconds = 0;
+  double Units = 0; // edges inserted / probes / nodes simplified
+  double PerSec() const { return Units / Seconds; }
+};
+
+struct ArmPerf {
+  KernelPerf Build, Query, Simplify;
+};
+
+/// Runs all three kernels for both arms over \p Work; exits the process
+/// on any checksum divergence.
+void measure(const std::vector<EdgeList> &Work, unsigned Reps, unsigned K,
+             ArmPerf &Legacy, ArmPerf &Flat) {
+  // Build kernel.
+  auto T0 = std::chrono::steady_clock::now();
+  uint64_t HL = 0;
+  for (unsigned R = 0; R != Reps; ++R)
+    HL = buildLegacy(Work, Legacy.Build.Units);
+  Legacy.Build.Seconds = secondsSince(T0);
+
+  T0 = std::chrono::steady_clock::now();
+  uint64_t HF = 0;
+  for (unsigned R = 0; R != Reps; ++R)
+    HF = buildFlat(Work, Flat.Build.Units);
+  Flat.Build.Seconds = secondsSince(T0);
+  if (HL != HF) {
+    std::fprintf(stderr, "DIVERGED: build checksums differ\n");
+    std::exit(1);
+  }
+
+  // Prebuild both graph forms once per workload for the other kernels.
+  std::vector<LegacyGraph> LG(Work.size());
+  std::vector<FlatGraph> FG(Work.size());
+  for (size_t I = 0; I != Work.size(); ++I) {
+    LG[I].build(Work[I]);
+    FG[I].build(Work[I]);
+    FG[I].finalize(Work[I].N);
+  }
+
+  // Query kernel: probe count scaled to graph size.
+  const uint64_t ProbesPer = 200000;
+  T0 = std::chrono::steady_clock::now();
+  HL = 0;
+  for (unsigned R = 0; R != Reps; ++R)
+    for (size_t I = 0; I != Work.size(); ++I) {
+      HL = fnv1a(HL, queryKernel(LG[I], Work[I].N, 77 + I, ProbesPer));
+      Legacy.Query.Units += static_cast<double>(ProbesPer);
+    }
+  Legacy.Query.Seconds = secondsSince(T0);
+
+  T0 = std::chrono::steady_clock::now();
+  HF = 0;
+  for (unsigned R = 0; R != Reps; ++R)
+    for (size_t I = 0; I != Work.size(); ++I) {
+      HF = fnv1a(HF, queryKernel(FG[I], Work[I].N, 77 + I, ProbesPer));
+      Flat.Query.Units += static_cast<double>(ProbesPer);
+    }
+  Flat.Query.Seconds = secondsSince(T0);
+  if (HL != HF) {
+    std::fprintf(stderr, "DIVERGED: query checksums differ\n");
+    std::exit(1);
+  }
+
+  // Simplify kernel.
+  T0 = std::chrono::steady_clock::now();
+  HL = 0;
+  for (unsigned R = 0; R != Reps; ++R)
+    for (size_t I = 0; I != Work.size(); ++I)
+      HL = fnv1a(HL, simplifyLegacy(FG[I], Work[I].N, K,
+                                    Legacy.Simplify.Units));
+  Legacy.Simplify.Seconds = secondsSince(T0);
+
+  T0 = std::chrono::steady_clock::now();
+  HF = 0;
+  for (unsigned R = 0; R != Reps; ++R)
+    for (size_t I = 0; I != Work.size(); ++I)
+      HF = fnv1a(HF,
+                 simplifyFlat(FG[I], Work[I].N, K, Flat.Simplify.Units));
+  Flat.Simplify.Seconds = secondsSince(T0);
+  if (HL != HF) {
+    std::fprintf(stderr,
+                 "DIVERGED: simplify pick orders differ (worklist "
+                 "discipline broken)\n");
+    std::exit(1);
+  }
+}
+
+void addGauges(MetricsRegistry &Reg, const ArmPerf &P,
+               const MetricLabels &Labels) {
+  Reg.gauge("alloc.build_edges_per_sec", P.Build.PerSec(), Labels);
+  Reg.gauge("coalesce.adjacency_tests_per_sec", P.Query.PerSec(), Labels);
+  Reg.gauge("alloc.simplify_per_sec", P.Simplify.PerSec(), Labels);
+}
+
+bool writePerfFile(const std::string &Path, const ArmPerf &P) {
+  MetricsRegistry Reg;
+  addGauges(Reg, P, {});
+  std::string Err;
+  if (!Reg.writeJsonFile(Path, &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return false;
+  }
+  std::printf("wrote %s\n", Path.c_str());
+  return true;
+}
+
+void printTable(const ArmPerf &Legacy, const ArmPerf &Flat) {
+  struct Row {
+    const char *Name;
+    const KernelPerf *L, *F;
+  } Rows[] = {
+      {"build (edges/s)", &Legacy.Build, &Flat.Build},
+      {"coalesce query (tests/s)", &Legacy.Query, &Flat.Query},
+      {"simplify (nodes/s)", &Legacy.Simplify, &Flat.Simplify},
+  };
+  std::printf("%-26s %14s %14s %8s\n", "kernel", "legacy", "flat",
+              "speedup");
+  for (const Row &R : Rows)
+    std::printf("%-26s %14.0f %14.0f %7.2fx\n", R.Name, R.L->PerSec(),
+                R.F->PerSec(), R.F->PerSec() / R.L->PerSec());
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string PerfOut;
+  for (int I = 1; I != Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.rfind("--perf-out=", 0) == 0)
+      PerfOut = Arg.substr(std::strlen("--perf-out="));
+    else {
+      std::fprintf(stderr, "usage: bench_alloc_core [--perf-out=DIR]\n");
+      return 2;
+    }
+  }
+
+  std::vector<EdgeList> Work;
+  Work.push_back(programEdges("p_light", 11, 10));
+  Work.push_back(programEdges("p_mid", 29, 20));
+  Work.push_back(programEdges("p_heavy", 47, 32));
+  Work.push_back(syntheticEdges(1024, 24, 123));
+
+  double TotalEdges = 0;
+  for (const EdgeList &E : Work)
+    TotalEdges += static_cast<double>(E.Edges.size());
+  std::printf("allocator core kernels: %zu graph(s), %.0f edge(s) total, "
+              "both arms checksum-verified\n\n",
+              Work.size(), TotalEdges);
+
+  ArmPerf Legacy, Flat;
+  measure(Work, /*Reps=*/40, /*K=*/8, Legacy, Flat);
+  printTable(Legacy, Flat);
+
+  if (!PerfOut.empty()) {
+    namespace fs = std::filesystem;
+    std::error_code EC;
+    fs::create_directories(PerfOut, EC);
+    if (!writePerfFile(
+            (fs::path(PerfOut) / "alloc_perf_legacy.json").string(),
+            Legacy) ||
+        !writePerfFile(
+            (fs::path(PerfOut) / "alloc_perf_flat.json").string(), Flat))
+      return 1;
+    return 0;
+  }
+
+  MetricsRegistry Reg;
+  addGauges(Reg, Legacy, {{"arm", "legacy"}});
+  addGauges(Reg, Flat, {{"arm", "flat"}});
+  std::string Err;
+  if (!Reg.writeJsonFile("BENCH_alloc.json", &Err)) {
+    std::fprintf(stderr, "error: %s\n", Err.c_str());
+    return 1;
+  }
+  std::printf("\nwrote BENCH_alloc.json\n");
+  return 0;
+}

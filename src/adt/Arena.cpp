@@ -1,0 +1,36 @@
+//===- adt/Arena.cpp - Chunked bump allocator -----------------------------===//
+
+#include "adt/Arena.h"
+
+#include <algorithm>
+
+using namespace dra;
+
+void Arena::addChunk(size_t MinBytes) {
+  // Doubling schedule starting at FirstChunkBytes; one oversized request
+  // gets its own exact chunk.
+  size_t Size = Chunks.empty() ? FirstChunkBytes : Chunks.back().Size * 2;
+  Size = std::max(Size, MinBytes);
+  Chunk C;
+  C.Mem = std::make_unique<char[]>(Size);
+  C.Size = Size;
+  Cur = C.Mem.get();
+  End = Cur + Size;
+  Reserved += Size;
+  Chunks.push_back(std::move(C));
+}
+
+void Arena::reset() {
+  if (Chunks.size() > 1) {
+    // Coalesce to a single chunk at the high-water mark so the next round
+    // bump-allocates the whole working set from one contiguous block.
+    size_t Total = Reserved;
+    Chunks.clear();
+    Reserved = 0;
+    addChunk(Total);
+  } else if (!Chunks.empty()) {
+    Cur = Chunks.back().Mem.get();
+    End = Cur + Chunks.back().Size;
+  }
+  Used = 0;
+}

@@ -1,0 +1,105 @@
+//===- adt/Arena.h - Chunked bump allocator ----------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A chunked bump allocator for the allocator hot core. One Arena lives for
+/// one pipeline run (or one allocateGraphColoring call); the per-round data
+/// structures — interference bit rows, CSR adjacency, worklist membership
+/// words — carve their storage out of it and are freed wholesale by
+/// reset(). reset() keeps the high-water-mark capacity, so in steady state
+/// (spill rounds, batch compilation re-using a pipeline) no round after the
+/// first touches the global heap.
+///
+/// Allocation is pointer-bump only: no per-object headers, no individual
+/// deallocation, trivially-destructible element types only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ADT_ARENA_H
+#define DRA_ADT_ARENA_H
+
+#include <cassert>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <type_traits>
+#include <vector>
+
+namespace dra {
+
+/// Bump allocator over malloc'd chunks; see file comment.
+class Arena {
+public:
+  explicit Arena(size_t FirstChunkBytes = 64 * 1024)
+      : FirstChunkBytes(FirstChunkBytes) {}
+
+  Arena(const Arena &) = delete;
+  Arena &operator=(const Arena &) = delete;
+
+  /// Returns \p Bytes of storage aligned to \p Align (a power of two).
+  void *allocate(size_t Bytes, size_t Align);
+
+  /// Typed array of \p N elements, uninitialized. T must be trivially
+  /// destructible (nothing ever runs destructors).
+  template <typename T> T *allocArray(size_t N) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena never runs destructors");
+    return static_cast<T *>(allocate(N * sizeof(T), alignof(T)));
+  }
+
+  /// Typed array of \p N elements, zero-filled.
+  template <typename T> T *allocZeroedArray(size_t N) {
+    T *P = allocArray<T>(N);
+    std::memset(static_cast<void *>(P), 0, N * sizeof(T));
+    return P;
+  }
+
+  /// Frees everything allocated so far in O(chunks); capacity is retained
+  /// (coalesced into one chunk at the high-water mark), so subsequent
+  /// allocation of the same working set is heap-free.
+  void reset();
+
+  /// Bytes handed out since construction/reset.
+  size_t bytesUsed() const { return Used; }
+
+  /// Total chunk capacity currently held.
+  size_t bytesReserved() const { return Reserved; }
+
+private:
+  struct Chunk {
+    std::unique_ptr<char[]> Mem;
+    size_t Size = 0;
+  };
+
+  void addChunk(size_t MinBytes);
+
+  std::vector<Chunk> Chunks;
+  char *Cur = nullptr;  // bump pointer inside Chunks.back()
+  char *End = nullptr;  // end of Chunks.back()
+  size_t Used = 0;      // bytes handed out (aligned)
+  size_t Reserved = 0;  // sum of chunk sizes
+  size_t FirstChunkBytes;
+};
+
+inline void *Arena::allocate(size_t Bytes, size_t Align) {
+  assert((Align & (Align - 1)) == 0 && "alignment must be a power of two");
+  uintptr_t P = reinterpret_cast<uintptr_t>(Cur);
+  uintptr_t Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+  if (Cur == nullptr ||
+      Aligned + Bytes > reinterpret_cast<uintptr_t>(End)) {
+    addChunk(Bytes + Align);
+    P = reinterpret_cast<uintptr_t>(Cur);
+    Aligned = (P + Align - 1) & ~uintptr_t(Align - 1);
+  }
+  Cur = reinterpret_cast<char *>(Aligned + Bytes);
+  Used += (Aligned + Bytes) - P;
+  return reinterpret_cast<void *>(Aligned);
+}
+
+} // namespace dra
+
+#endif // DRA_ADT_ARENA_H

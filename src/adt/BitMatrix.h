@@ -1,0 +1,117 @@
+//===- adt/BitMatrix.h - Packed square bit matrix ----------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A packed N x N bit matrix — (N+63)/64 64-bit words per row — used for
+/// constant-time interference-edge membership in the allocator hot core
+/// (the structlang BitsetLen/IsBitSet idiom from the related repos).
+/// Storage comes from an Arena (one zeroed slab, freed wholesale) or an
+/// owned vector. setSym/testSym maintain the symmetric (undirected-edge)
+/// view the interference graph needs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ADT_BITMATRIX_H
+#define DRA_ADT_BITMATRIX_H
+
+#include "adt/Arena.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dra {
+
+/// Packed square bit matrix; see file comment.
+class BitMatrix {
+public:
+  BitMatrix() = default;
+
+  /// Heap-backed N x N matrix, all zero.
+  explicit BitMatrix(uint32_t N) { init(N); }
+
+  /// Arena-backed N x N matrix, all zero; \p A must outlive the matrix.
+  BitMatrix(Arena &A, uint32_t N) { init(A, N); }
+
+  BitMatrix(const BitMatrix &) = delete;
+  BitMatrix &operator=(const BitMatrix &) = delete;
+  BitMatrix(BitMatrix &&) = default;
+  BitMatrix &operator=(BitMatrix &&) = default;
+
+  void init(uint32_t NewN) {
+    N = NewN;
+    WordsPerRow = (N + 63) / 64;
+    Own.assign(static_cast<size_t>(N) * WordsPerRow, 0);
+    Words = Own.data();
+  }
+
+  void init(Arena &A, uint32_t NewN) {
+    N = NewN;
+    WordsPerRow = (N + 63) / 64;
+    Words = A.allocZeroedArray<uint64_t>(static_cast<size_t>(N) *
+                                         WordsPerRow);
+  }
+
+  uint32_t size() const { return N; }
+
+  bool test(uint32_t R, uint32_t C) const {
+    assert(R < N && C < N && "bit matrix index out of range");
+    return (row(R)[C >> 6] >> (C & 63)) & 1;
+  }
+
+  void set(uint32_t R, uint32_t C) {
+    assert(R < N && C < N && "bit matrix index out of range");
+    row(R)[C >> 6] |= uint64_t(1) << (C & 63);
+  }
+
+  /// Sets both (R, C) and (C, R).
+  void setSym(uint32_t R, uint32_t C) {
+    set(R, C);
+    set(C, R);
+  }
+
+  /// Row \p R as (N+63)/64 packed words (low bit of word 0 = column 0).
+  const uint64_t *row(uint32_t R) const {
+    return Words + static_cast<size_t>(R) * WordsPerRow;
+  }
+  uint64_t *row(uint32_t R) {
+    return Words + static_cast<size_t>(R) * WordsPerRow;
+  }
+
+  uint32_t wordsPerRow() const { return WordsPerRow; }
+
+  /// Number of set bits in row \p R.
+  uint32_t rowCount(uint32_t R) const {
+    const uint64_t *W = row(R);
+    uint32_t Total = 0;
+    for (uint32_t I = 0; I != WordsPerRow; ++I)
+      Total += static_cast<uint32_t>(__builtin_popcountll(W[I]));
+    return Total;
+  }
+
+  /// Calls \p Fn(col) for every set column of row \p R, ascending.
+  template <typename FnT> void forEachInRow(uint32_t R, FnT Fn) const {
+    const uint64_t *W = row(R);
+    for (uint32_t I = 0; I != WordsPerRow; ++I) {
+      uint64_t Word = W[I];
+      while (Word) {
+        uint32_t Bit = static_cast<uint32_t>(__builtin_ctzll(Word));
+        Fn((I << 6) + Bit);
+        Word &= Word - 1;
+      }
+    }
+  }
+
+private:
+  uint64_t *Words = nullptr;
+  uint32_t N = 0;
+  uint32_t WordsPerRow = 0;
+  std::vector<uint64_t> Own; // backing store when not arena-allocated
+};
+
+} // namespace dra
+
+#endif // DRA_ADT_BITMATRIX_H

@@ -91,6 +91,12 @@ public:
   /// Collects the set bits into a vector (ascending).
   std::vector<uint32_t> toVector() const;
 
+  /// Raw packed-word access for word-parallel algorithms (liveness
+  /// fixpoint). Writers must keep the padding bits past size() zero.
+  uint64_t *words() { return Words.data(); }
+  const uint64_t *words() const { return Words.data(); }
+  size_t numWords() const { return Words.size(); }
+
 private:
   size_t NumBits = 0;
   std::vector<uint64_t> Words;

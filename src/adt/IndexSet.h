@@ -1,0 +1,136 @@
+//===- adt/IndexSet.h - Dense ordered index set ------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ordered set over a fixed universe [0, N), backed by packed 64-bit
+/// membership words (optionally carved from an Arena). Replaces the
+/// std::set<RegId> worklists of the IRC core: first() is the minimum
+/// element (exactly std::set::begin()), iteration is ascending by index,
+/// and insert/erase/contains are O(1) word operations — so the allocator's
+/// worklist discipline stays bit-identical while dropping the red-black
+/// tree traffic from the hottest loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_ADT_INDEXSET_H
+#define DRA_ADT_INDEXSET_H
+
+#include "adt/Arena.h"
+
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace dra {
+
+/// Dense ordered set of indices < universe(); see file comment.
+class IndexSet {
+public:
+  static constexpr uint32_t npos = ~uint32_t(0);
+
+  IndexSet() = default;
+
+  /// Heap-backed set over [0, N).
+  explicit IndexSet(uint32_t N) { init(N); }
+
+  /// Arena-backed set over [0, N); \p A must outlive the set.
+  IndexSet(Arena &A, uint32_t N) { init(A, N); }
+
+  // Copying would alias or dangle the heap-backed Words pointer; moves
+  // keep it valid (std::vector moves preserve the buffer address).
+  IndexSet(const IndexSet &) = delete;
+  IndexSet &operator=(const IndexSet &) = delete;
+  IndexSet(IndexSet &&) = default;
+  IndexSet &operator=(IndexSet &&) = default;
+
+  void init(uint32_t N) {
+    NumBits = N;
+    Own.assign(numWords(), 0);
+    Words = Own.data();
+    Count = 0;
+  }
+
+  void init(Arena &A, uint32_t N) {
+    NumBits = N;
+    Words = A.allocZeroedArray<uint64_t>(numWords());
+    Count = 0;
+  }
+
+  uint32_t universe() const { return NumBits; }
+  uint32_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  bool contains(uint32_t I) const {
+    assert(I < NumBits && "index out of universe");
+    return (Words[I >> 6] >> (I & 63)) & 1;
+  }
+
+  /// Inserts \p I; returns true if it was not already present.
+  bool insert(uint32_t I) {
+    assert(I < NumBits && "index out of universe");
+    uint64_t &W = Words[I >> 6];
+    uint64_t Bit = uint64_t(1) << (I & 63);
+    if (W & Bit)
+      return false;
+    W |= Bit;
+    ++Count;
+    return true;
+  }
+
+  /// Erases \p I; returns true if it was present.
+  bool erase(uint32_t I) {
+    assert(I < NumBits && "index out of universe");
+    uint64_t &W = Words[I >> 6];
+    uint64_t Bit = uint64_t(1) << (I & 63);
+    if (!(W & Bit))
+      return false;
+    W &= ~Bit;
+    --Count;
+    return true;
+  }
+
+  void clear() {
+    for (uint32_t W = 0, E = numWords(); W != E; ++W)
+      Words[W] = 0;
+    Count = 0;
+  }
+
+  /// Minimum element (== *std::set::begin()), or npos when empty.
+  uint32_t first() const { return Count == 0 ? npos : findNext(0); }
+
+  /// First member >= \p From, or npos.
+  uint32_t findNext(uint32_t From) const {
+    if (From >= NumBits)
+      return npos;
+    uint32_t WordIdx = From >> 6;
+    uint64_t W = Words[WordIdx] >> (From & 63);
+    if (W)
+      return From + static_cast<uint32_t>(__builtin_ctzll(W));
+    for (uint32_t E = numWords(); ++WordIdx < E;)
+      if (Words[WordIdx])
+        return (WordIdx << 6) +
+               static_cast<uint32_t>(__builtin_ctzll(Words[WordIdx]));
+    return npos;
+  }
+
+  /// Calls \p Fn(i) for every member, ascending.
+  template <typename FnT> void forEach(FnT Fn) const {
+    for (uint32_t I = first(); I != npos; I = findNext(I + 1))
+      Fn(I);
+  }
+
+private:
+  uint32_t numWords() const { return (NumBits + 63) / 64; }
+
+  uint64_t *Words = nullptr;
+  uint32_t NumBits = 0;
+  uint32_t Count = 0;
+  std::vector<uint64_t> Own; // backing store when not arena-allocated
+};
+
+} // namespace dra
+
+#endif // DRA_ADT_INDEXSET_H

@@ -2,27 +2,49 @@
 
 #include "analysis/Liveness.h"
 
+#include "adt/Arena.h"
+
 using namespace dra;
 
-Liveness Liveness::compute(const Function &F) {
+Liveness Liveness::compute(const Function &F, Arena *Scratch) {
   size_t NumBlocks = F.Blocks.size();
   size_t NumRegs = F.NumRegs;
+  size_t WPB = (NumRegs + 63) / 64; // words per register set
 
-  // Per-block gen (upward-exposed uses) and kill (defs).
-  std::vector<BitVector> Gen(NumBlocks), Kill(NumBlocks);
+  // Transient per-block gen (upward-exposed uses) and kill (defs) sets,
+  // plus one temp row, as flat word arrays: one allocation (or one arena
+  // carve) instead of 2*NumBlocks+1 BitVectors.
+  size_t ScratchWords = (2 * NumBlocks + 1) * WPB;
+  std::vector<uint64_t> Own;
+  uint64_t *Flat;
+  if (Scratch) {
+    Flat = Scratch->allocZeroedArray<uint64_t>(ScratchWords);
+  } else {
+    Own.assign(ScratchWords, 0);
+    Flat = Own.data();
+  }
+  auto GenRow = [&](size_t B) { return Flat + B * WPB; };
+  auto KillRow = [&](size_t B) { return Flat + (NumBlocks + B) * WPB; };
+  uint64_t *Tmp = Flat + 2 * NumBlocks * WPB;
+  auto TestBit = [](const uint64_t *Row, size_t I) {
+    return (Row[I / 64] >> (I % 64)) & 1;
+  };
+  auto SetBit = [](uint64_t *Row, size_t I) {
+    Row[I / 64] |= uint64_t(1) << (I % 64);
+  };
+
   for (size_t B = 0; B != NumBlocks; ++B) {
-    Gen[B].resize(NumRegs);
-    Kill[B].resize(NumRegs);
+    uint64_t *Gen = GenRow(B), *Kill = KillRow(B);
     for (const Instruction &I : F.Blocks[B].Insts) {
       RegId Uses[2];
       unsigned NumUses;
       I.uses(Uses, NumUses);
       for (unsigned U = 0; U != NumUses; ++U)
-        if (!Kill[B].test(Uses[U]))
-          Gen[B].set(Uses[U]);
+        if (!TestBit(Kill, Uses[U]))
+          SetBit(Gen, Uses[U]);
       RegId Def = I.def();
       if (Def != NoReg)
-        Kill[B].set(Def);
+        SetBit(Kill, Def);
     }
   }
 
@@ -31,22 +53,33 @@ Liveness Liveness::compute(const Function &F) {
   Result.LiveOut.assign(NumBlocks, BitVector(NumRegs));
 
   // Round-robin fixpoint in reverse layout order (good enough for the
-  // mostly-reducible CFGs the generators emit).
+  // mostly-reducible CFGs the generators emit), word-parallel:
+  //   LiveOut = union of successors' LiveIn
+  //   LiveIn  = Gen | (LiveOut - Kill)
   bool Changed = true;
-  BitVector Tmp;
   while (Changed) {
     Changed = false;
     for (size_t B = NumBlocks; B > 0; --B) {
       size_t Block = B - 1;
-      // LiveOut = union of successors' LiveIn.
-      for (uint32_t Succ : F.Blocks[Block].Succs)
-        Changed |= Result.LiveOut[Block].unionWith(Result.LiveIn[Succ]);
-      // LiveIn = Gen | (LiveOut - Kill).
-      Tmp = Result.LiveOut[Block];
-      Tmp.subtract(Kill[Block]);
-      Tmp.unionWith(Gen[Block]);
-      if (!(Tmp == Result.LiveIn[Block])) {
-        Result.LiveIn[Block] = Tmp;
+      uint64_t *Out = Result.LiveOut[Block].words();
+      for (uint32_t Succ : F.Blocks[Block].Succs) {
+        const uint64_t *SuccIn = Result.LiveIn[Succ].words();
+        for (size_t W = 0; W != WPB; ++W) {
+          uint64_t New = Out[W] | SuccIn[W];
+          Changed |= New != Out[W];
+          Out[W] = New;
+        }
+      }
+      uint64_t *In = Result.LiveIn[Block].words();
+      const uint64_t *Gen = GenRow(Block), *Kill = KillRow(Block);
+      bool InChanged = false;
+      for (size_t W = 0; W != WPB; ++W) {
+        Tmp[W] = Gen[W] | (Out[W] & ~Kill[W]);
+        InChanged |= Tmp[W] != In[W];
+      }
+      if (InChanged) {
+        for (size_t W = 0; W != WPB; ++W)
+          In[W] = Tmp[W];
         Changed = true;
       }
     }

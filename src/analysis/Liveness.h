@@ -22,12 +22,17 @@
 
 namespace dra {
 
+class Arena;
+
 /// Per-block live-in/live-out sets, plus per-block def/use summaries.
 class Liveness {
 public:
   /// Runs the fixpoint. \p F must have an up-to-date CFG
-  /// (Function::recomputeCFG()).
-  static Liveness compute(const Function &F);
+  /// (Function::recomputeCFG()). When \p Scratch is non-null, the
+  /// transient gen/kill/temp word arrays of the fixpoint are carved from
+  /// it instead of the heap (the LiveIn/LiveOut results still own their
+  /// storage, so they may outlive the arena).
+  static Liveness compute(const Function &F, Arena *Scratch = nullptr);
 
   const BitVector &liveIn(uint32_t Block) const { return LiveIn[Block]; }
   const BitVector &liveOut(uint32_t Block) const { return LiveOut[Block]; }

@@ -6,27 +6,50 @@
 
 using namespace dra;
 
+AdjacencyGraph::HalfEdge *AdjacencyGraph::findLive(std::vector<HalfEdge> &List,
+                                                   RegId Node) {
+  for (HalfEdge &E : List)
+    if (E.Live && E.Node == Node)
+      return &E;
+  return nullptr;
+}
+
+void AdjacencyGraph::killHalf(std::vector<HalfEdge> &List, RegId Node) {
+  for (HalfEdge &E : List)
+    if (E.Live && E.Node == Node) {
+      E.Live = false;
+      return;
+    }
+}
+
 void AdjacencyGraph::addWeight(RegId From, RegId To, double W) {
   if (From == To || W == 0)
     return;
   assert(From < NumNodes && To < NumNodes && "node out of range");
-  auto [It, Inserted] = Weights.try_emplace(key(From, To), 0.0);
-  It->second += W;
-  if (Inserted) {
-    OutNbrs[From].push_back(To);
-    InNbrs[To].push_back(From);
+  if (HalfEdge *OutE = findLive(Out[From], To)) {
+    OutE->W += W;
+    HalfEdge *InE = findLive(In[To], From);
+    assert(InE && "out/in half-edge lists out of sync");
+    InE->W = OutE->W;
+    return;
   }
+  Out[From].push_back({To, true, W});
+  In[To].push_back({From, true, W});
 }
 
 double AdjacencyGraph::weight(RegId From, RegId To) const {
-  auto It = Weights.find(key(From, To));
-  return It == Weights.end() ? 0.0 : It->second;
+  for (const HalfEdge &E : Out[From])
+    if (E.Live && E.Node == To)
+      return E.W;
+  return 0.0;
 }
 
 double AdjacencyGraph::totalWeight() const {
   double Total = 0;
-  for (const auto &[Key, W] : Weights)
-    Total += W;
+  for (RegId From = 0; From != NumNodes; ++From)
+    for (const HalfEdge &E : Out[From])
+      if (E.Live)
+        Total += E.W;
   return Total;
 }
 
@@ -34,14 +57,19 @@ double AdjacencyGraph::cost(const std::vector<RegId> &RegNoOf,
                             const EncodingConfig &C) const {
   assert(RegNoOf.size() >= NumNodes && "assignment too small");
   double Total = 0;
-  for (const auto &[Key, W] : Weights) {
-    RegId From = static_cast<RegId>(Key >> 32);
-    RegId To = static_cast<RegId>(Key & 0xffffffff);
-    RegId FromNo = RegNoOf[From], ToNo = RegNoOf[To];
-    if (FromNo == NoReg || ToNo == NoReg)
+  for (RegId From = 0; From != NumNodes; ++From) {
+    RegId FromNo = RegNoOf[From];
+    if (FromNo == NoReg)
       continue;
-    if (FromNo != ToNo && !C.encodable(FromNo, ToNo))
-      Total += W;
+    for (const HalfEdge &E : Out[From]) {
+      if (!E.Live)
+        continue;
+      RegId ToNo = RegNoOf[E.Node];
+      if (ToNo == NoReg)
+        continue;
+      if (FromNo != ToNo && !C.encodable(FromNo, ToNo))
+        Total += E.W;
+    }
   }
   return Total;
 }
@@ -55,26 +83,32 @@ double AdjacencyGraph::identityCost(const EncodingConfig &C) const {
 
 void AdjacencyGraph::mergeInto(RegId From, RegId To) {
   assert(From != To && From < NumNodes && To < NumNodes && "bad merge");
-  for (RegId X : OutNbrs[From]) {
-    auto It = Weights.find(key(From, X));
-    if (It == Weights.end())
+  // Index-based walks: addWeight may grow other nodes' lists, but never
+  // From's (self edges are excluded), so Out[From]/In[From] are stable.
+  for (size_t I = 0, E = Out[From].size(); I != E; ++I) {
+    HalfEdge &Half = Out[From][I];
+    if (!Half.Live)
       continue;
-    double W = It->second;
-    Weights.erase(It);
+    RegId X = Half.Node;
+    double W = Half.W;
+    Half.Live = false;
+    killHalf(In[X], From);
     if (X != To)
       addWeight(To, X, W);
   }
-  for (RegId X : InNbrs[From]) {
-    auto It = Weights.find(key(X, From));
-    if (It == Weights.end())
+  for (size_t I = 0, E = In[From].size(); I != E; ++I) {
+    HalfEdge &Half = In[From][I];
+    if (!Half.Live)
       continue;
-    double W = It->second;
-    Weights.erase(It);
+    RegId X = Half.Node;
+    double W = Half.W;
+    Half.Live = false;
+    killHalf(Out[X], From);
     if (X != To)
       addWeight(X, To, W);
   }
-  OutNbrs[From].clear();
-  InNbrs[From].clear();
+  Out[From].clear();
+  In[From].clear();
 }
 
 AdjacencyGraph AdjacencyGraph::build(const Function &F,

@@ -18,6 +18,12 @@
 /// edge weights violating condition (3):
 ///     0 <= (reg_no(vj) - reg_no(vi)) mod RegN < DiffN.
 ///
+/// Storage is flat per-node half-edge lists (weight carried on both the
+/// out- and in-side), kept in first-insertion order; mergeInto tombstones
+/// dead entries in place. No hashing on any path; per-edge accumulation
+/// order — and with it every weight's exact floating-point value — matches
+/// the program order of addWeight calls.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRA_CORE_ADJACENCYGRAPH_H
@@ -27,7 +33,6 @@
 #include "core/EncodingConfig.h"
 #include "ir/Function.h"
 
-#include <unordered_map>
 #include <vector>
 
 namespace dra {
@@ -56,9 +61,8 @@ public:
 
   void reset(uint32_t NewNumNodes) {
     NumNodes = NewNumNodes;
-    Weights.clear();
-    OutNbrs.assign(NumNodes, {});
-    InNbrs.assign(NumNodes, {});
+    Out.assign(NumNodes, {});
+    In.assign(NumNodes, {});
   }
 
   uint32_t numNodes() const { return NumNodes; }
@@ -69,22 +73,20 @@ public:
   /// Weight of edge From -> To (0 when absent).
   double weight(RegId From, RegId To) const;
 
-  /// Invokes \p Fn(To, Weight) for every outgoing edge of \p N.
+  /// Invokes \p Fn(To, Weight) for every outgoing edge of \p N, in
+  /// first-insertion order.
   template <typename FnT> void forEachOut(RegId N, FnT Fn) const {
-    for (RegId To : OutNbrs[N]) {
-      auto It = Weights.find(key(N, To));
-      if (It != Weights.end())
-        Fn(To, It->second);
-    }
+    for (const HalfEdge &E : Out[N])
+      if (E.Live)
+        Fn(E.Node, E.W);
   }
 
-  /// Invokes \p Fn(From, Weight) for every incoming edge of \p N.
+  /// Invokes \p Fn(From, Weight) for every incoming edge of \p N, in
+  /// first-insertion order.
   template <typename FnT> void forEachIn(RegId N, FnT Fn) const {
-    for (RegId From : InNbrs[N]) {
-      auto It = Weights.find(key(From, N));
-      if (It != Weights.end())
-        Fn(From, It->second);
-    }
+    for (const HalfEdge &E : In[N])
+      if (E.Live)
+        Fn(E.Node, E.W);
   }
 
   /// Sum of all edge weights.
@@ -105,16 +107,20 @@ public:
   void mergeInto(RegId From, RegId To);
 
 private:
-  uint32_t NumNodes = 0;
-  std::unordered_map<uint64_t, double> Weights;
-  /// Neighbor id lists (deduplicated on insertion; entries whose edge was
-  /// removed by mergeInto are skipped via the Weights lookup).
-  std::vector<std::vector<RegId>> OutNbrs;
-  std::vector<std::vector<RegId>> InNbrs;
+  /// One direction of an edge; the weight is duplicated on the out- and
+  /// in-side so both iteration directions are a single linear walk.
+  struct HalfEdge {
+    RegId Node;  // other endpoint
+    bool Live;   // false once mergeInto removed the edge
+    double W;
+  };
 
-  static uint64_t key(RegId From, RegId To) {
-    return (static_cast<uint64_t>(From) << 32) | To;
-  }
+  uint32_t NumNodes = 0;
+  std::vector<std::vector<HalfEdge>> Out; // Out[From] -> {To, W}
+  std::vector<std::vector<HalfEdge>> In;  // In[To] -> {From, W}
+
+  HalfEdge *findLive(std::vector<HalfEdge> &List, RegId Node);
+  void killHalf(std::vector<HalfEdge> &List, RegId Node);
 };
 
 } // namespace dra

@@ -23,7 +23,8 @@ namespace {
 /// groups are represented by their union-find root.
 class MergedGraph {
 public:
-  MergedGraph(const Function &F, const EncodingConfig &C) {
+  MergedGraph(const Function &F, const EncodingConfig &C,
+              Arena *Scratch = nullptr) {
     NumVRegs = F.NumRegs;
     Parent.resize(NumVRegs);
     for (RegId R = 0; R != NumVRegs; ++R)
@@ -32,12 +33,12 @@ public:
     for (RegId R = 0; R != NumVRegs; ++R)
       Members[R].push_back(R);
 
-    Liveness LV = Liveness::compute(F);
-    InterferenceGraph IG = InterferenceGraph::build(F, LV);
+    Liveness LV = Liveness::compute(F, Scratch);
+    InterferenceGraph IG = InterferenceGraph::build(F, LV, Scratch);
     Adj.assign(NumVRegs, {});
     for (RegId N = 0; N != NumVRegs; ++N) {
-      Adj[N] = IG.neighbors(N);
-      std::sort(Adj[N].begin(), Adj[N].end());
+      InterferenceGraph::NeighborRange R = IG.neighbors(N);
+      Adj[N].assign(R.begin(), R.end()); // already sorted ascending
     }
     AG = AdjacencyGraph::build(F, C, WeightMode::Frequency);
 
@@ -262,7 +263,8 @@ ColorOutcome colorMerged(const MergedGraph &G, const EncodingConfig &C,
 
 CoalesceResult dra::coalesceAndColor(Function &F, const EncodingConfig &C,
                                      const CoalesceOptions &O,
-                                     std::vector<StageSpan> *SubSpans) {
+                                     std::vector<StageSpan> *SubSpans,
+                                     Arena *Scratch) {
   CoalesceResult Result;
   unsigned K = C.RegN;
   assert(C.valid() && "invalid encoding configuration");
@@ -273,7 +275,7 @@ CoalesceResult dra::coalesceAndColor(Function &F, const EncodingConfig &C,
   for (;;) {
     ScopedSpan RoundSpan(SubSpans, "coalesce.round");
     F.recomputeCFG();
-    MergedGraph G(F, C);
+    MergedGraph G(F, C, Scratch);
 
     // Greedy best-first coalescing with undo-by-probing (Figure 9): each
     // step probes candidates on a copy of the merged graph and commits the

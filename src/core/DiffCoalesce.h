@@ -34,6 +34,8 @@
 
 namespace dra {
 
+class Arena;
+
 /// Knobs for the coalesce/color driver.
 struct CoalesceOptions {
   /// Include differential-encoding cost in the coalescing objective and
@@ -83,9 +85,13 @@ struct CoalesceResult {
 ///
 /// When \p SubSpans is non-null, one Depth-1 "coalesce.round" span is
 /// recorded per coalesce/color (restart) round (null = no clock reads).
+/// With \p Scratch, per-round graph-build scratch (liveness worklists,
+/// interference bit rows) is carved from the arena instead of the heap;
+/// the arena must outlive the call.
 CoalesceResult coalesceAndColor(Function &F, const EncodingConfig &C,
                                 const CoalesceOptions &O = {},
-                                std::vector<StageSpan> *SubSpans = nullptr);
+                                std::vector<StageSpan> *SubSpans = nullptr,
+                                Arena *Scratch = nullptr);
 
 } // namespace dra
 

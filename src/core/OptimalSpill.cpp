@@ -28,7 +28,8 @@ uint64_t liveSetHash(const std::vector<uint32_t> &Regs) {
 
 OptimalSpillResult dra::optimalSpill(Function &F, unsigned K,
                                      uint64_t NodeBudget,
-                                     std::vector<StageSpan> *SubSpans) {
+                                     std::vector<StageSpan> *SubSpans,
+                                     Arena *Scratch) {
   OptimalSpillResult Result;
   std::vector<uint8_t> IsSpillTemp(F.NumRegs, 0);
 
@@ -37,7 +38,7 @@ OptimalSpillResult dra::optimalSpill(Function &F, unsigned K,
     ScopedSpan RoundSpan(SubSpans, "ospill.round");
     ++Result.Rounds;
     F.recomputeCFG();
-    Liveness LV = Liveness::compute(F);
+    Liveness LV = Liveness::compute(F, Scratch);
     LoopInfo LI = LoopInfo::compute(F);
 
     // Frequency-weighted spill cost of every virtual register.

@@ -31,6 +31,8 @@
 
 namespace dra {
 
+class Arena;
+
 /// Outcome of the spill stage.
 struct OptimalSpillResult {
   /// Live ranges sent to memory.
@@ -51,10 +53,13 @@ struct OptimalSpillResult {
 /// cost per round via the covering ILP.
 ///
 /// When \p SubSpans is non-null, one Depth-1 "ospill.round" span is
-/// recorded per refinement round (null = no clock reads).
+/// recorded per refinement round (null = no clock reads). With \p Scratch,
+/// per-round analysis scratch (liveness worklists) is carved from the
+/// arena instead of the heap; the arena must outlive the call.
 OptimalSpillResult optimalSpill(Function &F, unsigned K,
                                 uint64_t NodeBudget = 20000,
-                                std::vector<StageSpan> *SubSpans = nullptr);
+                                std::vector<StageSpan> *SubSpans = nullptr,
+                                Arena *Scratch = nullptr);
 
 } // namespace dra
 

@@ -2,6 +2,7 @@
 
 #include "core/Pipeline.h"
 
+#include "adt/Arena.h"
 #include "analysis/LoopInfo.h"
 #include "core/DiffSelectHook.h"
 #include "core/OperandSwap.h"
@@ -82,6 +83,11 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   PipelineResult R;
   R.F = Src;
 
+  // One bump arena per pipeline run: every stage's graph-build scratch
+  // (liveness worklists, interference bit rows) is carved from it and
+  // released wholesale when the run ends.
+  Arena RunArena;
+
   switch (C.S) {
   case Scheme::Baseline: {
     StageTimer T(R, "alloc");
@@ -92,13 +98,14 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   case Scheme::OSpill: {
     {
       StageTimer T(R, "ospill");
-      R.OSpill = optimalSpill(R.F, C.BaselineK, C.ILPNodeBudget, &R.Spans);
+      R.OSpill = optimalSpill(R.F, C.BaselineK, C.ILPNodeBudget, &R.Spans,
+                              &RunArena);
     }
     StageTimer T(R, "coalesce");
     CoalesceOptions CO = C.Coalesce;
     CO.DiffAware = false;
     R.Coalesce = coalesceAndColor(R.F, directConfig(C.BaselineK), CO,
-                                  &R.Spans);
+                                  &R.Spans, &RunArena);
     break;
   }
   case Scheme::Remap: {
@@ -127,7 +134,7 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
     // remapping post-pass of Section 3.
     {
       StageTimer T(R, "recolor");
-      R.Recolor = recolorColoring(R.F, C.Enc, ColorOf);
+      R.Recolor = recolorColoring(R.F, C.Enc, ColorOf, {}, &RunArena);
       rewriteToPhysical(R.F, ColorOf, C.Enc.RegN, &R.Alloc.MovesRemoved);
       R.F.NumRegs = C.Enc.RegN;
     }
@@ -141,13 +148,14 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
   case Scheme::Coalesce: {
     {
       StageTimer T(R, "ospill");
-      R.OSpill = optimalSpill(R.F, C.Enc.RegN, C.ILPNodeBudget, &R.Spans);
+      R.OSpill = optimalSpill(R.F, C.Enc.RegN, C.ILPNodeBudget, &R.Spans,
+                              &RunArena);
     }
     {
       StageTimer T(R, "coalesce");
       CoalesceOptions CO = C.Coalesce;
       CO.DiffAware = true;
-      R.Coalesce = coalesceAndColor(R.F, C.Enc, CO, &R.Spans);
+      R.Coalesce = coalesceAndColor(R.F, C.Enc, CO, &R.Spans, &RunArena);
     }
     if (C.RemapPostPass) {
       StageTimer T(R, "remap");

@@ -37,14 +37,15 @@ private:
 
 RecolorStats dra::recolorColoring(const Function &F, const EncodingConfig &C,
                                   std::vector<RegId> &ColorOf,
-                                  const RecolorOptions &O) {
+                                  const RecolorOptions &O,
+                                  Arena *Scratch) {
   assert(ColorOf.size() == F.NumRegs && "coloring size mismatch");
   unsigned K = C.RegN;
 
   Function Work = F;
   Work.recomputeCFG();
-  Liveness LV = Liveness::compute(Work);
-  InterferenceGraph IG = InterferenceGraph::build(Work, LV);
+  Liveness LV = Liveness::compute(Work, Scratch);
+  InterferenceGraph IG = InterferenceGraph::build(Work, LV, Scratch);
   // Frequency weighting (Section 4: "the frequency should be reflected in
   // the edge weights") steers repairs out of hot loops; the *static*
   // set_last_reg count is reported separately by the encoder.

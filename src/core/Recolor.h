@@ -29,6 +29,8 @@
 
 namespace dra {
 
+class Arena;
+
 /// Recoloring knobs.
 struct RecolorOptions {
   /// Maximum improvement sweeps over all clusters.
@@ -54,9 +56,13 @@ struct RecolorStats {
 /// move-tied clusters (moves whose endpoints currently share a color) are
 /// recolored jointly so no coalesced move is reintroduced. The objective
 /// is the static adjacency cost of condition (3) under \p C.
+/// With \p Scratch, graph-build scratch (liveness worklists, interference
+/// bit rows) is carved from the arena instead of the heap; the arena must
+/// outlive the call.
 RecolorStats recolorColoring(const Function &F, const EncodingConfig &C,
                              std::vector<RegId> &ColorOf,
-                             const RecolorOptions &O = {});
+                             const RecolorOptions &O = {},
+                             Arena *Scratch = nullptr);
 
 } // namespace dra
 

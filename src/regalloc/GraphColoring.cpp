@@ -1,27 +1,81 @@
 //===- regalloc/GraphColoring.cpp - Iterated register coalescing ----------===//
+//
+// Data layout: the per-round state lives in flat arrays carved from one
+// bump Arena that allocateGraphColoring reuses (reset, capacity retained)
+// across spill rounds. Edge membership is a packed BitMatrix; the initial
+// adjacency is a CSR array built in one pass from liveness (per-node
+// neighbor order identical to the old push_back discovery order); edges
+// added by coalescing go into per-node overflow chains. The simplify/
+// freeze/spill worklists and the move worklists are IndexSets — ordered
+// bit sets whose first() is the minimum element, exactly the
+// *std::set::begin() the old implementation picked — so every worklist
+// decision, and therefore the full allocation result, is bit-identical to
+// the previous std::set/std::unordered_set layout (guarded by
+// tests/alloc_identity_test).
+//
+//===----------------------------------------------------------------------===//
 
 #include "regalloc/GraphColoring.h"
 
+#include "adt/Arena.h"
+#include "adt/BitMatrix.h"
+#include "adt/IndexSet.h"
 #include "analysis/Liveness.h"
 #include "analysis/LoopInfo.h"
-#include "regalloc/InterferenceGraph.h"
 
 #include <algorithm>
+#include <atomic>
 #include <limits>
-#include <set>
-#include <unordered_map>
-#include <unordered_set>
 
 using namespace dra;
 
 namespace {
 
+bool IrcSelfCheckEnabled = false;
+std::atomic<size_t> IrcSelfCheckViolationCount{0};
+
+/// Round-reusable scratch: the arena plus the few growable buffers whose
+/// size is only known mid-build. Owned by allocateGraphColoring so spill
+/// rounds after the first allocate nothing.
+struct IrcScratch {
+  Arena A;
+  /// Initial interference edges in discovery order (drives the CSR fill).
+  std::vector<std::pair<RegId, RegId>> Edges;
+  /// Overflow adjacency pool: per-node chains for edges added by combine.
+  struct ExtraEdge {
+    RegId Nbr;
+    int32_t Next;
+  };
+  std::vector<ExtraEdge> ExtraPool;
+  /// Overflow move-list pool (move lists concatenated by combine).
+  struct ExtraMove {
+    uint32_t Move;
+    int32_t Next;
+  };
+  std::vector<ExtraMove> MoveExtraPool;
+  std::vector<uint32_t> MoveSnap; // freezeMoves snapshot
+  std::vector<RegId> SelectStack;
+  std::vector<uint8_t> UsedColors;
+  std::vector<unsigned> OkColors;
+
+  void beginRound() {
+    A.reset();
+    Edges.clear();
+    ExtraPool.clear();
+    MoveExtraPool.clear();
+    MoveSnap.clear();
+    SelectStack.clear();
+  }
+};
+
 /// One build/color round of iterated register coalescing.
 class IrcRound {
 public:
   IrcRound(Function &F, unsigned K, SelectHook *Hook,
-           const std::vector<uint8_t> &IsSpillTemp, AllocResult &Stats)
-      : F(F), K(K), Hook(Hook), IsSpillTemp(IsSpillTemp), Stats(Stats) {}
+           const std::vector<uint8_t> &IsSpillTemp, AllocResult &Stats,
+           IrcScratch &S)
+      : F(F), K(K), Hook(Hook), IsSpillTemp(IsSpillTemp), Stats(Stats),
+        S(S), A(S.A) {}
 
   /// Runs one round. Returns the set of actual-spill virtual registers
   /// (empty means a complete coloring was produced in ColorOf).
@@ -33,56 +87,101 @@ private:
   SelectHook *Hook;
   const std::vector<uint8_t> &IsSpillTemp;
   AllocResult &Stats; // shared event counters, summed across rounds
+  IrcScratch &S;
+  Arena &A;
 
   uint32_t NumNodes = 0;
+  uint32_t NumMoves = 0;
 
-  // Graph.
-  std::unordered_set<uint64_t> AdjSet;
-  std::vector<std::vector<RegId>> AdjList;
-  std::vector<unsigned> Degree;
+  // Graph: bit-matrix membership + CSR initial adjacency + overflow
+  // chains for coalesce-time edges.
+  BitMatrix AdjSet;
+  uint32_t *AdjOff = nullptr; // NumNodes + 1 offsets into AdjNbrs
+  RegId *AdjNbrs = nullptr;
+  int32_t *ExtraHead = nullptr; // per node, -1 terminated chain
+  unsigned *Degree = nullptr;
 
-  // Moves (indices into MoveInsts).
-  struct MoveRec {
-    RegId Dst, Src;
+  // Moves (indices into MoveDst/MoveSrc), CSR per-node lists + overflow.
+  RegId *MoveDst = nullptr;
+  RegId *MoveSrc = nullptr;
+  uint32_t *MoveOff = nullptr;
+  uint32_t *MoveIdxs = nullptr;
+  int32_t *MoveExtraHead = nullptr;
+  enum MoveState : uint8_t {
+    MSWorklist,
+    MSActive,
+    MSCoalesced,
+    MSConstrained,
+    MSFrozen
   };
-  std::vector<MoveRec> MoveInsts;
-  std::vector<std::vector<uint32_t>> MoveList; // Per node.
-  enum class MoveState : uint8_t {
-    Worklist,
-    Active,
-    Coalesced,
-    Constrained,
-    Frozen
-  };
-  std::vector<MoveState> MoveStates;
-  std::set<uint32_t> WorklistMoves;
-  std::set<uint32_t> ActiveMoves;
+  uint8_t *MoveStates = nullptr;
+  IndexSet WorklistMoves;
+  IndexSet ActiveMoves;
 
-  // Node worklists (ordered sets for determinism).
-  std::set<RegId> SimplifyWorklist;
-  std::set<RegId> FreezeWorklist;
-  std::set<RegId> SpillWorklist;
-  std::set<RegId> CoalescedNodes;
-  std::set<RegId> SpilledNodes;
-  std::set<RegId> ColoredNodes;
-  std::vector<RegId> SelectStack;
-  std::vector<uint8_t> OnSelectStack;
-  std::vector<RegId> Alias;
-  std::vector<RegId> ColorOf;
-  std::vector<double> SpillCost;
+  // Node worklists: ordered index sets (first() == minimum element, the
+  // exact pick order of the previous std::set implementation).
+  IndexSet SimplifyWorklist;
+  IndexSet FreezeWorklist;
+  IndexSet SpillWorklist;
+  IndexSet CoalescedNodes;
+  IndexSet SpilledNodes;
+  IndexSet ColoredNodes;
+  uint8_t *OnSelectStack = nullptr;
+  RegId *Alias = nullptr;
+  RegId *ColorOf = nullptr;
+  double *SpillCost = nullptr;
 
-  static uint64_t edgeKey(RegId A, RegId B) {
-    if (A > B)
-      std::swap(A, B);
-    return (static_cast<uint64_t>(A) << 32) | B;
-  }
+  // briggsConservative scratch: epoch stamps dedup the merged neighbor
+  // set without a per-call container.
+  uint32_t *NbrStamp = nullptr;
+  uint32_t BriggsStamp = 0;
 
   void build();
   void computeSpillCosts();
   void addEdge(RegId U, RegId V);
   void makeWorklists();
-  std::vector<RegId> adjacent(RegId N) const;
-  std::vector<uint32_t> nodeMoves(RegId N) const;
+
+  /// Live (not selected, not coalesced) neighbors of N: CSR row then
+  /// overflow chain. Callbacks may add edges/moves to nodes other than N.
+  template <typename FnT> void forEachAdjacent(RegId N, FnT Fn) const {
+    for (uint32_t I = AdjOff[N], E = AdjOff[N + 1]; I != E; ++I) {
+      RegId M = AdjNbrs[I];
+      if (!OnSelectStack[M] && !CoalescedNodes.contains(M))
+        Fn(M);
+    }
+    for (int32_t I = ExtraHead[N]; I != -1; I = S.ExtraPool[I].Next) {
+      RegId M = S.ExtraPool[I].Nbr;
+      if (!OnSelectStack[M] && !CoalescedNodes.contains(M))
+        Fn(M);
+    }
+  }
+
+  /// All recorded neighbors of N, unfiltered (assignColors, self-check).
+  template <typename FnT> void forEachRawAdjacent(RegId N, FnT Fn) const {
+    for (uint32_t I = AdjOff[N], E = AdjOff[N + 1]; I != E; ++I)
+      Fn(AdjNbrs[I]);
+    for (int32_t I = ExtraHead[N]; I != -1; I = S.ExtraPool[I].Next)
+      Fn(S.ExtraPool[I].Nbr);
+  }
+
+  /// Worklist-or-active moves of N (the nodeMoves filter), CSR row then
+  /// overflow chain. May visit a move twice if combine concatenated a
+  /// list already containing it (same as the old concatenated vectors —
+  /// every consumer is idempotent).
+  template <typename FnT> void forEachNodeMove(RegId N, FnT Fn) const {
+    for (uint32_t I = MoveOff[N], E = MoveOff[N + 1]; I != E; ++I) {
+      uint32_t M = MoveIdxs[I];
+      if (MoveStates[M] == MSWorklist || MoveStates[M] == MSActive)
+        Fn(M);
+    }
+    for (int32_t I = MoveExtraHead[N]; I != -1;
+         I = S.MoveExtraPool[I].Next) {
+      uint32_t M = S.MoveExtraPool[I].Move;
+      if (MoveStates[M] == MSWorklist || MoveStates[M] == MSActive)
+        Fn(M);
+    }
+  }
+
   bool moveRelated(RegId N) const;
   void simplify();
   void decrementDegree(RegId M);
@@ -90,28 +189,47 @@ private:
   void coalesce();
   void addWorkList(RegId U);
   bool georgeOk(RegId T, RegId U) const;
-  bool briggsConservative(RegId U, RegId V) const;
+  bool briggsConservative(RegId U, RegId V);
   RegId getAlias(RegId N) const;
   void combine(RegId U, RegId V);
   void freeze();
   void freezeMoves(RegId U);
   void selectSpill();
   void assignColors();
+  void checkInvariants() const;
 };
 
 void IrcRound::build() {
   NumNodes = F.NumRegs;
-  AdjList.assign(NumNodes, {});
-  Degree.assign(NumNodes, 0);
-  MoveList.assign(NumNodes, {});
-  Alias.resize(NumNodes);
+  AdjSet.init(A, NumNodes);
+  Degree = A.allocZeroedArray<unsigned>(NumNodes);
+  ExtraHead = A.allocArray<int32_t>(NumNodes);
+  std::fill_n(ExtraHead, NumNodes, -1);
+  MoveExtraHead = A.allocArray<int32_t>(NumNodes);
+  std::fill_n(MoveExtraHead, NumNodes, -1);
+  Alias = A.allocArray<RegId>(NumNodes);
   for (RegId N = 0; N != NumNodes; ++N)
     Alias[N] = N;
-  ColorOf.assign(NumNodes, NoReg);
-  OnSelectStack.assign(NumNodes, 0);
+  ColorOf = A.allocArray<RegId>(NumNodes);
+  std::fill_n(ColorOf, NumNodes, NoReg);
+  OnSelectStack = A.allocZeroedArray<uint8_t>(NumNodes);
+  NbrStamp = A.allocZeroedArray<uint32_t>(NumNodes);
+  BriggsStamp = 0;
+
+  SimplifyWorklist.init(A, NumNodes);
+  FreezeWorklist.init(A, NumNodes);
+  SpillWorklist.init(A, NumNodes);
+  CoalescedNodes.init(A, NumNodes);
+  SpilledNodes.init(A, NumNodes);
+  ColoredNodes.init(A, NumNodes);
 
   F.recomputeCFG();
-  Liveness LV = Liveness::compute(F);
+  Liveness LV = Liveness::compute(F, &A);
+
+  // One pass over liveness: discover interference edges (bit-matrix
+  // membership, pairs recorded in discovery order) and moves.
+  std::vector<std::pair<RegId, RegId>> &Edges = S.Edges;
+  std::vector<RegId> MoveDsts, MoveSrcs;
   for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
        ++B) {
     const BasicBlock &BB = F.Blocks[B];
@@ -119,12 +237,8 @@ void IrcRound::build() {
       const Instruction &I = BB.Insts[Idx];
       bool IsMove = I.Op == Opcode::Mov && I.Dst != I.Src1;
       if (IsMove) {
-        uint32_t MoveIdx = static_cast<uint32_t>(MoveInsts.size());
-        MoveInsts.push_back({I.Dst, I.Src1});
-        MoveList[I.Dst].push_back(MoveIdx);
-        MoveList[I.Src1].push_back(MoveIdx);
-        MoveStates.push_back(MoveState::Worklist);
-        WorklistMoves.insert(MoveIdx);
+        MoveDsts.push_back(I.Dst);
+        MoveSrcs.push_back(I.Src1);
       }
       RegId Def = I.def();
       if (Def == NoReg)
@@ -133,14 +247,59 @@ void IrcRound::build() {
         RegId L = static_cast<RegId>(Live);
         if (IsMove && L == I.Src1)
           return;
-        addEdge(Def, L);
+        if (Def == L || AdjSet.test(Def, L))
+          return;
+        AdjSet.setSym(Def, L);
+        Edges.emplace_back(Def, L);
+        ++Degree[Def];
+        ++Degree[L];
       });
     });
   }
+
+  // CSR adjacency from the recorded edges: per-node neighbor order is the
+  // discovery order, matching the old per-node push_back sequence.
+  AdjOff = A.allocArray<uint32_t>(NumNodes + 1);
+  AdjOff[0] = 0;
+  for (RegId N = 0; N != NumNodes; ++N)
+    AdjOff[N + 1] = AdjOff[N] + Degree[N];
+  AdjNbrs = A.allocArray<RegId>(2 * Edges.size());
+  uint32_t *Fill = A.allocZeroedArray<uint32_t>(NumNodes);
+  for (const auto &[U, V] : Edges) {
+    AdjNbrs[AdjOff[U] + Fill[U]++] = V;
+    AdjNbrs[AdjOff[V] + Fill[V]++] = U;
+  }
+
+  // CSR move lists, same fill discipline.
+  NumMoves = static_cast<uint32_t>(MoveDsts.size());
+  MoveDst = A.allocArray<RegId>(NumMoves);
+  MoveSrc = A.allocArray<RegId>(NumMoves);
+  std::copy_n(MoveDsts.data(), NumMoves, MoveDst);
+  std::copy_n(MoveSrcs.data(), NumMoves, MoveSrc);
+  uint32_t *MoveCount = A.allocZeroedArray<uint32_t>(NumNodes);
+  for (uint32_t M = 0; M != NumMoves; ++M) {
+    ++MoveCount[MoveDst[M]];
+    ++MoveCount[MoveSrc[M]];
+  }
+  MoveOff = A.allocArray<uint32_t>(NumNodes + 1);
+  MoveOff[0] = 0;
+  for (RegId N = 0; N != NumNodes; ++N)
+    MoveOff[N + 1] = MoveOff[N] + MoveCount[N];
+  MoveIdxs = A.allocArray<uint32_t>(2 * NumMoves);
+  uint32_t *MoveFill = A.allocZeroedArray<uint32_t>(NumNodes);
+  for (uint32_t M = 0; M != NumMoves; ++M) {
+    MoveIdxs[MoveOff[MoveDst[M]] + MoveFill[MoveDst[M]]++] = M;
+    MoveIdxs[MoveOff[MoveSrc[M]] + MoveFill[MoveSrc[M]]++] = M;
+  }
+  MoveStates = A.allocZeroedArray<uint8_t>(NumMoves); // all MSWorklist
+  WorklistMoves.init(A, NumMoves);
+  for (uint32_t M = 0; M != NumMoves; ++M)
+    WorklistMoves.insert(M);
+  ActiveMoves.init(A, NumMoves);
 }
 
 void IrcRound::computeSpillCosts() {
-  SpillCost.assign(NumNodes, 0.0);
+  SpillCost = A.allocZeroedArray<double>(NumNodes);
   LoopInfo LI = LoopInfo::compute(F);
   for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
        ++B) {
@@ -164,13 +323,14 @@ void IrcRound::computeSpillCosts() {
 }
 
 void IrcRound::addEdge(RegId U, RegId V) {
-  if (U == V)
+  if (U == V || AdjSet.test(U, V))
     return;
-  if (!AdjSet.insert(edgeKey(U, V)).second)
-    return;
-  AdjList[U].push_back(V);
+  AdjSet.setSym(U, V);
+  S.ExtraPool.push_back({V, ExtraHead[U]});
+  ExtraHead[U] = static_cast<int32_t>(S.ExtraPool.size() - 1);
+  S.ExtraPool.push_back({U, ExtraHead[V]});
+  ExtraHead[V] = static_cast<int32_t>(S.ExtraPool.size() - 1);
   ++Degree[U];
-  AdjList[V].push_back(U);
   ++Degree[V];
 }
 
@@ -185,34 +345,27 @@ void IrcRound::makeWorklists() {
   }
 }
 
-std::vector<RegId> IrcRound::adjacent(RegId N) const {
-  std::vector<RegId> Result;
-  for (RegId M : AdjList[N])
-    if (!OnSelectStack[M] && !CoalescedNodes.count(M))
-      Result.push_back(M);
-  return Result;
-}
-
-std::vector<uint32_t> IrcRound::nodeMoves(RegId N) const {
-  std::vector<uint32_t> Result;
-  for (uint32_t MoveIdx : MoveList[N]) {
-    MoveState S = MoveStates[MoveIdx];
-    if (S == MoveState::Worklist || S == MoveState::Active)
-      Result.push_back(MoveIdx);
+bool IrcRound::moveRelated(RegId N) const {
+  for (uint32_t I = MoveOff[N], E = MoveOff[N + 1]; I != E; ++I) {
+    uint8_t St = MoveStates[MoveIdxs[I]];
+    if (St == MSWorklist || St == MSActive)
+      return true;
   }
-  return Result;
+  for (int32_t I = MoveExtraHead[N]; I != -1; I = S.MoveExtraPool[I].Next) {
+    uint8_t St = MoveStates[S.MoveExtraPool[I].Move];
+    if (St == MSWorklist || St == MSActive)
+      return true;
+  }
+  return false;
 }
-
-bool IrcRound::moveRelated(RegId N) const { return !nodeMoves(N).empty(); }
 
 void IrcRound::simplify() {
   ++Stats.SimplifySteps;
-  RegId N = *SimplifyWorklist.begin();
-  SimplifyWorklist.erase(SimplifyWorklist.begin());
-  SelectStack.push_back(N);
+  RegId N = SimplifyWorklist.first();
+  SimplifyWorklist.erase(N);
+  S.SelectStack.push_back(N);
   OnSelectStack[N] = 1;
-  for (RegId M : adjacent(N))
-    decrementDegree(M);
+  forEachAdjacent(N, [&](RegId M) { decrementDegree(M); });
 }
 
 void IrcRound::decrementDegree(RegId M) {
@@ -221,8 +374,7 @@ void IrcRound::decrementDegree(RegId M) {
   if (D != K)
     return;
   enableMoves(M);
-  for (RegId T : adjacent(M))
-    enableMoves(T);
+  forEachAdjacent(M, [&](RegId T) { enableMoves(T); });
   SpillWorklist.erase(M);
   if (moveRelated(M))
     FreezeWorklist.insert(M);
@@ -231,81 +383,83 @@ void IrcRound::decrementDegree(RegId M) {
 }
 
 void IrcRound::enableMoves(RegId N) {
-  for (uint32_t MoveIdx : nodeMoves(N)) {
-    if (MoveStates[MoveIdx] != MoveState::Active)
-      continue;
-    MoveStates[MoveIdx] = MoveState::Worklist;
+  forEachNodeMove(N, [&](uint32_t MoveIdx) {
+    if (MoveStates[MoveIdx] != MSActive)
+      return;
+    MoveStates[MoveIdx] = MSWorklist;
     ActiveMoves.erase(MoveIdx);
     WorklistMoves.insert(MoveIdx);
-  }
+  });
 }
 
 bool IrcRound::georgeOk(RegId T, RegId U) const {
-  return Degree[T] < K || AdjSet.count(edgeKey(T, U)) != 0;
+  return Degree[T] < K || AdjSet.test(T, U);
 }
 
-bool IrcRound::briggsConservative(RegId U, RegId V) const {
+bool IrcRound::briggsConservative(RegId U, RegId V) {
   // Count distinct significant-degree neighbors of the combined node.
-  std::set<RegId> Neighbors;
-  for (RegId T : adjacent(U))
-    Neighbors.insert(T);
-  for (RegId T : adjacent(V))
-    Neighbors.insert(T);
+  // Epoch-stamp dedup; the count is order-independent, so no sorted
+  // container is needed.
+  ++BriggsStamp;
   unsigned Significant = 0;
-  for (RegId T : Neighbors) {
+  auto Visit = [&](RegId T) {
+    if (NbrStamp[T] == BriggsStamp)
+      return;
+    NbrStamp[T] = BriggsStamp;
     unsigned D = Degree[T];
     // Merging U and V turns a neighbor of both into a neighbor of one.
-    if (AdjSet.count(edgeKey(T, U)) != 0 && AdjSet.count(edgeKey(T, V)) != 0)
+    if (AdjSet.test(T, U) && AdjSet.test(T, V))
       --D;
     Significant += D >= K;
-  }
+  };
+  forEachAdjacent(U, Visit);
+  forEachAdjacent(V, Visit);
   return Significant < K;
 }
 
 RegId IrcRound::getAlias(RegId N) const {
-  while (CoalescedNodes.count(N))
+  while (CoalescedNodes.contains(N))
     N = Alias[N];
   return N;
 }
 
 void IrcRound::coalesce() {
-  uint32_t MoveIdx = *WorklistMoves.begin();
-  WorklistMoves.erase(WorklistMoves.begin());
-  RegId X = getAlias(MoveInsts[MoveIdx].Dst);
-  RegId Y = getAlias(MoveInsts[MoveIdx].Src);
+  uint32_t MoveIdx = WorklistMoves.first();
+  WorklistMoves.erase(MoveIdx);
+  RegId X = getAlias(MoveDst[MoveIdx]);
+  RegId Y = getAlias(MoveSrc[MoveIdx]);
   RegId U = X, V = Y;
   if (U == V) {
-    MoveStates[MoveIdx] = MoveState::Coalesced;
+    MoveStates[MoveIdx] = MSCoalesced;
     addWorkList(U);
     return;
   }
-  if (AdjSet.count(edgeKey(U, V)) != 0) {
+  if (AdjSet.test(U, V)) {
     ++Stats.CoalesceConstrained;
-    MoveStates[MoveIdx] = MoveState::Constrained;
+    MoveStates[MoveIdx] = MSConstrained;
     addWorkList(U);
     addWorkList(V);
     return;
   }
   if (briggsConservative(U, V)) {
     ++Stats.CoalesceBriggs;
-    MoveStates[MoveIdx] = MoveState::Coalesced;
+    MoveStates[MoveIdx] = MSCoalesced;
     combine(U, V);
     addWorkList(U);
     return;
   }
   // George test as a fallback: every neighbor of V is OK with U.
   bool GeorgeAll = true;
-  for (RegId T : adjacent(V))
-    GeorgeAll &= georgeOk(T, U);
+  forEachAdjacent(V, [&](RegId T) { GeorgeAll &= georgeOk(T, U); });
   if (GeorgeAll) {
     ++Stats.CoalesceGeorge;
-    MoveStates[MoveIdx] = MoveState::Coalesced;
+    MoveStates[MoveIdx] = MSCoalesced;
     combine(U, V);
     addWorkList(U);
     return;
   }
   ++Stats.CoalesceDeferred;
-  MoveStates[MoveIdx] = MoveState::Active;
+  MoveStates[MoveIdx] = MSActive;
   ActiveMoves.insert(MoveIdx);
 }
 
@@ -317,20 +471,30 @@ void IrcRound::addWorkList(RegId U) {
 }
 
 void IrcRound::combine(RegId U, RegId V) {
-  if (FreezeWorklist.count(V))
+  if (FreezeWorklist.contains(V))
     FreezeWorklist.erase(V);
   else
     SpillWorklist.erase(V);
   CoalescedNodes.insert(V);
   Alias[V] = U;
-  for (uint32_t MoveIdx : MoveList[V])
-    MoveList[U].push_back(MoveIdx);
+  // Concatenate V's move list onto U's (duplicates allowed, as with the
+  // old vector append; consumers are idempotent).
+  for (uint32_t I = MoveOff[V], E = MoveOff[V + 1]; I != E; ++I) {
+    S.MoveExtraPool.push_back({MoveIdxs[I], MoveExtraHead[U]});
+    MoveExtraHead[U] = static_cast<int32_t>(S.MoveExtraPool.size() - 1);
+  }
+  for (int32_t I = MoveExtraHead[V]; I != -1;
+       I = S.MoveExtraPool[I].Next) {
+    uint32_t M = S.MoveExtraPool[I].Move;
+    S.MoveExtraPool.push_back({M, MoveExtraHead[U]});
+    MoveExtraHead[U] = static_cast<int32_t>(S.MoveExtraPool.size() - 1);
+  }
   enableMoves(V);
-  for (RegId T : adjacent(V)) {
+  forEachAdjacent(V, [&](RegId T) {
     addEdge(T, U);
     decrementDegree(T);
-  }
-  if (Degree[U] >= K && FreezeWorklist.count(U)) {
+  });
+  if (Degree[U] >= K && FreezeWorklist.contains(U)) {
     FreezeWorklist.erase(U);
     SpillWorklist.insert(U);
   }
@@ -338,23 +502,27 @@ void IrcRound::combine(RegId U, RegId V) {
 
 void IrcRound::freeze() {
   ++Stats.FreezeSteps;
-  RegId U = *FreezeWorklist.begin();
-  FreezeWorklist.erase(FreezeWorklist.begin());
+  RegId U = FreezeWorklist.first();
+  FreezeWorklist.erase(U);
   SimplifyWorklist.insert(U);
   freezeMoves(U);
 }
 
 void IrcRound::freezeMoves(RegId U) {
-  for (uint32_t MoveIdx : nodeMoves(U)) {
-    if (MoveStates[MoveIdx] == MoveState::Active)
+  // Snapshot first (like the old materialized nodeMoves vector): freezing
+  // mutates the states the filter reads.
+  S.MoveSnap.clear();
+  forEachNodeMove(U, [&](uint32_t MoveIdx) { S.MoveSnap.push_back(MoveIdx); });
+  for (uint32_t MoveIdx : S.MoveSnap) {
+    if (MoveStates[MoveIdx] == MSActive)
       ActiveMoves.erase(MoveIdx);
     else
       WorklistMoves.erase(MoveIdx);
-    MoveStates[MoveIdx] = MoveState::Frozen;
-    RegId X = getAlias(MoveInsts[MoveIdx].Dst);
-    RegId Y = getAlias(MoveInsts[MoveIdx].Src);
+    MoveStates[MoveIdx] = MSFrozen;
+    RegId X = getAlias(MoveDst[MoveIdx]);
+    RegId Y = getAlias(MoveSrc[MoveIdx]);
     RegId V = Y == getAlias(U) ? X : Y;
-    if (nodeMoves(V).empty() && Degree[V] < K && FreezeWorklist.count(V)) {
+    if (!moveRelated(V) && Degree[V] < K && FreezeWorklist.contains(V)) {
       FreezeWorklist.erase(V);
       SimplifyWorklist.insert(V);
     }
@@ -367,14 +535,14 @@ void IrcRound::selectSpill() {
   // infinite cost so they are chosen only when nothing else remains.
   RegId BestNode = NoReg;
   double BestScore = std::numeric_limits<double>::infinity();
-  for (RegId N : SpillWorklist) {
+  SpillWorklist.forEach([&](uint32_t N) {
     double Score =
         SpillCost[N] / std::max(1.0, static_cast<double>(Degree[N]));
     if (BestNode == NoReg || Score < BestScore) {
       BestNode = N;
       BestScore = Score;
     }
-  }
+  });
   assert(BestNode != NoReg && "selectSpill on empty worklist");
   SpillWorklist.erase(BestNode);
   SimplifyWorklist.insert(BestNode);
@@ -382,10 +550,14 @@ void IrcRound::selectSpill() {
 }
 
 void IrcRound::assignColors() {
-  // Members of each representative, for the select hook.
-  std::unordered_map<RegId, std::vector<RegId>> MembersOf;
-  for (RegId N = 0; N != NumNodes; ++N)
-    MembersOf[getAlias(N)].push_back(N);
+  // Members of each representative, for the select hook (only needed when
+  // a hook will read them).
+  std::vector<std::vector<RegId>> MembersOf;
+  if (Hook) {
+    MembersOf.resize(NumNodes);
+    for (RegId N = 0; N != NumNodes; ++N)
+      MembersOf[getAlias(N)].push_back(N);
+  }
 
   SelectContext Ctx;
   Ctx.ColorOfVReg = [this](RegId V) {
@@ -393,16 +565,18 @@ void IrcRound::assignColors() {
     return ColorOf[Rep] == NoReg ? -1 : static_cast<int>(ColorOf[Rep]);
   };
 
-  while (!SelectStack.empty()) {
-    RegId N = SelectStack.back();
-    SelectStack.pop_back();
-    std::vector<uint8_t> Used(K, 0);
-    for (RegId W : AdjList[N]) {
+  std::vector<uint8_t> &Used = S.UsedColors;
+  std::vector<unsigned> &OkColors = S.OkColors;
+  while (!S.SelectStack.empty()) {
+    RegId N = S.SelectStack.back();
+    S.SelectStack.pop_back();
+    Used.assign(K, 0);
+    forEachRawAdjacent(N, [&](RegId W) {
       RegId Rep = getAlias(W);
-      if (ColoredNodes.count(Rep))
+      if (ColoredNodes.contains(Rep))
         Used[ColorOf[Rep]] = 1;
-    }
-    std::vector<unsigned> OkColors;
+    });
+    OkColors.clear();
     for (unsigned C = 0; C != K; ++C)
       if (!Used[C])
         OkColors.push_back(C);
@@ -424,11 +598,38 @@ void IrcRound::assignColors() {
     }
     ColorOf[N] = Chosen;
   }
-  for (RegId N : CoalescedNodes) {
+  CoalescedNodes.forEach([&](uint32_t N) {
     RegId Rep = getAlias(N);
-    if (ColoredNodes.count(Rep))
+    if (ColoredNodes.contains(Rep))
       ColorOf[N] = ColorOf[Rep];
+  });
+}
+
+/// Test-only worklist invariants (see setIrcSelfCheck): every node sits in
+/// exactly one of {simplify, freeze, spill, select stack, coalesced};
+/// worklist members' Degree equals their live (non-stack, non-coalesced)
+/// adjacency count; spill-worklist members have significant degree.
+void IrcRound::checkInvariants() const {
+  size_t Violations = 0;
+  for (RegId N = 0; N != NumNodes; ++N) {
+    unsigned Memberships = SimplifyWorklist.contains(N) +
+                           FreezeWorklist.contains(N) +
+                           SpillWorklist.contains(N) +
+                           CoalescedNodes.contains(N) +
+                           (OnSelectStack[N] != 0);
+    Violations += Memberships != 1;
+    if (SimplifyWorklist.contains(N) || FreezeWorklist.contains(N) ||
+        SpillWorklist.contains(N)) {
+      unsigned LiveAdj = 0;
+      forEachRawAdjacent(N, [&](RegId M) {
+        LiveAdj += !OnSelectStack[M] && !CoalescedNodes.contains(M);
+      });
+      Violations += LiveAdj != Degree[N];
+    }
+    if (SpillWorklist.contains(N))
+      Violations += Degree[N] < K;
   }
+  IrcSelfCheckViolationCount += Violations;
 }
 
 std::vector<RegId> IrcRound::run(std::vector<RegId> &ColorOutParam) {
@@ -437,6 +638,8 @@ std::vector<RegId> IrcRound::run(std::vector<RegId> &ColorOutParam) {
   if (Hook)
     Hook->beginFunction(F);
   makeWorklists();
+  if (IrcSelfCheckEnabled)
+    checkInvariants();
   for (;;) {
     if (!SimplifyWorklist.empty())
       simplify();
@@ -448,19 +651,27 @@ std::vector<RegId> IrcRound::run(std::vector<RegId> &ColorOutParam) {
       selectSpill();
     else
       break;
+    if (IrcSelfCheckEnabled)
+      checkInvariants();
   }
   assignColors();
-  ColorOutParam = ColorOf;
+  ColorOutParam.assign(ColorOf, ColorOf + NumNodes);
   // A spilled representative stands for every virtual register coalesced
   // into it; all of them must go to memory.
   std::vector<RegId> AllSpilled;
   for (RegId N = 0; N != NumNodes; ++N)
-    if (SpilledNodes.count(getAlias(N)))
+    if (SpilledNodes.contains(getAlias(N)))
       AllSpilled.push_back(N);
   return AllSpilled;
 }
 
 } // namespace
+
+void dra::setIrcSelfCheck(bool Enable) { IrcSelfCheckEnabled = Enable; }
+
+size_t dra::ircSelfCheckViolations() {
+  return IrcSelfCheckViolationCount.load();
+}
 
 std::vector<RegId> dra::insertSpillCode(Function &F, RegId VReg) {
   uint32_t Slot = F.NumSpillSlots++;
@@ -543,6 +754,7 @@ AllocResult dra::allocateGraphColoring(Function &F, unsigned K,
   AllocResult Result;
   std::vector<uint8_t> IsSpillTemp(F.NumRegs, 0);
 
+  IrcScratch Scratch;
   std::vector<RegId> ColorOf;
   for (;;) {
     if (++Result.Iterations > MaxIterations) {
@@ -550,7 +762,8 @@ AllocResult dra::allocateGraphColoring(Function &F, unsigned K,
       return Result;
     }
     ScopedSpan Span(SubSpans, "alloc.round");
-    IrcRound Round(F, K, Hook, IsSpillTemp, Result);
+    Scratch.beginRound();
+    IrcRound Round(F, K, Hook, IsSpillTemp, Result, Scratch);
     std::vector<RegId> Spilled = Round.run(ColorOf);
     if (Spilled.empty())
       break;

@@ -85,6 +85,17 @@ AllocResult allocateGraphColoring(Function &F, unsigned K,
                                   std::vector<RegId> *ColorOut = nullptr,
                                   std::vector<StageSpan> *SubSpans = nullptr);
 
+/// Test-only: when enabled, every worklist step of the IRC core validates
+/// its structural invariants — each node sits in exactly one of
+/// {simplify, freeze, spill, select stack, coalesced}; worklist members'
+/// cached degree equals their live adjacency count; spill-worklist members
+/// have significant (>= K) degree. Violations are counted, not fatal.
+void setIrcSelfCheck(bool Enable);
+
+/// Total invariant violations observed since process start (0 when the
+/// self-check has never been enabled or the invariants held).
+size_t ircSelfCheckViolations();
+
 /// Rewrites every register operand of \p F through \p ColorOf (a complete
 /// vreg -> color map), deletes moves that became identities (counted in
 /// \p MovesRemoved when non-null) and sets F.NumRegs = K.

@@ -2,45 +2,68 @@
 
 #include "regalloc/InterferenceGraph.h"
 
+#include "adt/Arena.h"
 #include "analysis/Liveness.h"
 
 using namespace dra;
 
 void InterferenceGraph::reset(uint32_t NumNodes) {
-  Adj.assign(NumNodes, {});
-  EdgeSet.clear();
+  N = NumNodes;
+  Bits.init(N);
+  Deg.assign(N, 0);
+  Off.clear();
+  Nbrs.clear();
+  Finalized = false;
   Moves.clear();
 }
 
 void InterferenceGraph::addEdge(RegId A, RegId B) {
   if (A == B)
     return;
-  assert(A < numNodes() && B < numNodes() && "node out of range");
-  if (!EdgeSet.insert(edgeKey(A, B)).second)
+  assert(A < N && B < N && "node out of range");
+  if (Bits.test(A, B))
     return;
-  Adj[A].push_back(B);
-  Adj[B].push_back(A);
+  Bits.setSym(A, B);
+  ++Deg[A];
+  ++Deg[B];
+  Finalized = false;
 }
 
-bool InterferenceGraph::interferes(RegId A, RegId B) const {
-  if (A == B)
-    return false;
-  return EdgeSet.count(edgeKey(A, B)) != 0;
+void InterferenceGraph::finalize() const {
+  Off.resize(N + 1);
+  Off[0] = 0;
+  for (RegId Node = 0; Node != N; ++Node)
+    Off[Node + 1] = Off[Node] + Deg[Node];
+  Nbrs.resize(Off[N]);
+  for (RegId Node = 0; Node != N; ++Node) {
+    RegId *Out = Nbrs.data() + Off[Node];
+    Bits.forEachInRow(Node, [&](uint32_t M) { *Out++ = M; });
+  }
+  Finalized = true;
 }
 
 bool InterferenceGraph::isValidColoring(
     const std::vector<RegId> &ColorOf) const {
-  assert(ColorOf.size() == Adj.size() && "coloring size mismatch");
-  for (RegId N = 0; N != numNodes(); ++N)
-    for (RegId M : Adj[N])
-      if (N < M && ColorOf[N] == ColorOf[M])
-        return false;
-  return true;
+  assert(ColorOf.size() == N && "coloring size mismatch");
+  bool Valid = true;
+  for (RegId Node = 0; Node != N; ++Node)
+    Bits.forEachInRow(Node, [&](uint32_t M) {
+      if (Node < M && ColorOf[Node] == ColorOf[M])
+        Valid = false;
+    });
+  return Valid;
 }
 
 InterferenceGraph InterferenceGraph::build(const Function &F,
-                                           const Liveness &LV) {
-  InterferenceGraph G(F.NumRegs);
+                                           const Liveness &LV,
+                                           Arena *Scratch) {
+  InterferenceGraph G;
+  G.N = F.NumRegs;
+  if (Scratch)
+    G.Bits.init(*Scratch, G.N);
+  else
+    G.Bits.init(G.N);
+  G.Deg.assign(G.N, 0);
   for (uint32_t B = 0, E = static_cast<uint32_t>(F.Blocks.size()); B != E;
        ++B) {
     const BasicBlock &BB = F.Blocks[B];
@@ -60,5 +83,6 @@ InterferenceGraph InterferenceGraph::build(const Function &F,
       });
     });
   }
+  G.finalize();
   return G;
 }

@@ -12,18 +12,24 @@
 /// with s. Register-to-register moves are recorded separately for the
 /// coalescing stages.
 ///
+/// Storage is a packed bit matrix — (N+63)/64 64-bit words per row — for
+/// constant-time membership, plus a CSR neighbor array (per-row ascending)
+/// materialized lazily from the bit rows for iteration. Graph storage can
+/// be carved from an Arena when the caller has one in scope.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef DRA_REGALLOC_INTERFERENCEGRAPH_H
 #define DRA_REGALLOC_INTERFERENCEGRAPH_H
 
+#include "adt/BitMatrix.h"
 #include "ir/Function.h"
 
-#include <unordered_set>
 #include <vector>
 
 namespace dra {
 
+class Arena;
 class Liveness;
 
 /// A register-to-register move occurrence.
@@ -34,29 +40,56 @@ struct MovePair {
   uint32_t InstIdx;
 };
 
-/// Undirected interference graph with adjacency lists and constant-time
-/// edge queries.
+/// Undirected interference graph with packed-bitset edge membership and
+/// CSR neighbor iteration.
 class InterferenceGraph {
 public:
+  /// A contiguous, ascending run of neighbor ids (view into the CSR
+  /// array; invalidated by addEdge).
+  class NeighborRange {
+  public:
+    NeighborRange(const RegId *B, const RegId *E) : B(B), E(E) {}
+    const RegId *begin() const { return B; }
+    const RegId *end() const { return E; }
+    size_t size() const { return static_cast<size_t>(E - B); }
+    bool empty() const { return B == E; }
+    RegId operator[](size_t I) const { return B[I]; }
+
+  private:
+    const RegId *B, *E;
+  };
+
   /// Builds the graph for \p F using \p LV (computed for the current F).
-  static InterferenceGraph build(const Function &F, const Liveness &LV);
+  /// With \p Scratch, the bit-matrix slab is carved from the arena (which
+  /// must then outlive the graph) instead of the heap.
+  static InterferenceGraph build(const Function &F, const Liveness &LV,
+                                 Arena *Scratch = nullptr);
 
   explicit InterferenceGraph(uint32_t NumNodes = 0) { reset(NumNodes); }
 
   void reset(uint32_t NumNodes);
 
-  uint32_t numNodes() const { return static_cast<uint32_t>(Adj.size()); }
+  uint32_t numNodes() const { return N; }
 
   /// Adds the undirected edge (A, B); self-edges are ignored.
   void addEdge(RegId A, RegId B);
 
-  bool interferes(RegId A, RegId B) const;
-
-  const std::vector<RegId> &neighbors(RegId N) const { return Adj[N]; }
-
-  unsigned degree(RegId N) const {
-    return static_cast<unsigned>(Adj[N].size());
+  bool interferes(RegId A, RegId B) const {
+    if (A == B)
+      return false;
+    return Bits.test(A, B);
   }
+
+  /// Neighbors of \p N in ascending id order. (The old adjacency-list
+  /// implementation returned discovery order; every consumer is
+  /// order-insensitive — membership marking, sorted copies.)
+  NeighborRange neighbors(RegId Node) const {
+    if (!Finalized)
+      finalize();
+    return {Nbrs.data() + Off[Node], Nbrs.data() + Off[Node + 1]};
+  }
+
+  unsigned degree(RegId Node) const { return Deg[Node]; }
 
   const std::vector<MovePair> &moves() const { return Moves; }
 
@@ -65,15 +98,16 @@ public:
   bool isValidColoring(const std::vector<RegId> &ColorOf) const;
 
 private:
-  std::vector<std::vector<RegId>> Adj;
-  std::unordered_set<uint64_t> EdgeSet;
+  uint32_t N = 0;
+  BitMatrix Bits;
+  std::vector<unsigned> Deg;
+  /// CSR neighbor storage, rebuilt from the bit rows on demand.
+  mutable std::vector<uint32_t> Off;
+  mutable std::vector<RegId> Nbrs;
+  mutable bool Finalized = false;
   std::vector<MovePair> Moves;
 
-  static uint64_t edgeKey(RegId A, RegId B) {
-    if (A > B)
-      std::swap(A, B);
-    return (static_cast<uint64_t>(A) << 32) | B;
-  }
+  void finalize() const;
 };
 
 } // namespace dra

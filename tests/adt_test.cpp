@@ -1,13 +1,18 @@
 //===- tests/adt_test.cpp - Rng/BitVector/Statistics unit tests -----------===//
 
+#include "adt/Arena.h"
+#include "adt/BitMatrix.h"
 #include "adt/BitVector.h"
+#include "adt/IndexSet.h"
 #include "adt/Rng.h"
 #include "adt/Statistics.h"
 
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstring>
 #include <set>
+#include <vector>
 
 using namespace dra;
 
@@ -185,4 +190,179 @@ TEST(Statistics, Percentile) {
 TEST(Statistics, Stddev) {
   EXPECT_DOUBLE_EQ(stddev({5}), 0.0);
   EXPECT_NEAR(stddev({2, 4, 4, 4, 5, 5, 7, 9}), 2.138, 0.001);
+}
+
+//===----------------------------------------------------------------------===//
+// Arena
+//===----------------------------------------------------------------------===//
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena A;
+  char *C1 = static_cast<char *>(A.allocate(3, 1));
+  double *D = A.allocArray<double>(5);
+  char *C2 = static_cast<char *>(A.allocate(1, 1));
+  uint64_t *U = A.allocArray<uint64_t>(7);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(D) % alignof(double), 0u);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(U) % alignof(uint64_t), 0u);
+  // Writing every byte of every allocation must not alias another one.
+  std::memset(C1, 0xa1, 3);
+  for (int I = 0; I != 5; ++I)
+    D[I] = 1.5 * I;
+  *C2 = 0x7f;
+  for (int I = 0; I != 7; ++I)
+    U[I] = 0x0101010101010101ull * static_cast<uint64_t>(I);
+  EXPECT_EQ(C1[0], static_cast<char>(0xa1));
+  EXPECT_EQ(C1[2], static_cast<char>(0xa1));
+  for (int I = 0; I != 5; ++I)
+    EXPECT_EQ(D[I], 1.5 * I);
+  EXPECT_EQ(*C2, 0x7f);
+  for (int I = 0; I != 7; ++I)
+    EXPECT_EQ(U[I], 0x0101010101010101ull * static_cast<uint64_t>(I));
+}
+
+TEST(Arena, GrowsAcrossChunksAndResetRetainsCapacity) {
+  Arena A;
+  // Far beyond the first chunk: force several growth steps.
+  for (int I = 0; I != 64; ++I) {
+    char *P = static_cast<char *>(A.allocate(8192, 8));
+    std::memset(P, 0x5c, 8192);
+  }
+  size_t Reserved = A.bytesReserved();
+  EXPECT_GE(A.bytesUsed(), size_t(64 * 8192));
+  A.reset();
+  EXPECT_EQ(A.bytesUsed(), 0u);
+  // reset() keeps (coalesced) capacity so steady-state reuse is heap-free.
+  EXPECT_GE(A.bytesReserved(), Reserved);
+  size_t ReservedAfterReset = A.bytesReserved();
+  for (int I = 0; I != 64; ++I)
+    A.allocate(8192, 8);
+  EXPECT_EQ(A.bytesReserved(), ReservedAfterReset);
+}
+
+TEST(Arena, ZeroedArrayIsZero) {
+  Arena A;
+  // Dirty the arena first so the zeroing is observable.
+  std::memset(A.allocate(4096, 8), 0xff, 4096);
+  A.reset();
+  uint32_t *Z = A.allocZeroedArray<uint32_t>(1024);
+  for (int I = 0; I != 1024; ++I)
+    EXPECT_EQ(Z[I], 0u) << I;
+}
+
+//===----------------------------------------------------------------------===//
+// IndexSet
+//===----------------------------------------------------------------------===//
+
+TEST(IndexSet, MirrorsStdSetOrderedOperations) {
+  IndexSet S;
+  S.init(200);
+  std::set<unsigned> Ref;
+  Rng R(99);
+  for (int Step = 0; Step != 2000; ++Step) {
+    unsigned V = static_cast<unsigned>(R.nextBelow(200));
+    if (R.nextBelow(3) == 0) {
+      S.erase(V);
+      Ref.erase(V);
+    } else {
+      S.insert(V);
+      Ref.insert(V);
+    }
+    ASSERT_EQ(S.size(), Ref.size());
+    ASSERT_EQ(S.empty(), Ref.empty());
+    // first() must equal *begin() of the ordered reference — the worklist
+    // determinism contract of the allocator rework.
+    if (!Ref.empty())
+      ASSERT_EQ(S.first(), *Ref.begin());
+    else
+      ASSERT_EQ(S.first(), IndexSet::npos);
+  }
+  std::vector<unsigned> Got;
+  S.forEach([&](unsigned V) { Got.push_back(V); });
+  std::vector<unsigned> Want(Ref.begin(), Ref.end());
+  EXPECT_EQ(Got, Want);
+}
+
+TEST(IndexSet, InsertEraseIdempotentAndMembership) {
+  IndexSet S;
+  S.init(70);
+  EXPECT_TRUE(S.insert(65));
+  EXPECT_FALSE(S.insert(65)); // second insert is a no-op
+  EXPECT_EQ(S.size(), 1u);
+  EXPECT_TRUE(S.contains(65));
+  EXPECT_FALSE(S.contains(64));
+  EXPECT_TRUE(S.erase(65));
+  EXPECT_FALSE(S.erase(65)); // second erase is a no-op
+  EXPECT_EQ(S.size(), 0u);
+  EXPECT_EQ(S.first(), IndexSet::npos);
+}
+
+TEST(IndexSet, FindNextScansAscending) {
+  IndexSet S;
+  S.init(130);
+  for (unsigned V : {3u, 64u, 65u, 127u})
+    S.insert(V);
+  EXPECT_EQ(S.findNext(0), 3u);
+  EXPECT_EQ(S.findNext(3), 3u);
+  EXPECT_EQ(S.findNext(4), 64u);
+  EXPECT_EQ(S.findNext(65), 65u);
+  EXPECT_EQ(S.findNext(66), 127u);
+  EXPECT_EQ(S.findNext(128), IndexSet::npos);
+}
+
+TEST(IndexSet, ArenaBackedBehavesIdentically) {
+  Arena A;
+  IndexSet S;
+  S.init(A, 100);
+  for (unsigned V = 0; V < 100; V += 7)
+    S.insert(V);
+  EXPECT_EQ(S.first(), 0u);
+  S.erase(0);
+  EXPECT_EQ(S.first(), 7u);
+  EXPECT_EQ(S.size(), 14u);
+}
+
+//===----------------------------------------------------------------------===//
+// BitMatrix
+//===----------------------------------------------------------------------===//
+
+TEST(BitMatrix, SymmetricSetAndTest) {
+  BitMatrix M;
+  M.init(150);
+  EXPECT_FALSE(M.test(3, 140));
+  M.setSym(3, 140);
+  EXPECT_TRUE(M.test(3, 140));
+  EXPECT_TRUE(M.test(140, 3));
+  EXPECT_FALSE(M.test(3, 139));
+  EXPECT_EQ(M.rowCount(3), 1u);
+  EXPECT_EQ(M.rowCount(140), 1u);
+  EXPECT_EQ(M.rowCount(0), 0u);
+}
+
+TEST(BitMatrix, ForEachInRowAscending) {
+  BitMatrix M;
+  M.init(200);
+  std::set<uint32_t> Ref;
+  Rng R(5);
+  for (int I = 0; I != 60; ++I) {
+    uint32_t V = static_cast<uint32_t>(R.nextBelow(200));
+    if (V != 17) {
+      M.setSym(17, V);
+      Ref.insert(V);
+    }
+  }
+  std::vector<uint32_t> Got;
+  M.forEachInRow(17, [&](uint32_t V) { Got.push_back(V); });
+  std::vector<uint32_t> Want(Ref.begin(), Ref.end());
+  EXPECT_EQ(Got, Want); // ascending, no duplicates
+  EXPECT_EQ(M.rowCount(17), Want.size());
+}
+
+TEST(BitMatrix, ArenaBackedRowsStartZero) {
+  Arena A;
+  std::memset(A.allocate(1 << 16, 8), 0xff, 1 << 16);
+  A.reset();
+  BitMatrix M;
+  M.init(A, 300);
+  for (uint32_t I = 0; I != 300; ++I)
+    EXPECT_EQ(M.rowCount(I), 0u) << I;
 }

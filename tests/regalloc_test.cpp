@@ -215,3 +215,48 @@ INSTANTIATE_TEST_SUITE_P(
     Sweep, GraphColoringRandom,
     ::testing::Combine(::testing::Range(0, 8),
                        ::testing::Values(6u, 8u, 12u, 16u)));
+
+//===----------------------------------------------------------------------===//
+// IRC worklist invariants (self-check instrumentation)
+//===----------------------------------------------------------------------===//
+
+// With the self-check enabled, every worklist step of the IRC core
+// validates its structural invariants: each node sits in exactly one of
+// {simplify, freeze, spill, select stack, coalesced, colored}; worklist
+// members' cached degree equals their live adjacency count; spill-worklist
+// members have significant (>= K) degree. A violation would mean the flat
+// bitset/CSR rework broke the George-Appel worklist discipline.
+TEST(GraphColoring, WorklistInvariantsHoldAcrossCorpus) {
+  setIrcSelfCheck(true);
+  size_t Before = ircSelfCheckViolations();
+  for (uint64_t Seed : {3u, 17u, 42u, 99u}) {
+    for (unsigned Pool : {3u, 8u, 14u}) {
+      Function F = pressureProgram(Seed, Pool);
+      F.recomputeCFG();
+      AllocResult R = allocateGraphColoring(F, 8);
+      EXPECT_TRUE(R.Success);
+      EXPECT_TRUE(allocationIsSound(F, 8));
+    }
+  }
+  setIrcSelfCheck(false);
+  EXPECT_EQ(ircSelfCheckViolations() - Before, 0u)
+      << "IRC structural invariants violated during allocation";
+}
+
+// Tight-K runs force spills and multiple rounds; the invariants must hold
+// through spill-code insertion and rebuilds too.
+TEST(GraphColoring, WorklistInvariantsHoldUnderSpillPressure) {
+  setIrcSelfCheck(true);
+  size_t Before = ircSelfCheckViolations();
+  for (uint64_t Seed : {7u, 23u}) {
+    Function F = pressureProgram(Seed, 16);
+    F.recomputeCFG();
+    AllocResult R = allocateGraphColoring(F, 4);
+    EXPECT_TRUE(R.Success);
+    EXPECT_GT(R.SpilledRanges, 0u);
+    EXPECT_TRUE(allocationIsSound(F, 4));
+  }
+  setIrcSelfCheck(false);
+  EXPECT_EQ(ircSelfCheckViolations() - Before, 0u)
+      << "IRC structural invariants violated under spill pressure";
+}

@@ -1,0 +1,112 @@
+//===- tools/CliNum.h - Strict numeric CLI-argument parsing -----*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Strict numeric parsing for command-line values, shared by every tool.
+/// Unlike atoi/atof — which silently return 0 for garbage and ignore
+/// trailing junk, so `--zipf=1.o` ran as zipf 1 and `--jobs=` as 0 —
+/// these helpers accept a value only when the ENTIRE string is a valid
+/// number in range: no empty strings, no trailing characters, no
+/// sign/overflow wraparound for unsigned flags, no inf/nan.
+///
+/// The Flag-taking overloads print a uniform diagnostic to stderr and
+/// return false, matching the tools' parseArgs convention.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_TOOLS_CLINUM_H
+#define DRA_TOOLS_CLINUM_H
+
+#include <cerrno>
+#include <climits>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dra {
+namespace cli {
+
+/// Parses \p S as a finite double. Accepts only a complete numeric string
+/// (optional sign, decimal or exponent form); rejects empty input,
+/// trailing garbage, inf/nan and out-of-range magnitudes.
+inline bool parseDoubleValue(const char *S, double &Out) {
+  if (!S || !*S)
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  double V = std::strtod(S, &End);
+  if (End == S || *End != '\0' || errno == ERANGE || !std::isfinite(V))
+    return false;
+  Out = V;
+  return true;
+}
+
+/// Parses \p S as a base-10 uint64_t. Rejects empty input, any sign
+/// character (strtoull silently wraps "-1"), trailing garbage and
+/// overflow.
+inline bool parseU64Value(const char *S, uint64_t &Out) {
+  if (!S || !*S)
+    return false;
+  if (*S == '-' || *S == '+')
+    return false;
+  errno = 0;
+  char *End = nullptr;
+  unsigned long long V = std::strtoull(S, &End, 10);
+  if (End == S || *End != '\0' || errno == ERANGE)
+    return false;
+  Out = static_cast<uint64_t>(V);
+  return true;
+}
+
+/// Parses \p S as an unsigned (additionally range-checked to UINT_MAX).
+inline bool parseUnsignedValue(const char *S, unsigned &Out) {
+  uint64_t V;
+  if (!parseU64Value(S, V) || V > UINT_MAX)
+    return false;
+  Out = static_cast<unsigned>(V);
+  return true;
+}
+
+/// Parses \p S as a size_t (range-checked on 32-bit size_t).
+inline bool parseSizeValue(const char *S, size_t &Out) {
+  uint64_t V;
+  if (!parseU64Value(S, V) || V > SIZE_MAX)
+    return false;
+  Out = static_cast<size_t>(V);
+  return true;
+}
+
+inline bool numError(const char *Flag, const char *S, const char *Kind) {
+  std::fprintf(stderr, "error: %s expects %s, got '%s'\n", Flag, Kind, S);
+  return false;
+}
+
+/// parseArgs-convention wrappers: on bad input, print
+/// "error: <flag> expects ..., got '<value>'" and return false.
+inline bool parseDouble(const char *Flag, const char *S, double &Out) {
+  return parseDoubleValue(S, Out) || numError(Flag, S, "a number");
+}
+
+inline bool parseU64(const char *Flag, const char *S, uint64_t &Out) {
+  return parseU64Value(S, Out) ||
+         numError(Flag, S, "a non-negative integer");
+}
+
+inline bool parseUnsigned(const char *Flag, const char *S, unsigned &Out) {
+  return parseUnsignedValue(S, Out) ||
+         numError(Flag, S, "a non-negative integer");
+}
+
+inline bool parseSize(const char *Flag, const char *S, size_t &Out) {
+  return parseSizeValue(S, Out) ||
+         numError(Flag, S, "a non-negative integer");
+}
+
+} // namespace cli
+} // namespace dra
+
+#endif // DRA_TOOLS_CLINUM_H

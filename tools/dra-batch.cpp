@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliNum.h"
+
 #include "core/Pipeline.h"
 #include "driver/BatchCompiler.h"
 #include "driver/ResultCache.h"
@@ -126,23 +128,30 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
     } else if (const char *V = Value("--baseline-k=")) {
-      O.BaselineK = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--baseline-k", V, O.BaselineK))
+        return false;
     } else if (const char *V = Value("--regn=")) {
-      O.RegN = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--regn", V, O.RegN))
+        return false;
     } else if (const char *V = Value("--diffn=")) {
-      O.DiffN = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--diffn", V, O.DiffN))
+        return false;
     } else if (const char *V = Value("--diffw=")) {
-      O.DiffW = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--diffw", V, O.DiffW))
+        return false;
     } else if (const char *V = Value("--remap-starts=")) {
-      O.RemapStarts = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--remap-starts", V, O.RemapStarts))
+        return false;
     } else if (const char *V = Value("--remap-jobs=")) {
-      O.RemapJobs = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--remap-jobs", V, O.RemapJobs))
+        return false;
       if (O.RemapJobs == 0) {
         std::fprintf(stderr, "error: --remap-jobs must be >= 1\n");
         return false;
       }
     } else if (const char *V = Value("--jobs=")) {
-      O.Jobs = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--jobs", V, O.Jobs))
+        return false;
     } else if (const char *V = Value("--trace-out=")) {
       O.TraceOut = V;
     } else if (const char *V = Value("--json-out=")) {
@@ -153,10 +162,12 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       O.CacheDir = V;
       O.UseCache = true;
     } else if (const char *V = Value("--cache-mem-mb=")) {
-      O.CacheMemMb = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--cache-mem-mb", V, O.CacheMemMb))
+        return false;
       O.UseCache = true;
     } else if (const char *V = Value("--cache-verify=")) {
-      O.CacheVerify = std::atof(V);
+      if (!cli::parseDouble("--cache-verify", V, O.CacheVerify))
+        return false;
       if (O.CacheVerify < 0 || O.CacheVerify > 1) {
         std::fprintf(stderr, "error: --cache-verify must be in [0, 1]\n");
         return false;

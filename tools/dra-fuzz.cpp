@@ -10,6 +10,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliNum.h"
+
 #include "driver/Metrics.h"
 #include "driver/ThreadPool.h"
 #include "fuzz/Fuzzer.h"
@@ -100,17 +102,23 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       return Arg.compare(0, Len, Prefix) == 0 ? Arg.c_str() + Len : nullptr;
     };
     if (const char *V = Value("--seeds=")) {
-      O.Seeds = std::strtoull(V, nullptr, 10);
+      if (!cli::parseU64("--seeds", V, O.Seeds))
+        return false;
     } else if (const char *V = Value("--seed-start=")) {
-      O.SeedStart = std::strtoull(V, nullptr, 10);
+      if (!cli::parseU64("--seed-start", V, O.SeedStart))
+        return false;
     } else if (const char *V = Value("--base-seed=")) {
-      O.BaseSeed = std::strtoull(V, nullptr, 10);
+      if (!cli::parseU64("--base-seed", V, O.BaseSeed))
+        return false;
     } else if (const char *V = Value("--jobs=")) {
-      O.Jobs = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--jobs", V, O.Jobs))
+        return false;
     } else if (const char *V = Value("--time-budget=")) {
-      O.TimeBudgetSec = std::atof(V);
+      if (!cli::parseDouble("--time-budget", V, O.TimeBudgetSec))
+        return false;
     } else if (const char *V = Value("--step-limit=")) {
-      O.StepLimit = std::strtoull(V, nullptr, 10);
+      if (!cli::parseU64("--step-limit", V, O.StepLimit))
+        return false;
     } else if (const char *V = Value("--inject-fault=")) {
       if (!parseInjectFault(V, O.Fault)) {
         std::fprintf(stderr, "error: unknown fault '%s'\n", V);

@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliNum.h"
+
 #include "adt/Rng.h"
 #include "adt/Statistics.h"
 #include "driver/ResultCache.h"
@@ -126,26 +128,32 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (const char *V = Value("--server-opt=")) {
       O.ServerOpts.push_back(V);
     } else if (const char *V = Value("--concurrency=")) {
-      O.Concurrency = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--concurrency", V, O.Concurrency))
+        return false;
       if (O.Concurrency == 0) {
         std::fprintf(stderr, "error: --concurrency must be >= 1\n");
         return false;
       }
     } else if (const char *V = Value("--requests=")) {
-      O.Requests = static_cast<uint64_t>(std::atoll(V));
+      if (!cli::parseU64("--requests", V, O.Requests))
+        return false;
       O.RequestsExplicit = true;
     } else if (const char *V = Value("--duration=")) {
-      O.DurationS = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--duration", V, O.DurationS))
+        return false;
     } else if (const char *V = Value("--zipf=")) {
-      O.Zipf = std::atof(V);
+      if (!cli::parseDouble("--zipf", V, O.Zipf))
+        return false;
       if (O.Zipf < 0) {
         std::fprintf(stderr, "error: --zipf must be >= 0\n");
         return false;
       }
     } else if (const char *V = Value("--seed=")) {
-      O.Seed = static_cast<uint64_t>(std::atoll(V));
+      if (!cli::parseU64("--seed", V, O.Seed))
+        return false;
     } else if (const char *V = Value("--verify=")) {
-      O.Verify = std::atof(V);
+      if (!cli::parseDouble("--verify", V, O.Verify))
+        return false;
       if (O.Verify < 0 || O.Verify > 1) {
         std::fprintf(stderr, "error: --verify must be in [0, 1]\n");
         return false;
@@ -160,15 +168,20 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
     } else if (const char *V = Value("--baseline-k=")) {
-      O.BaselineK = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--baseline-k", V, O.BaselineK))
+        return false;
     } else if (const char *V = Value("--regn=")) {
-      O.RegN = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--regn", V, O.RegN))
+        return false;
     } else if (const char *V = Value("--diffn=")) {
-      O.DiffN = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--diffn", V, O.DiffN))
+        return false;
     } else if (const char *V = Value("--diffw=")) {
-      O.DiffW = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--diffw", V, O.DiffW))
+        return false;
     } else if (const char *V = Value("--remap-starts=")) {
-      O.RemapStarts = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--remap-starts", V, O.RemapStarts))
+        return false;
     } else if (Arg == "--fail-on-shed") {
       O.FailOnShed = true;
     } else if (Arg == "--help" || Arg == "-h") {

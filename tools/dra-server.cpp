@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliNum.h"
+
 #include "driver/ResultCache.h"
 #include "server/Server.h"
 
@@ -89,17 +91,22 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     if (const char *V = Value("--socket=")) {
       O.Socket = V;
     } else if (const char *V = Value("--workers=")) {
-      O.Workers = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--workers", V, O.Workers))
+        return false;
     } else if (const char *V = Value("--queue-depth=")) {
-      O.QueueDepth = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--queue-depth", V, O.QueueDepth))
+        return false;
     } else if (const char *V = Value("--max-frame-bytes=")) {
-      O.MaxFrameBytes = static_cast<size_t>(std::atoll(V));
+      if (!cli::parseSize("--max-frame-bytes", V, O.MaxFrameBytes))
+        return false;
     } else if (const char *V = Value("--cache-dir=")) {
       O.CacheDir = V;
     } else if (const char *V = Value("--cache-mem-mb=")) {
-      O.CacheMemMb = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--cache-mem-mb", V, O.CacheMemMb))
+        return false;
     } else if (const char *V = Value("--cache-verify=")) {
-      O.CacheVerify = std::atof(V);
+      if (!cli::parseDouble("--cache-verify", V, O.CacheVerify))
+        return false;
       if (O.CacheVerify < 0 || O.CacheVerify > 1) {
         std::fprintf(stderr, "error: --cache-verify must be in [0, 1]\n");
         return false;
@@ -107,11 +114,14 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (const char *V = Value("--metrics-out=")) {
       O.MetricsOut = V;
     } else if (const char *V = Value("--metrics-interval=")) {
-      O.MetricsIntervalS = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--metrics-interval", V, O.MetricsIntervalS))
+        return false;
     } else if (const char *V = Value("--flight-recorder=")) {
-      O.FlightRecorder = static_cast<size_t>(std::atoll(V));
+      if (!cli::parseSize("--flight-recorder", V, O.FlightRecorder))
+        return false;
     } else if (const char *V = Value("--slow-request-us=")) {
-      O.SlowRequestUs = static_cast<uint64_t>(std::atoll(V));
+      if (!cli::parseU64("--slow-request-us", V, O.SlowRequestUs))
+        return false;
     } else if (Arg == "--help" || Arg == "-h") {
       O.Help = true;
     } else {

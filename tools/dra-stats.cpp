@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliNum.h"
+
 #include "driver/Json.h"
 #include "driver/Metrics.h"
 
@@ -98,16 +100,23 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (Arg == "--validate-trace") {
       O.ValidateTrace = true;
     } else if (const char *V = Value("--threshold=")) {
-      O.ThresholdPct = std::atof(V);
+      if (!cli::parseDouble("--threshold", V, O.ThresholdPct))
+        return false;
     } else if (const char *V = Value("--fail-on=")) {
       FailRule Rule;
       std::string Spec = V;
       size_t Colon = Spec.rfind(':');
       // A ':' only splits a threshold when what follows parses as a
       // number; metric names themselves never contain ':'.
-      if (Colon != std::string::npos) {
+      if (Colon != std::string::npos &&
+          cli::parseDoubleValue(Spec.c_str() + Colon + 1,
+                                Rule.ThresholdPct)) {
         Rule.Metric = Spec.substr(0, Colon);
-        Rule.ThresholdPct = std::atof(Spec.c_str() + Colon + 1);
+      } else if (Colon != std::string::npos && Colon + 1 != Spec.size()) {
+        std::fprintf(stderr,
+                     "error: bad threshold '%s' in '--fail-on=%s'\n",
+                     Spec.c_str() + Colon + 1, V);
+        return false;
       } else {
         Rule.Metric = Spec;
       }
@@ -278,9 +287,20 @@ void diffHistograms(const MetricsFileData &B, const MetricsFileData &C,
     if (ThresholdPct > 0 &&
         (std::fabs(Pct) < ThresholdPct || Base.Sum == Cur.Sum))
       return;
-    std::printf("  %-58s %14g %14g %+7.2f%%  n %g -> %g  p50 %g -> %g\n",
+    // An empty histogram has no percentiles: print '-' instead of a
+    // misleading 0.
+    char BaseP50[32], CurP50[32];
+    if (Base.Count > 0)
+      std::snprintf(BaseP50, sizeof BaseP50, "%g", Base.P50);
+    else
+      std::snprintf(BaseP50, sizeof BaseP50, "-");
+    if (Cur.Count > 0)
+      std::snprintf(CurP50, sizeof CurP50, "%g", Cur.P50);
+    else
+      std::snprintf(CurP50, sizeof CurP50, "-");
+    std::printf("  %-58s %14g %14g %+7.2f%%  n %g -> %g  p50 %s -> %s\n",
                 Key.c_str(), Base.Sum, Cur.Sum, std::isinf(Pct) ? 0.0 : Pct,
-                Base.Count, Cur.Count, Base.P50, Cur.P50);
+                Base.Count, Cur.Count, BaseP50, CurP50);
   };
   MetricsFileData::HistSummary Zero;
   auto IB = B.Histograms.begin();
@@ -307,6 +327,11 @@ struct MatchedValue {
   std::string Key;
   double Base = 0;
   double Cur = 0;
+  /// False when the side's value is undefined: a distribution statistic
+  /// (.min/.max/.pNN) of a histogram that is empty (count=0) or absent.
+  /// .count and .sum are always defined (0 for empty/absent).
+  bool BaseOk = true;
+  bool CurOk = true;
 };
 
 /// The histogram summary statistics addressable as a `.stat` suffix on a
@@ -361,12 +386,28 @@ std::vector<MatchedValue> collectMatches(const MetricsFileData &B,
   if (double MetricsFileData::HistSummary::*Field =
           splitHistStat(Metric, BareMetric)) {
     std::string Suffix = Metric.substr(BareMetric.size());
+    // Distribution statistics have no value without samples; only the
+    // additive .count/.sum suffixes read 0 from an empty histogram.
+    bool Dist = Field != &MetricsFileData::HistSummary::Count &&
+                Field != &MetricsFileData::HistSummary::Sum;
+    auto AddHist = [&](const std::string &Key,
+                       const MetricsFileData::HistSummary &V, bool IsBase) {
+      MatchedValue &M = ByKey[Key];
+      if (M.Key.empty()) {
+        M.Key = Key;
+        // A side never filled in stays 0; for a distribution statistic
+        // that absence is "undefined", not "0".
+        M.BaseOk = M.CurOk = !Dist;
+      }
+      (IsBase ? M.Base : M.Cur) = V.*Field;
+      (IsBase ? M.BaseOk : M.CurOk) = !Dist || V.Count > 0;
+    };
     for (const auto &[K, V] : B.Histograms)
       if (metricMatches(K, BareMetric))
-        Add(K + Suffix, V.*Field, true);
+        AddHist(K + Suffix, V, true);
     for (const auto &[K, V] : C.Histograms)
       if (metricMatches(K, BareMetric))
-        Add(K + Suffix, V.*Field, false);
+        AddHist(K + Suffix, V, false);
     std::vector<MatchedValue> Out;
     for (auto &[K, M] : ByKey)
       Out.push_back(M);
@@ -469,6 +510,16 @@ int main(int Argc, char **Argv) {
       return 2;
     }
     for (const MatchedValue &M : Matches) {
+      if (!M.BaseOk || !M.CurOk) {
+        std::fprintf(stderr,
+                     "error: --fail-on '%s': %s has no samples in %s "
+                     "(count=0); the statistic is undefined\n",
+                     Rule.Metric.c_str(), M.Key.c_str(),
+                     !M.BaseOk && !M.CurOk ? "either file"
+                     : !M.BaseOk          ? "the baseline"
+                                          : "the current file");
+        return 2;
+      }
       double Pct = pctDelta(M.Base, M.Cur);
       if (Rule.ThresholdPct < 0) {
         // Improvement gate: current must sit more than |PCT| percent

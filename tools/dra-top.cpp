@@ -11,6 +11,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "CliNum.h"
+
 #include "driver/Json.h"
 #include "server/Protocol.h"
 
@@ -21,6 +23,7 @@
 #include <vector>
 
 #include <signal.h>
+#include <time.h>
 #include <unistd.h>
 
 using namespace dra;
@@ -44,8 +47,10 @@ const char *UsageText =
     "                    the server goes away)\n"
     "  --recent=N        recent-request rows to show (default 16)\n"
     "  --json            single snapshot, printed as one JSON document\n"
-    "                    {\"stats\": ..., \"recent\": ...} (the control\n"
-    "                    bodies verbatim); for scripting and CI\n"
+    "                    {\"mono_us\": ..., \"stats\": ..., \"recent\":\n"
+    "                    ...} — the control bodies verbatim (raw\n"
+    "                    counters) plus a client monotonic timestamp;\n"
+    "                    for scripting and CI\n"
     "  --help            show this text\n"
     "\n"
     "exit status: 0 on success, 1 when the server cannot be reached or\n"
@@ -70,15 +75,18 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     if (const char *V = Value("--socket=")) {
       O.Socket = V;
     } else if (const char *V = Value("--interval=")) {
-      O.IntervalS = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--interval", V, O.IntervalS))
+        return false;
       if (O.IntervalS == 0) {
         std::fprintf(stderr, "error: --interval must be >= 1\n");
         return false;
       }
     } else if (const char *V = Value("--count=")) {
-      O.Count = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--count", V, O.Count))
+        return false;
     } else if (const char *V = Value("--recent=")) {
-      O.RecentN = static_cast<unsigned>(std::atoi(V));
+      if (!cli::parseUnsigned("--recent", V, O.RecentN))
+        return false;
     } else if (Arg == "--json") {
       O.Json = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -125,11 +133,25 @@ std::string strField(const JsonValue &Obj, const char *Name) {
   return V && V->K == JsonValue::String ? V->Str : std::string("?");
 }
 
+/// Client-side monotonic clock in microseconds (for the --json snapshot
+/// timestamp; rate rendering uses the server's own uptime_us).
+uint64_t monotonicUs() {
+  struct timespec Ts;
+  clock_gettime(CLOCK_MONOTONIC, &Ts);
+  return static_cast<uint64_t>(Ts.tv_sec) * 1000000u +
+         static_cast<uint64_t>(Ts.tv_nsec) / 1000u;
+}
+
 /// Renders one frame from the parsed stats/recent documents.
-/// \p PrevRequests is the server.requests total of the previous frame
-/// (negative on the first one, which suppresses the rate).
+/// \p PrevRequests / \p PrevUptimeUs are the server.requests and
+/// server.uptime_us of the previous frame (negative on the first one,
+/// which suppresses the rate). The rate divides the request delta by the
+/// *server's* elapsed uptime, so an interrupted sleep or a wall-clock
+/// step cannot skew it; when the elapsed time is zero/near-zero or any
+/// counter went backwards (server restarted behind the same socket), the
+/// rate renders as '-' instead of inf/nan or a negative surprise.
 void render(const JsonValue &Stats, const JsonValue &Recent,
-            double PrevRequests, double IntervalS) {
+            double PrevRequests, double PrevUptimeUs) {
   const JsonValue *Server = Stats.field("server");
   const JsonValue *Trace = Stats.field("trace");
   const JsonValue *Tiers = Stats.field("tiers");
@@ -137,16 +159,23 @@ void render(const JsonValue &Stats, const JsonValue &Recent,
     return;
 
   double Requests = numField(*Server, "requests");
+  double UptimeUs = numField(*Server, "uptime_us");
   std::printf("dra-top — pid %.0f, up %.1f s, %.0f worker(s), queue "
               "%.0f/%.0f\n",
-              numField(*Server, "pid"),
-              numField(*Server, "uptime_us") / 1e6,
+              numField(*Server, "pid"), UptimeUs / 1e6,
               numField(*Server, "workers"),
               numField(*Server, "queue_depth"),
               numField(*Server, "queue_limit"));
   std::printf("  requests %.0f", Requests);
-  if (PrevRequests >= 0)
-    std::printf(" (%+.1f/s)", (Requests - PrevRequests) / IntervalS);
+  if (PrevRequests >= 0) {
+    double ElapsedUs = UptimeUs - PrevUptimeUs;
+    // >= 1ms of server time and monotone counters, else no rate.
+    if (ElapsedUs >= 1000.0 && Requests >= PrevRequests)
+      std::printf(" (%+.1f/s)", (Requests - PrevRequests) /
+                                    (ElapsedUs / 1e6));
+    else
+      std::printf(" (-/s)");
+  }
   std::printf("   ctl %.0f   shed %.0f   errors %.0f   bad frames %.0f\n",
               numField(*Server, "ctl_requests"), numField(*Server, "shed"),
               numField(*Server, "errors"), numField(*Server, "bad_frames"));
@@ -224,12 +253,16 @@ int main(int Argc, char **Argv) {
       return 1;
     }
     close(Fd);
-    std::printf("{\"stats\": %s, \"recent\": %s}\n", Stats.c_str(),
-                Recent.c_str());
+    // Raw control bodies verbatim (all counters untouched) plus a
+    // client-side monotonic timestamp so scripts diffing successive
+    // snapshots have a wall-clock-step-immune timebase.
+    std::printf("{\"mono_us\": %llu, \"stats\": %s, \"recent\": %s}\n",
+                static_cast<unsigned long long>(monotonicUs()),
+                Stats.c_str(), Recent.c_str());
     return 0;
   }
 
-  double PrevRequests = -1;
+  double PrevRequests = -1, PrevUptimeUs = -1;
   const bool Tty = isatty(STDOUT_FILENO);
   for (unsigned Frame = 0; O.Count == 0 || Frame != O.Count; ++Frame) {
     if (Frame != 0)
@@ -252,9 +285,10 @@ int main(int Argc, char **Argv) {
       std::printf("\033[H\033[J"); // home + clear: live refresh in place
     else if (Frame != 0)
       std::printf("\n");
-    render(Stats, Recent, PrevRequests, double(O.IntervalS));
+    render(Stats, Recent, PrevRequests, PrevUptimeUs);
     const JsonValue *Server = Stats.field("server");
     PrevRequests = Server ? numField(*Server, "requests") : -1;
+    PrevUptimeUs = Server ? numField(*Server, "uptime_us") : -1;
   }
   close(Fd);
   return 0;
