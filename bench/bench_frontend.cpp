@@ -1,0 +1,88 @@
+//===- bench/bench_frontend.cpp - Mini-C frontend throughput --------------===//
+//
+// Google-benchmark timings for the mini-C frontend stages (tokenize,
+// parse, lower, and the seeded source generator), so frontend cost stays
+// visible next to the compile-time microbenchmarks: the dra-cc corpus
+// runner and the csrc fuzz variant both sit on this path.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/CSourceGen.h"
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+
+#include <benchmark/benchmark.h>
+
+using namespace dra;
+
+namespace {
+
+/// A mid-sized generated program (fixed seed): representative of what the
+/// csrc fuzz variant feeds the frontend, with helpers, loops and arrays.
+const std::string &source() {
+  static const std::string Src = generateCSource(csrcProfileFor(23));
+  return Src;
+}
+
+void BM_Tokenize(benchmark::State &State) {
+  const std::string &Src = source();
+  std::vector<Token> Toks;
+  for (auto _ : State) {
+    Toks.clear();
+    bool Ok = tokenize(Src, Toks);
+    benchmark::DoNotOptimize(Ok);
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Src.size()));
+}
+BENCHMARK(BM_Tokenize);
+
+void BM_Parse(benchmark::State &State) {
+  const std::string &Src = source();
+  std::vector<Token> Toks;
+  tokenize(Src, Toks);
+  for (auto _ : State) {
+    std::optional<CProgram> P = parseCProgram(Toks);
+    benchmark::DoNotOptimize(P.has_value());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Src.size()));
+}
+BENCHMARK(BM_Parse);
+
+void BM_Lower(benchmark::State &State) {
+  std::optional<CProgram> P = parseCSource(source());
+  for (auto _ : State) {
+    std::optional<Function> F = lowerCProgram(*P, "bench");
+    benchmark::DoNotOptimize(F.has_value());
+  }
+}
+BENCHMARK(BM_Lower);
+
+void BM_CompileCSource(benchmark::State &State) {
+  // The full tokenize+parse+lower path dra-cc runs per input file.
+  const std::string &Src = source();
+  for (auto _ : State) {
+    std::optional<Function> F = compileCSource("bench", Src);
+    benchmark::DoNotOptimize(F.has_value());
+  }
+  State.SetBytesProcessed(static_cast<int64_t>(State.iterations()) *
+                          static_cast<int64_t>(Src.size()));
+}
+BENCHMARK(BM_CompileCSource);
+
+void BM_GenerateCSource(benchmark::State &State) {
+  // Source generation cost bounds the csrc sweep's per-case overhead.
+  uint64_t Seed = 0;
+  for (auto _ : State) {
+    std::string Src = generateCSource(csrcProfileFor(Seed++));
+    benchmark::DoNotOptimize(Src.size());
+  }
+}
+BENCHMARK(BM_GenerateCSource);
+
+} // namespace
+
+BENCHMARK_MAIN();

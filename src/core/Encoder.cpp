@@ -37,6 +37,25 @@ struct DecodeState {
   }
 };
 
+/// Blocks reachable from the entry block by CFG successor edges.
+std::vector<uint8_t> reachableBlocks(const Function &F) {
+  std::vector<uint8_t> Reachable(F.Blocks.size(), 0);
+  if (F.Blocks.empty())
+    return Reachable;
+  std::vector<uint32_t> Work{0};
+  Reachable[0] = 1;
+  while (!Work.empty()) {
+    uint32_t B = Work.back();
+    Work.pop_back();
+    for (uint32_t S : F.Blocks[B].Succs)
+      if (!Reachable[S]) {
+        Reachable[S] = 1;
+        Work.push_back(S);
+      }
+  }
+  return Reachable;
+}
+
 /// First non-special register accessed in a block, if any.
 std::optional<RegId> firstAccessOf(const Function &F, uint32_t Block,
                                    const EncodingConfig &C) {
@@ -80,6 +99,17 @@ std::vector<DecodeState> entryStates(const Function &F,
     return LastWriter[B] ? DecodeState::value(*LastWriter[B]) : Entry[B];
   };
 
+  // last_reg is dynamic machine state: execution can never arrive at a
+  // join through an unreachable predecessor, so its static exit state
+  // must not constrain the meet. This matters for consistency, not just
+  // precision — encodeFunction inserts a head set_last_reg into
+  // unreachable blocks (their entry is Unknown), which gives them a
+  // concrete exit in the *annotated* function. If that exit participated
+  // in the dataflow, a reachable join that was clean before annotation
+  // could become Conflict after it, and verifyDecodable would reject a
+  // block the encoder (correctly) left unrepaired.
+  std::vector<uint8_t> Reachable = reachableBlocks(F);
+
   bool Changed = true;
   while (Changed) {
     Changed = false;
@@ -90,7 +120,8 @@ std::vector<DecodeState> entryStates(const Function &F,
       DecodeState New =
           B == 0 ? DecodeState::value(0) : DecodeState::unknown();
       for (uint32_t Pred : F.Blocks[B].Preds)
-        New = New.meet(ExitOf(Pred));
+        if (Reachable[Pred])
+          New = New.meet(ExitOf(Pred));
       if (!(New == Entry[B])) {
         Entry[B] = New;
         Changed = true;
@@ -261,18 +292,7 @@ bool dra::verifyDecodable(const Function &Annotated, const EncodingConfig &C,
   SpecialRegLookup Special(C);
 
   // Reachability, so unreachable blocks are exempt.
-  std::vector<uint8_t> Reachable(Annotated.Blocks.size(), 0);
-  std::vector<uint32_t> Work{0};
-  Reachable[0] = 1;
-  while (!Work.empty()) {
-    uint32_t B = Work.back();
-    Work.pop_back();
-    for (uint32_t S : Annotated.Blocks[B].Succs)
-      if (!Reachable[S]) {
-        Reachable[S] = 1;
-        Work.push_back(S);
-      }
-  }
+  std::vector<uint8_t> Reachable = reachableBlocks(Annotated);
 
   for (uint32_t B = 0; B != Annotated.Blocks.size(); ++B) {
     if (!Reachable[B])

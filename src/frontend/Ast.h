@@ -1,0 +1,110 @@
+//===- frontend/Ast.h - Mini-C abstract syntax ------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract syntax tree the mini-C parser produces and the lowering
+/// pass consumes. Deliberately small: one integer type (64-bit, matching
+/// the IR's arithmetic), scalar and array locals, and the statement forms
+/// the grammar in DESIGN.md lists. Nodes carry their source position so
+/// lowering diagnostics (undeclared identifier, recursive call, ...) can
+/// point at real source.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_AST_H
+#define DRA_FRONTEND_AST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Binary operators, in C's spelling.
+enum class CBinOp : uint8_t {
+  Add, Sub, Mul, Div, Rem,          // + - * / %
+  Shl, Shr,                         // << >>  (>> is a LOGICAL shift)
+  Lt, Le, Gt, Ge, Eq, Ne,           // < <= > >= == !=
+  BitAnd, BitXor, BitOr,            // & ^ |
+  LogAnd, LogOr,                    // && ||  (short-circuit)
+};
+
+/// Unary operators.
+enum class CUnOp : uint8_t { Neg, LogNot, BitNot }; // - ! ~
+
+/// One expression node.
+struct CExpr {
+  enum class Kind : uint8_t {
+    Num,    ///< integer literal (Num)
+    Var,    ///< identifier (Name)
+    Unary,  ///< Un applied to Lhs
+    Binary, ///< Lhs Bin Rhs
+    Assign, ///< Lhs = Rhs (Lhs is Var or Index)
+    Index,  ///< Name[Lhs]
+    Call,   ///< Name(Args...)
+  };
+  Kind K = Kind::Num;
+  int64_t Num = 0;
+  std::string Name;
+  CBinOp Bin = CBinOp::Add;
+  CUnOp Un = CUnOp::Neg;
+  std::unique_ptr<CExpr> Lhs, Rhs;
+  std::vector<std::unique_ptr<CExpr>> Args;
+  uint32_t Line = 0, Col = 0;
+};
+
+/// One statement node.
+struct CStmt {
+  enum class Kind : uint8_t {
+    Expr,     ///< Init;
+    Decl,     ///< int Name; / int Name = Init; / int Name[ArrayLen];
+    If,       ///< if (Cond) Then [else Else]
+    While,    ///< while (Cond) Then
+    For,      ///< for (ForInit; Cond; ForStep) Then
+    Return,   ///< return [Init];
+    Block,    ///< { Body... }
+    Break,    ///< break;
+    Continue, ///< continue;
+    Empty,    ///< ;
+  };
+  Kind K = Kind::Empty;
+  std::string Name;
+  bool IsArray = false;
+  uint32_t ArrayLen = 0;
+  std::unique_ptr<CExpr> Init; ///< Expr value, Decl initializer, Return value.
+  std::unique_ptr<CExpr> Cond;
+  std::unique_ptr<CStmt> Then, Else;
+  std::unique_ptr<CStmt> ForInit; ///< Decl, Expr or Empty.
+  std::unique_ptr<CExpr> ForStep;
+  std::vector<std::unique_ptr<CStmt>> Body;
+  uint32_t Line = 0, Col = 0;
+};
+
+/// A function parameter. `int p` is a scalar (fresh copy per call);
+/// `int p[]` binds by reference to a caller array (see DESIGN.md).
+struct CParam {
+  std::string Name;
+  bool IsArray = false;
+  uint32_t Line = 0, Col = 0;
+};
+
+/// One function definition. The body is always a Block.
+struct CFunc {
+  std::string Name;
+  std::vector<CParam> Params;
+  std::unique_ptr<CStmt> Body;
+  uint32_t Line = 0, Col = 0;
+};
+
+/// A whole translation unit.
+struct CProgram {
+  std::vector<CFunc> Funcs;
+};
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_AST_H

@@ -1,0 +1,280 @@
+//===- frontend/CSourceGen.cpp - Random mini-C program generation ---------===//
+
+#include "frontend/CSourceGen.h"
+
+#include "adt/Rng.h"
+
+#include <sstream>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+/// Emits one translation unit. Scalars are named v<n>, arrays a<n>,
+/// loop induction variables i<n>; induction variables are readable but
+/// never in the assignment pool, which is what guarantees termination.
+class SourceGen {
+public:
+  SourceGen(const CSourceProfile &P) : P(P), R(P.Seed) {}
+
+  std::string run() {
+    // Helper H may call helpers 0..H-1, so emit them in order.
+    for (uint32_t H = 0; H != P.NumHelpers; ++H)
+      emitHelper(H);
+    emitMain();
+    return Out.str();
+  }
+
+private:
+  const CSourceProfile &P;
+  Rng R;
+  std::ostringstream Out;
+  int Indent = 0;
+
+  // Per-function state, reset by emitHelper/emitMain.
+  std::vector<std::string> Scalars;   ///< Assignable scalar variables.
+  std::vector<std::string> Readables; ///< Scalars + live induction vars.
+  std::vector<std::string> Arrays;
+  uint32_t CalleeLimit = 0; ///< Helpers with index < CalleeLimit exist.
+  uint32_t NextScalar = 0, NextLoopVar = 0;
+
+  // The frontend lowers calls by inline expansion, so the expanded size
+  // of a body is its own node count plus the *transitive* expanded size
+  // of every callee at every call site — nested helper chains multiply
+  // (h2 calling h1 three times splices h1's calls to h0 three times
+  // over). Unchecked, that reaches the lowering's block cap and makes
+  // register allocation quadratically slow long before it. HelperCost[H]
+  // is the expanded-cost estimate of one call to hH, accumulated while
+  // it was generated; CurCost tracks the body in progress, and call
+  // sites that would push it past MaxBodyCost degrade to a plain
+  // operand instead.
+  static constexpr uint64_t MaxBodyCost = 6000;
+  std::vector<uint64_t> HelperCost;
+  uint64_t CurCost = 0;
+
+  void line(const std::string &S) {
+    for (int I = 0; I != Indent; ++I)
+      Out << "  ";
+    Out << S << "\n";
+  }
+
+  std::string lit() { return std::to_string(R.nextInRange(-32, 99)); }
+
+  std::string readable() {
+    if (Readables.empty() || R.withChance(1, 3))
+      return lit();
+    return R.pick(Readables);
+  }
+
+  std::string expr(uint32_t Depth) {
+    ++CurCost;
+    if (Depth == 0)
+      return readable();
+    switch (R.nextBelow(6)) {
+    case 0:
+      return readable();
+    case 1: { // unary
+      static const char *Ops[] = {"-", "!", "~"};
+      std::string Op = Ops[R.nextBelow(3)];
+      return Op + "(" + expr(Depth - 1) + ")";
+    }
+    case 2: { // array element (indices may be arbitrary: loads wrap)
+      if (Arrays.empty())
+        return readable();
+      std::string Arr = R.pick(Arrays);
+      return Arr + "[" + expr(Depth - 1) + "]";
+    }
+    case 3: { // helper call
+      if (CalleeLimit == 0)
+        return readable();
+      uint32_t H = static_cast<uint32_t>(R.nextBelow(CalleeLimit));
+      if (CurCost + HelperCost[H] > MaxBodyCost)
+        return readable();
+      CurCost += HelperCost[H];
+      std::string S = "h";
+      S += std::to_string(H);
+      S += "(";
+      uint32_t Arity = helperArity(H);
+      // One expr() per statement: C++ leaves the evaluation order of
+      // calls inside a full-expression unspecified, and each call
+      // advances the generator, so chaining them into one concatenation
+      // would make the emitted source compiler-dependent.
+      for (uint32_t A = 0; A != Arity; ++A) {
+        if (A)
+          S += ", ";
+        S += expr(Depth - 1);
+      }
+      return S + ")";
+    }
+    default: { // binary
+      static const char *Ops[] = {"+",  "-",  "*",  "/",  "%",  "<<",
+                                  ">>", "<",  "<=", ">",  ">=", "==",
+                                  "!=", "&",  "^",  "|",  "&&", "||"};
+      const char *Op = Ops[R.nextBelow(sizeof(Ops) / sizeof(Ops[0]))];
+      std::string L = expr(Depth - 1);
+      std::string Rr = expr(Depth - 1);
+      return "(" + L + " " + Op + " " + Rr + ")";
+    }
+    }
+  }
+
+  /// Helper arity is a pure function of (seed, index) so call sites and
+  /// the definition agree without extra bookkeeping.
+  uint32_t helperArity(uint32_t H) {
+    return 1 + static_cast<uint32_t>(Rng::taskSeed(P.Seed, H) % 3);
+  }
+
+  void stmt(uint32_t Depth, bool InLoop) {
+    CurCost += 2;
+    switch (R.nextBelow(Depth == 0 ? 4u : 7u)) {
+    case 0: { // new scalar
+      std::string V = "v";
+      V += std::to_string(NextScalar++);
+      line("int " + V + " = " + expr(2) + ";");
+      Scalars.push_back(V);
+      Readables.push_back(V);
+      return;
+    }
+    case 1: // assignment (fall through to 2 when there is no target)
+      if (!Scalars.empty()) {
+        std::string Target = R.pick(Scalars);
+        line(Target + " = " + expr(2) + ";");
+        return;
+      }
+      [[fallthrough]];
+    case 2: // array store
+      if (!Arrays.empty()) {
+        std::string Arr = R.pick(Arrays);
+        std::string Idx = expr(1);
+        line(Arr + "[" + Idx + "] = " + expr(2) + ";");
+        return;
+      }
+      {
+        std::string V = "v";
+        V += std::to_string(NextScalar++);
+        line("int " + V + " = " + expr(2) + ";");
+        Readables.push_back(V);
+        Scalars.push_back(V);
+      }
+      return;
+    case 3: // break/continue, else expression statement
+      if (InLoop && R.withChance(1, 4)) {
+        line(R.withChance(1, 2) ? "break;" : "continue;");
+        return;
+      }
+      line(expr(2) + ";");
+      return;
+    case 4: { // if / if-else
+      line("if (" + expr(2) + ") {");
+      block(Depth - 1, InLoop);
+      if (R.withChance(1, 2)) {
+        line("} else {");
+        block(Depth - 1, InLoop);
+      }
+      line("}");
+      return;
+    }
+    case 5: { // counted for loop — termination-safe by construction
+      std::string IV = "i";
+      IV += std::to_string(NextLoopVar++);
+      uint64_t Trip = 1 + R.nextBelow(P.MaxLoopTrip);
+      line("for (int " + IV + " = 0; " + IV + " < " +
+           std::to_string(Trip) + "; " + IV + " = " + IV + " + 1) {");
+      Readables.push_back(IV);
+      block(Depth - 1, /*InLoop=*/true);
+      Readables.pop_back();
+      line("}");
+      return;
+    }
+    default: // bare nested block (exercises scoping/shadowing paths)
+      line("{");
+      block(Depth - 1, InLoop);
+      line("}");
+      return;
+    }
+  }
+
+  void block(uint32_t Depth, bool InLoop) {
+    ++Indent;
+    // Inner declarations shadow-scope out at '}': snapshot the pools.
+    size_t NScalars = Scalars.size(), NReadables = Readables.size();
+    uint64_t N = 1 + R.nextBelow(P.MaxStmtsPerBlock);
+    for (uint64_t I = 0; I != N; ++I)
+      stmt(Depth, InLoop);
+    Scalars.resize(NScalars);
+    Readables.resize(NReadables);
+    --Indent;
+  }
+
+  void resetFunction(uint32_t CalleeLimitIn) {
+    Scalars.clear();
+    Readables.clear();
+    Arrays.clear();
+    CalleeLimit = CalleeLimitIn;
+    NextScalar = 0;
+    NextLoopVar = 0;
+    CurCost = 0;
+  }
+
+  void emitHelper(uint32_t H) {
+    resetFunction(H);
+    uint32_t Arity = helperArity(H);
+    std::string Sig = "int h" + std::to_string(H) + "(";
+    for (uint32_t A = 0; A != Arity; ++A) {
+      std::string PName = "p";
+      PName += std::to_string(A);
+      Sig += A ? ", int " : "int ";
+      Sig += PName;
+      Scalars.push_back(PName);
+      Readables.push_back(PName);
+    }
+    line(Sig + ") {");
+    block(P.MaxDepth, /*InLoop=*/false);
+    ++Indent;
+    line("return " + expr(2) + ";");
+    --Indent;
+    line("}");
+    line("");
+    // One call to hH expands to the body just generated (whose CurCost
+    // already folds in its own callees) plus the argument copies.
+    HelperCost.push_back(CurCost + Arity + 2);
+  }
+
+  void emitMain() {
+    resetFunction(P.NumHelpers);
+    line("int main() {");
+    ++Indent;
+    for (uint32_t A = 0; A != P.NumArrays; ++A) {
+      std::string Name = "a";
+      Name += std::to_string(A);
+      line("int " + Name + "[" + std::to_string(P.ArrayLen) + "];");
+      Arrays.push_back(Name);
+    }
+    --Indent;
+    block(P.MaxDepth, /*InLoop=*/false);
+    ++Indent;
+    line("return " + expr(2) + ";");
+    --Indent;
+    line("}");
+  }
+};
+
+} // namespace
+
+CSourceProfile dra::csrcProfileFor(uint64_t Seed) {
+  Rng R(Rng::taskSeed(Seed, 0x5ecc));
+  CSourceProfile P;
+  P.Seed = Seed;
+  P.NumHelpers = static_cast<uint32_t>(R.nextBelow(4));
+  P.NumArrays = static_cast<uint32_t>(R.nextBelow(3));
+  P.ArrayLen = static_cast<uint32_t>(R.nextInRange(4, 16));
+  P.MaxStmtsPerBlock = static_cast<uint32_t>(R.nextInRange(3, 6));
+  P.MaxDepth = static_cast<uint32_t>(R.nextInRange(2, 3));
+  P.MaxLoopTrip = static_cast<uint32_t>(R.nextInRange(2, 8));
+  return P;
+}
+
+std::string dra::generateCSource(const CSourceProfile &P) {
+  return SourceGen(P).run();
+}

@@ -1,0 +1,48 @@
+//===- frontend/CSourceGen.h - Random mini-C program generation -*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic random generation of mini-C source for the `csrc` fuzz
+/// axis: programs are generated as text, compiled through the frontend,
+/// then run through the usual allocate/diff-encode/decode lockstep
+/// oracle. By construction every generated program terminates: the only
+/// loops are counted `for` loops whose induction variable is reserved
+/// (never assigned in the body), and helper functions only call
+/// lower-numbered helpers, so inline expansion is acyclic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_CSOURCEGEN_H
+#define DRA_FRONTEND_CSOURCEGEN_H
+
+#include <cstdint>
+#include <string>
+
+namespace dra {
+
+/// Shape knobs for one generated program. Every field is derived
+/// deterministically from the seed by csrcProfileFor.
+struct CSourceProfile {
+  uint64_t Seed = 0;
+  uint32_t NumHelpers = 1;      ///< Helper functions besides main.
+  uint32_t NumArrays = 1;       ///< Arrays declared in main.
+  uint32_t ArrayLen = 8;        ///< Words per array.
+  uint32_t MaxStmtsPerBlock = 5;
+  uint32_t MaxDepth = 3;        ///< Nesting bound for if/for/blocks.
+  uint32_t MaxLoopTrip = 6;     ///< Upper bound on counted-loop trips.
+};
+
+/// Derives a generation profile from \p Seed. Pure function.
+CSourceProfile csrcProfileFor(uint64_t Seed);
+
+/// Generates one self-contained mini-C translation unit from \p P.
+/// Pure function of the profile; the result always parses, lowers and
+/// terminates under the interpreter.
+std::string generateCSource(const CSourceProfile &P);
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_CSOURCEGEN_H

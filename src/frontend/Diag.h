@@ -1,0 +1,41 @@
+//===- frontend/Diag.h - Frontend diagnostics -------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic record every frontend stage (lexer, parser, lowering)
+/// fills on failure. Positions are 1-based; column 0 means "whole line"
+/// (used by end-of-file diagnostics).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_DIAG_H
+#define DRA_FRONTEND_DIAG_H
+
+#include <cstdint>
+#include <string>
+
+namespace dra {
+
+/// One frontend diagnostic: a message anchored to a source position.
+struct CcDiag {
+  std::string Message;
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+
+  /// Renders "line L, col C: message" (position omitted when unknown).
+  std::string render() const {
+    if (Line == 0)
+      return Message;
+    std::string Out = "line " + std::to_string(Line);
+    if (Col != 0)
+      Out += ", col " + std::to_string(Col);
+    return Out + ": " + Message;
+  }
+};
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_DIAG_H

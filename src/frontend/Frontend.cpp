@@ -1,0 +1,61 @@
+//===- frontend/Frontend.cpp - Mini-C compile entry points ----------------===//
+
+#include "frontend/Frontend.h"
+
+#include "frontend/Parser.h"
+
+#include <cctype>
+#include <sstream>
+
+using namespace dra;
+
+std::optional<Function> dra::compileCSource(const std::string &Name,
+                                            const std::string &Source,
+                                            CcDiag *D,
+                                            const LowerOptions &O) {
+  auto P = parseCSource(Source, D);
+  if (!P)
+    return std::nullopt;
+  return lowerCProgram(*P, Name, D, O);
+}
+
+std::optional<int64_t> dra::expectedReturnAnnotation(const std::string &Source) {
+  std::istringstream SS(Source);
+  std::string Line;
+  while (std::getline(SS, Line)) {
+    size_t Pos = Line.find("// expect:");
+    if (Pos == std::string::npos)
+      continue;
+    size_t I = Pos + 10;
+    while (I < Line.size() && (Line[I] == ' ' || Line[I] == '\t'))
+      ++I;
+    bool Neg = false;
+    if (I < Line.size() && Line[I] == '-') {
+      Neg = true;
+      ++I;
+    }
+    if (I >= Line.size() || !std::isdigit(static_cast<unsigned char>(Line[I])))
+      continue;
+    // Accumulate in unsigned space so INT64_MIN round-trips.
+    uint64_t Mag = 0;
+    bool Overflow = false;
+    size_t Start = I;
+    for (; I < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[I]));
+         ++I) {
+      uint64_t Digit = static_cast<uint64_t>(Line[I] - '0');
+      if (Mag > (UINT64_MAX - Digit) / 10) {
+        Overflow = true;
+        break;
+      }
+      Mag = Mag * 10 + Digit;
+    }
+    uint64_t Limit =
+        Neg ? (static_cast<uint64_t>(INT64_MAX) + 1) : INT64_MAX;
+    if (Overflow || Mag > Limit || I == Start)
+      continue;
+    // Negate in unsigned space so INT64_MIN does not trip signed UB.
+    return static_cast<int64_t>(Neg ? 0 - Mag : Mag);
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,42 @@
+//===- frontend/Frontend.h - Mini-C compile entry points --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One-call mini-C compilation (tokenize + parse + lower) plus the
+/// `// expect: N` corpus annotation used by the executable test corpus
+/// under tests/cc/. Each corpus program declares the value its `main`
+/// must return; dra-cc's corpus runner asserts
+/// program x scheme -> annotated value for all five schemes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_FRONTEND_H
+#define DRA_FRONTEND_FRONTEND_H
+
+#include "frontend/Diag.h"
+#include "frontend/Lower.h"
+#include "ir/Function.h"
+
+#include <optional>
+#include <string>
+
+namespace dra {
+
+/// Compiles mini-C source to one executable Function named \p Name.
+/// On failure returns std::nullopt with the diagnostic in \p D.
+std::optional<Function> compileCSource(const std::string &Name,
+                                       const std::string &Source,
+                                       CcDiag *D = nullptr,
+                                       const LowerOptions &O = {});
+
+/// Scans \p Source for the first `// expect: N` line (N is a decimal
+/// int64, optionally negative) and returns N. Used to annotate corpus
+/// programs with the exit value their main must produce.
+std::optional<int64_t> expectedReturnAnnotation(const std::string &Source);
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_FRONTEND_H

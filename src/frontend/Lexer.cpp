@@ -1,0 +1,158 @@
+//===- frontend/Lexer.cpp - Mini-C tokenizer ------------------------------===//
+
+#include "frontend/Lexer.h"
+
+#include <cctype>
+
+using namespace dra;
+
+namespace {
+
+bool isIdentStart(char C) {
+  return std::isalpha(static_cast<unsigned char>(C)) || C == '_';
+}
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_';
+}
+
+/// The two-character operators, longest-match-first by construction.
+const char *TwoCharOps[] = {"<=", ">=", "==", "!=", "&&", "||", "<<", ">>"};
+
+const char SingleCharOps[] = "+-*/%(){}[];,=<>!&|^~";
+
+} // namespace
+
+bool dra::tokenize(const std::string &Src, std::vector<Token> &Out,
+                   CcDiag *D) {
+  Out.clear();
+  uint32_t Line = 1, Col = 1;
+  size_t Pos = 0;
+
+  auto Fail = [&](const std::string &Msg, uint32_t L, uint32_t C) {
+    if (D) {
+      D->Message = Msg;
+      D->Line = L;
+      D->Col = C;
+    }
+    return false;
+  };
+  auto Advance = [&](size_t N) {
+    for (size_t I = 0; I != N; ++I) {
+      if (Src[Pos] == '\n') {
+        ++Line;
+        Col = 1;
+      } else {
+        ++Col;
+      }
+      ++Pos;
+    }
+  };
+
+  while (Pos < Src.size()) {
+    char C = Src[Pos];
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      Advance(1);
+      continue;
+    }
+    // Comments.
+    if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+      while (Pos < Src.size() && Src[Pos] != '\n')
+        Advance(1);
+      continue;
+    }
+    if (C == '/' && Pos + 1 < Src.size() && Src[Pos + 1] == '*') {
+      uint32_t OpenLine = Line, OpenCol = Col;
+      Advance(2);
+      bool Closed = false;
+      while (Pos < Src.size()) {
+        if (Src[Pos] == '*' && Pos + 1 < Src.size() && Src[Pos + 1] == '/') {
+          Advance(2);
+          Closed = true;
+          break;
+        }
+        Advance(1);
+      }
+      if (!Closed)
+        return Fail("unterminated block comment", OpenLine, OpenCol);
+      continue;
+    }
+
+    Token T;
+    T.Line = Line;
+    T.Col = Col;
+
+    if (isIdentStart(C)) {
+      size_t Start = Pos;
+      while (Pos < Src.size() && isIdentChar(Src[Pos]))
+        Advance(1);
+      T.Kind = TokKind::Ident;
+      T.Text = Src.substr(Start, Pos - Start);
+      Out.push_back(std::move(T));
+      continue;
+    }
+
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      size_t Start = Pos;
+      uint64_t Val = 0;
+      bool Overflow = false;
+      while (Pos < Src.size() &&
+             std::isdigit(static_cast<unsigned char>(Src[Pos]))) {
+        uint64_t Digit = static_cast<uint64_t>(Src[Pos] - '0');
+        if (Val > (UINT64_MAX - Digit) / 10)
+          Overflow = true;
+        else
+          Val = Val * 10 + Digit;
+        Advance(1);
+      }
+      // Literals are non-negative; `-` is a unary operator. The largest
+      // accepted literal is INT64_MAX (the parser folds `-` around it).
+      if (Overflow || Val > static_cast<uint64_t>(INT64_MAX))
+        return Fail("integer literal out of range", T.Line, T.Col);
+      if (Pos < Src.size() && isIdentStart(Src[Pos]))
+        return Fail("malformed number (letter after digits)", T.Line,
+                    T.Col);
+      T.Kind = TokKind::Num;
+      T.Num = static_cast<int64_t>(Val);
+      T.Text = Src.substr(Start, Pos - Start);
+      Out.push_back(std::move(T));
+      continue;
+    }
+
+    bool Matched = false;
+    for (const char *Op : TwoCharOps) {
+      if (Pos + 1 < Src.size() && Src[Pos] == Op[0] && Src[Pos + 1] == Op[1]) {
+        T.Kind = TokKind::Punct;
+        T.Text = Op;
+        Advance(2);
+        Out.push_back(std::move(T));
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+
+    for (char Op : SingleCharOps) {
+      if (C == Op) {
+        T.Kind = TokKind::Punct;
+        T.Text = std::string(1, C);
+        Advance(1);
+        Out.push_back(std::move(T));
+        Matched = true;
+        break;
+      }
+    }
+    if (Matched)
+      continue;
+
+    return Fail(std::string("unexpected character '") + C + "'", Line, Col);
+  }
+
+  Token Eof;
+  Eof.Kind = TokKind::Eof;
+  Eof.Line = Line;
+  Eof.Col = Col;
+  Out.push_back(std::move(Eof));
+  return true;
+}

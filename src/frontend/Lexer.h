@@ -1,0 +1,54 @@
+//===- frontend/Lexer.h - Mini-C tokenizer ----------------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Tokenizer for the mini-C frontend (see DESIGN.md "Mini-C frontend").
+/// Produces a flat token list with 1-based line/column positions so the
+/// parser can anchor every diagnostic. Keywords are delivered as Ident
+/// tokens; the parser decides which identifiers are reserved.
+///
+/// Recognized lexemes: identifiers `[A-Za-z_][A-Za-z0-9_]*`, decimal
+/// integer literals (overflow past int64 is a lex error, not a silent
+/// wrap), the multi-character operators `<= >= == != && || << >>`, the
+/// single-character punctuation `+ - * / % ( ) { } [ ] ; , = < > ! & | ^ ~`,
+/// and `//` line and `/* */` block comments (an unterminated block comment
+/// is a lex error).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_LEXER_H
+#define DRA_FRONTEND_LEXER_H
+
+#include "frontend/Diag.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dra {
+
+/// Token kinds. Keywords arrive as Ident; the parser matches their text.
+enum class TokKind : uint8_t { Ident, Num, Punct, Eof };
+
+/// One token. \p Text is the exact source spelling (for Punct, the
+/// operator itself, so the parser compares against string literals).
+struct Token {
+  TokKind Kind = TokKind::Eof;
+  std::string Text;
+  int64_t Num = 0; ///< Value for TokKind::Num.
+  uint32_t Line = 0;
+  uint32_t Col = 0;
+};
+
+/// Tokenizes \p Src. On success fills \p Out (always terminated by one
+/// Eof token carrying the end position) and returns true; on failure
+/// returns false with the offending position in \p D (if non-null).
+bool tokenize(const std::string &Src, std::vector<Token> &Out,
+              CcDiag *D = nullptr);
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_LEXER_H

@@ -1,0 +1,625 @@
+//===- frontend/Lower.cpp - Mini-C AST -> dra IR lowering -----------------===//
+
+#include "frontend/Lower.h"
+
+#include "ir/IRBuilder.h"
+
+#include <unordered_map>
+#include <vector>
+
+using namespace dra;
+
+namespace {
+
+/// One named value: a scalar living in a virtual register, or an array
+/// living at a fixed base offset in the function's data memory.
+struct VarInfo {
+  bool IsArray = false;
+  RegId Reg = NoReg;     ///< Scalar location.
+  uint32_t MemBase = 0;  ///< Array base word offset.
+  uint32_t Len = 0;      ///< Array length in words.
+};
+
+/// Loop targets for break/continue.
+struct LoopCtx {
+  uint32_t ContinueBB;
+  uint32_t BreakBB;
+};
+
+/// One inline-expansion frame. The bottom frame is `main` (returns via
+/// Ret); every other frame routes `return` to its call's join block.
+struct Frame {
+  const CFunc *Fn;
+  size_t ScopeBase; ///< First scope index belonging to this frame.
+  size_t LoopBase;  ///< First loop context belonging to this frame.
+  RegId ResultReg = NoReg;  ///< NoReg in the bottom frame.
+  uint32_t JoinBB = NoBlock;
+};
+
+class Lowering {
+public:
+  Lowering(const CProgram &P, const std::string &Name, CcDiag *D,
+           const LowerOptions &O)
+      : Prog(P), D(D), Opts(O), B(F) {
+    F.Name = Name;
+    for (const CFunc &Fn : P.Funcs)
+      FuncsByName[Fn.Name] = &Fn;
+  }
+
+  std::optional<Function> run() {
+    auto It = FuncsByName.find("main");
+    if (It == FuncsByName.end())
+      return fail("program has no 'main' function", 0, 0);
+    const CFunc *Main = It->second;
+    if (!Main->Params.empty())
+      return fail("'main' must take no parameters", Main->Line, Main->Col);
+
+    B.setBlock(F.makeBlock());
+    Frames.push_back(Frame{Main, 0, 0, NoReg, NoBlock});
+    Scopes.emplace_back();
+    if (!lowerStmt(*Main->Body))
+      return std::nullopt;
+    // Falling off the end of main returns 0 (as C99 main does).
+    if (!blockTerminated())
+      B.createRet(B.createMovImm(0));
+    Scopes.pop_back();
+    Frames.pop_back();
+
+    F.MemWords = MemTop;
+    F.recomputeCFG();
+    std::string Err;
+    if (!verifyFunction(F, &Err))
+      return fail("internal error: lowered function invalid: " + Err, 0, 0);
+    return std::move(F);
+  }
+
+private:
+  const CProgram &Prog;
+  CcDiag *D;
+  LowerOptions Opts;
+  Function F;
+  IRBuilder B;
+  std::unordered_map<std::string, const CFunc *> FuncsByName;
+  std::vector<Frame> Frames;
+  std::vector<std::unordered_map<std::string, VarInfo>> Scopes;
+  std::vector<LoopCtx> Loops;
+  uint32_t MemTop = 0;
+  size_t StmtsSinceSizeCheck = 0;
+  bool Failed = false;
+
+  std::nullopt_t fail(const std::string &Msg, uint32_t Line, uint32_t Col) {
+    if (D && !Failed) {
+      D->Message = Msg;
+      D->Line = Line;
+      D->Col = Col;
+    }
+    Failed = true;
+    return std::nullopt;
+  }
+  /// Statement/expression-level failure helper: false with diagnostic.
+  bool failStmt(const std::string &Msg, uint32_t Line, uint32_t Col) {
+    fail(Msg, Line, Col);
+    return false;
+  }
+
+  bool blockTerminated() const {
+    const BasicBlock &BB = F.Blocks[B.currentBlock()];
+    return !BB.Insts.empty() && BB.Insts.back().isTerminator();
+  }
+
+  /// Statements after a terminator open a fresh (unreachable) block so
+  /// code like `return 1; x = 2;` still lowers to a valid CFG.
+  void ensureOpenBlock() {
+    if (blockTerminated())
+      B.setBlock(F.makeBlock());
+  }
+
+  VarInfo *lookup(const std::string &Name) {
+    // Name lookup never crosses an inline frame: an inlined callee sees
+    // only its own parameters and locals.
+    size_t Base = Frames.back().ScopeBase;
+    for (size_t I = Scopes.size(); I-- > Base;) {
+      auto It = Scopes[I].find(Name);
+      if (It != Scopes[I].end())
+        return &It->second;
+    }
+    return nullptr;
+  }
+
+  /// Bounds the inline-expanded program. Cheap amortized check: blocks
+  /// are counted exactly, instructions every 64 statements.
+  bool checkSize(uint32_t Line, uint32_t Col) {
+    if (F.Blocks.size() > Opts.MaxBlocks)
+      return failStmt("program too large after inlining (more than " +
+                          std::to_string(Opts.MaxBlocks) + " blocks)",
+                      Line, Col);
+    if (++StmtsSinceSizeCheck >= 64) {
+      StmtsSinceSizeCheck = 0;
+      if (F.numInsts() > Opts.MaxInsts)
+        return failStmt("program too large after inlining (more than " +
+                            std::to_string(Opts.MaxInsts) +
+                            " instructions)",
+                        Line, Col);
+    }
+    return true;
+  }
+
+  /// Materializes the constant 0 for the reg-reg compare forms.
+  RegId zero() { return B.createMovImm(0); }
+
+  /// Normalizes \p V to 0/1.
+  RegId toBool(RegId V) { return B.createBin(Opcode::CmpNE, V, zero()); }
+
+  //===--------------------------------------------------------------===//
+  // Expressions. Each returns the value's register (NoReg on failure).
+  // Operands are evaluated left to right, each to a value — so an
+  // assignment inside an expression affects only later operands.
+  //===--------------------------------------------------------------===//
+
+  RegId lowerExpr(const CExpr &E) {
+    switch (E.K) {
+    case CExpr::Kind::Num:
+      return B.createMovImm(E.Num);
+    case CExpr::Kind::Var: {
+      VarInfo *V = lookup(E.Name);
+      if (!V) {
+        failStmt("undeclared identifier '" + E.Name + "'", E.Line, E.Col);
+        return NoReg;
+      }
+      if (V->IsArray) {
+        failStmt("array '" + E.Name +
+                     "' cannot be used as a value (index it, or pass it "
+                     "to an 'int name[]' parameter)",
+                 E.Line, E.Col);
+        return NoReg;
+      }
+      // Copy out: the temporary must keep its value even if the variable
+      // is reassigned later in the same expression.
+      return B.createMov(V->Reg);
+    }
+    case CExpr::Kind::Unary: {
+      RegId V = lowerExpr(*E.Lhs);
+      if (V == NoReg)
+        return NoReg;
+      switch (E.Un) {
+      case CUnOp::Neg:
+        return B.createBin(Opcode::Sub, zero(), V);
+      case CUnOp::LogNot:
+        return B.createBin(Opcode::CmpEQ, V, zero());
+      case CUnOp::BitNot:
+        return B.createBinImm(Opcode::XorI, V, -1);
+      }
+      return NoReg;
+    }
+    case CExpr::Kind::Binary:
+      return lowerBinary(E);
+    case CExpr::Kind::Assign:
+      return lowerAssign(E);
+    case CExpr::Kind::Index: {
+      RegId Base;
+      uint32_t Off;
+      if (!arrayRef(E, Base, Off))
+        return NoReg;
+      return B.createLoad(Base, Off);
+    }
+    case CExpr::Kind::Call:
+      return lowerCall(E);
+    }
+    return NoReg;
+  }
+
+  /// Evaluates the index of `Name[Idx]` and resolves the array's base
+  /// offset. On success \p BaseOut holds the index register and
+  /// \p OffOut the array's base word offset.
+  bool arrayRef(const CExpr &E, RegId &BaseOut, uint32_t &OffOut) {
+    VarInfo *V = lookup(E.Name);
+    if (!V)
+      return failStmt("undeclared identifier '" + E.Name + "'", E.Line,
+                      E.Col);
+    if (!V->IsArray)
+      return failStmt("'" + E.Name + "' is not an array", E.Line, E.Col);
+    RegId Idx = lowerExpr(*E.Lhs);
+    if (Idx == NoReg)
+      return false;
+    BaseOut = Idx;
+    OffOut = V->MemBase;
+    return true;
+  }
+
+  RegId lowerBinary(const CExpr &E) {
+    if (E.Bin == CBinOp::LogAnd || E.Bin == CBinOp::LogOr)
+      return lowerShortCircuit(E);
+
+    RegId L = lowerExpr(*E.Lhs);
+    if (L == NoReg)
+      return NoReg;
+    RegId R = lowerExpr(*E.Rhs);
+    if (R == NoReg)
+      return NoReg;
+    switch (E.Bin) {
+    case CBinOp::Add:
+      return B.createBin(Opcode::Add, L, R);
+    case CBinOp::Sub:
+      return B.createBin(Opcode::Sub, L, R);
+    case CBinOp::Mul:
+      return B.createBin(Opcode::Mul, L, R);
+    case CBinOp::Div:
+      return B.createBin(Opcode::DivS, L, R);
+    case CBinOp::Rem:
+      return B.createBin(Opcode::Rem, L, R);
+    case CBinOp::Shl:
+      return B.createBin(Opcode::Shl, L, R);
+    case CBinOp::Shr:
+      return B.createBin(Opcode::Shr, L, R);
+    case CBinOp::Lt:
+      return B.createBin(Opcode::CmpLT, L, R);
+    case CBinOp::Le:
+      return B.createBin(Opcode::CmpLE, L, R);
+    case CBinOp::Gt:
+      return B.createBin(Opcode::CmpLT, R, L);
+    case CBinOp::Ge:
+      return B.createBin(Opcode::CmpLE, R, L);
+    case CBinOp::Eq:
+      return B.createBin(Opcode::CmpEQ, L, R);
+    case CBinOp::Ne:
+      return B.createBin(Opcode::CmpNE, L, R);
+    case CBinOp::BitAnd:
+      return B.createBin(Opcode::And, L, R);
+    case CBinOp::BitXor:
+      return B.createBin(Opcode::Xor, L, R);
+    case CBinOp::BitOr:
+      return B.createBin(Opcode::Or, L, R);
+    case CBinOp::LogAnd:
+    case CBinOp::LogOr:
+      break;
+    }
+    return NoReg;
+  }
+
+  /// `a && b` / `a || b` with C's short-circuit evaluation: the result
+  /// register is written on every path, the right operand's code runs
+  /// only when needed, and the value is normalized to 0/1.
+  RegId lowerShortCircuit(const CExpr &E) {
+    bool IsAnd = E.Bin == CBinOp::LogAnd;
+    RegId Result = F.makeReg();
+    RegId L = lowerExpr(*E.Lhs);
+    if (L == NoReg)
+      return NoReg;
+    uint32_t RhsBB = F.makeBlock();
+    uint32_t ShortBB = F.makeBlock();
+    uint32_t EndBB = F.makeBlock();
+    // && falls to the short-circuit 0 when the lhs is false; || takes the
+    // short-circuit 1 when the lhs is true.
+    if (IsAnd)
+      B.createBr(L, RhsBB, ShortBB);
+    else
+      B.createBr(L, ShortBB, RhsBB);
+
+    B.setBlock(RhsBB);
+    RegId R = lowerExpr(*E.Rhs);
+    if (R == NoReg)
+      return NoReg;
+    B.createBinTo(Opcode::CmpNE, Result, R, zero());
+    B.createJmp(EndBB);
+
+    B.setBlock(ShortBB);
+    B.createMovImmTo(Result, IsAnd ? 0 : 1);
+    B.createJmp(EndBB);
+
+    B.setBlock(EndBB);
+    return Result;
+  }
+
+  RegId lowerAssign(const CExpr &E) {
+    const CExpr &Target = *E.Lhs;
+    if (Target.K == CExpr::Kind::Var) {
+      VarInfo *V = lookup(Target.Name);
+      if (!V) {
+        failStmt("undeclared identifier '" + Target.Name + "'", Target.Line,
+                 Target.Col);
+        return NoReg;
+      }
+      if (V->IsArray) {
+        failStmt("cannot assign to array '" + Target.Name + "'",
+                 Target.Line, Target.Col);
+        return NoReg;
+      }
+      RegId Val = lowerExpr(*E.Rhs);
+      if (Val == NoReg)
+        return NoReg;
+      B.createMovTo(V->Reg, Val);
+      return Val;
+    }
+    // a[i] = v: index first, value second (left to right).
+    RegId Idx;
+    uint32_t Off;
+    if (!arrayRef(Target, Idx, Off))
+      return NoReg;
+    RegId Val = lowerExpr(*E.Rhs);
+    if (Val == NoReg)
+      return NoReg;
+    B.createStore(Idx, Off, Val);
+    return Val;
+  }
+
+  RegId lowerCall(const CExpr &E) {
+    auto It = FuncsByName.find(E.Name);
+    if (It == FuncsByName.end()) {
+      failStmt("call to undefined function '" + E.Name + "'", E.Line,
+               E.Col);
+      return NoReg;
+    }
+    const CFunc *Callee = It->second;
+    for (const Frame &Fr : Frames)
+      if (Fr.Fn == Callee) {
+        std::string Chain;
+        for (const Frame &Fr2 : Frames)
+          Chain += Fr2.Fn->Name + " -> ";
+        failStmt("recursive call chain " + Chain + Callee->Name +
+                     " (calls are inlined; recursion is not supported)",
+                 E.Line, E.Col);
+        return NoReg;
+      }
+    if (E.Args.size() != Callee->Params.size()) {
+      failStmt("'" + E.Name + "' expects " +
+                   std::to_string(Callee->Params.size()) +
+                   " argument(s), got " + std::to_string(E.Args.size()),
+               E.Line, E.Col);
+      return NoReg;
+    }
+
+    // Evaluate arguments left to right in the caller's frame. Scalar
+    // parameters get a fresh register copy; array parameters bind by
+    // reference to the caller's array storage.
+    std::unordered_map<std::string, VarInfo> ParamScope;
+    for (size_t I = 0; I != E.Args.size(); ++I) {
+      const CParam &P = Callee->Params[I];
+      const CExpr &Arg = *E.Args[I];
+      VarInfo Slot;
+      if (P.IsArray) {
+        if (Arg.K != CExpr::Kind::Var) {
+          failStmt("argument " + std::to_string(I + 1) + " of '" + E.Name +
+                       "' must name an array (parameter '" + P.Name +
+                       "' is 'int " + P.Name + "[]')",
+                   Arg.Line, Arg.Col);
+          return NoReg;
+        }
+        VarInfo *V = lookup(Arg.Name);
+        if (!V) {
+          failStmt("undeclared identifier '" + Arg.Name + "'", Arg.Line,
+                   Arg.Col);
+          return NoReg;
+        }
+        if (!V->IsArray) {
+          failStmt("'" + Arg.Name + "' is not an array (parameter '" +
+                       P.Name + "' is 'int " + P.Name + "[]')",
+                   Arg.Line, Arg.Col);
+          return NoReg;
+        }
+        Slot = *V;
+      } else {
+        RegId Val = lowerExpr(Arg);
+        if (Val == NoReg)
+          return NoReg;
+        Slot.Reg = F.makeReg();
+        B.createMovTo(Slot.Reg, Val);
+      }
+      ParamScope[P.Name] = Slot;
+    }
+
+    // Splice the callee body in: fresh frame, params as innermost scope.
+    RegId Result = F.makeReg();
+    uint32_t JoinBB = F.makeBlock();
+    Frames.push_back(
+        Frame{Callee, Scopes.size(), Loops.size(), Result, JoinBB});
+    Scopes.push_back(std::move(ParamScope));
+    if (!lowerStmt(*Callee->Body))
+      return NoReg;
+    if (!blockTerminated()) {
+      // Falling off the end of a function returns 0.
+      B.createMovImmTo(Result, 0);
+      B.createJmp(JoinBB);
+    }
+    Scopes.pop_back();
+    Frames.pop_back();
+    B.setBlock(JoinBB);
+    return Result;
+  }
+
+  //===--------------------------------------------------------------===//
+  // Statements. Return false on failure.
+  //===--------------------------------------------------------------===//
+
+  bool lowerStmt(const CStmt &S) {
+    ensureOpenBlock();
+    if (!checkSize(S.Line, S.Col))
+      return false;
+    switch (S.K) {
+    case CStmt::Kind::Empty:
+      return true;
+    case CStmt::Kind::Expr:
+      return lowerExpr(*S.Init) != NoReg;
+    case CStmt::Kind::Decl:
+      return lowerDecl(S);
+    case CStmt::Kind::Block: {
+      Scopes.emplace_back();
+      for (const auto &Child : S.Body)
+        if (!lowerStmt(*Child)) {
+          Scopes.pop_back();
+          return false;
+        }
+      Scopes.pop_back();
+      return true;
+    }
+    case CStmt::Kind::If:
+      return lowerIf(S);
+    case CStmt::Kind::While:
+      return lowerWhile(S);
+    case CStmt::Kind::For:
+      return lowerFor(S);
+    case CStmt::Kind::Return:
+      return lowerReturn(S);
+    case CStmt::Kind::Break:
+    case CStmt::Kind::Continue: {
+      if (Loops.size() <= Frames.back().LoopBase)
+        return failStmt(S.K == CStmt::Kind::Break
+                            ? "'break' outside of a loop"
+                            : "'continue' outside of a loop",
+                        S.Line, S.Col);
+      const LoopCtx &L = Loops.back();
+      B.createJmp(S.K == CStmt::Kind::Break ? L.BreakBB : L.ContinueBB);
+      return true;
+    }
+    }
+    return false;
+  }
+
+  bool lowerDecl(const CStmt &S) {
+    if (Scopes.back().count(S.Name))
+      return failStmt("redeclaration of '" + S.Name + "' in this scope",
+                      S.Line, S.Col);
+    VarInfo V;
+    if (S.IsArray) {
+      V.IsArray = true;
+      // Subtract from the budget side: MaxMemWords - ArrayLen underflows
+      // when a single array is bigger than the whole budget.
+      if (S.ArrayLen > Opts.MaxMemWords - MemTop)
+        return failStmt("arrays exceed the data-memory budget of " +
+                            std::to_string(Opts.MaxMemWords) + " words",
+                        S.Line, S.Col);
+      V.MemBase = MemTop;
+      V.Len = S.ArrayLen;
+      MemTop += S.ArrayLen;
+    } else {
+      V.Reg = F.makeReg();
+      if (S.Init) {
+        RegId Val = lowerExpr(*S.Init);
+        if (Val == NoReg)
+          return false;
+        B.createMovTo(V.Reg, Val);
+      } else {
+        // Uninitialized scalars read 0 (defined, unlike C).
+        B.createMovImmTo(V.Reg, 0);
+      }
+    }
+    // Re-fetch the scope: lowering a call in the initializer pushes onto
+    // Scopes, and vector growth invalidates references taken before it.
+    Scopes.back()[S.Name] = V;
+    return true;
+  }
+
+  bool lowerIf(const CStmt &S) {
+    RegId C = lowerExpr(*S.Cond);
+    if (C == NoReg)
+      return false;
+    uint32_t ThenBB = F.makeBlock();
+    uint32_t EndBB = F.makeBlock();
+    uint32_t ElseBB = S.Else ? F.makeBlock() : EndBB;
+    B.createBr(C, ThenBB, ElseBB);
+
+    B.setBlock(ThenBB);
+    if (!lowerStmt(*S.Then))
+      return false;
+    if (!blockTerminated())
+      B.createJmp(EndBB);
+    if (S.Else) {
+      B.setBlock(ElseBB);
+      if (!lowerStmt(*S.Else))
+        return false;
+      if (!blockTerminated())
+        B.createJmp(EndBB);
+    }
+    B.setBlock(EndBB);
+    return true;
+  }
+
+  bool lowerWhile(const CStmt &S) {
+    uint32_t CondBB = F.makeBlock();
+    B.createJmp(CondBB);
+    B.setBlock(CondBB);
+    RegId C = lowerExpr(*S.Cond);
+    if (C == NoReg)
+      return false;
+    uint32_t BodyBB = F.makeBlock();
+    uint32_t EndBB = F.makeBlock();
+    B.createBr(C, BodyBB, EndBB);
+
+    B.setBlock(BodyBB);
+    Loops.push_back(LoopCtx{CondBB, EndBB});
+    bool Ok = lowerStmt(*S.Then);
+    Loops.pop_back();
+    if (!Ok)
+      return false;
+    if (!blockTerminated())
+      B.createJmp(CondBB);
+    B.setBlock(EndBB);
+    return true;
+  }
+
+  bool lowerFor(const CStmt &S) {
+    // The init clause's declaration is scoped to the loop.
+    Scopes.emplace_back();
+    bool Ok = lowerForInner(S);
+    Scopes.pop_back();
+    return Ok;
+  }
+
+  bool lowerForInner(const CStmt &S) {
+    if (!lowerStmt(*S.ForInit))
+      return false;
+    uint32_t CondBB = F.makeBlock();
+    B.createJmp(CondBB);
+    B.setBlock(CondBB);
+    RegId C = S.Cond ? lowerExpr(*S.Cond) : B.createMovImm(1);
+    if (C == NoReg)
+      return false;
+    uint32_t BodyBB = F.makeBlock();
+    uint32_t StepBB = F.makeBlock();
+    uint32_t EndBB = F.makeBlock();
+    B.createBr(C, BodyBB, EndBB);
+
+    B.setBlock(BodyBB);
+    Loops.push_back(LoopCtx{StepBB, EndBB});
+    bool Ok = lowerStmt(*S.Then);
+    Loops.pop_back();
+    if (!Ok)
+      return false;
+    if (!blockTerminated())
+      B.createJmp(StepBB);
+
+    B.setBlock(StepBB);
+    if (S.ForStep && lowerExpr(*S.ForStep) == NoReg)
+      return false;
+    B.createJmp(CondBB);
+    B.setBlock(EndBB);
+    return true;
+  }
+
+  bool lowerReturn(const CStmt &S) {
+    RegId Val;
+    if (S.Init) {
+      Val = lowerExpr(*S.Init);
+      if (Val == NoReg)
+        return false;
+    } else {
+      Val = B.createMovImm(0);
+    }
+    const Frame &Fr = Frames.back();
+    if (Fr.ResultReg == NoReg) {
+      B.createRet(Val);
+    } else {
+      B.createMovTo(Fr.ResultReg, Val);
+      B.createJmp(Fr.JoinBB);
+    }
+    return true;
+  }
+};
+
+} // namespace
+
+std::optional<Function> dra::lowerCProgram(const CProgram &P,
+                                           const std::string &Name,
+                                           CcDiag *D,
+                                           const LowerOptions &O) {
+  return Lowering(P, Name, D, O).run();
+}

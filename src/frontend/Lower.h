@@ -1,0 +1,53 @@
+//===- frontend/Lower.h - Mini-C AST -> dra IR lowering ---------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lowers a parsed mini-C program to one executable dra::Function via
+/// IRBuilder, starting at `main`. The IR has no call instruction, so
+/// calls are lowered by inline expansion: each call site splices a fresh
+/// copy of the callee's body (fresh virtual registers for its parameters,
+/// locals and temporaries) into the caller's CFG, with `return` lowered
+/// to "write the result register, jump to the call's join block".
+/// Recursion is therefore a lowering error, reported with the full call
+/// chain. Arrays live in the function's flat `mem=` space (bump-allocated
+/// word offsets); array parameters bind by reference to the caller's
+/// array. See DESIGN.md "Mini-C frontend" for the complete lowering
+/// rules and the semantics the subset inherits from the IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_LOWER_H
+#define DRA_FRONTEND_LOWER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Diag.h"
+#include "ir/Function.h"
+
+#include <optional>
+#include <string>
+
+namespace dra {
+
+/// Growth bounds for inline expansion. A call tree that multiplies the
+/// program past these caps is a lowering error, not an OOM.
+struct LowerOptions {
+  size_t MaxInsts = 1u << 20;
+  size_t MaxBlocks = 1u << 16;
+  uint32_t MaxMemWords = 1u << 20;
+};
+
+/// Lowers \p P into a single function named \p Name (the program's
+/// `main`, with every call inlined). On failure returns std::nullopt with
+/// a position-carrying diagnostic in \p D. The result always passes
+/// verifyFunction and interprets from block 0.
+std::optional<Function> lowerCProgram(const CProgram &P,
+                                      const std::string &Name,
+                                      CcDiag *D = nullptr,
+                                      const LowerOptions &O = {});
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_LOWER_H

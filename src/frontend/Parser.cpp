@@ -1,0 +1,567 @@
+//===- frontend/Parser.cpp - Mini-C recursive-descent parser --------------===//
+
+#include "frontend/Parser.h"
+
+#include <cassert>
+
+using namespace dra;
+
+namespace {
+
+/// The reserved words of the subset. `int` is the only type.
+bool isKeyword(const std::string &S) {
+  return S == "int" || S == "if" || S == "else" || S == "while" ||
+         S == "for" || S == "return" || S == "break" || S == "continue";
+}
+
+class ParserImpl {
+public:
+  ParserImpl(const std::vector<Token> &Toks, CcDiag *D) : Toks(Toks), D(D) {
+    assert(!Toks.empty() && Toks.back().Kind == TokKind::Eof &&
+           "token stream must be Eof-terminated");
+  }
+
+  std::optional<CProgram> run() {
+    CProgram P;
+    while (!at(TokKind::Eof)) {
+      std::optional<CFunc> F = parseFunc();
+      if (!F)
+        return std::nullopt;
+      for (const CFunc &Prev : P.Funcs)
+        if (Prev.Name == F->Name)
+          return err("redefinition of function '" + F->Name + "'", F->Line,
+                     F->Col);
+      P.Funcs.push_back(std::move(*F));
+    }
+    if (P.Funcs.empty())
+      return err("empty translation unit (expected at least 'int main()')");
+    return P;
+  }
+
+private:
+  const std::vector<Token> &Toks;
+  CcDiag *D;
+  size_t Pos = 0;
+  bool Failed = false;
+
+  const Token &cur() const { return Toks[Pos]; }
+  bool at(TokKind K) const { return cur().Kind == K; }
+  bool atPunct(const char *S) const {
+    return cur().Kind == TokKind::Punct && cur().Text == S;
+  }
+  bool atIdent(const char *S) const {
+    return cur().Kind == TokKind::Ident && cur().Text == S;
+  }
+  void advance() {
+    if (!at(TokKind::Eof))
+      ++Pos;
+  }
+  bool eatPunct(const char *S) {
+    if (!atPunct(S))
+      return false;
+    advance();
+    return true;
+  }
+  bool eatIdent(const char *S) {
+    if (!atIdent(S))
+      return false;
+    advance();
+    return true;
+  }
+
+  std::nullopt_t err(const std::string &Msg, uint32_t Line, uint32_t Col) {
+    if (D && !Failed) {
+      D->Message = Msg;
+      D->Line = Line;
+      D->Col = Col;
+    }
+    Failed = true;
+    return std::nullopt;
+  }
+  std::nullopt_t err(const std::string &Msg) {
+    return err(Msg, cur().Line, cur().Col);
+  }
+  std::nullopt_t errHere(const std::string &Expected) {
+    std::string Got = at(TokKind::Eof) ? "end of input"
+                                       : "'" + cur().Text + "'";
+    return err("expected " + Expected + ", got " + Got);
+  }
+
+  /// Consumes punctuation \p S or fails with "expected 'S'".
+  bool expectPunct(const char *S) {
+    if (eatPunct(S))
+      return true;
+    errHere(std::string("'") + S + "'");
+    return false;
+  }
+
+  /// Consumes a non-keyword identifier; fails otherwise.
+  std::optional<std::string> expectName(const char *What) {
+    if (!at(TokKind::Ident) || isKeyword(cur().Text)) {
+      errHere(What);
+      return std::nullopt;
+    }
+    std::string Name = cur().Text;
+    advance();
+    return Name;
+  }
+
+  // funcdef := "int" ident "(" [param ("," param)*] ")" block
+  std::optional<CFunc> parseFunc() {
+    CFunc F;
+    F.Line = cur().Line;
+    F.Col = cur().Col;
+    if (!eatIdent("int")) {
+      errHere("'int' (a function definition)");
+      return std::nullopt;
+    }
+    std::optional<std::string> Name = expectName("a function name");
+    if (!Name)
+      return std::nullopt;
+    F.Name = std::move(*Name);
+    if (!expectPunct("("))
+      return std::nullopt;
+    if (!atPunct(")")) {
+      do {
+        CParam P;
+        P.Line = cur().Line;
+        P.Col = cur().Col;
+        if (!eatIdent("int")) {
+          errHere("'int' (a parameter type)");
+          return std::nullopt;
+        }
+        std::optional<std::string> PName = expectName("a parameter name");
+        if (!PName)
+          return std::nullopt;
+        P.Name = std::move(*PName);
+        if (eatPunct("[")) {
+          if (!expectPunct("]"))
+            return std::nullopt;
+          P.IsArray = true;
+        }
+        for (const CParam &Prev : F.Params)
+          if (Prev.Name == P.Name) {
+            err("duplicate parameter name '" + P.Name + "'", P.Line, P.Col);
+            return std::nullopt;
+          }
+        F.Params.push_back(std::move(P));
+      } while (eatPunct(","));
+    }
+    if (!expectPunct(")"))
+      return std::nullopt;
+    if (!atPunct("{")) {
+      errHere("'{' (a function body)");
+      return std::nullopt;
+    }
+    F.Body = parseBlock();
+    if (!F.Body)
+      return std::nullopt;
+    return F;
+  }
+
+  std::unique_ptr<CStmt> parseBlock() {
+    auto S = std::make_unique<CStmt>();
+    S->K = CStmt::Kind::Block;
+    S->Line = cur().Line;
+    S->Col = cur().Col;
+    if (!expectPunct("{"))
+      return nullptr;
+    while (!atPunct("}")) {
+      if (at(TokKind::Eof)) {
+        err("unclosed '{' (expected '}')", S->Line, S->Col);
+        return nullptr;
+      }
+      std::unique_ptr<CStmt> Child = parseStmt();
+      if (!Child)
+        return nullptr;
+      S->Body.push_back(std::move(Child));
+    }
+    advance(); // '}'
+    return S;
+  }
+
+  std::unique_ptr<CStmt> parseStmt() {
+    uint32_t Line = cur().Line, Col = cur().Col;
+    auto Mk = [&](CStmt::Kind K) {
+      auto S = std::make_unique<CStmt>();
+      S->K = K;
+      S->Line = Line;
+      S->Col = Col;
+      return S;
+    };
+
+    if (atPunct("{"))
+      return parseBlock();
+    if (eatPunct(";"))
+      return Mk(CStmt::Kind::Empty);
+
+    if (eatIdent("if")) {
+      auto S = Mk(CStmt::Kind::If);
+      if (!expectPunct("("))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(")"))
+        return nullptr;
+      S->Then = parseStmt();
+      if (!S->Then)
+        return nullptr;
+      if (eatIdent("else")) {
+        S->Else = parseStmt();
+        if (!S->Else)
+          return nullptr;
+      }
+      return S;
+    }
+
+    if (eatIdent("while")) {
+      auto S = Mk(CStmt::Kind::While);
+      if (!expectPunct("("))
+        return nullptr;
+      S->Cond = parseExpr();
+      if (!S->Cond || !expectPunct(")"))
+        return nullptr;
+      S->Then = parseStmt();
+      return S->Then ? std::move(S) : nullptr;
+    }
+
+    if (eatIdent("for")) {
+      auto S = Mk(CStmt::Kind::For);
+      if (!expectPunct("("))
+        return nullptr;
+      // Clause 1: declaration, expression statement, or empty.
+      if (atIdent("int")) {
+        S->ForInit = parseDecl();
+      } else if (eatPunct(";")) {
+        auto E = std::make_unique<CStmt>();
+        E->K = CStmt::Kind::Empty;
+        E->Line = Line;
+        E->Col = Col;
+        S->ForInit = std::move(E);
+      } else {
+        auto E = std::make_unique<CStmt>();
+        E->K = CStmt::Kind::Expr;
+        E->Line = cur().Line;
+        E->Col = cur().Col;
+        E->Init = parseExpr();
+        if (!E->Init || !expectPunct(";"))
+          return nullptr;
+        S->ForInit = std::move(E);
+      }
+      if (!S->ForInit)
+        return nullptr;
+      // Clause 2: optional condition.
+      if (!atPunct(";")) {
+        S->Cond = parseExpr();
+        if (!S->Cond)
+          return nullptr;
+      }
+      if (!expectPunct(";"))
+        return nullptr;
+      // Clause 3: optional step.
+      if (!atPunct(")")) {
+        S->ForStep = parseExpr();
+        if (!S->ForStep)
+          return nullptr;
+      }
+      if (!expectPunct(")"))
+        return nullptr;
+      S->Then = parseStmt();
+      return S->Then ? std::move(S) : nullptr;
+    }
+
+    if (eatIdent("return")) {
+      auto S = Mk(CStmt::Kind::Return);
+      if (!atPunct(";")) {
+        S->Init = parseExpr();
+        if (!S->Init)
+          return nullptr;
+      }
+      return expectPunct(";") ? std::move(S) : nullptr;
+    }
+
+    if (eatIdent("break")) {
+      auto S = Mk(CStmt::Kind::Break);
+      return expectPunct(";") ? std::move(S) : nullptr;
+    }
+    if (eatIdent("continue")) {
+      auto S = Mk(CStmt::Kind::Continue);
+      return expectPunct(";") ? std::move(S) : nullptr;
+    }
+
+    if (atIdent("int"))
+      return parseDecl();
+
+    if (atIdent("else")) {
+      errHere("a statement ('else' without a matching 'if')");
+      return nullptr;
+    }
+
+    // Expression statement.
+    auto S = Mk(CStmt::Kind::Expr);
+    S->Init = parseExpr();
+    if (!S->Init || !expectPunct(";"))
+      return nullptr;
+    return S;
+  }
+
+  // decl := "int" ident ("[" num "]" | ["=" assign]) ";"
+  std::unique_ptr<CStmt> parseDecl() {
+    auto S = std::make_unique<CStmt>();
+    S->K = CStmt::Kind::Decl;
+    S->Line = cur().Line;
+    S->Col = cur().Col;
+    if (!eatIdent("int")) {
+      errHere("'int'");
+      return nullptr;
+    }
+    std::optional<std::string> Name = expectName("a variable name");
+    if (!Name)
+      return nullptr;
+    S->Name = std::move(*Name);
+    if (eatPunct("[")) {
+      S->IsArray = true;
+      if (!at(TokKind::Num)) {
+        errHere("a constant array length");
+        return nullptr;
+      }
+      int64_t Len = cur().Num;
+      if (Len <= 0 || Len > (1 << 20)) {
+        err("array length must be in [1, 2^20], got " +
+            std::to_string(Len));
+        return nullptr;
+      }
+      S->ArrayLen = static_cast<uint32_t>(Len);
+      advance();
+      if (!expectPunct("]"))
+        return nullptr;
+      if (atPunct("=")) {
+        errHere("';' (array initializers are not supported)");
+        return nullptr;
+      }
+    } else if (eatPunct("=")) {
+      S->Init = parseAssign();
+      if (!S->Init)
+        return nullptr;
+    }
+    return expectPunct(";") ? std::move(S) : nullptr;
+  }
+
+  std::unique_ptr<CExpr> parseExpr() { return parseAssign(); }
+
+  // assign := logor ["=" assign]
+  std::unique_ptr<CExpr> parseAssign() {
+    uint32_t Line = cur().Line, Col = cur().Col;
+    std::unique_ptr<CExpr> L = parseBinary(0);
+    if (!L)
+      return nullptr;
+    if (!atPunct("="))
+      return L;
+    if (L->K != CExpr::Kind::Var && L->K != CExpr::Kind::Index) {
+      err("assignment target must be a variable or an array element", Line,
+          Col);
+      return nullptr;
+    }
+    advance(); // '='
+    auto A = std::make_unique<CExpr>();
+    A->K = CExpr::Kind::Assign;
+    A->Line = Line;
+    A->Col = Col;
+    A->Lhs = std::move(L);
+    A->Rhs = parseAssign();
+    return A->Rhs ? std::move(A) : nullptr;
+  }
+
+  /// Binary operators by precedence level (loosest first). Level is an
+  /// index into this table; all levels are left-associative.
+  struct OpEntry {
+    const char *Tok;
+    CBinOp Op;
+  };
+  static constexpr int NumLevels = 9;
+  const std::vector<OpEntry> &levelOps(int Level) const {
+    static const std::vector<OpEntry> Levels[NumLevels] = {
+        {{"||", CBinOp::LogOr}},
+        {{"&&", CBinOp::LogAnd}},
+        {{"|", CBinOp::BitOr}},
+        {{"^", CBinOp::BitXor}},
+        {{"&", CBinOp::BitAnd}},
+        {{"==", CBinOp::Eq}, {"!=", CBinOp::Ne}},
+        {{"<=", CBinOp::Le},
+         {">=", CBinOp::Ge},
+         {"<", CBinOp::Lt},
+         {">", CBinOp::Gt}},
+        {{"<<", CBinOp::Shl}, {">>", CBinOp::Shr}},
+        {{"+", CBinOp::Add}, {"-", CBinOp::Sub}},
+    };
+    return Levels[Level];
+  }
+
+  std::unique_ptr<CExpr> parseBinary(int Level) {
+    if (Level == NumLevels)
+      return parseMul();
+    std::unique_ptr<CExpr> L = parseBinary(Level + 1);
+    if (!L)
+      return nullptr;
+    for (;;) {
+      const OpEntry *Hit = nullptr;
+      for (const OpEntry &E : levelOps(Level))
+        if (atPunct(E.Tok)) {
+          Hit = &E;
+          break;
+        }
+      if (!Hit)
+        return L;
+      uint32_t Line = cur().Line, Col = cur().Col;
+      advance();
+      std::unique_ptr<CExpr> R = parseBinary(Level + 1);
+      if (!R)
+        return nullptr;
+      auto B = std::make_unique<CExpr>();
+      B->K = CExpr::Kind::Binary;
+      B->Bin = Hit->Op;
+      B->Line = Line;
+      B->Col = Col;
+      B->Lhs = std::move(L);
+      B->Rhs = std::move(R);
+      L = std::move(B);
+    }
+  }
+
+  // mul := unary (("*"|"/"|"%") unary)*
+  std::unique_ptr<CExpr> parseMul() {
+    std::unique_ptr<CExpr> L = parseUnary();
+    if (!L)
+      return nullptr;
+    for (;;) {
+      CBinOp Op;
+      if (atPunct("*"))
+        Op = CBinOp::Mul;
+      else if (atPunct("/"))
+        Op = CBinOp::Div;
+      else if (atPunct("%"))
+        Op = CBinOp::Rem;
+      else
+        return L;
+      uint32_t Line = cur().Line, Col = cur().Col;
+      advance();
+      std::unique_ptr<CExpr> R = parseUnary();
+      if (!R)
+        return nullptr;
+      auto B = std::make_unique<CExpr>();
+      B->K = CExpr::Kind::Binary;
+      B->Bin = Op;
+      B->Line = Line;
+      B->Col = Col;
+      B->Lhs = std::move(L);
+      B->Rhs = std::move(R);
+      L = std::move(B);
+    }
+  }
+
+  // unary := ("+"|"-"|"!"|"~") unary | primary
+  std::unique_ptr<CExpr> parseUnary() {
+    uint32_t Line = cur().Line, Col = cur().Col;
+    if (eatPunct("+"))
+      return parseUnary(); // unary plus is the identity
+    CUnOp Op;
+    if (eatPunct("-"))
+      Op = CUnOp::Neg;
+    else if (eatPunct("!"))
+      Op = CUnOp::LogNot;
+    else if (eatPunct("~"))
+      Op = CUnOp::BitNot;
+    else
+      return parsePrimary();
+    std::unique_ptr<CExpr> Operand = parseUnary();
+    if (!Operand)
+      return nullptr;
+    // Fold -LITERAL so INT64_MIN is writable and constants stay literal.
+    if (Op == CUnOp::Neg && Operand->K == CExpr::Kind::Num) {
+      Operand->Num = -Operand->Num;
+      return Operand;
+    }
+    auto U = std::make_unique<CExpr>();
+    U->K = CExpr::Kind::Unary;
+    U->Un = Op;
+    U->Line = Line;
+    U->Col = Col;
+    U->Lhs = std::move(Operand);
+    return U;
+  }
+
+  // primary := num | "(" expr ")" | ident ["(" args ")" | "[" expr "]"]
+  std::unique_ptr<CExpr> parsePrimary() {
+    uint32_t Line = cur().Line, Col = cur().Col;
+    if (at(TokKind::Num)) {
+      auto E = std::make_unique<CExpr>();
+      E->K = CExpr::Kind::Num;
+      E->Num = cur().Num;
+      E->Line = Line;
+      E->Col = Col;
+      advance();
+      return E;
+    }
+    if (eatPunct("(")) {
+      std::unique_ptr<CExpr> E = parseExpr();
+      if (!E || !expectPunct(")"))
+        return nullptr;
+      return E;
+    }
+    if (at(TokKind::Ident) && !isKeyword(cur().Text)) {
+      std::string Name = cur().Text;
+      advance();
+      if (eatPunct("(")) {
+        auto E = std::make_unique<CExpr>();
+        E->K = CExpr::Kind::Call;
+        E->Name = std::move(Name);
+        E->Line = Line;
+        E->Col = Col;
+        if (!atPunct(")")) {
+          do {
+            std::unique_ptr<CExpr> Arg = parseAssign();
+            if (!Arg)
+              return nullptr;
+            E->Args.push_back(std::move(Arg));
+          } while (eatPunct(","));
+        }
+        if (!expectPunct(")"))
+          return nullptr;
+        return E;
+      }
+      if (eatPunct("[")) {
+        auto E = std::make_unique<CExpr>();
+        E->K = CExpr::Kind::Index;
+        E->Name = std::move(Name);
+        E->Line = Line;
+        E->Col = Col;
+        E->Lhs = parseExpr();
+        if (!E->Lhs || !expectPunct("]"))
+          return nullptr;
+        return E;
+      }
+      auto E = std::make_unique<CExpr>();
+      E->K = CExpr::Kind::Var;
+      E->Name = std::move(Name);
+      E->Line = Line;
+      E->Col = Col;
+      return E;
+    }
+    errHere("an expression");
+    return nullptr;
+  }
+};
+
+} // namespace
+
+std::optional<CProgram> dra::parseCProgram(const std::vector<Token> &Toks,
+                                           CcDiag *D) {
+  return ParserImpl(Toks, D).run();
+}
+
+std::optional<CProgram> dra::parseCSource(const std::string &Src,
+                                          CcDiag *D) {
+  std::vector<Token> Toks;
+  if (!tokenize(Src, Toks, D))
+    return std::nullopt;
+  return parseCProgram(Toks, D);
+}

@@ -1,0 +1,44 @@
+//===- frontend/Parser.h - Mini-C recursive-descent parser ------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for the mini-C subset (grammar in DESIGN.md
+/// "Mini-C frontend"). Operator precedence and associativity follow C:
+///
+///   =                                (right)
+///   || && | ^ & == != < <= > >= << >> + - * / %   (left, loosest first)
+///   unary + - ! ~                    (right)
+///   postfix a[i] f(...)              (on identifiers)
+///
+/// Every syntax error carries the line/column of the offending token.
+/// Distinct from ir/Parser.h, which parses the textual IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_FRONTEND_PARSER_H
+#define DRA_FRONTEND_PARSER_H
+
+#include "frontend/Ast.h"
+#include "frontend/Diag.h"
+#include "frontend/Lexer.h"
+
+#include <optional>
+#include <string>
+
+namespace dra {
+
+/// Parses a whole translation unit from \p Toks (a tokenize() result).
+/// On failure returns std::nullopt with the diagnostic in \p D.
+std::optional<CProgram> parseCProgram(const std::vector<Token> &Toks,
+                                      CcDiag *D = nullptr);
+
+/// Convenience: tokenize + parse in one call.
+std::optional<CProgram> parseCSource(const std::string &Src,
+                                     CcDiag *D = nullptr);
+
+} // namespace dra
+
+#endif // DRA_FRONTEND_PARSER_H

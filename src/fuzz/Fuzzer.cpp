@@ -5,6 +5,8 @@
 #include "adt/Rng.h"
 #include "core/Encoder.h"
 #include "driver/ResultCache.h"
+#include "frontend/CSourceGen.h"
+#include "frontend/Frontend.h"
 #include "fuzz/Invariants.h"
 #include "fuzz/Minimizer.h"
 #include "fuzz/Oracle.h"
@@ -83,26 +85,30 @@ const ConfigVariant ConfigVariants[] = {
 };
 
 /// The scheme axis: the three differential pipelines, the remap pipeline
-/// with its multi-start search sharded over pool workers, and a
+/// with its multi-start search sharded over pool workers, a
 /// cache-replay arm that recompiles the heaviest pipeline (coalesce)
-/// through a warm ResultCache. The parallel variant returns bit-identical
-/// results to sequential remap by construction — running it under the
-/// oracle and the TSan sweep is what guards that construction; likewise
-/// "cached == fresh" is the cache's construction invariant and the replay
-/// arm is its guard.
+/// through a warm ResultCache, and a csrc arm whose program comes from
+/// the mini-C frontend (its scheme rotates through the three
+/// differential pipelines by seed, see caseForIndex). The parallel
+/// variant returns bit-identical results to sequential remap by
+/// construction — running it under the oracle and the TSan sweep is what
+/// guards that construction; likewise "cached == fresh" is the cache's
+/// construction invariant and the replay arm is its guard.
 struct SchemeVariant {
   Scheme S;
   unsigned RemapJobs;
   const char *Name;
   bool CacheReplay;
+  bool CSrc;
 };
 
 const SchemeVariant SchemeVariants[] = {
-    {Scheme::Remap, 1, "remap", false},
-    {Scheme::Select, 1, "select", false},
-    {Scheme::Coalesce, 1, "coalesce", false},
-    {Scheme::Remap, 3, "remap-parallel", false},
-    {Scheme::Coalesce, 1, "cache-replay", true},
+    {Scheme::Remap, 1, "remap", false, false},
+    {Scheme::Select, 1, "select", false, false},
+    {Scheme::Coalesce, 1, "coalesce", false, false},
+    {Scheme::Remap, 3, "remap-parallel", false, false},
+    {Scheme::Coalesce, 1, "cache-replay", true, false},
+    {Scheme::Remap, 1, "csrc", false, true},
 };
 
 constexpr size_t NumSchemeVariants =
@@ -219,6 +225,10 @@ unsigned dra::caseMatrixSize() {
          static_cast<unsigned>(NumSchemeVariants);
 }
 
+const char *dra::caseVariantName(uint64_t Index) {
+  return SchemeVariants[Index % NumSchemeVariants].Name;
+}
+
 FuzzCase dra::caseForIndex(uint64_t BaseSeed, uint64_t Index) {
   FuzzCase FC;
   FC.Index = Index;
@@ -232,6 +242,17 @@ FuzzCase dra::caseForIndex(uint64_t BaseSeed, uint64_t Index) {
                            sizeof(ConfigVariants[0]))]
                .Make();
   FC.Profile = profileFor(FC.Seed);
+  if (SV.CSrc) {
+    // Frontend-sourced case: generate the mini-C text here so the case
+    // stays a pure function of (BaseSeed, Index), and rotate the scheme
+    // by seed so all three differential pipelines see frontend-shaped
+    // programs (inlined calls, short-circuit CFGs, mem-resident arrays).
+    FC.CSrc = true;
+    static const Scheme Rotation[3] = {Scheme::Remap, Scheme::Select,
+                                       Scheme::Coalesce};
+    FC.S = Rotation[FC.Seed % 3];
+    FC.CSource = generateCSource(csrcProfileFor(FC.Seed));
+  }
   return FC;
 }
 
@@ -351,6 +372,28 @@ std::optional<std::string> dra::checkProgram(const Function &P,
 
 FuzzCaseResult dra::runFuzzCase(const FuzzCase &FC, size_t MinimizeBudget) {
   FuzzCaseResult Out;
+  if (FC.CSrc) {
+    // Frontend-sourced case: the compile itself is under test too — a
+    // generated program the frontend rejects is a finding, not a skip.
+    CcDiag D;
+    std::optional<Function> F =
+        compileCSource("cs" + std::to_string(FC.Index), FC.CSource, &D);
+    if (!F) {
+      Out.Ok = false;
+      Out.Detail = "frontend rejected generated source: " + D.render();
+      return Out;
+    }
+    std::optional<std::string> Failure =
+        checkProgram(*F, FC, &Out.OracleDynInsts);
+    Out.Program = std::move(*F);
+    if (Failure) {
+      // No delta debugging: ddmin mutates IR, but the repro's ground
+      // truth for this variant is the embedded source text.
+      Out.Ok = false;
+      Out.Detail = *Failure;
+    }
+    return Out;
+  }
   Function P = generateProgram("fz" + std::to_string(FC.Index), FC.Profile);
   std::optional<std::string> Failure =
       checkProgram(P, FC, &Out.OracleDynInsts);

@@ -14,11 +14,15 @@
 /// differential pipelines (remap, select, coalesce) plus a
 /// `remap-parallel` variant — the remap pipeline with the multi-start
 /// search sharded over RemapJobs pool workers, so the lockstep oracle
-/// exercises the parallel incremental search end-to-end — and a
+/// exercises the parallel incremental search end-to-end — a
 /// `cache-replay` variant that compiles the case cold, then again through
 /// a warm result cache (driver/ResultCache.h), requiring the replayed
 /// function and its encoded stream to be bit-identical to the fresh
-/// compile. For each case the harness:
+/// compile, and a `csrc` variant whose program comes from the mini-C
+/// frontend (src/frontend/) instead of ProgramGen: a seeded random
+/// source file is generated, compiled through tokenizer/parser/lowering,
+/// and the lowered function runs the same checks under one of the three
+/// differential pipelines (rotated by seed). For each case the harness:
 ///
 ///  1. generates the program and runs the full pipeline, checking the
 ///     end-to-end fingerprint (allocation may legally restructure code, so
@@ -89,6 +93,12 @@ struct FuzzCase {
   /// encoded stream — to match the fresh compile exactly (the
   /// `cache-replay` scheme variant sets this).
   bool CacheReplay = false;
+  /// The `csrc` scheme variant: the case's program is CSource compiled
+  /// through the mini-C frontend instead of a ProgramGen function.
+  /// Failures skip delta debugging (the repro embeds the source itself,
+  /// already small by generation profile).
+  bool CSrc = false;
+  std::string CSource;
 
   /// Stable human-readable id, e.g. "s42-coalesce-vliw32-dst-sp".
   std::string name() const;
@@ -103,6 +113,11 @@ FuzzCase caseForIndex(uint64_t BaseSeed, uint64_t Index);
 /// Number of distinct (scheme × config) variants `caseForIndex` cycles
 /// through; a sweep of this many consecutive indices covers the matrix.
 unsigned caseMatrixSize();
+
+/// Name of the scheme-variant slot case \p Index occupies ("remap",
+/// "select", "coalesce", "remap-parallel", "cache-replay" or "csrc").
+/// Pure function of the index (the slot is Index mod the variant count).
+const char *caseVariantName(uint64_t Index);
 
 /// Runs every check on \p P under case \p FC. Returns std::nullopt when
 /// all pass, otherwise a description of the first failing check. When

@@ -113,6 +113,17 @@ std::string dra::writeRepro(const FuzzCase &FC, const Function &P) {
   Out << "# remapjobs: " << FC.RemapJobs << "\n";
   Out << "# cachereplay: " << (FC.CacheReplay ? 1 : 0) << "\n";
   Out << "# fault: " << injectFaultName(FC.Fault) << "\n";
+  if (FC.CSrc) {
+    // The csrc variant's ground truth is the mini-C source: replay
+    // recompiles it through the frontend. One directive per source line
+    // keeps the file a flat `#`-header + IR-body document; the IR body
+    // below is the lowered form, kept for human inspection and for
+    // readers that predate this directive.
+    std::istringstream Src(FC.CSource);
+    std::string SrcLine;
+    while (std::getline(Src, SrcLine))
+      Out << "# csrc: " << SrcLine << "\n";
+  }
   Out << printFunction(P);
   return Out.str();
 }
@@ -169,6 +180,12 @@ bool dra::loadRepro(const std::string &Text, FuzzCase &FC, Function &P,
       while (LS >> Tok)
         if (!parseEncToken(Tok, FC.Enc))
           return fail(Err, "repro: bad enc token '" + Tok + "'");
+    } else if (Key == "csrc:") {
+      // Everything after the "# csrc: " prefix is one verbatim source
+      // line (substr, not LS: token reads would eat the indentation).
+      FC.CSrc = true;
+      FC.CSource += Line.size() > 8 ? Line.substr(8) : "";
+      FC.CSource += "\n";
     }
     // Any other directive (e.g. "# case:") is informational.
   }

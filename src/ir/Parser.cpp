@@ -61,7 +61,9 @@ public:
     return Line.substr(Start, Pos - Start);
   }
 
-  /// Consumes "rN" and returns N.
+  /// Consumes "rN" and returns N. Register numbers are plain digit runs:
+  /// a sign ("r-1") is rejected rather than wrapped through the unsigned
+  /// RegId, and NoReg stays reserved as the sentinel.
   RegId reg() {
     skipSpace();
     if (Pos >= Line.size() || Line[Pos] != 'r') {
@@ -69,10 +71,15 @@ public:
       return NoReg;
     }
     ++Pos;
-    return static_cast<RegId>(integer());
+    uint64_t N = digits("register number");
+    if (N >= NoReg) {
+      fail("register number out of range");
+      return NoReg;
+    }
+    return static_cast<RegId>(N);
   }
 
-  /// Consumes "bbN" and returns N.
+  /// Consumes "bbN" and returns N (same digit-run rules as reg()).
   uint32_t blockRef() {
     skipSpace();
     if (Line.compare(Pos, 2, "bb") != 0) {
@@ -80,24 +87,44 @@ public:
       return NoBlock;
     }
     Pos += 2;
-    return static_cast<uint32_t>(integer());
+    uint64_t N = digits("block number");
+    // Branch targets materialize their block, so cap like block labels.
+    if (N > (1u << 20)) {
+      fail("block number out of range");
+      return NoBlock;
+    }
+    return static_cast<uint32_t>(N);
   }
 
-  /// Consumes an optionally-signed integer.
-  int64_t integer() {
-    skipSpace();
-    size_t Start = Pos;
-    if (Pos < Line.size() && (Line[Pos] == '-' || Line[Pos] == '+'))
-      ++Pos;
-    size_t DigitsStart = Pos;
-    while (Pos < Line.size() &&
-           std::isdigit(static_cast<unsigned char>(Line[Pos])))
-      ++Pos;
-    if (Pos == DigitsStart) {
-      fail("expected an integer");
+  /// Consumes an unsigned integer that must fit uint32 (header fields).
+  uint32_t unsignedField(const char *What) {
+    uint64_t N = digits(What);
+    if (N > UINT32_MAX) {
+      fail(std::string(What) + " out of range");
       return 0;
     }
-    return std::stoll(Line.substr(Start, Pos - Start));
+    return static_cast<uint32_t>(N);
+  }
+
+  /// Consumes an optionally-signed int64. Out-of-range literals are a
+  /// parse failure, not an exception or a silent wrap.
+  int64_t integer() {
+    skipSpace();
+    bool Neg = false;
+    if (Pos < Line.size() && (Line[Pos] == '-' || Line[Pos] == '+')) {
+      Neg = Line[Pos] == '-';
+      ++Pos;
+    }
+    uint64_t Mag = digits("an integer");
+    if (Failed)
+      return 0;
+    uint64_t Limit =
+        Neg ? uint64_t(INT64_MAX) + 1 : uint64_t(INT64_MAX);
+    if (Mag > Limit) {
+      fail("integer literal out of range");
+      return 0;
+    }
+    return static_cast<int64_t>(Neg ? 0 - Mag : Mag);
   }
 
   bool fail(const std::string &Why) {
@@ -109,6 +136,33 @@ public:
   }
 
 private:
+  /// Consumes a run of decimal digits, accumulating with overflow
+  /// detection (uint64 saturates the check; callers range-check further).
+  uint64_t digits(const char *What) {
+    skipSpace();
+    size_t Start = Pos;
+    uint64_t N = 0;
+    bool Overflow = false;
+    while (Pos < Line.size() &&
+           std::isdigit(static_cast<unsigned char>(Line[Pos]))) {
+      unsigned D = static_cast<unsigned>(Line[Pos] - '0');
+      if (N > (UINT64_MAX - D) / 10)
+        Overflow = true;
+      else
+        N = N * 10 + D;
+      ++Pos;
+    }
+    if (Pos == Start) {
+      fail(std::string("expected ") + What);
+      return 0;
+    }
+    if (Overflow) {
+      fail(std::string(What) + " out of range");
+      return 0;
+    }
+    return N;
+  }
+
   const std::string &Line;
   size_t LineNo;
   size_t Pos = 0;
@@ -207,27 +261,51 @@ std::optional<Function> dra::parseFunction(const std::string &Text,
       F.Name = P.word();
       if (!P.expect("regs=") )
         return Fail(P.message());
-      F.NumRegs = static_cast<uint32_t>(P.integer());
+      F.NumRegs = P.unsignedField("regs=");
       if (!P.expect("mem="))
         return Fail(P.message());
-      F.MemWords = static_cast<uint32_t>(P.integer());
+      F.MemWords = P.unsignedField("mem=");
       if (!P.expect("spills="))
         return Fail(P.message());
-      F.NumSpillSlots = static_cast<uint32_t>(P.integer());
+      F.NumSpillSlots = P.unsignedField("spills=");
       if (P.failed())
         return Fail(P.message());
+      if (!P.atEnd())
+        return Fail("line " + std::to_string(LineNo) +
+                    ": trailing characters after header");
       SawHeader = true;
       continue;
     }
 
-    // Block label?
+    // Block label? Only an all-digit suffix counts ("bb5x:" is not a
+    // quiet alias for bb5, and "bbx:" is not a crash), and the number
+    // must fit — the label allocates that many blocks.
     {
       LineParser Probe(Line, LineNo);
       Probe.skipSpace();
       std::string W = Probe.word();
       if (!Probe.failed() && W.size() > 2 && W.compare(0, 2, "bb") == 0 &&
-          Probe.expect(":")) {
-        uint32_t Idx = static_cast<uint32_t>(std::stoul(W.substr(2)));
+          Probe.tryExpect(":")) {
+        bool AllDigits = true;
+        uint64_t Idx = 0;
+        for (size_t I = 2; I != W.size(); ++I) {
+          if (!std::isdigit(static_cast<unsigned char>(W[I]))) {
+            AllDigits = false;
+            break;
+          }
+          Idx = Idx * 10 + static_cast<unsigned>(W[I] - '0');
+          // The label allocates Idx+1 blocks, so an absurd number is an
+          // error up front rather than an allocation of that size.
+          if (Idx > (1u << 20))
+            return Fail("line " + std::to_string(LineNo) +
+                        ": block label '" + W + "' out of range");
+        }
+        if (!AllDigits)
+          return Fail("line " + std::to_string(LineNo) +
+                      ": malformed block label '" + W + "'");
+        if (!Probe.atEnd())
+          return Fail("line " + std::to_string(LineNo) +
+                      ": trailing characters after block label");
         while (F.Blocks.size() <= Idx)
           F.makeBlock();
         CurBlock = static_cast<int>(Idx);
@@ -333,6 +411,9 @@ std::optional<Function> dra::parseFunction(const std::string &Text,
     }
     if (P.failed())
       return Fail(P.message());
+    if (!P.atEnd())
+      return Fail("line " + std::to_string(LineNo) +
+                  ": trailing characters after instruction");
     // Ensure referenced blocks exist even if their labels come later.
     for (uint32_t T : {I.Target0, I.Target1})
       if (T != NoBlock)

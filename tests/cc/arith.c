@@ -1,0 +1,8 @@
+// Basic arithmetic on locals. 6*7 - 100/4 + 17%5 = 42 - 25 + 2 = 19.
+// expect: 19
+int main() {
+  int a = 6 * 7;
+  int b = 100 / 4;
+  int c = 17 % 5;
+  return a - b + c;
+}

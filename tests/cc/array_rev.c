@@ -1,0 +1,23 @@
+// In-place reversal, then check the permutation landed: a[i] = 7-i.
+// expect: 1
+int main() {
+  int a[8];
+  for (int i = 0; i < 8; i = i + 1) {
+    a[i] = i;
+  }
+  int lo = 0;
+  int hi = 7;
+  while (lo < hi) {
+    int t = a[lo];
+    a[lo] = a[hi];
+    a[hi] = t;
+    lo = lo + 1;
+    hi = hi - 1;
+  }
+  int ok = 1;
+  for (int i = 0; i < 8; i = i + 1) {
+    if (a[i] != 7 - i)
+      ok = 0;
+  }
+  return ok;
+}

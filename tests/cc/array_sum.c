@@ -1,0 +1,13 @@
+// Fill an array with squares and sum it: 0+1+4+...+81 = 285.
+// expect: 285
+int main() {
+  int a[10];
+  for (int i = 0; i < 10; i = i + 1) {
+    a[i] = i * i;
+  }
+  int s = 0;
+  for (int i = 0; i < 10; i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}

@@ -1,0 +1,7 @@
+// Deliberately malformed: missing semicolon. Used by the ctest entry
+// that asserts dra-cc rejects bad input with a positioned diagnostic.
+// (Kept in bad/, which the corpus runner's non-recursive scan skips.)
+int main() {
+  int x = 1
+  return x;
+}

@@ -1,0 +1,8 @@
+// Bitwise and/or/xor on positive patterns: (0xF0&0x3C)|(0x0F^0x05)
+// = 0x30 | 0x0A = 0x3A = 58.
+// expect: 58
+int main() {
+  int a = 240 & 60;
+  int b = 15 ^ 5;
+  return a | b;
+}

@@ -1,0 +1,21 @@
+// break leaves only the innermost loop; continue skips to the step.
+// Trace: i=0 adds j=0,1 -> 0+1; i=1 continues; i=2 adds 20+21; i=3
+// breaks before its inner loop. Total 1 + 41 = 42.
+// expect: 42
+int main() {
+  int s = 0;
+  for (int i = 0; i < 5; i = i + 1) {
+    if (i == 1)
+      continue;
+    if (i == 3)
+      break;
+    for (int j = 0; j < 4; j = j + 1) {
+      if (j == 2)
+        continue;
+      if (j == 3)
+        break;
+      s = s + i * 10 + j;
+    }
+  }
+  return s;
+}

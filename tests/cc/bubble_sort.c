@@ -1,0 +1,26 @@
+// Bubble sort, then a checksum weighting each element by its slot.
+// Sorted: 1 2 3 5 8 9; checksum = sum (i+1)*a[i] = 1+4+9+20+40+54=128.
+// expect: 128
+int main() {
+  int a[6];
+  a[0] = 9;
+  a[1] = 3;
+  a[2] = 8;
+  a[3] = 1;
+  a[4] = 5;
+  a[5] = 2;
+  for (int i = 0; i < 5; i = i + 1) {
+    for (int j = 0; j < 5 - i; j = j + 1) {
+      if (a[j] > a[j + 1]) {
+        int t = a[j];
+        a[j] = a[j + 1];
+        a[j + 1] = t;
+      }
+    }
+  }
+  int s = 0;
+  for (int i = 0; i < 6; i = i + 1) {
+    s = s + (i + 1) * a[i];
+  }
+  return s;
+}

@@ -1,0 +1,15 @@
+// Collatz steps from 27 (a classic long chain): 111 steps to reach 1.
+// expect: 111
+int main() {
+  int n = 27;
+  int steps = 0;
+  while (n != 1) {
+    if (n % 2 == 0) {
+      n = n / 2;
+    } else {
+      n = 3 * n + 1;
+    }
+    steps = steps + 1;
+  }
+  return steps;
+}

@@ -1,0 +1,6 @@
+// Comparison operators produce 0/1. 1+0+1+1+0+1 = 4.
+// expect: 4
+int main() {
+  int x = 5;
+  return (x < 9) + (x < 5) + (x <= 5) + (x > -1) + (x >= 6) + (x == 5);
+}

@@ -1,0 +1,13 @@
+// Division semantics are the IR's total ones: truncation toward zero
+// like C, but division or remainder by zero yields 0 instead of
+// trapping (so this file has no C-compiler oracle).
+// -7/2 = -3, -7%2 = -1, 9/0 = 0, 9%0 = 0 -> -3 + -1 + 0 + 0 + 10 = 6.
+// expect: 6
+int main() {
+  int z = 0;
+  int a = -7 / 2;
+  int b = -7 % 2;
+  int c = 9 / z;
+  int d = 9 % z;
+  return a + b + c + d + 10;
+}

@@ -1,0 +1,13 @@
+// Assignments are expressions: chained a = b = c, and a value-producing
+// assignment inside a condition. a=b=5 -> both 5; (x = a+b) == 10 holds.
+// expect: 30
+int main() {
+  int a = 0;
+  int b = 0;
+  int x = 0;
+  a = b = 5;
+  if ((x = a + b) == 10) {
+    return a + b + x + 10;
+  }
+  return 0;
+}

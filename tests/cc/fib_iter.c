@@ -1,0 +1,12 @@
+// Iterative Fibonacci: fib(20) = 6765.
+// expect: 6765
+int main() {
+  int a = 0;
+  int b = 1;
+  for (int i = 0; i < 20; i = i + 1) {
+    int t = a + b;
+    a = b;
+    b = t;
+  }
+  return a;
+}

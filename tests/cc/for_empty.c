@@ -1,0 +1,11 @@
+// for with empty init/step clauses and a side-effecting condition.
+// expect: 10
+int main() {
+  int i = 0;
+  int s = 0;
+  for (; i < 5;) {
+    s = s + 2;
+    i = i + 1;
+  }
+  return s;
+}

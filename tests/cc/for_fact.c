@@ -1,0 +1,9 @@
+// for loop with init declaration: 7! = 5040.
+// expect: 5040
+int main() {
+  int f = 1;
+  for (int i = 2; i <= 7; i = i + 1) {
+    f = f * i;
+  }
+  return f;
+}

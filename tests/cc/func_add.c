@@ -1,0 +1,12 @@
+// Simple scalar helpers; calls are inlined so each call site gets its
+// own copy. add(3,4)+add(10,20)+twice(6) = 7 + 30 + 12 = 49.
+// expect: 49
+int add(int a, int b) {
+  return a + b;
+}
+int twice(int x) {
+  return x + x;
+}
+int main() {
+  return add(3, 4) + add(10, 20) + twice(6);
+}

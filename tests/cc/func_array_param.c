@@ -1,0 +1,21 @@
+// Array parameters bind by reference: fill writes the caller's array,
+// sum reads it back. sum of 3*i+1 for i in 0..5 = 3*15+6 = 51.
+// expect: 51
+int fill(int a[], int n) {
+  for (int i = 0; i < n; i = i + 1) {
+    a[i] = 3 * i + 1;
+  }
+  return 0;
+}
+int sum(int a[], int n) {
+  int s = 0;
+  for (int i = 0; i < n; i = i + 1) {
+    s = s + a[i];
+  }
+  return s;
+}
+int main() {
+  int a[6];
+  fill(a, 6);
+  return sum(a, 6);
+}

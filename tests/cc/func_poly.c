@@ -1,0 +1,15 @@
+// Helpers calling helpers (still acyclic): square uses mul, poly uses
+// both. poly(x) = x^2 + 3x + 1 at x=6 -> 36+18+1 = 55.
+// expect: 55
+int mul(int a, int b) {
+  return a * b;
+}
+int square(int x) {
+  return mul(x, x);
+}
+int poly(int x) {
+  return square(x) + mul(3, x) + 1;
+}
+int main() {
+  return poly(6);
+}

@@ -1,0 +1,13 @@
+// Euclid in a helper function (inlined at the call site): gcd(252,105)=21.
+// expect: 21
+int gcd(int a, int b) {
+  while (b != 0) {
+    int t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+int main() {
+  return gcd(252, 105);
+}

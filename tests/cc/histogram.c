@@ -1,0 +1,19 @@
+// Bucket a pseudo-sequence mod 4 and return the weighted bucket sum.
+// Values i*7%16 for i in 0..15 hit each residue class mod 4 exactly 4
+// times, so the histogram is flat: 4 + 2*4 + 3*4 + 4*4 = 40.
+// expect: 40
+int main() {
+  int h[4];
+  for (int i = 0; i < 4; i = i + 1) {
+    h[i] = 0;
+  }
+  for (int i = 0; i < 16; i = i + 1) {
+    int v = i * 7 % 16;
+    h[v % 4] = h[v % 4] + 1;
+  }
+  int s = 0;
+  for (int i = 0; i < 4; i = i + 1) {
+    s = s + (i + 1) * h[i];
+  }
+  return s;
+}

@@ -1,0 +1,16 @@
+// if/else chains, including a dangling else bound to the nearest if.
+// expect: 21
+int main() {
+  int x = 7;
+  int r = 0;
+  if (x > 10)
+    r = 1;
+  else if (x > 5)
+    r = 21;
+  else
+    r = 3;
+  if (x == 7)
+    if (x > 100)
+      r = 4;
+  return r;
+}

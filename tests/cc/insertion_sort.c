@@ -1,0 +1,31 @@
+// Insertion sort in a helper taking the array by reference; main checks
+// sortedness and returns the median element (sorted: 2 4 6 7 9 11 13).
+// expect: 7
+int sort(int a[], int n) {
+  for (int i = 1; i < n; i = i + 1) {
+    int key = a[i];
+    int j = i - 1;
+    while (j >= 0 && a[j] > key) {
+      a[j + 1] = a[j];
+      j = j - 1;
+    }
+    a[j + 1] = key;
+  }
+  return 0;
+}
+int main() {
+  int a[7];
+  a[0] = 13;
+  a[1] = 6;
+  a[2] = 2;
+  a[3] = 11;
+  a[4] = 4;
+  a[5] = 9;
+  a[6] = 7;
+  sort(a, 7);
+  for (int i = 1; i < 7; i = i + 1) {
+    if (a[i - 1] > a[i])
+      return 100;
+  }
+  return a[3];
+}

@@ -1,0 +1,9 @@
+// Mixed logical/bitwise expressions: (1&&2)|4 = 5, (3||0)&1 = 1,
+// !(5&&0) = 1 -> 5 + 1 + 1 = 7.
+// expect: 7
+int main() {
+  int a = (1 && 2) | 4;
+  int b = (3 || 0) & 1;
+  int c = !(5 && 0);
+  return a + b + c;
+}

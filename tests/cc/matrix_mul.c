@@ -1,0 +1,26 @@
+// 3x3 matrix product in flat arrays: C = A*B with A[i][j] = i+j and
+// B[i][j] = i*3+j (row-major). Returns the trace of C.
+// C[0][0]=0*0+1*3+2*6=15, C[1][1]=1*1+2*4+3*7=30, C[2][2]=2*2+3*5+4*8=51;
+// trace = 96.
+// expect: 96
+int main() {
+  int a[9];
+  int b[9];
+  int c[9];
+  for (int i = 0; i < 3; i = i + 1) {
+    for (int j = 0; j < 3; j = j + 1) {
+      a[i * 3 + j] = i + j;
+      b[i * 3 + j] = i * 3 + j;
+    }
+  }
+  for (int i = 0; i < 3; i = i + 1) {
+    for (int j = 0; j < 3; j = j + 1) {
+      int s = 0;
+      for (int k = 0; k < 3; k = k + 1) {
+        s = s + a[i * 3 + k] * b[k * 3 + j];
+      }
+      c[i * 3 + j] = s;
+    }
+  }
+  return c[0] + c[4] + c[8];
+}

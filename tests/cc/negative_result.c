@@ -1,0 +1,7 @@
+// Negative return values round-trip through every scheme.
+// expect: -273
+int main() {
+  int freezing = 0;
+  int r = freezing - 273;
+  return r;
+}

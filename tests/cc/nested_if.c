@@ -1,0 +1,21 @@
+// Nested conditions classifying a point: x=3,y=-2 -> quadrant 4 code.
+// expect: 4
+int main() {
+  int x = 3;
+  int y = -2;
+  int q = 0;
+  if (x > 0) {
+    if (y > 0) {
+      q = 1;
+    } else {
+      q = 4;
+    }
+  } else {
+    if (y > 0) {
+      q = 2;
+    } else {
+      q = 3;
+    }
+  }
+  return q;
+}

@@ -1,0 +1,11 @@
+// Nested counted loops: sum of i*j over 1..4 x 1..4 = (1+2+3+4)^2 = 100.
+// expect: 100
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 4; i = i + 1) {
+    for (int j = 1; j <= 4; j = j + 1) {
+      s = s + i * j;
+    }
+  }
+  return s;
+}

@@ -1,0 +1,16 @@
+// Square-and-multiply modular exponentiation: 7^13 mod 1000 = 407.
+// expect: 407
+int pow_mod(int base, int exp, int mod) {
+  int r = 1;
+  base = base % mod;
+  while (exp > 0) {
+    if (exp % 2 == 1)
+      r = r * base % mod;
+    base = base * base % mod;
+    exp = exp / 2;
+  }
+  return r;
+}
+int main() {
+  return pow_mod(7, 13, 1000);
+}

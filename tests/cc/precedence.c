@@ -1,0 +1,10 @@
+// C operator precedence: 2+3*4 = 14, (2+3)*4 = 20, 1<<2+1 = 8,
+// 7&3|4 = 7, 14 - 20 + 8 + 7 = 9.
+// expect: 9
+int main() {
+  int a = 2 + 3 * 4;
+  int b = (2 + 3) * 4;
+  int c = 1 << 2 + 1;
+  int d = 7 & 3 | 4;
+  return a - b + c + d;
+}

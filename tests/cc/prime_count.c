@@ -1,0 +1,18 @@
+// Trial-division prime counting: 25 primes below 100.
+// expect: 25
+int is_prime(int n) {
+  if (n < 2)
+    return 0;
+  for (int d = 2; d * d <= n; d = d + 1) {
+    if (n % d == 0)
+      return 0;
+  }
+  return 1;
+}
+int main() {
+  int count = 0;
+  for (int n = 2; n < 100; n = n + 1) {
+    count = count + is_prime(n);
+  }
+  return count;
+}

@@ -1,0 +1,5 @@
+// The smallest corpus program: main returns a constant.
+// expect: 0
+int main() {
+  return 0;
+}

@@ -1,0 +1,16 @@
+// Inner declarations shadow outer ones and scope out at the brace.
+// expect: 113
+int main() {
+  int x = 100;
+  int s = 0;
+  {
+    int x = 1;
+    s = s + x;
+  }
+  for (int x = 0; x < 3; x = x + 1) {
+    int y = x * 2;
+    s = s + y;
+  }
+  s = s + x;
+  return s + 6;
+}

@@ -1,0 +1,9 @@
+// Shifts on non-negative values (where logical and arithmetic agree):
+// (1<<10) + (1024>>3) + (5<<2>>1) = 1024 + 128 + 10 = 1162.
+// expect: 1162
+int main() {
+  int a = 1 << 10;
+  int b = 1024 >> 3;
+  int c = 5 << 2 >> 1;
+  return a + b + c;
+}

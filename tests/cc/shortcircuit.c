@@ -1,0 +1,12 @@
+// && and || must not evaluate their right side when the left decides:
+// the guarded assignments would otherwise flip t. Also checks 0/1
+// normalization of truthy values.
+// expect: 12
+int main() {
+  int t = 10;
+  int a = 0 && (t = 1);
+  int b = 1 || (t = 2);
+  int c = 7 && 9;
+  int d = 0 || 0;
+  return t + a + b + c + d;
+}

@@ -1,0 +1,21 @@
+// Sieve of Eratosthenes over [2, 50): 15 primes below 50.
+// expect: 15
+int main() {
+  int composite[50];
+  for (int i = 0; i < 50; i = i + 1) {
+    composite[i] = 0;
+  }
+  for (int p = 2; p < 50; p = p + 1) {
+    if (composite[p] == 0) {
+      for (int m = p * 2; m < 50; m = m + p) {
+        composite[m] = 1;
+      }
+    }
+  }
+  int count = 0;
+  for (int i = 2; i < 50; i = i + 1) {
+    if (composite[i] == 0)
+      count = count + 1;
+  }
+  return count;
+}

@@ -1,0 +1,11 @@
+// Triangle-shaped inner loop: sum over i of (number of j<i) = 0+1+..+7.
+// expect: 28
+int main() {
+  int c = 0;
+  for (int i = 0; i < 8; i = i + 1) {
+    for (int j = 0; j < i; j = j + 1) {
+      c = c + 1;
+    }
+  }
+  return c;
+}

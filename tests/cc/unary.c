@@ -1,0 +1,10 @@
+// Unary minus, logical not, bitwise not. -(-5)=5, !0=1, !7=0, ~0=-1,
+// 5 + 1 + 0 + (-1) + 10 = 15.
+// expect: 15
+int main() {
+  int a = -(-5);
+  int b = !0;
+  int c = !7;
+  int d = ~0;
+  return a + b + c + d + 10;
+}

@@ -1,0 +1,11 @@
+// Classic while loop: sum 1..10 = 55.
+// expect: 55
+int main() {
+  int s = 0;
+  int i = 1;
+  while (i <= 10) {
+    s = s + i;
+    i = i + 1;
+  }
+  return s;
+}

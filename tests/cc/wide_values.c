@@ -1,0 +1,8 @@
+// 64-bit arithmetic: values far beyond 32 bits stay exact.
+// 3000000000 * 3 + 1 = 9000000001 (needs 34 bits).
+// expect: 9000000001
+int main() {
+  int big = 3000000000;
+  int r = big * 3 + 1;
+  return r;
+}

@@ -1,0 +1,373 @@
+//===- tests/frontend_test.cpp - Mini-C frontend unit tests ---------------===//
+
+#include "frontend/Frontend.h"
+#include "frontend/Lexer.h"
+#include "frontend/Lower.h"
+#include "frontend/Parser.h"
+
+#include "fuzz/Invariants.h"
+#include "interp/Interpreter.h"
+#include "ir/Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace dra;
+
+namespace {
+
+/// Compiles \p Src (must succeed) and returns main's return value under
+/// the interpreter.
+int64_t run(const std::string &Src) {
+  CcDiag D;
+  std::optional<Function> F = compileCSource("t", Src, &D);
+  EXPECT_TRUE(F.has_value()) << D.render() << "\n" << Src;
+  if (!F)
+    return INT64_MIN;
+  ExecResult R = interpret(*F);
+  EXPECT_FALSE(R.HitStepLimit);
+  return R.ReturnValue;
+}
+
+/// Compiles \p Src expecting failure; returns the rendered diagnostic.
+std::string expectReject(const std::string &Src) {
+  CcDiag D;
+  std::optional<Function> F = compileCSource("t", Src, &D);
+  EXPECT_FALSE(F.has_value()) << "compiled unexpectedly:\n" << Src;
+  return D.render();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Lexer
+//===----------------------------------------------------------------------===//
+
+TEST(Lexer, TokensCarryPositions) {
+  std::vector<Token> T;
+  CcDiag D;
+  ASSERT_TRUE(tokenize("int x = 42;\n  x;", T, &D)) << D.render();
+  ASSERT_EQ(T.size(), 8u); // int x = 42 ; x ; eof
+  EXPECT_EQ(T[0].Kind, TokKind::Ident);
+  EXPECT_EQ(T[0].Text, "int");
+  EXPECT_EQ(T[0].Line, 1u);
+  EXPECT_EQ(T[0].Col, 1u);
+  EXPECT_EQ(T[3].Kind, TokKind::Num);
+  EXPECT_EQ(T[3].Num, 42);
+  EXPECT_EQ(T[3].Col, 9u);
+  EXPECT_EQ(T[5].Text, "x");
+  EXPECT_EQ(T[5].Line, 2u);
+  EXPECT_EQ(T[5].Col, 3u);
+  EXPECT_EQ(T.back().Kind, TokKind::Eof);
+}
+
+TEST(Lexer, MultiCharOperatorsAreSingleTokens) {
+  std::vector<Token> T;
+  ASSERT_TRUE(tokenize("<= >= == != && || << >>", T));
+  ASSERT_EQ(T.size(), 9u);
+  const char *Expected[] = {"<=", ">=", "==", "!=", "&&", "||", "<<", ">>"};
+  for (size_t I = 0; I != 8; ++I) {
+    EXPECT_EQ(T[I].Kind, TokKind::Punct);
+    EXPECT_EQ(T[I].Text, Expected[I]);
+  }
+}
+
+TEST(Lexer, CommentsAreSkippedAndTracked) {
+  std::vector<Token> T;
+  ASSERT_TRUE(tokenize("a // to line end\n/* multi\nline */ b", T));
+  ASSERT_EQ(T.size(), 3u);
+  EXPECT_EQ(T[0].Text, "a");
+  EXPECT_EQ(T[1].Text, "b");
+  // The block comment spans two lines: b sits on line 3 after "line */ ".
+  EXPECT_EQ(T[1].Line, 3u);
+  EXPECT_EQ(T[1].Col, 9u);
+}
+
+TEST(Lexer, LiteralOverflowIsAnError) {
+  std::vector<Token> T;
+  CcDiag D;
+  // INT64_MAX lexes; one more does not (no silent wrap).
+  ASSERT_TRUE(tokenize("9223372036854775807", T, &D)) << D.render();
+  EXPECT_EQ(T[0].Num, INT64_MAX);
+  EXPECT_FALSE(tokenize("9223372036854775808", T, &D));
+  EXPECT_NE(D.Message.find("out of range"), std::string::npos) << D.render();
+  EXPECT_EQ(D.Line, 1u);
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsAnError) {
+  std::vector<Token> T;
+  CcDiag D;
+  EXPECT_FALSE(tokenize("a /* never closed", T, &D));
+  EXPECT_NE(D.Message.find("comment"), std::string::npos) << D.render();
+}
+
+TEST(Lexer, RejectsUnknownCharacter) {
+  std::vector<Token> T;
+  CcDiag D;
+  EXPECT_FALSE(tokenize("int @x;", T, &D));
+  EXPECT_EQ(D.Line, 1u);
+  EXPECT_EQ(D.Col, 5u);
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Parser, PrecedenceAndAssociativity) {
+  // Each row is (expression, value): computed through the full
+  // tokenize/parse/lower/interpret path, so a mis-bound operator changes
+  // the observable result.
+  struct Row {
+    const char *Expr;
+    int64_t Expected;
+  };
+  static const Row Rows[] = {
+      {"1 + 2 * 3", 7},          // * over +
+      {"(1 + 2) * 3", 9},        // parens
+      {"10 - 4 - 3", 3},         // - left-assoc
+      {"100 / 10 / 5", 2},       // / left-assoc
+      {"1 << 2 + 1", 8},         // + over <<
+      {"7 & 3 == 3", 1},         // == over & (the C gotcha)
+      {"1 | 2 ^ 2", 1},          // ^ over |
+      {"2 + 3 < 6", 1},          // + over <
+      {"1 < 2 == 1", 1},         // < over ==
+      {"0 || 1 && 0", 0},        // && over ||
+      {"-2 * 3", -6},            // unary binds tighter than *
+      {"!0 + 1", 2},             // unary over +
+      {"~0 & 7", 7},             // unary over &
+      {"-(3 - 5)", 2},           //
+      {"64 >> 2 >> 1", 8},       // >> left-assoc
+  };
+  for (const Row &R : Rows)
+    EXPECT_EQ(run(std::string("int main() { return ") + R.Expr + "; }"),
+              R.Expected)
+        << R.Expr;
+}
+
+TEST(Parser, AssignmentIsRightAssociative) {
+  EXPECT_EQ(run("int main() { int a; int b; a = b = 5; return a + b; }"),
+            10);
+  // Assignment is an expression and yields the stored value.
+  EXPECT_EQ(run("int main() { int a; return (a = 7) + a; }"), 14);
+}
+
+TEST(Parser, AstShapeForPrecedence) {
+  // Spot-check the tree itself: 1 + 2 * 3 must parse as 1 + (2 * 3).
+  std::optional<CProgram> P =
+      parseCSource("int main() { return 1 + 2 * 3; }");
+  ASSERT_TRUE(P.has_value());
+  const CStmt &Body = *P->Funcs[0].Body;
+  ASSERT_EQ(Body.Body.size(), 1u);
+  const CExpr &E = *Body.Body[0]->Init;
+  ASSERT_EQ(E.K, CExpr::Kind::Binary);
+  EXPECT_EQ(E.Bin, CBinOp::Add);
+  ASSERT_EQ(E.Rhs->K, CExpr::Kind::Binary);
+  EXPECT_EQ(E.Rhs->Bin, CBinOp::Mul);
+}
+
+TEST(Parser, DiagnosticsCarryPositions) {
+  struct Row {
+    const char *Src;
+    const char *MsgPart;
+    uint32_t Line, Col;
+  };
+  static const Row Rows[] = {
+      {"int main() { return 1 }", "expected ';'", 1, 23},
+      {"int main() { return (1; }", "expected ')'", 1, 23},
+      {"int main() { if 1) {} }", "expected '('", 1, 17},
+      {"int main() { int 5; }", "expected a variable name", 1, 18},
+      {"int main() {", "expected '}'", 1, 12},
+      {"int main() { int a[]; }", "array length", 1, 20},
+      {"main() { }", "expected 'int'", 1, 1},
+  };
+  for (const Row &R : Rows) {
+    CcDiag D;
+    std::optional<CProgram> P = parseCSource(R.Src, &D);
+    EXPECT_FALSE(P.has_value()) << R.Src;
+    EXPECT_NE(D.Message.find(R.MsgPart), std::string::npos)
+        << R.Src << " -> " << D.render();
+    EXPECT_EQ(D.Line, R.Line) << R.Src << " -> " << D.render();
+    EXPECT_EQ(D.Col, R.Col) << R.Src << " -> " << D.render();
+  }
+}
+
+TEST(Parser, AllStatementFormsParse) {
+  const char *Src = "int f(int p, int q[]) { return p + q[0]; }\n"
+                    "int main() {\n"
+                    "  int a[4];\n"
+                    "  int x = 1;\n"
+                    "  ;\n"
+                    "  x;\n"
+                    "  if (x) { x = 2; } else { x = 3; }\n"
+                    "  while (x > 2) { x = x - 1; }\n"
+                    "  for (int i = 0; i < 4; i = i + 1) {\n"
+                    "    if (i == 3) break;\n"
+                    "    if (i == 1) continue;\n"
+                    "    a[i] = i;\n"
+                    "  }\n"
+                    "  { int y = f(x, a); x = y; }\n"
+                    "  return x;\n"
+                    "}\n";
+  CcDiag D;
+  std::optional<CProgram> P = parseCSource(Src, &D);
+  ASSERT_TRUE(P.has_value()) << D.render();
+  EXPECT_EQ(P->Funcs.size(), 2u);
+  EXPECT_TRUE(P->Funcs[0].Params[1].IsArray);
+}
+
+//===----------------------------------------------------------------------===//
+// Lowering
+//===----------------------------------------------------------------------===//
+
+TEST(Lower, GoldensRoundTripThroughIrParser) {
+  // The lowered function must print to text the IR parser accepts and
+  // reproduce identically — lowering output is plain IR, not a dialect.
+  const char *Sources[] = {
+      "int main() { return 41 + 1; }",
+      "int main() { int s = 0; for (int i = 1; i <= 10; i = i + 1)\n"
+      "  s = s + i; return s; }",
+      "int g(int n) { return n * n; }\n"
+      "int main() { int a[3]; a[1] = g(4); return a[1] + a[2]; }",
+      "int main() { int x = 3; return x > 2 && x < 9; }",
+  };
+  for (const char *Src : Sources) {
+    CcDiag D;
+    std::optional<Function> F = compileCSource("golden", Src, &D);
+    ASSERT_TRUE(F.has_value()) << D.render();
+    std::string Text = printFunction(*F);
+    std::string Err;
+    std::optional<Function> Re = parseFunction(Text, &Err);
+    ASSERT_TRUE(Re.has_value()) << Err << "\n" << Text;
+    std::string Why;
+    EXPECT_TRUE(functionsIdentical(*F, *Re, &Why)) << Why;
+    EXPECT_EQ(fingerprint(interpret(*F)), fingerprint(interpret(*Re)));
+  }
+}
+
+TEST(Lower, SemanticsMatchTheIr) {
+  // Total semantics inherited from the IR: div/rem by zero produce 0,
+  // >> is a logical shift, arithmetic wraps at 64 bits.
+  EXPECT_EQ(run("int main() { return 7 / 0; }"), 0);
+  EXPECT_EQ(run("int main() { return 7 % 0; }"), 0);
+  EXPECT_EQ(run("int main() { return (0 - 8) >> 1; }"),
+            static_cast<int64_t>(0xfffffffffffffff8ull >> 1));
+  EXPECT_EQ(run("int main() { int x = 9223372036854775807; "
+                "return x + 1 < 0; }"),
+            1);
+  // Uninitialized scalars read 0 (defined, unlike C).
+  EXPECT_EQ(run("int main() { int x; return x; }"), 0);
+}
+
+TEST(Lower, ShortCircuitSkipsSideEffects) {
+  // && must not evaluate its rhs when the lhs is 0; an array store in
+  // the rhs is the observable side effect.
+  EXPECT_EQ(run("int main() { int a[1]; a[0] = 7;\n"
+                "  0 && (a[0] = 1); 1 || (a[0] = 2); return a[0]; }"),
+            7);
+  EXPECT_EQ(run("int main() { int a[1]; 1 && (a[0] = 5); return a[0]; }"),
+            5);
+}
+
+TEST(Lower, CallsInlineWithValueAndReferenceParams) {
+  // Scalar params copy; array params alias the caller's storage.
+  EXPECT_EQ(run("int bump(int x) { x = x + 1; return x; }\n"
+                "int main() { int v = 10; int w = bump(v); "
+                "return v * 100 + w; }"),
+            1011);
+  EXPECT_EQ(run("int fill(int b[], int n) {\n"
+                "  for (int i = 0; i < n; i = i + 1) b[i] = i * i;\n"
+                "  return 0; }\n"
+                "int main() { int a[4]; fill(a, 4); "
+                "return a[3] + a[2] + a[1]; }"),
+            14);
+}
+
+TEST(Lower, DeclInitializerWithCallKeepsScope) {
+  // Regression: lowering a call in a declaration's initializer grows the
+  // scope stack, and the insertion point must be re-fetched afterwards —
+  // a stale reference dropped the variable from its scope (found by the
+  // csrc fuzz variant).
+  EXPECT_EQ(run("int h(int a) { return a + 1; }\n"
+                "int main() {\n"
+                "  int v = h(h(5));\n"
+                "  { int w = v + 1; v = w; }\n"
+                "  return v;\n"
+                "}"),
+            8);
+}
+
+TEST(Lower, DiagnosticsCarryPositionsAndContext) {
+  EXPECT_EQ(expectReject("int main() { return nope; }"),
+            "line 1, col 21: undeclared identifier 'nope'");
+  EXPECT_EQ(expectReject("int main() { int a; int a; return 0; }"),
+            "line 1, col 21: redeclaration of 'a' in this scope");
+  EXPECT_EQ(expectReject("int main() { break; }"),
+            "line 1, col 14: 'break' outside of a loop");
+  EXPECT_EQ(expectReject("int main() { return f(1); }"),
+            "line 1, col 21: call to undefined function 'f'");
+  std::string R = expectReject("int f(int n) { return f(n); }\n"
+                               "int main() { return f(1); }");
+  EXPECT_NE(R.find("recursi"), std::string::npos) << R;
+  EXPECT_NE(R.find("main -> f -> f"), std::string::npos) << R;
+  R = expectReject("int f(int a, int b) { return a; }\n"
+                   "int main() { return f(1); }");
+  EXPECT_NE(R.find("expects 2 argument(s), got 1"), std::string::npos) << R;
+  R = expectReject("int f(int a[]) { return a[0]; }\n"
+                   "int main() { return f(3); }");
+  EXPECT_NE(R.find("must name an array"), std::string::npos) << R;
+  // Scoping is C's: a block-local is gone at '}'.
+  R = expectReject("int main() { { int x = 1; } return x; }");
+  EXPECT_NE(R.find("undeclared identifier 'x'"), std::string::npos) << R;
+}
+
+TEST(Lower, ArraysOccupyMemWords) {
+  CcDiag D;
+  std::optional<Function> F = compileCSource(
+      "t", "int main() { int a[5]; int b[3]; b[2] = 9; return b[2]; }", &D);
+  ASSERT_TRUE(F.has_value()) << D.render();
+  EXPECT_EQ(F->MemWords, 8u); // bump-allocated: 5 + 3
+  EXPECT_EQ(interpret(*F).ReturnValue, 9);
+}
+
+TEST(Lower, GrowthCapsAreEnforced) {
+  LowerOptions O;
+  O.MaxMemWords = 4;
+  CcDiag D;
+  EXPECT_FALSE(
+      compileCSource("t", "int main() { int a[8]; return 0; }", &D, O)
+          .has_value());
+  EXPECT_NE(D.Message.find("data-memory budget"), std::string::npos)
+      << D.render();
+
+  // A call chain that multiplies past the block cap is an error with a
+  // position, not an OOM: f2 splices f1 four times, f1 splices f0 four
+  // times, and each f0 body carries branches.
+  LowerOptions Tight;
+  Tight.MaxBlocks = 32;
+  const char *Deep =
+      "int f0(int x) { if (x) { x = x + 1; } return x; }\n"
+      "int f1(int x) { return f0(x) + f0(x) + f0(x) + f0(x); }\n"
+      "int f2(int x) { return f1(x) + f1(x) + f1(x) + f1(x); }\n"
+      "int main() { return f2(1); }";
+  EXPECT_FALSE(compileCSource("t", Deep, &D, Tight).has_value());
+  EXPECT_NE(D.Message.find("too large"), std::string::npos) << D.render();
+  // The default caps admit the same program.
+  EXPECT_TRUE(compileCSource("t", Deep, &D).has_value()) << D.render();
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus annotation
+//===----------------------------------------------------------------------===//
+
+TEST(Frontend, ExpectedReturnAnnotation) {
+  EXPECT_EQ(expectedReturnAnnotation("// expect: 42\nint main(){}"), 42);
+  EXPECT_EQ(expectedReturnAnnotation("/* head */\n// expect: -7\n"), -7);
+  EXPECT_EQ(expectedReturnAnnotation("// expect: 9223372036854775807\n"),
+            INT64_MAX);
+  EXPECT_EQ(expectedReturnAnnotation("// expect: -9223372036854775808\n"),
+            INT64_MIN);
+  EXPECT_FALSE(expectedReturnAnnotation("int main() { return 0; }")
+                   .has_value());
+  // Overflowing annotations are rejected, not wrapped.
+  EXPECT_FALSE(expectedReturnAnnotation("// expect: 9223372036854775808\n")
+                   .has_value());
+}

@@ -7,6 +7,8 @@
 #include "fuzz/Repro.h"
 
 #include "core/Encoder.h"
+#include "frontend/CSourceGen.h"
+#include "frontend/Frontend.h"
 #include "interp/Interpreter.h"
 #include "ir/IRBuilder.h"
 
@@ -151,6 +153,7 @@ TEST(FuzzCase, MatrixCoversSchemesAndConfigs) {
   std::set<Scheme> Schemes;
   unsigned ParallelCases = 0;
   unsigned CacheReplayCases = 0;
+  unsigned CSrcCases = 0;
   for (uint64_t I = 0; I != caseMatrixSize(); ++I) {
     FuzzCase FC = caseForIndex(7, I);
     Names.insert(FC.name());
@@ -170,15 +173,38 @@ TEST(FuzzCase, MatrixCoversSchemesAndConfigs) {
       EXPECT_EQ(FC.S, Scheme::Coalesce);
       EXPECT_NE(FC.name().find("cache-replay"), std::string::npos);
     }
+    if (FC.CSrc) {
+      ++CSrcCases;
+      // The csrc variant's program comes from the mini-C frontend: the
+      // case carries the source itself and rotates the differential
+      // scheme by seed.
+      EXPECT_FALSE(FC.CSource.empty());
+      EXPECT_NE(FC.name().find("csrc"), std::string::npos);
+    }
   }
-  // 6 config variants x 5 scheme variants (remap, select, coalesce,
-  // remap-parallel, cache-replay); one remap-parallel and one
-  // cache-replay case per config variant.
-  EXPECT_EQ(caseMatrixSize(), 30u);
+  // 6 config variants x 6 scheme variants (remap, select, coalesce,
+  // remap-parallel, cache-replay, csrc); one remap-parallel, one
+  // cache-replay and one csrc case per config variant.
+  EXPECT_EQ(caseMatrixSize(), 36u);
   EXPECT_EQ(Names.size(), caseMatrixSize());
   EXPECT_EQ(Schemes.size(), 3u);
   EXPECT_EQ(ParallelCases, 6u);
   EXPECT_EQ(CacheReplayCases, 6u);
+  EXPECT_EQ(CSrcCases, 6u);
+}
+
+TEST(FuzzCase, VariantNameIsPureInIndex) {
+  // caseVariantName drives --only filtering: it must agree with the
+  // variant slot caseForIndex assigns, for any index.
+  static const char *Expected[6] = {"remap",          "select",
+                                    "coalesce",       "remap-parallel",
+                                    "cache-replay",   "csrc"};
+  for (uint64_t I = 0; I != 13; ++I) {
+    EXPECT_STREQ(caseVariantName(I), Expected[I % 6]) << "index " << I;
+    FuzzCase FC = caseForIndex(5, I);
+    EXPECT_NE(FC.name().find(caseVariantName(I)), std::string::npos)
+        << FC.name();
+  }
 }
 
 TEST(FuzzCase, DeterministicDerivation) {
@@ -192,10 +218,10 @@ TEST(FuzzCase, DeterministicDerivation) {
 }
 
 TEST(Repro, RoundTripsCaseAndProgram) {
-  // Index 18 is a remap-parallel case (18 % 5 == 3), so RemapJobs
+  // Index 21 is a remap-parallel case (21 % 6 == 3), so RemapJobs
   // round-trips a non-default value (a dropped directive would silently
   // load as 1).
-  FuzzCase FC = caseForIndex(9, 18);
+  FuzzCase FC = caseForIndex(9, 21);
   ASSERT_GT(FC.RemapJobs, 1u);
   FC.Fault = InjectFault::CorruptFieldCode;
   Function P = generateProgram("rt", FC.Profile);
@@ -219,10 +245,10 @@ TEST(Repro, RoundTripsCaseAndProgram) {
 }
 
 TEST(Repro, RoundTripsCacheReplayFlag) {
-  // Index 19 is a cache-replay case (19 % 5 == 4): the flag must survive
+  // Index 22 is a cache-replay case (22 % 6 == 4): the flag must survive
   // the directive round trip, or a replayed repro would silently skip the
   // warm-cache comparison.
-  FuzzCase FC = caseForIndex(9, 19);
+  FuzzCase FC = caseForIndex(9, 22);
   ASSERT_TRUE(FC.CacheReplay);
   Function P = generateProgram("cr", FC.Profile);
   std::string Text = writeRepro(FC, P);
@@ -239,6 +265,40 @@ TEST(Repro, RoundTripsCacheReplayFlag) {
   ASSERT_FALSE(Plain.CacheReplay);
   ASSERT_TRUE(loadRepro(writeRepro(Plain, P), Loaded, Q, &Err)) << Err;
   EXPECT_FALSE(Loaded.CacheReplay);
+}
+
+TEST(Repro, RoundTripsCSource) {
+  // Index 23 is a csrc case (23 % 6 == 5): the mini-C source is the
+  // ground truth of the case, so every line must survive the `# csrc:`
+  // directive round trip byte for byte — including indentation, which a
+  // token-based reader would eat.
+  FuzzCase FC = caseForIndex(9, 23);
+  ASSERT_TRUE(FC.CSrc);
+  ASSERT_FALSE(FC.CSource.empty());
+  CcDiag D;
+  std::optional<Function> F = compileCSource("rtcs", FC.CSource, &D);
+  ASSERT_TRUE(F.has_value()) << D.render();
+
+  std::string Text = writeRepro(FC, *F);
+  EXPECT_NE(Text.find("# csrc: "), std::string::npos);
+  FuzzCase Loaded;
+  Function Q;
+  std::string Err;
+  ASSERT_TRUE(loadRepro(Text, Loaded, Q, &Err)) << Err;
+  EXPECT_TRUE(Loaded.CSrc);
+  EXPECT_EQ(Loaded.CSource, FC.CSource);
+  // The IR body is informational but still round-trips.
+  EXPECT_EQ(printFunction(Q), printFunction(*F));
+
+  // Non-csrc repros must not grow the directive or set the flag.
+  FuzzCase Plain = caseForIndex(9, 0);
+  ASSERT_FALSE(Plain.CSrc);
+  Function P = generateProgram("rt", Plain.Profile);
+  std::string PlainText = writeRepro(Plain, P);
+  EXPECT_EQ(PlainText.find("# csrc:"), std::string::npos);
+  ASSERT_TRUE(loadRepro(PlainText, Loaded, Q, &Err)) << Err;
+  EXPECT_FALSE(Loaded.CSrc);
+  EXPECT_TRUE(Loaded.CSource.empty());
 }
 
 TEST(Repro, RejectsGarbage) {
@@ -322,10 +382,10 @@ TEST(Repro, RejectsMalformedDirectiveValues) {
 }
 
 TEST(Harness, CleanCasesPass) {
-  // The first five sweep cases (one per scheme variant, including
-  // cache-replay) must pass end to end — the same guarantee the CI smoke
-  // job checks at larger scale.
-  for (uint64_t I = 0; I != 5; ++I) {
+  // The first six sweep cases (one per scheme variant, including
+  // cache-replay and csrc) must pass end to end — the same guarantee the
+  // CI smoke job checks at larger scale.
+  for (uint64_t I = 0; I != 6; ++I) {
     FuzzCase FC = caseForIndex(1, I);
     FuzzCaseResult R = runFuzzCase(FC, /*MinimizeBudget=*/0);
     EXPECT_TRUE(R.Ok) << FC.name() << ": " << R.Detail;
@@ -371,4 +431,44 @@ TEST(Harness, DroppedJoinRepairIsCaught) {
     return;
   }
   GTEST_SKIP() << "no sweep case with a join repair in the first 12";
+}
+
+TEST(Harness, CSrcGenerationIsDeterministic) {
+  // csrc ground truth is (seed -> source): parallel and serial sweeps,
+  // and repro replay, all assume regeneration is bit-identical.
+  CSourceProfile P1 = csrcProfileFor(17);
+  CSourceProfile P2 = csrcProfileFor(17);
+  EXPECT_EQ(P1.NumHelpers, P2.NumHelpers);
+  EXPECT_EQ(P1.MaxLoopTrip, P2.MaxLoopTrip);
+  EXPECT_EQ(generateCSource(P1), generateCSource(P2));
+  // Different seeds decorrelate the source.
+  EXPECT_NE(generateCSource(P1), generateCSource(csrcProfileFor(18)));
+}
+
+TEST(Harness, CSrcGeneratedSourcesCompile) {
+  // Every generated source must make it through the frontend: a csrc
+  // case that fails to compile is a generator bug, and the sweep treats
+  // it as a failure rather than skipping it silently.
+  for (uint64_t Seed = 0; Seed != 24; ++Seed) {
+    std::string Src = generateCSource(csrcProfileFor(Seed));
+    CcDiag D;
+    std::optional<Function> F = compileCSource("gen", Src, &D);
+    ASSERT_TRUE(F.has_value()) << "seed " << Seed << ": " << D.render()
+                               << "\n" << Src;
+    EXPECT_TRUE(verifyFunction(*F));
+  }
+}
+
+TEST(Harness, CSrcInjectedFaultIsCaught) {
+  // Mutation test for the csrc axis: the frontend-shaped program must
+  // still catch a corrupted encoder, or the new variant isn't guarding
+  // anything ProgramGen doesn't already cover.
+  FuzzCase FC = caseForIndex(1, 5); // 5 % 6 == 5: csrc.
+  ASSERT_TRUE(FC.CSrc);
+  FC.Fault = InjectFault::CorruptFieldCode;
+  FuzzCaseResult R = runFuzzCase(FC);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Detail.empty());
+  // csrc failures skip delta debugging: the source is the repro.
+  EXPECT_EQ(R.MinimizeSteps, 0u);
 }

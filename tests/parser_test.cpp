@@ -104,6 +104,77 @@ bb2:
   EXPECT_EQ(interpret(*F).ReturnValue, 1);
 }
 
+TEST(Parser, EveryFailureCarriesADiagnostic) {
+  // One representative per malformed-input class. The contract is that
+  // parseFunction never throws and never returns nullopt with an empty
+  // Err — these historically crashed (std::stoll/stoul out-of-range) or
+  // parsed silently.
+  static const char *Head = "func f regs=2 mem=1 spills=0\nbb0:\n";
+  struct Row {
+    const char *Name;
+    std::string Text;
+    const char *ErrPart;
+  };
+  const Row Rows[] = {
+      {"imm-overflow", std::string(Head) + "  movi r0, 99999999999999999999\n",
+       "out of range"},
+      {"imm-underflow",
+       std::string(Head) + "  movi r0, -99999999999999999999\n",
+       "out of range"},
+      {"label-not-a-number", std::string(Head) + "bbx:\n  ret r0\n",
+       "malformed block label"},
+      {"label-trailing-digits-garbage",
+       std::string(Head) + "bb5x:\n  ret r0\n", "malformed block label"},
+      {"label-overflow",
+       std::string(Head) + "bb99999999999999999999:\n  ret r0\n",
+       "out of range"},
+      {"label-trailing-garbage", std::string(Head) + "bb1: junk\n  ret r0\n",
+       "trailing characters"},
+      {"target-overflow", std::string(Head) + "  jmp bb4000000000\n",
+       "out of range"},
+      {"negative-register", std::string(Head) + "  ret r-1\n",
+       "expected register number"},
+      {"register-overflow", std::string(Head) + "  ret r99999999999999\n",
+       "out of range"},
+      {"trailing-garbage-inst", std::string(Head) + "  ret r0 extra\n",
+       "trailing characters"},
+      {"trailing-garbage-header",
+       "func f regs=2 mem=1 spills=0 extra\nbb0:\n  ret r0\n",
+       "trailing characters"},
+      {"negative-header-field",
+       "func f regs=-2 mem=1 spills=0\nbb0:\n  ret r0\n", "expected regs="},
+      {"header-field-overflow",
+       "func f regs=9999999999 mem=1 spills=0\nbb0:\n  ret r0\n",
+       "out of range"},
+      {"missing-operand", std::string(Head) + "  add r0, r1\n", "expected"},
+      {"store-missing-bracket", std::string(Head) + "  store r0 + 0], r1\n",
+       "expected '['"},
+  };
+  for (const Row &R : Rows) {
+    std::string Err;
+    std::optional<Function> F = parseFunction(R.Text, &Err);
+    EXPECT_FALSE(F.has_value()) << R.Name;
+    EXPECT_FALSE(Err.empty()) << R.Name;
+    EXPECT_NE(Err.find(R.ErrPart), std::string::npos)
+        << R.Name << " -> " << Err;
+    EXPECT_NE(Err.find("line "), std::string::npos)
+        << R.Name << " -> " << Err;
+  }
+}
+
+TEST(Parser, BoundaryLiteralsStillParse) {
+  // The overflow guard must not reject the extremes the printer emits.
+  std::string Text = "func f regs=1 mem=1 spills=0\nbb0:\n"
+                     "  movi r0, 9223372036854775807\n"
+                     "  addi r0, r0, -9223372036854775808\n"
+                     "  ret r0\n";
+  std::string Err;
+  std::optional<Function> F = parseFunction(Text, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  EXPECT_EQ(F->Blocks[0].Insts[0].Imm, INT64_MAX);
+  EXPECT_EQ(F->Blocks[0].Insts[1].Imm, INT64_MIN);
+}
+
 /// Print -> parse -> print round trip over the benchmark suite.
 class ParserRoundTrip : public ::testing::TestWithParam<std::string> {};
 

@@ -14,6 +14,7 @@
 
 #include "driver/Metrics.h"
 #include "driver/ThreadPool.h"
+#include "frontend/Frontend.h"
 #include "fuzz/Fuzzer.h"
 #include "fuzz/Repro.h"
 
@@ -37,8 +38,10 @@ const char *UsageText =
     "Differential-testing harness: generates seeded random programs and\n"
     "checks, for every scheme variant (remap, select, coalesce, plus\n"
     "remap-parallel — the remap pipeline with the multi-start search on\n"
-    "pool workers — and cache-replay, which recompiles through a warm\n"
-    "result cache and requires a bit-identical replay) and encoding\n"
+    "pool workers — cache-replay, which recompiles through a warm result\n"
+    "cache and requires a bit-identical replay, and csrc, which compiles\n"
+    "a seeded random mini-C source file through the frontend and fuzzes\n"
+    "the lowered function) and encoding\n"
     "variant ({lowend, vliw} x {src-first, dst-first} x {with, without\n"
     "special registers}), that the pipeline preserves semantics,\n"
     "that decode(encode(F)) == F field for field, that the lockstep\n"
@@ -52,8 +55,13 @@ const char *UsageText =
     "\n"
     "options:\n"
     "  --seeds=N          cases to run (default 90; a multiple of the\n"
-    "                     30-variant scheme x config matrix covers it\n"
+    "                     36-variant scheme x config matrix covers it\n"
     "                     evenly)\n"
+    "  --only=VARIANT     run only case slots of one scheme variant\n"
+    "                     (remap|select|coalesce|remap-parallel|\n"
+    "                     cache-replay|csrc); indices are taken from the\n"
+    "                     full matrix, so each case is identical to its\n"
+    "                     unfiltered run\n"
     "  --seed-start=N     first case index (default 0); resume a sweep\n"
     "                     with --seed-start=<cases already run>\n"
     "  --base-seed=N      base RNG seed for the whole sweep (default 1)\n"
@@ -89,6 +97,7 @@ struct Options {
   InjectFault Fault = InjectFault::None;
   bool Minimize = true;
   bool Help = false;
+  std::string Only;
   std::string ReproDir;
   std::string ReproFile;
   std::string MetricsOut;
@@ -126,6 +135,8 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
       }
     } else if (Arg == "--no-minimize") {
       O.Minimize = false;
+    } else if (const char *V = Value("--only=")) {
+      O.Only = V;
     } else if (const char *V = Value("--repro-dir=")) {
       O.ReproDir = V;
     } else if (const char *V = Value("--repro=")) {
@@ -162,6 +173,18 @@ int replayRepro(const Options &O) {
   }
   std::printf("replaying %s (case %s)\n", O.ReproFile.c_str(),
               FC.name().c_str());
+  if (FC.CSrc) {
+    // csrc repros replay from the embedded mini-C source so the frontend
+    // is part of the replayed path (the IR body is informational).
+    CcDiag D;
+    std::optional<Function> F = compileCSource("repro", FC.CSource, &D);
+    if (!F) {
+      std::printf("FAIL: frontend rejected repro source: %s\n",
+                  D.render().c_str());
+      return 1;
+    }
+    P = std::move(*F);
+  }
   std::optional<std::string> Failure = checkProgram(P, FC);
   if (Failure) {
     std::printf("FAIL: %s\n", Failure->c_str());
@@ -216,24 +239,46 @@ int main(int Argc, char **Argv) {
   uint64_t TotalDynInsts = 0;
   bool OutOfTime = false;
 
+  // The sweep's case list: --seeds consecutive matrix indices, or with
+  // --only the first --seeds indices whose scheme-variant slot matches.
+  // Filtering selects indices, never redefines them, so a filtered case
+  // is bit-identical to the same case in a full sweep.
+  std::vector<uint64_t> CaseIndices;
+  if (O.Only.empty()) {
+    for (uint64_t I = 0; I != O.Seeds; ++I)
+      CaseIndices.push_back(O.SeedStart + I);
+  } else {
+    bool Known = false;
+    for (uint64_t V = 0; V != caseMatrixSize(); ++V)
+      Known = Known || O.Only == caseVariantName(V);
+    if (!Known) {
+      std::fprintf(stderr, "error: unknown variant '%s' for --only\n",
+                   O.Only.c_str());
+      return 2;
+    }
+    for (uint64_t I = O.SeedStart; CaseIndices.size() < O.Seeds; ++I)
+      if (O.Only == caseVariantName(I))
+        CaseIndices.push_back(I);
+  }
+
   // Chunked sweep: the pool drains one stripe of cases, then the time
   // budget is consulted before the next stripe launches. Case identity
   // depends only on (base seed, index), so chunk size and job count never
   // change what any case runs — only whether it runs before the budget
   // expires.
-  const uint64_t Chunk =
-      std::max<uint64_t>(static_cast<uint64_t>(Pool.workerCount()) * 4,
-                         caseMatrixSize());
-  for (uint64_t Next = O.SeedStart; Next < O.SeedStart + O.Seeds;) {
+  const size_t Chunk =
+      std::max<size_t>(static_cast<size_t>(Pool.workerCount()) * 4,
+                       caseMatrixSize());
+  for (size_t Pos = 0; Pos < CaseIndices.size();) {
     if (O.TimeBudgetSec > 0 && ElapsedSec() >= O.TimeBudgetSec) {
       OutOfTime = true;
       break;
     }
-    uint64_t End = std::min(Next + Chunk, O.SeedStart + O.Seeds);
-    size_t N = static_cast<size_t>(End - Next);
+    size_t End = std::min(Pos + Chunk, CaseIndices.size());
+    size_t N = End - Pos;
     std::vector<FuzzCaseResult> Results =
         Pool.parallelMap<FuzzCaseResult>(N, [&](size_t I) {
-          FuzzCase FC = caseForIndex(O.BaseSeed, Next + I);
+          FuzzCase FC = caseForIndex(O.BaseSeed, CaseIndices[Pos + I]);
           FC.StepLimit = O.StepLimit;
           FC.Fault = O.Fault;
           return runFuzzCase(FC, O.Minimize ? 600 : 0);
@@ -241,7 +286,7 @@ int main(int Argc, char **Argv) {
 
     for (size_t I = 0; I != Results.size(); ++I) {
       const FuzzCaseResult &R = Results[I];
-      FuzzCase FC = caseForIndex(O.BaseSeed, Next + I);
+      FuzzCase FC = caseForIndex(O.BaseSeed, CaseIndices[Pos + I]);
       FC.StepLimit = O.StepLimit;
       FC.Fault = O.Fault;
       ++Ran;
@@ -273,7 +318,7 @@ int main(int Argc, char **Argv) {
                     writeRepro(FC, R.Program).c_str());
       }
     }
-    Next = End;
+    Pos = End;
   }
 
   double Sec = ElapsedSec();
