@@ -1,0 +1,68 @@
+//===- core/Features.cpp - Per-function feature extraction ----------------===//
+
+#include "core/Features.h"
+
+#include "adt/Arena.h"
+#include "analysis/Liveness.h"
+#include "analysis/LoopInfo.h"
+#include "ir/Function.h"
+#include "regalloc/InterferenceGraph.h"
+
+using namespace dra;
+
+std::vector<double> FunctionFeatures::asVector() const {
+  return {NumBlocks, NumInsts,   MaxLoopDepth, AvgLoopDepth,
+          MaxPressure, AvgLiveOut, AdjDensity,   MoveDensity};
+}
+
+const std::vector<std::string> &dra::featureNames() {
+  static const std::vector<std::string> Names = {
+      "num_blocks",   "num_insts",    "max_loop_depth", "avg_loop_depth",
+      "max_pressure", "avg_live_out", "adj_density",    "move_density"};
+  return Names;
+}
+
+FunctionFeatures dra::computeFeatures(const Function &F) {
+  FunctionFeatures FF;
+  Function Copy = F;
+  Copy.recomputeCFG();
+
+  const size_t NumBlocks = Copy.Blocks.size();
+  FF.NumBlocks = static_cast<double>(NumBlocks);
+  FF.NumInsts = static_cast<double>(Copy.numInsts());
+  if (NumBlocks == 0)
+    return FF;
+
+  LoopInfo LI = LoopInfo::compute(Copy);
+  double DepthSum = 0;
+  unsigned MaxDepth = 0;
+  for (uint32_t B = 0; B != NumBlocks; ++B) {
+    unsigned D = LI.depth(B);
+    DepthSum += D;
+    MaxDepth = std::max(MaxDepth, D);
+  }
+  FF.MaxLoopDepth = MaxDepth;
+  FF.AvgLoopDepth = DepthSum / static_cast<double>(NumBlocks);
+
+  Arena Scratch;
+  Liveness LV = Liveness::compute(Copy, &Scratch);
+  FF.MaxPressure = LV.maxPressure(Copy);
+  double LiveOutSum = 0;
+  for (uint32_t B = 0; B != NumBlocks; ++B)
+    LiveOutSum += static_cast<double>(LV.liveOut(B).count());
+  FF.AvgLiveOut = LiveOutSum / static_cast<double>(NumBlocks);
+
+  InterferenceGraph IG = InterferenceGraph::build(Copy, LV, &Scratch);
+  const uint32_t N = IG.numNodes();
+  if (N >= 2) {
+    double DegreeSum = 0;
+    for (uint32_t R = 0; R != N; ++R)
+      DegreeSum += IG.degree(static_cast<RegId>(R));
+    // Each edge contributes to two degrees; possible pairs = N*(N-1)/2.
+    FF.AdjDensity = DegreeSum / (static_cast<double>(N) *
+                                 static_cast<double>(N - 1));
+  }
+  if (FF.NumInsts > 0)
+    FF.MoveDensity = static_cast<double>(IG.moves().size()) / FF.NumInsts;
+  return FF;
+}

@@ -1,0 +1,64 @@
+//===- core/Features.h - Per-function feature extraction --------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, deterministic per-function feature vector the portfolio
+/// chooser (core/Portfolio.h) keys its decision table on. The features
+/// summarize exactly the properties that make the three differential
+/// schemes trade places per function: register pressure (how much
+/// spilling pressure the allocator faces), interference adjacency density
+/// (how constrained the coloring is), loop structure (where the dynamic
+/// cost concentrates), and raw size. Extraction runs one liveness pass
+/// and one interference-graph build — a small fraction of any single
+/// pipeline arm — so choosing is always cheaper than racing.
+///
+/// The vector layout is a stable contract: `featureNames()` is the schema
+/// both `dra-batch --portfolio-train` (writer) and the portfolio-v1
+/// decision table (consumer) carry, and a table whose feature list does
+/// not match is rejected at load time rather than silently misread.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_FEATURES_H
+#define DRA_CORE_FEATURES_H
+
+#include <string>
+#include <vector>
+
+namespace dra {
+
+class Function;
+
+/// The extracted features, in `featureNames()` order.
+struct FunctionFeatures {
+  double NumBlocks = 0;    ///< Basic blocks.
+  double NumInsts = 0;     ///< Instructions.
+  double MaxLoopDepth = 0; ///< Deepest loop nest.
+  double AvgLoopDepth = 0; ///< Mean loop depth over blocks.
+  double MaxPressure = 0;  ///< Peak simultaneously-live registers.
+  double AvgLiveOut = 0;   ///< Mean live-out set size over blocks
+                           ///< (the pressure histogram's central summary).
+  double AdjDensity = 0;   ///< Interference edges / possible pairs, in
+                           ///< [0, 1] (0 for < 2 live ranges).
+  double MoveDensity = 0;  ///< Move instructions / instructions.
+
+  /// The features as a flat vector, in `featureNames()` order.
+  std::vector<double> asVector() const;
+};
+
+/// Stable names of the features, index-aligned with
+/// FunctionFeatures::asVector(). The schema string both the training
+/// emitter and the decision-table loader carry.
+const std::vector<std::string> &featureNames();
+
+/// Extracts the features of \p F. Pure: same function, same vector, on
+/// any thread. \p F itself is not modified (the CFG is recomputed on a
+/// private copy).
+FunctionFeatures computeFeatures(const Function &F);
+
+} // namespace dra
+
+#endif // DRA_CORE_FEATURES_H

@@ -185,7 +185,14 @@ PipelineResult runOnce(const Function &Src, const PipelineConfig &C) {
 /// algorithms; the only registry traffic is this one flush per run.
 void flushPipelineMetrics(MetricsRegistry &M, const PipelineConfig &C,
                           const PipelineResult &R, const Function &Src) {
-  MetricLabels L{{"scheme", schemeName(C.S)},
+  // Portfolio requests label as "auto" rather than the winning scheme:
+  // the label identifies the *request* config, and keeping it stable
+  // across hit/miss (a warm hit does not re-race) keeps the series
+  // comparable. Which scheme won is portfolio.wins{scheme=...}'s job.
+  const char *SchemeL = C.Portfolio.Mode != PortfolioMode::Off
+                            ? "auto"
+                            : schemeName(C.S);
+  MetricLabels L{{"scheme", SchemeL},
                  {"function", Src.Name.empty() ? "<anon>" : Src.Name}};
   auto Count = [&](const char *Name, double V) { M.count(Name, V, L); };
   auto Gauge = [&](const char *Name, double V) { M.gauge(Name, V, L); };
@@ -276,7 +283,7 @@ void flushPipelineMetrics(MetricsRegistry &M, const PipelineConfig &C,
   // Per-stage wall clock, one histogram series per (scheme, stage); the
   // function label is dropped to bound series cardinality.
   for (const StageSpan &S : R.Spans) {
-    MetricLabels SL{{"scheme", schemeName(C.S)}, {"stage", S.Stage}};
+    MetricLabels SL{{"scheme", SchemeL}, {"stage", S.Stage}};
     M.observe(S.Depth == 0 ? "stage_us" : "substage_us",
               static_cast<double>(S.EndNs - S.BeginNs) / 1000.0, SL);
   }
@@ -322,9 +329,24 @@ PipelineResult dra::runPipeline(const Function &Src, const PipelineConfig &C) {
   // wall-clock Spans are absent on a hit.
   bool Hit = C.Cache && C.Cache->lookup(Src, C, R);
   if (!Hit) {
-    R = runPipelineImpl(Src, C);
-    if (C.Cache)
-      C.Cache->store(Src, C, R);
+    if (C.Portfolio.Mode != PortfolioMode::Off) {
+      // Portfolio dispatch: race (or choose) among the arms; each arm
+      // re-enters runPipeline with the portfolio stripped, so the
+      // recursion is one level deep. The winner stores under the
+      // portfolio key *and* under the winning arm's concrete
+      // single-scheme key — a later direct request for that scheme hits
+      // the same entry.
+      PipelineConfig WinnerCfg;
+      R = runPortfolio(Src, C, &WinnerCfg);
+      if (C.Cache) {
+        C.Cache->store(Src, C, R);
+        C.Cache->store(Src, WinnerCfg, R);
+      }
+    } else {
+      R = runPipelineImpl(Src, C);
+      if (C.Cache)
+        C.Cache->store(Src, C, R);
+    }
   }
   if (C.Metrics)
     flushPipelineMetrics(*C.Metrics, C, R, Src);

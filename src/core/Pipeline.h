@@ -32,8 +32,10 @@
 #include "core/Encoder.h"
 #include "core/EncodingConfig.h"
 #include "core/OptimalSpill.h"
+#include "core/Portfolio.h"
 #include "core/Recolor.h"
 #include "core/Remap.h"
+#include "core/Scheme.h"
 #include "driver/Metrics.h"
 #include "ir/Function.h"
 #include "regalloc/GraphColoring.h"
@@ -42,12 +44,6 @@
 #include <vector>
 
 namespace dra {
-
-/// Which pipeline to run.
-enum class Scheme : uint8_t { Baseline, OSpill, Remap, Select, Coalesce };
-
-/// Returns the paper's name for \p S.
-const char *schemeName(Scheme S);
 
 class PipelineCache;
 class TraceContext; // driver/Trace.h; config carries only the pointer
@@ -93,6 +89,13 @@ struct PipelineConfig {
   /// pays only pointer tests. Not part of the cache key (ResultCache
   /// hashes only the explicit config fields).
   TraceContext *Trace = nullptr;
+  /// Scheme-portfolio racing / chooser block (core/Portfolio.h). When
+  /// Mode != Off, runPipeline ignores S and instead races the configured
+  /// arms (or consults the chooser table), committing the winner by the
+  /// deterministic (encoded-cost, arm-index) rule. The behavioral knobs
+  /// (Mode, Arms, MinConfidence, table fingerprint) join the cache key;
+  /// Jobs does not.
+  PortfolioConfig Portfolio;
 };
 
 // StageSpan (one timed pipeline stage or nested sub-phase) lives in

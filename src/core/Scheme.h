@@ -1,0 +1,30 @@
+//===- core/Scheme.h - Pipeline scheme identifiers --------------*- C++ -*-===//
+//
+// Part of the differential-register-allocation reproduction library.
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five pipeline schemes of the paper's evaluation, split out of
+/// Pipeline.h so lightweight layers (the portfolio arm descriptions, the
+/// chooser's decision table) can name a scheme without pulling in the
+/// whole pipeline facade.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef DRA_CORE_SCHEME_H
+#define DRA_CORE_SCHEME_H
+
+#include <cstdint>
+
+namespace dra {
+
+/// Which pipeline to run.
+enum class Scheme : uint8_t { Baseline, OSpill, Remap, Select, Coalesce };
+
+/// Returns the paper's name for \p S.
+const char *schemeName(Scheme S);
+
+} // namespace dra
+
+#endif // DRA_CORE_SCHEME_H

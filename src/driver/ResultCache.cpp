@@ -258,6 +258,32 @@ uint64_t ResultCache::cacheKey(const Function &Src, const PipelineConfig &C) {
     H.u32(R);
   H.u8(C.Remap.UseIncremental);
   H.u8(C.Remap.FullRecost);
+
+  // Portfolio block. Jobs is excluded for the same reason as Remap.Jobs:
+  // the race is bit-identical at any worker count. The arm list hashes in
+  // *resolved* form so an explicit default-arm list and an empty one key
+  // identically. (Appending the mode tag shifts every key vs. older
+  // builds; stale disk entries simply never hit, which is always safe.)
+  H.u8(static_cast<uint8_t>(C.Portfolio.Mode));
+  if (C.Portfolio.Mode != PortfolioMode::Off) {
+    const std::vector<PortfolioArm> Arms =
+        resolvedPortfolioArms(C.Portfolio);
+    H.u64(Arms.size());
+    for (const PortfolioArm &A : Arms) {
+      H.u8(static_cast<uint8_t>(A.S));
+      H.u32(A.RemapStarts);
+    }
+    if (C.Portfolio.Mode == PortfolioMode::Choose) {
+      // Choose-mode results depend on the table's predictions, so its
+      // content fingerprint (not the pointer) joins the key; a missing
+      // table degenerates to racing and hashes as 0.
+      uint64_t ConfBits;
+      static_assert(sizeof(ConfBits) == sizeof(C.Portfolio.MinConfidence));
+      std::memcpy(&ConfBits, &C.Portfolio.MinConfidence, sizeof(ConfBits));
+      H.u64(ConfBits);
+      H.u64(C.Portfolio.Table ? C.Portfolio.Table->fingerprint() : 0);
+    }
+  }
   return H.get();
 }
 

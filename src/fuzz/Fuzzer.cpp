@@ -100,15 +100,20 @@ struct SchemeVariant {
   const char *Name;
   bool CacheReplay;
   bool CSrc;
+  bool Portfolio;
 };
 
 const SchemeVariant SchemeVariants[] = {
-    {Scheme::Remap, 1, "remap", false, false},
-    {Scheme::Select, 1, "select", false, false},
-    {Scheme::Coalesce, 1, "coalesce", false, false},
-    {Scheme::Remap, 3, "remap-parallel", false, false},
-    {Scheme::Coalesce, 1, "cache-replay", true, false},
-    {Scheme::Remap, 1, "csrc", false, true},
+    {Scheme::Remap, 1, "remap", false, false, false},
+    {Scheme::Select, 1, "select", false, false, false},
+    {Scheme::Coalesce, 1, "coalesce", false, false, false},
+    {Scheme::Remap, 3, "remap-parallel", false, false, false},
+    {Scheme::Coalesce, 1, "cache-replay", true, false, false},
+    {Scheme::Remap, 1, "csrc", false, true, false},
+    // A two-worker race over the default arms; checkProgram additionally
+    // recompiles every arm alone and requires the raced winner to match
+    // the sequential best exactly (cost, tie-break, bytes).
+    {Scheme::Coalesce, 1, "portfolio", false, false, true},
 };
 
 constexpr size_t NumSchemeVariants =
@@ -237,6 +242,10 @@ FuzzCase dra::caseForIndex(uint64_t BaseSeed, uint64_t Index) {
   FC.S = SV.S;
   FC.RemapJobs = SV.RemapJobs;
   FC.CacheReplay = SV.CacheReplay;
+  if (SV.Portfolio) {
+    FC.Portfolio = true;
+    FC.PortfolioJobs = 2; // Concurrent arms: the race path under test.
+  }
   FC.Enc = ConfigVariants[(Index / NumSchemeVariants) %
                           (sizeof(ConfigVariants) /
                            sizeof(ConfigVariants[0]))]
@@ -274,6 +283,10 @@ std::optional<std::string> dra::checkProgram(const Function &P,
   // without weakening any checked invariant.
   Cfg.Remap.NumStarts = 25;
   Cfg.Remap.Jobs = FC.RemapJobs;
+  if (FC.Portfolio) {
+    Cfg.Portfolio.Mode = PortfolioMode::Race;
+    Cfg.Portfolio.Jobs = FC.PortfolioJobs;
+  }
   std::optional<ResultCache> Cache;
   if (FC.CacheReplay) {
     Cache.emplace();
@@ -283,6 +296,43 @@ std::optional<std::string> dra::checkProgram(const Function &P,
 
   if (!verifyFunction(R.F, &Err))
     return "pipeline output invalid: " + Err;
+
+  if (FC.Portfolio) {
+    // The race's construction invariant: the committed result is what a
+    // sequential sweep of the arms would pick — minimal encodedCost,
+    // lowest arm index on ties, identical bytes. Recompile every arm
+    // alone and compare; cancellation must never change the outcome.
+    std::vector<PortfolioArm> Arms = resolvedPortfolioArms(Cfg.Portfolio);
+    uint64_t BestCost = UINT64_MAX;
+    size_t BestArm = 0;
+    std::optional<PipelineResult> Best;
+    for (size_t A = 0; A != Arms.size(); ++A) {
+      PipelineConfig AC = Cfg;
+      AC.Portfolio = PortfolioConfig();
+      AC.S = Arms[A].S;
+      if (Arms[A].RemapStarts != 0)
+        AC.Remap.NumStarts = Arms[A].RemapStarts;
+      PipelineResult AR = runPipeline(P, AC);
+      uint64_t Cost = encodedCost(AR);
+      if (Cost < BestCost) {
+        BestCost = Cost;
+        BestArm = A;
+        Best = std::move(AR);
+      }
+    }
+    if (encodedCost(R) != BestCost)
+      return "portfolio: raced cost " + std::to_string(encodedCost(R)) +
+             " != best sequential arm cost " + std::to_string(BestCost) +
+             " (arm " + std::to_string(BestArm) + ")";
+    std::string Why;
+    if (!functionsIdentical(R.F, Best->F, &Why))
+      return "portfolio: raced winner differs from sequential arm " +
+             std::to_string(BestArm) + ": " + Why;
+    if (R.DiffEncoded && encodedStreamHash(R.F, FC.Enc) !=
+                             encodedStreamHash(Best->F, FC.Enc))
+      return "portfolio: encoded stream differs from sequential arm " +
+             std::to_string(BestArm);
+  }
 
   if (FC.CacheReplay) {
     // Recompile through the now-warm cache: the replay must hit, and the
@@ -364,7 +414,11 @@ std::optional<std::string> dra::checkProgram(const Function &P,
       return "lockstep oracle (remap probe): " + PR.Divergence;
   }
 
-  if (FC.S == Scheme::Coalesce && !checkMoveLegality(Allocated, &Why))
+  // Move legality is a coalescer postcondition; a portfolio case's
+  // winner may come from a non-coalescing arm, so the check only applies
+  // to a fixed coalesce scheme.
+  if (!FC.Portfolio && FC.S == Scheme::Coalesce &&
+      !checkMoveLegality(Allocated, &Why))
     return "move legality after coalesce: " + Why;
 
   return std::nullopt;

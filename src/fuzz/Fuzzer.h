@@ -22,7 +22,12 @@
 /// frontend (src/frontend/) instead of ProgramGen: a seeded random
 /// source file is generated, compiled through tokenizer/parser/lowering,
 /// and the lowered function runs the same checks under one of the three
-/// differential pipelines (rotated by seed). For each case the harness:
+/// differential pipelines (rotated by seed), and a `portfolio` variant
+/// that compiles through a two-worker scheme-portfolio race
+/// (core/Portfolio.h) and additionally requires the committed result to
+/// be exactly what a sequential sweep of the arms would pick:
+/// cost-minimal under the winner rule, lowest arm index on ties, and
+/// bit-identical to that arm's lone compile. For each case the harness:
 ///
 ///  1. generates the program and runs the full pipeline, checking the
 ///     end-to-end fingerprint (allocation may legally restructure code, so
@@ -99,6 +104,13 @@ struct FuzzCase {
   /// already small by generation profile).
   bool CSrc = false;
   std::string CSource;
+  /// The `portfolio` scheme variant: compile through a concurrent
+  /// scheme-portfolio race instead of a single pipeline, then require
+  /// the committed result to match the best sequential arm exactly
+  /// (cost, tie-break, and encoded bytes). The usual oracle checks run
+  /// on the raced winner.
+  bool Portfolio = false;
+  unsigned PortfolioJobs = 1;
 
   /// Stable human-readable id, e.g. "s42-coalesce-vliw32-dst-sp".
   std::string name() const;
@@ -115,7 +127,8 @@ FuzzCase caseForIndex(uint64_t BaseSeed, uint64_t Index);
 unsigned caseMatrixSize();
 
 /// Name of the scheme-variant slot case \p Index occupies ("remap",
-/// "select", "coalesce", "remap-parallel", "cache-replay" or "csrc").
+/// "select", "coalesce", "remap-parallel", "cache-replay", "csrc" or
+/// "portfolio").
 /// Pure function of the index (the slot is Index mod the variant count).
 const char *caseVariantName(uint64_t Index);
 

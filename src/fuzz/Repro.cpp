@@ -113,6 +113,8 @@ std::string dra::writeRepro(const FuzzCase &FC, const Function &P) {
   Out << "# remapjobs: " << FC.RemapJobs << "\n";
   Out << "# cachereplay: " << (FC.CacheReplay ? 1 : 0) << "\n";
   Out << "# fault: " << injectFaultName(FC.Fault) << "\n";
+  if (FC.Portfolio)
+    Out << "# portfolio: race jobs=" << FC.PortfolioJobs << "\n";
   if (FC.CSrc) {
     // The csrc variant's ground truth is the mini-C source: replay
     // recompiles it through the frontend. One directive per source line
@@ -180,6 +182,37 @@ bool dra::loadRepro(const std::string &Text, FuzzCase &FC, Function &P,
       while (LS >> Tok)
         if (!parseEncToken(Tok, FC.Enc))
           return fail(Err, "repro: bad enc token '" + Tok + "'");
+    } else if (Key == "portfolio:") {
+      // `# portfolio: race jobs=2` — the mode token is mandatory and
+      // checked; the key=value tail follows the enc: conventions
+      // (unknown keys ignored, malformed tokens rejected).
+      std::string Mode;
+      LS >> Mode;
+      if (Mode != "race" && Mode != "choose")
+        return fail(Err, "repro: unknown portfolio mode '" + Mode + "'");
+      FC.Portfolio = true;
+      std::string Tok;
+      while (LS >> Tok) {
+        size_t Eq = Tok.find('=');
+        if (Eq == std::string::npos)
+          return fail(Err, "repro: bad portfolio token '" + Tok + "'");
+        std::string K = Tok.substr(0, Eq);
+        std::string V = Tok.substr(Eq + 1);
+        if (K == "jobs") {
+          size_t Pos = 0;
+          unsigned long N = 0;
+          try {
+            N = std::stoul(V, &Pos);
+          } catch (...) {
+            return fail(Err, "repro: bad portfolio token '" + Tok + "'");
+          }
+          if (Pos != V.size() || N == 0)
+            return fail(Err,
+                        "repro: portfolio jobs must be a positive count");
+          FC.PortfolioJobs = static_cast<unsigned>(N);
+        }
+        // Unknown key=value: ignore for forward compatibility.
+      }
     } else if (Key == "csrc:") {
       // Everything after the "# csrc: " prefix is one verbatim source
       // line (substr, not LS: token reads would eat the indentation).

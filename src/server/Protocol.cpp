@@ -259,7 +259,7 @@ const char *dra::wireSchemeName(Scheme S) {
 std::string dra::encodeRequest(const CompileRequest &Req) {
   std::string Out = "dra-req-v1\n";
   Out += "scheme=";
-  Out += wireSchemeName(Req.S);
+  Out += Req.Auto ? "auto" : wireSchemeName(Req.S);
   Out += "\nbaselinek=" + std::to_string(Req.BaselineK);
   Out += "\nregn=" + std::to_string(Req.RegN);
   Out += "\ndiffn=" + std::to_string(Req.DiffN);
@@ -278,6 +278,13 @@ bool dra::decodeRequest(const std::string &Payload, CompileRequest &Out,
   auto OnKey = [&](const std::string &Key, const std::string &Value,
                    std::string *E) {
     if (Key == "scheme") {
+      // "auto" delegates scheme choice to the server's portfolio. S
+      // keeps its default (Coalesce) so config validation — encoding
+      // parameters etc. — applies unchanged.
+      if (Value == "auto") {
+        Req.Auto = true;
+        return true;
+      }
       if (!parseSchemeName(Value, Req.S))
         return setError(E, "unknown scheme '" + Value + "'");
       return true;

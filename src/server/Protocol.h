@@ -23,7 +23,7 @@
 /// the spirit of the repro and cache file formats:
 ///
 ///   dra-req-v1                      dra-resp-v1
-///   scheme=coalesce                 status=ok|shed|error
+///   scheme=coalesce|auto            status=ok|shed|error
 ///   baselinek=8                     tier=hit_mem|hit_disk|miss|none
 ///   regn=12                         [traceid=<16 hex>]
 ///   diffn=8                         [pid=<server pid>]
@@ -123,6 +123,11 @@ bool writeFrame(int Fd, const std::string &Payload);
 /// function body in the textual IR syntax.
 struct CompileRequest {
   Scheme S = Scheme::Coalesce;
+  /// True for `scheme=auto`: the client delegates scheme selection to the
+  /// server's portfolio (race or chooser, per --portfolio). S is ignored
+  /// on the wire when set. A server running --portfolio=off answers
+  /// auto requests with a structured error rather than guessing.
+  bool Auto = false;
   unsigned BaselineK = 8;
   unsigned RegN = 12;
   unsigned DiffN = 8;

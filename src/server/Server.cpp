@@ -191,7 +191,7 @@ CompileResponse CompileServer::handleRequest(const std::string &Payload,
     Rec.TraceId = TC.traceId();
     Rec.ClientTraced = ClientTraced;
     Rec.ConnId = ConnId;
-    Rec.Scheme = Decoded ? wireSchemeName(Req.S) : "?";
+    Rec.Scheme = !Decoded ? "?" : (Req.Auto ? "auto" : wireSchemeName(Req.S));
     Rec.Outcome = Resp.Status == ResponseStatus::Ok
                       ? "ok"
                       : (Resp.Status == ResponseStatus::Shed ? "shed"
@@ -221,6 +221,12 @@ CompileResponse CompileServer::handleRequest(const std::string &Payload,
 
   if (!Decoded)
     return Fail("bad request: " + DecodeErr);
+  // scheme=auto delegates the choice to the portfolio; a server running
+  // without one answers with a structured error instead of silently
+  // picking a scheme the client did not ask for.
+  if (Req.Auto && Opts.Portfolio == PortfolioMode::Off)
+    return Fail("scheme=auto requires a server started with "
+                "--portfolio=race or --portfolio=choose");
   if (Req.S != Scheme::Baseline && Req.S != Scheme::OSpill &&
       !Req.toConfig().Enc.valid())
     return Fail("invalid encoding config (regn/diffn/diffw)");
@@ -280,10 +286,34 @@ CompileResponse CompileServer::compileAdmitted(const CompileRequest &Req,
       ScopedTraceSpan CompileSpan(Trace, "compile", /*Depth=*/1);
       PipelineConfig C = Req.toConfig();
       C.Trace = Trace;
+      if (Req.Auto) {
+        C.Portfolio.Mode = Opts.Portfolio;
+        C.Portfolio.Jobs = Opts.PortfolioJobs;
+        C.Portfolio.Table = Opts.PortfolioTable;
+        // Bounded-cardinality portfolio.* counters (mode/scheme labels
+        // only) go to the server registry; C.Metrics stays null so the
+        // per-function pipeline series never explode under live traffic.
+        C.Portfolio.Metrics = Opts.Metrics;
+      }
       PipelineResult PR;
       const char *Tier = nullptr;
       if (Opts.Cache && Opts.Cache->lookupTiered(F, C, PR, &Tier)) {
         R.Tier = std::strcmp(Tier, "disk") == 0 ? "hit_disk" : "hit_mem";
+      } else if (C.Portfolio.Mode != PortfolioMode::Off) {
+        // Race (or choose) directly so the winning arm's concrete config
+        // is known: the result stores under the portfolio key *and* the
+        // winner's single-scheme key, exactly like runPipeline's own
+        // cached dispatch, without double-counting a cache miss.
+        PipelineConfig WinnerCfg;
+        PR = runPortfolio(F, C, &WinnerCfg);
+        if (C.Trace)
+          for (const StageSpan &S : PR.Spans)
+            C.Trace->record(S.Stage, S.BeginNs, S.EndNs, S.Depth + 2);
+        if (Opts.Cache) {
+          Opts.Cache->store(F, C, PR);
+          Opts.Cache->store(F, WinnerCfg, PR);
+        }
+        R.Tier = "miss";
       } else {
         PR = runPipeline(F, C); // C.Cache is null: no double-counted stats
         if (Opts.Cache)

@@ -76,6 +76,17 @@ struct ServerOptions {
   /// span detail in the flight recorder and count into
   /// `trace.slow_requests`.
   uint64_t SlowRequestUs = 100000;
+  /// How `scheme=auto` requests are served (core/Portfolio.h): Off
+  /// answers them with a structured error, Race races the default arm
+  /// set, Choose consults PortfolioTable (racing on low confidence or
+  /// with no table). Explicit-scheme requests are never affected.
+  PortfolioMode Portfolio = PortfolioMode::Off;
+  /// Choose mode's trained decision table (borrowed; the caller keeps it
+  /// alive for the server's lifetime).
+  const DecisionTable *PortfolioTable = nullptr;
+  /// Worker threads per portfolio race; 0 = one per arm. Wall-clock only
+  /// (results are bit-identical at any value).
+  unsigned PortfolioJobs = 0;
 };
 
 class CompileServer {

@@ -12,6 +12,8 @@
 
 #include "driver/ResultCache.h"
 
+#include "core/Features.h"
+#include "core/Portfolio.h"
 #include "driver/BatchCompiler.h"
 #include "interp/Interpreter.h"
 #include "ir/IRBuilder.h"
@@ -122,6 +124,65 @@ TEST(CacheKey, BodyAndConfigChangesChangeTheKey) {
   C2 = C;
   C2.Coalesce.MaxSteps += 1;
   EXPECT_NE(ResultCache::cacheKey(A, C2), Base);
+}
+
+TEST(CacheKey, PortfolioConfigJoinsTheKeyButJobsDoesNot) {
+  Function A = testProgram(1);
+  PipelineConfig C = smallConfig();
+  uint64_t Off = ResultCache::cacheKey(A, C);
+
+  // Turning the race on is a different request.
+  PipelineConfig Race = C;
+  Race.Portfolio.Mode = PortfolioMode::Race;
+  uint64_t RaceKey = ResultCache::cacheKey(A, Race);
+  EXPECT_NE(RaceKey, Off);
+
+  // Empty arms means defaultPortfolioArms(): spelling the default out
+  // explicitly must hash identically, a different arm set must not.
+  PipelineConfig Explicit = Race;
+  Explicit.Portfolio.Arms = defaultPortfolioArms();
+  EXPECT_EQ(ResultCache::cacheKey(A, Explicit), RaceKey);
+  PipelineConfig OtherArms = Race;
+  OtherArms.Portfolio.Arms = {{Scheme::Remap, 0}, {Scheme::Select, 0}};
+  EXPECT_NE(ResultCache::cacheKey(A, OtherArms), RaceKey);
+  PipelineConfig OtherStarts = Race;
+  OtherStarts.Portfolio.Arms = defaultPortfolioArms();
+  OtherStarts.Portfolio.Arms[2].RemapStarts = 50;
+  EXPECT_NE(ResultCache::cacheKey(A, OtherStarts), RaceKey);
+
+  // Jobs is a wall-clock knob with bit-identical results — excluded,
+  // like Remap.Jobs, so a 1-worker and an 8-worker race share entries.
+  PipelineConfig Jobs = Race;
+  Jobs.Portfolio.Jobs = 8;
+  EXPECT_EQ(ResultCache::cacheKey(A, Jobs), RaceKey);
+
+  // Choose mode adds the chooser knobs: mode, threshold, and the loaded
+  // table's content fingerprint all shift the key.
+  PipelineConfig Choose = Race;
+  Choose.Portfolio.Mode = PortfolioMode::Choose;
+  uint64_t ChooseKey = ResultCache::cacheKey(A, Choose);
+  EXPECT_NE(ChooseKey, RaceKey);
+  PipelineConfig Conf = Choose;
+  Conf.Portfolio.MinConfidence = 0.5;
+  EXPECT_NE(ResultCache::cacheKey(A, Conf), ChooseKey);
+
+  DecisionTable T;
+  T.Features = featureNames();
+  T.Arms = defaultPortfolioArms();
+  DecisionNode Leaf;
+  Leaf.Feature = -1;
+  Leaf.Arm = 0;
+  Leaf.Confidence = 1.0;
+  T.Nodes.push_back(Leaf);
+  PipelineConfig WithTable = Choose;
+  WithTable.Portfolio.Table = &T;
+  uint64_t TableKey = ResultCache::cacheKey(A, WithTable);
+  EXPECT_NE(TableKey, ChooseKey);
+  DecisionTable T2 = T;
+  T2.Nodes[0].Arm = 1;
+  PipelineConfig WithTable2 = Choose;
+  WithTable2.Portfolio.Table = &T2;
+  EXPECT_NE(ResultCache::cacheKey(A, WithTable2), TableKey);
 }
 
 //===----------------------------------------------------------------------===//
@@ -410,6 +471,85 @@ TEST(CacheMetrics, HitLatencyHistogramRecorded) {
       EXPECT_EQ(H.Count, 1u);
     }
   EXPECT_TRUE(Found);
+}
+
+//===----------------------------------------------------------------------===//
+// Portfolio (scheme=auto) caching
+//===----------------------------------------------------------------------===//
+
+TEST(CachePortfolio, WarmRaceHitIsBitIdenticalAndTierLabeled) {
+  Function P = testProgram(8);
+  ResultCache Cache;
+  MetricsRegistry Reg;
+  Cache.setMetrics(&Reg);
+  PipelineConfig C = smallConfig();
+  C.Portfolio.Mode = PortfolioMode::Race;
+  C.Portfolio.Jobs = 2;
+  C.Cache = &Cache;
+
+  PipelineResult Cold = runPipeline(P, C);
+  PipelineResult Warm = runPipeline(P, C);
+  ResultCacheStats S = Cache.stats();
+  EXPECT_EQ(S.Misses, 1u);
+  EXPECT_EQ(S.MemHits, 1u);
+  // One cold race stores twice: under the portfolio key and under the
+  // winning arm's concrete single-scheme key.
+  EXPECT_EQ(S.Stores, 2u);
+  EXPECT_EQ(ResultCache::serializeResult(Warm),
+            ResultCache::serializeResult(Cold));
+
+  // The warm hit is tier-labeled in the latency histogram.
+  bool Found = false;
+  for (const auto &H : Reg.histograms())
+    if (H.Name == "cache.hit_us")
+      for (const auto &[K, V] : H.Labels.entries())
+        if (K == "tier" && V == "mem")
+          Found = true;
+  EXPECT_TRUE(Found) << "warm auto hit missing cache.hit_us{tier=mem}";
+}
+
+TEST(CachePortfolio, WinnerDoubleStoreServesDirectSchemeRequests) {
+  Function P = testProgram(9);
+  ResultCache Cache;
+  PipelineConfig C = smallConfig();
+  C.Portfolio.Mode = PortfolioMode::Race;
+  C.Cache = &Cache;
+
+  PortfolioOutcome Out;
+  PipelineConfig WinnerCfg;
+  // Race once through runPipeline (which does the double store), and
+  // learn the winner via a cache-less rerun of the same race.
+  PipelineResult Raced = runPipeline(P, C);
+  PipelineConfig NoCache = C;
+  NoCache.Cache = nullptr;
+  runPortfolio(P, NoCache, &WinnerCfg, &Out);
+  ASSERT_EQ(Cache.stats().Stores, 2u);
+
+  // A direct request for the winning scheme (portfolio off) must hit the
+  // stored entry, not recompile — and replay the raced bytes.
+  WinnerCfg.Cache = &Cache;
+  PipelineResult Direct = runPipeline(P, WinnerCfg);
+  EXPECT_EQ(Cache.stats().MemHits, 1u);
+  EXPECT_EQ(Cache.stats().Misses, 1u);
+  EXPECT_EQ(ResultCache::serializeResult(Direct),
+            ResultCache::serializeResult(Raced));
+
+  // A *losing* arm's key must not have been populated.
+  std::vector<PortfolioArm> Arms = resolvedPortfolioArms(C.Portfolio);
+  unsigned DirectMisses = 0;
+  for (size_t A = 0; A != Arms.size(); ++A) {
+    if (A == Out.WinnerArm)
+      continue;
+    PipelineConfig AC = C;
+    AC.Portfolio = PortfolioConfig();
+    AC.S = Arms[A].S;
+    if (Arms[A].RemapStarts != 0)
+      AC.Remap.NumStarts = Arms[A].RemapStarts;
+    PipelineResult R;
+    if (!Cache.lookup(P, AC, R))
+      ++DirectMisses;
+  }
+  EXPECT_EQ(DirectMisses, Arms.size() - 1);
 }
 
 //===----------------------------------------------------------------------===//

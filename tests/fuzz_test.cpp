@@ -154,6 +154,7 @@ TEST(FuzzCase, MatrixCoversSchemesAndConfigs) {
   unsigned ParallelCases = 0;
   unsigned CacheReplayCases = 0;
   unsigned CSrcCases = 0;
+  unsigned PortfolioCases = 0;
   for (uint64_t I = 0; I != caseMatrixSize(); ++I) {
     FuzzCase FC = caseForIndex(7, I);
     Names.insert(FC.name());
@@ -181,26 +182,36 @@ TEST(FuzzCase, MatrixCoversSchemesAndConfigs) {
       EXPECT_FALSE(FC.CSource.empty());
       EXPECT_NE(FC.name().find("csrc"), std::string::npos);
     }
+    if (FC.Portfolio) {
+      ++PortfolioCases;
+      // The portfolio variant races the default arms on two workers and
+      // cross-checks the winner against a sequential arm sweep.
+      EXPECT_EQ(FC.PortfolioJobs, 2u);
+      EXPECT_NE(FC.name().find("portfolio"), std::string::npos);
+    }
   }
-  // 6 config variants x 6 scheme variants (remap, select, coalesce,
-  // remap-parallel, cache-replay, csrc); one remap-parallel, one
-  // cache-replay and one csrc case per config variant.
-  EXPECT_EQ(caseMatrixSize(), 36u);
+  // 6 config variants x 7 scheme variants (remap, select, coalesce,
+  // remap-parallel, cache-replay, csrc, portfolio); one remap-parallel,
+  // one cache-replay, one csrc and one portfolio case per config
+  // variant.
+  EXPECT_EQ(caseMatrixSize(), 42u);
   EXPECT_EQ(Names.size(), caseMatrixSize());
   EXPECT_EQ(Schemes.size(), 3u);
   EXPECT_EQ(ParallelCases, 6u);
   EXPECT_EQ(CacheReplayCases, 6u);
   EXPECT_EQ(CSrcCases, 6u);
+  EXPECT_EQ(PortfolioCases, 6u);
 }
 
 TEST(FuzzCase, VariantNameIsPureInIndex) {
   // caseVariantName drives --only filtering: it must agree with the
   // variant slot caseForIndex assigns, for any index.
-  static const char *Expected[6] = {"remap",          "select",
-                                    "coalesce",       "remap-parallel",
-                                    "cache-replay",   "csrc"};
-  for (uint64_t I = 0; I != 13; ++I) {
-    EXPECT_STREQ(caseVariantName(I), Expected[I % 6]) << "index " << I;
+  static const char *Expected[7] = {"remap",        "select",
+                                    "coalesce",     "remap-parallel",
+                                    "cache-replay", "csrc",
+                                    "portfolio"};
+  for (uint64_t I = 0; I != 15; ++I) {
+    EXPECT_STREQ(caseVariantName(I), Expected[I % 7]) << "index " << I;
     FuzzCase FC = caseForIndex(5, I);
     EXPECT_NE(FC.name().find(caseVariantName(I)), std::string::npos)
         << FC.name();
@@ -218,10 +229,10 @@ TEST(FuzzCase, DeterministicDerivation) {
 }
 
 TEST(Repro, RoundTripsCaseAndProgram) {
-  // Index 21 is a remap-parallel case (21 % 6 == 3), so RemapJobs
+  // Index 24 is a remap-parallel case (24 % 7 == 3), so RemapJobs
   // round-trips a non-default value (a dropped directive would silently
   // load as 1).
-  FuzzCase FC = caseForIndex(9, 21);
+  FuzzCase FC = caseForIndex(9, 24);
   ASSERT_GT(FC.RemapJobs, 1u);
   FC.Fault = InjectFault::CorruptFieldCode;
   Function P = generateProgram("rt", FC.Profile);
@@ -245,10 +256,10 @@ TEST(Repro, RoundTripsCaseAndProgram) {
 }
 
 TEST(Repro, RoundTripsCacheReplayFlag) {
-  // Index 22 is a cache-replay case (22 % 6 == 4): the flag must survive
+  // Index 25 is a cache-replay case (25 % 7 == 4): the flag must survive
   // the directive round trip, or a replayed repro would silently skip the
   // warm-cache comparison.
-  FuzzCase FC = caseForIndex(9, 22);
+  FuzzCase FC = caseForIndex(9, 25);
   ASSERT_TRUE(FC.CacheReplay);
   Function P = generateProgram("cr", FC.Profile);
   std::string Text = writeRepro(FC, P);
@@ -268,11 +279,11 @@ TEST(Repro, RoundTripsCacheReplayFlag) {
 }
 
 TEST(Repro, RoundTripsCSource) {
-  // Index 23 is a csrc case (23 % 6 == 5): the mini-C source is the
+  // Index 26 is a csrc case (26 % 7 == 5): the mini-C source is the
   // ground truth of the case, so every line must survive the `# csrc:`
   // directive round trip byte for byte — including indentation, which a
   // token-based reader would eat.
-  FuzzCase FC = caseForIndex(9, 23);
+  FuzzCase FC = caseForIndex(9, 26);
   ASSERT_TRUE(FC.CSrc);
   ASSERT_FALSE(FC.CSource.empty());
   CcDiag D;
@@ -299,6 +310,68 @@ TEST(Repro, RoundTripsCSource) {
   ASSERT_TRUE(loadRepro(PlainText, Loaded, Q, &Err)) << Err;
   EXPECT_FALSE(Loaded.CSrc);
   EXPECT_TRUE(Loaded.CSource.empty());
+}
+
+TEST(Repro, RoundTripsPortfolioDirective) {
+  // Index 27 is a portfolio case (27 % 7 == 6): the race config must
+  // survive the `# portfolio:` directive round trip, or a replayed repro
+  // would silently degrade to a plain coalesce compile.
+  FuzzCase FC = caseForIndex(9, 27);
+  ASSERT_TRUE(FC.Portfolio);
+  ASSERT_EQ(FC.PortfolioJobs, 2u);
+  Function P = generateProgram("pf", FC.Profile);
+  std::string Text = writeRepro(FC, P);
+  EXPECT_NE(Text.find("# portfolio: race jobs=2"), std::string::npos);
+  FuzzCase Loaded;
+  Function Q;
+  std::string Err;
+  ASSERT_TRUE(loadRepro(Text, Loaded, Q, &Err)) << Err;
+  EXPECT_TRUE(Loaded.Portfolio);
+  EXPECT_EQ(Loaded.PortfolioJobs, 2u);
+  EXPECT_EQ(printFunction(Q), printFunction(P));
+
+  // And the default stays off when the directive is absent (old repros).
+  FuzzCase Plain = caseForIndex(9, 0);
+  ASSERT_FALSE(Plain.Portfolio);
+  std::string PlainText = writeRepro(Plain, P);
+  EXPECT_EQ(PlainText.find("# portfolio:"), std::string::npos);
+  ASSERT_TRUE(loadRepro(PlainText, Loaded, Q, &Err)) << Err;
+  EXPECT_FALSE(Loaded.Portfolio);
+}
+
+TEST(Repro, RejectsMalformedPortfolioDirective) {
+  const char *Magic = "# dra-fuzz repro v1\n";
+  FuzzCase FC;
+  Function P;
+  std::string Err;
+  // Unknown mode token.
+  EXPECT_FALSE(loadRepro(std::string(Magic) +
+                             "# portfolio: turbo jobs=2\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("portfolio mode"), std::string::npos) << Err;
+  // Zero jobs.
+  EXPECT_FALSE(loadRepro(std::string(Magic) +
+                             "# portfolio: race jobs=0\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("jobs"), std::string::npos) << Err;
+  // Non-numeric / trailing-garbage jobs.
+  EXPECT_FALSE(loadRepro(std::string(Magic) +
+                             "# portfolio: race jobs=2x\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("jobs"), std::string::npos) << Err;
+  // A bare token without '='.
+  EXPECT_FALSE(loadRepro(std::string(Magic) +
+                             "# portfolio: race fast\nret r0\n",
+                         FC, P, &Err));
+  EXPECT_NE(Err.find("portfolio token"), std::string::npos) << Err;
+  // Unknown key=value tokens are ignored (forward compatibility).
+  FuzzCase Base = caseForIndex(3, 2);
+  Function Prog = generateProgram("pt", Base.Profile);
+  std::string Text = writeRepro(Base, Prog);
+  Text.insert(Text.find('\n') + 1, "# portfolio: race jobs=3 flux=88\n");
+  ASSERT_TRUE(loadRepro(Text, FC, P, &Err)) << Err;
+  EXPECT_TRUE(FC.Portfolio);
+  EXPECT_EQ(FC.PortfolioJobs, 3u);
 }
 
 TEST(Repro, RejectsGarbage) {
@@ -382,10 +455,10 @@ TEST(Repro, RejectsMalformedDirectiveValues) {
 }
 
 TEST(Harness, CleanCasesPass) {
-  // The first six sweep cases (one per scheme variant, including
-  // cache-replay and csrc) must pass end to end — the same guarantee the
-  // CI smoke job checks at larger scale.
-  for (uint64_t I = 0; I != 6; ++I) {
+  // The first seven sweep cases (one per scheme variant, including
+  // cache-replay, csrc and portfolio) must pass end to end — the same
+  // guarantee the CI smoke job checks at larger scale.
+  for (uint64_t I = 0; I != 7; ++I) {
     FuzzCase FC = caseForIndex(1, I);
     FuzzCaseResult R = runFuzzCase(FC, /*MinimizeBudget=*/0);
     EXPECT_TRUE(R.Ok) << FC.name() << ": " << R.Detail;
@@ -459,11 +532,23 @@ TEST(Harness, CSrcGeneratedSourcesCompile) {
   }
 }
 
+TEST(Harness, PortfolioInjectedFaultIsCaught) {
+  // Mutation test for the portfolio axis: the raced winner goes through
+  // the same encode/decode oracle, so a corrupted encoder must still be
+  // caught when the compile came out of a race.
+  FuzzCase FC = caseForIndex(1, 6); // 6 % 7 == 6: portfolio.
+  ASSERT_TRUE(FC.Portfolio);
+  FC.Fault = InjectFault::CorruptFieldCode;
+  FuzzCaseResult R = runFuzzCase(FC, /*MinimizeBudget=*/0);
+  ASSERT_FALSE(R.Ok);
+  EXPECT_FALSE(R.Detail.empty());
+}
+
 TEST(Harness, CSrcInjectedFaultIsCaught) {
   // Mutation test for the csrc axis: the frontend-shaped program must
   // still catch a corrupted encoder, or the new variant isn't guarding
   // anything ProgramGen doesn't already cover.
-  FuzzCase FC = caseForIndex(1, 5); // 5 % 6 == 5: csrc.
+  FuzzCase FC = caseForIndex(1, 5); // 5 % 7 == 5: csrc.
   ASSERT_TRUE(FC.CSrc);
   FC.Fault = InjectFault::CorruptFieldCode;
   FuzzCaseResult R = runFuzzCase(FC);

@@ -1,0 +1,419 @@
+//===- tests/portfolio_test.cpp - Scheme-portfolio racing guarantees ------===//
+//
+// The portfolio's headline contract is determinism: a race committed at
+// any Jobs count is bit-identical to the best sequential single-scheme
+// compile under the (encoded-cost, arm-index) winner rule. These tests
+// pin that contract over the full checked-in example corpus plus
+// generated programs, and cover the tie break, the zero-cost
+// cancellation cutoff, the chooser's confident/fallback split, and the
+// portfolio-v1 decision-table serialization.
+//
+// Byte identity is checked through ResultCache::serializeResult — the
+// canonical encoding of a PipelineResult (machine code, spill decisions,
+// all deterministic counters) — so "identical" means exact, not
+// cost-equal.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Features.h"
+#include "core/Pipeline.h"
+#include "core/Portfolio.h"
+#include "driver/ResultCache.h"
+#include "fuzz/Invariants.h"
+#include "ir/Parser.h"
+#include "workloads/ProgramGen.h"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#ifndef DRA_SOURCE_DIR
+#error "DRA_SOURCE_DIR must be defined by the build"
+#endif
+
+using namespace dra;
+
+namespace {
+
+/// Every checked-in example plus a few generated shapes, so the race is
+/// exercised on functions where different arms actually win.
+std::vector<std::pair<std::string, Function>> buildCorpus() {
+  std::vector<std::pair<std::string, Function>> Corpus;
+  const char *Examples[] = {"branchy", "memsum", "poly", "pressure"};
+  for (const char *Name : Examples) {
+    std::string Path =
+        std::string(DRA_SOURCE_DIR) + "/examples/dra/" + Name + ".dra";
+    std::ifstream In(Path);
+    EXPECT_TRUE(In.good()) << "cannot open " << Path;
+    std::stringstream SS;
+    SS << In.rdbuf();
+    std::string Err;
+    auto F = parseFunction(SS.str(), &Err);
+    EXPECT_TRUE(F.has_value()) << Path << ": " << Err;
+    if (F)
+      Corpus.emplace_back(Name, std::move(*F));
+  }
+  for (uint64_t Seed : {5u, 41u, 203u}) {
+    ProgramProfile P;
+    P.Seed = Seed;
+    P.TopStatements = 9;
+    P.BodyStatements = 5;
+    Corpus.emplace_back("gen" + std::to_string(Seed),
+                        generateProgram("gen" + std::to_string(Seed), P));
+  }
+  return Corpus;
+}
+
+PipelineConfig raceConfig() {
+  PipelineConfig C;
+  C.Enc = lowEndConfig(12);
+  C.Remap.NumStarts = 4;
+  C.Portfolio.Mode = PortfolioMode::Race;
+  return C;
+}
+
+/// The sequential oracle the race must match: compile every resolved arm
+/// alone, in index order, keep the strict (cost, index) minimum.
+struct SequentialBest {
+  size_t Arm = 0;
+  uint64_t Cost = UINT64_MAX;
+  PipelineResult R;
+  std::vector<uint64_t> Costs;
+};
+
+SequentialBest bestSequentialArm(const Function &F, const PipelineConfig &C) {
+  SequentialBest Best;
+  std::vector<PortfolioArm> Arms = resolvedPortfolioArms(C.Portfolio);
+  for (size_t A = 0; A != Arms.size(); ++A) {
+    PipelineConfig AC = C;
+    AC.Portfolio = PortfolioConfig();
+    AC.S = Arms[A].S;
+    if (Arms[A].RemapStarts != 0)
+      AC.Remap.NumStarts = Arms[A].RemapStarts;
+    PipelineResult R = runPipeline(F, AC);
+    uint64_t Cost = encodedCost(R);
+    Best.Costs.push_back(Cost);
+    if (Cost < Best.Cost) {
+      Best.Cost = Cost;
+      Best.Arm = A;
+      Best.R = std::move(R);
+    }
+  }
+  return Best;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Race mode
+//===----------------------------------------------------------------------===//
+
+// The tentpole guarantee: a race at Jobs 1, 2, 8, and one-worker-per-arm
+// commits exactly the best sequential arm — same winner index, same cost,
+// and byte-identical serialized result — over the whole corpus.
+TEST(PortfolioRace, MatchesBestSequentialAtAnyJobs) {
+  for (auto &[Name, F] : buildCorpus()) {
+    PipelineConfig C = raceConfig();
+    SequentialBest Best = bestSequentialArm(F, C);
+    std::string BestBytes = ResultCache::serializeResult(Best.R);
+    for (unsigned Jobs : {1u, 2u, 8u, 0u}) {
+      C.Portfolio.Jobs = Jobs;
+      PortfolioOutcome Out;
+      PipelineConfig WinnerCfg;
+      PipelineResult R = runPortfolio(F, C, &WinnerCfg, &Out);
+      EXPECT_EQ(Out.WinnerArm, Best.Arm) << Name << " jobs=" << Jobs;
+      EXPECT_EQ(Out.WinnerCost, Best.Cost) << Name << " jobs=" << Jobs;
+      EXPECT_EQ(ResultCache::serializeResult(R), BestBytes)
+          << Name << " jobs=" << Jobs
+          << ": raced bytes differ from best sequential arm";
+      // The winner config must be the concrete single-scheme config.
+      EXPECT_EQ(WinnerCfg.Portfolio.Mode, PortfolioMode::Off);
+      EXPECT_EQ(WinnerCfg.S, resolvedPortfolioArms(C.Portfolio)[Best.Arm].S);
+      // Arms that ran must report the sequential costs (cancelled arms
+      // are UINT64_MAX and may only be *worse-indexed* than the winner).
+      ASSERT_EQ(Out.ArmCosts.size(), Best.Costs.size());
+      for (size_t A = 0; A != Out.ArmCosts.size(); ++A) {
+        if (Out.ArmCosts[A] == UINT64_MAX) {
+          EXPECT_GT(A, size_t(Out.WinnerArm))
+              << Name << ": cancelled arm at or before the winner";
+          continue;
+        }
+        EXPECT_EQ(Out.ArmCosts[A], Best.Costs[A]) << Name << " arm " << A;
+      }
+    }
+  }
+}
+
+// Identical arms produce identical costs; the committed winner must be
+// the lowest index, and its bytes must equal that arm's lone compile.
+TEST(PortfolioRace, TieBreaksToLowestArmIndex) {
+  ProgramProfile P;
+  P.Seed = 77;
+  P.TopStatements = 8;
+  P.BodyStatements = 5;
+  Function F = generateProgram("tie", P);
+
+  PipelineConfig C = raceConfig();
+  C.Portfolio.Arms = {{Scheme::Select, 0}, {Scheme::Select, 0},
+                      {Scheme::Select, 0}};
+  C.Portfolio.Jobs = 0; // One worker per arm: maximum scheduling freedom.
+  PortfolioOutcome Out;
+  PipelineResult R = runPortfolio(F, C, nullptr, &Out);
+  EXPECT_EQ(Out.WinnerArm, 0u);
+
+  PipelineConfig Lone = C;
+  Lone.Portfolio = PortfolioConfig();
+  Lone.S = Scheme::Select;
+  EXPECT_EQ(ResultCache::serializeResult(R),
+            ResultCache::serializeResult(runPipeline(F, Lone)));
+}
+
+// The zero-cost cutoff: when arm 0 finishes with cost 0, later arms are
+// skipped — and skipping them never changes what is committed. A
+// two-instruction function costs 0 under every scheme, so the serial
+// race must cancel both trailing arms; the parallel race may cancel
+// fewer, but both must commit arm 0's exact bytes.
+TEST(PortfolioRace, CancellationNeverChangesCommittedResult) {
+  std::string Err;
+  auto F = parseFunction("func tiny regs=10 mem=0 spills=0\n"
+                         "bb0:\n"
+                         "  movi r0, 7\n"
+                         "  ret r0\n",
+                         &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+
+  PipelineConfig C = raceConfig();
+  PipelineConfig Lone = C;
+  Lone.Portfolio = PortfolioConfig();
+  Lone.S = resolvedPortfolioArms(C.Portfolio)[0].S;
+  PipelineResult Arm0 = runPipeline(*F, Lone);
+  ASSERT_EQ(encodedCost(Arm0), 0u)
+      << "corpus assumption broken: tiny function is no longer cost 0";
+  std::string Arm0Bytes = ResultCache::serializeResult(Arm0);
+
+  // Serial race: arm 0 completes before arms 1 and 2 start, so the
+  // cutoff must skip both.
+  C.Portfolio.Jobs = 1;
+  PortfolioOutcome Serial;
+  PipelineResult RS = runPortfolio(*F, C, nullptr, &Serial);
+  EXPECT_EQ(Serial.WinnerArm, 0u);
+  EXPECT_EQ(Serial.ArmsCancelled, 2u);
+  EXPECT_EQ(Serial.ArmsRun, 1u);
+  EXPECT_EQ(Serial.ArmCosts[1], UINT64_MAX);
+  EXPECT_EQ(Serial.ArmCosts[2], UINT64_MAX);
+  EXPECT_EQ(ResultCache::serializeResult(RS), Arm0Bytes);
+
+  // Parallel race: cancellation is best-effort, the commit is not.
+  C.Portfolio.Jobs = 0;
+  PortfolioOutcome Par;
+  PipelineResult RP = runPortfolio(*F, C, nullptr, &Par);
+  EXPECT_EQ(Par.WinnerArm, 0u);
+  EXPECT_EQ(ResultCache::serializeResult(RP), Arm0Bytes);
+  EXPECT_EQ(Par.ArmsRun + Par.ArmsCancelled, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Chooser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// A single-leaf table that always predicts \p Arm at \p Confidence.
+DecisionTable constantTable(int Arm, double Confidence) {
+  DecisionTable T;
+  T.Features = featureNames();
+  T.Arms = defaultPortfolioArms();
+  DecisionNode Leaf;
+  Leaf.Feature = -1;
+  Leaf.Arm = Arm;
+  Leaf.Confidence = Confidence;
+  Leaf.Samples = 12;
+  T.Nodes.push_back(Leaf);
+  return T;
+}
+
+} // namespace
+
+// Choose mode without a table, and with a below-threshold table, must
+// fall back to racing — committing bytes identical to forced Race mode.
+TEST(PortfolioChooser, FallbackMatchesForcedRace) {
+  for (auto &[Name, F] : buildCorpus()) {
+    PipelineConfig Race = raceConfig();
+    Race.Portfolio.Jobs = 2;
+    std::string RaceBytes =
+        ResultCache::serializeResult(runPortfolio(F, Race));
+
+    PipelineConfig NoTable = Race;
+    NoTable.Portfolio.Mode = PortfolioMode::Choose;
+    PortfolioOutcome Out;
+    PipelineResult R = runPortfolio(F, NoTable, nullptr, &Out);
+    EXPECT_TRUE(Out.ChooserRaced) << Name;
+    EXPECT_FALSE(Out.ChooserConfident) << Name;
+    EXPECT_EQ(ResultCache::serializeResult(R), RaceBytes) << Name;
+
+    DecisionTable Timid = constantTable(/*Arm=*/1, /*Confidence=*/0.5);
+    PipelineConfig LowConf = NoTable;
+    LowConf.Portfolio.Table = &Timid;
+    LowConf.Portfolio.MinConfidence = 0.75;
+    PortfolioOutcome Out2;
+    PipelineResult R2 = runPortfolio(F, LowConf, nullptr, &Out2);
+    EXPECT_TRUE(Out2.ChooserRaced) << Name;
+    EXPECT_EQ(Out2.PredictedArm, 1) << Name;
+    EXPECT_EQ(ResultCache::serializeResult(R2), RaceBytes) << Name;
+  }
+}
+
+// A confident prediction compiles exactly one arm, and the committed
+// bytes equal that arm's lone single-scheme compile.
+TEST(PortfolioChooser, ConfidentPredictionRunsSingleArm) {
+  ProgramProfile P;
+  P.Seed = 19;
+  P.TopStatements = 8;
+  P.BodyStatements = 5;
+  Function F = generateProgram("conf", P);
+
+  DecisionTable T = constantTable(/*Arm=*/1, /*Confidence=*/0.9);
+  PipelineConfig C = raceConfig();
+  C.Portfolio.Mode = PortfolioMode::Choose;
+  C.Portfolio.Table = &T;
+  C.Portfolio.MinConfidence = 0.75;
+
+  PortfolioOutcome Out;
+  PipelineConfig WinnerCfg;
+  PipelineResult R = runPortfolio(F, C, &WinnerCfg, &Out);
+  EXPECT_TRUE(Out.ChooserConfident);
+  EXPECT_FALSE(Out.ChooserRaced);
+  EXPECT_EQ(Out.PredictedArm, 1);
+  EXPECT_EQ(Out.WinnerArm, 1u);
+  EXPECT_EQ(Out.ArmsRun, 1u);
+
+  PortfolioArm Arm = resolvedPortfolioArms(C.Portfolio)[1];
+  PipelineConfig Lone = C;
+  Lone.Portfolio = PortfolioConfig();
+  Lone.S = Arm.S;
+  if (Arm.RemapStarts != 0)
+    Lone.Remap.NumStarts = Arm.RemapStarts;
+  EXPECT_EQ(ResultCache::serializeResult(R),
+            ResultCache::serializeResult(runPipeline(F, Lone)));
+  EXPECT_EQ(WinnerCfg.S, Arm.S);
+
+  std::string Why;
+  EXPECT_TRUE(functionsIdentical(R.F, runPipeline(F, Lone).F, &Why)) << Why;
+}
+
+//===----------------------------------------------------------------------===//
+// Decision-table serialization (portfolio-v1)
+//===----------------------------------------------------------------------===//
+
+TEST(DecisionTableJson, RoundTripsAndFingerprintIsStable) {
+  DecisionTable T;
+  T.Features = featureNames();
+  T.Arms = {{Scheme::Coalesce, 0}, {Scheme::Remap, 8}, {Scheme::Select, 0}};
+  DecisionNode Root;
+  Root.Feature = 4; // max_pressure
+  Root.Threshold = 6.5;
+  Root.Left = 1;
+  Root.Right = 2;
+  DecisionNode L, R;
+  L.Feature = -1;
+  L.Arm = 2;
+  L.Confidence = 0.8;
+  L.Samples = 5;
+  R.Feature = -1;
+  R.Arm = 1;
+  R.Confidence = 1.0;
+  R.Samples = 9;
+  T.Nodes = {Root, L, R};
+  std::string Err;
+  ASSERT_TRUE(T.valid(&Err)) << Err;
+
+  std::string Doc = T.toJson();
+  DecisionTable Back;
+  ASSERT_TRUE(DecisionTable::fromJson(Doc, Back, &Err)) << Err;
+  EXPECT_EQ(Back.Arms, T.Arms);
+  EXPECT_EQ(Back.Features, T.Features);
+  ASSERT_EQ(Back.Nodes.size(), 3u);
+  EXPECT_EQ(Back.fingerprint(), T.fingerprint());
+  EXPECT_EQ(Back.toJson(), Doc); // Serialization is canonical.
+
+  // Both routes predict identically.
+  std::vector<double> Low(featureNames().size(), 0.0);
+  std::vector<double> High(featureNames().size(), 0.0);
+  High[4] = 9.0;
+  EXPECT_EQ(Back.predict(Low).Arm, 2);
+  EXPECT_DOUBLE_EQ(Back.predict(Low).Confidence, 0.8);
+  EXPECT_EQ(Back.predict(High).Arm, 1);
+
+  // Any change to the document changes the cache-key fingerprint.
+  DecisionTable Other = T;
+  Other.Nodes[1].Confidence = 0.9;
+  EXPECT_NE(Other.fingerprint(), T.fingerprint());
+}
+
+TEST(DecisionTableJson, RejectsMalformedDocuments) {
+  DecisionTable T;
+  std::string Err;
+
+  EXPECT_FALSE(DecisionTable::fromJson("{not json", T, &Err));
+
+  EXPECT_FALSE(DecisionTable::fromJson(
+      "{\"schema\":\"portfolio-v2\",\"features\":[],\"arms\":[],"
+      "\"nodes\":[]}",
+      T, &Err));
+
+  // Wrong feature schema must be rejected, not silently misread.
+  DecisionTable Good = constantTable(0, 0.9);
+  DecisionTable BadFeat = Good;
+  BadFeat.Features[0] = "num_bananas";
+  EXPECT_FALSE(DecisionTable::fromJson(BadFeat.toJson(), T, &Err));
+  EXPECT_NE(Err.find("feature"), std::string::npos) << Err;
+
+  // Leaf arm index out of range.
+  DecisionTable BadArm = Good;
+  BadArm.Nodes[0].Arm = 99;
+  EXPECT_FALSE(DecisionTable::fromJson(BadArm.toJson(), T, &Err));
+
+  // A child that does not strictly follow its parent would make predict
+  // loop; valid() (and therefore fromJson) must refuse it.
+  DecisionTable Cyclic = Good;
+  DecisionNode Root;
+  Root.Feature = 0;
+  Root.Threshold = 1;
+  Root.Left = 0; // Self-reference.
+  Root.Right = 1;
+  Cyclic.Nodes.insert(Cyclic.Nodes.begin(), Root);
+  EXPECT_FALSE(DecisionTable::fromJson(Cyclic.toJson(), T, &Err));
+}
+
+//===----------------------------------------------------------------------===//
+// Features
+//===----------------------------------------------------------------------===//
+
+TEST(Features, DeterministicAndSchemaAligned) {
+  for (auto &[Name, F] : buildCorpus()) {
+    FunctionFeatures A = computeFeatures(F);
+    FunctionFeatures B = computeFeatures(F);
+    std::vector<double> VA = A.asVector(), VB = B.asVector();
+    EXPECT_EQ(VA, VB) << Name << ": features not deterministic";
+    ASSERT_EQ(VA.size(), featureNames().size()) << Name;
+    EXPECT_GT(A.NumBlocks, 0.0) << Name;
+    EXPECT_GT(A.NumInsts, 0.0) << Name;
+    EXPECT_GE(A.AdjDensity, 0.0) << Name;
+    EXPECT_LE(A.AdjDensity, 1.0) << Name;
+    EXPECT_GE(A.MoveDensity, 0.0) << Name;
+    EXPECT_LE(A.MoveDensity, 1.0) << Name;
+  }
+  // Extraction must not mutate its input.
+  ProgramProfile P;
+  P.Seed = 11;
+  Function F = generateProgram("pure", P);
+  Function Copy = F;
+  (void)computeFeatures(F);
+  std::string Why;
+  EXPECT_TRUE(functionsIdentical(F, Copy, &Why)) << Why;
+}

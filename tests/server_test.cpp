@@ -13,6 +13,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "core/Features.h"
+#include "core/Portfolio.h"
 #include "server/FlightRecorder.h"
 #include "server/Protocol.h"
 #include "server/RequestQueue.h"
@@ -491,6 +493,145 @@ TEST(CompileServer, HandleRequestDirectlyWithoutASocket) {
   EXPECT_EQ("miss", Resp.Tier); // no cache wired: always a fresh compile
   PipelineResult Out;
   EXPECT_TRUE(ResultCache::deserializeResult(Resp.Body, Out));
+}
+
+//===----------------------------------------------------------------------===//
+// scheme=auto (portfolio)
+//===----------------------------------------------------------------------===//
+
+TEST(Protocol, AutoSchemeRoundTrip) {
+  CompileRequest Req = tinyRequest();
+  Req.Auto = true;
+  std::string Doc = encodeRequest(Req);
+  EXPECT_NE(Doc.find("scheme=auto"), std::string::npos);
+
+  CompileRequest Out;
+  std::string Err;
+  ASSERT_TRUE(decodeRequest(Doc, Out, &Err)) << Err;
+  EXPECT_TRUE(Out.Auto);
+  EXPECT_EQ(Req.Body, Out.Body);
+
+  // A concrete scheme decodes with Auto off.
+  ASSERT_TRUE(decodeRequest(encodeRequest(tinyRequest()), Out, &Err)) << Err;
+  EXPECT_FALSE(Out.Auto);
+}
+
+TEST(CompileServer, AutoRaceMatchesLocalPortfolio) {
+  ServerOptions SO;
+  SO.SocketPath = "server_test_auto_race.sock"; // never started
+  SO.Workers = 2;
+  SO.Portfolio = PortfolioMode::Race;
+  SO.PortfolioJobs = 2;
+  CompileServer Server(SO);
+
+  CompileRequest Req = tinyRequest();
+  Req.Auto = true;
+  CompileResponse Resp = Server.handleRequest(encodeRequest(Req));
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+  EXPECT_EQ("miss", Resp.Tier);
+
+  // Byte parity with a local race under the same knobs.
+  std::string Err;
+  auto F = parseFunction(Req.Body, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  PipelineConfig C = Req.toConfig();
+  C.Portfolio.Mode = PortfolioMode::Race;
+  C.Portfolio.Jobs = 2;
+  EXPECT_EQ(Resp.Body,
+            ResultCache::serializeResult(runPortfolio(*F, C)));
+}
+
+TEST(CompileServer, AutoChooseMatchesLocalPortfolio) {
+  DecisionTable T;
+  T.Features = featureNames();
+  T.Arms = defaultPortfolioArms();
+  DecisionNode Leaf;
+  Leaf.Feature = -1;
+  Leaf.Arm = 1;
+  Leaf.Confidence = 0.9;
+  Leaf.Samples = 7;
+  T.Nodes.push_back(Leaf);
+  std::string TErr;
+  ASSERT_TRUE(T.valid(&TErr)) << TErr;
+
+  ServerOptions SO;
+  SO.SocketPath = "server_test_auto_choose.sock"; // never started
+  SO.Workers = 1;
+  SO.Portfolio = PortfolioMode::Choose;
+  SO.PortfolioTable = &T;
+  CompileServer Server(SO);
+
+  CompileRequest Req = tinyRequest();
+  Req.Auto = true;
+  CompileResponse Resp = Server.handleRequest(encodeRequest(Req));
+  ASSERT_EQ(ResponseStatus::Ok, Resp.Status);
+
+  std::string Err;
+  auto F = parseFunction(Req.Body, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  PipelineConfig C = Req.toConfig();
+  C.Portfolio.Mode = PortfolioMode::Choose;
+  C.Portfolio.Table = &T;
+  PortfolioOutcome Out;
+  PipelineResult Local = runPortfolio(*F, C, nullptr, &Out);
+  EXPECT_TRUE(Out.ChooserConfident);
+  EXPECT_EQ(Resp.Body, ResultCache::serializeResult(Local));
+}
+
+TEST(CompileServer, AutoRejectedWhenPortfolioIsOff) {
+  ServerOptions SO;
+  SO.SocketPath = "server_test_auto_off.sock"; // never started
+  SO.Workers = 1;
+  CompileServer Server(SO);
+
+  CompileRequest Req = tinyRequest();
+  Req.Auto = true;
+  CompileResponse Resp = Server.handleRequest(encodeRequest(Req));
+  EXPECT_EQ(ResponseStatus::Error, Resp.Status);
+  EXPECT_NE(Resp.Body.find("scheme=auto requires a server started with"),
+            std::string::npos)
+      << Resp.Body;
+  // The concrete-scheme path still works on the same server.
+  EXPECT_EQ(ResponseStatus::Ok,
+            Server.handleRequest(encodeRequest(tinyRequest())).Status);
+}
+
+TEST(CompileServer, AutoWinnerDoubleStoreServesDirectRequests) {
+  ResultCache Cache;
+  ServerOptions SO;
+  SO.SocketPath = "server_test_auto_cache.sock"; // never started
+  SO.Workers = 1;
+  SO.Portfolio = PortfolioMode::Race;
+  SO.Cache = &Cache;
+  CompileServer Server(SO);
+
+  CompileRequest Req = tinyRequest();
+  Req.Auto = true;
+  CompileResponse Cold = Server.handleRequest(encodeRequest(Req));
+  ASSERT_EQ(ResponseStatus::Ok, Cold.Status);
+  EXPECT_EQ("miss", Cold.Tier);
+
+  // Warm auto request: memory-tier hit, byte-identical body.
+  CompileResponse Warm = Server.handleRequest(encodeRequest(Req));
+  EXPECT_EQ("hit_mem", Warm.Tier);
+  EXPECT_EQ(Cold.Body, Warm.Body);
+
+  // The race's winner was also stored under its concrete scheme key, so
+  // a direct request for that scheme hits without compiling.
+  std::string Err;
+  auto F = parseFunction(Req.Body, &Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  PipelineConfig C = Req.toConfig();
+  C.Portfolio.Mode = PortfolioMode::Race;
+  PipelineConfig WinnerCfg;
+  runPortfolio(*F, C, &WinnerCfg);
+
+  CompileRequest Direct = tinyRequest();
+  Direct.S = WinnerCfg.S;
+  CompileResponse DirectResp = Server.handleRequest(encodeRequest(Direct));
+  ASSERT_EQ(ResponseStatus::Ok, DirectResp.Status);
+  EXPECT_EQ("hit_mem", DirectResp.Tier);
+  EXPECT_EQ(Cold.Body, DirectResp.Body);
 }
 
 TEST(CompileServer, ConcurrentClientsAndGracefulStop) {

@@ -12,6 +12,7 @@
 
 #include "CliNum.h"
 
+#include "core/Features.h"
 #include "core/Pipeline.h"
 #include "driver/BatchCompiler.h"
 #include "driver/ResultCache.h"
@@ -72,6 +73,23 @@ const char *UsageText =
     "  --cache-verify=F   recompile fraction F (0..1) of cache hits and\n"
     "                     compare against the cached result byte-for-byte\n"
     "                     (exit 1 on any mismatch)\n"
+    "  --portfolio=MODE   off (default) | race | choose: instead of\n"
+    "                     --scheme, race the scheme portfolio per function\n"
+    "                     and commit the deterministic (cost, arm-index)\n"
+    "                     winner; choose consults --portfolio-table and\n"
+    "                     races only on low confidence\n"
+    "  --portfolio-jobs=N workers per race (default 1 = serial; results\n"
+    "                     are bit-identical at any value; 0 = one per arm)\n"
+    "  --portfolio-table=FILE\n"
+    "                     portfolio-v1 decision table (dra-tune output)\n"
+    "  --min-confidence=F chooser confidence below which a prediction\n"
+    "                     falls back to racing (default 0.75)\n"
+    "  --portfolio-train=FILE\n"
+    "                     training-sweep mode: compile every input with\n"
+    "                     every portfolio arm, extract per-function\n"
+    "                     features, and write a portfolio-train-v1 JSON\n"
+    "                     corpus for tools/dra-tune (ignores --scheme and\n"
+    "                     --portfolio)\n"
     "  --help             show this text\n"
     "\n"
     "exit status: 0 on success, 1 when any input fails to parse/compile,\n"
@@ -96,6 +114,11 @@ struct Options {
   unsigned CacheMemMb = 64;
   double CacheVerify = 0;
   bool UseCache = false;
+  PortfolioMode Portfolio = PortfolioMode::Off;
+  unsigned PortfolioJobs = 1;
+  std::string PortfolioTable;
+  double MinConfidence = 0.75;
+  std::string PortfolioTrain;
   std::vector<std::string> Inputs;
 };
 
@@ -173,6 +196,26 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
       }
       O.UseCache = true;
+    } else if (const char *V = Value("--portfolio=")) {
+      if (!parsePortfolioMode(V, O.Portfolio)) {
+        std::fprintf(stderr,
+                     "error: --portfolio must be off, race, or choose\n");
+        return false;
+      }
+    } else if (const char *V = Value("--portfolio-jobs=")) {
+      if (!cli::parseUnsigned("--portfolio-jobs", V, O.PortfolioJobs))
+        return false;
+    } else if (const char *V = Value("--portfolio-table=")) {
+      O.PortfolioTable = V;
+    } else if (const char *V = Value("--min-confidence=")) {
+      if (!cli::parseDouble("--min-confidence", V, O.MinConfidence))
+        return false;
+      if (O.MinConfidence < 0 || O.MinConfidence > 1) {
+        std::fprintf(stderr, "error: --min-confidence must be in [0, 1]\n");
+        return false;
+      }
+    } else if (const char *V = Value("--portfolio-train=")) {
+      O.PortfolioTrain = V;
     } else if (Arg == "--per-task-seeds") {
       O.PerTaskSeeds = true;
     } else if (Arg == "--help" || Arg == "-h") {
@@ -213,6 +256,94 @@ bool collectInputs(const std::vector<std::string> &Inputs,
   return true;
 }
 
+/// --portfolio-train: compile every function with every default arm (one
+/// parallel batch per arm), extract features, and write the
+/// portfolio-train-v1 corpus dra-tune fits its decision table from.
+int runTrainSweep(const Options &O, const PipelineConfig &Base,
+                  const std::vector<std::string> &Files,
+                  const std::vector<Function> &Functions,
+                  const std::vector<uint64_t> &RefFp) {
+  const std::vector<PortfolioArm> Arms = defaultPortfolioArms();
+  Telemetry Telem;
+  BatchOptions BO;
+  BO.Jobs = O.Jobs;
+  BO.Telem = &Telem;
+  BO.PerTaskSeeds = O.PerTaskSeeds;
+  BatchCompiler Batch(BO);
+
+  bool AllOk = true;
+  std::vector<std::vector<uint64_t>> Costs(Arms.size());
+  for (size_t A = 0; A != Arms.size(); ++A) {
+    PipelineConfig C = Base;
+    C.S = Arms[A].S;
+    if (Arms[A].RemapStarts)
+      C.Remap.NumStarts = Arms[A].RemapStarts;
+    std::vector<PipelineResult> Results = Batch.run(Functions, C);
+    for (size_t I = 0; I != Results.size(); ++I) {
+      if (fingerprint(interpret(Results[I].F)) != RefFp[I]) {
+        std::fprintf(stderr, "error: %s: semantics changed under arm %s\n",
+                     Files[I].c_str(), portfolioSchemeKey(Arms[A].S));
+        AllOk = false;
+      }
+      Costs[A].push_back(encodedCost(Results[I]));
+    }
+  }
+
+  std::ofstream Out(O.PortfolioTrain);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write '%s'\n",
+                 O.PortfolioTrain.c_str());
+    return 1;
+  }
+  Out << "{\"schema\":\"portfolio-train-v1\",\"features\":[";
+  const std::vector<std::string> &Names = featureNames();
+  for (size_t I = 0; I != Names.size(); ++I)
+    Out << (I ? "," : "") << '"' << jsonEscape(Names[I]) << '"';
+  Out << "],\"arms\":[";
+  for (size_t A = 0; A != Arms.size(); ++A)
+    Out << (A ? "," : "") << "{\"scheme\":\"" << portfolioSchemeKey(Arms[A].S)
+        << "\",\"remap_starts\":" << Arms[A].RemapStarts << "}";
+  Out << "],\"samples\":[";
+  for (size_t I = 0; I != Functions.size(); ++I) {
+    const std::string &Name =
+        Functions[I].Name.empty() ? Files[I] : Functions[I].Name;
+    Out << (I ? ",\n" : "\n") << "{\"function\":\"" << jsonEscape(Name)
+        << "\",\"features\":[";
+    std::vector<double> FV = computeFeatures(Functions[I]).asVector();
+    for (size_t F = 0; F != FV.size(); ++F) {
+      Out << (F ? "," : "");
+      writeJsonNumber(Out, FV[F]);
+    }
+    // encodedCost values are exact in a double far beyond any real
+    // corpus (they only lose precision past 2^53 ≈ 2M spill insts).
+    Out << "],\"costs\":[";
+    for (size_t A = 0; A != Arms.size(); ++A)
+      Out << (A ? "," : "") << Costs[A][I];
+    Out << "]}";
+  }
+  Out << "\n]}\n";
+  if (!Out.good()) {
+    std::fprintf(stderr, "error: write to '%s' failed\n",
+                 O.PortfolioTrain.c_str());
+    return 1;
+  }
+
+  std::vector<size_t> Wins(Arms.size(), 0);
+  for (size_t I = 0; I != Functions.size(); ++I) {
+    size_t Best = 0;
+    for (size_t A = 1; A != Arms.size(); ++A)
+      if (Costs[A][I] < Costs[Best][I])
+        Best = A;
+    ++Wins[Best];
+  }
+  std::printf("portfolio-train: %zu function(s) x %zu arm(s) -> %s\n",
+              Functions.size(), Arms.size(), O.PortfolioTrain.c_str());
+  for (size_t A = 0; A != Arms.size(); ++A)
+    std::printf("  arm %zu (%s, remap_starts=%u): %zu win(s)\n", A,
+                portfolioSchemeKey(Arms[A].S), Arms[A].RemapStarts, Wins[A]);
+  return AllOk ? 0 : 1;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
@@ -250,6 +381,32 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  DecisionTable Table;
+  bool HaveTable = false;
+  if (!O.PortfolioTable.empty()) {
+    std::ifstream In(O.PortfolioTable, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open --portfolio-table '%s'\n",
+                   O.PortfolioTable.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string TErr;
+    if (!DecisionTable::fromJson(SS.str(), Table, &TErr)) {
+      std::fprintf(stderr, "error: %s: %s\n", O.PortfolioTable.c_str(),
+                   TErr.c_str());
+      return 2;
+    }
+    HaveTable = true;
+  }
+  if (O.Portfolio != PortfolioMode::Off) {
+    Config.Portfolio.Mode = O.Portfolio;
+    Config.Portfolio.Jobs = O.PortfolioJobs;
+    Config.Portfolio.MinConfidence = O.MinConfidence;
+    Config.Portfolio.Table = HaveTable ? &Table : nullptr;
+  }
+
   std::vector<Function> Functions;
   std::vector<uint64_t> RefFp;
   for (const std::string &File : Files) {
@@ -275,6 +432,9 @@ int main(int Argc, char **Argv) {
     RefFp.push_back(fingerprint(interpret(*Parsed)));
     Functions.push_back(std::move(*Parsed));
   }
+
+  if (!O.PortfolioTrain.empty())
+    return runTrainSweep(O, Config, Files, Functions, RefFp);
 
   Telemetry Telem;
   MetricsRegistry Metrics;
@@ -315,7 +475,12 @@ int main(int Argc, char **Argv) {
 
   std::printf("\nbatch: %zu files, scheme %s, %u worker(s), %.1f ms "
               "wall\n",
-              Files.size(), schemeName(O.S), Batch.pool().workerCount(),
+              Files.size(),
+              O.Portfolio != PortfolioMode::Off
+                  ? (O.Portfolio == PortfolioMode::Race ? "auto (race)"
+                                                        : "auto (choose)")
+                  : schemeName(O.S),
+              Batch.pool().workerCount(),
               static_cast<double>(BatchUs) / 1000.0);
   if (Cache) {
     ResultCacheStats CS = Cache->stats();

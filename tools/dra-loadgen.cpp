@@ -76,8 +76,12 @@ const char *UsageText =
     "  --fail-on-shed      exit nonzero if any request was shed\n"
     "  --bench-out=FILE    dra-metrics-v1 report (default BENCH_server.json;\n"
     "                      empty disables)\n"
-    "  --scheme=NAME       baseline|ospill|remap|select|coalesce\n"
-    "                      (default coalesce)\n"
+    "  --scheme=NAME       baseline|ospill|remap|select|coalesce|auto\n"
+    "                      (default coalesce). auto delegates the choice\n"
+    "                      to the server's scheme portfolio; --verify then\n"
+    "                      recompiles with a local default-arm race, which\n"
+    "                      matches a server running --portfolio=race with\n"
+    "                      default arms byte-for-byte (any --portfolio-jobs)\n"
     "  --baseline-k=N      registers of the unmodified ISA (default 8)\n"
     "  --regn=N            differential registers (default 12)\n"
     "  --diffn=N           difference codes (default 8)\n"
@@ -105,6 +109,7 @@ struct Options {
   bool FailOnShed = false;
   std::string BenchOut = "BENCH_server.json";
   Scheme S = Scheme::Coalesce;
+  bool Auto = false;
   unsigned BaselineK = 8;
   unsigned RegN = 12;
   unsigned DiffN = 8;
@@ -163,7 +168,9 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (const char *V = Value("--bench-out=")) {
       O.BenchOut = V;
     } else if (const char *V = Value("--scheme=")) {
-      if (!parseSchemeName(V, O.S)) {
+      if (std::strcmp(V, "auto") == 0) {
+        O.Auto = true;
+      } else if (!parseSchemeName(V, O.S)) {
         std::fprintf(stderr, "error: unknown scheme '%s'\n", V);
         return false;
       }
@@ -451,6 +458,7 @@ int main(int Argc, char **Argv) {
 
   CompileRequest Template;
   Template.S = O.S;
+  Template.Auto = O.Auto;
   Template.BaselineK = O.BaselineK;
   Template.RegN = O.RegN;
   Template.DiffN = O.DiffN;
@@ -532,8 +540,18 @@ int main(int Argc, char **Argv) {
           S.Latencies.emplace_back(internTier(Resp.Tier), Us);
           if (O.Verify > 0 && R.nextDouble() < O.Verify) {
             ++S.VerifyChecked;
+            PipelineConfig OracleCfg = Req.toConfig();
+            if (Req.Auto) {
+              // scheme=auto oracle: a serial default-arm race. Racing is
+              // bit-identical at any Jobs, so this matches a server
+              // running --portfolio=race exactly; servers in choose mode
+              // need --verify=0 (a confident chooser may legitimately
+              // commit a non-winning arm).
+              OracleCfg.Portfolio.Mode = PortfolioMode::Race;
+              OracleCfg.Portfolio.Jobs = 1;
+            }
             PipelineResult Oracle =
-                runPipeline(Corpus[Pick].Parsed, Req.toConfig());
+                runPipeline(Corpus[Pick].Parsed, OracleCfg);
             if (ResultCache::serializeResult(Oracle) != Resp.Body) {
               ++S.VerifyMismatches;
               std::fprintf(stderr,

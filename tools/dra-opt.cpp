@@ -60,6 +60,20 @@ const char *UsageText =
     "  --adaptive         Section 8.2 selective enabling\n"
     "  --cleanup          run fold/simplify/DCE before allocation\n"
     "\n"
+    "portfolio options:\n"
+    "  --portfolio=MODE   off (default) | race (race the scheme\n"
+    "                     portfolio per function, commit the\n"
+    "                     deterministic winner) | choose (consult the\n"
+    "                     --portfolio-table chooser, race on low\n"
+    "                     confidence); overrides --scheme\n"
+    "  --portfolio-jobs=N workers per race (default 1; 0 = one per\n"
+    "                     arm; results bit-identical at any N)\n"
+    "  --portfolio-table=FILE\n"
+    "                     portfolio-v1 decision table (dra-tune\n"
+    "                     output) for --portfolio=choose\n"
+    "  --min-confidence=F race instead of trusting the chooser below\n"
+    "                     this leaf confidence (default 0.75)\n"
+    "\n"
     "driver options:\n"
     "  --jobs=N           compile inputs on N pool workers\n"
     "                     (default 1; 0 = hardware concurrency)\n"
@@ -94,6 +108,10 @@ struct Options {
   unsigned RemapStarts = 200;
   unsigned RemapJobs = 1;
   unsigned Jobs = 1;
+  PortfolioMode Portfolio = PortfolioMode::Off;
+  unsigned PortfolioJobs = 1;
+  std::string PortfolioTable;
+  double MinConfidence = 0.75;
   bool Adaptive = false;
   bool Cleanup = false;
   bool Simulate = false;
@@ -160,6 +178,24 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
     } else if (const char *V = Value("--jobs=")) {
       if (!cli::parseUnsigned("--jobs", V, O.Jobs))
         return false;
+    } else if (const char *V = Value("--portfolio=")) {
+      if (!parsePortfolioMode(V, O.Portfolio)) {
+        std::fprintf(stderr,
+                     "error: --portfolio must be off, race, or choose\n");
+        return false;
+      }
+    } else if (const char *V = Value("--portfolio-jobs=")) {
+      if (!cli::parseUnsigned("--portfolio-jobs", V, O.PortfolioJobs))
+        return false;
+    } else if (const char *V = Value("--portfolio-table=")) {
+      O.PortfolioTable = V;
+    } else if (const char *V = Value("--min-confidence=")) {
+      if (!cli::parseDouble("--min-confidence", V, O.MinConfidence))
+        return false;
+      if (O.MinConfidence < 0 || O.MinConfidence > 1) {
+        std::fprintf(stderr, "error: --min-confidence must be in [0, 1]\n");
+        return false;
+      }
     } else if (const char *V = Value("--trace-out=")) {
       O.TraceOut = V;
     } else if (const char *V = Value("--metrics-out=")) {
@@ -289,6 +325,31 @@ int main(int Argc, char **Argv) {
     return 2;
   }
 
+  // The table must outlive the batch (PortfolioConfig borrows it).
+  DecisionTable Table;
+  if (O.Portfolio != PortfolioMode::Off) {
+    Config.Portfolio.Mode = O.Portfolio;
+    Config.Portfolio.Jobs = O.PortfolioJobs;
+    Config.Portfolio.MinConfidence = O.MinConfidence;
+    if (!O.PortfolioTable.empty()) {
+      std::ifstream In(O.PortfolioTable, std::ios::binary);
+      if (!In) {
+        std::fprintf(stderr, "error: cannot open --portfolio-table '%s'\n",
+                     O.PortfolioTable.c_str());
+        return 2;
+      }
+      std::ostringstream SS;
+      SS << In.rdbuf();
+      std::string TErr;
+      if (!DecisionTable::fromJson(SS.str(), Table, &TErr)) {
+        std::fprintf(stderr, "error: %s: %s\n", O.PortfolioTable.c_str(),
+                     TErr.c_str());
+        return 2;
+      }
+      Config.Portfolio.Table = &Table;
+    }
+  }
+
   Telemetry Telem;
   MetricsRegistry Metrics;
   if (!O.MetricsOut.empty())
@@ -327,9 +388,13 @@ int main(int Argc, char **Argv) {
     ExecResult After = interpret(R.F);
     bool Same = fingerprint(After) == U.ReferenceFp;
     AllSame = AllSame && Same;
+    const char *SchemeL =
+        O.Portfolio == PortfolioMode::Race    ? "auto (race)"
+        : O.Portfolio == PortfolioMode::Choose ? "auto (choose)"
+                                               : schemeName(O.S);
     std::printf("%s: %zu insts (%zu spill, %zu set_last_reg), code %zu "
                 "bytes, semantics %s\n",
-                schemeName(O.S), R.NumInsts, R.SpillInsts, R.SetLastRegs,
+                SchemeL, R.NumInsts, R.SpillInsts, R.SetLastRegs,
                 R.CodeBytes, Same ? "preserved" : "CHANGED (bug!)");
     if (R.AdaptiveFellBack)
       std::printf("adaptive mode chose the baseline for this function\n");

@@ -20,7 +20,9 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 
 #include <poll.h>
@@ -61,6 +63,16 @@ const char *UsageText =
     "  --slow-request-us=N    requests at/above N microseconds keep full\n"
     "                         span detail in the flight recorder\n"
     "                         (default 100000)\n"
+    "  --portfolio=MODE       how scheme=auto requests are served:\n"
+    "                         off (default: structured error), race\n"
+    "                         (race the scheme portfolio, commit the\n"
+    "                         deterministic winner), choose (consult the\n"
+    "                         --portfolio-table chooser, race on low\n"
+    "                         confidence)\n"
+    "  --portfolio-table=FILE portfolio-v1 decision table (dra-tune\n"
+    "                         output) for --portfolio=choose\n"
+    "  --portfolio-jobs=N     workers per portfolio race (default 0 =\n"
+    "                         one per arm; results identical at any N)\n"
     "  --help                 show this text\n"
     "\n"
     "exit status: 0 on clean (signal-driven) shutdown, 1 on a runtime\n"
@@ -78,6 +90,9 @@ struct Options {
   unsigned MetricsIntervalS = 0;
   size_t FlightRecorder = 256;
   uint64_t SlowRequestUs = 100000;
+  PortfolioMode Portfolio = PortfolioMode::Off;
+  std::string PortfolioTable;
+  unsigned PortfolioJobs = 0;
   bool Help = false;
 };
 
@@ -121,6 +136,17 @@ bool parseArgs(int Argc, char **Argv, Options &O) {
         return false;
     } else if (const char *V = Value("--slow-request-us=")) {
       if (!cli::parseU64("--slow-request-us", V, O.SlowRequestUs))
+        return false;
+    } else if (const char *V = Value("--portfolio=")) {
+      if (!parsePortfolioMode(V, O.Portfolio)) {
+        std::fprintf(stderr,
+                     "error: --portfolio must be off, race, or choose\n");
+        return false;
+      }
+    } else if (const char *V = Value("--portfolio-table=")) {
+      O.PortfolioTable = V;
+    } else if (const char *V = Value("--portfolio-jobs=")) {
+      if (!cli::parseUnsigned("--portfolio-jobs", V, O.PortfolioJobs))
         return false;
     } else if (Arg == "--help" || Arg == "-h") {
       O.Help = true;
@@ -191,6 +217,30 @@ int main(int Argc, char **Argv) {
   ResultCache Cache(CO);
   Cache.setMetrics(&Metrics);
 
+  // The decision table outlives the server (ServerOptions borrows it).
+  DecisionTable Table;
+  bool HaveTable = false;
+  if (!O.PortfolioTable.empty()) {
+    std::ifstream In(O.PortfolioTable, std::ios::binary);
+    if (!In) {
+      std::fprintf(stderr, "error: cannot open --portfolio-table '%s'\n",
+                   O.PortfolioTable.c_str());
+      return 2;
+    }
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    std::string TErr;
+    if (!DecisionTable::fromJson(SS.str(), Table, &TErr)) {
+      std::fprintf(stderr, "error: %s: %s\n", O.PortfolioTable.c_str(),
+                   TErr.c_str());
+      return 2;
+    }
+    HaveTable = true;
+  }
+  if (O.Portfolio == PortfolioMode::Choose && !HaveTable)
+    std::fprintf(stderr, "dra-server: --portfolio=choose without a "
+                         "--portfolio-table races every request\n");
+
   ServerOptions SO;
   SO.SocketPath = O.Socket;
   SO.Workers = O.Workers;
@@ -200,6 +250,9 @@ int main(int Argc, char **Argv) {
   SO.Metrics = &Metrics;
   SO.FlightRecorderSize = O.FlightRecorder;
   SO.SlowRequestUs = O.SlowRequestUs;
+  SO.Portfolio = O.Portfolio;
+  SO.PortfolioTable = HaveTable ? &Table : nullptr;
+  SO.PortfolioJobs = O.PortfolioJobs;
   CompileServer Server(SO);
 
   std::string Err;

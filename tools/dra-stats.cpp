@@ -235,8 +235,27 @@ double pctDelta(double Base, double Cur) {
   return 100.0 * (Cur - Base) / Base;
 }
 
+/// Which files a diffed series appears in.
+enum class Presence { Both, OnlyBase, OnlyCur };
+
+/// One diff-table line. A series present in only one file is a
+/// structural change, not a value change: it is never threshold-
+/// suppressed and is labeled "removed"/"added" instead of faking a 0 on
+/// the missing side (which made a zero-valued series dropping out of —
+/// or appearing in — one file vanish from the diff entirely, and showed
+/// a removal as a -100% value drop).
 void printRow(const std::string &Key, double Base, double Cur,
-              double ThresholdPct) {
+              double ThresholdPct, Presence P = Presence::Both) {
+  if (P == Presence::OnlyBase) {
+    std::printf("  %-58s %14g %14s %s\n", Key.c_str(), Base, "-",
+                " removed");
+    return;
+  }
+  if (P == Presence::OnlyCur) {
+    std::printf("  %-58s %14s %14g %s\n", Key.c_str(), "-", Cur,
+                "   added");
+    return;
+  }
   double Pct = pctDelta(Base, Cur);
   if (std::fabs(Pct) < ThresholdPct && Base != Cur)
     return;
@@ -251,7 +270,6 @@ void printRow(const std::string &Key, double Base, double Cur,
 }
 
 /// Diffs one section (counters or gauges) over the union of keys.
-/// Missing keys count as 0 on the missing side.
 void diffSection(const char *Title, const std::map<std::string, double> &B,
                  const std::map<std::string, double> &C,
                  double ThresholdPct) {
@@ -262,10 +280,10 @@ void diffSection(const char *Title, const std::map<std::string, double> &B,
   auto IC = C.begin();
   while (IB != B.end() || IC != C.end()) {
     if (IC == C.end() || (IB != B.end() && IB->first < IC->first)) {
-      printRow(IB->first, IB->second, 0, ThresholdPct);
+      printRow(IB->first, IB->second, 0, ThresholdPct, Presence::OnlyBase);
       ++IB;
     } else if (IB == B.end() || IC->first < IB->first) {
-      printRow(IC->first, 0, IC->second, ThresholdPct);
+      printRow(IC->first, 0, IC->second, ThresholdPct, Presence::OnlyCur);
       ++IC;
     } else {
       printRow(IB->first, IB->second, IC->second, ThresholdPct);
@@ -282,7 +300,20 @@ void diffHistograms(const MetricsFileData &B, const MetricsFileData &C,
   std::printf("histograms (sum | count | p50 -> p50):\n");
   auto Row = [&](const std::string &Key,
                  const MetricsFileData::HistSummary &Base,
-                 const MetricsFileData::HistSummary &Cur) {
+                 const MetricsFileData::HistSummary &Cur,
+                 Presence P = Presence::Both) {
+    // Same structural-change rule as printRow: one-sided histograms are
+    // always reported, labeled, and never shown as a -100% sum change.
+    if (P == Presence::OnlyBase) {
+      std::printf("  %-58s %14g %14s %s  n %g -> -\n", Key.c_str(),
+                  Base.Sum, "-", " removed", Base.Count);
+      return;
+    }
+    if (P == Presence::OnlyCur) {
+      std::printf("  %-58s %14s %14g %s  n - -> %g\n", Key.c_str(), "-",
+                  Cur.Sum, "   added", Cur.Count);
+      return;
+    }
     double Pct = pctDelta(Base.Sum, Cur.Sum);
     if (ThresholdPct > 0 &&
         (std::fabs(Pct) < ThresholdPct || Base.Sum == Cur.Sum))
@@ -308,10 +339,10 @@ void diffHistograms(const MetricsFileData &B, const MetricsFileData &C,
   while (IB != B.Histograms.end() || IC != C.Histograms.end()) {
     if (IC == C.Histograms.end() ||
         (IB != B.Histograms.end() && IB->first < IC->first)) {
-      Row(IB->first, IB->second, Zero);
+      Row(IB->first, IB->second, Zero, Presence::OnlyBase);
       ++IB;
     } else if (IB == B.Histograms.end() || IC->first < IB->first) {
-      Row(IC->first, Zero, IC->second);
+      Row(IC->first, Zero, IC->second, Presence::OnlyCur);
       ++IC;
     } else {
       Row(IB->first, IB->second, IC->second);
